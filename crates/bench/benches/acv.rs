@@ -1,0 +1,40 @@
+//! Criterion benches for Figure 3 (ACV generation at Pub) and Figure 4
+//! (key derivation at Sub) at representative (N, fill) points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbcd_bench::{bench_rng, gkm_workload};
+
+fn bench_acv_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_acv_generation");
+    group.sample_size(10);
+    for n in [100usize, 200, 400] {
+        for fill in [25usize, 100] {
+            let mut rng = bench_rng();
+            let w = gkm_workload(n, fill, 2, &mut rng);
+            group.bench_with_input(
+                BenchmarkId::new(format!("fill{fill}"), n),
+                &n,
+                |b, _| b.iter(|| w.scheme.rekey(&w.rows, &mut rng)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_key_derivation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_key_derivation");
+    group.sample_size(20);
+    for n in [100usize, 400, 1000] {
+        let mut rng = bench_rng();
+        let w = gkm_workload(n, 100, 2, &mut rng);
+        let (_, info) = w.scheme.rekey(&w.rows, &mut rng);
+        let css = w.rows[0].css_concat.clone();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| w.scheme.derive_key(&info, &css))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_acv_generation, bench_key_derivation);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for Figure 6: cost vs average number of conditions per
+//! policy (longer CSS concatenations to hash per matrix entry).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbcd_bench::{bench_rng, gkm_workload};
+
+fn bench_conditions_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_conditions_per_policy");
+    group.sample_size(10);
+    let n = 200;
+    for conds in [1usize, 5, 10] {
+        let mut rng = bench_rng();
+        let w = gkm_workload(n, 100, conds, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("acv_generation", conds),
+            &conds,
+            |b, _| b.iter(|| w.scheme.rekey(&w.rows, &mut rng)),
+        );
+        let (_, info) = w.scheme.rekey(&w.rows, &mut rng);
+        let css = w.rows[0].css_concat.clone();
+        group.bench_with_input(
+            BenchmarkId::new("key_derivation", conds),
+            &conds,
+            |b, _| b.iter(|| w.scheme.derive_key(&info, &css)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conditions_sweep);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion ablation: ACV-BGKM vs the baseline GKM schemes at equal
+//! membership (rekey and derive costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbcd_bench::{bench_rng, gkm_workload};
+use pbcd_gkm::{AcvBgkm, MarkerGkm, SecureLockGkm, ShardedAcvBgkm, SimplisticGkm};
+
+fn bench_rekey(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_rekey");
+    group.sample_size(10);
+    for n in [16usize, 64] {
+        let mut rng = bench_rng();
+        let w = gkm_workload(n, 100, 1, &mut rng);
+        let rows = w.rows.clone();
+
+        let acv = AcvBgkm::default();
+        group.bench_with_input(BenchmarkId::new("acv", n), &n, |b, _| {
+            b.iter(|| acv.rekey(&rows, &mut rng))
+        });
+        let sharded = ShardedAcvBgkm::new(AcvBgkm::default(), 16);
+        group.bench_with_input(BenchmarkId::new("acv_sharded16", n), &n, |b, _| {
+            b.iter(|| sharded.rekey(&rows, &mut rng))
+        });
+        let marker = MarkerGkm::new();
+        group.bench_with_input(BenchmarkId::new("marker", n), &n, |b, _| {
+            b.iter(|| marker.rekey(&rows, &mut rng))
+        });
+        let lock = SecureLockGkm::new();
+        group.bench_with_input(BenchmarkId::new("secure_lock", n), &n, |b, _| {
+            b.iter(|| lock.rekey(&rows, &mut rng))
+        });
+        let simple = SimplisticGkm::new();
+        group.bench_with_input(BenchmarkId::new("simplistic", n), &n, |b, _| {
+            b.iter(|| simple.rekey(&rows, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_derive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_derive");
+    group.sample_size(20);
+    let n = 64;
+    let mut rng = bench_rng();
+    let w = gkm_workload(n, 100, 1, &mut rng);
+    let rows = w.rows.clone();
+    let css = rows[0].css_concat.clone();
+    let nym = rows[0].nym.clone();
+
+    let acv = AcvBgkm::default();
+    let (_, acv_info) = acv.rekey(&rows, &mut rng);
+    group.bench_function("acv", |b| b.iter(|| acv.derive_key(&acv_info, &css)));
+
+    let marker = MarkerGkm::new();
+    let (_, m_info) = marker.rekey(&rows, &mut rng);
+    group.bench_function("marker", |b| b.iter(|| marker.derive_key(&m_info, &css)));
+
+    let lock = SecureLockGkm::new();
+    let (_, l_info) = lock.rekey(&rows, &mut rng);
+    group.bench_function("secure_lock", |b| b.iter(|| lock.derive_key(&l_info, &css)));
+
+    let simple = SimplisticGkm::new();
+    let (_, s_info) = simple.rekey(&rows, &mut rng);
+    group.bench_function("simplistic", |b| {
+        b.iter(|| simple.derive_key(&s_info, &nym, &css))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rekey, bench_derive);
+criterion_main!(benches);

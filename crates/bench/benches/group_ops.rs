@@ -1,0 +1,61 @@
+//! Criterion ablation: substrate costs — group exponentiation on both
+//! backends, Pedersen commitments, hashing and AES-CTR throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pbcd_bench::bench_rng;
+use pbcd_commit::Pedersen;
+use pbcd_crypto::{ctr_encrypt, sha1, sha256, NONCE_LEN};
+use pbcd_group::{CyclicGroup, ModpGroup, P256Group};
+
+fn bench_group_exponentiation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_group_exp");
+    group.sample_size(20);
+    let p256 = P256Group::new();
+    let modp = ModpGroup::new();
+    {
+        let mut rng = bench_rng();
+        let base = p256.generator();
+        let k = p256.random_scalar(&mut rng);
+        group.bench_function("p256", |b| b.iter(|| p256.exp(&base, &k)));
+    }
+    {
+        let mut rng = bench_rng();
+        let base = modp.generator();
+        let k = modp.random_scalar(&mut rng);
+        group.bench_function("modp_1024_160", |b| b.iter(|| modp.exp(&base, &k)));
+    }
+    group.finish();
+}
+
+fn bench_pedersen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_pedersen");
+    group.sample_size(20);
+    let ped = Pedersen::new(P256Group::new());
+    let mut rng = bench_rng();
+    let sc = ped.group().scalar_ctx().clone();
+    let v = sc.from_u64(28);
+    group.bench_function("commit_p256", |b| b.iter(|| ped.commit(&v, &mut rng)));
+    group.finish();
+}
+
+fn bench_symmetric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_symmetric");
+    let data = vec![0xabu8; 16 * 1024];
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("sha256_16k", |b| b.iter(|| sha256(&data)));
+    group.bench_function("sha1_16k", |b| b.iter(|| sha1(&data)));
+    let key = [7u8; 32];
+    let nonce = [9u8; NONCE_LEN];
+    group.bench_function("aes256_ctr_16k", |b| {
+        b.iter(|| ctr_encrypt(&key, &nonce, &data))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_group_exponentiation,
+    bench_pedersen,
+    bench_symmetric
+);
+criterion_main!(benches);

@@ -1,0 +1,503 @@
+//! Regenerates every table and figure of the paper's evaluation (§VII),
+//! plus the ablations listed in DESIGN.md §5.
+//!
+//! Usage:
+//!   reproduce [--quick] [table2|fig2|fig3|fig4|fig5|fig6|
+//!              ablation-gkm|ablation-group|ablation-shard|ablation-batch|all]
+//!
+//! `--quick` shrinks round counts and sweep ranges for smoke runs; the
+//! default settings mirror the paper's parameters (50 OCBE rounds, N up to
+//! 1000, 25%–100% fills).
+
+use pbcd_bench::{bench_rng, eq_steps, ge_round, ge_steps, gkm_workload, ms, print_row, time_avg};
+use pbcd_gkm::{AcvBgkm, MarkerGkm, SecureLockGkm, ShardedAcvBgkm, SimplisticGkm};
+use pbcd_group::{CyclicGroup, ModpGroup, P256Group};
+use pbcd_math::FpCtx;
+use std::time::{Duration, Instant};
+
+struct Opts {
+    quick: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let opts = Opts { quick };
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let all = targets.is_empty() || targets.contains(&"all");
+    let want = |t: &str| all || targets.contains(&t);
+
+    println!("PBCD reproduction harness (paper: Shang et al., ICDE 2010)");
+    println!(
+        "mode: {}\n",
+        if opts.quick { "quick" } else { "full (paper parameters)" }
+    );
+
+    if want("table2") {
+        table2(&opts);
+    }
+    if want("fig2") {
+        fig2(&opts);
+    }
+    if want("fig3") || want("fig4") || want("fig5") {
+        fig345(&opts, want("fig3"), want("fig4"), want("fig5"));
+    }
+    if want("fig6") {
+        fig6(&opts);
+    }
+    if want("ablation-gkm") {
+        ablation_gkm(&opts);
+    }
+    if want("ablation-group") {
+        ablation_group(&opts);
+    }
+    if want("ablation-shard") {
+        ablation_shard(&opts);
+    }
+    if want("ablation-batch") {
+        ablation_batch(&opts);
+    }
+    if want("ablation-dominance") {
+        ablation_dominance(&opts);
+    }
+}
+
+/// Table II: EQ-OCBE per-step times.
+fn table2(opts: &Opts) {
+    let rounds = if opts.quick { 5 } else { 50 };
+    let mut rng = bench_rng();
+    let mut compose = Duration::ZERO;
+    let mut open = Duration::ZERO;
+    for _ in 0..rounds {
+        let (c, o) = eq_steps(b"a 128-bit conditional secret", &mut rng);
+        compose += c;
+        open += o;
+    }
+    let compose = compose / rounds as u32;
+    let open = open / rounds as u32;
+    println!("== Table II: EQ-OCBE average time over {rounds} rounds (ms) ==");
+    print_row("step", &["paper'09".into(), "measured".into()]);
+    print_row(
+        "create extra commitments(Sub)",
+        &["0.00".into(), "0.00".into()],
+    );
+    print_row(
+        "compose envelope (Pub)",
+        &["11.80".into(), format!("{:.2}", ms(compose))],
+    );
+    print_row(
+        "open envelope (Sub)",
+        &["35.25".into(), format!("{:.2}", ms(open))],
+    );
+    println!();
+}
+
+/// Figure 2: GE-OCBE per-step times vs ℓ.
+fn fig2(opts: &Opts) {
+    let rounds = if opts.quick { 3 } else { 50 };
+    let ells: Vec<u32> = if opts.quick {
+        vec![5, 20, 40]
+    } else {
+        vec![5, 10, 15, 20, 25, 30, 35, 40]
+    };
+    let mut rng = bench_rng();
+    println!("== Figure 2: GE-OCBE average time over {rounds} rounds (ms) ==");
+    print_row(
+        "l",
+        &["create(Sub)".into(), "compose(Pub)".into(), "open(Sub)".into()],
+    );
+    for &ell in &ells {
+        let mut totals = [Duration::ZERO; 3];
+        for _ in 0..rounds {
+            let round = ge_round(ell, &mut rng);
+            let (p, c, o) = ge_steps(&round, b"a 128-bit conditional secret", &mut rng);
+            totals[0] += p;
+            totals[1] += c;
+            totals[2] += o;
+        }
+        print_row(
+            &ell.to_string(),
+            &totals
+                .iter()
+                .map(|t| format!("{:.2}", ms(*t / rounds as u32)))
+                .collect::<Vec<_>>(),
+        );
+    }
+    println!("paper shape: all three series linear in l; compose largest;");
+    println!("paper magnitudes at l=40 (2009 HW, genus-2): ~900/~420/~430 ms.\n");
+}
+
+/// Figures 3, 4, 5: ACV generation time, key derivation time, ACV size vs
+/// maximum users N for 25/50/75/100% fills.
+fn fig345(opts: &Opts, f3: bool, f4: bool, f5: bool) {
+    let (ns, fills, derive_rounds) = if opts.quick {
+        (vec![100usize, 200], vec![25usize, 100], 5usize)
+    } else {
+        (
+            vec![100, 200, 300, 400, 500, 600, 700, 800, 900, 1000],
+            vec![25, 50, 75, 100],
+            20,
+        )
+    };
+    let mut rng = bench_rng();
+    // Collect every cell in one sweep, then print per-figure tables.
+    let mut gen_ms = vec![vec![0f64; fills.len()]; ns.len()];
+    let mut derive_ms = vec![vec![0f64; fills.len()]; ns.len()];
+    let mut size_kb = vec![vec![0f64; fills.len()]; ns.len()];
+    for (i, &n) in ns.iter().enumerate() {
+        for (j, &fill) in fills.iter().enumerate() {
+            let w = gkm_workload(n, fill, 2, &mut rng);
+            let t0 = Instant::now();
+            let (key, info) = w.scheme.rekey(&w.rows, &mut rng);
+            gen_ms[i][j] = ms(t0.elapsed());
+            let css = &w.rows.first().map(|r| r.css_concat.clone()).unwrap_or_default();
+            let d = time_avg(derive_rounds, || w.scheme.derive_key(&info, css));
+            derive_ms[i][j] = ms(d);
+            size_kb[i][j] = info.size_bytes_compressed(80) as f64 / 1024.0;
+            if !w.rows.is_empty() {
+                assert_eq!(w.scheme.derive_key(&info, &w.rows[0].css_concat), key);
+            }
+        }
+    }
+    let header: Vec<String> = fills.iter().map(|f| format!("{f}% subs")).collect();
+    if f3 {
+        println!("== Figure 3: ACV generation time at Pub (s) ==");
+        print_row("max users N", &header);
+        for (i, &n) in ns.iter().enumerate() {
+            print_row(
+                &n.to_string(),
+                &gen_ms[i].iter().map(|v| format!("{:.3}", v / 1e3)).collect::<Vec<_>>(),
+            );
+        }
+        println!("paper shape: superlinear growth in N and fill; <=45 s at N=1000/100%.\n");
+    }
+    if f4 {
+        println!("== Figure 4: key derivation time at Sub (ms) ==");
+        print_row("max users N", &header);
+        for (i, &n) in ns.iter().enumerate() {
+            print_row(
+                &n.to_string(),
+                &derive_ms[i].iter().map(|v| format!("{v:.3}")).collect::<Vec<_>>(),
+            );
+        }
+        println!("paper shape: linear in N, fill-insensitive; single-digit ms at N=1000.\n");
+    }
+    if f5 {
+        println!("== Figure 5: ACV size (KB) ==");
+        print_row("max users N", &header);
+        for (i, &n) in ns.iter().enumerate() {
+            print_row(
+                &n.to_string(),
+                &size_kb[i].iter().map(|v| format!("{v:.2}")).collect::<Vec<_>>(),
+            );
+        }
+        println!("paper shape: linear in N, fill-independent; ~10 KB at N=1000.\n");
+    }
+}
+
+/// Figure 6: ACV generation + key derivation vs conditions per policy
+/// (N=500 fixed, 25 policies, every subscriber qualified).
+fn fig6(opts: &Opts) {
+    let n = if opts.quick { 100 } else { 500 };
+    let conds: Vec<usize> = if opts.quick {
+        vec![1, 5, 10]
+    } else {
+        (1..=10).collect()
+    };
+    let derive_rounds = if opts.quick { 5 } else { 20 };
+    let mut rng = bench_rng();
+    println!("== Figure 6: cost vs avg conditions/policy (N={n}) ==");
+    print_row(
+        "conds/policy",
+        &["ACV gen (ms)".into(), "derive (ms)".into()],
+    );
+    for &c in &conds {
+        let w = gkm_workload(n, 100, c, &mut rng);
+        let t0 = Instant::now();
+        let (_, info) = w.scheme.rekey(&w.rows, &mut rng);
+        let gen = ms(t0.elapsed());
+        let css = w.rows[0].css_concat.clone();
+        let d = ms(time_avg(derive_rounds, || w.scheme.derive_key(&info, &css)));
+        print_row(&c.to_string(), &[format!("{gen:.1}"), format!("{d:.3}")]);
+    }
+    println!("paper shape: derivation ~flat; generation rises slightly (<100 ms span).\n");
+}
+
+/// Ablation: ACV-BGKM vs marker vs secure-lock vs simplistic — rekey time,
+/// derivation time and broadcast size at equal membership.
+fn ablation_gkm(opts: &Opts) {
+    let sizes: Vec<usize> = if opts.quick {
+        vec![8, 32]
+    } else {
+        vec![8, 16, 32, 64, 128, 256]
+    };
+    let mut rng = bench_rng();
+    println!("== Ablation: GKM schemes ==");
+    print_row(
+        "members/scheme",
+        &["rekey (ms)".into(), "derive (ms)".into(), "bytes".into()],
+    );
+    for &n in &sizes {
+        let w = gkm_workload(n, 100, 1, &mut rng);
+        let rows = &w.rows;
+        let emit = |label: String, rekey: Duration, derive: Duration, size: usize| {
+            print_row(
+                &label,
+                &[
+                    format!("{:.2}", ms(rekey)),
+                    format!("{:.4}", ms(derive)),
+                    size.to_string(),
+                ],
+            );
+        };
+        // ACV.
+        let acv = AcvBgkm::default();
+        let t0 = Instant::now();
+        let (_, info) = acv.rekey(rows, &mut rng);
+        let t_rekey = t0.elapsed();
+        let d = time_avg(5, || acv.derive_key(&info, &rows[0].css_concat));
+        emit(format!("{n}/acv"), t_rekey, d, info.size_bytes_compressed(80));
+        // Marker.
+        let mk = MarkerGkm::new();
+        let t0 = Instant::now();
+        let (_, info) = mk.rekey(rows, &mut rng);
+        let t_rekey = t0.elapsed();
+        let d = time_avg(5, || mk.derive_key(&info, &rows[0].css_concat));
+        emit(format!("{n}/marker"), t_rekey, d, mk.public_size(&info));
+        // Secure lock (quadratic CRT blow-up).
+        let sl = SecureLockGkm::new();
+        let t0 = Instant::now();
+        let (_, info) = sl.rekey(rows, &mut rng);
+        let t_rekey = t0.elapsed();
+        let d = time_avg(5, || sl.derive_key(&info, &rows[0].css_concat));
+        emit(format!("{n}/secure-lock"), t_rekey, d, sl.public_size(&info));
+        // Simplistic.
+        let sp = SimplisticGkm::new();
+        let t0 = Instant::now();
+        let (_, info) = sp.rekey(rows, &mut rng);
+        let t_rekey = t0.elapsed();
+        let d = time_avg(5, || sp.derive_key(&info, &rows[0].nym, &rows[0].css_concat));
+        emit(format!("{n}/simplistic"), t_rekey, d, sp.public_size(&info));
+    }
+    println!("expected: marker cheapest rekey but 32 B/row broadcast and the");
+    println!("Sec-VIII-D nonce-reuse hazard; secure-lock rekey blows up (CRT).\n");
+}
+
+/// Ablation: group backend cost — the paper used a genus-2 Jacobian; we
+/// compare P-256 vs RFC 5114 modp on raw exponentiation and EQ-OCBE.
+fn ablation_group(opts: &Opts) {
+    let rounds = if opts.quick { 5 } else { 30 };
+    let mut rng = bench_rng();
+    println!("== Ablation: group backends (avg over {rounds} rounds) ==");
+    print_row("op", &["p256".into(), "modp-1024/160".into()]);
+    let p256 = P256Group::new();
+    let modp = ModpGroup::new();
+    let exp_p = {
+        let mut r = bench_rng();
+        let base = p256.generator();
+        time_avg(rounds, || {
+            let k = p256.random_scalar(&mut r);
+            p256.exp(&base, &k)
+        })
+    };
+    let exp_m = {
+        let mut r = bench_rng();
+        let base = modp.generator();
+        time_avg(rounds, || {
+            let k = modp.random_scalar(&mut r);
+            modp.exp(&base, &k)
+        })
+    };
+    print_row(
+        "exponentiation (ms)",
+        &[format!("{:.3}", ms(exp_p)), format!("{:.3}", ms(exp_m))],
+    );
+    // Full EQ-OCBE round on each backend.
+    let mut total_p = (Duration::ZERO, Duration::ZERO);
+    for _ in 0..rounds {
+        let (c, o) = eq_steps(b"css", &mut rng);
+        total_p.0 += c;
+        total_p.1 += o;
+    }
+    let total_p = (total_p.0 / rounds as u32, total_p.1 / rounds as u32);
+    let mut total_m = (Duration::ZERO, Duration::ZERO);
+    {
+        use pbcd_commit::Pedersen;
+        let ped = Pedersen::new(modp.clone());
+        let sc = modp.scalar_ctx().clone();
+        for _ in 0..rounds {
+            let x = 1234u64;
+            let (commitment, opening) = ped.commit_u64(x, &mut rng);
+            let t0 = Instant::now();
+            let env = pbcd_ocbe::eq::compose(&ped, &commitment, &sc.from_u64(x), b"css", &mut rng);
+            let tc = t0.elapsed();
+            let t0 = Instant::now();
+            let opened = pbcd_ocbe::eq::open(&modp, &env, &opening.randomness);
+            let to = t0.elapsed();
+            assert!(opened.is_some());
+            total_m.0 += tc;
+            total_m.1 += to;
+        }
+    }
+    let total_m = (total_m.0 / rounds as u32, total_m.1 / rounds as u32);
+    print_row(
+        "EQ-OCBE compose+open (ms)",
+        &[
+            format!("{:.2}+{:.2}", ms(total_p.0), ms(total_p.1)),
+            format!("{:.2}+{:.2}", ms(total_m.0), ms(total_m.1)),
+        ],
+    );
+    println!("note: modp wins raw exponentiation (160-bit exponents vs 256-bit");
+    println!("scalars) but its elements are 128 B vs 65 B — bandwidth matters in");
+    println!("GE-OCBE envelopes. The paper's 164-bit-order genus-2 Jacobian is");
+    println!("closest to the modp profile.\n");
+}
+
+/// Ablation: §VIII-C sharding — rekey time vs shard capacity at large N.
+fn ablation_shard(opts: &Opts) {
+    let n = if opts.quick { 256 } else { 2000 };
+    let caps: Vec<usize> = if opts.quick {
+        vec![64, 256]
+    } else {
+        vec![125, 250, 500, 1000, 2000]
+    };
+    let mut rng = bench_rng();
+    let w = gkm_workload(n, 100, 2, &mut rng);
+    println!("== Ablation: sharding at N={n} (Sec VIII-C) ==");
+    print_row(
+        "shard capacity",
+        &["rekey (s)".into(), "bytes".into(), "shards".into()],
+    );
+    for &cap in &caps {
+        let field = FpCtx::new(pbcd_math::gkm_q80());
+        let sharded = ShardedAcvBgkm::new(AcvBgkm::new(field, 2, 0), cap);
+        let t0 = Instant::now();
+        let (key, info) = sharded.rekey(&w.rows, &mut rng);
+        let t = t0.elapsed();
+        assert_eq!(
+            sharded.derive_key(&info, &w.rows[0].nym, &w.rows[0].css_concat),
+            key
+        );
+        print_row(
+            &cap.to_string(),
+            &[
+                format!("{:.3}", t.as_secs_f64()),
+                sharded.public_size(&info).to_string(),
+                info.num_shards.to_string(),
+            ],
+        );
+    }
+    println!("expected: smaller shards cut the O(N^3) solve dramatically at a");
+    println!("small broadcast-size overhead.\n");
+}
+
+/// Ablation: §VIII-A dominance/row-reuse — rekeying several policy
+/// configurations that share subscriber×policy rows, with and without the
+/// shared-nonce hash-row cache.
+fn ablation_dominance(opts: &Opts) {
+    let n = if opts.quick { 100 } else { 400 };
+    let mut rng = bench_rng();
+    println!("== Ablation: dominance row-reuse across 4 nested configs (Sec VIII-A) ==");
+    print_row(
+        "conds/policy",
+        &["independent (s)".into(), "row-cache (s)".into()],
+    );
+    // The cache trades elimination width (every config gets the widest
+    // nonce set) for hashing: it pays off when hashing dominates, i.e.
+    // long CSS concatenations (many conditions per policy).
+    for conds in [2usize, 6, 10] {
+        // Nested configurations (Pc1 ⊂ Pc2 ⊂ Pc3 ⊂ Pc4), the dominance
+        // chain shape of the paper's Example 4.
+        let w = gkm_workload(n, 100, conds, &mut rng);
+        let configs: Vec<Vec<pbcd_gkm::AccessRow>> = vec![
+            w.rows[..n / 4].to_vec(),
+            w.rows[..n / 2].to_vec(),
+            w.rows[..3 * n / 4].to_vec(),
+            w.rows.clone(),
+        ];
+        let scheme = AcvBgkm::default();
+        let t0 = Instant::now();
+        for cfg in &configs {
+            let _ = scheme.rekey(cfg, &mut rng);
+        }
+        let independent = t0.elapsed();
+        let t0 = Instant::now();
+        let shared = scheme.rekey_configs(&configs, &mut rng);
+        let cached = t0.elapsed();
+        assert_eq!(shared.len(), configs.len());
+        print_row(
+            &conds.to_string(),
+            &[
+                format!("{:.3}", independent.as_secs_f64()),
+                format!("{:.3}", cached.as_secs_f64()),
+            ],
+        );
+    }
+    println!("finding: the cache removes repeated H(css||z) work but pads small");
+    println!("configs to the widest nonce set; the extra elimination width");
+    println!("outweighs the hashing savings at every measured setting — an honest");
+    println!("negative result (the win from shared nonces is subscriber-side");
+    println!("KEV caching, see ablation-batch).\n");
+}
+
+/// Ablation: §VIII-D batching — k documents sharing one policy
+/// configuration: independent rekeys vs one shared matrix.
+fn ablation_batch(opts: &Opts) {
+    let n = if opts.quick { 100 } else { 400 };
+    let k = 8;
+    let mut rng = bench_rng();
+    let w = gkm_workload(n, 100, 2, &mut rng);
+    println!("== Ablation: batched rekey for {k} documents (Sec VIII-D) ==");
+    let t0 = Instant::now();
+    for _ in 0..k {
+        let _ = w.scheme.rekey(&w.rows, &mut rng);
+    }
+    let independent = t0.elapsed();
+    let t0 = Instant::now();
+    let batch = w.scheme.rekey_batch(&w.rows, k, &mut rng);
+    let batched = t0.elapsed();
+    assert_eq!(batch.len(), k);
+    print_row("strategy", &["total (s)".into(), "per doc (ms)".into()]);
+    print_row(
+        "independent rekeys",
+        &[
+            format!("{:.3}", independent.as_secs_f64()),
+            format!("{:.1}", ms(independent) / k as f64),
+        ],
+    );
+    print_row(
+        "shared-matrix batch",
+        &[
+            format!("{:.3}", batched.as_secs_f64()),
+            format!("{:.1}", ms(batched) / k as f64),
+        ],
+    );
+    // Subscriber side: plain vs KEV-cached derivation across the batch.
+    let css = w.rows[0].css_concat.clone();
+    let t0 = Instant::now();
+    for (_, info) in &batch {
+        std::hint::black_box(w.scheme.derive_key(info, &css));
+    }
+    let plain = t0.elapsed();
+    let mut cache = pbcd_gkm::KevCache::new();
+    let t0 = Instant::now();
+    for (_, info) in &batch {
+        std::hint::black_box(w.scheme.derive_key_cached(info, &css, &mut cache));
+    }
+    let cached = t0.elapsed();
+    print_row(
+        "sub derive (plain)",
+        &[format!("{:.4}", plain.as_secs_f64()), format!("{:.2}", ms(plain) / k as f64)],
+    );
+    print_row(
+        "sub derive (KEV cache)",
+        &[format!("{:.4}", cached.as_secs_f64()), format!("{:.2}", ms(cached) / k as f64)],
+    );
+    println!("expected: the batch amortizes the null-space computation and the");
+    println!("subscriber's KEV cache removes repeated hashing (Sec VIII-D); unlike");
+    println!("the marker scheme, per-document keys stay independent (no leak).\n");
+}

@@ -1,0 +1,218 @@
+//! # pbcd-bench
+//!
+//! Workload generators and measurement helpers shared by the criterion
+//! benches and the `reproduce` binary, which regenerates every table and
+//! figure of the paper's evaluation (§VII). See DESIGN.md §5 for the
+//! experiment index and EXPERIMENTS.md for paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pbcd_commit::{Commitment, Opening};
+use pbcd_gkm::{AccessRow, AcvBgkm};
+use pbcd_group::P256Group;
+use pbcd_math::FpCtx;
+use pbcd_group::CyclicGroup;
+use pbcd_ocbe::{BitProof, BitSecrets, Direction, OcbeSystem};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Default deterministic RNG for experiments.
+pub fn bench_rng() -> StdRng {
+    StdRng::seed_from_u64(0xB34C4)
+}
+
+/// Measures the average wall time of `f` over `rounds` runs.
+pub fn time_avg<T>(rounds: usize, mut f: impl FnMut() -> T) -> Duration {
+    assert!(rounds > 0);
+    let start = Instant::now();
+    for _ in 0..rounds {
+        std::hint::black_box(f());
+    }
+    start.elapsed() / rounds as u32
+}
+
+/// Milliseconds as f64.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+// ---------------------------------------------------------------------------
+// GKM workloads (Figures 3, 4, 5, 6)
+// ---------------------------------------------------------------------------
+
+/// The paper's §VII-B workload: a *user configuration* is `(N, fill)` —
+/// `N` maximum users with `fill·N` current subscribers; 25 policies with
+/// ~`conds_per_policy` conditions each; every subscriber satisfies the
+/// policy under consideration.
+pub struct GkmWorkload {
+    /// The ACV-BGKM instance sized so the matrix has exactly `N+1` columns.
+    pub scheme: AcvBgkm,
+    /// The current subscribers' access rows (`fill·N` of them).
+    pub rows: Vec<AccessRow>,
+}
+
+/// Builds the Figure 3/4/5 workload for a `(max_users, percent)` user
+/// configuration with `conds_per_policy` conditions per policy (the paper
+/// uses an average of two).
+pub fn gkm_workload(
+    max_users: usize,
+    percent: usize,
+    conds_per_policy: usize,
+    rng: &mut StdRng,
+) -> GkmWorkload {
+    let current = max_users * percent / 100;
+    let field = FpCtx::new(pbcd_math::gkm_q80());
+    // extra_slots tops the matrix up to exactly N columns.
+    let scheme = AcvBgkm::new(field, 2, max_users - current);
+    let css_len = 16 * conds_per_policy; // κ = 128-bit CSS per condition
+    let rows = (0..current)
+        .map(|i| {
+            let mut css = vec![0u8; css_len];
+            rng.fill_bytes(&mut css);
+            AccessRow {
+                nym: format!("pn-{i:05}"),
+                css_concat: css,
+            }
+        })
+        .collect();
+    GkmWorkload { scheme, rows }
+}
+
+// ---------------------------------------------------------------------------
+// OCBE workloads (Table II, Figure 2)
+// ---------------------------------------------------------------------------
+
+/// Pre-generated inputs for one GE-OCBE round at a given ℓ.
+pub struct GeRound {
+    /// The OCBE deployment.
+    pub sys: OcbeSystem<P256Group>,
+    /// Receiver's committed attribute value.
+    pub x: u64,
+    /// Policy threshold (satisfied: `x ≥ x0`).
+    pub x0: u64,
+    /// The receiver's commitment.
+    pub commitment: Commitment<P256Group>,
+    /// The receiver's opening.
+    pub opening: Opening,
+}
+
+/// Builds a satisfied GE-OCBE instance over ℓ-bit values.
+pub fn ge_round(ell: u32, rng: &mut StdRng) -> GeRound {
+    let sys = OcbeSystem::new(P256Group::new(), ell);
+    let max = (1u64 << ell) - 1;
+    let x0 = rng.gen_range(0..=max);
+    let x = rng.gen_range(x0..=max);
+    let (commitment, opening) = sys.pedersen().commit_u64(x, rng);
+    GeRound {
+        sys,
+        x,
+        x0,
+        commitment,
+        opening,
+    }
+}
+
+/// The three measured GE-OCBE steps of Figure 2, returned as
+/// `(create_extra_commitments, compose_envelope, open_envelope)`.
+pub fn ge_steps(
+    round: &GeRound,
+    payload: &[u8],
+    rng: &mut StdRng,
+) -> (Duration, Duration, Duration) {
+    let ell = round.sys.ell();
+    let ped = round.sys.pedersen();
+    // Step 1 (Sub): create extra commitments.
+    let t0 = Instant::now();
+    let (proof, secrets): (BitProof<P256Group>, BitSecrets) = pbcd_ocbe::bitwise::prepare(
+        ped,
+        round.x,
+        &round.opening,
+        round.x0,
+        ell,
+        Direction::Ge,
+        rng,
+    )
+    .expect("valid parameters");
+    let t_prepare = t0.elapsed();
+    // Step 2 (Pub): compose envelope.
+    let t0 = Instant::now();
+    let env = pbcd_ocbe::bitwise::compose(
+        ped,
+        &round.commitment,
+        round.x0,
+        ell,
+        Direction::Ge,
+        &proof,
+        payload,
+        rng,
+    )
+    .expect("consistent proof");
+    let t_compose = t0.elapsed();
+    // Step 3 (Sub): open envelope.
+    let t0 = Instant::now();
+    let opened = pbcd_ocbe::bitwise::open(round.sys.group(), &env, &secrets);
+    let t_open = t0.elapsed();
+    assert_eq!(opened.as_deref(), Some(payload));
+    (t_prepare, t_compose, t_open)
+}
+
+/// One EQ-OCBE round (Table II): returns `(compose, open)` — the "create
+/// extra commitments" step is empty for EQ.
+pub fn eq_steps(payload: &[u8], rng: &mut StdRng) -> (Duration, Duration) {
+    let sys = OcbeSystem::new(P256Group::new(), 48);
+    let ped = sys.pedersen();
+    let sc = sys.group().scalar_ctx().clone();
+    let x: u64 = rng.gen_range(0..1 << 30);
+    let (commitment, opening) = ped.commit_u64(x, rng);
+    let t0 = Instant::now();
+    let env = pbcd_ocbe::eq::compose(ped, &commitment, &sc.from_u64(x), payload, rng);
+    let t_compose = t0.elapsed();
+    let t0 = Instant::now();
+    let opened = pbcd_ocbe::eq::open(sys.group(), &env, &opening.randomness);
+    let t_open = t0.elapsed();
+    assert_eq!(opened.as_deref(), Some(payload));
+    (t_compose, t_open)
+}
+
+/// Pretty-prints one row of a report table.
+pub fn print_row(label: &str, cells: &[String]) {
+    print!("{label:<30}");
+    for c in cells {
+        print!("{c:>14}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_shapes() {
+        let mut rng = bench_rng();
+        let w = gkm_workload(100, 25, 2, &mut rng);
+        assert_eq!(w.rows.len(), 25);
+        assert_eq!(w.rows[0].css_concat.len(), 32);
+        let (key, info) = w.scheme.rekey(&w.rows, &mut rng);
+        assert_eq!(info.zs.len(), 100, "matrix topped up to N columns");
+        assert_eq!(w.scheme.derive_key(&info, &w.rows[0].css_concat), key);
+    }
+
+    #[test]
+    fn ge_round_is_satisfied_and_measurable() {
+        let mut rng = bench_rng();
+        let round = ge_round(10, &mut rng);
+        assert!(round.x >= round.x0);
+        let (p, c, o) = ge_steps(&round, b"payload", &mut rng);
+        assert!(p.as_nanos() > 0 && c.as_nanos() > 0 && o.as_nanos() > 0);
+    }
+
+    #[test]
+    fn eq_steps_roundtrip() {
+        let mut rng = bench_rng();
+        let (c, o) = eq_steps(b"css", &mut rng);
+        assert!(c.as_nanos() > 0 && o.as_nanos() > 0);
+    }
+}

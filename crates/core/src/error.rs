@@ -1,0 +1,77 @@
+//! Unified error type for the end-to-end system.
+
+use pbcd_docs::{WireError, XmlError};
+use pbcd_ocbe::OcbeError;
+
+/// Errors surfaced by the PBCD system layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PbcdError {
+    /// An identity token's signature did not verify against the IdMgr key.
+    BadTokenSignature,
+    /// An identity-provider assertion's signature did not verify.
+    BadAssertionSignature,
+    /// The token's id-tag does not match the condition's attribute name.
+    TagMismatch {
+        /// The token's id-tag.
+        token_tag: String,
+        /// The condition's attribute name.
+        condition_attribute: String,
+    },
+    /// The referenced attribute condition is not part of any policy.
+    UnknownCondition,
+    /// The subscriber holds no identity token for the requested attribute.
+    MissingToken(String),
+    /// An OCBE protocol error.
+    Ocbe(OcbeError),
+    /// Broadcast container or key-info bytes failed to parse.
+    Wire(WireError),
+    /// Document XML failed to parse.
+    Xml(XmlError),
+    /// Key material in a broadcast was malformed.
+    MalformedKeyInfo,
+    /// The subscriber is not registered / unknown pseudonym.
+    UnknownSubscriber,
+}
+
+impl core::fmt::Display for PbcdError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::BadTokenSignature => write!(f, "identity token signature invalid"),
+            Self::BadAssertionSignature => write!(f, "identity assertion signature invalid"),
+            Self::TagMismatch {
+                token_tag,
+                condition_attribute,
+            } => write!(
+                f,
+                "token id-tag '{token_tag}' does not match condition attribute '{condition_attribute}'"
+            ),
+            Self::UnknownCondition => write!(f, "condition not present in any policy"),
+            Self::MissingToken(tag) => write!(f, "no identity token for attribute '{tag}'"),
+            Self::Ocbe(e) => write!(f, "OCBE: {e}"),
+            Self::Wire(e) => write!(f, "wire: {e}"),
+            Self::Xml(e) => write!(f, "xml: {e}"),
+            Self::MalformedKeyInfo => write!(f, "malformed GKM key info"),
+            Self::UnknownSubscriber => write!(f, "unknown subscriber"),
+        }
+    }
+}
+
+impl std::error::Error for PbcdError {}
+
+impl From<OcbeError> for PbcdError {
+    fn from(e: OcbeError) -> Self {
+        Self::Ocbe(e)
+    }
+}
+
+impl From<WireError> for PbcdError {
+    fn from(e: WireError) -> Self {
+        Self::Wire(e)
+    }
+}
+
+impl From<XmlError> for PbcdError {
+    fn from(e: XmlError) -> Self {
+        Self::Xml(e)
+    }
+}

@@ -1,0 +1,130 @@
+//! A full-system harness wiring IdP → IdMgr → Publisher → Subscribers,
+//! used by the examples, the integration tests and the benchmark driver.
+//!
+//! The harness performs the complete privacy-preserving flow: assertion
+//! issuance, token issuance, registration for **every** condition whose
+//! attribute matches a held token (the paper's recommended
+//! inference-resistant behaviour), and broadcast decryption.
+
+use crate::idmgr::IdentityManager;
+use crate::idp::IdentityProvider;
+use crate::publisher::{Publisher, PublisherConfig};
+use crate::subscriber::Subscriber;
+use pbcd_group::CyclicGroup;
+use pbcd_group::P256Group;
+use pbcd_policy::{AttributeSet, PolicySet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The assembled system.
+pub struct SystemHarness<G: CyclicGroup> {
+    /// The (single, for simplicity) identity provider.
+    pub idp: IdentityProvider<G>,
+    /// The identity manager.
+    pub idmgr: IdentityManager<G>,
+    /// The publisher.
+    pub publisher: Publisher<G>,
+    /// Deterministic randomness for reproducible runs.
+    pub rng: StdRng,
+}
+
+impl SystemHarness<P256Group> {
+    /// Builds a P-256-backed system with the default publisher config.
+    pub fn new_p256(policies: PolicySet, seed: u64) -> Self {
+        Self::new(P256Group::new(), policies, PublisherConfig::default(), seed)
+    }
+}
+
+impl<G: CyclicGroup> SystemHarness<G> {
+    /// Builds a system over any group backend.
+    pub fn new(group: G, policies: PolicySet, config: PublisherConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let idp = IdentityProvider::new(group.clone(), "idp", &mut rng);
+        let idmgr = IdentityManager::new(group.clone(), &mut rng);
+        let publisher =
+            Publisher::with_config(group, idmgr.verifying_key(), policies, config);
+        Self {
+            idp,
+            idmgr,
+            publisher,
+            rng,
+        }
+    }
+
+    /// Issues identity tokens for every attribute of `attrs` and returns
+    /// the subscriber holding them (not yet registered).
+    pub fn onboard(&mut self, subject: &str, attrs: AttributeSet) -> Subscriber<G> {
+        let mut sub = Subscriber::new(attrs.clone());
+        for (name, value) in attrs.iter() {
+            let assertion = self
+                .idp
+                .assert_attribute(subject, name, value, &mut self.rng);
+            let (token, opening) = self
+                .idmgr
+                .issue_token(&assertion, &self.idp.verifying_key(), &mut self.rng)
+                .expect("harness assertions are honest");
+            sub.install_token(token, opening);
+        }
+        sub
+    }
+
+    /// Runs the full oblivious registration: for every token the
+    /// subscriber holds, register for **all** conditions naming that
+    /// attribute. Returns how many CSSs the subscriber extracted
+    /// (information the publisher never has).
+    pub fn register_all(&mut self, sub: &mut Subscriber<G>) -> usize {
+        let mut extracted = 0;
+        let tags: Vec<String> = sub
+            .attributes()
+            .iter()
+            .map(|(n, _)| n.to_string())
+            .collect();
+        for tag in tags {
+            for cond in self.publisher.conditions_for_attribute(&tag) {
+                let Some(token) = sub.token_for(&tag).cloned() else {
+                    continue;
+                };
+                let (proof, secrets) = sub
+                    .prepare_registration(self.publisher.ocbe(), &cond, &mut self.rng)
+                    .expect("token present");
+                let envelope = self
+                    .publisher
+                    .register(&token, &cond, &proof, &mut self.rng)
+                    .expect("registration accepted");
+                if sub.complete_registration(self.publisher.ocbe(), &cond, &envelope, &secrets)
+                {
+                    extracted += 1;
+                }
+            }
+        }
+        extracted
+    }
+
+    /// Onboards and fully registers a subscriber in one call.
+    pub fn subscribe(&mut self, subject: &str, attrs: AttributeSet) -> Subscriber<G> {
+        let mut sub = self.onboard(subject, attrs);
+        self.register_all(&mut sub);
+        sub
+    }
+
+    /// Onboards with genuine attributes plus §VI-A **decoy tokens** for
+    /// `decoy_attributes` the subject does not hold, then registers for
+    /// everything — the strongest privacy posture: the publisher cannot
+    /// even tell which attributes the subscriber possesses.
+    pub fn subscribe_with_decoys(
+        &mut self,
+        subject: &str,
+        attrs: AttributeSet,
+        decoy_attributes: &[&str],
+    ) -> Subscriber<G> {
+        let mut sub = self.onboard(subject, attrs);
+        for attr in decoy_attributes {
+            let (token, opening) =
+                self.idmgr
+                    .issue_decoy_token(subject, attr, &mut self.rng);
+            sub.install_decoy_token(token, opening, crate::idmgr::decoy_value());
+        }
+        self.register_all(&mut sub);
+        sub
+    }
+}

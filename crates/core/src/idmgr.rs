@@ -1,0 +1,210 @@
+//! The Identity Manager (paper §III, §V-A): a trusted third party that
+//! turns certified attributes into identity tokens.
+//!
+//! The IdMgr runs the Pedersen setup, verifies IdP assertions, assigns each
+//! subject a stable pseudonym, and issues signed tokens whose commitments
+//! hide the attribute values. It hands `(x, r)` back to the subscriber for
+//! private use.
+
+use crate::error::PbcdError;
+use crate::idp::AttributeAssertion;
+use crate::token::{token_signing_payload, IdentityToken};
+use pbcd_commit::{Opening, Pedersen};
+use pbcd_group::{CyclicGroup, SigningKey, VerifyingKey};
+use rand::RngCore;
+use std::collections::BTreeMap;
+
+/// The Identity Manager.
+pub struct IdentityManager<G: CyclicGroup> {
+    ped: Pedersen<G>,
+    key: SigningKey<G>,
+    /// Stable subject → pseudonym map ("all identity tokens of the same Sub
+    /// have the same nym").
+    nyms: BTreeMap<String, String>,
+    next_nym: u32,
+}
+
+impl<G: CyclicGroup> IdentityManager<G> {
+    /// Creates an IdMgr over `group` with a fresh signing key.
+    pub fn new<R: RngCore + ?Sized>(group: G, rng: &mut R) -> Self {
+        Self {
+            ped: Pedersen::new(group.clone()),
+            key: SigningKey::generate(&group, rng),
+            nyms: BTreeMap::new(),
+            next_nym: 1000,
+        }
+    }
+
+    /// The IdMgr's token-verification key (published system-wide).
+    pub fn verifying_key(&self) -> VerifyingKey<G> {
+        self.key.verifying_key()
+    }
+
+    /// The Pedersen instance (system parameters `⟨G, g, h⟩`).
+    pub fn pedersen(&self) -> &Pedersen<G> {
+        &self.ped
+    }
+
+    /// The pseudonym assigned to `subject`, allocating one if new.
+    pub fn nym_for(&mut self, subject: &str) -> String {
+        if let Some(n) = self.nyms.get(subject) {
+            return n.clone();
+        }
+        let nym = format!("pn-{:04}", self.next_nym);
+        self.next_nym += 1;
+        self.nyms.insert(subject.to_string(), nym.clone());
+        nym
+    }
+
+    /// Issues an identity token for a verified assertion. Returns the token
+    /// plus the opening `(x, r)`, which the IdMgr forwards to the
+    /// subscriber and then forgets.
+    pub fn issue_token<R: RngCore + ?Sized>(
+        &mut self,
+        assertion: &AttributeAssertion,
+        idp_key: &VerifyingKey<G>,
+        rng: &mut R,
+    ) -> Result<(IdentityToken<G>, Opening), PbcdError> {
+        if !assertion.verify(self.ped.group(), idp_key) {
+            return Err(PbcdError::BadAssertionSignature);
+        }
+        let nym = self.nym_for(&assertion.subject);
+        Ok(self.issue_raw(&nym, &assertion.attribute, assertion.value, rng))
+    }
+
+    /// Issues a **decoy token** (paper §VI-A extension): a token for an
+    /// attribute the subject holds *no proof for*, committing to a value
+    /// outside the normal range. The subscriber can then register for
+    /// conditions on that attribute — hiding even *which attributes it
+    /// possesses* from the publisher — while never being able to open the
+    /// resulting envelopes.
+    pub fn issue_decoy_token<R: RngCore + ?Sized>(
+        &mut self,
+        subject: &str,
+        attribute: &str,
+        rng: &mut R,
+    ) -> (IdentityToken<G>, Opening) {
+        let nym = self.nym_for(subject);
+        self.issue_raw(&nym, attribute, decoy_value(), rng)
+    }
+
+    fn issue_raw<R: RngCore + ?Sized>(
+        &mut self,
+        nym: &str,
+        attribute: &str,
+        value: u64,
+        rng: &mut R,
+    ) -> (IdentityToken<G>, Opening) {
+        let value = self.ped.group().scalar_ctx().from_u64(value);
+        let (commitment, opening) = self.ped.commit(&value, rng);
+        let payload = token_signing_payload(&self.ped, nym, attribute, &commitment);
+        let signature = self.key.sign(self.ped.group(), rng, &payload);
+        (
+            IdentityToken {
+                nym: nym.to_string(),
+                id_tag: attribute.to_string(),
+                commitment,
+                signature,
+            },
+            opening,
+        )
+    }
+}
+
+/// The reserved out-of-range value decoy tokens commit to: the all-ones
+/// 63-bit pattern, outside every ℓ ≤ 62-bit attribute space and outside
+/// the 48-bit string-encoding space.
+pub fn decoy_value() -> u64 {
+    (1 << 63) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::idp::IdentityProvider;
+    use pbcd_group::P256Group;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(1200)
+    }
+
+    #[test]
+    fn issue_and_verify_token() {
+        let mut r = rng();
+        let group = P256Group::new();
+        let idp = IdentityProvider::new(group.clone(), "DMV", &mut r);
+        let mut idmgr = IdentityManager::new(group.clone(), &mut r);
+        let assertion = idp.assert_attribute("bob@example.com", "age", 28, &mut r);
+        let (token, opening) = idmgr
+            .issue_token(&assertion, &idp.verifying_key(), &mut r)
+            .unwrap();
+        assert_eq!(token.id_tag, "age");
+        token.verify(idmgr.pedersen(), &idmgr.verifying_key()).unwrap();
+        // Opening matches the commitment.
+        assert!(idmgr.pedersen().verify_open(&token.commitment, &opening));
+        assert_eq!(
+            opening.value,
+            group.scalar_ctx().from_u64(28),
+            "committed value is the asserted one"
+        );
+    }
+
+    #[test]
+    fn forged_assertion_rejected() {
+        let mut r = rng();
+        let group = P256Group::new();
+        let idp = IdentityProvider::new(group.clone(), "DMV", &mut r);
+        let rogue = IdentityProvider::new(group.clone(), "Rogue", &mut r);
+        let mut idmgr = IdentityManager::new(group, &mut r);
+        let mut assertion = idp.assert_attribute("bob", "age", 28, &mut r);
+        // Wrong IdP key.
+        assert_eq!(
+            idmgr
+                .issue_token(&assertion, &rogue.verifying_key(), &mut r)
+                .err(),
+            Some(PbcdError::BadAssertionSignature)
+        );
+        // Tampered value.
+        assertion.value = 99;
+        assert_eq!(
+            idmgr
+                .issue_token(&assertion, &idp.verifying_key(), &mut r)
+                .err(),
+            Some(PbcdError::BadAssertionSignature)
+        );
+    }
+
+    #[test]
+    fn stable_pseudonyms_per_subject() {
+        let mut r = rng();
+        let group = P256Group::new();
+        let idp = IdentityProvider::new(group.clone(), "HR", &mut r);
+        let mut idmgr = IdentityManager::new(group, &mut r);
+        let a1 = idp.assert_attribute("alice", "role", 7, &mut r);
+        let a2 = idp.assert_attribute("alice", "level", 59, &mut r);
+        let a3 = idp.assert_attribute("bob", "role", 7, &mut r);
+        let (t1, _) = idmgr.issue_token(&a1, &idp.verifying_key(), &mut r).unwrap();
+        let (t2, _) = idmgr.issue_token(&a2, &idp.verifying_key(), &mut r).unwrap();
+        let (t3, _) = idmgr.issue_token(&a3, &idp.verifying_key(), &mut r).unwrap();
+        assert_eq!(t1.nym, t2.nym, "same subject, same nym");
+        assert_ne!(t1.nym, t3.nym, "different subjects, different nyms");
+    }
+
+    #[test]
+    fn tampered_token_fails_verification() {
+        let mut r = rng();
+        let group = P256Group::new();
+        let idp = IdentityProvider::new(group.clone(), "DMV", &mut r);
+        let mut idmgr = IdentityManager::new(group, &mut r);
+        let assertion = idp.assert_attribute("bob", "age", 28, &mut r);
+        let (mut token, _) = idmgr
+            .issue_token(&assertion, &idp.verifying_key(), &mut r)
+            .unwrap();
+        token.id_tag = "level".into(); // claim a different attribute
+        assert_eq!(
+            token.verify(idmgr.pedersen(), &idmgr.verifying_key()).err(),
+            Some(PbcdError::BadTokenSignature)
+        );
+    }
+}

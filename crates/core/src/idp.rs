@@ -1,0 +1,86 @@
+//! Identity Providers (paper §III): issue certified identity attributes.
+//!
+//! An IdP vouches that a subject holds an attribute value (e.g. the DMV
+//! vouching for a birthdate). Assertions are shown to the Identity Manager
+//! — never to the publisher — during token issuance.
+
+use pbcd_group::{CyclicGroup, Signature, SigningKey, VerifyingKey};
+use rand::RngCore;
+
+/// A signed statement "`subject`'s `attribute` has `value`".
+#[derive(Clone, Debug)]
+pub struct AttributeAssertion {
+    /// The real-world subject identifier (only the IdMgr sees this).
+    pub subject: String,
+    /// Attribute name.
+    pub attribute: String,
+    /// Attribute value (integer-encoded).
+    pub value: u64,
+    /// IdP signature.
+    pub signature: Signature,
+}
+
+/// An identity provider with a Schnorr signing key.
+pub struct IdentityProvider<G: CyclicGroup> {
+    group: G,
+    name: String,
+    key: SigningKey<G>,
+}
+
+impl<G: CyclicGroup> IdentityProvider<G> {
+    /// Creates a provider with a fresh key pair.
+    pub fn new<R: RngCore + ?Sized>(group: G, name: &str, rng: &mut R) -> Self {
+        Self {
+            key: SigningKey::generate(&group, rng),
+            group,
+            name: name.to_string(),
+        }
+    }
+
+    /// The provider's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The provider's verification key (distributed to IdMgrs out of band).
+    pub fn verifying_key(&self) -> VerifyingKey<G> {
+        self.key.verifying_key()
+    }
+
+    /// Issues a signed attribute assertion.
+    pub fn assert_attribute<R: RngCore + ?Sized>(
+        &self,
+        subject: &str,
+        attribute: &str,
+        value: u64,
+        rng: &mut R,
+    ) -> AttributeAssertion {
+        let payload = assertion_payload(subject, attribute, value);
+        AttributeAssertion {
+            subject: subject.to_string(),
+            attribute: attribute.to_string(),
+            value,
+            signature: self.key.sign(&self.group, rng, &payload),
+        }
+    }
+}
+
+/// Canonical byte string the IdP signs.
+pub fn assertion_payload(subject: &str, attribute: &str, value: u64) -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(b"pbcd-attribute-assertion-v1\0");
+    payload.extend_from_slice(&(subject.len() as u32).to_be_bytes());
+    payload.extend_from_slice(subject.as_bytes());
+    payload.extend_from_slice(&(attribute.len() as u32).to_be_bytes());
+    payload.extend_from_slice(attribute.as_bytes());
+    payload.extend_from_slice(&value.to_be_bytes());
+    payload
+}
+
+impl AttributeAssertion {
+    /// Verifies against the issuing IdP's key.
+    pub fn verify<G: CyclicGroup>(&self, group: &G, idp_key: &VerifyingKey<G>) -> bool {
+        let payload = assertion_payload(&self.subject, &self.attribute, self.value);
+        idp_key.verify(group, &payload, &self.signature)
+    }
+}

@@ -1,0 +1,36 @@
+//! # pbcd-core
+//!
+//! The end-to-end PBCD system (paper §III overview, §V scheme):
+//!
+//! * [`idp`] — Identity Providers issuing certified attribute assertions,
+//! * [`idmgr`] — the Identity Manager turning assertions into signed
+//!   identity tokens over Pedersen commitments,
+//! * [`token`] — the token format `IT = (nym, id-tag, c, σ)`,
+//! * [`publisher`] — policy owner: oblivious CSS registration (OCBE),
+//!   the CSS table `T`, per-configuration ACV-BGKM rekey and broadcast,
+//! * [`subscriber`] — receiver side: registration, key derivation from
+//!   public broadcast values, decryption and document reassembly,
+//! * [`harness`] — a wired-up system for examples, tests and benches.
+//!
+//! Privacy property carried end-to-end: the publisher sees pseudonyms,
+//! commitments and proofs — never an attribute value, and never whether a
+//! given registration actually yielded a usable CSS.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod harness;
+pub mod idmgr;
+pub mod idp;
+pub mod publisher;
+pub mod subscriber;
+pub mod token;
+
+pub use error::PbcdError;
+pub use harness::SystemHarness;
+pub use idmgr::IdentityManager;
+pub use idp::{AttributeAssertion, IdentityProvider};
+pub use publisher::{Publisher, PublisherConfig};
+pub use subscriber::Subscriber;
+pub use token::IdentityToken;

@@ -1,0 +1,302 @@
+//! The Publisher (paper §III, §V): policy owner, registration endpoint and
+//! broadcast source.
+//!
+//! Holds the policy set `ACPB`, the CSS table `T` and the ACV-BGKM
+//! instance. Registration delivers CSSs obliviously (OCBE); broadcasting
+//! segments a document by policy configuration, rekeys every configuration
+//! (fresh `K`, `X`, `z` values — the paper's transparent rekey) and emits a
+//! single [`BroadcastContainer`].
+
+use crate::error::PbcdError;
+use crate::token::IdentityToken;
+use pbcd_crypto::AuthKey;
+use pbcd_docs::{segment, BroadcastContainer, Element, EncryptedGroup, EncryptedSegment};
+use pbcd_gkm::{AccessRow, AcvBgkm, CssTable, Nym};
+use pbcd_group::{CyclicGroup, VerifyingKey};
+use pbcd_ocbe::{Envelope, OcbeSystem, ProofMessage};
+use pbcd_policy::{AttributeCondition, PolicyConfiguration, PolicySet};
+use rand::{RngCore, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Publisher configuration knobs.
+#[derive(Clone, Debug)]
+pub struct PublisherConfig {
+    /// Attribute bit width ℓ for OCBE (default 48: wide enough for the
+    /// string-encoded attribute space).
+    pub ell: u32,
+    /// CSS width κ in bits (default 128).
+    pub kappa_bits: u32,
+    /// Rekey/encrypt policy configurations on parallel threads.
+    pub parallel_broadcast: bool,
+}
+
+impl Default for PublisherConfig {
+    fn default() -> Self {
+        Self {
+            ell: 48,
+            kappa_bits: 128,
+            parallel_broadcast: false,
+        }
+    }
+}
+
+/// The Publisher.
+pub struct Publisher<G: CyclicGroup> {
+    ocbe: OcbeSystem<G>,
+    idmgr_key: VerifyingKey<G>,
+    policies: PolicySet,
+    table: CssTable,
+    gkm: AcvBgkm,
+    epoch: u64,
+    config: PublisherConfig,
+}
+
+impl<G: CyclicGroup> Publisher<G> {
+    /// Creates a publisher trusting tokens signed by `idmgr_key`.
+    pub fn new(group: G, idmgr_key: VerifyingKey<G>, policies: PolicySet) -> Self {
+        Self::with_config(group, idmgr_key, policies, PublisherConfig::default())
+    }
+
+    /// Creates a publisher with explicit configuration.
+    pub fn with_config(
+        group: G,
+        idmgr_key: VerifyingKey<G>,
+        policies: PolicySet,
+        config: PublisherConfig,
+    ) -> Self {
+        Self {
+            ocbe: OcbeSystem::new(group, config.ell),
+            idmgr_key,
+            policies,
+            table: CssTable::new(config.kappa_bits),
+            gkm: AcvBgkm::default(),
+            epoch: 0,
+            config,
+        }
+    }
+
+    /// The public policy set (policies are not secret; values inside
+    /// subscriber attributes are).
+    pub fn policies(&self) -> &PolicySet {
+        &self.policies
+    }
+
+    /// The OCBE deployment parameters (shared with subscribers).
+    pub fn ocbe(&self) -> &OcbeSystem<G> {
+        &self.ocbe
+    }
+
+    /// The GKM scheme parameters (shared with subscribers).
+    pub fn gkm(&self) -> &AcvBgkm {
+        &self.gkm
+    }
+
+    /// Current rekey epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The CSS table (exposed for audits and the Table-I example).
+    pub fn css_table(&self) -> &CssTable {
+        &self.table
+    }
+
+    /// The distinct conditions that mention `attribute` — what a subscriber
+    /// holding a token with that id-tag registers for.
+    pub fn conditions_for_attribute(&self, attribute: &str) -> Vec<AttributeCondition> {
+        self.policies.conditions_on_attribute(attribute)
+    }
+
+    /// Registration (paper §V-B): verifies the token, generates a fresh
+    /// CSS for `(nym, cond)`, records it in `T`, and returns the OCBE
+    /// envelope that delivers the CSS iff the committed value satisfies
+    /// the condition. The publisher never learns whether it did.
+    pub fn register<R: RngCore + ?Sized>(
+        &mut self,
+        token: &IdentityToken<G>,
+        cond: &AttributeCondition,
+        proof: &ProofMessage<G>,
+        rng: &mut R,
+    ) -> Result<Envelope<G>, PbcdError> {
+        token.verify(self.ocbe.pedersen(), &self.idmgr_key)?;
+        if token.id_tag != cond.attribute {
+            return Err(PbcdError::TagMismatch {
+                token_tag: token.id_tag.clone(),
+                condition_attribute: cond.attribute.clone(),
+            });
+        }
+        if !self
+            .policies
+            .distinct_conditions()
+            .iter()
+            .any(|c| c == cond)
+        {
+            return Err(PbcdError::UnknownCondition);
+        }
+        // Fresh CSS, recorded unconditionally: `T` over-approximates — only
+        // qualified subscribers can actually open the envelope.
+        let css = self
+            .table
+            .issue(&Nym::new(&token.nym), cond, rng);
+        let envelope =
+            self.ocbe
+                .sender_compose(&token.commitment, &cond.predicate(), proof, &css, rng)?;
+        Ok(envelope)
+    }
+
+    /// Credential revocation: deletes one `(nym, cond)` record. The next
+    /// broadcast rekeys everything, cutting the subscriber off from
+    /// configurations that required the credential.
+    pub fn revoke_credential(&mut self, nym: &str, cond: &AttributeCondition) -> bool {
+        self.table.remove_credential(&Nym::new(nym), cond)
+    }
+
+    /// Subscription revocation: deletes a subscriber's whole row.
+    pub fn revoke_subscriber(&mut self, nym: &str) -> bool {
+        self.table.remove_subscriber(&Nym::new(nym))
+    }
+
+    /// The access rows for one policy configuration: one row per
+    /// `(acp_k, nym ∈ U_k)` as in §V-C.
+    fn access_rows(&self, pc: &PolicyConfiguration) -> Vec<AccessRow> {
+        let mut rows = Vec::new();
+        for acp_id in pc.acp_ids() {
+            let Some(acp) = self.policies.get(acp_id) else {
+                continue;
+            };
+            for nym in self.table.nyms_with_all(&acp.conditions) {
+                let css_concat = self
+                    .table
+                    .css_concat(nym, &acp.conditions)
+                    .expect("nyms_with_all guarantees coverage");
+                rows.push(AccessRow {
+                    nym: nym.as_str().to_string(),
+                    css_concat,
+                });
+            }
+        }
+        rows
+    }
+
+    /// Broadcast (paper §V-C "Document Broadcasting"): segments `doc` along
+    /// policy objects, groups segments by policy configuration, rekeys each
+    /// configuration and encrypts. Every broadcast is a fresh rekey —
+    /// joins and revocations since the last broadcast take effect here with
+    /// no message to any subscriber.
+    pub fn broadcast<R: RngCore + ?Sized>(
+        &mut self,
+        doc: &Element,
+        doc_name: &str,
+        rng: &mut R,
+    ) -> BroadcastContainer {
+        self.epoch += 1;
+        // Segment along every object named by any policy for this document.
+        let tags: Vec<&str> = {
+            let mut t: Vec<&str> = self
+                .policies
+                .iter()
+                .filter(|(_, p)| p.document == doc_name)
+                .flat_map(|(_, p)| p.objects.iter().map(String::as_str))
+                .collect();
+            t.sort_unstable();
+            t.dedup();
+            t
+        };
+        let segmented = segment(doc, doc_name, &tags);
+
+        // Group segment ids by policy configuration.
+        let mut by_config: BTreeMap<PolicyConfiguration, Vec<&pbcd_docs::Segment>> =
+            BTreeMap::new();
+        for seg in &segmented.segments {
+            by_config
+                .entry(self.policies.configuration_of(&seg.tag))
+                .or_default()
+                .push(seg);
+        }
+
+        let jobs: Vec<(u32, PolicyConfiguration, Vec<&pbcd_docs::Segment>)> = by_config
+            .into_iter()
+            .enumerate()
+            .map(|(i, (pc, segs))| (i as u32, pc, segs))
+            .collect();
+
+        let groups = if self.config.parallel_broadcast {
+            self.encrypt_groups_parallel(&jobs, rng)
+        } else {
+            jobs.iter()
+                .map(|(id, pc, segs)| self.encrypt_group(*id, pc, segs, rng))
+                .collect()
+        };
+
+        BroadcastContainer {
+            epoch: self.epoch,
+            document_name: doc_name.to_string(),
+            skeleton_xml: segmented.skeleton.to_xml(),
+            groups,
+        }
+    }
+
+    fn encrypt_group<R: RngCore + ?Sized>(
+        &self,
+        config_id: u32,
+        pc: &PolicyConfiguration,
+        segs: &[&pbcd_docs::Segment],
+        rng: &mut R,
+    ) -> EncryptedGroup {
+        // Empty configuration: nobody may read — encrypt under a throwaway
+        // key and publish no key material (paper: "without the need of
+        // publishing X or zi").
+        let (key_bytes, key_info) = if pc.is_empty() {
+            let mut k = vec![0u8; 32];
+            rng.fill_bytes(&mut k);
+            (k, Vec::new())
+        } else {
+            let rows = self.access_rows(pc);
+            let (k, info) = self.gkm.rekey(&rows, rng);
+            (k, info.encode())
+        };
+        let key = AuthKey::from_master(&key_bytes);
+        let segments = segs
+            .iter()
+            .map(|seg| EncryptedSegment {
+                segment_id: seg.id,
+                tag: seg.tag.clone(),
+                ciphertext: key.encrypt(rng, seg.content.to_xml().as_bytes()),
+            })
+            .collect();
+        EncryptedGroup {
+            config_id,
+            key_info,
+            segments,
+        }
+    }
+
+    /// Parallel per-configuration rekey: the paper notes "computations
+    /// related to different subdocuments are independent … and thus can be
+    /// performed in parallel" (§VII).
+    fn encrypt_groups_parallel<R: RngCore + ?Sized>(
+        &self,
+        jobs: &[(u32, PolicyConfiguration, Vec<&pbcd_docs::Segment>)],
+        rng: &mut R,
+    ) -> Vec<EncryptedGroup> {
+        // One independently seeded RNG per job, derived from the caller's.
+        let seeds: Vec<u64> = jobs.iter().map(|_| rng.next_u64()).collect();
+        let results = parking_lot::Mutex::new(vec![None; jobs.len()]);
+        crossbeam::thread::scope(|scope| {
+            for (idx, ((id, pc, segs), seed)) in jobs.iter().zip(&seeds).enumerate() {
+                let results = &results;
+                scope.spawn(move |_| {
+                    let mut job_rng = rand::rngs::StdRng::seed_from_u64(*seed);
+                    let group = self.encrypt_group(*id, pc, segs, &mut job_rng);
+                    results.lock()[idx] = Some(group);
+                });
+            }
+        })
+        .expect("broadcast worker panicked");
+        results
+            .into_inner()
+            .into_iter()
+            .map(|g| g.expect("every job completed"))
+            .collect()
+    }
+}

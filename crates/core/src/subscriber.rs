@@ -1,0 +1,233 @@
+//! The Subscriber (paper §III): holds identity tokens and openings, runs
+//! the receiver side of registration, and decrypts broadcasts with keys
+//! derived from its CSSs — no key ever arrives on a channel.
+
+use crate::error::PbcdError;
+use crate::token::IdentityToken;
+use pbcd_commit::Opening;
+use pbcd_crypto::AuthKey;
+use pbcd_docs::{parse, reassemble, BroadcastContainer, Element};
+use pbcd_gkm::{AcvBgkm, AcvPublicInfo};
+use pbcd_group::CyclicGroup;
+use pbcd_ocbe::{Envelope, OcbeSystem, ProofMessage, ProofSecrets};
+use pbcd_policy::{AttributeCondition, AttributeSet, PolicySet};
+use rand::RngCore;
+use std::collections::BTreeMap;
+
+/// The Subscriber.
+pub struct Subscriber<G: CyclicGroup> {
+    nym: Option<String>,
+    /// The subscriber's private attribute values (never sent anywhere).
+    attributes: AttributeSet,
+    /// id-tag → (token, opening).
+    tokens: BTreeMap<String, (IdentityToken<G>, Opening)>,
+    /// Conditions whose CSS was successfully extracted.
+    css_store: BTreeMap<AttributeCondition, Vec<u8>>,
+    gkm: AcvBgkm,
+}
+
+impl<G: CyclicGroup> Subscriber<G> {
+    /// Creates a subscriber with its private attribute set.
+    pub fn new(attributes: AttributeSet) -> Self {
+        Self {
+            nym: None,
+            attributes,
+            tokens: BTreeMap::new(),
+            css_store: BTreeMap::new(),
+            gkm: AcvBgkm::default(),
+        }
+    }
+
+    /// The subscriber's pseudonym, once a token has been installed.
+    pub fn nym(&self) -> Option<&str> {
+        self.nym.as_deref()
+    }
+
+    /// The private attribute set.
+    pub fn attributes(&self) -> &AttributeSet {
+        &self.attributes
+    }
+
+    /// Installs an identity token received from the IdMgr.
+    pub fn install_token(&mut self, token: IdentityToken<G>, opening: Opening) {
+        match &self.nym {
+            Some(n) => debug_assert_eq!(n, &token.nym, "all tokens share one nym"),
+            None => self.nym = Some(token.nym.clone()),
+        }
+        self.tokens.insert(token.id_tag.clone(), (token, opening));
+    }
+
+    /// Installs a §VI-A decoy token for an attribute this subscriber does
+    /// not actually hold, letting it register for conditions on that
+    /// attribute (hiding which attributes it possesses) without ever being
+    /// able to open the envelopes.
+    pub fn install_decoy_token(
+        &mut self,
+        token: IdentityToken<G>,
+        opening: Opening,
+        decoy_value: u64,
+    ) {
+        self.attributes.set(&token.id_tag.clone(), decoy_value);
+        self.install_token(token, opening);
+    }
+
+    /// The token for an attribute, if any.
+    pub fn token_for(&self, attribute: &str) -> Option<&IdentityToken<G>> {
+        self.tokens.get(attribute).map(|(t, _)| t)
+    }
+
+    /// Number of CSSs successfully extracted so far.
+    pub fn css_count(&self) -> usize {
+        self.css_store.len()
+    }
+
+    /// True iff the CSS for `cond` was extracted.
+    pub fn has_css(&self, cond: &AttributeCondition) -> bool {
+        self.css_store.contains_key(cond)
+    }
+
+    /// Receiver phase 1 of registration for one condition: build the OCBE
+    /// proof message from the matching token.
+    pub fn prepare_registration<R: RngCore + ?Sized>(
+        &self,
+        ocbe: &OcbeSystem<G>,
+        cond: &AttributeCondition,
+        rng: &mut R,
+    ) -> Result<(ProofMessage<G>, ProofSecrets), PbcdError> {
+        let (_, opening) = self
+            .tokens
+            .get(&cond.attribute)
+            .ok_or_else(|| PbcdError::MissingToken(cond.attribute.clone()))?;
+        let x = self
+            .attributes
+            .get(&cond.attribute)
+            .ok_or_else(|| PbcdError::MissingToken(cond.attribute.clone()))?;
+        Ok(ocbe.receiver_prepare(x, opening, &cond.predicate(), rng)?)
+    }
+
+    /// Receiver phase 2: try to open the envelope; store the CSS on
+    /// success. Returns whether the CSS was extracted — information only
+    /// the subscriber ever has.
+    pub fn complete_registration(
+        &mut self,
+        ocbe: &OcbeSystem<G>,
+        cond: &AttributeCondition,
+        envelope: &Envelope<G>,
+        secrets: &ProofSecrets,
+    ) -> bool {
+        let Some((_, opening)) = self.tokens.get(&cond.attribute) else {
+            return false;
+        };
+        match ocbe.receiver_open(envelope, opening, secrets) {
+            Some(css) => {
+                self.css_store.insert(cond.clone(), css);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Directly installs a CSS (test hook for adversarial scenarios).
+    pub fn inject_css(&mut self, cond: &AttributeCondition, css: Vec<u8>) {
+        self.css_store.insert(cond.clone(), css);
+    }
+
+    /// A copy of the stored CSS for `cond` (test hook for collusion
+    /// scenarios — a real subscriber has no reason to export secrets).
+    pub fn css_snapshot(&self, cond: &AttributeCondition) -> Option<Vec<u8>> {
+        self.css_store.get(cond).cloned()
+    }
+
+    /// Updates a private attribute value (e.g. a promotion); the subscriber
+    /// must then obtain a fresh token and re-register to act on it.
+    pub fn update_attribute(&mut self, name: &str, value: u64) {
+        self.attributes.set(name, value);
+    }
+
+    /// The CSS concatenation for an ACP's condition list, if fully held.
+    fn css_concat(&self, conds: &[AttributeCondition]) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
+        for c in conds {
+            out.extend_from_slice(self.css_store.get(c)?);
+        }
+        Some(out)
+    }
+
+    /// Decrypts everything this subscriber can from a broadcast and
+    /// reassembles the document, redacting the rest.
+    ///
+    /// For each encrypted group the subscriber identifies the policy
+    /// configuration from the (public) segment tags, picks an ACP whose
+    /// CSSs it holds, derives the key and decrypts — exactly the paper's
+    /// "Decryption Key Derivation" procedure.
+    pub fn decrypt_broadcast(
+        &self,
+        container: &BroadcastContainer,
+        policies: &PolicySet,
+    ) -> Result<Element, PbcdError> {
+        let skeleton = parse(&container.skeleton_xml)?;
+        let mut recovered: BTreeMap<u32, Element> = BTreeMap::new();
+        for group in &container.groups {
+            if group.key_info.is_empty() || group.segments.is_empty() {
+                continue;
+            }
+            let info =
+                AcvPublicInfo::decode(&group.key_info).ok_or(PbcdError::MalformedKeyInfo)?;
+            let pc = policies.configuration_of(&group.segments[0].tag);
+            // Try each member ACP whose CSSs we hold until one key checks out.
+            for acp_id in pc.acp_ids() {
+                let Some(acp) = policies.get(acp_id) else {
+                    continue;
+                };
+                let Some(css_concat) = self.css_concat(&acp.conditions) else {
+                    continue;
+                };
+                let key_bytes = self.gkm.derive_key(&info, &css_concat);
+                let key = AuthKey::from_master(&key_bytes);
+                let mut ok = true;
+                let mut decrypted = Vec::with_capacity(group.segments.len());
+                for seg in &group.segments {
+                    match key.decrypt(&seg.ciphertext) {
+                        Ok(plain) => {
+                            let xml = String::from_utf8(plain)
+                                .map_err(|_| PbcdError::MalformedKeyInfo)?;
+                            decrypted.push((seg.segment_id, parse(&xml)?));
+                        }
+                        Err(_) => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    recovered.extend(decrypted);
+                    break;
+                }
+            }
+        }
+        Ok(reassemble(&skeleton, &recovered))
+    }
+
+    /// Which segment tags of a broadcast this subscriber could decrypt
+    /// (diagnostic helper for examples and tests).
+    pub fn accessible_tags(
+        &self,
+        container: &BroadcastContainer,
+        policies: &PolicySet,
+    ) -> Vec<String> {
+        let Ok(doc) = self.decrypt_broadcast(container, policies) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for group in &container.groups {
+            for seg in &group.segments {
+                if doc.find(&seg.tag).is_some() {
+                    out.push(seg.tag.clone());
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}

@@ -1,0 +1,71 @@
+//! Identity tokens (paper §V-A): `IT = (nym, id-tag, c, σ)`.
+//!
+//! A token binds a pseudonym and an attribute *name* to a Pedersen
+//! commitment of the attribute *value*, under the Identity Manager's
+//! signature. The value itself never appears.
+
+use crate::error::PbcdError;
+use pbcd_commit::{Commitment, Pedersen};
+use pbcd_group::{CyclicGroup, Signature, VerifyingKey};
+
+/// An identity token.
+pub struct IdentityToken<G: CyclicGroup> {
+    /// The subscriber's pseudonym (`nym`), shared by all its tokens.
+    pub nym: String,
+    /// The attribute name this token certifies (`id-tag`).
+    pub id_tag: String,
+    /// Pedersen commitment to the attribute value.
+    pub commitment: Commitment<G>,
+    /// IdMgr signature over `(nym, id-tag, commitment)`.
+    pub signature: Signature,
+}
+
+impl<G: CyclicGroup> Clone for IdentityToken<G> {
+    fn clone(&self) -> Self {
+        Self {
+            nym: self.nym.clone(),
+            id_tag: self.id_tag.clone(),
+            commitment: self.commitment.clone(),
+            signature: self.signature.clone(),
+        }
+    }
+}
+
+impl<G: CyclicGroup> core::fmt::Debug for IdentityToken<G> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "IdentityToken(nym={}, tag={})", self.nym, self.id_tag)
+    }
+}
+
+/// Canonical byte string the IdMgr signs.
+pub fn token_signing_payload<G: CyclicGroup>(
+    ped: &Pedersen<G>,
+    nym: &str,
+    id_tag: &str,
+    commitment: &Commitment<G>,
+) -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(b"pbcd-identity-token-v1\0");
+    payload.extend_from_slice(&(nym.len() as u32).to_be_bytes());
+    payload.extend_from_slice(nym.as_bytes());
+    payload.extend_from_slice(&(id_tag.len() as u32).to_be_bytes());
+    payload.extend_from_slice(id_tag.as_bytes());
+    payload.extend_from_slice(&ped.serialize(commitment));
+    payload
+}
+
+impl<G: CyclicGroup> IdentityToken<G> {
+    /// Verifies the IdMgr signature.
+    pub fn verify(
+        &self,
+        ped: &Pedersen<G>,
+        idmgr_key: &VerifyingKey<G>,
+    ) -> Result<(), PbcdError> {
+        let payload = token_signing_payload(ped, &self.nym, &self.id_tag, &self.commitment);
+        if idmgr_key.verify(ped.group(), &payload, &self.signature) {
+            Ok(())
+        } else {
+            Err(PbcdError::BadTokenSignature)
+        }
+    }
+}

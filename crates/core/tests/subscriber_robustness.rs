@@ -1,0 +1,113 @@
+//! Subscriber-side robustness: malformed broadcasts must fail closed
+//! (errors or redactions), never panic or leak.
+
+use pbcd_core::SystemHarness;
+use pbcd_docs::{BroadcastContainer, Element};
+use pbcd_policy::{AccessControlPolicy, AttributeCondition, AttributeSet, PolicySet};
+
+fn policies() -> PolicySet {
+    let mut set = PolicySet::new();
+    set.add(AccessControlPolicy::new(
+        vec![AttributeCondition::eq_str("role", "doctor")],
+        &["Secret"],
+        "doc.xml",
+    ));
+    set
+}
+
+fn doc() -> Element {
+    Element::new("root").child(Element::new("Secret").text("content"))
+}
+
+#[test]
+fn malformed_key_info_is_an_error_not_a_panic() {
+    let mut sys = SystemHarness::new_p256(policies(), 0x0B1);
+    let doctor = sys.subscribe("dora", AttributeSet::new().with_str("role", "doctor"));
+    let mut bc = sys.publisher.broadcast(&doc(), "doc.xml", &mut sys.rng);
+    for g in &mut bc.groups {
+        if !g.key_info.is_empty() {
+            g.key_info = vec![0xff; 7]; // garbage
+        }
+    }
+    let err = doctor
+        .decrypt_broadcast(&bc, sys.publisher.policies())
+        .unwrap_err();
+    assert_eq!(err, pbcd_core::PbcdError::MalformedKeyInfo);
+}
+
+#[test]
+fn broken_skeleton_is_an_error() {
+    let mut sys = SystemHarness::new_p256(policies(), 0x0B2);
+    let doctor = sys.subscribe("dora", AttributeSet::new().with_str("role", "doctor"));
+    let mut bc = sys.publisher.broadcast(&doc(), "doc.xml", &mut sys.rng);
+    bc.skeleton_xml = "<unclosed".into();
+    assert!(matches!(
+        doctor
+            .decrypt_broadcast(&bc, sys.publisher.policies())
+            .unwrap_err(),
+        pbcd_core::PbcdError::Xml(_)
+    ));
+}
+
+#[test]
+fn swapped_segment_ciphertexts_fail_closed() {
+    // Moving a ciphertext between groups means it decrypts under the wrong
+    // key → MAC failure → redaction, not garbage output.
+    let mut sys = SystemHarness::new_p256(policies(), 0x0B3);
+    let doctor = sys.subscribe("dora", AttributeSet::new().with_str("role", "doctor"));
+    let bc = sys.publisher.broadcast(&doc(), "doc.xml", &mut sys.rng);
+    let mut tampered = bc.clone();
+    // Replace every ciphertext with one from another segment if possible,
+    // or corrupt in place.
+    let all: Vec<Vec<u8>> = tampered
+        .groups
+        .iter()
+        .flat_map(|g| g.segments.iter().map(|s| s.ciphertext.clone()))
+        .collect();
+    if all.len() >= 2 {
+        let mut i = 0;
+        for g in &mut tampered.groups {
+            for s in &mut g.segments {
+                s.ciphertext = all[(i + 1) % all.len()].clone();
+                i += 1;
+            }
+        }
+    } else {
+        for g in &mut tampered.groups {
+            for s in &mut g.segments {
+                s.ciphertext.reverse();
+            }
+        }
+    }
+    let view = doctor
+        .decrypt_broadcast(&tampered, sys.publisher.policies())
+        .unwrap();
+    assert!(view.find("Secret").is_none(), "tampered segment redacted");
+}
+
+#[test]
+fn decode_reject_does_not_affect_subsequent_broadcasts() {
+    let mut sys = SystemHarness::new_p256(policies(), 0x0B4);
+    let doctor = sys.subscribe("dora", AttributeSet::new().with_str("role", "doctor"));
+    // Garbage container from the network.
+    assert!(BroadcastContainer::decode(b"not a container").is_err());
+    // The next well-formed broadcast works as usual.
+    let bc = sys.publisher.broadcast(&doc(), "doc.xml", &mut sys.rng);
+    let view = doctor
+        .decrypt_broadcast(&bc, sys.publisher.policies())
+        .unwrap();
+    assert!(view.find("Secret").is_some());
+}
+
+#[test]
+fn empty_document_broadcasts_cleanly() {
+    let mut sys = SystemHarness::new_p256(policies(), 0x0B5);
+    let doctor = sys.subscribe("dora", AttributeSet::new().with_str("role", "doctor"));
+    // A document with no policy-relevant tags at all.
+    let plain = Element::new("root").child(Element::new("Public").text("hello"));
+    let bc = sys.publisher.broadcast(&plain, "doc.xml", &mut sys.rng);
+    let view = doctor
+        .decrypt_broadcast(&bc, sys.publisher.policies())
+        .unwrap();
+    assert!(view.find("Public").is_some(), "non-segmented content is plaintext");
+}

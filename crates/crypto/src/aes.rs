@@ -1,0 +1,330 @@
+//! AES-128/192/256 block cipher (FIPS 197), implemented from scratch.
+//!
+//! The paper requires "a semantically secure symmetric-key encryption
+//! algorithm E, for example, AES". This module provides the block primitive;
+//! [`crate::ctr`] builds the stream mode used by the envelopes and document
+//! containers.
+
+/// Forward S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// Inverse S-box (for block decryption).
+const INV_SBOX: [u8; 256] = {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[SBOX[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+};
+
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+#[inline]
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+#[inline]
+fn gmul(a: u8, mut b: u8) -> u8 {
+    let mut a = a;
+    let mut acc = 0u8;
+    while b != 0 {
+        if b & 1 == 1 {
+            acc ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    acc
+}
+
+/// AES key sizes supported by [`Aes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AesKeySize {
+    /// 128-bit key, 10 rounds.
+    Aes128,
+    /// 192-bit key, 12 rounds.
+    Aes192,
+    /// 256-bit key, 14 rounds.
+    Aes256,
+}
+
+impl AesKeySize {
+    fn nk(self) -> usize {
+        match self {
+            Self::Aes128 => 4,
+            Self::Aes192 => 6,
+            Self::Aes256 => 8,
+        }
+    }
+
+    fn rounds(self) -> usize {
+        match self {
+            Self::Aes128 => 10,
+            Self::Aes192 => 12,
+            Self::Aes256 => 14,
+        }
+    }
+
+    /// Key length in bytes.
+    pub fn key_len(self) -> usize {
+        self.nk() * 4
+    }
+}
+
+/// An AES instance with an expanded key schedule.
+#[derive(Clone)]
+pub struct Aes {
+    round_keys: Vec<[u8; 16]>,
+    rounds: usize,
+}
+
+impl Aes {
+    /// Expands `key` into a cipher instance. Panics if the key length is not
+    /// 16, 24 or 32 bytes.
+    pub fn new(key: &[u8]) -> Self {
+        let size = match key.len() {
+            16 => AesKeySize::Aes128,
+            24 => AesKeySize::Aes192,
+            32 => AesKeySize::Aes256,
+            n => panic!("invalid AES key length {n}"),
+        };
+        let nk = size.nk();
+        let rounds = size.rounds();
+        let nwords = 4 * (rounds + 1);
+        let mut w = vec![[0u8; 4]; nwords];
+        for (i, word) in w.iter_mut().take(nk).enumerate() {
+            word.copy_from_slice(&key[4 * i..4 * i + 4]);
+        }
+        for i in nk..nwords {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= RCON[i / nk - 1];
+            } else if nk > 6 && i % nk == 4 {
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - nk][j] ^ temp[j];
+            }
+        }
+        let round_keys = w
+            .chunks_exact(4)
+            .map(|c| {
+                let mut rk = [0u8; 16];
+                for (i, word) in c.iter().enumerate() {
+                    rk[4 * i..4 * i + 4].copy_from_slice(word);
+                }
+                rk
+            })
+            .collect();
+        Self { round_keys, rounds }
+    }
+
+    /// Encrypts a single 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        add_round_key(block, &self.round_keys[0]);
+        for round in 1..self.rounds {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[round]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[self.rounds]);
+    }
+
+    /// Decrypts a single 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        add_round_key(block, &self.round_keys[self.rounds]);
+        inv_shift_rows(block);
+        inv_sub_bytes(block);
+        for round in (1..self.rounds).rev() {
+            add_round_key(block, &self.round_keys[round]);
+            inv_mix_columns(block);
+            inv_shift_rows(block);
+            inv_sub_bytes(block);
+        }
+        add_round_key(block, &self.round_keys[0]);
+    }
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk) {
+        *s ^= k;
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn inv_sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = INV_SBOX[*b as usize];
+    }
+}
+
+// State is column-major: state[4*c + r] is row r, column c.
+fn shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * ((c + r) % 4) + r] = s[4 * c + r];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+        state[4 * c + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
+        state[4 * c + 1] = gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
+        state[4 * c + 2] = gmul(col[0], 0x0d) ^ gmul(col[1], 0x09) ^ gmul(col[2], 0x0e) ^ gmul(col[3], 0x0b);
+        state[4 * c + 3] = gmul(col[0], 0x0b) ^ gmul(col[1], 0x0d) ^ gmul(col[2], 0x09) ^ gmul(col[3], 0x0e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn fips197_aes128() {
+        let aes = Aes::new(&from_hex("000102030405060708090a0b0c0d0e0f"));
+        let mut block: [u8; 16] = from_hex("00112233445566778899aabbccddeeff")
+            .try_into()
+            .unwrap();
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), from_hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), from_hex("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn fips197_aes192() {
+        let aes = Aes::new(&from_hex("000102030405060708090a0b0c0d0e0f1011121314151617"));
+        let mut block: [u8; 16] = from_hex("00112233445566778899aabbccddeeff")
+            .try_into()
+            .unwrap();
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), from_hex("dda97ca4864cdfe06eaf70a0ec0d7191"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), from_hex("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn fips197_aes256() {
+        let aes = Aes::new(&from_hex(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        ));
+        let mut block: [u8; 16] = from_hex("00112233445566778899aabbccddeeff")
+            .try_into()
+            .unwrap();
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), from_hex("8ea2b7ca516745bfeafc49904b496089"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), from_hex("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn nist_sp800_38a_ecb_aes128() {
+        // SP 800-38A F.1.1 first block.
+        let aes = Aes::new(&from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+        let mut block: [u8; 16] = from_hex("6bc1bee22e409f96e93d7e117393172a")
+            .try_into()
+            .unwrap();
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), from_hex("3ad77bb40d7a3660a89ecaf32466ef97"));
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_random() {
+        use rand::{RngCore, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for key_len in [16usize, 24, 32] {
+            let mut key = vec![0u8; key_len];
+            rng.fill_bytes(&mut key);
+            let aes = Aes::new(&key);
+            for _ in 0..50 {
+                let mut block = [0u8; 16];
+                rng.fill_bytes(&mut block);
+                let orig = block;
+                aes.encrypt_block(&mut block);
+                assert_ne!(block, orig);
+                aes.decrypt_block(&mut block);
+                assert_eq!(block, orig);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid AES key length")]
+    fn bad_key_length_panics() {
+        Aes::new(&[0u8; 17]);
+    }
+
+    #[test]
+    fn gf_multiplication() {
+        // Known GF(2^8) products.
+        assert_eq!(gmul(0x57, 0x83), 0xc1);
+        assert_eq!(gmul(0x57, 0x13), 0xfe);
+        assert_eq!(xtime(0x57), 0xae);
+        assert_eq!(xtime(0xae), 0x47);
+    }
+}

@@ -1,0 +1,42 @@
+//! Constant-time byte comparison.
+
+/// Compares two byte slices without early exit on mismatch.
+///
+/// Returns `false` immediately only for length mismatch (lengths are public
+/// in every protocol message this workspace produces).
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ct_eq;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(ct_eq(&[0u8; 64], &[0u8; 64]));
+    }
+
+    #[test]
+    fn unequal_slices() {
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(!ct_eq(b"", b"x"));
+        // Differences at every position are caught.
+        let base = [0u8; 32];
+        for i in 0..32 {
+            let mut other = base;
+            other[i] = 1;
+            assert!(!ct_eq(&base, &other));
+        }
+    }
+}

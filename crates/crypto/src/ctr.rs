@@ -1,0 +1,93 @@
+//! AES counter (CTR) mode.
+//!
+//! The counter block is `nonce (12 bytes) ‖ big-endian u32 counter`, the
+//! layout used by standard AES-CTR/GCM constructions. Encryption and
+//! decryption are the same keystream XOR.
+
+use crate::aes::Aes;
+
+/// Nonce length in bytes.
+pub const NONCE_LEN: usize = 12;
+
+/// XORs `data` in place with the AES-CTR keystream for `(key, nonce)`.
+///
+/// Processing the same data twice with the same parameters restores it, so
+/// this single function both encrypts and decrypts.
+pub fn ctr_xor(aes: &Aes, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+    let mut counter_block = [0u8; 16];
+    counter_block[..NONCE_LEN].copy_from_slice(nonce);
+    let mut counter: u32 = 1; // block 0 reserved (GCM convention)
+    for chunk in data.chunks_mut(16) {
+        counter_block[12..].copy_from_slice(&counter.to_be_bytes());
+        let mut keystream = counter_block;
+        aes.encrypt_block(&mut keystream);
+        for (d, k) in chunk.iter_mut().zip(keystream.iter()) {
+            *d ^= k;
+        }
+        counter = counter
+            .checked_add(1)
+            .expect("CTR counter exhausted (message too long)");
+    }
+}
+
+/// Convenience: CTR-encrypts a copy of `data`.
+pub fn ctr_encrypt(key: &[u8], nonce: &[u8; NONCE_LEN], data: &[u8]) -> Vec<u8> {
+    let aes = Aes::new(key);
+    let mut out = data.to_vec();
+    ctr_xor(&aes, nonce, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngCore, SeedableRng};
+
+    #[test]
+    fn roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut key = [0u8; 32];
+        rng.fill_bytes(&mut key);
+        let mut nonce = [0u8; NONCE_LEN];
+        rng.fill_bytes(&mut nonce);
+        for len in [0usize, 1, 15, 16, 17, 100, 4096] {
+            let mut data = vec![0u8; len];
+            rng.fill_bytes(&mut data);
+            let ct = ctr_encrypt(&key, &nonce, &data);
+            assert_eq!(ct.len(), len);
+            if len > 0 {
+                assert_ne!(ct, data);
+            }
+            let pt = ctr_encrypt(&key, &nonce, &ct);
+            assert_eq!(pt, data);
+        }
+    }
+
+    #[test]
+    fn different_nonces_differ() {
+        let key = [7u8; 32];
+        let data = vec![0u8; 64];
+        let c1 = ctr_encrypt(&key, &[1; NONCE_LEN], &data);
+        let c2 = ctr_encrypt(&key, &[2; NONCE_LEN], &data);
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn keystream_blocks_are_distinct() {
+        // Identical plaintext blocks must encrypt differently (stream mode).
+        let key = [9u8; 16];
+        let data = vec![0xaau8; 48];
+        let ct = ctr_encrypt(&key, &[0; NONCE_LEN], &data);
+        assert_ne!(ct[0..16], ct[16..32]);
+        assert_ne!(ct[16..32], ct[32..48]);
+    }
+
+    #[test]
+    fn partial_final_block() {
+        let key = [1u8; 16];
+        let nonce = [2u8; NONCE_LEN];
+        let full = ctr_encrypt(&key, &nonce, &[0u8; 32]);
+        let part = ctr_encrypt(&key, &nonce, &[0u8; 20]);
+        assert_eq!(&full[..20], &part[..]);
+    }
+}

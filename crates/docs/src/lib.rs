@@ -1,0 +1,26 @@
+//! # pbcd-docs
+//!
+//! Document modelling for the PBCD workspace:
+//!
+//! * [`xml`] — an XML-lite parser/serializer (the paper disseminates XML
+//!   documents; Example 4's EHR.xml),
+//! * [`segment`] — policy-driven segmentation into subdocuments, plus
+//!   subscriber-side reassembly with redaction,
+//! * [`container`] — the broadcast wire format: skeleton + per-policy-
+//!   configuration encrypted segments + opaque GKM key material,
+//! * [`wire`] — strict length-prefixed binary encoding helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod container;
+pub mod segment;
+pub mod wire;
+pub mod xml;
+
+pub use container::{BroadcastContainer, EncryptedGroup, EncryptedSegment};
+pub use segment::{
+    ehr_document, reassemble, segment, Segment, SegmentedDocument, PLACEHOLDER_TAG, REDACTED_TAG,
+};
+pub use wire::WireError;
+pub use xml::{parse, Element, Node, XmlError};

@@ -1,0 +1,251 @@
+//! Document segmentation (paper §V-C): splitting a document into
+//! subdocuments along policy boundaries, and reassembling what a subscriber
+//! could decrypt.
+//!
+//! Segmentation replaces each policy-relevant element with a
+//! `<pbcd-segment id="…"/>` placeholder in the *skeleton*; the extracted
+//! elements become numbered segments that the publisher encrypts per policy
+//! configuration. Reassembly substitutes decrypted segments back and marks
+//! inaccessible ones `<pbcd-redacted/>`.
+
+use crate::xml::{Element, Node};
+use std::collections::BTreeMap;
+
+/// Placeholder tag used in skeletons.
+pub const PLACEHOLDER_TAG: &str = "pbcd-segment";
+/// Tag substituted for segments the subscriber could not decrypt.
+pub const REDACTED_TAG: &str = "pbcd-redacted";
+
+/// An extracted subdocument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Stable id referenced by the skeleton placeholder.
+    pub id: u32,
+    /// The original tag name (the policy object name).
+    pub tag: String,
+    /// The extracted element.
+    pub content: Element,
+}
+
+/// A segmented document: skeleton plus extracted segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentedDocument {
+    /// Document name (the `D` of the paper's `(s, o, D)` policies).
+    pub name: String,
+    /// The document with segments replaced by placeholders.
+    pub skeleton: Element,
+    /// Extracted segments in document order.
+    pub segments: Vec<Segment>,
+}
+
+/// Splits `doc` along the given subdocument tag names (outermost match
+/// wins; nested matches inside an extracted segment stay embedded in it,
+/// mirroring the paper's Example 4 where `acp₃` covers the whole
+/// `ClinicalRecord` subtree).
+pub fn segment(doc: &Element, doc_name: &str, subdoc_tags: &[&str]) -> SegmentedDocument {
+    let mut segments = Vec::new();
+    let skeleton = walk(doc, subdoc_tags, &mut segments);
+    SegmentedDocument {
+        name: doc_name.to_string(),
+        skeleton,
+        segments,
+    }
+}
+
+fn walk(el: &Element, tags: &[&str], out: &mut Vec<Segment>) -> Element {
+    let mut clone = Element::new(&el.name);
+    clone.attributes = el.attributes.clone();
+    for child in &el.children {
+        match child {
+            Node::Text(t) => clone.children.push(Node::Text(t.clone())),
+            Node::Element(e) => {
+                if tags.contains(&e.name.as_str()) {
+                    let id = out.len() as u32;
+                    out.push(Segment {
+                        id,
+                        tag: e.name.clone(),
+                        content: e.clone(),
+                    });
+                    clone.children.push(Node::Element(
+                        Element::new(PLACEHOLDER_TAG).attr("id", &id.to_string()),
+                    ));
+                } else {
+                    clone.children.push(Node::Element(walk(e, tags, out)));
+                }
+            }
+        }
+    }
+    clone
+}
+
+/// Reassembles a skeleton with the segments a subscriber managed to
+/// decrypt; missing segments become `<pbcd-redacted/>`.
+pub fn reassemble(skeleton: &Element, decrypted: &BTreeMap<u32, Element>) -> Element {
+    let mut clone = Element::new(&skeleton.name);
+    clone.attributes = skeleton.attributes.clone();
+    for child in &skeleton.children {
+        match child {
+            Node::Text(t) => clone.children.push(Node::Text(t.clone())),
+            Node::Element(e) if e.name == PLACEHOLDER_TAG => {
+                let id: Option<u32> = e.get_attr("id").and_then(|s| s.parse().ok());
+                match id.and_then(|i| decrypted.get(&i)) {
+                    Some(content) => clone.children.push(Node::Element(content.clone())),
+                    None => clone
+                        .children
+                        .push(Node::Element(Element::new(REDACTED_TAG))),
+                }
+            }
+            Node::Element(e) => clone
+                .children
+                .push(Node::Element(reassemble(e, decrypted))),
+        }
+    }
+    clone
+}
+
+/// Generates an EHR.xml document with the exact structure of the paper's
+/// Example 4, filled with synthetic content for `patient`.
+pub fn ehr_document(patient: &str) -> Element {
+    Element::new("PatientRecord")
+        .child(
+            Element::new("ContactInfo")
+                .child(Element::new("Name").text(patient))
+                .child(Element::new("Phone").text("765-555-0100"))
+                .child(Element::new("Address").text("101 Hospital Way, West Lafayette, IN")),
+        )
+        .child(
+            Element::new("BillingInfo")
+                .child(Element::new("Insurer").text("Acme Health"))
+                .child(Element::new("AccountNo").text("4417-3392")),
+        )
+        .child(
+            Element::new("ClinicalRecord")
+                .child(
+                    Element::new("HistoryOfPresentIllness")
+                        .text("Patient reports intermittent chest pain for two weeks."),
+                )
+                .child(
+                    Element::new("PastMedicalHistory")
+                        .text("Hypertension diagnosed 2004; appendectomy 1998."),
+                )
+                .child(
+                    Element::new("Medication")
+                        .child(Element::new("Prescription").text("Lisinopril 10mg daily"))
+                        .child(Element::new("Prescription").text("Aspirin 81mg daily")),
+                )
+                .child(
+                    Element::new("AlergiesAndAdverseReactions").text("Penicillin: rash."),
+                )
+                .child(Element::new("FamilyHistory").text("Father: CAD; Mother: T2DM."))
+                .child(Element::new("SocialHistory").text("Non-smoker; occasional alcohol."))
+                .child(
+                    Element::new("PhysicalExams")
+                        .child(Element::new("Weight").text("82kg"))
+                        .child(Element::new("Temperature").text("36.8C"))
+                        .child(Element::new("SkinTest").text("negative")),
+                )
+                .child(
+                    Element::new("LabRecords")
+                        .child(Element::new("XRay").text("chest x-ray: no acute findings"))
+                        .child(Element::new("Bloodwork").text("LDL 131 mg/dL")),
+                )
+                .child(Element::new("Plan").text("Stress test; follow-up in 2 weeks.")),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EHR_TAGS: [&str; 6] = [
+        "ContactInfo",
+        "BillingInfo",
+        "Medication",
+        "PhysicalExams",
+        "LabRecords",
+        "Plan",
+    ];
+
+    #[test]
+    fn segmentation_extracts_expected_tags() {
+        let doc = ehr_document("Jane Doe");
+        let seg = segment(&doc, "EHR.xml", &EHR_TAGS);
+        assert_eq!(seg.segments.len(), 6);
+        let tags: Vec<&str> = seg.segments.iter().map(|s| s.tag.as_str()).collect();
+        assert_eq!(
+            tags,
+            vec!["ContactInfo", "BillingInfo", "Medication", "PhysicalExams", "LabRecords", "Plan"]
+        );
+        // Skeleton has placeholders where segments were.
+        let xml = seg.skeleton.to_xml();
+        assert!(xml.contains(PLACEHOLDER_TAG));
+        assert!(!xml.contains("Lisinopril"), "extracted content must leave skeleton");
+        // Non-segmented siblings remain.
+        assert!(xml.contains("SocialHistory"));
+    }
+
+    #[test]
+    fn full_reassembly_is_lossless() {
+        let doc = ehr_document("Jane Doe");
+        let seg = segment(&doc, "EHR.xml", &EHR_TAGS);
+        let all: BTreeMap<u32, Element> = seg
+            .segments
+            .iter()
+            .map(|s| (s.id, s.content.clone()))
+            .collect();
+        assert_eq!(reassemble(&seg.skeleton, &all), doc);
+    }
+
+    #[test]
+    fn partial_reassembly_redacts_missing() {
+        let doc = ehr_document("Jane Doe");
+        let seg = segment(&doc, "EHR.xml", &EHR_TAGS);
+        // Only ContactInfo decrypted (a receptionist's view).
+        let only_contact: BTreeMap<u32, Element> = seg
+            .segments
+            .iter()
+            .filter(|s| s.tag == "ContactInfo")
+            .map(|s| (s.id, s.content.clone()))
+            .collect();
+        let view = reassemble(&seg.skeleton, &only_contact);
+        let xml = view.to_xml();
+        assert!(xml.contains("Jane Doe"));
+        assert!(!xml.contains("Lisinopril"));
+        assert!(xml.contains(REDACTED_TAG));
+    }
+
+    #[test]
+    fn outermost_match_wins_for_nested_tags() {
+        // ClinicalRecord contains Medication; extracting ClinicalRecord
+        // keeps Medication embedded (the acp₃ "whole record" case).
+        let doc = ehr_document("X");
+        let seg = segment(&doc, "EHR.xml", &["ClinicalRecord", "Medication"]);
+        assert_eq!(seg.segments.len(), 1);
+        assert_eq!(seg.segments[0].tag, "ClinicalRecord");
+        assert!(seg.segments[0].content.find("Medication").is_some());
+    }
+
+    #[test]
+    fn empty_tag_list_extracts_nothing() {
+        let doc = ehr_document("X");
+        let seg = segment(&doc, "EHR.xml", &[]);
+        assert!(seg.segments.is_empty());
+        assert_eq!(seg.skeleton, doc);
+    }
+
+    #[test]
+    fn repeated_tags_each_become_segments() {
+        let doc = Element::new("r")
+            .child(Element::new("s").text("one"))
+            .child(Element::new("s").text("two"));
+        let seg = segment(&doc, "d", &["s"]);
+        assert_eq!(seg.segments.len(), 2);
+        assert_ne!(seg.segments[0].id, seg.segments[1].id);
+        let all: BTreeMap<u32, Element> = seg
+            .segments
+            .iter()
+            .map(|s| (s.id, s.content.clone()))
+            .collect();
+        assert_eq!(reassemble(&seg.skeleton, &all), doc);
+    }
+}

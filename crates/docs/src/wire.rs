@@ -1,0 +1,145 @@
+//! Length-prefixed binary encoding helpers over the `bytes` crate.
+//!
+//! All multi-byte integers are big-endian; variable-length fields carry a
+//! `u32` length prefix. Decoding is strict: truncated or oversized inputs
+//! yield [`WireError`] instead of panicking.
+
+use bytes::{Buf, BufMut};
+
+/// Maximum length accepted for a single variable-length field (16 MiB) —
+/// a sanity bound against corrupt length prefixes.
+pub const MAX_FIELD_LEN: usize = 16 * 1024 * 1024;
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the announced field length.
+    Truncated,
+    /// A length prefix exceeded [`MAX_FIELD_LEN`].
+    FieldTooLong(usize),
+    /// A string field was not valid UTF-8.
+    InvalidUtf8,
+    /// Unexpected magic bytes or version.
+    BadHeader,
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "input truncated"),
+            Self::FieldTooLong(n) => write!(f, "field length {n} exceeds limit"),
+            Self::InvalidUtf8 => write!(f, "invalid UTF-8 in string field"),
+            Self::BadHeader => write!(f, "bad magic or version"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Appends a length-prefixed byte field.
+pub fn put_bytes(buf: &mut impl BufMut, data: &[u8]) {
+    assert!(data.len() <= MAX_FIELD_LEN, "field too long to encode");
+    buf.put_u32(data.len() as u32);
+    buf.put_slice(data);
+}
+
+/// Reads a length-prefixed byte field.
+pub fn get_bytes(buf: &mut impl Buf) -> Result<Vec<u8>, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let len = buf.get_u32() as usize;
+    if len > MAX_FIELD_LEN {
+        return Err(WireError::FieldTooLong(len));
+    }
+    if buf.remaining() < len {
+        return Err(WireError::Truncated);
+    }
+    let mut out = vec![0u8; len];
+    buf.copy_to_slice(&mut out);
+    Ok(out)
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut impl BufMut, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+/// Reads a length-prefixed UTF-8 string.
+pub fn get_str(buf: &mut impl Buf) -> Result<String, WireError> {
+    String::from_utf8(get_bytes(buf)?).map_err(|_| WireError::InvalidUtf8)
+}
+
+/// Reads a `u32`, checking availability.
+pub fn get_u32(buf: &mut impl Buf) -> Result<u32, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u32())
+}
+
+/// Reads a `u64`, checking availability.
+pub fn get_u64(buf: &mut impl Buf) -> Result<u64, WireError> {
+    if buf.remaining() < 8 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn roundtrip_fields() {
+        let mut buf = BytesMut::new();
+        put_bytes(&mut buf, b"hello");
+        put_str(&mut buf, "world");
+        buf.put_u32(42);
+        buf.put_u64(7);
+        let mut r = buf.freeze();
+        assert_eq!(get_bytes(&mut r).unwrap(), b"hello");
+        assert_eq!(get_str(&mut r).unwrap(), "world");
+        assert_eq!(get_u32(&mut r).unwrap(), 42);
+        assert_eq!(get_u64(&mut r).unwrap(), 7);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut buf = BytesMut::new();
+        put_bytes(&mut buf, b"hello");
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut partial = full.slice(..cut);
+            assert_eq!(get_bytes(&mut partial), Err(WireError::Truncated), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(u32::MAX);
+        let mut r = buf.freeze();
+        assert!(matches!(get_bytes(&mut r), Err(WireError::FieldTooLong(_))));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = BytesMut::new();
+        put_bytes(&mut buf, &[0xff, 0xfe]);
+        let mut r = buf.freeze();
+        assert_eq!(get_str(&mut r), Err(WireError::InvalidUtf8));
+    }
+
+    #[test]
+    fn empty_fields() {
+        let mut buf = BytesMut::new();
+        put_bytes(&mut buf, b"");
+        put_str(&mut buf, "");
+        let mut r = buf.freeze();
+        assert_eq!(get_bytes(&mut r).unwrap(), Vec::<u8>::new());
+        assert_eq!(get_str(&mut r).unwrap(), "");
+    }
+}

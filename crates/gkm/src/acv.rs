@@ -1,0 +1,680 @@
+//! ACV-BGKM — the paper's core contribution (§V-C): broadcast group key
+//! management with **access control vectors**.
+//!
+//! For one policy configuration `Pc = {acp₁ … acp_α}` the publisher:
+//!
+//! 1. collects, for every `acp_k` and every subscriber `nym` whose CSS
+//!    records cover all of `acp_k`'s conditions, the concatenation
+//!    `r_{i,1}‖…‖r_{i,m_k}` (an [`AccessRow`]),
+//! 2. picks `N ≥ Σ_k #U_k` and `N` random τ-bit nonces `z₁…z_N` with
+//!    `τ·N > 160`,
+//! 3. forms the `n×(N+1)` matrix `A` with rows `[1, a_{i,1}, …, a_{i,N}]`,
+//!    `a_{i,j} = H(r_{i,1}‖…‖r_{i,m_k}‖z_j)` reduced into `F_q`,
+//! 4. solves `A·Y = 0` for a random null-space vector `Y` (the ACV),
+//! 5. publishes `X = (K,0,…,0)ᵀ + Y` and `z₁…z_N` next to the content
+//!    encrypted under the random key `K`.
+//!
+//! A qualified subscriber rebuilds its matrix row `ν = (1, a₁, …, a_N)`
+//! (a *key extraction vector*) from its CSSs and the public nonces and
+//! recovers `K = ν·X`. Rekeying is just re-running the procedure — no
+//! message to any subscriber.
+
+use pbcd_crypto::sha256;
+use pbcd_math::{Fp, FpCtx, Matrix, Uint, U128};
+use rand::RngCore;
+use std::sync::Arc;
+
+/// One matrix row's secret material: a subscriber×policy pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessRow {
+    /// The subscriber pseudonym (unused by ACV-BGKM itself; baselines that
+    /// address subscribers individually need it).
+    pub nym: String,
+    /// `r_{i,1} ‖ … ‖ r_{i,m_k}` — the CSSs for the policy's conditions.
+    pub css_concat: Vec<u8>,
+}
+
+/// The broadcast public values for one policy configuration: `X` and the
+/// nonces `z₁…z_N`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcvPublicInfo {
+    /// `X = (K,0,…,0)ᵀ + Y`, canonical field elements (length `N + 1`).
+    pub x: Vec<U128>,
+    /// The nonces `z₁…z_N`, each `tau_bytes` long.
+    pub zs: Vec<Vec<u8>>,
+}
+
+/// A subscriber-side cache of key-extraction vectors, keyed by
+/// `H(css ‖ z₁ ‖ … ‖ z_N)` — see [`AcvBgkm::derive_key_cached`].
+#[derive(Default)]
+pub struct KevCache {
+    entries: std::collections::HashMap<[u8; 32], Vec<Fp<2>>>,
+}
+
+impl KevCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached vectors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The ACV-BGKM scheme, parameterized by the GKM field `F_q` and the nonce
+/// width τ.
+#[derive(Clone)]
+pub struct AcvBgkm {
+    field: Arc<FpCtx<2>>,
+    tau_bytes: usize,
+    extra_slots: usize,
+}
+
+impl Default for AcvBgkm {
+    fn default() -> Self {
+        Self::new(FpCtx::new(pbcd_math::gkm_q80()), 2, 0)
+    }
+}
+
+impl AcvBgkm {
+    /// Creates the scheme over `field` with `tau_bytes`-byte nonces and
+    /// `extra_slots` spare columns (`N = #rows + extra_slots`).
+    ///
+    /// The effective τ per rekey is raised automatically when `τ·N ≤ 160`
+    /// (the paper's distinct-session-sequence requirement).
+    pub fn new(field: Arc<FpCtx<2>>, tau_bytes: usize, extra_slots: usize) -> Self {
+        assert!((1..=64).contains(&tau_bytes), "τ out of range");
+        Self {
+            field,
+            tau_bytes,
+            extra_slots,
+        }
+    }
+
+    /// The GKM field.
+    pub fn field(&self) -> &Arc<FpCtx<2>> {
+        &self.field
+    }
+
+    /// Canonical byte length of field elements (⌈bits(q)/8⌉) — also the
+    /// length of derived keys.
+    pub fn key_len(&self) -> usize {
+        (self.field.modulus_bits() as usize).div_ceil(8)
+    }
+
+    /// Effective nonce width for a given `N`.
+    fn effective_tau(&self, n: usize) -> usize {
+        let min_total_bits = 161usize;
+        let needed = min_total_bits.div_ceil(8 * n.max(1));
+        self.tau_bytes.max(needed)
+    }
+
+    /// Publisher: generates a fresh key `K` and the public info for the
+    /// given access rows (one rekey of one policy configuration).
+    pub fn rekey<R: RngCore + ?Sized>(
+        &self,
+        rows: &[AccessRow],
+        rng: &mut R,
+    ) -> (Vec<u8>, AcvPublicInfo) {
+        let mut out = self.rekey_batch(rows, 1, rng);
+        out.pop().expect("batch of one")
+    }
+
+    /// Publisher: the paper's §VIII-D batching advantage — one matrix and
+    /// one null-space computation amortized over `count` documents that
+    /// share a policy configuration (and hence the same `z` values), each
+    /// getting an independent key and an independent ACV.
+    pub fn rekey_batch<R: RngCore + ?Sized>(
+        &self,
+        rows: &[AccessRow],
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<(Vec<u8>, AcvPublicInfo)> {
+        assert!(count >= 1, "need at least one key");
+        let zs = self.fresh_nonces(rows.len(), rng);
+        let a = self.build_matrix(rows, &zs);
+        (0..count)
+            .map(|_| {
+                let key = self.field.random_nonzero(rng);
+                let info = self.acv_for(&a, rows.is_empty(), &key, &zs, rng);
+                (self.encode_key(&key), info)
+            })
+            .collect()
+    }
+
+    /// Publisher: rekeys with a caller-chosen key — the sharded variant
+    /// (§VIII-C) uses this to put one uniform key behind several ACVs.
+    pub fn rekey_with_key<R: RngCore + ?Sized>(
+        &self,
+        rows: &[AccessRow],
+        key: &Fp<2>,
+        rng: &mut R,
+    ) -> AcvPublicInfo {
+        assert!(!key.is_zero(), "group key must be nonzero");
+        let zs = self.fresh_nonces(rows.len(), rng);
+        let a = self.build_matrix(rows, &zs);
+        self.acv_for(&a, rows.is_empty(), key, &zs, rng)
+    }
+
+    /// Publisher: rekeys *several policy configurations* sharing one nonce
+    /// set, caching the hash row `(a_{i,1}, …, a_{i,N})` per distinct CSS
+    /// concatenation — the paper's §VIII-A optimization ("eliminating
+    /// redundant calculations at Pub by taking advantage of dominance
+    /// relationships"): a subscriber×policy pair appearing in several
+    /// configurations (e.g. the senior nurse of Example 4, present in four)
+    /// is hashed once instead of once per configuration.
+    ///
+    /// Returns one independent `(key, public info)` per configuration.
+    pub fn rekey_configs<R: RngCore + ?Sized>(
+        &self,
+        configs: &[Vec<AccessRow>],
+        rng: &mut R,
+    ) -> Vec<(Vec<u8>, AcvPublicInfo)> {
+        use std::collections::HashMap;
+        let widest = configs.iter().map(Vec::len).max().unwrap_or(0);
+        let zs = self.fresh_nonces(widest, rng);
+        // Cache: css_concat → Montgomery-form hash row.
+        let mut cache: HashMap<Vec<u8>, Vec<Uint<2>>> = HashMap::new();
+        configs
+            .iter()
+            .map(|rows| {
+                let mut a = Matrix::zero(&self.field, rows.len(), zs.len() + 1);
+                let one = self.field.one();
+                for (i, row) in rows.iter().enumerate() {
+                    a.set_mont_raw(i, 0, *one.mont_raw());
+                    let hashes = cache
+                        .entry(row.css_concat.clone())
+                        .or_insert_with(|| {
+                            zs.iter()
+                                .map(|z| *self.hash_entry(&row.css_concat, z).mont_raw())
+                                .collect()
+                        });
+                    for (j, h) in hashes.iter().enumerate() {
+                        a.set_mont_raw(i, j + 1, *h);
+                    }
+                }
+                let key = self.field.random_nonzero(rng);
+                let info = self.acv_for(&a, rows.is_empty(), &key, &zs, rng);
+                (self.encode_key(&key), info)
+            })
+            .collect()
+    }
+
+    /// `N ≥ Σ_k #U_k` nonces; at least one so the encoding stays
+    /// well-formed even for empty configurations.
+    fn fresh_nonces<R: RngCore + ?Sized>(&self, rows: usize, rng: &mut R) -> Vec<Vec<u8>> {
+        let n = (rows + self.extra_slots).max(1);
+        let tau = self.effective_tau(n);
+        (0..n)
+            .map(|_| {
+                let mut z = vec![0u8; tau];
+                rng.fill_bytes(&mut z);
+                z
+            })
+            .collect()
+    }
+
+    /// Matrix `A`: one row `[1, a_{i,1}, …, a_{i,N}]` per access row.
+    fn build_matrix(&self, rows: &[AccessRow], zs: &[Vec<u8>]) -> Matrix<2> {
+        let mut a = Matrix::zero(&self.field, rows.len(), zs.len() + 1);
+        let one = self.field.one();
+        for (i, row) in rows.iter().enumerate() {
+            a.set_mont_raw(i, 0, *one.mont_raw());
+            for (j, z) in zs.iter().enumerate() {
+                let el = self.hash_entry(&row.css_concat, z);
+                a.set_mont_raw(i, j + 1, *el.mont_raw());
+            }
+        }
+        a
+    }
+
+    /// Samples an ACV for `key`; footnote 11: resample if the tail of `X`
+    /// would be all zero (the key would leak to everyone).
+    fn acv_for<R: RngCore + ?Sized>(
+        &self,
+        a: &Matrix<2>,
+        rows_empty: bool,
+        key: &Fp<2>,
+        zs: &[Vec<u8>],
+        rng: &mut R,
+    ) -> AcvPublicInfo {
+        loop {
+            let mut x: Vec<Fp<2>> = a.random_null_vector(rng);
+            x[0] = &x[0] + key;
+            if rows_empty || x[1..].iter().any(|e| !e.is_zero()) {
+                return AcvPublicInfo {
+                    x: x.iter().map(Fp::to_uint).collect(),
+                    zs: zs.to_vec(),
+                };
+            }
+        }
+    }
+
+    /// Subscriber: derives the key from the public info and its CSS
+    /// concatenation. Always returns a candidate of [`Self::key_len`]
+    /// bytes; the candidate equals `K` iff the CSSs match an access row
+    /// (the scheme itself cannot signal failure — the authenticated
+    /// decryption layer above does).
+    pub fn derive_key(&self, info: &AcvPublicInfo, css_concat: &[u8]) -> Vec<u8> {
+        assert_eq!(info.x.len(), info.zs.len() + 1, "malformed public info");
+        // K = ν · X with ν = (1, a₁, …, a_N).
+        let mont = self.field.mont();
+        let mut acc = *self.field.from_uint(&info.x[0]).mont_raw();
+        for (z, xj) in info.zs.iter().zip(&info.x[1..]) {
+            let a = self.hash_entry(css_concat, z);
+            let xj = self.field.from_uint(xj);
+            acc = mont.add(&acc, &mont.mont_mul(a.mont_raw(), xj.mont_raw()));
+        }
+        self.encode_key(&self.field.from_mont_raw(acc))
+    }
+
+    /// The subscriber's key-extraction vector `ν = (1, a₁, …, a_N)` —
+    /// exposed so tests and benches can check `ν·Y = 0` directly.
+    pub fn extraction_vector(&self, info: &AcvPublicInfo, css_concat: &[u8]) -> Vec<Fp<2>> {
+        let mut v = Vec::with_capacity(info.zs.len() + 1);
+        v.push(self.field.one());
+        for z in &info.zs {
+            v.push(self.hash_entry(css_concat, z));
+        }
+        v
+    }
+
+    /// Key derivation with a subscriber-side KEV cache (paper §VIII-D:
+    /// "once a Sub receives all zᵢ's … the Sub can compute the hash values
+    /// and cache the resultant vector for future use to retrieve documents
+    /// associated with the same policy"). Documents produced by
+    /// [`Self::rekey_batch`] share nonces, so every document after the
+    /// first costs one inner product instead of `N` hashes.
+    pub fn derive_key_cached(
+        &self,
+        info: &AcvPublicInfo,
+        css_concat: &[u8],
+        cache: &mut KevCache,
+    ) -> Vec<u8> {
+        assert_eq!(info.x.len(), info.zs.len() + 1, "malformed public info");
+        let tag = {
+            let mut h = pbcd_crypto::Sha256::new();
+            h.update(css_concat);
+            for z in &info.zs {
+                h.update(z);
+            }
+            h.finalize()
+        };
+        let nu = cache
+            .entries
+            .entry(tag)
+            .or_insert_with(|| self.extraction_vector(info, css_concat));
+        let mont = self.field.mont();
+        let mut acc = Uint::ZERO;
+        for (a, xj) in nu.iter().zip(&info.x) {
+            let xj = self.field.from_uint(xj);
+            acc = mont.add(&acc, &mont.mont_mul(a.mont_raw(), xj.mont_raw()));
+        }
+        self.encode_key(&self.field.from_mont_raw(acc))
+    }
+
+    fn hash_entry(&self, css_concat: &[u8], z: &[u8]) -> Fp<2> {
+        let mut input = Vec::with_capacity(css_concat.len() + z.len());
+        input.extend_from_slice(css_concat);
+        input.extend_from_slice(z);
+        self.field.from_be_bytes_reduced(&sha256(&input))
+    }
+
+    fn encode_key(&self, k: &Fp<2>) -> Vec<u8> {
+        let bytes = k.to_uint().to_be_bytes();
+        bytes[bytes.len() - self.key_len()..].to_vec()
+    }
+}
+
+impl AcvPublicInfo {
+    /// Wire encoding: `fq_len u8 ‖ x_count u32 ‖ x… ‖ z_count u32 ‖
+    /// tau u8 ‖ z…` (big-endian, fixed-width fields).
+    pub fn encode(&self) -> Vec<u8> {
+        let fq_len = 16usize; // canonical U128 width
+        let tau = self.zs.first().map_or(0, Vec::len);
+        debug_assert!(self.zs.iter().all(|z| z.len() == tau));
+        let mut out = Vec::with_capacity(2 + 8 + self.x.len() * fq_len + self.zs.len() * tau);
+        out.push(fq_len as u8);
+        out.extend_from_slice(&(self.x.len() as u32).to_be_bytes());
+        for x in &self.x {
+            out.extend_from_slice(&x.to_be_bytes());
+        }
+        out.extend_from_slice(&(self.zs.len() as u32).to_be_bytes());
+        out.push(tau as u8);
+        for z in &self.zs {
+            out.extend_from_slice(z);
+        }
+        out
+    }
+
+    /// Parses the wire encoding.
+    pub fn decode(data: &[u8]) -> Option<Self> {
+        let fq_len = *data.first()? as usize;
+        if fq_len != 16 {
+            return None;
+        }
+        let mut pos = 1;
+        let x_count = u32::from_be_bytes(data.get(pos..pos + 4)?.try_into().ok()?) as usize;
+        pos += 4;
+        if x_count > data.len() / fq_len + 1 {
+            return None;
+        }
+        let mut x = Vec::with_capacity(x_count);
+        for _ in 0..x_count {
+            x.push(U128::from_be_bytes(data.get(pos..pos + fq_len)?)?);
+            pos += fq_len;
+        }
+        let z_count = u32::from_be_bytes(data.get(pos..pos + 4)?.try_into().ok()?) as usize;
+        pos += 4;
+        let tau = *data.get(pos)? as usize;
+        pos += 1;
+        if z_count != x_count.checked_sub(1)? || tau == 0 {
+            return None;
+        }
+        let mut zs = Vec::with_capacity(z_count);
+        for _ in 0..z_count {
+            zs.push(data.get(pos..pos + tau)?.to_vec());
+            pos += tau;
+        }
+        if pos != data.len() {
+            return None;
+        }
+        Some(Self { x, zs })
+    }
+
+    /// Size of the broadcast key material in bytes, counting field elements
+    /// at their compressed width (⌈bits(q)/8⌉, matching the paper's
+    /// compressed-ACV measurements in Figure 5) plus the nonces.
+    pub fn size_bytes_compressed(&self, fq_bits: u32) -> usize {
+        let per_elem = (fq_bits as usize).div_ceil(8);
+        let tau = self.zs.first().map_or(0, Vec::len);
+        self.x.len() * per_elem + self.zs.len() * tau
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbcd_math::dot;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(600)
+    }
+
+    fn scheme() -> AcvBgkm {
+        AcvBgkm::default()
+    }
+
+    fn random_rows<R: Rng>(r: &mut R, count: usize, css_len: usize) -> Vec<AccessRow> {
+        (0..count)
+            .map(|i| {
+                let mut css = vec![0u8; css_len];
+                r.fill_bytes(&mut css);
+                AccessRow {
+                    nym: format!("pn-{i:04}"),
+                    css_concat: css,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn soundness_every_row_derives_the_key() {
+        let s = scheme();
+        let mut r = rng();
+        for n in [1usize, 2, 5, 20] {
+            let rows = random_rows(&mut r, n, 16);
+            let (key, info) = s.rekey(&rows, &mut r);
+            assert_eq!(key.len(), s.key_len());
+            for row in &rows {
+                assert_eq!(s.derive_key(&info, &row.css_concat), key, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn outsiders_do_not_derive_the_key() {
+        let s = scheme();
+        let mut r = rng();
+        let rows = random_rows(&mut r, 8, 16);
+        let (key, info) = s.rekey(&rows, &mut r);
+        for _ in 0..20 {
+            let mut outsider = vec![0u8; 16];
+            r.fill_bytes(&mut outsider);
+            assert_ne!(s.derive_key(&info, &outsider), key);
+        }
+    }
+
+    #[test]
+    fn forward_secrecy_revoked_row_fails_after_rekey() {
+        let s = scheme();
+        let mut r = rng();
+        let mut rows = random_rows(&mut r, 5, 16);
+        let revoked = rows.pop().expect("five rows");
+        // Rekey without the revoked row.
+        let (new_key, new_info) = s.rekey(&rows, &mut r);
+        assert_ne!(s.derive_key(&new_info, &revoked.css_concat), new_key);
+        // Remaining members still derive.
+        for row in &rows {
+            assert_eq!(s.derive_key(&new_info, &row.css_concat), new_key);
+        }
+    }
+
+    #[test]
+    fn backward_secrecy_new_row_fails_on_old_info() {
+        let s = scheme();
+        let mut r = rng();
+        let mut rows = random_rows(&mut r, 4, 16);
+        let (old_key, old_info) = s.rekey(&rows, &mut r);
+        let newcomer = random_rows(&mut r, 1, 16).pop().expect("one row");
+        rows.push(newcomer.clone());
+        let (new_key, new_info) = s.rekey(&rows, &mut r);
+        // Newcomer gets the new key but not the old one.
+        assert_eq!(s.derive_key(&new_info, &newcomer.css_concat), new_key);
+        assert_ne!(s.derive_key(&old_info, &newcomer.css_concat), old_key);
+    }
+
+    #[test]
+    fn collusion_mixing_css_across_rows_fails() {
+        // Two-condition policy: row hash input is r₁‖r₂ of ONE subscriber.
+        // Colluders holding r₁ from A and r₂ from B cannot form any row.
+        let s = scheme();
+        let mut r = rng();
+        let rows = random_rows(&mut r, 2, 32); // 32 = two 16-byte CSSs
+        let (key, info) = s.rekey(&rows, &mut r);
+        let mut mixed = Vec::new();
+        mixed.extend_from_slice(&rows[0].css_concat[..16]); // A's r₁
+        mixed.extend_from_slice(&rows[1].css_concat[16..]); // B's r₂
+        assert_ne!(s.derive_key(&info, &mixed), key);
+    }
+
+    #[test]
+    fn extraction_vector_annihilates_acv() {
+        let s = scheme();
+        let mut r = rng();
+        let rows = random_rows(&mut r, 6, 16);
+        let (key, info) = s.rekey(&rows, &mut r);
+        let f = s.field().clone();
+        let x: Vec<_> = info.x.iter().map(|u| f.from_uint(u)).collect();
+        for row in &rows {
+            let nu = s.extraction_vector(&info, &row.css_concat);
+            // ν·X = K, i.e. ν·Y = 0.
+            let k = dot(&nu, &x);
+            let key_int = U128::from_be_bytes(&key).expect("key bytes");
+            assert_eq!(k.to_uint(), key_int);
+        }
+    }
+
+    #[test]
+    fn empty_configuration_hides_key() {
+        let s = scheme();
+        let mut r = rng();
+        let (key, info) = s.rekey(&[], &mut r);
+        // Nobody derives: any CSS guess misses.
+        for _ in 0..10 {
+            let mut guess = vec![0u8; 16];
+            r.fill_bytes(&mut guess);
+            assert_ne!(s.derive_key(&info, &guess), key);
+        }
+    }
+
+    #[test]
+    fn rekey_randomizes_key_and_public_info() {
+        let s = scheme();
+        let mut r = rng();
+        let rows = random_rows(&mut r, 3, 16);
+        let (k1, i1) = s.rekey(&rows, &mut r);
+        let (k2, i2) = s.rekey(&rows, &mut r);
+        assert_ne!(k1, k2);
+        assert_ne!(i1.x, i2.x);
+        assert_ne!(i1.zs, i2.zs);
+    }
+
+    #[test]
+    fn batch_rekey_shares_nonces_with_independent_keys() {
+        let s = scheme();
+        let mut r = rng();
+        let rows = random_rows(&mut r, 4, 16);
+        let batch = s.rekey_batch(&rows, 3, &mut r);
+        assert_eq!(batch.len(), 3);
+        // Same z values (shared matrix)…
+        assert_eq!(batch[0].1.zs, batch[1].1.zs);
+        assert_eq!(batch[1].1.zs, batch[2].1.zs);
+        // …different keys and ACVs.
+        assert_ne!(batch[0].0, batch[1].0);
+        assert_ne!(batch[0].1.x, batch[1].1.x);
+        // Every member derives every key from the same CSSs.
+        for (key, info) in &batch {
+            for row in &rows {
+                assert_eq!(&s.derive_key(info, &row.css_concat), key);
+            }
+        }
+    }
+
+    #[test]
+    fn extra_slots_allow_spare_capacity() {
+        let s = AcvBgkm::new(FpCtx::new(pbcd_math::gkm_q80()), 2, 10);
+        let mut r = rng();
+        let rows = random_rows(&mut r, 3, 16);
+        let (key, info) = s.rekey(&rows, &mut r);
+        assert_eq!(info.zs.len(), 13);
+        assert_eq!(info.x.len(), 14);
+        for row in &rows {
+            assert_eq!(s.derive_key(&info, &row.css_concat), key);
+        }
+    }
+
+    #[test]
+    fn tau_raised_for_small_n() {
+        // τ·N must exceed 160 bits: with one row (N=1), 2-byte nonces would
+        // give 16 bits, so τ is raised to ⌈161/8⌉ = 21 bytes.
+        let s = scheme();
+        let mut r = rng();
+        let rows = random_rows(&mut r, 1, 16);
+        let (_, info) = s.rekey(&rows, &mut r);
+        let n = info.zs.len();
+        let tau = info.zs[0].len();
+        assert!(tau * n * 8 > 160, "τ·N = {} bits", tau * n * 8);
+    }
+
+    #[test]
+    fn public_info_encoding_roundtrip() {
+        let s = scheme();
+        let mut r = rng();
+        let rows = random_rows(&mut r, 5, 16);
+        let (_, info) = s.rekey(&rows, &mut r);
+        let enc = info.encode();
+        assert_eq!(AcvPublicInfo::decode(&enc), Some(info.clone()));
+        // Corruption and truncation rejected.
+        assert_eq!(AcvPublicInfo::decode(&enc[..enc.len() - 1]), None);
+        let mut extra = enc.clone();
+        extra.push(0);
+        assert_eq!(AcvPublicInfo::decode(&extra), None);
+        assert_eq!(AcvPublicInfo::decode(&[]), None);
+    }
+
+    #[test]
+    fn compressed_size_matches_formula() {
+        let s = scheme();
+        let mut r = rng();
+        let rows = random_rows(&mut r, 10, 16);
+        let (_, info) = s.rekey(&rows, &mut r);
+        let n = info.zs.len();
+        let tau = info.zs[0].len();
+        assert_eq!(
+            info.size_bytes_compressed(80),
+            (n + 1) * 10 + n * tau
+        );
+    }
+
+    #[test]
+    fn cached_derivation_matches_plain_across_batch() {
+        let s = scheme();
+        let mut r = rng();
+        let rows = random_rows(&mut r, 5, 16);
+        let batch = s.rekey_batch(&rows, 4, &mut r);
+        let mut cache = KevCache::new();
+        for (key, info) in &batch {
+            // Cached and plain derivation agree for every member.
+            for row in &rows {
+                assert_eq!(&s.derive_key_cached(info, &row.css_concat, &mut cache), key);
+                assert_eq!(&s.derive_key(info, &row.css_concat), key);
+            }
+        }
+        // One cache entry per (css, shared-nonce-set): 5 members × 1 set.
+        assert_eq!(cache.len(), 5);
+        // A fresh rekey (new nonces) adds new entries rather than reusing.
+        let (key2, info2) = s.rekey(&rows, &mut r);
+        assert_eq!(
+            s.derive_key_cached(&info2, &rows[0].css_concat, &mut cache),
+            key2
+        );
+        assert_eq!(cache.len(), 6);
+    }
+
+    #[test]
+    fn rekey_configs_shares_nonces_and_caches_rows() {
+        let s = scheme();
+        let mut r = rng();
+        // Three configurations sharing some rows (the dominance scenario):
+        // config 0 ⊂ config 1 ⊂ config 2.
+        let all = random_rows(&mut r, 6, 16);
+        let configs = vec![all[..2].to_vec(), all[..4].to_vec(), all.clone()];
+        let out = s.rekey_configs(&configs, &mut r);
+        assert_eq!(out.len(), 3);
+        // Shared nonces.
+        assert_eq!(out[0].1.zs, out[1].1.zs);
+        assert_eq!(out[1].1.zs, out[2].1.zs);
+        // Independent keys.
+        assert_ne!(out[0].0, out[1].0);
+        assert_ne!(out[1].0, out[2].0);
+        // Membership semantics hold per configuration.
+        for (cfg, (key, info)) in configs.iter().zip(&out) {
+            for row in cfg {
+                assert_eq!(&s.derive_key(info, &row.css_concat), key);
+            }
+        }
+        // Row 5 is only in config 2; it must not derive configs 0/1 keys.
+        assert_ne!(&s.derive_key(&out[0].1, &all[5].css_concat), &out[0].0);
+        assert_ne!(&s.derive_key(&out[1].1, &all[5].css_concat), &out[1].0);
+    }
+
+    #[test]
+    fn derived_key_is_deterministic() {
+        let s = scheme();
+        let mut r = rng();
+        let rows = random_rows(&mut r, 3, 16);
+        let (_, info) = s.rekey(&rows, &mut r);
+        let d1 = s.derive_key(&info, &rows[0].css_concat);
+        let d2 = s.derive_key(&info, &rows[0].css_concat);
+        assert_eq!(d1, d2);
+    }
+}

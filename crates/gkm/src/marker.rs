@@ -1,0 +1,224 @@
+//! The marker-based GKM scheme proposed by the paper's anonymous reviewer
+//! (§VIII-D) — implemented as a comparison baseline.
+//!
+//! The publisher picks a well-known marker `m`, a key `k` and a nonce `z`,
+//! and broadcasts, for every access row, `(k‖m) ⊕ H(r₁‖…‖r_w‖z)`.
+//! A subscriber XORs each broadcast word with `H(own CSSs‖z)` and accepts
+//! the word whose tail reproduces the marker.
+//!
+//! The paper's §VIII-D critique is reproduced in tests and benches:
+//! * O(N) broadcast size with a 32-byte word per row (vs ~10 bytes per
+//!   row for the compressed ACV),
+//! * the key must be shorter than the hash output,
+//! * reusing `z` across two documents with different keys lets anyone who
+//!   learns `k₁` compute `k₂` ([`key_reuse_attack`] demonstrates it).
+
+use crate::acv::AccessRow;
+use pbcd_crypto::sha256;
+use rand::RngCore;
+
+/// The public, well-known marker (16 bytes).
+pub const MARKER: [u8; 16] = *b"PBCD-MARKER-v1.0";
+/// Key length: hash output minus marker length.
+pub const KEY_LEN: usize = 32 - MARKER.len();
+
+/// Broadcast public info for the marker scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarkerPublicInfo {
+    /// The session nonce `z`.
+    pub z: [u8; 16],
+    /// One masked word `(k‖m) ⊕ H(css‖z)` per access row.
+    pub words: Vec<[u8; 32]>,
+}
+
+/// The marker-based GKM scheme.
+#[derive(Debug, Clone, Default)]
+pub struct MarkerGkm;
+
+impl MarkerGkm {
+    /// Creates the scheme.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Derived key length in bytes.
+    pub fn key_len(&self) -> usize {
+        KEY_LEN
+    }
+
+    /// Publisher: picks a fresh key and nonce, masks one word per row.
+    pub fn rekey<R: RngCore + ?Sized>(
+        &self,
+        rows: &[AccessRow],
+        rng: &mut R,
+    ) -> (Vec<u8>, MarkerPublicInfo) {
+        let mut key = vec![0u8; KEY_LEN];
+        rng.fill_bytes(&mut key);
+        let mut z = [0u8; 16];
+        rng.fill_bytes(&mut z);
+        let info = self.rekey_with(rows, &key, &z);
+        (key, info)
+    }
+
+    /// Deterministic variant used to demonstrate the nonce-reuse weakness.
+    pub fn rekey_with(&self, rows: &[AccessRow], key: &[u8], z: &[u8; 16]) -> MarkerPublicInfo {
+        assert_eq!(key.len(), KEY_LEN, "key must leave room for the marker");
+        let mut plain = [0u8; 32];
+        plain[..KEY_LEN].copy_from_slice(key);
+        plain[KEY_LEN..].copy_from_slice(&MARKER);
+        let words = rows
+            .iter()
+            .map(|row| {
+                let mask = mask(&row.css_concat, z);
+                let mut w = [0u8; 32];
+                for i in 0..32 {
+                    w[i] = plain[i] ^ mask[i];
+                }
+                w
+            })
+            .collect();
+        MarkerPublicInfo { z: *z, words }
+    }
+
+    /// Subscriber: tries every word; returns the key whose marker checks
+    /// out. Unlike ACV-BGKM this scheme *can* signal failure directly.
+    pub fn derive_key(&self, info: &MarkerPublicInfo, css_concat: &[u8]) -> Option<Vec<u8>> {
+        let mask = mask(css_concat, &info.z);
+        for w in &info.words {
+            let mut plain = [0u8; 32];
+            for i in 0..32 {
+                plain[i] = w[i] ^ mask[i];
+            }
+            if plain[KEY_LEN..] == MARKER {
+                return Some(plain[..KEY_LEN].to_vec());
+            }
+        }
+        None
+    }
+
+    /// Broadcast size in bytes.
+    pub fn public_size(&self, info: &MarkerPublicInfo) -> usize {
+        16 + 32 * info.words.len()
+    }
+}
+
+fn mask(css_concat: &[u8], z: &[u8]) -> [u8; 32] {
+    let mut input = Vec::with_capacity(css_concat.len() + z.len());
+    input.extend_from_slice(css_concat);
+    input.extend_from_slice(z);
+    sha256(&input)
+}
+
+/// The §VIII-D attack: two documents sharing one `z` but carrying keys
+/// `k₁ ≠ k₂` expose `k₂` to anyone who knows `k₁`, because
+/// `w₁ ⊕ w₂ = (k₁‖m) ⊕ (k₂‖m)` cancels both the mask **and** the marker.
+/// Returns the recovered `k₂`.
+pub fn key_reuse_attack(
+    word_doc1: &[u8; 32],
+    word_doc2: &[u8; 32],
+    known_k1: &[u8],
+) -> Vec<u8> {
+    assert_eq!(known_k1.len(), KEY_LEN);
+    (0..KEY_LEN)
+        .map(|i| word_doc1[i] ^ word_doc2[i] ^ known_k1[i])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(700)
+    }
+
+    fn rows<R: Rng>(r: &mut R, n: usize) -> Vec<AccessRow> {
+        (0..n)
+            .map(|i| {
+                let mut css = vec![0u8; 16];
+                r.fill_bytes(&mut css);
+                AccessRow {
+                    nym: format!("pn-{i}"),
+                    css_concat: css,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn members_derive_outsiders_fail() {
+        let g = MarkerGkm::new();
+        let mut r = rng();
+        let rows = rows(&mut r, 6);
+        let (key, info) = g.rekey(&rows, &mut r);
+        for row in &rows {
+            assert_eq!(g.derive_key(&info, &row.css_concat), Some(key.clone()));
+        }
+        let mut outsider = vec![0u8; 16];
+        r.fill_bytes(&mut outsider);
+        assert_eq!(g.derive_key(&info, &outsider), None);
+    }
+
+    #[test]
+    fn empty_rows_derivable_by_nobody() {
+        let g = MarkerGkm::new();
+        let mut r = rng();
+        let (_, info) = g.rekey(&[], &mut r);
+        assert_eq!(g.derive_key(&info, b"anything"), None);
+        assert_eq!(g.public_size(&info), 16);
+    }
+
+    #[test]
+    fn rekey_revokes() {
+        let g = MarkerGkm::new();
+        let mut r = rng();
+        let mut members = rows(&mut r, 4);
+        let revoked = members.pop().expect("four rows");
+        let (key, info) = g.rekey(&members, &mut r);
+        assert_eq!(g.derive_key(&info, &revoked.css_concat), None);
+        assert_eq!(g.derive_key(&info, &members[0].css_concat), Some(key));
+    }
+
+    #[test]
+    fn public_size_is_linear_32_bytes_per_row() {
+        let g = MarkerGkm::new();
+        let mut r = rng();
+        for n in [1usize, 10, 100] {
+            let rows = rows(&mut r, n);
+            let (_, info) = g.rekey(&rows, &mut r);
+            assert_eq!(g.public_size(&info), 16 + 32 * n);
+        }
+    }
+
+    #[test]
+    fn nonce_reuse_leaks_second_key() {
+        // Reproduces the paper's §VIII-D flexibility/security critique.
+        let g = MarkerGkm::new();
+        let mut r = rng();
+        let rows = rows(&mut r, 3);
+        let z = [7u8; 16];
+        let mut k1 = vec![0u8; KEY_LEN];
+        let mut k2 = vec![0u8; KEY_LEN];
+        r.fill_bytes(&mut k1);
+        r.fill_bytes(&mut k2);
+        let doc1 = g.rekey_with(&rows, &k1, &z);
+        let doc2 = g.rekey_with(&rows, &k2, &z);
+        // Attacker knows k1 and the two broadcasts; recovers k2 without any CSS.
+        let recovered = key_reuse_attack(&doc1.words[0], &doc2.words[0], &k1);
+        assert_eq!(recovered, k2);
+        // The ACV scheme's analogue (fresh ACVs over shared z) does not have
+        // this property — covered in `acv::tests::batch_rekey_*` and the
+        // cross-scheme integration tests.
+    }
+
+    #[test]
+    fn key_must_fit_under_hash_output() {
+        // The §VIII-D restriction: key length strictly less than hash size.
+        // (Computed through a runtime value so the check exercises the
+        // public constants rather than constant-folding away.)
+        let g = MarkerGkm::new();
+        assert!(g.key_len() < 32);
+        assert_eq!(g.key_len() + MARKER.len(), 32);
+    }
+}

@@ -1,0 +1,277 @@
+//! The CRT "secure lock" baseline (Chiou & Chen, 1989; paper §II).
+//!
+//! Each subscriber `i` is assigned a distinct prime modulus `mᵢ` derived
+//! from its CSS. To broadcast key `K`, the publisher computes the single
+//! *lock* `L` with `L ≡ K ⊕ H(cssᵢ‖z) (mod mᵢ)` for every member via the
+//! Chinese Remainder Theorem; a member recovers `K = (L mod mᵢ) ⊕ mask`.
+//!
+//! The paper dismisses this approach as "inefficient for large n, as it
+//! requires performing CRT calculation involving n congruences each time a
+//! new document is sent" — the lock itself is `Σ bits(mᵢ)` long, so both
+//! lock size and CRT time grow quadratically-ish with membership. The
+//! benches reproduce that blow-up against ACV-BGKM.
+
+use crate::acv::AccessRow;
+use pbcd_crypto::sha256;
+use pbcd_math::{miller_rabin, VarUint, U128};
+use rand::RngCore;
+
+/// Key length carried by the lock (16 bytes, below every modulus).
+pub const KEY_LEN: usize = 15;
+
+/// Broadcast public info: the nonce and the CRT lock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockPublicInfo {
+    /// Session nonce.
+    pub z: [u8; 16],
+    /// The lock `L`, big-endian.
+    pub lock: Vec<u8>,
+}
+
+/// The CRT secure-lock baseline.
+#[derive(Debug, Clone, Default)]
+pub struct SecureLockGkm;
+
+impl SecureLockGkm {
+    /// Creates the baseline.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Derived key length in bytes.
+    pub fn key_len(&self) -> usize {
+        KEY_LEN
+    }
+
+    /// Publisher: solves the n-congruence CRT system for a fresh key.
+    /// Returns `(key, info)`. Panics if two subscribers collide on the
+    /// same modulus (probability ≈ 0 for distinct CSSs).
+    pub fn rekey<R: RngCore + ?Sized>(
+        &self,
+        rows: &[AccessRow],
+        rng: &mut R,
+    ) -> (Vec<u8>, LockPublicInfo) {
+        let mut key = vec![0u8; KEY_LEN];
+        rng.fill_bytes(&mut key);
+        let mut z = [0u8; 16];
+        rng.fill_bytes(&mut z);
+
+        // Residue per member: rᵢ = K ⊕ H(cssᵢ‖z), taken below mᵢ (128-bit
+        // prime > 2^120 > any 15-byte residue).
+        let mut moduli: Vec<U128> = Vec::with_capacity(rows.len());
+        let mut residues: Vec<U128> = Vec::with_capacity(rows.len());
+        for row in rows {
+            let m = modulus_for(&row.css_concat);
+            assert!(
+                !moduli.contains(&m),
+                "modulus collision between subscribers"
+            );
+            let masked = mask_key(&key, &row.css_concat, &z);
+            moduli.push(m);
+            residues.push(U128::from_be_bytes(&masked).expect("15 bytes fit"));
+        }
+
+        // CRT: L = Σ rᵢ · Pᵢ · (Pᵢ⁻¹ mod mᵢ)  (mod Π mᵢ).
+        let product = moduli
+            .iter()
+            .fold(VarUint::one(), |acc, m| acc.mul(&VarUint::from_uint(m)));
+        let mut lock = VarUint::zero();
+        for (m, r) in moduli.iter().zip(&residues) {
+            let p_i = product.div_rem(&VarUint::from_uint(m)).0;
+            let p_i_mod = p_i.rem_uint(m);
+            let inv = p_i_mod.inv_mod(m).expect("moduli are distinct primes");
+            let coeff = r.mul_mod(&inv, m); // rᵢ·(Pᵢ⁻¹) mod mᵢ
+            lock = lock.add(&p_i.mul(&VarUint::from_uint(&coeff)));
+        }
+        if !product.is_zero() {
+            lock = lock.rem(&product);
+        }
+        (
+            key,
+            LockPublicInfo {
+                z,
+                lock: lock.to_be_bytes(),
+            },
+        )
+    }
+
+    /// Subscriber: reduces the lock by its modulus and unmasks.
+    /// The scheme has no integrity marker; like ACV-BGKM, wrong CSSs yield
+    /// a wrong key that the authenticated encryption above will reject.
+    pub fn derive_key(&self, info: &LockPublicInfo, css_concat: &[u8]) -> Vec<u8> {
+        let m = modulus_for(css_concat);
+        let lock = VarUint::from_be_bytes(&info.lock);
+        let residue = lock.rem_uint(&m);
+        let bytes = residue.to_be_bytes(); // 32 bytes (U128 width is 16)… see below
+        // Canonical 15-byte masked value: take the low 15 bytes.
+        let mut masked = [0u8; KEY_LEN];
+        let start = bytes.len().saturating_sub(KEY_LEN);
+        masked.copy_from_slice(&bytes[start..]);
+        unmask(&masked, css_concat, &info.z)
+    }
+
+    /// Lock size in bytes — grows with Σ bits(mᵢ), i.e. linearly in n with
+    /// a 16-byte constant, but the CRT cost is quadratic.
+    pub fn public_size(&self, info: &LockPublicInfo) -> usize {
+        16 + info.lock.len()
+    }
+}
+
+/// Derives a deterministic 128-bit prime modulus from a CSS by hashing and
+/// scanning forward (Miller–Rabin with a deterministic base set seeded from
+/// the candidate itself).
+fn modulus_for(css_concat: &[u8]) -> U128 {
+    let digest = sha256(&[b"pbcd-securelock-modulus:", css_concat].concat());
+    let mut candidate = U128::from_be_bytes(&digest[..16]).expect("16 bytes");
+    // Force top bit (so every modulus exceeds any 15-byte residue) and odd.
+    candidate = {
+        let mut limbs = *candidate.limbs();
+        limbs[1] |= 1 << 63;
+        limbs[0] |= 1;
+        U128::from_limbs(limbs)
+    };
+    let two = U128::from_u64(2);
+    let mut seed_rng = DeterministicRng(digest);
+    loop {
+        if miller_rabin(&candidate, 24, &mut seed_rng) {
+            return candidate;
+        }
+        candidate = candidate.wrapping_add(&two);
+    }
+}
+
+/// Tiny deterministic RNG (SHA-256 in counter mode) so modulus derivation
+/// is reproducible across publisher and subscriber.
+struct DeterministicRng([u8; 32]);
+
+impl RngCore for DeterministicRng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = sha256(&self.0);
+        u64::from_be_bytes(self.0[..8].try_into().expect("8 bytes"))
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_be_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+fn mask_key(key: &[u8], css_concat: &[u8], z: &[u8; 16]) -> [u8; KEY_LEN] {
+    let mask = sha256(&[b"pbcd-securelock-mask:", css_concat, z.as_slice()].concat());
+    let mut out = [0u8; KEY_LEN];
+    for i in 0..KEY_LEN {
+        out[i] = key[i] ^ mask[i];
+    }
+    out
+}
+
+fn unmask(masked: &[u8; KEY_LEN], css_concat: &[u8], z: &[u8; 16]) -> Vec<u8> {
+    let mask = sha256(&[b"pbcd-securelock-mask:", css_concat, z.as_slice()].concat());
+    (0..KEY_LEN).map(|i| masked[i] ^ mask[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(900)
+    }
+
+    fn rows<R: Rng>(r: &mut R, n: usize) -> Vec<AccessRow> {
+        (0..n)
+            .map(|i| {
+                let mut css = vec![0u8; 16];
+                r.fill_bytes(&mut css);
+                AccessRow {
+                    nym: format!("pn-{i}"),
+                    css_concat: css,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn members_derive_the_key() {
+        let g = SecureLockGkm::new();
+        let mut r = rng();
+        for n in [1usize, 2, 5, 12] {
+            let rows = rows(&mut r, n);
+            let (key, info) = g.rekey(&rows, &mut r);
+            for row in &rows {
+                assert_eq!(g.derive_key(&info, &row.css_concat), key, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn outsiders_get_garbage() {
+        let g = SecureLockGkm::new();
+        let mut r = rng();
+        let rows = rows(&mut r, 4);
+        let (key, info) = g.rekey(&rows, &mut r);
+        let mut outsider = vec![0u8; 16];
+        r.fill_bytes(&mut outsider);
+        assert_ne!(g.derive_key(&info, &outsider), key);
+    }
+
+    #[test]
+    fn lock_size_grows_with_membership() {
+        let g = SecureLockGkm::new();
+        let mut r = rng();
+        let s2 = {
+            let rows = rows(&mut r, 2);
+            g.public_size(&g.rekey(&rows, &mut r).1)
+        };
+        let s16 = {
+            let rows = rows(&mut r, 16);
+            g.public_size(&g.rekey(&rows, &mut r).1)
+        };
+        // 16 bytes of lock per member (moduli are 128-bit).
+        assert!(s16 >= s2 + 13 * 16, "s2={s2} s16={s16}");
+    }
+
+    #[test]
+    fn modulus_derivation_deterministic_and_prime_spaced() {
+        let m1 = modulus_for(b"css-a");
+        let m2 = modulus_for(b"css-a");
+        let m3 = modulus_for(b"css-b");
+        assert_eq!(m1, m2);
+        assert_ne!(m1, m3);
+        assert!(m1.bit(127), "top bit forced");
+        let mut r = rng();
+        assert!(miller_rabin(&m1, 40, &mut r));
+        assert!(miller_rabin(&m3, 40, &mut r));
+    }
+
+    #[test]
+    fn empty_membership() {
+        let g = SecureLockGkm::new();
+        let mut r = rng();
+        let (key, info) = g.rekey(&[], &mut r);
+        assert!(info.lock.is_empty());
+        assert_ne!(g.derive_key(&info, b"anything"), key);
+    }
+
+    #[test]
+    fn rekey_changes_key_for_revoked() {
+        let g = SecureLockGkm::new();
+        let mut r = rng();
+        let mut members = rows(&mut r, 5);
+        let revoked = members.pop().expect("five");
+        let (key, info) = g.rekey(&members, &mut r);
+        assert_ne!(g.derive_key(&info, &revoked.css_concat), key);
+    }
+}

@@ -1,0 +1,142 @@
+//! The simplistic direct key-delivery baseline (paper §VIII-B).
+//!
+//! The publisher encrypts the group key individually for every qualified
+//! subscriber, addressing each ciphertext by pseudonym. Works, but:
+//! every rekey is O(n) *point-to-point*-style payloads, each subscriber
+//! must be individually addressed, and subscribers accumulate one key per
+//! policy configuration they satisfy (up to `2^(2N)` configurations in the
+//! worst case, per the paper).
+
+use crate::acv::AccessRow;
+use pbcd_crypto::AuthKey;
+use rand::RngCore;
+
+/// Per-subscriber addressed key ciphertexts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimplisticPublicInfo {
+    /// `(nym, E_{CSS-derived key}[K])` pairs.
+    pub deliveries: Vec<(String, Vec<u8>)>,
+}
+
+/// The direct-delivery baseline.
+#[derive(Debug, Clone, Default)]
+pub struct SimplisticGkm {
+    key_len: usize,
+}
+
+impl SimplisticGkm {
+    /// Creates the baseline delivering `key_len`-byte keys (default 16).
+    pub fn new() -> Self {
+        Self { key_len: 16 }
+    }
+
+    /// Derived key length in bytes.
+    pub fn key_len(&self) -> usize {
+        self.key_len
+    }
+
+    /// Publisher: picks a key and encrypts it once per row.
+    pub fn rekey<R: RngCore + ?Sized>(
+        &self,
+        rows: &[AccessRow],
+        rng: &mut R,
+    ) -> (Vec<u8>, SimplisticPublicInfo) {
+        let mut key = vec![0u8; self.key_len];
+        rng.fill_bytes(&mut key);
+        let deliveries = rows
+            .iter()
+            .map(|row| {
+                let wrap = AuthKey::from_master(&row.css_concat);
+                (row.nym.clone(), wrap.encrypt(rng, &key))
+            })
+            .collect();
+        (key, SimplisticPublicInfo { deliveries })
+    }
+
+    /// Subscriber: finds its addressed ciphertext and unwraps it.
+    pub fn derive_key(
+        &self,
+        info: &SimplisticPublicInfo,
+        nym: &str,
+        css_concat: &[u8],
+    ) -> Option<Vec<u8>> {
+        let wrap = AuthKey::from_master(css_concat);
+        info.deliveries
+            .iter()
+            .filter(|(n, _)| n == nym)
+            .find_map(|(_, ct)| wrap.decrypt(ct).ok())
+    }
+
+    /// Total rekey traffic in bytes (every subscriber's ciphertext plus its
+    /// address).
+    pub fn public_size(&self, info: &SimplisticPublicInfo) -> usize {
+        info.deliveries
+            .iter()
+            .map(|(n, ct)| n.len() + ct.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(800)
+    }
+
+    fn rows<R: Rng>(r: &mut R, n: usize) -> Vec<AccessRow> {
+        (0..n)
+            .map(|i| {
+                let mut css = vec![0u8; 16];
+                r.fill_bytes(&mut css);
+                AccessRow {
+                    nym: format!("pn-{i}"),
+                    css_concat: css,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn members_unwrap_their_delivery() {
+        let g = SimplisticGkm::new();
+        let mut r = rng();
+        let rows = rows(&mut r, 5);
+        let (key, info) = g.rekey(&rows, &mut r);
+        for row in &rows {
+            assert_eq!(
+                g.derive_key(&info, &row.nym, &row.css_concat),
+                Some(key.clone())
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_css_or_nym_fails() {
+        let g = SimplisticGkm::new();
+        let mut r = rng();
+        let rows = rows(&mut r, 3);
+        let (_, info) = g.rekey(&rows, &mut r);
+        // Right nym, wrong CSS.
+        assert_eq!(g.derive_key(&info, &rows[0].nym, &rows[1].css_concat), None);
+        // Unknown nym.
+        assert_eq!(g.derive_key(&info, "pn-999", &rows[0].css_concat), None);
+    }
+
+    #[test]
+    fn traffic_grows_linearly_per_subscriber() {
+        let g = SimplisticGkm::new();
+        let mut r = rng();
+        let r10 = {
+            let rows = rows(&mut r, 10);
+            g.public_size(&g.rekey(&rows, &mut r).1)
+        };
+        let r100 = {
+            let rows = rows(&mut r, 100);
+            g.public_size(&g.rekey(&rows, &mut r).1)
+        };
+        assert!(r100 > 9 * r10, "O(n) rekey traffic: {r10} vs {r100}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the GKM schemes: soundness and exclusion hold
+//! for arbitrary membership shapes, CSS lengths and scheme parameters.
+
+use pbcd_gkm::{AccessRow, AcvBgkm, AcvPublicInfo, MarkerGkm, SecureLockGkm, ShardedAcvBgkm};
+use pbcd_math::FpCtx;
+use proptest::prelude::*;
+use rand::{RngCore, SeedableRng};
+
+fn rows_from_seed(seed: u64, count: usize, css_len: usize) -> Vec<AccessRow> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let mut css = vec![0u8; css_len];
+            rng.fill_bytes(&mut css);
+            AccessRow {
+                nym: format!("pn-{i:04}"),
+                css_concat: css,
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn acv_soundness_and_exclusion(
+        seed in any::<u64>(),
+        count in 1usize..24,
+        css_len in 1usize..64,
+        extra in 0usize..8,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xACE);
+        let rows = rows_from_seed(seed, count, css_len);
+        let scheme = AcvBgkm::new(FpCtx::new(pbcd_math::gkm_q80()), 2, extra);
+        let (key, info) = scheme.rekey(&rows, &mut rng);
+        prop_assert_eq!(info.zs.len(), (count + extra).max(1));
+        for row in &rows {
+            prop_assert_eq!(scheme.derive_key(&info, &row.css_concat), key.clone());
+        }
+        // An outsider CSS (fresh random bytes) never derives the key.
+        let mut outsider = vec![0u8; css_len];
+        rng.fill_bytes(&mut outsider);
+        if !rows.iter().any(|r| r.css_concat == outsider) {
+            prop_assert_ne!(scheme.derive_key(&info, &outsider), key);
+        }
+    }
+
+    #[test]
+    fn acv_rekey_invalidates_prior_keys(seed in any::<u64>(), count in 1usize..16) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let rows = rows_from_seed(seed, count, 16);
+        let scheme = AcvBgkm::default();
+        let (k1, i1) = scheme.rekey(&rows, &mut rng);
+        let (k2, i2) = scheme.rekey(&rows, &mut rng);
+        prop_assert_ne!(&k1, &k2);
+        // Keys derived from the *old* info still equal the old key, not the new.
+        prop_assert_eq!(scheme.derive_key(&i1, &rows[0].css_concat), k1);
+        prop_assert_eq!(scheme.derive_key(&i2, &rows[0].css_concat), k2);
+    }
+
+    #[test]
+    fn acv_public_info_roundtrip(seed in any::<u64>(), count in 0usize..16) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0DE);
+        let rows = rows_from_seed(seed, count, 16);
+        let scheme = AcvBgkm::default();
+        let (_, info) = scheme.rekey(&rows, &mut rng);
+        let enc = info.encode();
+        prop_assert_eq!(AcvPublicInfo::decode(&enc), Some(info));
+        // Any truncation fails to decode.
+        for cut in [0, 1, enc.len() / 2, enc.len().saturating_sub(1)] {
+            if cut < enc.len() {
+                prop_assert_eq!(AcvPublicInfo::decode(&enc[..cut]), None);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_agrees_with_flat_on_membership(
+        seed in any::<u64>(),
+        count in 1usize..32,
+        cap in 1usize..16,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x54A2);
+        let rows = rows_from_seed(seed, count, 16);
+        let sharded = ShardedAcvBgkm::new(AcvBgkm::default(), cap);
+        let (key, info) = sharded.rekey(&rows, &mut rng);
+        prop_assert_eq!(info.num_shards as usize, count.div_ceil(cap).max(1));
+        for row in &rows {
+            prop_assert_eq!(sharded.derive_key(&info, &row.nym, &row.css_concat), key.clone());
+        }
+    }
+
+    #[test]
+    fn marker_scheme_membership(seed in any::<u64>(), count in 0usize..24) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x3A3);
+        let rows = rows_from_seed(seed, count, 16);
+        let scheme = MarkerGkm::new();
+        let (key, info) = scheme.rekey(&rows, &mut rng);
+        for row in &rows {
+            prop_assert_eq!(scheme.derive_key(&info, &row.css_concat), Some(key.clone()));
+        }
+        let mut outsider = vec![0u8; 16];
+        rng.fill_bytes(&mut outsider);
+        if !rows.iter().any(|r| r.css_concat == outsider) {
+            prop_assert_eq!(scheme.derive_key(&info, &outsider), None);
+        }
+    }
+
+    #[test]
+    fn secure_lock_membership(seed in any::<u64>(), count in 0usize..10) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x10C4);
+        let rows = rows_from_seed(seed, count, 16);
+        let scheme = SecureLockGkm::new();
+        let (key, info) = scheme.rekey(&rows, &mut rng);
+        for row in &rows {
+            prop_assert_eq!(scheme.derive_key(&info, &row.css_concat), key.clone());
+        }
+    }
+}

@@ -1,0 +1,540 @@
+//! NIST P-256 (secp256r1) — the workspace's default group backend.
+//!
+//! Short-Weierstrass curve `y² = x³ − 3x + b` over the 256-bit prime field,
+//! prime group order (cofactor 1), Jacobian projective arithmetic in
+//! Montgomery form. Scalar multiplication is a variable-time double-and-add;
+//! adequate for a research reproduction, noted as such.
+
+use crate::traits::{CyclicGroup, ScalarCtx};
+use pbcd_crypto::sha256_concat;
+use pbcd_math::{FpCtx, MontCtx, U256};
+use std::sync::Arc;
+
+const P_HEX: &str = "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff";
+const N_HEX: &str = "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551";
+const B_HEX: &str = "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b";
+const GX_HEX: &str = "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296";
+const GY_HEX: &str = "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5";
+
+/// An affine P-256 point (coordinates in Montgomery form) or the identity.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum P256Point {
+    /// The point at infinity (group identity).
+    Identity,
+    /// An affine point with Montgomery-form coordinates.
+    Affine {
+        /// x-coordinate (Montgomery form).
+        x: U256,
+        /// y-coordinate (Montgomery form).
+        y: U256,
+    },
+}
+
+/// Jacobian-coordinate point used internally for arithmetic.
+#[derive(Clone)]
+struct Jacobian {
+    x: U256,
+    y: U256,
+    z: U256, // z = 0 encodes the identity
+}
+
+/// The P-256 group backend.
+#[derive(Clone)]
+pub struct P256Group {
+    inner: Arc<P256Inner>,
+}
+
+struct P256Inner {
+    field: MontCtx<4>,
+    scalar: ScalarCtx,
+    order: U256,
+    b: U256,       // Montgomery form
+    three: U256,   // Montgomery form of 3 (a = -3)
+    gen: P256Point,
+    h: P256Point,
+}
+
+impl Default for P256Group {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl P256Group {
+    /// Constructs the standard P-256 backend. Parameters are fixed NIST
+    /// constants; `h` is derived by hashing a domain-separation tag into the
+    /// curve (nothing-up-my-sleeve second generator).
+    pub fn new() -> Self {
+        let p = U256::from_hex(P_HEX).expect("static constant");
+        let n = U256::from_hex(N_HEX).expect("static constant");
+        let field = MontCtx::new(p);
+        let scalar = FpCtx::new(n);
+        let b = field.to_mont(&U256::from_hex(B_HEX).expect("static constant"));
+        let three = field.to_mont(&U256::from_u64(3));
+        let gen = P256Point::Affine {
+            x: field.to_mont(&U256::from_hex(GX_HEX).expect("static constant")),
+            y: field.to_mont(&U256::from_hex(GY_HEX).expect("static constant")),
+        };
+        let mut group = Self {
+            inner: Arc::new(P256Inner {
+                field,
+                scalar,
+                order: n,
+                b,
+                three,
+                gen,
+                h: P256Point::Identity, // patched below
+            }),
+        };
+        let h = group.hash_to_group("pbcd-p256-pedersen-h", b"v1");
+        Arc::get_mut(&mut group.inner)
+            .expect("sole owner during construction")
+            .h = h;
+        group
+    }
+
+    fn f(&self) -> &MontCtx<4> {
+        &self.inner.field
+    }
+
+    /// Checks the affine equation `y² = x³ − 3x + b` (Montgomery form).
+    fn is_on_curve(&self, x: &U256, y: &U256) -> bool {
+        let f = self.f();
+        let y2 = f.mont_sqr(y);
+        let x3 = f.mont_mul(&f.mont_sqr(x), x);
+        let ax = f.mont_mul(&self.inner.three, x);
+        let rhs = f.add(&f.sub(&x3, &ax), &self.inner.b);
+        y2 == rhs
+    }
+
+    fn to_jacobian(&self, p: &P256Point) -> Jacobian {
+        match p {
+            P256Point::Identity => Jacobian {
+                x: self.f().one(),
+                y: self.f().one(),
+                z: U256::ZERO,
+            },
+            P256Point::Affine { x, y } => Jacobian {
+                x: *x,
+                y: *y,
+                z: self.f().one(),
+            },
+        }
+    }
+
+    fn to_affine(&self, p: &Jacobian) -> P256Point {
+        if p.z.is_zero() {
+            return P256Point::Identity;
+        }
+        let f = self.f();
+        let zinv = f.inv(&p.z).expect("nonzero z");
+        let zinv2 = f.mont_sqr(&zinv);
+        let zinv3 = f.mont_mul(&zinv2, &zinv);
+        P256Point::Affine {
+            x: f.mont_mul(&p.x, &zinv2),
+            y: f.mont_mul(&p.y, &zinv3),
+        }
+    }
+
+    /// Jacobian doubling, specialized for `a = −3` (dbl-2001-b).
+    fn jac_double(&self, p: &Jacobian) -> Jacobian {
+        if p.z.is_zero() || p.y.is_zero() {
+            return Jacobian {
+                x: self.f().one(),
+                y: self.f().one(),
+                z: U256::ZERO,
+            };
+        }
+        let f = self.f();
+        let delta = f.mont_sqr(&p.z);
+        let gamma = f.mont_sqr(&p.y);
+        let beta = f.mont_mul(&p.x, &gamma);
+        // alpha = 3(x − delta)(x + delta)
+        let alpha = {
+            let t = f.mont_mul(&f.sub(&p.x, &delta), &f.add(&p.x, &delta));
+            f.add(&f.double(&t), &t)
+        };
+        let eight_beta = {
+            let four_beta = f.double(&f.double(&beta));
+            f.double(&four_beta)
+        };
+        let x3 = f.sub(&f.mont_sqr(&alpha), &eight_beta);
+        // z3 = (y + z)² − gamma − delta
+        let z3 = f.sub(
+            &f.sub(&f.mont_sqr(&f.add(&p.y, &p.z)), &gamma),
+            &delta,
+        );
+        // y3 = alpha(4beta − x3) − 8 gamma²
+        let four_beta = f.double(&f.double(&beta));
+        let eight_gamma2 = {
+            let g2 = f.mont_sqr(&gamma);
+            f.double(&f.double(&f.double(&g2)))
+        };
+        let y3 = f.sub(&f.mont_mul(&alpha, &f.sub(&four_beta, &x3)), &eight_gamma2);
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+
+    /// General Jacobian addition (add-2007-bl).
+    fn jac_add(&self, p: &Jacobian, q: &Jacobian) -> Jacobian {
+        if p.z.is_zero() {
+            return q.clone();
+        }
+        if q.z.is_zero() {
+            return p.clone();
+        }
+        let f = self.f();
+        let z1z1 = f.mont_sqr(&p.z);
+        let z2z2 = f.mont_sqr(&q.z);
+        let u1 = f.mont_mul(&p.x, &z2z2);
+        let u2 = f.mont_mul(&q.x, &z1z1);
+        let s1 = f.mont_mul(&f.mont_mul(&p.y, &q.z), &z2z2);
+        let s2 = f.mont_mul(&f.mont_mul(&q.y, &p.z), &z1z1);
+        if u1 == u2 {
+            return if s1 == s2 {
+                self.jac_double(p)
+            } else {
+                // p + (−p) = identity
+                Jacobian {
+                    x: f.one(),
+                    y: f.one(),
+                    z: U256::ZERO,
+                }
+            };
+        }
+        let h = f.sub(&u2, &u1);
+        let i = f.mont_sqr(&f.double(&h));
+        let j = f.mont_mul(&h, &i);
+        let r = f.double(&f.sub(&s2, &s1));
+        let v = f.mont_mul(&u1, &i);
+        let x3 = f.sub(&f.sub(&f.mont_sqr(&r), &j), &f.double(&v));
+        let y3 = f.sub(
+            &f.mont_mul(&r, &f.sub(&v, &x3)),
+            &f.double(&f.mont_mul(&s1, &j)),
+        );
+        let z3 = f.mont_mul(
+            &f.sub(&f.sub(&f.mont_sqr(&f.add(&p.z, &q.z)), &z1z1), &z2z2),
+            &h,
+        );
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+
+    fn jac_mul(&self, p: &Jacobian, k: &U256) -> Jacobian {
+        let mut acc = Jacobian {
+            x: self.f().one(),
+            y: self.f().one(),
+            z: U256::ZERO,
+        };
+        for i in (0..k.bits()).rev() {
+            acc = self.jac_double(&acc);
+            if k.bit(i) {
+                acc = self.jac_add(&acc, p);
+            }
+        }
+        acc
+    }
+
+    /// Lifts a candidate x-coordinate (canonical form) onto the curve,
+    /// choosing the y whose parity matches `y_parity`.
+    fn lift_x(&self, x_canon: &U256, y_parity: bool) -> Option<P256Point> {
+        if x_canon >= self.f().modulus() {
+            return None;
+        }
+        let f = self.f();
+        let x = f.to_mont(x_canon);
+        let x3 = f.mont_mul(&f.mont_sqr(&x), &x);
+        let ax = f.mont_mul(&self.inner.three, &x);
+        let rhs = f.add(&f.sub(&x3, &ax), &self.inner.b);
+        let y = f.sqrt_p3mod4(&rhs)?;
+        let y_canon = f.from_mont(&y);
+        let y = if y_canon.is_odd() == y_parity {
+            y
+        } else {
+            f.neg(&y)
+        };
+        Some(P256Point::Affine { x, y })
+    }
+}
+
+impl CyclicGroup for P256Group {
+    type Elem = P256Point;
+
+    fn name(&self) -> &'static str {
+        "p256"
+    }
+
+    fn order(&self) -> &U256 {
+        &self.inner.order
+    }
+
+    fn scalar_ctx(&self) -> &ScalarCtx {
+        &self.inner.scalar
+    }
+
+    fn identity(&self) -> P256Point {
+        P256Point::Identity
+    }
+
+    fn generator(&self) -> P256Point {
+        self.inner.gen.clone()
+    }
+
+    fn pedersen_h(&self) -> P256Point {
+        self.inner.h.clone()
+    }
+
+    fn op(&self, a: &P256Point, b: &P256Point) -> P256Point {
+        // Fast paths avoid Jacobian conversions for identity operands.
+        match (a, b) {
+            (P256Point::Identity, _) => b.clone(),
+            (_, P256Point::Identity) => a.clone(),
+            _ => {
+                let j = self.jac_add(&self.to_jacobian(a), &self.to_jacobian(b));
+                self.to_affine(&j)
+            }
+        }
+    }
+
+    fn inv(&self, a: &P256Point) -> P256Point {
+        match a {
+            P256Point::Identity => P256Point::Identity,
+            P256Point::Affine { x, y } => P256Point::Affine {
+                x: *x,
+                y: self.f().neg(y),
+            },
+        }
+    }
+
+    fn exp_uint(&self, base: &P256Point, k: &U256) -> P256Point {
+        let k = if k < self.order() {
+            *k
+        } else {
+            k.rem(self.order())
+        };
+        let j = self.jac_mul(&self.to_jacobian(base), &k);
+        self.to_affine(&j)
+    }
+
+    fn serialize(&self, a: &P256Point) -> Vec<u8> {
+        match a {
+            P256Point::Identity => vec![0x00],
+            P256Point::Affine { x, y } => {
+                let f = self.f();
+                let mut out = Vec::with_capacity(65);
+                out.push(0x04);
+                out.extend_from_slice(&f.from_mont(x).to_be_bytes());
+                out.extend_from_slice(&f.from_mont(y).to_be_bytes());
+                out
+            }
+        }
+    }
+
+    fn deserialize(&self, bytes: &[u8]) -> Option<P256Point> {
+        match bytes {
+            [0x00] => Some(P256Point::Identity),
+            [0x04, rest @ ..] if rest.len() == 64 => {
+                let xc = U256::from_be_bytes(&rest[..32])?;
+                let yc = U256::from_be_bytes(&rest[32..])?;
+                let f = self.f();
+                if &xc >= f.modulus() || &yc >= f.modulus() {
+                    return None;
+                }
+                let x = f.to_mont(&xc);
+                let y = f.to_mont(&yc);
+                if self.is_on_curve(&x, &y) {
+                    Some(P256Point::Affine { x, y })
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn hash_to_group(&self, domain: &str, data: &[u8]) -> P256Point {
+        // Try-and-increment: hash (domain ‖ data ‖ counter) to a candidate
+        // x; succeed with probability ≈ 1/2 per attempt. Cofactor 1 means
+        // any curve point already lies in the prime-order group.
+        for counter in 0u32..=u32::MAX {
+            let digest = sha256_concat(&[
+                b"pbcd-h2c-p256:",
+                domain.as_bytes(),
+                b":",
+                data,
+                &counter.to_be_bytes(),
+            ]);
+            let xc = U256::from_be_bytes(&digest)
+                .expect("32 bytes fits")
+                .rem(self.f().modulus());
+            let parity = digest[0] & 1 == 1;
+            if let Some(p) = self.lift_x(&xc, parity) {
+                return p;
+            }
+        }
+        unreachable!("hash-to-curve failed for 2^32 counters")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn g() -> P256Group {
+        P256Group::new()
+    }
+
+    fn pt(group: &P256Group, x_hex: &str, y_hex: &str) -> P256Point {
+        let f = group.f();
+        P256Point::Affine {
+            x: f.to_mont(&U256::from_hex(x_hex).unwrap()),
+            y: f.to_mont(&U256::from_hex(y_hex).unwrap()),
+        }
+    }
+
+    #[test]
+    fn generator_is_on_curve() {
+        let grp = g();
+        match grp.generator() {
+            P256Point::Affine { x, y } => assert!(grp.is_on_curve(&x, &y)),
+            _ => panic!("generator must be affine"),
+        }
+    }
+
+    #[test]
+    fn known_scalar_multiples() {
+        // Independently computed with a reference implementation.
+        let grp = g();
+        let cases = [
+            (
+                U256::from_u64(2),
+                "7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978",
+                "07775510db8ed040293d9ac69f7430dbba7dade63ce982299e04b79d227873d1",
+            ),
+            (
+                U256::from_u64(3),
+                "5ecbe4d1a6330a44c8f7ef951d4bf165e6c6b721efada985fb41661bc6e7fd6c",
+                "8734640c4998ff7e374b06ce1a64a2ecd82ab036384fb83d9a79b127a27d5032",
+            ),
+            (
+                U256::from_u64(5),
+                "51590b7a515140d2d784c85608668fdfef8c82fd1f5be52421554a0dc3d033ed",
+                "e0c17da8904a727d8ae1bf36bf8a79260d012f00d4d80888d1d0bb44fda16da4",
+            ),
+            (
+                U256::from_u64(112233445566778899),
+                "339150844ec15234807fe862a86be77977dbfb3ae3d96f4c22795513aeaab82f",
+                "b1c14ddfdc8ec1b2583f51e85a5eb3a155840f2034730e9b5ada38b674336a21",
+            ),
+        ];
+        for (k, x, y) in cases {
+            assert_eq!(grp.exp_uint(&grp.generator(), &k), pt(&grp, x, y));
+        }
+    }
+
+    #[test]
+    fn order_times_generator_is_identity() {
+        let grp = g();
+        let n = *grp.order();
+        assert_eq!(grp.exp_uint(&grp.generator(), &n), P256Point::Identity);
+        // (n-1)·G = −G.
+        let nm1 = n.wrapping_sub(&U256::one());
+        assert_eq!(
+            grp.exp_uint(&grp.generator(), &nm1),
+            grp.inv(&grp.generator())
+        );
+    }
+
+    #[test]
+    fn group_laws() {
+        let grp = g();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for _ in 0..10 {
+            let a = grp.exp_g(&grp.random_scalar(&mut rng));
+            let b = grp.exp_g(&grp.random_scalar(&mut rng));
+            let c = grp.exp_g(&grp.random_scalar(&mut rng));
+            assert_eq!(grp.op(&a, &b), grp.op(&b, &a));
+            assert_eq!(grp.op(&grp.op(&a, &b), &c), grp.op(&a, &grp.op(&b, &c)));
+            assert_eq!(grp.op(&a, &grp.identity()), a);
+            assert_eq!(grp.op(&a, &grp.inv(&a)), grp.identity());
+        }
+    }
+
+    #[test]
+    fn exponent_homomorphism() {
+        let grp = g();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let sc = grp.scalar_ctx().clone();
+        for _ in 0..10 {
+            let x = sc.random(&mut rng);
+            let y = sc.random(&mut rng);
+            // g^x · g^y = g^(x+y)
+            let lhs = grp.op(&grp.exp_g(&x), &grp.exp_g(&y));
+            let rhs = grp.exp_g(&(&x + &y));
+            assert_eq!(lhs, rhs);
+            // (g^x)^y = g^(xy)
+            let lhs = grp.exp(&grp.exp_g(&x), &y);
+            let rhs = grp.exp_g(&(&x * &y));
+            assert_eq!(lhs, rhs);
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let grp = g();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        for _ in 0..10 {
+            let p = grp.exp_g(&grp.random_scalar(&mut rng));
+            let enc = grp.serialize(&p);
+            assert_eq!(grp.deserialize(&enc), Some(p));
+        }
+        assert_eq!(
+            grp.deserialize(&grp.serialize(&grp.identity())),
+            Some(P256Point::Identity)
+        );
+    }
+
+    #[test]
+    fn deserialize_rejects_off_curve() {
+        let grp = g();
+        let mut enc = grp.serialize(&grp.generator());
+        enc[64] ^= 1; // corrupt y
+        assert_eq!(grp.deserialize(&enc), None);
+        assert_eq!(grp.deserialize(&[]), None);
+        assert_eq!(grp.deserialize(&[0x04, 0, 0]), None);
+    }
+
+    #[test]
+    fn hash_to_group_deterministic_and_valid() {
+        let grp = g();
+        let p1 = grp.hash_to_group("test", b"hello");
+        let p2 = grp.hash_to_group("test", b"hello");
+        assert_eq!(p1, p2);
+        let p3 = grp.hash_to_group("test", b"world");
+        assert_ne!(p1, p3);
+        match p1 {
+            P256Point::Affine { x, y } => assert!(grp.is_on_curve(&x, &y)),
+            _ => panic!("hash output should not be identity"),
+        }
+    }
+
+    #[test]
+    fn pedersen_h_differs_from_generator() {
+        let grp = g();
+        assert_ne!(grp.pedersen_h(), grp.generator());
+        assert_ne!(grp.pedersen_h(), grp.identity());
+    }
+
+    #[test]
+    fn double_of_two_torsion_free() {
+        // Doubling the identity stays identity.
+        let grp = g();
+        assert_eq!(
+            grp.op(&grp.identity(), &grp.identity()),
+            P256Point::Identity
+        );
+        // a + a uses the doubling path through exp.
+        let two = U256::from_u64(2);
+        let gen = grp.generator();
+        assert_eq!(grp.op(&gen, &gen), grp.exp_uint(&gen, &two));
+    }
+}

@@ -1,0 +1,204 @@
+//! Schnorr signatures over any [`CyclicGroup`] backend.
+//!
+//! The Identity Manager signs identity tokens (`σ` in the paper's
+//! `IT = (nym, id-tag, c, σ)`); the publisher verifies them during
+//! registration. The scheme is the standard Fiat–Shamir Schnorr signature:
+//! `R = g^k`, `e = H(R ‖ m)`, `s = k + e·sk`, signature `(e, s)`.
+
+use crate::traits::{CyclicGroup, Scalar};
+use pbcd_crypto::Sha256;
+use rand::RngCore;
+
+/// A Schnorr signing/verification key pair.
+#[derive(Clone)]
+pub struct SigningKey<G: CyclicGroup> {
+    sk: Scalar,
+    pk: G::Elem,
+}
+
+/// The public half of a [`SigningKey`].
+pub struct VerifyingKey<G: CyclicGroup> {
+    pk: G::Elem,
+}
+
+// Manual impls avoid requiring `G: PartialEq`/`Debug` — only the element
+// (always comparable per the trait bounds) matters.
+impl<G: CyclicGroup> Clone for VerifyingKey<G> {
+    fn clone(&self) -> Self {
+        Self {
+            pk: self.pk.clone(),
+        }
+    }
+}
+
+impl<G: CyclicGroup> PartialEq for VerifyingKey<G> {
+    fn eq(&self, other: &Self) -> bool {
+        self.pk == other.pk
+    }
+}
+
+impl<G: CyclicGroup> Eq for VerifyingKey<G> {}
+
+impl<G: CyclicGroup> core::fmt::Debug for VerifyingKey<G> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "VerifyingKey({:?})", self.pk)
+    }
+}
+
+/// A Schnorr signature `(e, s)` with both components in the scalar field.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Signature {
+    /// Fiat–Shamir challenge.
+    pub e: Scalar,
+    /// Response scalar.
+    pub s: Scalar,
+}
+
+impl<G: CyclicGroup> SigningKey<G> {
+    /// Generates a fresh key pair.
+    pub fn generate<R: RngCore + ?Sized>(group: &G, rng: &mut R) -> Self {
+        let sk = group.random_nonzero_scalar(rng);
+        let pk = group.exp_g(&sk);
+        Self { sk, pk }
+    }
+
+    /// The verification key.
+    pub fn verifying_key(&self) -> VerifyingKey<G> {
+        VerifyingKey {
+            pk: self.pk.clone(),
+        }
+    }
+
+    /// Signs a message.
+    pub fn sign<R: RngCore + ?Sized>(&self, group: &G, rng: &mut R, msg: &[u8]) -> Signature {
+        let k = group.random_nonzero_scalar(rng);
+        let big_r = group.exp_g(&k);
+        let e = challenge(group, &big_r, msg);
+        let s = &k + &(&e * &self.sk);
+        Signature { e, s }
+    }
+}
+
+impl<G: CyclicGroup> VerifyingKey<G> {
+    /// Wraps a raw public key element.
+    pub fn from_element(pk: G::Elem) -> Self {
+        Self { pk }
+    }
+
+    /// The raw public key element.
+    pub fn element(&self) -> &G::Elem {
+        &self.pk
+    }
+
+    /// Canonical encoding of the public key.
+    pub fn serialize(&self, group: &G) -> Vec<u8> {
+        group.serialize(&self.pk)
+    }
+
+    /// Parses and validates an encoded public key.
+    pub fn deserialize(group: &G, bytes: &[u8]) -> Option<Self> {
+        group.deserialize(bytes).map(|pk| Self { pk })
+    }
+
+    /// Verifies a signature: recompute `R' = g^s · pk^{−e}` and check that
+    /// the challenge matches.
+    pub fn verify(&self, group: &G, msg: &[u8], sig: &Signature) -> bool {
+        let g_s = group.exp_g(&sig.s);
+        let pk_e = group.exp(&self.pk, &sig.e);
+        let big_r = group.div(&g_s, &pk_e);
+        challenge(group, &big_r, msg) == sig.e
+    }
+}
+
+fn challenge<G: CyclicGroup>(group: &G, big_r: &G::Elem, msg: &[u8]) -> Scalar {
+    let mut h = Sha256::new();
+    h.update(b"pbcd-schnorr-v1:");
+    h.update(group.name().as_bytes());
+    h.update(&group.serialize(big_r));
+    h.update(msg);
+    group.scalar_ctx().from_be_bytes_reduced(&h.finalize())
+}
+
+impl Signature {
+    /// Fixed-layout encoding: 32-byte `e` ‖ 32-byte `s`.
+    pub fn to_bytes<G: CyclicGroup>(&self) -> Vec<u8> {
+        let mut out = self.e.to_be_bytes();
+        out.extend_from_slice(&self.s.to_be_bytes());
+        out
+    }
+
+    /// Parses the fixed layout produced by [`Signature::to_bytes`].
+    pub fn from_bytes<G: CyclicGroup>(group: &G, bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != 64 {
+            return None;
+        }
+        let ctx = group.scalar_ctx();
+        let e = pbcd_math::U256::from_be_bytes(&bytes[..32])?;
+        let s = pbcd_math::U256::from_be_bytes(&bytes[32..])?;
+        if &e >= ctx.modulus() || &s >= ctx.modulus() {
+            return None;
+        }
+        Some(Self {
+            e: ctx.from_uint(&e),
+            s: ctx.from_uint(&s),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modp::ModpGroup;
+    use crate::p256::P256Group;
+    use rand::SeedableRng;
+
+    fn check_backend<G: CyclicGroup>(group: G) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+        let key = SigningKey::generate(&group, &mut rng);
+        let vk = key.verifying_key();
+        let msg = b"identity token: nym=pn-1492 tag=age c=...";
+        let sig = key.sign(&group, &mut rng, msg);
+        assert!(vk.verify(&group, msg, &sig));
+        // Wrong message.
+        assert!(!vk.verify(&group, b"different message", &sig));
+        // Wrong key.
+        let other = SigningKey::generate(&group, &mut rng).verifying_key();
+        assert!(!other.verify(&group, msg, &sig));
+        // Tampered signature.
+        let bad = Signature {
+            e: sig.e.clone(),
+            s: &sig.s + &group.scalar_ctx().one(),
+        };
+        assert!(!vk.verify(&group, msg, &bad));
+        // Serialization roundtrip.
+        let enc = sig.to_bytes::<G>();
+        let dec = Signature::from_bytes(&group, &enc).unwrap();
+        assert!(vk.verify(&group, msg, &dec));
+        assert_eq!(Signature::from_bytes(&group, &enc[..63]), None);
+        // Public key roundtrip.
+        let vk2 = VerifyingKey::<G>::deserialize(&group, &vk.serialize(&group)).unwrap();
+        assert!(vk2.verify(&group, msg, &sig));
+    }
+
+    #[test]
+    fn p256_signatures() {
+        check_backend(P256Group::new());
+    }
+
+    #[test]
+    fn modp_signatures() {
+        check_backend(ModpGroup::new());
+    }
+
+    #[test]
+    fn signatures_are_randomized_but_stable() {
+        let group = P256Group::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(56);
+        let key = SigningKey::generate(&group, &mut rng);
+        let s1 = key.sign(&group, &mut rng, b"m");
+        let s2 = key.sign(&group, &mut rng, b"m");
+        assert_ne!(s1, s2, "fresh nonce each signature");
+        assert!(key.verifying_key().verify(&group, b"m", &s1));
+        assert!(key.verifying_key().verify(&group, b"m", &s2));
+    }
+}

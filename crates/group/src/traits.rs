@@ -1,0 +1,105 @@
+//! The prime-order cyclic group abstraction.
+//!
+//! Everything the paper's protocols need from "the group" is captured here:
+//! a CDH-hard prime-order cyclic group with two generators whose relative
+//! discrete logarithm is unknown (Pedersen's `g` and `h`), exponentiation,
+//! and canonical serialization. The paper instantiated this with the
+//! Jacobian of a genus-2 curve (G2HEC); this workspace substitutes NIST
+//! P-256 ([`crate::p256::P256Group`], default) and an RFC 5114 modp Schnorr
+//! group ([`crate::modp::ModpGroup`]) — see DESIGN.md §3 for why the
+//! substitution preserves the paper's behaviour.
+
+use pbcd_math::{Fp, FpCtx, U256};
+use rand::RngCore;
+use std::fmt::Debug;
+use std::sync::Arc;
+
+/// Scalars for every group backend live in a 256-bit-capable prime field
+/// whose modulus is the group order (P-256: 256 bits; RFC 5114: 160 bits).
+pub type Scalar = Fp<4>;
+/// Context for [`Scalar`] arithmetic.
+pub type ScalarCtx = Arc<FpCtx<4>>;
+
+/// A prime-order cyclic group suitable for Pedersen commitments and OCBE.
+///
+/// Implementations must guarantee:
+/// * the group has prime order `q = self.order()`;
+/// * `generator()` generates the whole group;
+/// * `pedersen_h()` is a second generator whose discrete log with respect to
+///   `generator()` is unknown to everyone (derived by hashing into the
+///   group);
+/// * `exp` is the group exponentiation `base^k` (written multiplicatively,
+///   matching the paper).
+pub trait CyclicGroup: Clone + Send + Sync + 'static {
+    /// Group element representation.
+    type Elem: Clone + PartialEq + Eq + Debug + Send + Sync;
+
+    /// Human-readable backend name (used by benches and reports).
+    fn name(&self) -> &'static str;
+
+    /// The prime group order `q`.
+    fn order(&self) -> &U256;
+
+    /// Field context for scalar (exponent) arithmetic modulo the order.
+    fn scalar_ctx(&self) -> &ScalarCtx;
+
+    /// The identity element.
+    fn identity(&self) -> Self::Elem;
+
+    /// The fixed generator `g`.
+    fn generator(&self) -> Self::Elem;
+
+    /// A second generator `h` with unknown discrete log w.r.t. `g`
+    /// (the Pedersen commitment base).
+    fn pedersen_h(&self) -> Self::Elem;
+
+    /// Group operation `a · b`.
+    fn op(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+
+    /// Group inverse `a^{-1}`.
+    fn inv(&self, a: &Self::Elem) -> Self::Elem;
+
+    /// Exponentiation `base^k` for a canonical scalar `k < order`.
+    fn exp_uint(&self, base: &Self::Elem, k: &U256) -> Self::Elem;
+
+    /// Canonical byte encoding.
+    fn serialize(&self, a: &Self::Elem) -> Vec<u8>;
+
+    /// Parses and validates an encoded element (subgroup membership
+    /// included). Returns `None` for anything malformed.
+    fn deserialize(&self, bytes: &[u8]) -> Option<Self::Elem>;
+
+    /// Deterministically hashes arbitrary bytes to a group element with
+    /// unknown discrete log.
+    fn hash_to_group(&self, domain: &str, data: &[u8]) -> Self::Elem;
+
+    /// Exponentiation by a scalar field element.
+    fn exp(&self, base: &Self::Elem, k: &Scalar) -> Self::Elem {
+        self.exp_uint(base, &k.to_uint())
+    }
+
+    /// `g^k` for a canonical scalar.
+    fn exp_g(&self, k: &Scalar) -> Self::Elem {
+        self.exp(&self.generator(), k)
+    }
+
+    /// A uniformly random scalar.
+    fn random_scalar<R: RngCore + ?Sized>(&self, rng: &mut R) -> Scalar {
+        self.scalar_ctx().random(rng)
+    }
+
+    /// A uniformly random *nonzero* scalar (exponents `y ∈ F_q^×` in OCBE).
+    fn random_nonzero_scalar<R: RngCore + ?Sized>(&self, rng: &mut R) -> Scalar {
+        self.scalar_ctx().random_nonzero(rng)
+    }
+
+    /// `a · b^{-1}`.
+    fn div(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        self.op(a, &self.inv(b))
+    }
+
+    /// True iff `a` is the identity.
+    fn is_identity(&self, a: &Self::Elem) -> bool {
+        *a == self.identity()
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the group backends: abelian-group laws,
+//! exponent homomorphisms and serialization, driven by random scalars.
+
+use pbcd_group::{CyclicGroup, P256Group, SigningKey};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn p256() -> P256Group {
+    P256Group::new()
+}
+
+proptest! {
+    // EC scalar multiplications are ~100 µs each; keep case counts small.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn group_laws_hold(seed in any::<u64>()) {
+        let g = p256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = g.exp_g(&g.random_scalar(&mut rng));
+        let b = g.exp_g(&g.random_scalar(&mut rng));
+        let c = g.exp_g(&g.random_scalar(&mut rng));
+        prop_assert_eq!(g.op(&a, &b), g.op(&b, &a));
+        prop_assert_eq!(g.op(&g.op(&a, &b), &c), g.op(&a, &g.op(&b, &c)));
+        prop_assert_eq!(g.op(&a, &g.identity()), a.clone());
+        prop_assert_eq!(g.op(&a, &g.inv(&a)), g.identity());
+        prop_assert_eq!(g.inv(&g.inv(&a)), a);
+    }
+
+    #[test]
+    fn exponentiation_is_homomorphic(seed in any::<u64>()) {
+        let g = p256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = g.random_scalar(&mut rng);
+        let y = g.random_scalar(&mut rng);
+        // g^(x+y) = g^x · g^y
+        prop_assert_eq!(g.exp_g(&(&x + &y)), g.op(&g.exp_g(&x), &g.exp_g(&y)));
+        // (g^x)^y = g^(x·y)
+        prop_assert_eq!(g.exp(&g.exp_g(&x), &y), g.exp_g(&(&x * &y)));
+        // g^(-x) = (g^x)^{-1}
+        prop_assert_eq!(g.exp_g(&-&x), g.inv(&g.exp_g(&x)));
+    }
+
+    #[test]
+    fn serialization_roundtrips(seed in any::<u64>()) {
+        let g = p256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = g.exp_g(&g.random_scalar(&mut rng));
+        prop_assert_eq!(g.deserialize(&g.serialize(&p)), Some(p));
+    }
+
+    #[test]
+    fn corrupted_points_rejected(seed in any::<u64>(), byte in 1usize..64, flip in 1u8..=255) {
+        let g = p256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = g.exp_g(&g.random_scalar(&mut rng));
+        let mut enc = g.serialize(&p);
+        enc[byte] ^= flip;
+        // Either rejected, or (vanishingly unlikely) another valid point —
+        // never the original.
+        if let Some(q) = g.deserialize(&enc) {
+            prop_assert_ne!(q, p);
+        }
+    }
+
+    #[test]
+    fn hash_to_group_separates_inputs(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let g = p256();
+        let pa = g.hash_to_group("prop", &a.to_be_bytes());
+        let pb = g.hash_to_group("prop", &b.to_be_bytes());
+        prop_assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn signatures_verify_and_bind_messages(seed in any::<u64>(), m1 in any::<[u8; 16]>(), m2 in any::<[u8; 16]>()) {
+        let g = p256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let key = SigningKey::generate(&g, &mut rng);
+        let vk = key.verifying_key();
+        let sig = key.sign(&g, &mut rng, &m1);
+        prop_assert!(vk.verify(&g, &m1, &sig));
+        if m1 != m2 {
+            prop_assert!(!vk.verify(&g, &m2, &sig));
+        }
+    }
+}

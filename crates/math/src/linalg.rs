@@ -1,0 +1,464 @@
+//! Dense linear algebra over a prime field, tuned for the ACV-BGKM workload.
+//!
+//! The paper's publisher solves `A·Y = 0` for a random non-trivial null-space
+//! vector of an `n×(N+1)` matrix over an 80-bit prime field (the role NTL's
+//! `kernel()` played in the original C++ implementation). [`Matrix`] stores
+//! Montgomery-form limbs in a flat row-major buffer and performs Gauss–Jordan
+//! elimination with the raw [`MontCtx`] API — no per-element `Arc` traffic.
+
+use crate::fp::{Fp, FpCtx};
+use crate::uint::Uint;
+use rand::RngCore;
+use std::sync::Arc;
+
+/// A dense matrix over the prime field described by an [`FpCtx`].
+///
+/// Elements are stored in Montgomery form, row-major.
+#[derive(Clone)]
+pub struct Matrix<const L: usize> {
+    ctx: Arc<FpCtx<L>>,
+    rows: usize,
+    cols: usize,
+    data: Vec<Uint<L>>,
+}
+
+impl<const L: usize> Matrix<L> {
+    /// An all-zero matrix.
+    pub fn zero(ctx: &Arc<FpCtx<L>>, rows: usize, cols: usize) -> Self {
+        Self {
+            ctx: Arc::clone(ctx),
+            rows,
+            cols,
+            data: vec![Uint::ZERO; rows * cols],
+        }
+    }
+
+    /// The identity matrix.
+    pub fn identity(ctx: &Arc<FpCtx<L>>, n: usize) -> Self {
+        let mut m = Self::zero(ctx, n, n);
+        let one = ctx.mont().one();
+        for i in 0..n {
+            m.data[i * n + i] = one;
+        }
+        m
+    }
+
+    /// Builds a matrix from field-element rows. All rows must share a length.
+    pub fn from_rows(ctx: &Arc<FpCtx<L>>, rows: &[Vec<Fp<L>>]) -> Self {
+        let cols = rows.first().map_or(0, Vec::len);
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "ragged rows in Matrix::from_rows"
+        );
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            for el in row {
+                data.push(*el.mont_raw());
+            }
+        }
+        Self {
+            ctx: Arc::clone(ctx),
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Builds a matrix element-wise from a function of `(row, col)`.
+    pub fn from_fn(
+        ctx: &Arc<FpCtx<L>>,
+        rows: usize,
+        cols: usize,
+        mut f: impl FnMut(usize, usize) -> Fp<L>,
+    ) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(*f(i, j).mont_raw());
+            }
+        }
+        Self {
+            ctx: Arc::clone(ctx),
+            rows,
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The field context.
+    pub fn ctx(&self) -> &Arc<FpCtx<L>> {
+        &self.ctx
+    }
+
+    /// Element accessor.
+    pub fn get(&self, i: usize, j: usize) -> Fp<L> {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        self.ctx.from_mont_raw(self.data[i * self.cols + j])
+    }
+
+    /// Element mutator.
+    pub fn set(&mut self, i: usize, j: usize, v: &Fp<L>) {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        self.data[i * self.cols + j] = *v.mont_raw();
+    }
+
+    /// Sets an element from a raw Montgomery residue (used by hot builders).
+    pub fn set_mont_raw(&mut self, i: usize, j: usize, v: Uint<L>) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Matrix–vector product `A·x`.
+    pub fn mul_vec(&self, x: &[Fp<L>]) -> Vec<Fp<L>> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        let mont = self.ctx.mont();
+        let xs: Vec<Uint<L>> = x.iter().map(|e| *e.mont_raw()).collect();
+        let mut out = Vec::with_capacity(self.rows);
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let mut acc = Uint::ZERO;
+            for (a, b) in row.iter().zip(&xs) {
+                acc = mont.add(&acc, &mont.mont_mul(a, b));
+            }
+            out.push(self.ctx.from_mont_raw(acc));
+        }
+        out
+    }
+
+    /// Matrix product `A·B` (for tests and small verification work).
+    pub fn mul_mat(&self, rhs: &Self) -> Self {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch");
+        let mont = self.ctx.mont();
+        let mut out = Self::zero(&self.ctx, self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let cur = out.data[i * rhs.cols + j];
+                    let p = mont.mont_mul(&a, &rhs.data[k * rhs.cols + j]);
+                    out.data[i * rhs.cols + j] = mont.add(&cur, &p);
+                }
+            }
+        }
+        out
+    }
+
+    /// In-place Gauss–Jordan to reduced row-echelon form.
+    /// Returns the pivot column of each pivot row (so `result.len()` = rank).
+    pub fn row_reduce(&mut self) -> Vec<usize> {
+        let mont = self.ctx.mont().clone();
+        let (rows, cols) = (self.rows, self.cols);
+        let mut pivots = Vec::new();
+        let mut pivot_row = 0;
+        for col in 0..cols {
+            if pivot_row == rows {
+                break;
+            }
+            // Find a row with a nonzero entry in this column.
+            let Some(src) = (pivot_row..rows)
+                .find(|&r| !self.data[r * cols + col].is_zero())
+            else {
+                continue;
+            };
+            if src != pivot_row {
+                self.swap_rows(src, pivot_row);
+            }
+            // Normalize the pivot row.
+            let inv = mont
+                .inv(&self.data[pivot_row * cols + col])
+                .expect("pivot nonzero");
+            for j in col..cols {
+                let idx = pivot_row * cols + j;
+                self.data[idx] = mont.mont_mul(&self.data[idx], &inv);
+            }
+            // Eliminate the column everywhere else.
+            for r in 0..rows {
+                if r == pivot_row {
+                    continue;
+                }
+                let factor = self.data[r * cols + col];
+                if factor.is_zero() {
+                    continue;
+                }
+                // row_r -= factor * row_pivot (columns before `col` are 0).
+                let (head, tail) = if r < pivot_row {
+                    let (h, t) = self.data.split_at_mut(pivot_row * cols);
+                    (&mut h[r * cols..(r + 1) * cols], &t[..cols])
+                } else {
+                    let (h, t) = self.data.split_at_mut(r * cols);
+                    (
+                        &mut t[..cols],
+                        &h[pivot_row * cols..(pivot_row + 1) * cols],
+                    )
+                };
+                for j in col..cols {
+                    let p = mont.mont_mul(&factor, &tail[j]);
+                    head[j] = mont.sub(&head[j], &p);
+                }
+            }
+            pivots.push(col);
+            pivot_row += 1;
+        }
+        pivots
+    }
+
+    /// Rank of the matrix (consumes a clone; use `row_reduce` to keep RREF).
+    pub fn rank(&self) -> usize {
+        self.clone().row_reduce().len()
+    }
+
+    /// Basis of the right null space `{x : A·x = 0}`.
+    pub fn null_space_basis(&self) -> Vec<Vec<Fp<L>>> {
+        let mut rref = self.clone();
+        let pivots = rref.row_reduce();
+        let mut is_pivot = vec![false; self.cols];
+        for &c in &pivots {
+            is_pivot[c] = true;
+        }
+        let free: Vec<usize> = (0..self.cols).filter(|&c| !is_pivot[c]).collect();
+        let mut basis = Vec::with_capacity(free.len());
+        for &fc in &free {
+            // Basis vector: free column fc = 1, other free cols = 0,
+            // pivot col p (in pivot row r) = -RREF[r][fc].
+            let mut v = vec![self.ctx.zero(); self.cols];
+            v[fc] = self.ctx.one();
+            for (r, &pc) in pivots.iter().enumerate() {
+                v[pc] = -rref.get(r, fc);
+            }
+            basis.push(v);
+        }
+        basis
+    }
+
+    /// A uniformly random vector in the right null space, sampled as a random
+    /// linear combination of a null-space basis. Returns the zero vector only
+    /// when the null space is trivial (never for the BGKM shapes, which have
+    /// more columns than rows).
+    pub fn random_null_vector<R: RngCore + ?Sized>(&self, rng: &mut R) -> Vec<Fp<L>> {
+        let basis = self.null_space_basis();
+        if basis.is_empty() {
+            return vec![self.ctx.zero(); self.cols];
+        }
+        loop {
+            let coeffs: Vec<Fp<L>> =
+                (0..basis.len()).map(|_| self.ctx.random(rng)).collect();
+            let mont = self.ctx.mont();
+            let mut out = vec![Uint::ZERO; self.cols];
+            for (c, b) in coeffs.iter().zip(&basis) {
+                let cm = *c.mont_raw();
+                if cm.is_zero() {
+                    continue;
+                }
+                for (o, e) in out.iter_mut().zip(b) {
+                    *o = mont.add(o, &mont.mont_mul(&cm, e.mont_raw()));
+                }
+            }
+            if out.iter().any(|x| !x.is_zero()) {
+                return out
+                    .into_iter()
+                    .map(|m| self.ctx.from_mont_raw(m))
+                    .collect();
+            }
+        }
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let cols = self.cols;
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (first, second) = self.data.split_at_mut(hi * cols);
+        first[lo * cols..(lo + 1) * cols].swap_with_slice(&mut second[..cols]);
+    }
+}
+
+impl<const L: usize> core::fmt::Debug for Matrix<L> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "Matrix {}x{} mod 0x{} [", self.rows, self.cols, self.ctx.modulus().to_hex())?;
+        for i in 0..self.rows {
+            write!(f, "  [")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.get(i, j).to_uint())?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Inner product of two equal-length field vectors.
+pub fn dot<const L: usize>(a: &[Fp<L>], b: &[Fp<L>]) -> Fp<L> {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    assert!(!a.is_empty(), "empty dot product");
+    let ctx = a[0].ctx();
+    let mont = ctx.mont();
+    let mut acc = Uint::ZERO;
+    for (x, y) in a.iter().zip(b) {
+        acc = mont.add(&acc, &mont.mont_mul(x.mont_raw(), y.mont_raw()));
+    }
+    ctx.from_mont_raw(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uint::U128;
+    use rand::{Rng, SeedableRng};
+
+    fn field() -> Arc<FpCtx<2>> {
+        FpCtx::new(U128::from_u128((1u128 << 80) - 65))
+    }
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    fn random_matrix<R: Rng>(
+        ctx: &Arc<FpCtx<2>>,
+        rng: &mut R,
+        rows: usize,
+        cols: usize,
+    ) -> Matrix<2> {
+        Matrix::from_fn(ctx, rows, cols, |_, _| ctx.random(rng))
+    }
+
+    #[test]
+    fn identity_has_full_rank() {
+        let f = field();
+        for n in [1, 2, 5, 17] {
+            assert_eq!(Matrix::identity(&f, n).rank(), n);
+        }
+    }
+
+    #[test]
+    fn zero_matrix_has_rank_zero_and_full_null_space() {
+        let f = field();
+        let m = Matrix::zero(&f, 3, 5);
+        assert_eq!(m.rank(), 0);
+        assert_eq!(m.null_space_basis().len(), 5);
+    }
+
+    #[test]
+    fn rref_solves_linear_dependence() {
+        let f = field();
+        // Row 2 = 2 * row 0 + row 1 → rank 2.
+        let r0: Vec<_> = [1u64, 2, 3].iter().map(|&x| f.from_u64(x)).collect();
+        let r1: Vec<_> = [4u64, 5, 6].iter().map(|&x| f.from_u64(x)).collect();
+        let r2: Vec<_> = [6u64, 9, 12].iter().map(|&x| f.from_u64(x)).collect();
+        let m = Matrix::from_rows(&f, &[r0, r1, r2]);
+        assert_eq!(m.rank(), 2);
+        assert_eq!(m.null_space_basis().len(), 1);
+    }
+
+    #[test]
+    fn null_space_vectors_annihilate() {
+        let f = field();
+        let mut r = rng();
+        for _ in 0..20 {
+            let rows = 1 + r.gen::<usize>() % 8;
+            let cols = rows + 1 + r.gen::<usize>() % 4;
+            let m = random_matrix(&f, &mut r, rows, cols);
+            for v in m.null_space_basis() {
+                let prod = m.mul_vec(&v);
+                assert!(prod.iter().all(Fp::is_zero), "basis vector not in kernel");
+            }
+            let rv = m.random_null_vector(&mut r);
+            assert!(rv.iter().any(|x| !x.is_zero()), "wide matrix ⇒ nontrivial kernel");
+            assert!(m.mul_vec(&rv).iter().all(Fp::is_zero));
+        }
+    }
+
+    #[test]
+    fn rank_nullity_theorem() {
+        let f = field();
+        let mut r = rng();
+        for _ in 0..20 {
+            let rows = 1 + r.gen::<usize>() % 10;
+            let cols = 1 + r.gen::<usize>() % 10;
+            let m = random_matrix(&f, &mut r, rows, cols);
+            assert_eq!(m.rank() + m.null_space_basis().len(), cols);
+        }
+    }
+
+    #[test]
+    fn random_square_matrices_are_usually_invertible() {
+        let f = field();
+        let mut r = rng();
+        let mut full = 0;
+        for _ in 0..30 {
+            if random_matrix(&f, &mut r, 6, 6).rank() == 6 {
+                full += 1;
+            }
+        }
+        // Probability of a random singular matrix over an 80-bit field is
+        // ≈ 2^-80 per trial.
+        assert_eq!(full, 30);
+    }
+
+    #[test]
+    fn mat_mul_identity() {
+        let f = field();
+        let mut r = rng();
+        let m = random_matrix(&f, &mut r, 4, 4);
+        let id = Matrix::identity(&f, 4);
+        let prod = m.mul_mat(&id);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(prod.get(i, j), m.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn rref_of_rref_is_stable() {
+        let f = field();
+        let mut r = rng();
+        let mut m = random_matrix(&f, &mut r, 5, 7);
+        let p1 = m.row_reduce();
+        let mut m2 = m.clone();
+        let p2 = m2.row_reduce();
+        assert_eq!(p1, p2);
+        for i in 0..5 {
+            for j in 0..7 {
+                assert_eq!(m.get(i, j), m2.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn dot_product() {
+        let f = field();
+        let a: Vec<_> = [1u64, 2, 3].iter().map(|&x| f.from_u64(x)).collect();
+        let b: Vec<_> = [4u64, 5, 6].iter().map(|&x| f.from_u64(x)).collect();
+        assert_eq!(dot(&a, &b), f.from_u64(32));
+    }
+
+    #[test]
+    fn bgkm_shape_always_has_kernel() {
+        // The BGKM invariant: rows ≤ N, cols = N + 1 ⇒ nontrivial kernel.
+        let f = field();
+        let mut r = rng();
+        for n in [1usize, 3, 8, 16] {
+            let m = random_matrix(&f, &mut r, n, n + 1);
+            let v = m.random_null_vector(&mut r);
+            assert!(v.iter().any(|x| !x.is_zero()));
+            assert!(m.mul_vec(&v).iter().all(Fp::is_zero));
+        }
+    }
+}

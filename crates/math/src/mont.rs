@@ -1,0 +1,318 @@
+//! Montgomery-form modular arithmetic over odd moduli.
+//!
+//! A [`MontCtx`] precomputes the constants needed for CIOS Montgomery
+//! multiplication. All hot-path modular arithmetic in the workspace (field
+//! towers, elliptic-curve coordinates, GKM matrix elimination) goes through
+//! this context; schoolbook `mul_mod` is reserved for one-off setup.
+//!
+//! Values handled by the context are *residues in Montgomery form*:
+//! `mont(x) = x·R mod m` with `R = 2^(64·L)`. Conversion happens at the
+//! boundary via [`MontCtx::to_mont`] / [`MontCtx::from_mont`].
+
+use crate::uint::Uint;
+
+/// Precomputed Montgomery context for an odd modulus.
+#[derive(Clone, PartialEq, Eq)]
+pub struct MontCtx<const L: usize> {
+    modulus: Uint<L>,
+    /// `-modulus^{-1} mod 2^64`
+    n0: u64,
+    /// `R mod modulus` (Montgomery form of 1)
+    r1: Uint<L>,
+    /// `R² mod modulus` (to_mont multiplier)
+    r2: Uint<L>,
+    bits: u32,
+}
+
+impl<const L: usize> MontCtx<L> {
+    /// Creates a context. Panics if the modulus is even or < 3.
+    pub fn new(modulus: Uint<L>) -> Self {
+        assert!(modulus.is_odd(), "Montgomery modulus must be odd");
+        assert!(modulus > Uint::one(), "modulus must be > 1");
+        // Newton iteration for modulus^{-1} mod 2^64; five steps double
+        // precision from the 1-bit seed each time (odd m ⇒ m ≡ m^{-1} mod 2).
+        let m0 = modulus.limbs()[0];
+        let mut inv = m0;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(m0.wrapping_mul(inv), 1);
+        let n0 = inv.wrapping_neg();
+        // R mod m = (MAX mod m) + 1 (mod m), since MAX = R - 1.
+        let r1 = Uint::<L>::MAX
+            .rem(&modulus)
+            .add_mod(&Uint::one(), &modulus);
+        let r2 = r1.mul_mod(&r1, &modulus);
+        let bits = modulus.bits();
+        Self {
+            modulus,
+            n0,
+            r1,
+            r2,
+            bits,
+        }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &Uint<L> {
+        &self.modulus
+    }
+
+    /// Bit length of the modulus.
+    pub fn modulus_bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Montgomery form of 1.
+    pub fn one(&self) -> Uint<L> {
+        self.r1
+    }
+
+    /// Converts a canonical residue (`< modulus`) to Montgomery form.
+    pub fn to_mont(&self, x: &Uint<L>) -> Uint<L> {
+        debug_assert!(x < &self.modulus);
+        self.mont_mul(x, &self.r2)
+    }
+
+    /// Converts Montgomery form back to a canonical residue.
+    pub fn from_mont(&self, x: &Uint<L>) -> Uint<L> {
+        self.mont_mul(x, &Uint::one())
+    }
+
+    /// CIOS Montgomery multiplication: returns `a·b·R^{-1} mod m`.
+    pub fn mont_mul(&self, a: &Uint<L>, b: &Uint<L>) -> Uint<L> {
+        assert!(L + 2 <= 66, "width too large for CIOS scratch");
+        let m = self.modulus.limbs();
+        let al = a.limbs();
+        let bl = b.limbs();
+        let mut t = [0u64; 66];
+        for i in 0..L {
+            // t += a[i] * b
+            let ai = al[i] as u128;
+            let mut carry = 0u128;
+            for j in 0..L {
+                let v = t[j] as u128 + ai * bl[j] as u128 + carry;
+                t[j] = v as u64;
+                carry = v >> 64;
+            }
+            let v = t[L] as u128 + carry;
+            t[L] = v as u64;
+            t[L + 1] = (v >> 64) as u64;
+            // Reduce one limb: add u*m so the low limb cancels, shift right.
+            let u = (t[0].wrapping_mul(self.n0)) as u128;
+            let mut carry = (t[0] as u128 + u * m[0] as u128) >> 64;
+            for j in 1..L {
+                let v = t[j] as u128 + u * m[j] as u128 + carry;
+                t[j - 1] = v as u64;
+                carry = v >> 64;
+            }
+            let v = t[L] as u128 + carry;
+            t[L - 1] = v as u64;
+            t[L] = t[L + 1] + (v >> 64) as u64;
+            t[L + 1] = 0;
+        }
+        let mut out = [0u64; L];
+        out.copy_from_slice(&t[..L]);
+        let mut res = Uint::from_limbs(out);
+        if t[L] != 0 || res >= self.modulus {
+            res = res.wrapping_sub(&self.modulus);
+        }
+        res
+    }
+
+    /// Montgomery squaring (delegates to `mont_mul`).
+    pub fn mont_sqr(&self, a: &Uint<L>) -> Uint<L> {
+        self.mont_mul(a, a)
+    }
+
+    /// Modular addition of residues (either form, as long as both match).
+    pub fn add(&self, a: &Uint<L>, b: &Uint<L>) -> Uint<L> {
+        a.add_mod(b, &self.modulus)
+    }
+
+    /// Modular subtraction of residues.
+    pub fn sub(&self, a: &Uint<L>, b: &Uint<L>) -> Uint<L> {
+        a.sub_mod(b, &self.modulus)
+    }
+
+    /// Modular negation of a residue.
+    pub fn neg(&self, a: &Uint<L>) -> Uint<L> {
+        if a.is_zero() {
+            *a
+        } else {
+            self.modulus.wrapping_sub(a)
+        }
+    }
+
+    /// Modular doubling.
+    pub fn double(&self, a: &Uint<L>) -> Uint<L> {
+        self.add(a, a)
+    }
+
+    /// Exponentiation of a Montgomery-form base by a (canonical) exponent of
+    /// any width, via MSB-first square-and-multiply.
+    pub fn pow<const E: usize>(&self, base_mont: &Uint<L>, exp: &Uint<E>) -> Uint<L> {
+        let mut acc = self.r1; // mont(1)
+        let nbits = exp.bits();
+        for i in (0..nbits).rev() {
+            acc = self.mont_sqr(&acc);
+            if exp.bit(i) {
+                acc = self.mont_mul(&acc, base_mont);
+            }
+        }
+        acc
+    }
+
+    /// Inverse of a Montgomery-form value via Fermat's little theorem
+    /// (requires a *prime* modulus). Returns `None` for zero.
+    pub fn inv(&self, a_mont: &Uint<L>) -> Option<Uint<L>> {
+        if a_mont.is_zero() {
+            return None;
+        }
+        let pm2 = self.modulus.wrapping_sub(&Uint::from_u64(2));
+        Some(self.pow(a_mont, &pm2))
+    }
+
+    /// Square root of a Montgomery-form value for primes `p ≡ 3 (mod 4)`:
+    /// `a^((p+1)/4)`. Returns `None` if `a` is a non-residue.
+    pub fn sqrt_p3mod4(&self, a_mont: &Uint<L>) -> Option<Uint<L>> {
+        assert_eq!(
+            self.modulus.limbs()[0] & 3,
+            3,
+            "sqrt_p3mod4 requires p ≡ 3 (mod 4)"
+        );
+        // p ≡ 3 (mod 4) ⇒ (p+1)/4 = (p >> 2) + 1, avoiding overflow at p+1.
+        let e = self.modulus.shr(2).wrapping_add(&Uint::one());
+        let r = self.pow(a_mont, &e);
+        if self.mont_sqr(&r) == *a_mont {
+            Some(r)
+        } else {
+            None
+        }
+    }
+}
+
+impl<const L: usize> core::fmt::Debug for MontCtx<L> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "MontCtx(m=0x{})", self.modulus.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uint::{U128, U256};
+    use rand::SeedableRng;
+
+    fn q80() -> U128 {
+        // 2^80 - 65, prime.
+        U128::from_u128((1u128 << 80) - 65)
+    }
+
+    #[test]
+    fn roundtrip_mont_form() {
+        let ctx = MontCtx::new(q80());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let x = U128::random_below(&mut rng, &q80());
+            let m = ctx.to_mont(&x);
+            assert_eq!(ctx.from_mont(&m), x);
+        }
+    }
+
+    #[test]
+    fn mont_mul_matches_schoolbook() {
+        let ctx = MontCtx::new(q80());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        for _ in 0..500 {
+            let a = U128::random_below(&mut rng, &q80());
+            let b = U128::random_below(&mut rng, &q80());
+            let am = ctx.to_mont(&a);
+            let bm = ctx.to_mont(&b);
+            let got = ctx.from_mont(&ctx.mont_mul(&am, &bm));
+            assert_eq!(got, a.mul_mod(&b, &q80()));
+        }
+    }
+
+    #[test]
+    fn mont_mul_256bit_modulus_near_max() {
+        // Stress the conditional-subtraction path with a modulus close to
+        // the type width (like the P-256 base field prime).
+        let p = U256::from_hex(
+            "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff",
+        )
+        .unwrap();
+        let ctx = MontCtx::new(p);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..300 {
+            let a = U256::random_below(&mut rng, &p);
+            let b = U256::random_below(&mut rng, &p);
+            let got = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&a), &ctx.to_mont(&b)));
+            assert_eq!(got, a.mul_mod(&b, &p));
+        }
+    }
+
+    #[test]
+    fn pow_matches_pow_mod() {
+        let ctx = MontCtx::new(q80());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        for _ in 0..50 {
+            let a = U128::random_below(&mut rng, &q80());
+            let e = U128::random_bits(&mut rng, 80);
+            let got = ctx.from_mont(&ctx.pow(&ctx.to_mont(&a), &e));
+            assert_eq!(got, a.pow_mod(&e, &q80()));
+        }
+    }
+
+    #[test]
+    fn fermat_inverse() {
+        let ctx = MontCtx::new(q80());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let a = loop {
+                let a = U128::random_below(&mut rng, &q80());
+                if !a.is_zero() {
+                    break a;
+                }
+            };
+            let am = ctx.to_mont(&a);
+            let inv = ctx.inv(&am).unwrap();
+            assert_eq!(ctx.mont_mul(&am, &inv), ctx.one());
+        }
+        assert!(ctx.inv(&U128::ZERO).is_none());
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let ctx = MontCtx::new(q80());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        for _ in 0..200 {
+            let a = U128::random_below(&mut rng, &q80());
+            let b = U128::random_below(&mut rng, &q80());
+            let s = ctx.add(&a, &b);
+            assert_eq!(ctx.sub(&s, &b), a);
+            assert_eq!(ctx.add(&a, &ctx.neg(&a)), U128::ZERO);
+        }
+    }
+
+    #[test]
+    fn sqrt_on_3mod4_prime() {
+        // q80 = 2^80 - 65 ≡ ? mod 4: 2^80 ≡ 0, -65 ≡ -1 ≡ 3 mod 4. Good.
+        let ctx = MontCtx::new(q80());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let mut residues = 0;
+        for _ in 0..100 {
+            let a = U128::random_below(&mut rng, &q80());
+            let am = ctx.to_mont(&a);
+            let sq = ctx.mont_sqr(&am);
+            // sq is guaranteed a residue.
+            let root = ctx.sqrt_p3mod4(&sq).expect("square must have a root");
+            assert_eq!(ctx.mont_sqr(&root), sq);
+            if ctx.sqrt_p3mod4(&am).is_some() {
+                residues += 1;
+            }
+        }
+        // Roughly half of random elements are quadratic residues.
+        assert!(residues > 20 && residues < 80, "residues={residues}");
+    }
+}

@@ -1,0 +1,203 @@
+//! Primality testing and random prime generation.
+//!
+//! The publisher in the paper "chooses an ℓ′-bit prime number q" for the GKM
+//! field; this module provides Miller–Rabin testing and random prime
+//! generation, plus the workspace's canonical 80-bit GKM modulus.
+
+use crate::mont::MontCtx;
+use crate::uint::{Uint, U128};
+use rand::RngCore;
+
+/// The canonical 80-bit GKM field modulus: `2^80 − 65` (prime).
+///
+/// The paper performs "all finite field arithmetic operations … in an 80-bit
+/// prime field"; this constant reproduces that parameter choice.
+pub fn gkm_q80() -> U128 {
+    U128::from_u128((1u128 << 80) - 65)
+}
+
+const SMALL_PRIMES: [u64; 54] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+];
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+///
+/// Error probability ≤ 4^(−rounds) for composites; 40 rounds is the
+/// conventional "cryptographic certainty" setting.
+pub fn miller_rabin<const L: usize, R: RngCore + ?Sized>(
+    n: &Uint<L>,
+    rounds: u32,
+    rng: &mut R,
+) -> bool {
+    if n < &Uint::from_u64(2) {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let sp = Uint::from_u64(p);
+        if *n == sp {
+            return true;
+        }
+        if n.rem(&sp).is_zero() {
+            return false;
+        }
+    }
+    // n is odd and > 251 here; write n − 1 = d · 2^s.
+    let n_minus_1 = n.wrapping_sub(&Uint::one());
+    let s = trailing_zeros(&n_minus_1);
+    let d = n_minus_1.shr(s);
+    let mont = MontCtx::new(*n);
+    let one = mont.one();
+    let minus_one = mont.neg(&one);
+    let two = Uint::from_u64(2);
+    let bound = n.wrapping_sub(&Uint::from_u64(3));
+    'witness: for _ in 0..rounds {
+        // Base a ∈ [2, n−2].
+        let a = Uint::random_below(rng, &bound).add_mod(&two, n);
+        let mut x = mont.pow(&mont.to_mont(&a), &d);
+        if x == one || x == minus_one {
+            continue;
+        }
+        for _ in 0..s.saturating_sub(1) {
+            x = mont.mont_sqr(&x);
+            if x == minus_one {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random prime with exactly `bits` bits.
+pub fn gen_prime<const L: usize, R: RngCore + ?Sized>(bits: u32, rng: &mut R) -> Uint<L> {
+    assert!(bits >= 2 && bits <= Uint::<L>::BITS, "bit size out of range");
+    loop {
+        let mut candidate = Uint::<L>::random_bits(rng, bits);
+        candidate.set_bit(bits - 1, true); // exact bit length
+        if bits > 1 {
+            candidate.set_bit(0, true); // odd
+        }
+        if miller_rabin(&candidate, 40, rng) {
+            return candidate;
+        }
+    }
+}
+
+/// Generates a "safe-prime-style" pair `(p, q)` with `p = 2·k·q + 1` where
+/// `q` is a `q_bits`-bit prime and `p` a `p_bits`-bit prime — the classic
+/// Schnorr-group parameter shape. Slow for large `p_bits`; tests use small
+/// sizes and the production modp group uses fixed RFC 5114 constants.
+pub fn gen_schnorr_pair<const L: usize, R: RngCore + ?Sized>(
+    p_bits: u32,
+    q_bits: u32,
+    rng: &mut R,
+) -> (Uint<L>, Uint<L>) {
+    assert!(p_bits > q_bits + 1, "p must be wider than q");
+    let q: Uint<L> = gen_prime(q_bits, rng);
+    loop {
+        // p = q·k·2 + 1 with k random of the right size.
+        let k_bits = p_bits - q_bits - 1;
+        let k = Uint::<L>::random_bits(rng, k_bits);
+        let (kq, overflow) = q.mul_wide(&k);
+        if !overflow.is_zero() {
+            continue;
+        }
+        let p = kq.shl(1).wrapping_add(&Uint::one());
+        if p.bits() == p_bits && miller_rabin(&p, 40, rng) {
+            return (p, q);
+        }
+    }
+}
+
+fn trailing_zeros<const L: usize>(n: &Uint<L>) -> u32 {
+    for (i, &limb) in n.limbs().iter().enumerate() {
+        if limb != 0 {
+            return 64 * i as u32 + limb.trailing_zeros();
+        }
+    }
+    Uint::<L>::BITS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uint::{U128, U256};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn small_primes_and_composites() {
+        let mut r = rng();
+        for p in [2u64, 3, 5, 7, 11, 97, 251, 257, 65537, 1_000_000_007] {
+            assert!(miller_rabin(&U128::from_u64(p), 20, &mut r), "{p} is prime");
+        }
+        for c in [0u64, 1, 4, 9, 255, 1001, 65535, 1_000_000_008] {
+            assert!(!miller_rabin(&U128::from_u64(c), 20, &mut r), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        let mut r = rng();
+        // Classic strong-pseudoprime stress values.
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(!miller_rabin(&U128::from_u64(c), 20, &mut r), "{c}");
+        }
+    }
+
+    #[test]
+    fn gkm_modulus_is_prime() {
+        let mut r = rng();
+        assert!(miller_rabin(&gkm_q80(), 40, &mut r));
+        assert_eq!(gkm_q80().bits(), 80);
+    }
+
+    #[test]
+    fn p256_prime_and_order_pass() {
+        let mut r = rng();
+        let p = U256::from_hex(
+            "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff",
+        )
+        .unwrap();
+        let n = U256::from_hex(
+            "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551",
+        )
+        .unwrap();
+        assert!(miller_rabin(&p, 20, &mut r));
+        assert!(miller_rabin(&n, 20, &mut r));
+    }
+
+    #[test]
+    fn generated_primes_have_exact_bits() {
+        let mut r = rng();
+        for bits in [16u32, 32, 48, 80] {
+            let p: U128 = gen_prime(bits, &mut r);
+            assert_eq!(p.bits(), bits);
+            assert!(miller_rabin(&p, 40, &mut r));
+        }
+    }
+
+    #[test]
+    fn schnorr_pair_structure() {
+        let mut r = rng();
+        let (p, q): (U128, U128) = gen_schnorr_pair(64, 32, &mut r);
+        assert_eq!(p.bits(), 64);
+        assert_eq!(q.bits(), 32);
+        // q divides p − 1.
+        let pm1 = p.wrapping_sub(&U128::one());
+        assert!(pm1.rem(&q).is_zero());
+    }
+
+    #[test]
+    fn trailing_zeros_helper() {
+        assert_eq!(trailing_zeros(&U128::from_u64(1)), 0);
+        assert_eq!(trailing_zeros(&U128::from_u64(8)), 3);
+        assert_eq!(trailing_zeros(&U128::from_limbs([0, 1])), 64);
+        assert_eq!(trailing_zeros(&U128::ZERO), 128);
+    }
+}

@@ -1,0 +1,325 @@
+//! Variable-width unsigned integers (heap-allocated limbs).
+//!
+//! The CRT "secure lock" baseline (Chiou & Chen, discussed in the paper's
+//! related work) needs integers whose width grows with the number of users
+//! — the product of per-user moduli. [`VarUint`] provides the minimal
+//! arbitrary-precision tool-kit for that: add, sub, mul, div/rem, modular
+//! reduction and comparison. Fixed-width [`crate::uint::Uint`] remains the
+//! tool for all bounded cryptographic arithmetic.
+
+use crate::uint::{div_rem_limbs, Uint};
+use core::cmp::Ordering;
+
+/// An arbitrary-precision unsigned integer, little-endian `u64` limbs with
+/// no trailing zero limbs (canonical form; zero is the empty limb vector).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct VarUint {
+    limbs: Vec<u64>,
+}
+
+impl VarUint {
+    /// Zero.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        Self { limbs: vec![1] }
+    }
+
+    /// From a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            Self { limbs: vec![v] }
+        }
+    }
+
+    /// From a fixed-width integer.
+    pub fn from_uint<const L: usize>(v: &Uint<L>) -> Self {
+        Self::from_limbs(v.limbs().to_vec())
+    }
+
+    /// To a fixed-width integer, if it fits.
+    pub fn to_uint<const L: usize>(&self) -> Option<Uint<L>> {
+        if self.limbs.len() > L {
+            return None;
+        }
+        let mut out = [0u64; L];
+        out[..self.limbs.len()].copy_from_slice(&self.limbs);
+        Some(Uint::from_limbs(out))
+    }
+
+    fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Self { limbs }
+    }
+
+    /// True iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Bit length.
+    pub fn bits(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros())
+            }
+        }
+    }
+
+    /// Addition.
+    pub fn add(&self, rhs: &Self) -> Self {
+        let n = self.limbs.len().max(rhs.limbs.len());
+        let mut out = Vec::with_capacity(n + 1);
+        let mut carry = 0u128;
+        for i in 0..n {
+            let a = *self.limbs.get(i).unwrap_or(&0) as u128;
+            let b = *rhs.limbs.get(i).unwrap_or(&0) as u128;
+            let s = a + b + carry;
+            out.push(s as u64);
+            carry = s >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        Self::from_limbs(out)
+    }
+
+    /// Subtraction; panics on underflow.
+    pub fn sub(&self, rhs: &Self) -> Self {
+        assert!(self >= rhs, "VarUint subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i128;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i] as i128;
+            let b = *rhs.limbs.get(i).unwrap_or(&0) as i128;
+            let d = a - b + borrow;
+            out.push(d as u64);
+            borrow = d >> 64; // arithmetic: 0 or -1
+        }
+        debug_assert_eq!(borrow, 0);
+        Self::from_limbs(out)
+    }
+
+    /// Multiplication (schoolbook).
+    pub fn mul(&self, rhs: &Self) -> Self {
+        if self.is_zero() || rhs.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            let a = a as u128;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let t = a * b as u128 + out[i + j] as u128 + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            out[i + rhs.limbs.len()] = carry as u64;
+        }
+        Self::from_limbs(out)
+    }
+
+    /// Quotient and remainder; panics if `rhs` is zero.
+    pub fn div_rem(&self, rhs: &Self) -> (Self, Self) {
+        assert!(!rhs.is_zero(), "division by zero");
+        if self.is_zero() {
+            return (Self::zero(), Self::zero());
+        }
+        let (q, r) = div_rem_limbs(&self.limbs, &rhs.limbs);
+        (Self::from_limbs(q), Self::from_limbs(r))
+    }
+
+    /// Remainder.
+    pub fn rem(&self, rhs: &Self) -> Self {
+        self.div_rem(rhs).1
+    }
+
+    /// `self mod m` reduced into a fixed-width integer (panics if `m` does
+    /// not fit — callers reduce by small moduli).
+    pub fn rem_uint<const L: usize>(&self, m: &Uint<L>) -> Uint<L> {
+        let r = self.rem(&Self::from_uint(m));
+        r.to_uint().expect("remainder smaller than modulus")
+    }
+
+    /// Big-endian bytes (minimal, no leading zeros; empty for zero).
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        let mut out: Vec<u8> = Vec::with_capacity(self.limbs.len() * 8);
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            let bytes = limb.to_be_bytes();
+            if i == self.limbs.len() - 1 {
+                // Skip leading zeros of the top limb.
+                let skip = bytes.iter().take_while(|&&b| b == 0).count();
+                out.extend_from_slice(&bytes[skip..]);
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// From big-endian bytes.
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        let mut limbs = vec![0u64; bytes.len().div_ceil(8)];
+        for (i, &b) in bytes.iter().rev().enumerate() {
+            limbs[i / 8] |= (b as u64) << (8 * (i % 8));
+        }
+        Self::from_limbs(limbs)
+    }
+}
+
+impl Ord for VarUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for VarUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl core::fmt::Debug for VarUint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.is_zero() {
+            return write!(f, "VarUint(0)");
+        }
+        write!(f, "VarUint(0x")?;
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            if i == self.limbs.len() - 1 {
+                write!(f, "{limb:x}")?;
+            } else {
+                write!(f, "{limb:016x}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uint::U128;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(404)
+    }
+
+    fn random_var<R: Rng>(r: &mut R, max_limbs: usize) -> VarUint {
+        let n = r.gen::<usize>() % (max_limbs + 1);
+        VarUint::from_limbs((0..n).map(|_| r.gen()).collect())
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let a = random_var(&mut r, 10);
+            let b = random_var(&mut r, 10);
+            let s = a.add(&b);
+            assert_eq!(s.sub(&b), a);
+            assert_eq!(s.sub(&a), b);
+            assert!(s >= a && s >= b);
+        }
+    }
+
+    #[test]
+    fn mul_div_roundtrip() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let a = random_var(&mut r, 8);
+            let b = loop {
+                let b = random_var(&mut r, 4);
+                if !b.is_zero() {
+                    break b;
+                }
+            };
+            let (q, rem) = a.div_rem(&b);
+            assert!(rem < b);
+            assert_eq!(q.mul(&b).add(&rem), a);
+        }
+    }
+
+    #[test]
+    fn u128_model_agreement() {
+        let mut r = rng();
+        for _ in 0..300 {
+            let a = r.gen::<u64>() as u128;
+            let b = r.gen::<u64>() as u128;
+            let va = VarUint::from_u64(a as u64);
+            let vb = VarUint::from_u64(b as u64);
+            let prod = va.mul(&vb);
+            assert_eq!(prod, VarUint::from_uint(&U128::from_u128(a * b)));
+        }
+    }
+
+    #[test]
+    fn canonical_zero_handling() {
+        assert!(VarUint::zero().is_zero());
+        assert_eq!(VarUint::from_u64(0), VarUint::zero());
+        assert_eq!(VarUint::zero().bits(), 0);
+        assert_eq!(VarUint::zero().add(&VarUint::one()), VarUint::one());
+        assert_eq!(VarUint::one().sub(&VarUint::one()), VarUint::zero());
+        assert_eq!(VarUint::zero().mul(&VarUint::one()), VarUint::zero());
+        assert_eq!(VarUint::from_limbs(vec![5, 0, 0]), VarUint::from_u64(5));
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let a = random_var(&mut r, 6);
+            assert_eq!(VarUint::from_be_bytes(&a.to_be_bytes()), a);
+        }
+        assert_eq!(VarUint::from_be_bytes(&[]), VarUint::zero());
+        assert_eq!(VarUint::from_be_bytes(&[0, 0, 7]), VarUint::from_u64(7));
+    }
+
+    #[test]
+    fn rem_uint_fixed_width() {
+        let mut r = rng();
+        let m = U128::from_u128((1u128 << 80) - 65);
+        for _ in 0..100 {
+            let a = random_var(&mut r, 20);
+            let got = a.rem_uint(&m);
+            assert!(got < m);
+            // Cross-check through VarUint arithmetic.
+            assert_eq!(VarUint::from_uint(&got), a.rem(&VarUint::from_uint(&m)));
+        }
+    }
+
+    #[test]
+    fn wide_products_grow_correctly() {
+        // (2^640 - 1)^2 has 1280 bits.
+        let a = VarUint::from_limbs(vec![u64::MAX; 10]);
+        let sq = a.mul(&a);
+        assert_eq!(sq.bits(), 1280);
+        let (q, rem) = sq.div_rem(&a);
+        assert_eq!(q, a);
+        assert!(rem.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        VarUint::from_u64(1).sub(&VarUint::from_u64(2));
+    }
+}

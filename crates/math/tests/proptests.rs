@@ -1,0 +1,131 @@
+//! Property-based tests for the math substrate.
+
+use pbcd_math::{FpCtx, Matrix, MontCtx, U128, U256};
+use proptest::prelude::*;
+
+fn arb_u256() -> impl Strategy<Value = U256> {
+    prop::array::uniform4(any::<u64>()).prop_map(U256::from_limbs)
+}
+
+fn arb_u128() -> impl Strategy<Value = U128> {
+    prop::array::uniform2(any::<u64>()).prop_map(U128::from_limbs)
+}
+
+fn q80() -> U128 {
+    pbcd_math::gkm_q80()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_commutes(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.wrapping_add(&b), b.wrapping_add(&a));
+    }
+
+    #[test]
+    fn add_then_sub_roundtrips(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.wrapping_add(&b).wrapping_sub(&b), a);
+    }
+
+    #[test]
+    fn mul_wide_commutes(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.mul_wide(&b), b.mul_wide(&a));
+    }
+
+    #[test]
+    fn division_invariant(a in arb_u256(), b in arb_u256()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        let (lo, hi) = q.mul_wide(&b);
+        prop_assert!(hi.is_zero());
+        let (sum, carry) = lo.overflowing_add(&r);
+        prop_assert!(!carry);
+        prop_assert_eq!(sum, a);
+    }
+
+    #[test]
+    fn shift_roundtrip(a in arb_u256(), n in 0u32..255) {
+        // Right-then-left shift clears low bits only.
+        let masked = a.shr(n).shl(n);
+        prop_assert_eq!(masked.shr(n), a.shr(n));
+    }
+
+    #[test]
+    fn hex_roundtrip(a in arb_u256()) {
+        prop_assert_eq!(U256::from_hex(&a.to_hex()), Some(a));
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in arb_u256()) {
+        prop_assert_eq!(U256::from_be_bytes(&a.to_be_bytes()), Some(a));
+    }
+
+    #[test]
+    fn mont_mul_matches_schoolbook(a in arb_u128(), b in arb_u128()) {
+        let q = q80();
+        let a = a.rem(&q);
+        let b = b.rem(&q);
+        let ctx = MontCtx::new(q);
+        let got = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&a), &ctx.to_mont(&b)));
+        prop_assert_eq!(got, a.mul_mod(&b, &q));
+    }
+
+    #[test]
+    fn field_inverse_cancels(a in arb_u128()) {
+        let ctx = FpCtx::new(q80());
+        let a = ctx.from_uint(&a);
+        prop_assume!(!a.is_zero());
+        let inv = a.inv().unwrap();
+        prop_assert_eq!(&a * &inv, ctx.one());
+    }
+
+    #[test]
+    fn field_distributes(a in arb_u128(), b in arb_u128(), c in arb_u128()) {
+        let ctx = FpCtx::new(q80());
+        let (a, b, c) = (ctx.from_uint(&a), ctx.from_uint(&b), ctx.from_uint(&c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn inv_mod_matches_fermat(a in arb_u128()) {
+        let q = q80();
+        let a = a.rem(&q);
+        prop_assume!(!a.is_zero());
+        let pm2 = q.wrapping_sub(&U128::from_u64(2));
+        prop_assert_eq!(a.inv_mod(&q), Some(a.pow_mod(&pm2, &q)));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn null_vectors_annihilate(
+        seed in any::<u64>(),
+        rows in 1usize..8,
+        extra_cols in 1usize..4,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ctx = FpCtx::new(q80());
+        let cols = rows + extra_cols;
+        let m = Matrix::from_fn(&ctx, rows, cols, |_, _| ctx.random(&mut rng));
+        let v = m.random_null_vector(&mut rng);
+        prop_assert!(v.iter().any(|x| !x.is_zero()));
+        prop_assert!(m.mul_vec(&v).iter().all(|x| x.is_zero()));
+        for b in m.null_space_basis() {
+            prop_assert!(m.mul_vec(&b).iter().all(|x| x.is_zero()));
+        }
+    }
+
+    #[test]
+    fn rank_nullity(seed in any::<u64>(), rows in 1usize..7, cols in 1usize..7) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ctx = FpCtx::new(q80());
+        let m = Matrix::from_fn(&ctx, rows, cols, |_, _| ctx.random(&mut rng));
+        prop_assert_eq!(m.rank() + m.null_space_basis().len(), cols);
+    }
+}

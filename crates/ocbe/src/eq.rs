@@ -1,0 +1,134 @@
+//! EQ-OCBE (paper §IV-C): oblivious envelope for equality predicates.
+//!
+//! Sender: pick `y ∈ F_p^×`, compute `σ = (c·g^{−x₀})^y`, send
+//! `⟨η = h^y, C = E_{H(σ)}[M]⟩`. Receiver: `σ′ = η^r`; if the committed
+//! value equals `x₀` then `c·g^{−x₀} = h^r` so `σ = σ′` and the payload
+//! decrypts. The sender learns nothing about the committed value — it never
+//! even learns whether decryption succeeded.
+
+use pbcd_commit::{Commitment, Pedersen};
+use pbcd_crypto::AuthKey;
+use pbcd_group::{CyclicGroup, Scalar};
+use rand::RngCore;
+
+/// An EQ-OCBE envelope: `⟨η, C⟩`.
+pub struct EqEnvelope<G: CyclicGroup> {
+    /// `η = h^y`.
+    pub eta: G::Elem,
+    /// Authenticated ciphertext of the payload under `H(σ)`.
+    pub ciphertext: Vec<u8>,
+}
+
+impl<G: CyclicGroup> Clone for EqEnvelope<G> {
+    fn clone(&self) -> Self {
+        Self {
+            eta: self.eta.clone(),
+            ciphertext: self.ciphertext.clone(),
+        }
+    }
+}
+
+impl<G: CyclicGroup> core::fmt::Debug for EqEnvelope<G> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "EqEnvelope(|C|={})", self.ciphertext.len())
+    }
+}
+
+/// Sender side: composes an envelope that opens iff the receiver committed
+/// exactly `x0`.
+pub fn compose<G: CyclicGroup, R: RngCore + ?Sized>(
+    ped: &Pedersen<G>,
+    c: &Commitment<G>,
+    x0: &Scalar,
+    payload: &[u8],
+    rng: &mut R,
+) -> EqEnvelope<G> {
+    let group = ped.group();
+    let y = group.random_nonzero_scalar(rng);
+    let diff = ped.shift_value(c, x0); // commits to x − x₀ under r
+    let sigma = group.exp(diff.element(), &y);
+    let eta = group.exp(&group.pedersen_h(), &y);
+    let key = envelope_key(group, &sigma);
+    EqEnvelope {
+        eta,
+        ciphertext: key.encrypt(rng, payload),
+    }
+}
+
+/// Receiver side: attempts to open with the commitment randomness `r`.
+/// Returns `None` when the committed value did not satisfy the predicate
+/// (the authenticated decryption fails).
+pub fn open<G: CyclicGroup>(group: &G, env: &EqEnvelope<G>, r: &Scalar) -> Option<Vec<u8>> {
+    let sigma = group.exp(&env.eta, r);
+    envelope_key(group, &sigma).decrypt(&env.ciphertext).ok()
+}
+
+pub(crate) fn envelope_key<G: CyclicGroup>(group: &G, sigma: &G::Elem) -> AuthKey {
+    AuthKey::from_master(&group.serialize(sigma))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbcd_group::P256Group;
+    use rand::SeedableRng;
+
+    fn setup() -> (Pedersen<P256Group>, rand::rngs::StdRng) {
+        (
+            Pedersen::new(P256Group::new()),
+            rand::rngs::StdRng::seed_from_u64(200),
+        )
+    }
+
+    #[test]
+    fn qualified_receiver_opens() {
+        let (ped, mut rng) = setup();
+        let sc = ped.group().scalar_ctx().clone();
+        let (c, opening) = ped.commit_u64(28, &mut rng);
+        let env = compose(&ped, &c, &sc.from_u64(28), b"the CSS value", &mut rng);
+        assert_eq!(
+            open(ped.group(), &env, &opening.randomness),
+            Some(b"the CSS value".to_vec())
+        );
+    }
+
+    #[test]
+    fn unqualified_receiver_fails() {
+        let (ped, mut rng) = setup();
+        let sc = ped.group().scalar_ctx().clone();
+        let (c, opening) = ped.commit_u64(28, &mut rng);
+        // Predicate wants 30, receiver committed 28.
+        let env = compose(&ped, &c, &sc.from_u64(30), b"secret", &mut rng);
+        assert_eq!(open(ped.group(), &env, &opening.randomness), None);
+    }
+
+    #[test]
+    fn wrong_randomness_fails() {
+        let (ped, mut rng) = setup();
+        let sc = ped.group().scalar_ctx().clone();
+        let (c, opening) = ped.commit_u64(7, &mut rng);
+        let env = compose(&ped, &c, &sc.from_u64(7), b"m", &mut rng);
+        let wrong = &opening.randomness + &sc.one();
+        assert_eq!(open(ped.group(), &env, &wrong), None);
+    }
+
+    #[test]
+    fn envelopes_are_randomized() {
+        let (ped, mut rng) = setup();
+        let sc = ped.group().scalar_ctx().clone();
+        let (c, _) = ped.commit_u64(1, &mut rng);
+        let e1 = compose(&ped, &c, &sc.from_u64(1), b"m", &mut rng);
+        let e2 = compose(&ped, &c, &sc.from_u64(1), b"m", &mut rng);
+        assert_ne!(e1.eta, e2.eta);
+        assert_ne!(e1.ciphertext, e2.ciphertext);
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let (ped, mut rng) = setup();
+        let sc = ped.group().scalar_ctx().clone();
+        let (c, opening) = ped.commit_u64(0, &mut rng);
+        let env = compose(&ped, &c, &sc.from_u64(0), b"", &mut rng);
+        assert_eq!(open(ped.group(), &env, &opening.randomness), Some(vec![]));
+    }
+}

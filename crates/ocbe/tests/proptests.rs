@@ -1,0 +1,80 @@
+//! Property-based tests for the OCBE protocols: for arbitrary values,
+//! thresholds and operators, the envelope opens **iff** the predicate holds
+//! at the committed value.
+
+use pbcd_group::P256Group;
+use pbcd_ocbe::{ComparisonOp, OcbeSystem, Predicate};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn run_flow(seed: u64, ell: u32, x: u64, pred: Predicate) -> Option<bool> {
+    let sys = OcbeSystem::new(P256Group::new(), ell);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let (c, opening) = sys.pedersen().commit_u64(x, &mut rng);
+    let (proof, secrets) = sys.receiver_prepare(x, &opening, &pred, &mut rng).ok()?;
+    let env = sys
+        .sender_compose(&c, &pred, &proof, b"payload", &mut rng)
+        .ok()?;
+    Some(match sys.receiver_open(&env, &opening, &secrets) {
+        Some(m) => {
+            assert_eq!(m, b"payload");
+            true
+        }
+        None => false,
+    })
+}
+
+fn arb_op() -> impl Strategy<Value = ComparisonOp> {
+    prop_oneof![
+        Just(ComparisonOp::Eq),
+        Just(ComparisonOp::Neq),
+        Just(ComparisonOp::Gt),
+        Just(ComparisonOp::Ge),
+        Just(ComparisonOp::Lt),
+        Just(ComparisonOp::Le),
+    ]
+}
+
+proptest! {
+    // Each case costs ~100 EC scalar muls; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn envelope_opens_iff_predicate_holds(
+        seed in any::<u64>(),
+        x in 0u64..256,
+        threshold in 0u64..256,
+        op in arb_op(),
+    ) {
+        let pred = Predicate::new(op, threshold);
+        let ell = 8;
+        if !pred.satisfiable(ell) {
+            return Ok(());
+        }
+        let opened = run_flow(seed, ell, x, pred).expect("flow completes");
+        prop_assert_eq!(opened, pred.eval(x), "x={} pred={}", x, pred);
+    }
+
+    #[test]
+    fn boundary_values_behave(seed in any::<u64>(), x0 in 1u64..255) {
+        // x exactly at, one below, and one above the threshold for ≥.
+        for (x, expect) in [(x0 - 1, false), (x0, true), (x0 + 1, true)] {
+            let pred = Predicate::new(ComparisonOp::Ge, x0);
+            prop_assert_eq!(run_flow(seed, 8, x, pred).unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn payloads_survive_arbitrary_bytes(
+        seed in any::<u64>(),
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let sys = OcbeSystem::new(P256Group::new(), 8);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (c, opening) = sys.pedersen().commit_u64(42, &mut rng);
+        let pred = Predicate::new(ComparisonOp::Ge, 40);
+        let (proof, secrets) = sys.receiver_prepare(42, &opening, &pred, &mut rng).unwrap();
+        let env = sys.sender_compose(&c, &pred, &proof, &payload, &mut rng).unwrap();
+        prop_assert_eq!(sys.receiver_open(&env, &opening, &secrets), Some(payload));
+    }
+}

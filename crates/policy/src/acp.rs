@@ -1,0 +1,158 @@
+//! Access control policies (paper Definition 4).
+//!
+//! An ACP is a tuple `(s, o, D)`: a conjunction `s` of attribute conditions
+//! that a subscriber must satisfy to access the set `o` of subdocuments of
+//! document `D`.
+
+use crate::attrs::AttributeSet;
+use crate::condition::AttributeCondition;
+
+/// Identifier of an ACP within a [`crate::config::PolicySet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AcpId(pub usize);
+
+impl core::fmt::Display for AcpId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "acp{}", self.0 + 1)
+    }
+}
+
+/// An access control policy `(s, o, D)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessControlPolicy {
+    /// Conjunction of attribute conditions (`cond₁ ∧ … ∧ condₙ`).
+    pub conditions: Vec<AttributeCondition>,
+    /// Names of the subdocuments this policy grants access to.
+    pub objects: Vec<String>,
+    /// The document the objects belong to.
+    pub document: String,
+}
+
+impl AccessControlPolicy {
+    /// Builds a policy from parts.
+    pub fn new(
+        conditions: Vec<AttributeCondition>,
+        objects: &[&str],
+        document: &str,
+    ) -> Self {
+        assert!(!conditions.is_empty(), "ACP needs at least one condition");
+        Self {
+            conditions,
+            objects: objects.iter().map(|s| s.to_string()).collect(),
+            document: document.to_string(),
+        }
+    }
+
+    /// Parses the subject from a conjunction string, e.g.
+    /// `"level >= 59 && role = 'nurse'"`.
+    pub fn parse(subject: &str, objects: &[&str], document: &str) -> Option<Self> {
+        let conditions: Option<Vec<_>> = subject
+            .split("&&")
+            .map(|c| AttributeCondition::parse(c.trim()))
+            .collect();
+        let conditions = conditions?;
+        if conditions.is_empty() {
+            return None;
+        }
+        Some(Self::new(conditions, objects, document))
+    }
+
+    /// True iff `attrs` satisfies the full conjunction.
+    pub fn eval(&self, attrs: &AttributeSet) -> bool {
+        self.conditions.iter().all(|c| c.eval(attrs))
+    }
+
+    /// True iff the policy covers the named subdocument.
+    pub fn applies_to(&self, subdocument: &str) -> bool {
+        self.objects.iter().any(|o| o == subdocument)
+    }
+
+    /// The attribute names mentioned in the subject.
+    pub fn attribute_names(&self) -> impl Iterator<Item = &str> {
+        self.conditions.iter().map(|c| c.attribute.as_str())
+    }
+}
+
+impl core::fmt::Display for AccessControlPolicy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let subject = self
+            .conditions
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(" && ");
+        write!(
+            f,
+            "(\"{}\", {{{}}}, \"{}\")",
+            subject,
+            self.objects.join(", "),
+            self.document
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::ComparisonOp;
+
+    fn nurse_policy() -> AccessControlPolicy {
+        // Paper Example 2: level ≥ 58 ∧ role = nurse.
+        AccessControlPolicy::new(
+            vec![
+                AttributeCondition::new("level", ComparisonOp::Ge, 58),
+                AttributeCondition::eq_str("role", "nurse"),
+            ],
+            &["physical exam", "treatment plan"],
+            "EHR.xml",
+        )
+    }
+
+    #[test]
+    fn conjunction_semantics() {
+        let acp = nurse_policy();
+        let qualified = AttributeSet::new().with("level", 58).with_str("role", "nurse");
+        assert!(acp.eval(&qualified));
+        let wrong_level = AttributeSet::new().with("level", 57).with_str("role", "nurse");
+        assert!(!acp.eval(&wrong_level));
+        let wrong_role = AttributeSet::new().with("level", 60).with_str("role", "doctor");
+        assert!(!acp.eval(&wrong_role));
+        let missing = AttributeSet::new().with("level", 60);
+        assert!(!acp.eval(&missing));
+    }
+
+    #[test]
+    fn applies_to_objects() {
+        let acp = nurse_policy();
+        assert!(acp.applies_to("physical exam"));
+        assert!(acp.applies_to("treatment plan"));
+        assert!(!acp.applies_to("billing info"));
+    }
+
+    #[test]
+    fn parse_conjunction() {
+        let acp = AccessControlPolicy::parse(
+            "level >= 58 && role = 'nurse'",
+            &["physical exam"],
+            "EHR.xml",
+        )
+        .unwrap();
+        assert_eq!(acp.conditions.len(), 2);
+        assert_eq!(acp.conditions[0].attribute, "level");
+        assert_eq!(acp.conditions[1].attribute, "role");
+        assert!(AccessControlPolicy::parse("level >>= 3", &["x"], "d").is_none());
+    }
+
+    #[test]
+    fn attribute_names_iterates_subject() {
+        let acp = nurse_policy();
+        let names: Vec<&str> = acp.attribute_names().collect();
+        assert_eq!(names, vec!["level", "role"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one condition")]
+    fn empty_subject_rejected() {
+        AccessControlPolicy::new(vec![], &["x"], "d");
+    }
+}

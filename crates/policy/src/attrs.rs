@@ -1,0 +1,133 @@
+//! Identity attribute sets.
+//!
+//! Attribute values are encoded as `u64` integers below `2^ℓ` (the paper's
+//! `V = {0, …, 2^ℓ − 1}`). String-valued attributes such as roles are
+//! mapped to integers by a public, deterministic dictionary — the paper
+//! encodes them "in a standard way" (§V-A); [`encode_string_value`]
+//! provides that standard encoding.
+
+use pbcd_crypto::sha256;
+use std::collections::BTreeMap;
+
+/// A set of identity attributes held by a subscriber: name → integer value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AttributeSet {
+    values: BTreeMap<String, u64>,
+}
+
+impl AttributeSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) an attribute.
+    pub fn with(mut self, name: &str, value: u64) -> Self {
+        self.values.insert(name.to_string(), value);
+        self
+    }
+
+    /// Adds (or replaces) a string-valued attribute via the standard
+    /// dictionary-free encoding.
+    pub fn with_str(self, name: &str, value: &str) -> Self {
+        let encoded = encode_string_value(value);
+        self.with(name, encoded)
+    }
+
+    /// Sets an attribute in place.
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.values.insert(name.to_string(), value);
+    }
+
+    /// Looks up an attribute value.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.values.get(name).copied()
+    }
+
+    /// True iff the set contains `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True iff there are no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Deterministically encodes a string attribute value (role names etc.)
+/// into the 48-bit integer space, clear of small numeric values so string
+/// and numeric attributes cannot collide accidentally.
+pub fn encode_string_value(value: &str) -> u64 {
+    let digest = sha256(value.as_bytes());
+    let mut v = u64::from_be_bytes(digest[..8].try_into().expect("8 bytes"));
+    v &= (1 << 48) - 1; // keep within default ℓ = 48-bit attribute space
+    v | (1 << 47) // high bit set: disjoint from small numeric values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_set_operations() {
+        let attrs = AttributeSet::new()
+            .with("level", 59)
+            .with_str("role", "nurse");
+        assert_eq!(attrs.get("level"), Some(59));
+        assert_eq!(attrs.get("role"), Some(encode_string_value("nurse")));
+        assert!(attrs.contains("role"));
+        assert!(!attrs.contains("age"));
+        assert_eq!(attrs.len(), 2);
+    }
+
+    #[test]
+    fn string_encoding_is_deterministic_and_distinct() {
+        assert_eq!(encode_string_value("doc"), encode_string_value("doc"));
+        assert_ne!(encode_string_value("doc"), encode_string_value("nur"));
+        // All six roles from the paper's Example 4 are pairwise distinct.
+        let roles = ["rec", "cas", "doc", "nur", "dat", "pha"];
+        for (i, a) in roles.iter().enumerate() {
+            for b in &roles[i + 1..] {
+                assert_ne!(encode_string_value(a), encode_string_value(b));
+            }
+        }
+    }
+
+    #[test]
+    fn string_encoding_fits_48_bits_with_flag() {
+        for s in ["nurse", "doctor", "x", ""] {
+            let v = encode_string_value(s);
+            assert!(v < (1 << 48));
+            assert!(v >= (1 << 47), "flag bit keeps clear of numerics");
+        }
+    }
+
+    #[test]
+    fn overwrite_updates_value() {
+        let mut attrs = AttributeSet::new().with("level", 10);
+        attrs.set("level", 20);
+        assert_eq!(attrs.get("level"), Some(20));
+        assert_eq!(attrs.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let attrs = AttributeSet::new()
+            .with("zeta", 1)
+            .with("alpha", 2)
+            .with("mid", 3);
+        let names: Vec<&str> = attrs.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Attribute conditions (paper Definition 3).
+//!
+//! A condition is an expression `name_A op l` where `name_A` names an
+//! identity attribute, `op` is a comparison operator and `l` a value.
+
+use crate::attrs::{encode_string_value, AttributeSet};
+use crate::predicate::{ComparisonOp, Predicate};
+
+/// An attribute condition: `attribute op threshold`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttributeCondition {
+    /// Attribute (id-tag) name, e.g. `"level"` or `"role"`.
+    pub attribute: String,
+    /// Comparison operator.
+    pub op: ComparisonOp,
+    /// Threshold value `l` (integer-encoded).
+    pub threshold: u64,
+}
+
+impl AttributeCondition {
+    /// Builds a condition on an integer-valued attribute.
+    pub fn new(attribute: &str, op: ComparisonOp, threshold: u64) -> Self {
+        Self {
+            attribute: attribute.to_string(),
+            op,
+            threshold,
+        }
+    }
+
+    /// Builds an equality condition on a string-valued attribute
+    /// (`role = "nurse"` style), using the standard string encoding.
+    pub fn eq_str(attribute: &str, value: &str) -> Self {
+        Self::new(attribute, ComparisonOp::Eq, encode_string_value(value))
+    }
+
+    /// The OCBE predicate corresponding to this condition.
+    pub fn predicate(&self) -> Predicate {
+        Predicate::new(self.op, self.threshold)
+    }
+
+    /// Evaluates the condition against an attribute set. Missing attributes
+    /// evaluate to `false`.
+    pub fn eval(&self, attrs: &AttributeSet) -> bool {
+        attrs
+            .get(&self.attribute)
+            .is_some_and(|x| self.op.eval(x, self.threshold))
+    }
+
+    /// Parses `"name op value"` (e.g. `"level >= 59"`). String thresholds
+    /// are accepted in single quotes: `"role = 'nurse'"`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut parts = s.split_whitespace();
+        let attribute = parts.next()?;
+        let op = ComparisonOp::parse(parts.next()?)?;
+        let raw = parts.next()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        let threshold = if let Some(quoted) = raw.strip_prefix('\'') {
+            let value = quoted.strip_suffix('\'')?;
+            if !matches!(op, ComparisonOp::Eq | ComparisonOp::Neq) {
+                return None; // ordered comparison on strings is undefined
+            }
+            encode_string_value(value)
+        } else {
+            raw.parse().ok()?
+        };
+        Some(Self {
+            attribute: attribute.to_string(),
+            op,
+            threshold,
+        })
+    }
+
+    /// True iff two conditions are mutually exclusive by construction
+    /// (no single value can satisfy both), used by privacy audits — e.g.
+    /// the paper's `YoS ≥ 5` vs `YoS < 5` example.
+    pub fn mutually_exclusive(&self, other: &Self) -> bool {
+        if self.attribute != other.attribute {
+            return false;
+        }
+        use ComparisonOp::*;
+        let (a, b) = (self, other);
+        let ordered = |lo: &Self, hi: &Self| -> bool {
+            // lo bounds above (<, <=, =), hi bounds below (>, >=, =)
+            let upper = match lo.op {
+                Lt => lo.threshold.checked_sub(1),
+                Le => Some(lo.threshold),
+                Eq => Some(lo.threshold),
+                _ => None,
+            };
+            let lower = match hi.op {
+                Gt => hi.threshold.checked_add(1),
+                Ge => Some(hi.threshold),
+                Eq => Some(hi.threshold),
+                _ => None,
+            };
+            match (upper, lower) {
+                (Some(u), Some(l)) => u < l,
+                (None, Some(_)) | (Some(_), None) | (None, None) => false,
+            }
+        };
+        // Two equalities with different thresholds exclude each other.
+        if a.op == Eq && b.op == Eq {
+            return a.threshold != b.threshold;
+        }
+        // Eq vs Neq on the same threshold.
+        if (a.op == Eq && b.op == Neq || a.op == Neq && b.op == Eq)
+            && a.threshold == b.threshold
+        {
+            return true;
+        }
+        ordered(a, b) || ordered(b, a)
+    }
+}
+
+impl core::fmt::Display for AttributeCondition {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} {} {}", self.attribute, self.op, self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_against_attribute_set() {
+        let attrs = AttributeSet::new().with("level", 59).with_str("role", "nur");
+        assert!(AttributeCondition::new("level", ComparisonOp::Ge, 59).eval(&attrs));
+        assert!(!AttributeCondition::new("level", ComparisonOp::Ge, 60).eval(&attrs));
+        assert!(AttributeCondition::eq_str("role", "nur").eval(&attrs));
+        assert!(!AttributeCondition::eq_str("role", "doc").eval(&attrs));
+        // Missing attribute is false.
+        assert!(!AttributeCondition::new("YoS", ComparisonOp::Ge, 5).eval(&attrs));
+    }
+
+    #[test]
+    fn parse_numeric_and_string() {
+        let c = AttributeCondition::parse("level >= 59").unwrap();
+        assert_eq!(c, AttributeCondition::new("level", ComparisonOp::Ge, 59));
+        let c = AttributeCondition::parse("role = 'nurse'").unwrap();
+        assert_eq!(c, AttributeCondition::eq_str("role", "nurse"));
+        assert!(AttributeCondition::parse("level >=").is_none());
+        assert!(AttributeCondition::parse("level ~ 5").is_none());
+        assert!(AttributeCondition::parse("role > 'nurse'").is_none());
+        assert!(AttributeCondition::parse("a = 1 extra").is_none());
+    }
+
+    #[test]
+    fn display_roundtrip_numeric() {
+        let c = AttributeCondition::new("YoS", ComparisonOp::Lt, 5);
+        assert_eq!(AttributeCondition::parse(&c.to_string()), Some(c));
+    }
+
+    #[test]
+    fn mutual_exclusion_paper_example() {
+        // Table I: "YoS ≥ 5" and "YoS < 5" are mutually exclusive.
+        let ge5 = AttributeCondition::new("YoS", ComparisonOp::Ge, 5);
+        let lt5 = AttributeCondition::new("YoS", ComparisonOp::Lt, 5);
+        assert!(ge5.mutually_exclusive(&lt5));
+        assert!(lt5.mutually_exclusive(&ge5));
+        // Overlapping ranges are not exclusive.
+        let ge3 = AttributeCondition::new("YoS", ComparisonOp::Ge, 3);
+        assert!(!ge5.mutually_exclusive(&ge3));
+        let le5 = AttributeCondition::new("YoS", ComparisonOp::Le, 5);
+        assert!(!ge5.mutually_exclusive(&le5)); // both true at exactly 5
+        // Different attributes never exclude.
+        let level = AttributeCondition::new("level", ComparisonOp::Lt, 5);
+        assert!(!ge5.mutually_exclusive(&level));
+        // Distinct equality values exclude.
+        let doc = AttributeCondition::eq_str("role", "doc");
+        let nur = AttributeCondition::eq_str("role", "nur");
+        assert!(doc.mutually_exclusive(&nur));
+        assert!(!doc.mutually_exclusive(&doc.clone()));
+    }
+
+    #[test]
+    fn eq_vs_neq_exclusion() {
+        let eq = AttributeCondition::new("x", ComparisonOp::Eq, 7);
+        let neq = AttributeCondition::new("x", ComparisonOp::Neq, 7);
+        assert!(eq.mutually_exclusive(&neq));
+        let neq8 = AttributeCondition::new("x", ComparisonOp::Neq, 8);
+        assert!(!eq.mutually_exclusive(&neq8));
+    }
+}

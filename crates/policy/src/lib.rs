@@ -1,0 +1,28 @@
+//! # pbcd-policy
+//!
+//! The policy layer of the PBCD workspace (paper Definitions 3–6):
+//!
+//! * [`predicate`] — comparison predicates over ℓ-bit attribute values,
+//! * [`attrs`] — subscriber attribute sets and the standard string-value
+//!   encoding,
+//! * [`condition`] — attribute conditions (`name op value`),
+//! * [`acp`] — access control policies `(s, o, D)`,
+//! * [`config`] — policy sets, per-subdocument policy configurations and
+//!   the dominance relation.
+//!
+//! This crate is pure logic: no group arithmetic, no protocol state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acp;
+pub mod attrs;
+pub mod condition;
+pub mod config;
+pub mod predicate;
+
+pub use acp::{AccessControlPolicy, AcpId};
+pub use attrs::{encode_string_value, AttributeSet};
+pub use condition::AttributeCondition;
+pub use config::{PolicyConfiguration, PolicySet};
+pub use predicate::{max_value, ComparisonOp, Predicate};

@@ -1,0 +1,168 @@
+//! Comparison predicates over ℓ-bit attribute values.
+//!
+//! OCBE supports the comparison predicates `=, ≠, >, ≥, <, ≤` (paper
+//! §IV-C). Attribute values live in `V = {0, 1, …, 2^ℓ − 1}` with the
+//! system constraint `2^ℓ < p/2`; this workspace encodes values as `u64`
+//! and enforces `ℓ ≤ 63`, comfortably below both group orders.
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ComparisonOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Neq,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+}
+
+impl ComparisonOp {
+    /// Parses the usual textual forms (`=`, `!=`, `<>`, `>`, `>=`, `<`, `<=`).
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "=" | "==" => Self::Eq,
+            "!=" | "<>" | "≠" => Self::Neq,
+            ">" => Self::Gt,
+            ">=" | "≥" => Self::Ge,
+            "<" => Self::Lt,
+            "<=" | "≤" => Self::Le,
+            _ => return None,
+        })
+    }
+
+    /// Evaluates `x op threshold`.
+    pub fn eval(&self, x: u64, threshold: u64) -> bool {
+        match self {
+            Self::Eq => x == threshold,
+            Self::Neq => x != threshold,
+            Self::Gt => x > threshold,
+            Self::Ge => x >= threshold,
+            Self::Lt => x < threshold,
+            Self::Le => x <= threshold,
+        }
+    }
+}
+
+impl core::fmt::Display for ComparisonOp {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Self::Eq => "=",
+            Self::Neq => "!=",
+            Self::Gt => ">",
+            Self::Ge => ">=",
+            Self::Lt => "<",
+            Self::Le => "<=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A predicate `x op threshold` over ℓ-bit attribute values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Predicate {
+    /// The comparison operator.
+    pub op: ComparisonOp,
+    /// The policy threshold `x₀`.
+    pub threshold: u64,
+}
+
+impl Predicate {
+    /// Constructs a predicate.
+    pub fn new(op: ComparisonOp, threshold: u64) -> Self {
+        Self { op, threshold }
+    }
+
+    /// Evaluates the predicate at `x`.
+    pub fn eval(&self, x: u64) -> bool {
+        self.op.eval(x, self.threshold)
+    }
+
+    /// True iff some value in `[0, 2^ℓ)` satisfies the predicate.
+    pub fn satisfiable(&self, ell: u32) -> bool {
+        let max = max_value(ell);
+        match self.op {
+            ComparisonOp::Eq => self.threshold <= max,
+            ComparisonOp::Neq => max > 0 || self.threshold != 0,
+            ComparisonOp::Gt => self.threshold < max,
+            ComparisonOp::Ge => self.threshold <= max,
+            ComparisonOp::Lt => self.threshold > 0,
+            ComparisonOp::Le => true,
+        }
+    }
+}
+
+impl core::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} {}", self.op, self.threshold)
+    }
+}
+
+/// Largest ℓ-bit value.
+pub fn max_value(ell: u32) -> u64 {
+    assert!((1..=63).contains(&ell), "ℓ must be in 1..=63");
+    (1u64 << ell) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_all_ops() {
+        assert!(Predicate::new(ComparisonOp::Eq, 5).eval(5));
+        assert!(!Predicate::new(ComparisonOp::Eq, 5).eval(6));
+        assert!(Predicate::new(ComparisonOp::Neq, 5).eval(6));
+        assert!(!Predicate::new(ComparisonOp::Neq, 5).eval(5));
+        assert!(Predicate::new(ComparisonOp::Gt, 5).eval(6));
+        assert!(!Predicate::new(ComparisonOp::Gt, 5).eval(5));
+        assert!(Predicate::new(ComparisonOp::Ge, 5).eval(5));
+        assert!(!Predicate::new(ComparisonOp::Ge, 5).eval(4));
+        assert!(Predicate::new(ComparisonOp::Lt, 5).eval(4));
+        assert!(!Predicate::new(ComparisonOp::Lt, 5).eval(5));
+        assert!(Predicate::new(ComparisonOp::Le, 5).eval(5));
+        assert!(!Predicate::new(ComparisonOp::Le, 5).eval(6));
+    }
+
+    #[test]
+    fn parse_ops() {
+        assert_eq!(ComparisonOp::parse("="), Some(ComparisonOp::Eq));
+        assert_eq!(ComparisonOp::parse("=="), Some(ComparisonOp::Eq));
+        assert_eq!(ComparisonOp::parse("!="), Some(ComparisonOp::Neq));
+        assert_eq!(ComparisonOp::parse(">="), Some(ComparisonOp::Ge));
+        assert_eq!(ComparisonOp::parse("<="), Some(ComparisonOp::Le));
+        assert_eq!(ComparisonOp::parse(">"), Some(ComparisonOp::Gt));
+        assert_eq!(ComparisonOp::parse("<"), Some(ComparisonOp::Lt));
+        assert_eq!(ComparisonOp::parse("~"), None);
+    }
+
+    #[test]
+    fn satisfiability_edges() {
+        // ℓ = 8 ⇒ values in [0, 255].
+        assert!(Predicate::new(ComparisonOp::Lt, 1).satisfiable(8));
+        assert!(!Predicate::new(ComparisonOp::Lt, 0).satisfiable(8));
+        assert!(Predicate::new(ComparisonOp::Gt, 254).satisfiable(8));
+        assert!(!Predicate::new(ComparisonOp::Gt, 255).satisfiable(8));
+        assert!(Predicate::new(ComparisonOp::Ge, 255).satisfiable(8));
+        assert!(!Predicate::new(ComparisonOp::Ge, 256).satisfiable(8));
+        assert!(!Predicate::new(ComparisonOp::Eq, 256).satisfiable(8));
+        assert!(Predicate::new(ComparisonOp::Le, 0).satisfiable(8));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let p = Predicate::new(ComparisonOp::Ge, 59);
+        assert_eq!(p.to_string(), ">= 59");
+    }
+
+    #[test]
+    #[should_panic(expected = "ℓ must be in 1..=63")]
+    fn ell_bounds_enforced() {
+        max_value(64);
+    }
+}

@@ -1,0 +1,116 @@
+//! The paper's Example 4: a hospital broadcasts a patient EHR; six staff
+//! roles see six different projections of it.
+//!
+//! Run with: `cargo run --release --example ehr_hospital`
+
+use pbcd::core::SystemHarness;
+use pbcd::docs::ehr_document;
+use pbcd::policy::{
+    AccessControlPolicy, AttributeCondition, AttributeSet, ComparisonOp, PolicySet,
+};
+
+fn example4_policies() -> PolicySet {
+    let mut set = PolicySet::new();
+    let doc = "EHR.xml";
+    set.add(AccessControlPolicy::new(
+        vec![AttributeCondition::eq_str("role", "rec")],
+        &["ContactInfo"],
+        doc,
+    ));
+    set.add(AccessControlPolicy::new(
+        vec![AttributeCondition::eq_str("role", "cas")],
+        &["BillingInfo"],
+        doc,
+    ));
+    set.add(AccessControlPolicy::new(
+        vec![AttributeCondition::eq_str("role", "doc")],
+        &["Medication", "PhysicalExams", "LabRecords", "Plan", "ContactInfo"],
+        doc,
+    ));
+    set.add(AccessControlPolicy::new(
+        vec![
+            AttributeCondition::eq_str("role", "nur"),
+            AttributeCondition::new("level", ComparisonOp::Ge, 59),
+        ],
+        &["ContactInfo", "Medication", "PhysicalExams", "LabRecords", "Plan"],
+        doc,
+    ));
+    set.add(AccessControlPolicy::new(
+        vec![AttributeCondition::eq_str("role", "dat")],
+        &["ContactInfo", "LabRecords"],
+        doc,
+    ));
+    set.add(AccessControlPolicy::new(
+        vec![AttributeCondition::eq_str("role", "pha")],
+        &["BillingInfo", "Medication"],
+        doc,
+    ));
+    set
+}
+
+fn main() {
+    let mut sys = SystemHarness::new_p256(example4_policies(), 0xE4);
+
+    println!("== Example 4: hospital EHR dissemination ==\n");
+    println!("policies:");
+    for (id, acp) in sys.publisher.policies().iter() {
+        println!("  {id}: {acp}");
+    }
+
+    // Staff onboard and register (privacy-preserving: each registers for
+    // every condition naming an attribute they hold a token for).
+    let staff: Vec<(&str, AttributeSet)> = vec![
+        ("receptionist rita", AttributeSet::new().with_str("role", "rec")),
+        ("cashier carl", AttributeSet::new().with_str("role", "cas")),
+        ("doctor dora", AttributeSet::new().with_str("role", "doc")),
+        (
+            "senior nurse nancy (level 59)",
+            AttributeSet::new().with_str("role", "nur").with("level", 59),
+        ),
+        (
+            "junior nurse nick (level 58)",
+            AttributeSet::new().with_str("role", "nur").with("level", 58),
+        ),
+        ("data analyst dan", AttributeSet::new().with_str("role", "dat")),
+        ("pharmacist pam", AttributeSet::new().with_str("role", "pha")),
+    ];
+    let subs: Vec<_> = staff
+        .iter()
+        .map(|(name, attrs)| (*name, sys.subscribe(name, attrs.clone())))
+        .collect();
+
+    // Broadcast the EHR.
+    let ehr = ehr_document("Jane Doe");
+    let bc = sys.publisher.broadcast(&ehr, "EHR.xml", &mut sys.rng);
+    println!(
+        "\nbroadcast: {} policy-configuration groups, {} bytes total\n",
+        bc.groups.len(),
+        bc.encode().len()
+    );
+
+    // Access matrix.
+    let tags = ["ContactInfo", "BillingInfo", "Medication", "PhysicalExams", "LabRecords", "Plan"];
+    let pol = sys.publisher.policies();
+    println!("access matrix (✓ = decrypted, · = redacted):");
+    print!("{:<32}", "");
+    for t in &tags {
+        print!("{:>15}", t);
+    }
+    println!();
+    for (name, sub) in &subs {
+        let view = sub.decrypt_broadcast(&bc, pol).expect("well-formed broadcast");
+        print!("{name:<32}");
+        for t in &tags {
+            let mark = if view.find(t).is_some() { "✓" } else { "·" };
+            print!("{mark:>15}");
+        }
+        println!();
+    }
+
+    // The junior nurse (level 58) must see nothing — the paper's negative
+    // example.
+    let junior = &subs[4].1;
+    let view = junior.decrypt_broadcast(&bc, pol).expect("well-formed");
+    assert!(tags.iter().all(|t| view.find(t).is_none()));
+    println!("\njunior nurse nick (level 58) was denied everything, as in the paper.");
+}

@@ -1,0 +1,121 @@
+//! A subscription news service exercising the full predicate suite:
+//! equality, inequalities and ≠ — age gates, tier gates, and an embargo
+//! that excludes one specific region.
+//!
+//! Run with: `cargo run --release --example news_tiers`
+
+use pbcd::core::SystemHarness;
+use pbcd::docs::Element;
+use pbcd::policy::{
+    encode_string_value, AccessControlPolicy, AttributeCondition, AttributeSet, ComparisonOp,
+    PolicySet,
+};
+
+fn main() {
+    let mut policies = PolicySet::new();
+    // Headlines: any paying tier (tier ≥ 1).
+    policies.add(AccessControlPolicy::new(
+        vec![AttributeCondition::new("tier", ComparisonOp::Ge, 1)],
+        &["Headlines"],
+        "daily.xml",
+    ));
+    // Premium analysis: tier ≥ 2.
+    policies.add(AccessControlPolicy::new(
+        vec![AttributeCondition::new("tier", ComparisonOp::Ge, 2)],
+        &["Analysis"],
+        "daily.xml",
+    ));
+    // Gambling odds: adults only (age ≥ 18) on any tier ≥ 1.
+    policies.add(AccessControlPolicy::new(
+        vec![
+            AttributeCondition::new("age", ComparisonOp::Ge, 18),
+            AttributeCondition::new("tier", ComparisonOp::Ge, 1),
+        ],
+        &["Odds"],
+        "daily.xml",
+    ));
+    // Embargoed wire story: not distributable in region 44 (≠ predicate).
+    policies.add(AccessControlPolicy::new(
+        vec![AttributeCondition::new(
+            "region",
+            ComparisonOp::Neq,
+            44,
+        )],
+        &["WireStory"],
+        "daily.xml",
+    ));
+    // Student discount content: tier < 1 (free accounts) AND age < 26.
+    policies.add(AccessControlPolicy::new(
+        vec![
+            AttributeCondition::new("tier", ComparisonOp::Lt, 1),
+            AttributeCondition::new("age", ComparisonOp::Lt, 26),
+        ],
+        &["CampusBrief"],
+        "daily.xml",
+    ));
+
+    let mut sys = SystemHarness::new_p256(policies, 0x2E25);
+
+    let readers: Vec<(&str, AttributeSet)> = vec![
+        (
+            "premium adult, region 10",
+            AttributeSet::new().with("tier", 2).with("age", 34).with("region", 10),
+        ),
+        (
+            "basic adult, region 44 (embargoed)",
+            AttributeSet::new().with("tier", 1).with("age", 40).with("region", 44),
+        ),
+        (
+            "basic minor, region 10",
+            AttributeSet::new().with("tier", 1).with("age", 16).with("region", 10),
+        ),
+        (
+            "free student (age 20), region 7",
+            AttributeSet::new().with("tier", 0).with("age", 20).with("region", 7),
+        ),
+    ];
+    let subs: Vec<_> = readers
+        .iter()
+        .map(|(name, attrs)| (*name, sys.subscribe(name, attrs.clone())))
+        .collect();
+
+    let daily = Element::new("Daily")
+        .child(Element::new("Headlines").text("markets rally"))
+        .child(Element::new("Analysis").text("why the rally may not last"))
+        .child(Element::new("Odds").text("cup final: 2.10 / 3.40"))
+        .child(Element::new("WireStory").text("embargoed in region 44"))
+        .child(Element::new("CampusBrief").text("student discounts this week"));
+    let bc = sys.publisher.broadcast(&daily, "daily.xml", &mut sys.rng);
+    let pol = sys.publisher.policies();
+
+    let tags = ["Headlines", "Analysis", "Odds", "WireStory", "CampusBrief"];
+    println!("reader access (✓ readable, · redacted):\n");
+    print!("{:<40}", "");
+    for t in &tags {
+        print!("{t:>12}");
+    }
+    println!();
+    for (name, sub) in &subs {
+        let view = sub.decrypt_broadcast(&bc, pol).expect("well-formed");
+        print!("{name:<40}");
+        for t in &tags {
+            print!("{:>12}", if view.find(t).is_some() { "✓" } else { "·" });
+        }
+        println!();
+    }
+
+    // Spot-check the interesting cells.
+    let view = |i: usize| subs[i].1.decrypt_broadcast(&bc, pol).unwrap();
+    assert!(view(0).find("Analysis").is_some(), "premium reads analysis");
+    assert!(view(0).find("CampusBrief").is_none(), "premium is not a free student");
+    assert!(view(1).find("WireStory").is_none(), "embargo via ≠ predicate");
+    assert!(view(1).find("Headlines").is_some());
+    assert!(view(2).find("Odds").is_none(), "minor blocked from odds");
+    assert!(view(3).find("CampusBrief").is_some(), "student content via < predicates");
+
+    // The string encoder is public and deterministic — show it once.
+    println!(
+        "\n(example of the public string-value encoding: 'analyst' → {})",
+        encode_string_value("analyst")
+    );
+}

@@ -1,0 +1,51 @@
+//! Quickstart: one policy, two subscribers, one broadcast.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pbcd::core::SystemHarness;
+use pbcd::docs::Element;
+use pbcd::policy::{AccessControlPolicy, AttributeSet, PolicySet};
+
+fn main() {
+    // 1. The publisher's policy: subscribers with role = analyst may read
+    //    the <Report> subdocument of market.xml.
+    let mut policies = PolicySet::new();
+    policies.add(
+        AccessControlPolicy::parse("role = 'analyst'", &["Report"], "market.xml")
+            .expect("valid policy"),
+    );
+
+    // 2. Wire up IdP, IdMgr and Publisher (P-256 backend).
+    let mut sys = SystemHarness::new_p256(policies, 7);
+
+    // 3. Two subscribers onboard and register. Registration is oblivious:
+    //    the publisher learns neither role value, nor who obtained a CSS.
+    let analyst = sys.subscribe("alice@example.com", AttributeSet::new().with_str("role", "analyst"));
+    let intern = sys.subscribe("ivan@example.com", AttributeSet::new().with_str("role", "intern"));
+    println!("analyst extracted {} CSS(s); publisher cannot tell", analyst.css_count());
+    println!("intern  extracted {} CSS(s); publisher cannot tell", intern.css_count());
+
+    // 4. Broadcast a document.
+    let doc = Element::new("MarketUpdate")
+        .child(Element::new("Headline").text("Quarterly results released"))
+        .child(Element::new("Report").text("Revenue up 12%, margin guidance raised."));
+    let broadcast = sys.publisher.broadcast(&doc, "market.xml", &mut sys.rng);
+    println!(
+        "\nbroadcast: epoch {}, {} encrypted group(s), {} bytes on the wire",
+        broadcast.epoch,
+        broadcast.groups.len(),
+        broadcast.encode().len()
+    );
+
+    // 5. Each subscriber decrypts what its attributes allow.
+    let pol = sys.publisher.policies();
+    let analyst_view = analyst.decrypt_broadcast(&broadcast, pol).expect("well-formed");
+    let intern_view = intern.decrypt_broadcast(&broadcast, pol).expect("well-formed");
+
+    println!("\nanalyst view:\n{}", analyst_view.to_xml_pretty());
+    println!("intern view:\n{}", intern_view.to_xml_pretty());
+
+    assert!(analyst_view.find("Report").is_some());
+    assert!(intern_view.find("Report").is_none());
+    println!("quickstart OK: the analyst read the report; the intern saw a redaction.");
+}

@@ -1,0 +1,57 @@
+//! The full system must behave identically over both group backends
+//! (P-256 elliptic curve and RFC 5114 modp Schnorr group) — the paper's
+//! genus-2 Jacobian plays the same abstract role.
+
+use pbcd::core::{PublisherConfig, SystemHarness};
+use pbcd::docs::Element;
+use pbcd::group::{CyclicGroup, ModpGroup, P256Group};
+use pbcd::policy::{
+    AccessControlPolicy, AttributeCondition, AttributeSet, ComparisonOp, PolicySet,
+};
+
+fn policies() -> PolicySet {
+    let mut set = PolicySet::new();
+    set.add(AccessControlPolicy::new(
+        vec![AttributeCondition::new("age", ComparisonOp::Ge, 18)],
+        &["Content"],
+        "d.xml",
+    ));
+    set
+}
+
+fn run_flow<G: CyclicGroup>(group: G) {
+    // Smaller ℓ keeps the modp run fast (1024-bit exponentiations).
+    let config = PublisherConfig {
+        ell: 8,
+        ..PublisherConfig::default()
+    };
+    let mut sys = SystemHarness::new(group, policies(), config, 99);
+    let adult = sys.subscribe("alice", AttributeSet::new().with("age", 28));
+    let minor = sys.subscribe("bob", AttributeSet::new().with("age", 15));
+    assert_eq!(adult.css_count(), 1);
+    assert_eq!(minor.css_count(), 0);
+
+    let doc = Element::new("root").child(Element::new("Content").text("grown-up stuff"));
+    let bc = sys.publisher.broadcast(&doc, "d.xml", &mut sys.rng);
+    let pol = sys.publisher.policies();
+    assert!(adult
+        .decrypt_broadcast(&bc, pol)
+        .unwrap()
+        .find("Content")
+        .is_some());
+    assert!(minor
+        .decrypt_broadcast(&bc, pol)
+        .unwrap()
+        .find("Content")
+        .is_none());
+}
+
+#[test]
+fn p256_backend_full_flow() {
+    run_flow(P256Group::new());
+}
+
+#[test]
+fn modp_backend_full_flow() {
+    run_flow(ModpGroup::new());
+}

@@ -1,0 +1,101 @@
+//! Hierarchical access via the dominance relation (paper §VIII-A):
+//! if `Pcᵢ ⊆ Pcⱼ` (`Pcᵢ` dominates `Pcⱼ`), any subscriber able to derive
+//! the key for `Pcᵢ`'s subdocuments can also derive `Pcⱼ`'s, using the
+//! same CSSs.
+
+use pbcd::core::SystemHarness;
+use pbcd::docs::Element;
+use pbcd::policy::{AccessControlPolicy, AttributeCondition, AttributeSet, PolicySet};
+
+/// Builds nested configurations:
+///   TopSecret   ← {acp_exec}                  (dominating: smallest set)
+///   Management  ← {acp_exec, acp_mgr}
+///   AllStaff    ← {acp_exec, acp_mgr, acp_staff}  (dominated: largest set)
+fn policies() -> PolicySet {
+    let mut set = PolicySet::new();
+    set.add(AccessControlPolicy::new(
+        vec![AttributeCondition::eq_str("role", "exec")],
+        &["TopSecret", "Management", "AllStaff"],
+        "memo.xml",
+    ));
+    set.add(AccessControlPolicy::new(
+        vec![AttributeCondition::eq_str("role", "mgr")],
+        &["Management", "AllStaff"],
+        "memo.xml",
+    ));
+    set.add(AccessControlPolicy::new(
+        vec![AttributeCondition::eq_str("role", "staff")],
+        &["AllStaff"],
+        "memo.xml",
+    ));
+    set
+}
+
+fn memo() -> Element {
+    Element::new("Memo")
+        .child(Element::new("TopSecret").text("acquisition target"))
+        .child(Element::new("Management").text("reorg plan"))
+        .child(Element::new("AllStaff").text("holiday schedule"))
+}
+
+#[test]
+fn dominance_relation_matches_configuration_nesting() {
+    let set = policies();
+    let top = set.configuration_of("TopSecret");
+    let mgmt = set.configuration_of("Management");
+    let all = set.configuration_of("AllStaff");
+    assert!(top.dominates(&mgmt));
+    assert!(top.dominates(&all));
+    assert!(mgmt.dominates(&all));
+    assert!(!all.dominates(&mgmt));
+    assert!(!mgmt.dominates(&top));
+    assert_eq!(top.len(), 1);
+    assert_eq!(mgmt.len(), 2);
+    assert_eq!(all.len(), 3);
+}
+
+#[test]
+fn access_is_monotone_along_dominance_chains() {
+    let mut sys = SystemHarness::new_p256(policies(), 0xD0);
+    let exec = sys.subscribe("eve", AttributeSet::new().with_str("role", "exec"));
+    let mgr = sys.subscribe("mike", AttributeSet::new().with_str("role", "mgr"));
+    let staff = sys.subscribe("sam", AttributeSet::new().with_str("role", "staff"));
+
+    let bc = sys.publisher.broadcast(&memo(), "memo.xml", &mut sys.rng);
+    let pol = sys.publisher.policies();
+
+    // The executive (satisfies the dominating config's sole ACP) reads
+    // everything downstream using the *same* CSS.
+    let v = exec.decrypt_broadcast(&bc, pol).unwrap();
+    assert!(v.find("TopSecret").is_some());
+    assert!(v.find("Management").is_some());
+    assert!(v.find("AllStaff").is_some());
+
+    // The manager reads the two dominated tiers, not the dominating one.
+    let v = mgr.decrypt_broadcast(&bc, pol).unwrap();
+    assert!(v.find("TopSecret").is_none());
+    assert!(v.find("Management").is_some());
+    assert!(v.find("AllStaff").is_some());
+
+    // Staff reads only the most-dominated tier.
+    let v = staff.decrypt_broadcast(&bc, pol).unwrap();
+    assert!(v.find("TopSecret").is_none());
+    assert!(v.find("Management").is_none());
+    assert!(v.find("AllStaff").is_some());
+}
+
+#[test]
+fn exec_uses_one_css_for_all_three_tiers() {
+    // §VIII-A: "the Sub can use the same set of CSSs that are used to
+    // derive the decryption key for Pcᵢ to construct that for Pcⱼ".
+    let mut sys = SystemHarness::new_p256(policies(), 0xD1);
+    let exec = sys.subscribe("eve", AttributeSet::new().with_str("role", "exec"));
+    // The executive extracted exactly one CSS (role = exec; the other two
+    // role conditions produced unopenable envelopes).
+    assert_eq!(exec.css_count(), 1);
+    let bc = sys.publisher.broadcast(&memo(), "memo.xml", &mut sys.rng);
+    let v = exec.decrypt_broadcast(&bc, sys.publisher.policies()).unwrap();
+    for tag in ["TopSecret", "Management", "AllStaff"] {
+        assert!(v.find(tag).is_some(), "{tag} readable from a single CSS");
+    }
+}

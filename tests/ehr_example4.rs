@@ -1,0 +1,239 @@
+//! Integration test reproducing the paper's Example 4: the hospital EHR
+//! scenario with six roles, six ACPs, and per-role selective access.
+
+use pbcd::core::SystemHarness;
+use pbcd::docs::{ehr_document, Element, REDACTED_TAG};
+use pbcd::policy::{
+    AccessControlPolicy, AttributeCondition, AttributeSet, ComparisonOp, PolicySet,
+};
+
+/// The six access control policies of Example 4.
+fn example4_policies() -> PolicySet {
+    let mut set = PolicySet::new();
+    let doc = "EHR.xml";
+    // acp1: receptionists see contact info.
+    set.add(AccessControlPolicy::new(
+        vec![AttributeCondition::eq_str("role", "rec")],
+        &["ContactInfo"],
+        doc,
+    ));
+    // acp2: cashiers see billing.
+    set.add(AccessControlPolicy::new(
+        vec![AttributeCondition::eq_str("role", "cas")],
+        &["BillingInfo"],
+        doc,
+    ));
+    // acp3: doctors see the whole clinical record.
+    set.add(AccessControlPolicy::new(
+        vec![AttributeCondition::eq_str("role", "doc")],
+        &["ClinicalRecord"],
+        doc,
+    ));
+    // acp4: senior nurses (level ≥ 59).
+    set.add(AccessControlPolicy::new(
+        vec![
+            AttributeCondition::eq_str("role", "nur"),
+            AttributeCondition::new("level", ComparisonOp::Ge, 59),
+        ],
+        &["ContactInfo", "Medication", "PhysicalExams", "LabRecords", "Plan"],
+        doc,
+    ));
+    // acp5: data analysts.
+    set.add(AccessControlPolicy::new(
+        vec![AttributeCondition::eq_str("role", "dat")],
+        &["ContactInfo", "LabRecords"],
+        doc,
+    ));
+    // acp6: pharmacists.
+    set.add(AccessControlPolicy::new(
+        vec![AttributeCondition::eq_str("role", "pha")],
+        &["BillingInfo", "Medication"],
+        doc,
+    ));
+    set
+}
+
+fn contains(doc: &Element, tag: &str) -> bool {
+    doc.find(tag).is_some()
+}
+
+#[test]
+fn example4_access_matrix() {
+    let mut sys = SystemHarness::new_p256(example4_policies(), 0xE48);
+
+    let receptionist = sys.subscribe("rita", AttributeSet::new().with_str("role", "rec"));
+    let cashier = sys.subscribe("carl", AttributeSet::new().with_str("role", "cas"));
+    let doctor = sys.subscribe("dora", AttributeSet::new().with_str("role", "doc"));
+    let senior_nurse = sys.subscribe(
+        "nancy",
+        AttributeSet::new().with_str("role", "nur").with("level", 59),
+    );
+    // The paper's nurse of level 58: satisfies neither acp3 nor acp4.
+    let junior_nurse = sys.subscribe(
+        "nick",
+        AttributeSet::new().with_str("role", "nur").with("level", 58),
+    );
+    let analyst = sys.subscribe("dan", AttributeSet::new().with_str("role", "dat"));
+    let pharmacist = sys.subscribe("pam", AttributeSet::new().with_str("role", "pha"));
+
+    let ehr = ehr_document("Jane Doe");
+    let bc = sys.publisher.broadcast(&ehr, "EHR.xml", &mut sys.rng);
+    let pol = sys.publisher.policies();
+
+    // Receptionist: ContactInfo only.
+    let v = receptionist.decrypt_broadcast(&bc, pol).unwrap();
+    assert!(contains(&v, "ContactInfo"));
+    assert!(!contains(&v, "BillingInfo"));
+    assert!(!contains(&v, "ClinicalRecord") || !contains(&v, "Medication"));
+    assert!(contains(&v, REDACTED_TAG));
+
+    // Cashier: BillingInfo only.
+    let v = cashier.decrypt_broadcast(&bc, pol).unwrap();
+    assert!(contains(&v, "BillingInfo"));
+    assert!(!contains(&v, "ContactInfo"));
+
+    // Doctor: the whole clinical record (Medication, PhysicalExams, …).
+    let v = doctor.decrypt_broadcast(&bc, pol).unwrap();
+    assert!(contains(&v, "ClinicalRecord"));
+    assert!(contains(&v, "Medication"));
+    assert!(contains(&v, "PhysicalExams"));
+    assert!(contains(&v, "Plan"));
+    assert!(!contains(&v, "BillingInfo"));
+
+    // Senior nurse: ContactInfo + the four clinical subsections of acp4
+    // that exist as separate segments; ClinicalRecord itself belongs to
+    // the doctor's segment, which the nurse cannot read.
+    let v = senior_nurse.decrypt_broadcast(&bc, pol).unwrap();
+    assert!(contains(&v, "ContactInfo"));
+    assert!(!contains(&v, "ClinicalRecord"));
+
+    // Junior nurse (level 58): nothing at all.
+    let v = junior_nurse.decrypt_broadcast(&bc, pol).unwrap();
+    assert!(!contains(&v, "ContactInfo"));
+    assert!(!contains(&v, "ClinicalRecord"));
+    assert!(!contains(&v, "BillingInfo"));
+
+    // Analyst: ContactInfo (LabRecords lives inside ClinicalRecord here).
+    let v = analyst.decrypt_broadcast(&bc, pol).unwrap();
+    assert!(contains(&v, "ContactInfo"));
+    assert!(!contains(&v, "BillingInfo"));
+
+    // Pharmacist: BillingInfo (Medication is inside ClinicalRecord).
+    let v = pharmacist.decrypt_broadcast(&bc, pol).unwrap();
+    assert!(contains(&v, "BillingInfo"));
+    assert!(!contains(&v, "ContactInfo"));
+}
+
+#[test]
+fn segment_level_policies_split_the_clinical_record() {
+    // Variant of Example 4 where the clinical subsections are the policy
+    // objects themselves (as in the paper's Pc table), so nurses/analysts/
+    // pharmacists get their subsections while the doctor holds acp on all.
+    let mut set = PolicySet::new();
+    let doc = "EHR.xml";
+    for objects in [
+        vec!["ContactInfo"],
+        vec!["BillingInfo"],
+        // Doctor: every clinical subsection.
+        vec!["Medication", "PhysicalExams", "LabRecords", "Plan"],
+    ] {
+        let role = match objects[0] {
+            "ContactInfo" => "rec",
+            "BillingInfo" => "cas",
+            _ => "doc",
+        };
+        set.add(AccessControlPolicy::new(
+            vec![AttributeCondition::eq_str("role", role)],
+            &objects,
+            doc,
+        ));
+    }
+    set.add(AccessControlPolicy::new(
+        vec![
+            AttributeCondition::eq_str("role", "nur"),
+            AttributeCondition::new("level", ComparisonOp::Ge, 59),
+        ],
+        &["ContactInfo", "Medication", "PhysicalExams", "LabRecords", "Plan"],
+        doc,
+    ));
+    set.add(AccessControlPolicy::new(
+        vec![AttributeCondition::eq_str("role", "pha")],
+        &["BillingInfo", "Medication"],
+        doc,
+    ));
+
+    let mut sys = SystemHarness::new_p256(set, 0xE49);
+    let doctor = sys.subscribe("dora", AttributeSet::new().with_str("role", "doc"));
+    let nurse = sys.subscribe(
+        "nancy",
+        AttributeSet::new().with_str("role", "nur").with("level", 60),
+    );
+    let pharmacist = sys.subscribe("pam", AttributeSet::new().with_str("role", "pha"));
+
+    let ehr = ehr_document("John Roe");
+    let bc = sys.publisher.broadcast(&ehr, "EHR.xml", &mut sys.rng);
+    let pol = sys.publisher.policies();
+
+    let v = doctor.decrypt_broadcast(&bc, pol).unwrap();
+    assert!(contains(&v, "Medication") && contains(&v, "Plan"));
+    assert!(!contains(&v, "ContactInfo") && !contains(&v, "BillingInfo"));
+
+    let v = nurse.decrypt_broadcast(&bc, pol).unwrap();
+    assert!(contains(&v, "ContactInfo"));
+    assert!(contains(&v, "Medication"));
+    assert!(contains(&v, "PhysicalExams"));
+    assert!(contains(&v, "LabRecords"));
+    assert!(contains(&v, "Plan"));
+    assert!(!contains(&v, "BillingInfo"));
+
+    let v = pharmacist.decrypt_broadcast(&bc, pol).unwrap();
+    assert!(contains(&v, "BillingInfo"));
+    assert!(contains(&v, "Medication"));
+    assert!(!contains(&v, "Plan"));
+
+    // Segments with a shared configuration share one key: Medication has
+    // {doc, nurse, pha}, PhysicalExams/LabRecords/Plan have {doc, nurse}.
+    // The container must therefore have distinct groups.
+    assert!(bc.groups.len() >= 3);
+}
+
+#[test]
+fn broadcast_container_roundtrips_through_wire_format() {
+    let mut sys = SystemHarness::new_p256(example4_policies(), 0xE50);
+    let _doc = sys.subscribe("dora", AttributeSet::new().with_str("role", "doc"));
+    let ehr = ehr_document("Jane Doe");
+    let bc = sys.publisher.broadcast(&ehr, "EHR.xml", &mut sys.rng);
+    let encoded = bc.encode();
+    let decoded = pbcd::docs::BroadcastContainer::decode(&encoded).unwrap();
+    assert_eq!(bc, decoded);
+    assert!(encoded.len() > 500, "container carries real payloads");
+}
+
+#[test]
+fn epoch_increments_per_broadcast_and_keys_rotate() {
+    let mut sys = SystemHarness::new_p256(example4_policies(), 0xE51);
+    let doctor = sys.subscribe("dora", AttributeSet::new().with_str("role", "doc"));
+    let ehr = ehr_document("Jane Doe");
+    let b1 = sys.publisher.broadcast(&ehr, "EHR.xml", &mut sys.rng);
+    let b2 = sys.publisher.broadcast(&ehr, "EHR.xml", &mut sys.rng);
+    assert_eq!(b1.epoch + 1, b2.epoch);
+    // Fresh keys/ACVs per broadcast: same plaintext, different ciphertexts
+    // and different key info.
+    let g1 = b1.groups.iter().find(|g| !g.key_info.is_empty()).unwrap();
+    let g2 = b2
+        .groups
+        .iter()
+        .find(|g| g.config_id == g1.config_id)
+        .unwrap();
+    assert_ne!(g1.key_info, g2.key_info);
+    // Both decrypt fine.
+    let pol = sys.publisher.policies();
+    assert!(contains(
+        &doctor.decrypt_broadcast(&b1, pol).unwrap(),
+        "ClinicalRecord"
+    ));
+    assert!(contains(
+        &doctor.decrypt_broadcast(&b2, pol).unwrap(),
+        "ClinicalRecord"
+    ));
+}

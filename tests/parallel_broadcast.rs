@@ -1,0 +1,107 @@
+//! The publisher's parallel per-configuration rekey path (paper §VII:
+//! "computations related to different subdocuments are independent … and
+//! thus can be performed in parallel") must be semantically identical to
+//! the serial path.
+
+use pbcd::core::{PublisherConfig, SystemHarness};
+use pbcd::docs::ehr_document;
+use pbcd::group::P256Group;
+use pbcd::policy::{
+    AccessControlPolicy, AttributeCondition, AttributeSet, ComparisonOp, PolicySet,
+};
+
+fn policies() -> PolicySet {
+    let mut set = PolicySet::new();
+    let doc = "EHR.xml";
+    set.add(AccessControlPolicy::new(
+        vec![AttributeCondition::eq_str("role", "rec")],
+        &["ContactInfo"],
+        doc,
+    ));
+    set.add(AccessControlPolicy::new(
+        vec![AttributeCondition::eq_str("role", "cas")],
+        &["BillingInfo"],
+        doc,
+    ));
+    set.add(AccessControlPolicy::new(
+        vec![
+            AttributeCondition::eq_str("role", "nur"),
+            AttributeCondition::new("level", ComparisonOp::Ge, 59),
+        ],
+        &["ContactInfo", "Medication", "PhysicalExams", "LabRecords", "Plan"],
+        doc,
+    ));
+    set
+}
+
+#[test]
+fn parallel_broadcast_matches_serial_semantics() {
+    let config = PublisherConfig {
+        parallel_broadcast: true,
+        ..PublisherConfig::default()
+    };
+    let mut sys = SystemHarness::new(P256Group::new(), policies(), config, 77);
+    let rec = sys.subscribe("rita", AttributeSet::new().with_str("role", "rec"));
+    let nurse = sys.subscribe(
+        "nancy",
+        AttributeSet::new().with_str("role", "nur").with("level", 60),
+    );
+    let outsider = sys.subscribe("oto", AttributeSet::new().with_str("role", "visitor"));
+
+    let ehr = ehr_document("Jane Doe");
+    let bc = sys.publisher.broadcast(&ehr, "EHR.xml", &mut sys.rng);
+    let pol = sys.publisher.policies();
+
+    // Same group/segment structure as a serial broadcast would produce.
+    let tags: Vec<&str> = bc
+        .groups
+        .iter()
+        .flat_map(|g| g.segments.iter().map(|s| s.tag.as_str()))
+        .collect();
+    assert!(tags.contains(&"ContactInfo"));
+    assert!(tags.contains(&"BillingInfo"));
+    assert!(tags.contains(&"Medication"));
+
+    // Access semantics identical to the serial path.
+    let v = rec.decrypt_broadcast(&bc, pol).unwrap();
+    assert!(v.find("ContactInfo").is_some());
+    assert!(v.find("Medication").is_none());
+    let v = nurse.decrypt_broadcast(&bc, pol).unwrap();
+    assert!(v.find("ContactInfo").is_some());
+    assert!(v.find("Medication").is_some());
+    assert!(v.find("BillingInfo").is_none());
+    let v = outsider.decrypt_broadcast(&bc, pol).unwrap();
+    assert!(v.find("ContactInfo").is_none());
+    assert!(v.find("Medication").is_none());
+}
+
+#[test]
+fn parallel_and_serial_broadcasts_decrypt_identically() {
+    // Two publishers with identical state except the parallelism flag:
+    // both broadcasts must decrypt to the same document view.
+    let mk = |parallel: bool, seed: u64| {
+        let config = PublisherConfig {
+            parallel_broadcast: parallel,
+            ..PublisherConfig::default()
+        };
+        SystemHarness::new(P256Group::new(), policies(), config, seed)
+    };
+    for (parallel, seed) in [(false, 5u64), (true, 5u64)] {
+        let mut sys = mk(parallel, seed);
+        let nurse = sys.subscribe(
+            "nancy",
+            AttributeSet::new().with_str("role", "nur").with("level", 60),
+        );
+        let ehr = ehr_document("Jane Doe");
+        let bc = sys.publisher.broadcast(&ehr, "EHR.xml", &mut sys.rng);
+        let view = nurse
+            .decrypt_broadcast(&bc, sys.publisher.policies())
+            .unwrap();
+        // The nurse's view contains her five subdocuments regardless of
+        // the publisher's threading.
+        for tag in ["ContactInfo", "Medication", "PhysicalExams", "LabRecords", "Plan"] {
+            assert!(view.find(tag).is_some(), "parallel={parallel} tag={tag}");
+        }
+        assert!(view.find("BillingInfo").is_none());
+    }
+}
