@@ -11,11 +11,9 @@ fn bench_acv_generation(c: &mut Criterion) {
         for fill in [25usize, 100] {
             let mut rng = bench_rng();
             let w = gkm_workload(n, fill, 2, &mut rng);
-            group.bench_with_input(
-                BenchmarkId::new(format!("fill{fill}"), n),
-                &n,
-                |b, _| b.iter(|| w.scheme.rekey(&w.rows, &mut rng)),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("fill{fill}"), n), &n, |b, _| {
+                b.iter(|| w.scheme.rekey(&w.rows, &mut rng))
+            });
         }
     }
     group.finish();

@@ -11,18 +11,14 @@ fn bench_conditions_sweep(c: &mut Criterion) {
     for conds in [1usize, 5, 10] {
         let mut rng = bench_rng();
         let w = gkm_workload(n, 100, conds, &mut rng);
-        group.bench_with_input(
-            BenchmarkId::new("acv_generation", conds),
-            &conds,
-            |b, _| b.iter(|| w.scheme.rekey(&w.rows, &mut rng)),
-        );
+        group.bench_with_input(BenchmarkId::new("acv_generation", conds), &conds, |b, _| {
+            b.iter(|| w.scheme.rekey(&w.rows, &mut rng))
+        });
         let (_, info) = w.scheme.rekey(&w.rows, &mut rng);
         let css = w.rows[0].css_concat.clone();
-        group.bench_with_input(
-            BenchmarkId::new("key_derivation", conds),
-            &conds,
-            |b, _| b.iter(|| w.scheme.derive_key(&info, &css)),
-        );
+        group.bench_with_input(BenchmarkId::new("key_derivation", conds), &conds, |b, _| {
+            b.iter(|| w.scheme.derive_key(&info, &css))
+        });
     }
     group.finish();
 }

@@ -34,7 +34,11 @@ fn main() {
     println!("PBCD reproduction harness (paper: Shang et al., ICDE 2010)");
     println!(
         "mode: {}\n",
-        if opts.quick { "quick" } else { "full (paper parameters)" }
+        if opts.quick {
+            "quick"
+        } else {
+            "full (paper parameters)"
+        }
     );
 
     if want("table2") {
@@ -108,7 +112,11 @@ fn fig2(opts: &Opts) {
     println!("== Figure 2: GE-OCBE average time over {rounds} rounds (ms) ==");
     print_row(
         "l",
-        &["create(Sub)".into(), "compose(Pub)".into(), "open(Sub)".into()],
+        &[
+            "create(Sub)".into(),
+            "compose(Pub)".into(),
+            "open(Sub)".into(),
+        ],
     );
     for &ell in &ells {
         let mut totals = [Duration::ZERO; 3];
@@ -154,7 +162,11 @@ fn fig345(opts: &Opts, f3: bool, f4: bool, f5: bool) {
             let t0 = Instant::now();
             let (key, info) = w.scheme.rekey(&w.rows, &mut rng);
             gen_ms[i][j] = ms(t0.elapsed());
-            let css = &w.rows.first().map(|r| r.css_concat.clone()).unwrap_or_default();
+            let css = &w
+                .rows
+                .first()
+                .map(|r| r.css_concat.clone())
+                .unwrap_or_default();
             let d = time_avg(derive_rounds, || w.scheme.derive_key(&info, css));
             derive_ms[i][j] = ms(d);
             size_kb[i][j] = info.size_bytes_compressed(80) as f64 / 1024.0;
@@ -170,7 +182,10 @@ fn fig345(opts: &Opts, f3: bool, f4: bool, f5: bool) {
         for (i, &n) in ns.iter().enumerate() {
             print_row(
                 &n.to_string(),
-                &gen_ms[i].iter().map(|v| format!("{:.3}", v / 1e3)).collect::<Vec<_>>(),
+                &gen_ms[i]
+                    .iter()
+                    .map(|v| format!("{:.3}", v / 1e3))
+                    .collect::<Vec<_>>(),
             );
         }
         println!("paper shape: superlinear growth in N and fill; <=45 s at N=1000/100%.\n");
@@ -181,7 +196,10 @@ fn fig345(opts: &Opts, f3: bool, f4: bool, f5: bool) {
         for (i, &n) in ns.iter().enumerate() {
             print_row(
                 &n.to_string(),
-                &derive_ms[i].iter().map(|v| format!("{v:.3}")).collect::<Vec<_>>(),
+                &derive_ms[i]
+                    .iter()
+                    .map(|v| format!("{v:.3}"))
+                    .collect::<Vec<_>>(),
             );
         }
         println!("paper shape: linear in N, fill-insensitive; single-digit ms at N=1000.\n");
@@ -192,7 +210,10 @@ fn fig345(opts: &Opts, f3: bool, f4: bool, f5: bool) {
         for (i, &n) in ns.iter().enumerate() {
             print_row(
                 &n.to_string(),
-                &size_kb[i].iter().map(|v| format!("{v:.2}")).collect::<Vec<_>>(),
+                &size_kb[i]
+                    .iter()
+                    .map(|v| format!("{v:.2}"))
+                    .collect::<Vec<_>>(),
             );
         }
         println!("paper shape: linear in N, fill-independent; ~10 KB at N=1000.\n");
@@ -260,7 +281,12 @@ fn ablation_gkm(opts: &Opts) {
         let (_, info) = acv.rekey(rows, &mut rng);
         let t_rekey = t0.elapsed();
         let d = time_avg(5, || acv.derive_key(&info, &rows[0].css_concat));
-        emit(format!("{n}/acv"), t_rekey, d, info.size_bytes_compressed(80));
+        emit(
+            format!("{n}/acv"),
+            t_rekey,
+            d,
+            info.size_bytes_compressed(80),
+        );
         // Marker.
         let mk = MarkerGkm::new();
         let t0 = Instant::now();
@@ -274,13 +300,20 @@ fn ablation_gkm(opts: &Opts) {
         let (_, info) = sl.rekey(rows, &mut rng);
         let t_rekey = t0.elapsed();
         let d = time_avg(5, || sl.derive_key(&info, &rows[0].css_concat));
-        emit(format!("{n}/secure-lock"), t_rekey, d, sl.public_size(&info));
+        emit(
+            format!("{n}/secure-lock"),
+            t_rekey,
+            d,
+            sl.public_size(&info),
+        );
         // Simplistic.
         let sp = SimplisticGkm::new();
         let t0 = Instant::now();
         let (_, info) = sp.rekey(rows, &mut rng);
         let t_rekey = t0.elapsed();
-        let d = time_avg(5, || sp.derive_key(&info, &rows[0].nym, &rows[0].css_concat));
+        let d = time_avg(5, || {
+            sp.derive_key(&info, &rows[0].nym, &rows[0].css_concat)
+        });
         emit(format!("{n}/simplistic"), t_rekey, d, sp.public_size(&info));
     }
     println!("expected: marker cheapest rekey but 32 B/row broadcast and the");
@@ -491,11 +524,17 @@ fn ablation_batch(opts: &Opts) {
     let cached = t0.elapsed();
     print_row(
         "sub derive (plain)",
-        &[format!("{:.4}", plain.as_secs_f64()), format!("{:.2}", ms(plain) / k as f64)],
+        &[
+            format!("{:.4}", plain.as_secs_f64()),
+            format!("{:.2}", ms(plain) / k as f64),
+        ],
     );
     print_row(
         "sub derive (KEV cache)",
-        &[format!("{:.4}", cached.as_secs_f64()), format!("{:.2}", ms(cached) / k as f64)],
+        &[
+            format!("{:.4}", cached.as_secs_f64()),
+            format!("{:.2}", ms(cached) / k as f64),
+        ],
     );
     println!("expected: the batch amortizes the null-space computation and the");
     println!("subscriber's KEV cache removes repeated hashing (Sec VIII-D); unlike");

@@ -10,9 +10,9 @@
 
 use pbcd_commit::{Commitment, Opening};
 use pbcd_gkm::{AccessRow, AcvBgkm};
+use pbcd_group::CyclicGroup;
 use pbcd_group::P256Group;
 use pbcd_math::FpCtx;
-use pbcd_group::CyclicGroup;
 use pbcd_ocbe::{BitProof, BitSecrets, Direction, OcbeSystem};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};

@@ -172,7 +172,9 @@ impl<G: CyclicGroup> Pedersen<G> {
 
     /// Parses and validates an encoded commitment.
     pub fn deserialize(&self, bytes: &[u8]) -> Option<Commitment<G>> {
-        self.group.deserialize(bytes).map(|elem| Commitment { elem })
+        self.group
+            .deserialize(bytes)
+            .map(|elem| Commitment { elem })
     }
 }
 

@@ -41,8 +41,7 @@ impl<G: CyclicGroup> SystemHarness<G> {
         let mut rng = StdRng::seed_from_u64(seed);
         let idp = IdentityProvider::new(group.clone(), "idp", &mut rng);
         let idmgr = IdentityManager::new(group.clone(), &mut rng);
-        let publisher =
-            Publisher::with_config(group, idmgr.verifying_key(), policies, config);
+        let publisher = Publisher::with_config(group, idmgr.verifying_key(), policies, config);
         Self {
             idp,
             idmgr,
@@ -91,8 +90,7 @@ impl<G: CyclicGroup> SystemHarness<G> {
                     .publisher
                     .register(&token, &cond, &proof, &mut self.rng)
                     .expect("registration accepted");
-                if sub.complete_registration(self.publisher.ocbe(), &cond, &envelope, &secrets)
-                {
+                if sub.complete_registration(self.publisher.ocbe(), &cond, &envelope, &secrets) {
                     extracted += 1;
                 }
             }
@@ -119,9 +117,7 @@ impl<G: CyclicGroup> SystemHarness<G> {
     ) -> Subscriber<G> {
         let mut sub = self.onboard(subject, attrs);
         for attr in decoy_attributes {
-            let (token, opening) =
-                self.idmgr
-                    .issue_decoy_token(subject, attr, &mut self.rng);
+            let (token, opening) = self.idmgr.issue_decoy_token(subject, attr, &mut self.rng);
             sub.install_decoy_token(token, opening, crate::idmgr::decoy_value());
         }
         self.register_all(&mut sub);

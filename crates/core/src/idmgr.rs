@@ -140,7 +140,9 @@ mod tests {
             .issue_token(&assertion, &idp.verifying_key(), &mut r)
             .unwrap();
         assert_eq!(token.id_tag, "age");
-        token.verify(idmgr.pedersen(), &idmgr.verifying_key()).unwrap();
+        token
+            .verify(idmgr.pedersen(), &idmgr.verifying_key())
+            .unwrap();
         // Opening matches the commitment.
         assert!(idmgr.pedersen().verify_open(&token.commitment, &opening));
         assert_eq!(
@@ -184,9 +186,15 @@ mod tests {
         let a1 = idp.assert_attribute("alice", "role", 7, &mut r);
         let a2 = idp.assert_attribute("alice", "level", 59, &mut r);
         let a3 = idp.assert_attribute("bob", "role", 7, &mut r);
-        let (t1, _) = idmgr.issue_token(&a1, &idp.verifying_key(), &mut r).unwrap();
-        let (t2, _) = idmgr.issue_token(&a2, &idp.verifying_key(), &mut r).unwrap();
-        let (t3, _) = idmgr.issue_token(&a3, &idp.verifying_key(), &mut r).unwrap();
+        let (t1, _) = idmgr
+            .issue_token(&a1, &idp.verifying_key(), &mut r)
+            .unwrap();
+        let (t2, _) = idmgr
+            .issue_token(&a2, &idp.verifying_key(), &mut r)
+            .unwrap();
+        let (t3, _) = idmgr
+            .issue_token(&a3, &idp.verifying_key(), &mut r)
+            .unwrap();
         assert_eq!(t1.nym, t2.nym, "same subject, same nym");
         assert_ne!(t1.nym, t3.nym, "different subjects, different nyms");
     }

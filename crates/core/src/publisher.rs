@@ -135,9 +135,7 @@ impl<G: CyclicGroup> Publisher<G> {
         }
         // Fresh CSS, recorded unconditionally: `T` over-approximates — only
         // qualified subscribers can actually open the envelope.
-        let css = self
-            .table
-            .issue(&Nym::new(&token.nym), cond, rng);
+        let css = self.table.issue(&Nym::new(&token.nym), cond, rng);
         let envelope =
             self.ocbe
                 .sender_compose(&token.commitment, &cond.predicate(), proof, &css, rng)?;
@@ -281,20 +279,20 @@ impl<G: CyclicGroup> Publisher<G> {
     ) -> Vec<EncryptedGroup> {
         // One independently seeded RNG per job, derived from the caller's.
         let seeds: Vec<u64> = jobs.iter().map(|_| rng.next_u64()).collect();
-        let results = parking_lot::Mutex::new(vec![None; jobs.len()]);
-        crossbeam::thread::scope(|scope| {
+        let results = std::sync::Mutex::new(vec![None; jobs.len()]);
+        std::thread::scope(|scope| {
             for (idx, ((id, pc, segs), seed)) in jobs.iter().zip(&seeds).enumerate() {
                 let results = &results;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut job_rng = rand::rngs::StdRng::seed_from_u64(*seed);
                     let group = self.encrypt_group(*id, pc, segs, &mut job_rng);
-                    results.lock()[idx] = Some(group);
+                    results.lock().expect("broadcast worker panicked")[idx] = Some(group);
                 });
             }
-        })
-        .expect("broadcast worker panicked");
+        });
         results
             .into_inner()
+            .expect("broadcast worker panicked")
             .into_iter()
             .map(|g| g.expect("every job completed"))
             .collect()

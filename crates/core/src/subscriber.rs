@@ -171,8 +171,7 @@ impl<G: CyclicGroup> Subscriber<G> {
             if group.key_info.is_empty() || group.segments.is_empty() {
                 continue;
             }
-            let info =
-                AcvPublicInfo::decode(&group.key_info).ok_or(PbcdError::MalformedKeyInfo)?;
+            let info = AcvPublicInfo::decode(&group.key_info).ok_or(PbcdError::MalformedKeyInfo)?;
             let pc = policies.configuration_of(&group.segments[0].tag);
             // Try each member ACP whose CSSs we hold until one key checks out.
             for acp_id in pc.acp_ids() {

@@ -56,11 +56,7 @@ pub fn token_signing_payload<G: CyclicGroup>(
 
 impl<G: CyclicGroup> IdentityToken<G> {
     /// Verifies the IdMgr signature.
-    pub fn verify(
-        &self,
-        ped: &Pedersen<G>,
-        idmgr_key: &VerifyingKey<G>,
-    ) -> Result<(), PbcdError> {
+    pub fn verify(&self, ped: &Pedersen<G>, idmgr_key: &VerifyingKey<G>) -> Result<(), PbcdError> {
         let payload = token_signing_payload(ped, &self.nym, &self.id_tag, &self.commitment);
         if idmgr_key.verify(ped.group(), &payload, &self.signature) {
             Ok(())

@@ -1,12 +1,10 @@
 //! Publisher-side validation: registrations must be rejected for forged
 //! tokens, mismatched tags and conditions outside the policy set.
 
-use pbcd_core::{PbcdError, PublisherConfig, Publisher, SystemHarness};
+use pbcd_core::{PbcdError, Publisher, PublisherConfig, SystemHarness};
 use pbcd_group::{P256Group, SigningKey};
 use pbcd_ocbe::ProofMessage;
-use pbcd_policy::{
-    AccessControlPolicy, AttributeCondition, AttributeSet, ComparisonOp, PolicySet,
-};
+use pbcd_policy::{AccessControlPolicy, AttributeCondition, AttributeSet, ComparisonOp, PolicySet};
 use rand::SeedableRng;
 
 fn policies() -> PolicySet {

@@ -109,5 +109,8 @@ fn empty_document_broadcasts_cleanly() {
     let view = doctor
         .decrypt_broadcast(&bc, sys.publisher.policies())
         .unwrap();
-    assert!(view.find("Public").is_some(), "non-segmented content is plaintext");
+    assert!(
+        view.find("Public").is_some(),
+        "non-segmented content is plaintext"
+    );
 }

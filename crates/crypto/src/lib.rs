@@ -3,9 +3,9 @@
 //! Symmetric cryptography for the PBCD workspace, implemented from scratch
 //! and validated against published test vectors:
 //!
-//! * [`sha1`] / [`sha256`] — FIPS 180-4 hash functions (the paper's random
+//! * [`sha1`](mod@sha1) / [`sha256`](mod@sha256) — FIPS 180-4 hash functions (the paper's random
 //!   oracle `H(·)`; the original system used OpenSSL SHA-1),
-//! * [`hmac`] — RFC 2104 MAC over any [`Hasher`],
+//! * [`hmac`](mod@hmac) — RFC 2104 MAC over any [`Hasher`],
 //! * [`aes`] / [`ctr`] — FIPS 197 block cipher + counter mode (the paper's
 //!   semantically secure cipher `E`),
 //! * [`kdf`] — RFC 5869 HKDF,

@@ -1,8 +1,8 @@
 //! Property-based tests for the symmetric-crypto substrate.
 
 use pbcd_crypto::{
-    ct_eq, ctr_encrypt, derive_key, hkdf_expand, hkdf_extract, hmac, sha1, sha256, AuthKey,
-    Hasher, Sha1, Sha256,
+    ct_eq, ctr_encrypt, derive_key, hkdf_expand, hkdf_extract, hmac, sha1, sha256, AuthKey, Hasher,
+    Sha1, Sha256,
 };
 use proptest::prelude::*;
 

@@ -4,7 +4,7 @@
 //!
 //! * [`xml`] — an XML-lite parser/serializer (the paper disseminates XML
 //!   documents; Example 4's EHR.xml),
-//! * [`segment`] — policy-driven segmentation into subdocuments, plus
+//! * [`segment`](mod@segment) — policy-driven segmentation into subdocuments, plus
 //!   subscriber-side reassembly with redaction,
 //! * [`container`] — the broadcast wire format: skeleton + per-policy-
 //!   configuration encrypted segments + opaque GKM key material,

@@ -95,9 +95,7 @@ pub fn reassemble(skeleton: &Element, decrypted: &BTreeMap<u32, Element>) -> Ele
                         .push(Node::Element(Element::new(REDACTED_TAG))),
                 }
             }
-            Node::Element(e) => clone
-                .children
-                .push(Node::Element(reassemble(e, decrypted))),
+            Node::Element(e) => clone.children.push(Node::Element(reassemble(e, decrypted))),
         }
     }
     clone
@@ -133,9 +131,7 @@ pub fn ehr_document(patient: &str) -> Element {
                         .child(Element::new("Prescription").text("Lisinopril 10mg daily"))
                         .child(Element::new("Prescription").text("Aspirin 81mg daily")),
                 )
-                .child(
-                    Element::new("AlergiesAndAdverseReactions").text("Penicillin: rash."),
-                )
+                .child(Element::new("AlergiesAndAdverseReactions").text("Penicillin: rash."))
                 .child(Element::new("FamilyHistory").text("Father: CAD; Mother: T2DM."))
                 .child(Element::new("SocialHistory").text("Non-smoker; occasional alcohol."))
                 .child(
@@ -174,12 +170,22 @@ mod tests {
         let tags: Vec<&str> = seg.segments.iter().map(|s| s.tag.as_str()).collect();
         assert_eq!(
             tags,
-            vec!["ContactInfo", "BillingInfo", "Medication", "PhysicalExams", "LabRecords", "Plan"]
+            vec![
+                "ContactInfo",
+                "BillingInfo",
+                "Medication",
+                "PhysicalExams",
+                "LabRecords",
+                "Plan"
+            ]
         );
         // Skeleton has placeholders where segments were.
         let xml = seg.skeleton.to_xml();
         assert!(xml.contains(PLACEHOLDER_TAG));
-        assert!(!xml.contains("Lisinopril"), "extracted content must leave skeleton");
+        assert!(
+            !xml.contains("Lisinopril"),
+            "extracted content must leave skeleton"
+        );
         // Non-segmented siblings remain.
         assert!(xml.contains("SocialHistory"));
     }

@@ -113,7 +113,11 @@ mod tests {
         let full = buf.freeze();
         for cut in 0..full.len() {
             let mut partial = full.slice(..cut);
-            assert_eq!(get_bytes(&mut partial), Err(WireError::Truncated), "cut={cut}");
+            assert_eq!(
+                get_bytes(&mut partial),
+                Err(WireError::Truncated),
+                "cut={cut}"
+            );
         }
     }
 

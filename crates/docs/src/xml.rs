@@ -124,7 +124,11 @@ impl Element {
     }
 
     fn write_xml(&self, out: &mut String, depth: usize, pretty: bool) {
-        let pad = if pretty { "  ".repeat(depth) } else { String::new() };
+        let pad = if pretty {
+            "  ".repeat(depth)
+        } else {
+            String::new()
+        };
         out.push_str(&pad);
         out.push('<');
         out.push_str(&self.name);

@@ -189,13 +189,11 @@ impl AcvBgkm {
                 let one = self.field.one();
                 for (i, row) in rows.iter().enumerate() {
                     a.set_mont_raw(i, 0, *one.mont_raw());
-                    let hashes = cache
-                        .entry(row.css_concat.clone())
-                        .or_insert_with(|| {
-                            zs.iter()
-                                .map(|z| *self.hash_entry(&row.css_concat, z).mont_raw())
-                                .collect()
-                        });
+                    let hashes = cache.entry(row.css_concat.clone()).or_insert_with(|| {
+                        zs.iter()
+                            .map(|z| *self.hash_entry(&row.css_concat, z).mont_raw())
+                            .collect()
+                    });
                     for (j, h) in hashes.iter().enumerate() {
                         a.set_mont_raw(i, j + 1, *h);
                     }
@@ -609,10 +607,7 @@ mod tests {
         let (_, info) = s.rekey(&rows, &mut r);
         let n = info.zs.len();
         let tau = info.zs[0].len();
-        assert_eq!(
-            info.size_bytes_compressed(80),
-            (n + 1) * 10 + n * tau
-        );
+        assert_eq!(info.size_bytes_compressed(80), (n + 1) * 10 + n * tau);
     }
 
     #[test]

@@ -47,7 +47,10 @@ impl CssTable {
     /// Creates an empty table issuing κ-bit secrets (κ must be a positive
     /// multiple of 8).
     pub fn new(kappa_bits: u32) -> Self {
-        assert!(kappa_bits > 0 && kappa_bits.is_multiple_of(8), "κ must be a multiple of 8");
+        assert!(
+            kappa_bits > 0 && kappa_bits % 8 == 0,
+            "κ must be a multiple of 8"
+        );
         Self {
             kappa_bits,
             rows: BTreeMap::new(),
@@ -149,8 +152,7 @@ impl CssTable {
             for c in conditions {
                 match row.get(c) {
                     Some(css) => {
-                        let hex: String =
-                            css.iter().take(4).map(|b| format!("{b:02x}")).collect();
+                        let hex: String = css.iter().take(4).map(|b| format!("{b:02x}")).collect();
                         out.push_str(&format!(" | {hex}…"));
                     }
                     None => out.push_str(" | —"),
@@ -243,7 +245,10 @@ mod tests {
         t.issue(&alice, &c1, &mut r);
         t.issue(&alice, &c2, &mut r);
         t.issue(&bob, &c1, &mut r);
-        assert_eq!(t.nyms_with_all(std::slice::from_ref(&c1)), vec![&alice, &bob]);
+        assert_eq!(
+            t.nyms_with_all(std::slice::from_ref(&c1)),
+            vec![&alice, &bob]
+        );
         assert_eq!(t.nyms_with_all(&[c1.clone(), c2.clone()]), vec![&alice]);
         assert_eq!(t.nyms_with_all(std::slice::from_ref(&c2)), vec![&alice]);
         assert!(t.nyms_with_all(&[cond("x", 0)]).is_empty());

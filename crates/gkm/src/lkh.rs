@@ -107,11 +107,7 @@ impl LkhPublisher {
     /// Replaces every key on the path from `leaf`'s parent to the root,
     /// wrapping each new key under the keys of the node's occupied
     /// children.
-    fn refresh_path<R: RngCore + ?Sized>(
-        &mut self,
-        leaf: usize,
-        rng: &mut R,
-    ) -> Vec<RekeyMessage> {
+    fn refresh_path<R: RngCore + ?Sized>(&mut self, leaf: usize, rng: &mut R) -> Vec<RekeyMessage> {
         let mut messages = Vec::new();
         let mut node = leaf;
         while node != 0 {

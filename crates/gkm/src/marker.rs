@@ -113,11 +113,7 @@ fn mask(css_concat: &[u8], z: &[u8]) -> [u8; 32] {
 /// `k₁ ≠ k₂` expose `k₂` to anyone who knows `k₁`, because
 /// `w₁ ⊕ w₂ = (k₁‖m) ⊕ (k₂‖m)` cancels both the mask **and** the marker.
 /// Returns the recovered `k₂`.
-pub fn key_reuse_attack(
-    word_doc1: &[u8; 32],
-    word_doc2: &[u8; 32],
-    known_k1: &[u8],
-) -> Vec<u8> {
+pub fn key_reuse_attack(word_doc1: &[u8; 32], word_doc2: &[u8; 32], known_k1: &[u8]) -> Vec<u8> {
     assert_eq!(known_k1.len(), KEY_LEN);
     (0..KEY_LEN)
         .map(|i| word_doc1[i] ^ word_doc2[i] ^ known_k1[i])

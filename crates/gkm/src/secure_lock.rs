@@ -103,7 +103,7 @@ impl SecureLockGkm {
         let lock = VarUint::from_be_bytes(&info.lock);
         let residue = lock.rem_uint(&m);
         let bytes = residue.to_be_bytes(); // 32 bytes (U128 width is 16)… see below
-        // Canonical 15-byte masked value: take the low 15 bytes.
+                                           // Canonical 15-byte masked value: take the low 15 bytes.
         let mut masked = [0u8; KEY_LEN];
         let start = bytes.len().saturating_sub(KEY_LEN);
         masked.copy_from_slice(&bytes[start..]);

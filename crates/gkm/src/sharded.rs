@@ -74,23 +74,12 @@ impl ShardedAcvBgkm {
             let bytes = key.to_uint().to_be_bytes();
             bytes[bytes.len() - self.inner.key_len()..].to_vec()
         };
-        (
-            key_bytes,
-            ShardedPublicInfo {
-                num_shards,
-                shards,
-            },
-        )
+        (key_bytes, ShardedPublicInfo { num_shards, shards })
     }
 
     /// Subscriber: locates its shard by pseudonym and derives from that
     /// shard's ACV only.
-    pub fn derive_key(
-        &self,
-        info: &ShardedPublicInfo,
-        nym: &str,
-        css_concat: &[u8],
-    ) -> Vec<u8> {
+    pub fn derive_key(&self, info: &ShardedPublicInfo, nym: &str, css_concat: &[u8]) -> Vec<u8> {
         let shard = Self::shard_of(nym, info.num_shards) as usize;
         self.inner.derive_key(&info.shards[shard], css_concat)
     }

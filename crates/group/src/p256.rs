@@ -48,8 +48,8 @@ struct P256Inner {
     field: MontCtx<4>,
     scalar: ScalarCtx,
     order: U256,
-    b: U256,       // Montgomery form
-    three: U256,   // Montgomery form of 3 (a = -3)
+    b: U256,     // Montgomery form
+    three: U256, // Montgomery form of 3 (a = -3)
     gen: P256Point,
     h: P256Point,
 }
@@ -160,10 +160,7 @@ impl P256Group {
         };
         let x3 = f.sub(&f.mont_sqr(&alpha), &eight_beta);
         // z3 = (y + z)² − gamma − delta
-        let z3 = f.sub(
-            &f.sub(&f.mont_sqr(&f.add(&p.y, &p.z)), &gamma),
-            &delta,
-        );
+        let z3 = f.sub(&f.sub(&f.mont_sqr(&f.add(&p.y, &p.z)), &gamma), &delta);
         // y3 = alpha(4beta − x3) − 8 gamma²
         let four_beta = f.double(&f.double(&beta));
         let eight_gamma2 = {
@@ -171,7 +168,11 @@ impl P256Group {
             f.double(&f.double(&f.double(&g2)))
         };
         let y3 = f.sub(&f.mont_mul(&alpha, &f.sub(&four_beta, &x3)), &eight_gamma2);
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// General Jacobian addition (add-2007-bl).
@@ -215,7 +216,11 @@ impl P256Group {
             &f.sub(&f.sub(&f.mont_sqr(&f.add(&p.z, &q.z)), &z1z1), &z2z2),
             &h,
         );
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     fn jac_mul(&self, p: &Jacobian, k: &U256) -> Jacobian {

@@ -61,7 +61,11 @@ impl<const L: usize> FpCtx<L> {
 
     /// Embeds a canonical integer, reducing modulo the modulus.
     pub fn from_uint(self: &Arc<Self>, x: &Uint<L>) -> Fp<L> {
-        let reduced = if x < self.modulus() { *x } else { x.rem(self.modulus()) };
+        let reduced = if x < self.modulus() {
+            *x
+        } else {
+            x.rem(self.modulus())
+        };
         Fp {
             ctx: Arc::clone(self),
             mont: self.mont.to_mont(&reduced),
@@ -191,8 +195,7 @@ impl<const L: usize> Fp<L> {
 
     fn assert_same_field(&self, other: &Self) {
         debug_assert!(
-            Arc::ptr_eq(&self.ctx, &other.ctx)
-                || self.ctx.modulus() == other.ctx.modulus(),
+            Arc::ptr_eq(&self.ctx, &other.ctx) || self.ctx.modulus() == other.ctx.modulus(),
             "mixed-field arithmetic"
         );
     }

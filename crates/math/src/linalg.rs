@@ -4,7 +4,7 @@
 //! vector of an `n×(N+1)` matrix over an 80-bit prime field (the role NTL's
 //! `kernel()` played in the original C++ implementation). [`Matrix`] stores
 //! Montgomery-form limbs in a flat row-major buffer and performs Gauss–Jordan
-//! elimination with the raw [`MontCtx`] API — no per-element `Arc` traffic.
+//! elimination with the raw [`MontCtx`](crate::MontCtx) API — no per-element `Arc` traffic.
 
 use crate::fp::{Fp, FpCtx};
 use crate::uint::Uint;
@@ -167,8 +167,7 @@ impl<const L: usize> Matrix<L> {
                 break;
             }
             // Find a row with a nonzero entry in this column.
-            let Some(src) = (pivot_row..rows)
-                .find(|&r| !self.data[r * cols + col].is_zero())
+            let Some(src) = (pivot_row..rows).find(|&r| !self.data[r * cols + col].is_zero())
             else {
                 continue;
             };
@@ -198,10 +197,7 @@ impl<const L: usize> Matrix<L> {
                     (&mut h[r * cols..(r + 1) * cols], &t[..cols])
                 } else {
                     let (h, t) = self.data.split_at_mut(r * cols);
-                    (
-                        &mut t[..cols],
-                        &h[pivot_row * cols..(pivot_row + 1) * cols],
-                    )
+                    (&mut t[..cols], &h[pivot_row * cols..(pivot_row + 1) * cols])
                 };
                 for j in col..cols {
                     let p = mont.mont_mul(&factor, &tail[j]);
@@ -252,8 +248,7 @@ impl<const L: usize> Matrix<L> {
             return vec![self.ctx.zero(); self.cols];
         }
         loop {
-            let coeffs: Vec<Fp<L>> =
-                (0..basis.len()).map(|_| self.ctx.random(rng)).collect();
+            let coeffs: Vec<Fp<L>> = (0..basis.len()).map(|_| self.ctx.random(rng)).collect();
             let mont = self.ctx.mont();
             let mut out = vec![Uint::ZERO; self.cols];
             for (c, b) in coeffs.iter().zip(&basis) {
@@ -266,10 +261,7 @@ impl<const L: usize> Matrix<L> {
                 }
             }
             if out.iter().any(|x| !x.is_zero()) {
-                return out
-                    .into_iter()
-                    .map(|m| self.ctx.from_mont_raw(m))
-                    .collect();
+                return out.into_iter().map(|m| self.ctx.from_mont_raw(m)).collect();
             }
         }
     }
@@ -287,7 +279,13 @@ impl<const L: usize> Matrix<L> {
 
 impl<const L: usize> core::fmt::Debug for Matrix<L> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        writeln!(f, "Matrix {}x{} mod 0x{} [", self.rows, self.cols, self.ctx.modulus().to_hex())?;
+        writeln!(
+            f,
+            "Matrix {}x{} mod 0x{} [",
+            self.rows,
+            self.cols,
+            self.ctx.modulus().to_hex()
+        )?;
         for i in 0..self.rows {
             write!(f, "  [")?;
             for j in 0..self.cols {
@@ -379,7 +377,10 @@ mod tests {
                 assert!(prod.iter().all(Fp::is_zero), "basis vector not in kernel");
             }
             let rv = m.random_null_vector(&mut r);
-            assert!(rv.iter().any(|x| !x.is_zero()), "wide matrix ⇒ nontrivial kernel");
+            assert!(
+                rv.iter().any(|x| !x.is_zero()),
+                "wide matrix ⇒ nontrivial kernel"
+            );
             assert!(m.mul_vec(&rv).iter().all(Fp::is_zero));
         }
     }

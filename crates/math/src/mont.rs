@@ -39,9 +39,7 @@ impl<const L: usize> MontCtx<L> {
         debug_assert_eq!(m0.wrapping_mul(inv), 1);
         let n0 = inv.wrapping_neg();
         // R mod m = (MAX mod m) + 1 (mod m), since MAX = R - 1.
-        let r1 = Uint::<L>::MAX
-            .rem(&modulus)
-            .add_mod(&Uint::one(), &modulus);
+        let r1 = Uint::<L>::MAX.rem(&modulus).add_mod(&Uint::one(), &modulus);
         let r2 = r1.mul_mod(&r1, &modulus);
         let bits = modulus.bits();
         Self {
@@ -238,10 +236,8 @@ mod tests {
     fn mont_mul_256bit_modulus_near_max() {
         // Stress the conditional-subtraction path with a modulus close to
         // the type width (like the P-256 base field prime).
-        let p = U256::from_hex(
-            "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff",
-        )
-        .unwrap();
+        let p = U256::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff")
+            .unwrap();
         let ctx = MontCtx::new(p);
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         for _ in 0..300 {

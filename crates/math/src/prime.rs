@@ -17,9 +17,9 @@ pub fn gkm_q80() -> U128 {
 }
 
 const SMALL_PRIMES: [u64; 54] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
 ];
 
 /// Miller–Rabin probabilistic primality test with `rounds` random bases.
@@ -72,7 +72,10 @@ pub fn miller_rabin<const L: usize, R: RngCore + ?Sized>(
 
 /// Generates a random prime with exactly `bits` bits.
 pub fn gen_prime<const L: usize, R: RngCore + ?Sized>(bits: u32, rng: &mut R) -> Uint<L> {
-    assert!(bits >= 2 && bits <= Uint::<L>::BITS, "bit size out of range");
+    assert!(
+        bits >= 2 && bits <= Uint::<L>::BITS,
+        "bit size out of range"
+    );
     loop {
         let mut candidate = Uint::<L>::random_bits(rng, bits);
         candidate.set_bit(bits - 1, true); // exact bit length
@@ -137,7 +140,10 @@ mod tests {
             assert!(miller_rabin(&U128::from_u64(p), 20, &mut r), "{p} is prime");
         }
         for c in [0u64, 1, 4, 9, 255, 1001, 65535, 1_000_000_008] {
-            assert!(!miller_rabin(&U128::from_u64(c), 20, &mut r), "{c} is composite");
+            assert!(
+                !miller_rabin(&U128::from_u64(c), 20, &mut r),
+                "{c} is composite"
+            );
         }
     }
 
@@ -160,14 +166,10 @@ mod tests {
     #[test]
     fn p256_prime_and_order_pass() {
         let mut r = rng();
-        let p = U256::from_hex(
-            "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff",
-        )
-        .unwrap();
-        let n = U256::from_hex(
-            "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551",
-        )
-        .unwrap();
+        let p = U256::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff")
+            .unwrap();
+        let n = U256::from_hex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551")
+            .unwrap();
         assert!(miller_rabin(&p, 20, &mut r));
         assert!(miller_rabin(&n, 20, &mut r));
     }

@@ -528,7 +528,11 @@ pub(crate) fn div_rem_limbs(u: &[u64], v: &[u64]) -> (Vec<u64>, Vec<u64>) {
         vn[i] = x;
     }
     let mut un = vec![0u64; m + 1];
-    un[m] = if shift > 0 { u[m - 1] >> (64 - shift) } else { 0 };
+    un[m] = if shift > 0 {
+        u[m - 1] >> (64 - shift)
+    } else {
+        0
+    };
     for i in (0..m).rev() {
         let mut x = u[i] << shift;
         if shift > 0 && i > 0 {
@@ -807,10 +811,7 @@ mod tests {
         let m = U128::from_u64(1_000_000_007);
         let base = U128::from_u64(2);
         // 2^10 = 1024
-        assert_eq!(
-            base.pow_mod(&U128::from_u64(10), &m).as_u64(),
-            1024
-        );
+        assert_eq!(base.pow_mod(&U128::from_u64(10), &m).as_u64(), 1024);
         // Fermat: 2^(p-1) = 1 mod p
         assert_eq!(
             base.pow_mod(&U128::from_u64(1_000_000_006), &m),
@@ -842,10 +843,8 @@ mod tests {
         let m = U128::from_u64(100);
         assert!(U128::from_u64(10).inv_mod(&m).is_none());
         assert!(U128::from_u64(0).inv_mod(&m).is_none());
-        assert_eq!(
-            U128::from_u64(3).inv_mod(&m).map(|x| x.as_u64()),
-            Some(67)
-        ); // 3*67 = 201 = 2*100 + 1
+        assert_eq!(U128::from_u64(3).inv_mod(&m).map(|x| x.as_u64()), Some(67));
+        // 3*67 = 201 = 2*100 + 1
     }
 
     #[test]
@@ -857,10 +856,7 @@ mod tests {
             assert_eq!(U256::from_hex(&x.to_hex()), Some(x));
         }
         // Short input zero-extends.
-        assert_eq!(
-            U256::from_be_bytes(&[0xab]),
-            Some(U256::from_u64(0xab))
-        );
+        assert_eq!(U256::from_be_bytes(&[0xab]), Some(U256::from_u64(0xab)));
         // Long input with nonzero overflow rejected.
         let mut long = vec![1u8];
         long.extend_from_slice(&[0u8; 32]);

@@ -68,9 +68,7 @@ impl VarUint {
     pub fn bits(&self) -> u32 {
         match self.limbs.last() {
             None => 0,
-            Some(&top) => {
-                (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros())
-            }
+            Some(&top) => (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros()),
         }
     }
 

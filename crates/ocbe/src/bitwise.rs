@@ -13,7 +13,7 @@ use crate::error::OcbeError;
 use pbcd_commit::{Commitment, Opening, Pedersen};
 use pbcd_crypto::{sha256, AuthKey};
 use pbcd_group::{CyclicGroup, Scalar};
-use rand::{Rng, RngCore};
+use rand::RngCore;
 
 /// Direction of the inequality: which side of the threshold qualifies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,10 +117,7 @@ pub fn prepare<G: CyclicGroup, R: RngCore + ?Sized>(
             &sc.from_u64(x) - &sc.from_u64(x0),
             opening.randomness.clone(),
         ),
-        Direction::Le => (
-            &sc.from_u64(x0) - &sc.from_u64(x),
-            -&opening.randomness,
-        ),
+        Direction::Le => (&sc.from_u64(x0) - &sc.from_u64(x), -&opening.randomness),
     };
 
     // Randomness split: r₀ = base_r − Σ_{i≥1} 2ⁱ rᵢ so Σ 2ⁱ rᵢ = base_r.
@@ -158,7 +155,7 @@ pub fn prepare<G: CyclicGroup, R: RngCore + ?Sized>(
         let mut acc = sc.zero();
         let mut weight = two.clone();
         for _ in 1..ell {
-            let bit = rng.gen::<bool>() as u8;
+            let bit = (rng.next_u32() & 1) as u8;
             acc = &acc + &(&weight * &sc.from_u64(bit as u64));
             weight = &weight * &two;
             digit_scalars.push(sc.from_u64(bit as u64));
@@ -294,12 +291,7 @@ mod tests {
         )
     }
 
-    fn run(
-        x: u64,
-        x0: u64,
-        ell: u32,
-        dir: Direction,
-    ) -> Option<Vec<u8>> {
+    fn run(x: u64, x0: u64, ell: u32, dir: Direction) -> Option<Vec<u8>> {
         let (ped, mut rng) = setup();
         let (c, opening) = ped.commit_u64(x, &mut rng);
         let (proof, secrets) = prepare(&ped, x, &opening, x0, ell, dir, &mut rng).unwrap();
@@ -349,8 +341,7 @@ mod tests {
     fn tampered_proof_rejected_by_sender() {
         let (ped, mut rng) = setup();
         let (c, opening) = ped.commit_u64(20, &mut rng);
-        let (mut proof, _) =
-            prepare(&ped, 20, &opening, 10, 8, Direction::Ge, &mut rng).unwrap();
+        let (mut proof, _) = prepare(&ped, 20, &opening, 10, 8, Direction::Ge, &mut rng).unwrap();
         // Swap two digit commitments: weighted product no longer matches.
         proof.commitments.swap(0, 1);
         assert_eq!(
@@ -364,8 +355,7 @@ mod tests {
         let (ped, mut rng) = setup();
         let (_, opening_a) = ped.commit_u64(20, &mut rng);
         let (cb, _) = ped.commit_u64(21, &mut rng);
-        let (proof, _) =
-            prepare(&ped, 20, &opening_a, 10, 8, Direction::Ge, &mut rng).unwrap();
+        let (proof, _) = prepare(&ped, 20, &opening_a, 10, 8, Direction::Ge, &mut rng).unwrap();
         assert_eq!(
             compose(&ped, &cb, 10, 8, Direction::Ge, &proof, b"m", &mut rng).err(),
             Some(OcbeError::InconsistentCommitments)
@@ -376,8 +366,7 @@ mod tests {
     fn wrong_length_proof_rejected() {
         let (ped, mut rng) = setup();
         let (c, opening) = ped.commit_u64(20, &mut rng);
-        let (mut proof, _) =
-            prepare(&ped, 20, &opening, 10, 8, Direction::Ge, &mut rng).unwrap();
+        let (mut proof, _) = prepare(&ped, 20, &opening, 10, 8, Direction::Ge, &mut rng).unwrap();
         proof.commitments.pop();
         assert_eq!(
             compose(&ped, &c, 10, 8, Direction::Ge, &proof, b"m", &mut rng).err(),
@@ -410,10 +399,8 @@ mod tests {
         let decoy = (1u64 << 63) - 1;
         let (c, opening) = ped.commit_u64(decoy, &mut rng);
         for dir in [Direction::Ge, Direction::Le] {
-            let (proof, secrets) =
-                prepare(&ped, decoy, &opening, 100, 8, dir, &mut rng).unwrap();
-            let env =
-                compose(&ped, &c, 100, 8, dir, &proof, b"secret", &mut rng).unwrap();
+            let (proof, secrets) = prepare(&ped, decoy, &opening, 100, 8, dir, &mut rng).unwrap();
+            let env = compose(&ped, &c, 100, 8, dir, &proof, b"secret", &mut rng).unwrap();
             assert_eq!(open(ped.group(), &env, &secrets), None, "{dir:?}");
         }
     }
@@ -424,8 +411,7 @@ mod tests {
         // must not learn satisfaction.
         let (ped, mut rng) = setup();
         let (c, opening) = ped.commit_u64(5, &mut rng);
-        let (proof, secrets) =
-            prepare(&ped, 5, &opening, 200, 8, Direction::Ge, &mut rng).unwrap();
+        let (proof, secrets) = prepare(&ped, 5, &opening, 200, 8, Direction::Ge, &mut rng).unwrap();
         let env = compose(&ped, &c, 200, 8, Direction::Ge, &proof, b"m", &mut rng)
             .expect("sender cannot distinguish unqualified proofs");
         assert_eq!(open(ped.group(), &env, &secrets), None);

@@ -127,12 +127,12 @@ impl<G: CyclicGroup> Envelope<G> {
         let elem = group.serialize(&group.generator()).len();
         match self {
             Envelope::Eq(e) => elem + e.ciphertext.len(),
-            Envelope::Ge(e) | Envelope::Le(e) => {
-                elem + e.shares.len() * 64 + e.ciphertext.len()
-            }
+            Envelope::Ge(e) | Envelope::Le(e) => elem + e.shares.len() * 64 + e.ciphertext.len(),
             Envelope::Dual { ge, le } => {
-                ge.as_ref().map_or(0, |e| elem + e.shares.len() * 64 + e.ciphertext.len())
-                    + le.as_ref().map_or(0, |e| elem + e.shares.len() * 64 + e.ciphertext.len())
+                ge.as_ref()
+                    .map_or(0, |e| elem + e.shares.len() * 64 + e.ciphertext.len())
+                    + le.as_ref()
+                        .map_or(0, |e| elem + e.shares.len() * 64 + e.ciphertext.len())
             }
         }
     }
@@ -374,18 +374,10 @@ impl<G: CyclicGroup> OcbeSystem<G> {
     ) -> Option<Vec<u8>> {
         let group = self.group();
         match (envelope, secrets) {
-            (Envelope::Eq(env), ProofSecrets::Empty) => {
-                eq::open(group, env, &opening.randomness)
-            }
+            (Envelope::Eq(env), ProofSecrets::Empty) => eq::open(group, env, &opening.randomness),
             (Envelope::Ge(env), ProofSecrets::Bits(s))
             | (Envelope::Le(env), ProofSecrets::Bits(s)) => bitwise::open(group, env, s),
-            (
-                Envelope::Dual { ge, le },
-                ProofSecrets::Dual {
-                    ge: ge_s,
-                    le: le_s,
-                },
-            ) => {
+            (Envelope::Dual { ge, le }, ProofSecrets::Dual { ge: ge_s, le: le_s }) => {
                 if let (Some(env), Some(s)) = (ge, ge_s) {
                     if let Some(m) = bitwise::open(group, env, s) {
                         return Some(m);
@@ -450,11 +442,7 @@ mod tests {
                     if !pred.satisfiable(sys.ell()) {
                         continue;
                     }
-                    assert_eq!(
-                        flow(&sys, x, pred),
-                        pred.eval(x),
-                        "x={x} pred={pred}"
-                    );
+                    assert_eq!(flow(&sys, x, pred), pred.eval(x), "x={x} pred={pred}");
                 }
             }
         }
@@ -512,7 +500,9 @@ mod tests {
             let (c, opening) = sys.pedersen().commit_u64(5, &mut rng);
             let pred = Predicate::new(ComparisonOp::Ge, 1);
             let (proof, _) = sys.receiver_prepare(5, &opening, &pred, &mut rng).unwrap();
-            let env = sys.sender_compose(&c, &pred, &proof, b"m", &mut rng).unwrap();
+            let env = sys
+                .sender_compose(&c, &pred, &proof, b"m", &mut rng)
+                .unwrap();
             let _ = env.size_bytes(sys.group());
         }
         let mk = |sys: &OcbeSystem<P256Group>| {

@@ -30,11 +30,7 @@ pub struct AccessControlPolicy {
 
 impl AccessControlPolicy {
     /// Builds a policy from parts.
-    pub fn new(
-        conditions: Vec<AttributeCondition>,
-        objects: &[&str],
-        document: &str,
-    ) -> Self {
+    pub fn new(conditions: Vec<AttributeCondition>, objects: &[&str], document: &str) -> Self {
         assert!(!conditions.is_empty(), "ACP needs at least one condition");
         Self {
             conditions,
@@ -111,11 +107,17 @@ mod tests {
     #[test]
     fn conjunction_semantics() {
         let acp = nurse_policy();
-        let qualified = AttributeSet::new().with("level", 58).with_str("role", "nurse");
+        let qualified = AttributeSet::new()
+            .with("level", 58)
+            .with_str("role", "nurse");
         assert!(acp.eval(&qualified));
-        let wrong_level = AttributeSet::new().with("level", 57).with_str("role", "nurse");
+        let wrong_level = AttributeSet::new()
+            .with("level", 57)
+            .with_str("role", "nurse");
         assert!(!acp.eval(&wrong_level));
-        let wrong_role = AttributeSet::new().with("level", 60).with_str("role", "doctor");
+        let wrong_role = AttributeSet::new()
+            .with("level", 60)
+            .with_str("role", "doctor");
         assert!(!acp.eval(&wrong_role));
         let missing = AttributeSet::new().with("level", 60);
         assert!(!acp.eval(&missing));

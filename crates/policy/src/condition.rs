@@ -105,9 +105,7 @@ impl AttributeCondition {
             return a.threshold != b.threshold;
         }
         // Eq vs Neq on the same threshold.
-        if (a.op == Eq && b.op == Neq || a.op == Neq && b.op == Eq)
-            && a.threshold == b.threshold
-        {
+        if (a.op == Eq && b.op == Neq || a.op == Neq && b.op == Eq) && a.threshold == b.threshold {
             return true;
         }
         ordered(a, b) || ordered(b, a)
@@ -126,7 +124,9 @@ mod tests {
 
     #[test]
     fn eval_against_attribute_set() {
-        let attrs = AttributeSet::new().with("level", 59).with_str("role", "nur");
+        let attrs = AttributeSet::new()
+            .with("level", 59)
+            .with_str("role", "nur");
         assert!(AttributeCondition::new("level", ComparisonOp::Ge, 59).eval(&attrs));
         assert!(!AttributeCondition::new("level", ComparisonOp::Ge, 60).eval(&attrs));
         assert!(AttributeCondition::eq_str("role", "nur").eval(&attrs));
@@ -165,7 +165,7 @@ mod tests {
         assert!(!ge5.mutually_exclusive(&ge3));
         let le5 = AttributeCondition::new("YoS", ComparisonOp::Le, 5);
         assert!(!ge5.mutually_exclusive(&le5)); // both true at exactly 5
-        // Different attributes never exclude.
+                                                // Different attributes never exclude.
         let level = AttributeCondition::new("level", ComparisonOp::Lt, 5);
         assert!(!ge5.mutually_exclusive(&level));
         // Distinct equality values exclude.

@@ -195,7 +195,13 @@ mod tests {
                 AttributeCondition::eq_str("role", "nur"),
                 AttributeCondition::new("level", ComparisonOp::Ge, 59),
             ],
-            &["ContactInfo", "Medication", "PhysicalExams", "LabRecords", "Plan"],
+            &[
+                "ContactInfo",
+                "Medication",
+                "PhysicalExams",
+                "LabRecords",
+                "Plan",
+            ],
             doc,
         ));
         set.add(AccessControlPolicy::new(
@@ -217,14 +223,7 @@ mod tests {
         // subdocuments; acp3 (doctor) covers the whole ClinicalRecord, so
         // the per-child configurations include acp3.
         let set = example4_policies();
-        let (a1, a2, a3, a4, a5, a6) = (
-            AcpId(0),
-            AcpId(1),
-            AcpId(2),
-            AcpId(3),
-            AcpId(4),
-            AcpId(5),
-        );
+        let (a1, a2, a3, a4, a5, a6) = (AcpId(0), AcpId(1), AcpId(2), AcpId(3), AcpId(4), AcpId(5));
         // Pc1 = {acp1, acp4, acp5} ↔ ContactInfo.
         assert_eq!(
             set.configuration_of("ContactInfo"),
@@ -248,9 +247,14 @@ mod tests {
     #[test]
     fn grouping_collects_equal_configurations() {
         let set = example4_policies();
-        let groups = set.group_by_configuration(
-            ["ContactInfo", "BillingInfo", "Medication", "PhysicalExams", "Plan", "LabRecords"],
-        );
+        let groups = set.group_by_configuration([
+            "ContactInfo",
+            "BillingInfo",
+            "Medication",
+            "PhysicalExams",
+            "Plan",
+            "LabRecords",
+        ]);
         // PhysicalExams and Plan share {acp4} here, so they group together.
         let pc_pe = set.configuration_of("PhysicalExams");
         assert_eq!(
@@ -285,8 +289,12 @@ mod tests {
     #[test]
     fn satisfaction_and_access() {
         let set = example4_policies();
-        let nurse59 = AttributeSet::new().with_str("role", "nur").with("level", 59);
-        let nurse58 = AttributeSet::new().with_str("role", "nur").with("level", 58);
+        let nurse59 = AttributeSet::new()
+            .with_str("role", "nur")
+            .with("level", 59);
+        let nurse58 = AttributeSet::new()
+            .with_str("role", "nur")
+            .with("level", 58);
         let doctor = AttributeSet::new().with_str("role", "doc");
         assert_eq!(set.satisfied_by(&nurse59), vec![AcpId(3)]);
         assert!(set.satisfied_by(&nurse58).is_empty());

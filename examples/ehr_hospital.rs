@@ -24,7 +24,13 @@ fn example4_policies() -> PolicySet {
     ));
     set.add(AccessControlPolicy::new(
         vec![AttributeCondition::eq_str("role", "doc")],
-        &["Medication", "PhysicalExams", "LabRecords", "Plan", "ContactInfo"],
+        &[
+            "Medication",
+            "PhysicalExams",
+            "LabRecords",
+            "Plan",
+            "ContactInfo",
+        ],
         doc,
     ));
     set.add(AccessControlPolicy::new(
@@ -32,7 +38,13 @@ fn example4_policies() -> PolicySet {
             AttributeCondition::eq_str("role", "nur"),
             AttributeCondition::new("level", ComparisonOp::Ge, 59),
         ],
-        &["ContactInfo", "Medication", "PhysicalExams", "LabRecords", "Plan"],
+        &[
+            "ContactInfo",
+            "Medication",
+            "PhysicalExams",
+            "LabRecords",
+            "Plan",
+        ],
         doc,
     ));
     set.add(AccessControlPolicy::new(
@@ -60,19 +72,32 @@ fn main() {
     // Staff onboard and register (privacy-preserving: each registers for
     // every condition naming an attribute they hold a token for).
     let staff: Vec<(&str, AttributeSet)> = vec![
-        ("receptionist rita", AttributeSet::new().with_str("role", "rec")),
+        (
+            "receptionist rita",
+            AttributeSet::new().with_str("role", "rec"),
+        ),
         ("cashier carl", AttributeSet::new().with_str("role", "cas")),
         ("doctor dora", AttributeSet::new().with_str("role", "doc")),
         (
             "senior nurse nancy (level 59)",
-            AttributeSet::new().with_str("role", "nur").with("level", 59),
+            AttributeSet::new()
+                .with_str("role", "nur")
+                .with("level", 59),
         ),
         (
             "junior nurse nick (level 58)",
-            AttributeSet::new().with_str("role", "nur").with("level", 58),
+            AttributeSet::new()
+                .with_str("role", "nur")
+                .with("level", 58),
         ),
-        ("data analyst dan", AttributeSet::new().with_str("role", "dat")),
-        ("pharmacist pam", AttributeSet::new().with_str("role", "pha")),
+        (
+            "data analyst dan",
+            AttributeSet::new().with_str("role", "dat"),
+        ),
+        (
+            "pharmacist pam",
+            AttributeSet::new().with_str("role", "pha"),
+        ),
     ];
     let subs: Vec<_> = staff
         .iter()
@@ -89,7 +114,14 @@ fn main() {
     );
 
     // Access matrix.
-    let tags = ["ContactInfo", "BillingInfo", "Medication", "PhysicalExams", "LabRecords", "Plan"];
+    let tags = [
+        "ContactInfo",
+        "BillingInfo",
+        "Medication",
+        "PhysicalExams",
+        "LabRecords",
+        "Plan",
+    ];
     let pol = sys.publisher.policies();
     println!("access matrix (✓ = decrypted, · = redacted):");
     print!("{:<32}", "");
@@ -98,7 +130,9 @@ fn main() {
     }
     println!();
     for (name, sub) in &subs {
-        let view = sub.decrypt_broadcast(&bc, pol).expect("well-formed broadcast");
+        let view = sub
+            .decrypt_broadcast(&bc, pol)
+            .expect("well-formed broadcast");
         print!("{name:<32}");
         for t in &tags {
             let mark = if view.find(t).is_some() { "✓" } else { "·" };

@@ -63,7 +63,10 @@ fn main() {
         assert_eq!(&scheme.derive_key_cached(i, css, &mut cache), k);
     }
     let cached = t0.elapsed();
-    println!("subscriber unlocks 8 docs: plain {plain:?}, KEV-cached {cached:?} ({} cache entries)", cache.len());
+    println!(
+        "subscriber unlocks 8 docs: plain {plain:?}, KEV-cached {cached:?} ({} cache entries)",
+        cache.len()
+    );
 
     // §VIII-C: sharding for large memberships — same key, smaller solves.
     let sharded = ShardedAcvBgkm::new(AcvBgkm::default(), 50);

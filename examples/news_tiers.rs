@@ -36,11 +36,7 @@ fn main() {
     ));
     // Embargoed wire story: not distributable in region 44 (≠ predicate).
     policies.add(AccessControlPolicy::new(
-        vec![AttributeCondition::new(
-            "region",
-            ComparisonOp::Neq,
-            44,
-        )],
+        vec![AttributeCondition::new("region", ComparisonOp::Neq, 44)],
         &["WireStory"],
         "daily.xml",
     ));
@@ -59,19 +55,31 @@ fn main() {
     let readers: Vec<(&str, AttributeSet)> = vec![
         (
             "premium adult, region 10",
-            AttributeSet::new().with("tier", 2).with("age", 34).with("region", 10),
+            AttributeSet::new()
+                .with("tier", 2)
+                .with("age", 34)
+                .with("region", 10),
         ),
         (
             "basic adult, region 44 (embargoed)",
-            AttributeSet::new().with("tier", 1).with("age", 40).with("region", 44),
+            AttributeSet::new()
+                .with("tier", 1)
+                .with("age", 40)
+                .with("region", 44),
         ),
         (
             "basic minor, region 10",
-            AttributeSet::new().with("tier", 1).with("age", 16).with("region", 10),
+            AttributeSet::new()
+                .with("tier", 1)
+                .with("age", 16)
+                .with("region", 10),
         ),
         (
             "free student (age 20), region 7",
-            AttributeSet::new().with("tier", 0).with("age", 20).with("region", 7),
+            AttributeSet::new()
+                .with("tier", 0)
+                .with("age", 20)
+                .with("region", 7),
         ),
     ];
     let subs: Vec<_> = readers
@@ -107,11 +115,20 @@ fn main() {
     // Spot-check the interesting cells.
     let view = |i: usize| subs[i].1.decrypt_broadcast(&bc, pol).unwrap();
     assert!(view(0).find("Analysis").is_some(), "premium reads analysis");
-    assert!(view(0).find("CampusBrief").is_none(), "premium is not a free student");
-    assert!(view(1).find("WireStory").is_none(), "embargo via ≠ predicate");
+    assert!(
+        view(0).find("CampusBrief").is_none(),
+        "premium is not a free student"
+    );
+    assert!(
+        view(1).find("WireStory").is_none(),
+        "embargo via ≠ predicate"
+    );
     assert!(view(1).find("Headlines").is_some());
     assert!(view(2).find("Odds").is_none(), "minor blocked from odds");
-    assert!(view(3).find("CampusBrief").is_some(), "student content via < predicates");
+    assert!(
+        view(3).find("CampusBrief").is_some(),
+        "student content via < predicates"
+    );
 
     // The string encoder is public and deterministic — show it once.
     println!(

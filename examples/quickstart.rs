@@ -20,10 +20,22 @@ fn main() {
 
     // 3. Two subscribers onboard and register. Registration is oblivious:
     //    the publisher learns neither role value, nor who obtained a CSS.
-    let analyst = sys.subscribe("alice@example.com", AttributeSet::new().with_str("role", "analyst"));
-    let intern = sys.subscribe("ivan@example.com", AttributeSet::new().with_str("role", "intern"));
-    println!("analyst extracted {} CSS(s); publisher cannot tell", analyst.css_count());
-    println!("intern  extracted {} CSS(s); publisher cannot tell", intern.css_count());
+    let analyst = sys.subscribe(
+        "alice@example.com",
+        AttributeSet::new().with_str("role", "analyst"),
+    );
+    let intern = sys.subscribe(
+        "ivan@example.com",
+        AttributeSet::new().with_str("role", "intern"),
+    );
+    println!(
+        "analyst extracted {} CSS(s); publisher cannot tell",
+        analyst.css_count()
+    );
+    println!(
+        "intern  extracted {} CSS(s); publisher cannot tell",
+        intern.css_count()
+    );
 
     // 4. Broadcast a document.
     let doc = Element::new("MarketUpdate")
@@ -39,8 +51,12 @@ fn main() {
 
     // 5. Each subscriber decrypts what its attributes allow.
     let pol = sys.publisher.policies();
-    let analyst_view = analyst.decrypt_broadcast(&broadcast, pol).expect("well-formed");
-    let intern_view = intern.decrypt_broadcast(&broadcast, pol).expect("well-formed");
+    let analyst_view = analyst
+        .decrypt_broadcast(&broadcast, pol)
+        .expect("well-formed");
+    let intern_view = intern
+        .decrypt_broadcast(&broadcast, pol)
+        .expect("well-formed");
 
     println!("\nanalyst view:\n{}", analyst_view.to_xml_pretty());
     println!("intern view:\n{}", intern_view.to_xml_pretty());

@@ -54,7 +54,10 @@ fn main() {
             .with("clearance", 4),
     );
     let w1 = sys.publisher.broadcast(&doc, "weekly.xml", &mut sys.rng);
-    println!("week 1: ada reads {}", readable(&ada, &w1, sys.publisher.policies()));
+    println!(
+        "week 1: ada reads {}",
+        readable(&ada, &w1, sys.publisher.policies())
+    );
 
     // Week 2: Bob joins (engineering only, clearance 1).
     let bob = sys.subscribe(
@@ -64,8 +67,14 @@ fn main() {
             .with("clearance", 1),
     );
     let w2 = sys.publisher.broadcast(&doc, "weekly.xml", &mut sys.rng);
-    println!("week 2: ada reads {}", readable(&ada, &w2, sys.publisher.policies()));
-    println!("        bob reads {}", readable(&bob, &w2, sys.publisher.policies()));
+    println!(
+        "week 2: ada reads {}",
+        readable(&ada, &w2, sys.publisher.policies())
+    );
+    println!(
+        "        bob reads {}",
+        readable(&bob, &w2, sys.publisher.policies())
+    );
     // Backward secrecy: bob cannot decrypt week 1.
     println!(
         "        bob on week-1 broadcast: {} (backward secrecy)",
@@ -81,7 +90,10 @@ fn main() {
         "week 3 (ada revoked): ada reads {} (forward secrecy)",
         readable(&ada, &w3, sys.publisher.policies())
     );
-    println!("        bob reads {}", readable(&bob, &w3, sys.publisher.policies()));
+    println!(
+        "        bob reads {}",
+        readable(&bob, &w3, sys.publisher.policies())
+    );
     assert_eq!(readable(&ada, &w3, sys.publisher.policies()), "nothing");
     // Ada can still read old broadcasts she was entitled to.
     assert_eq!(

@@ -94,7 +94,9 @@ fn exec_uses_one_css_for_all_three_tiers() {
     // role conditions produced unopenable envelopes).
     assert_eq!(exec.css_count(), 1);
     let bc = sys.publisher.broadcast(&memo(), "memo.xml", &mut sys.rng);
-    let v = exec.decrypt_broadcast(&bc, sys.publisher.policies()).unwrap();
+    let v = exec
+        .decrypt_broadcast(&bc, sys.publisher.policies())
+        .unwrap();
     for tag in ["TopSecret", "Management", "AllStaff"] {
         assert!(v.find(tag).is_some(), "{tag} readable from a single CSS");
     }

@@ -35,7 +35,13 @@ fn example4_policies() -> PolicySet {
             AttributeCondition::eq_str("role", "nur"),
             AttributeCondition::new("level", ComparisonOp::Ge, 59),
         ],
-        &["ContactInfo", "Medication", "PhysicalExams", "LabRecords", "Plan"],
+        &[
+            "ContactInfo",
+            "Medication",
+            "PhysicalExams",
+            "LabRecords",
+            "Plan",
+        ],
         doc,
     ));
     // acp5: data analysts.
@@ -66,12 +72,16 @@ fn example4_access_matrix() {
     let doctor = sys.subscribe("dora", AttributeSet::new().with_str("role", "doc"));
     let senior_nurse = sys.subscribe(
         "nancy",
-        AttributeSet::new().with_str("role", "nur").with("level", 59),
+        AttributeSet::new()
+            .with_str("role", "nur")
+            .with("level", 59),
     );
     // The paper's nurse of level 58: satisfies neither acp3 nor acp4.
     let junior_nurse = sys.subscribe(
         "nick",
-        AttributeSet::new().with_str("role", "nur").with("level", 58),
+        AttributeSet::new()
+            .with_str("role", "nur")
+            .with("level", 58),
     );
     let analyst = sys.subscribe("dan", AttributeSet::new().with_str("role", "dat"));
     let pharmacist = sys.subscribe("pam", AttributeSet::new().with_str("role", "pha"));
@@ -153,7 +163,13 @@ fn segment_level_policies_split_the_clinical_record() {
             AttributeCondition::eq_str("role", "nur"),
             AttributeCondition::new("level", ComparisonOp::Ge, 59),
         ],
-        &["ContactInfo", "Medication", "PhysicalExams", "LabRecords", "Plan"],
+        &[
+            "ContactInfo",
+            "Medication",
+            "PhysicalExams",
+            "LabRecords",
+            "Plan",
+        ],
         doc,
     ));
     set.add(AccessControlPolicy::new(
@@ -166,7 +182,9 @@ fn segment_level_policies_split_the_clinical_record() {
     let doctor = sys.subscribe("dora", AttributeSet::new().with_str("role", "doc"));
     let nurse = sys.subscribe(
         "nancy",
-        AttributeSet::new().with_str("role", "nur").with("level", 60),
+        AttributeSet::new()
+            .with_str("role", "nur")
+            .with("level", 60),
     );
     let pharmacist = sys.subscribe("pam", AttributeSet::new().with_str("role", "pha"));
 

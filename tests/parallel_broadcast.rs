@@ -28,7 +28,13 @@ fn policies() -> PolicySet {
             AttributeCondition::eq_str("role", "nur"),
             AttributeCondition::new("level", ComparisonOp::Ge, 59),
         ],
-        &["ContactInfo", "Medication", "PhysicalExams", "LabRecords", "Plan"],
+        &[
+            "ContactInfo",
+            "Medication",
+            "PhysicalExams",
+            "LabRecords",
+            "Plan",
+        ],
         doc,
     ));
     set
@@ -44,7 +50,9 @@ fn parallel_broadcast_matches_serial_semantics() {
     let rec = sys.subscribe("rita", AttributeSet::new().with_str("role", "rec"));
     let nurse = sys.subscribe(
         "nancy",
-        AttributeSet::new().with_str("role", "nur").with("level", 60),
+        AttributeSet::new()
+            .with_str("role", "nur")
+            .with("level", 60),
     );
     let outsider = sys.subscribe("oto", AttributeSet::new().with_str("role", "visitor"));
 
@@ -90,7 +98,9 @@ fn parallel_and_serial_broadcasts_decrypt_identically() {
         let mut sys = mk(parallel, seed);
         let nurse = sys.subscribe(
             "nancy",
-            AttributeSet::new().with_str("role", "nur").with("level", 60),
+            AttributeSet::new()
+                .with_str("role", "nur")
+                .with("level", 60),
         );
         let ehr = ehr_document("Jane Doe");
         let bc = sys.publisher.broadcast(&ehr, "EHR.xml", &mut sys.rng);
@@ -99,7 +109,13 @@ fn parallel_and_serial_broadcasts_decrypt_identically() {
             .unwrap();
         // The nurse's view contains her five subdocuments regardless of
         // the publisher's threading.
-        for tag in ["ContactInfo", "Medication", "PhysicalExams", "LabRecords", "Plan"] {
+        for tag in [
+            "ContactInfo",
+            "Medication",
+            "PhysicalExams",
+            "LabRecords",
+            "Plan",
+        ] {
             assert!(view.find(tag).is_some(), "parallel={parallel} tag={tag}");
         }
         assert!(view.find("BillingInfo").is_none());

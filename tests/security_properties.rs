@@ -30,7 +30,11 @@ fn doc() -> Element {
     Element::new("root").child(Element::new("Secret").text("classified content"))
 }
 
-fn can_read(sub: &pbcd::core::Subscriber<pbcd::group::P256Group>, bc: &pbcd::docs::BroadcastContainer, pol: &PolicySet) -> bool {
+fn can_read(
+    sub: &pbcd::core::Subscriber<pbcd::group::P256Group>,
+    bc: &pbcd::docs::BroadcastContainer,
+    pol: &PolicySet,
+) -> bool {
     sub.decrypt_broadcast(bc, pol)
         .map(|d| d.find("Secret").is_some())
         .unwrap_or(false)
@@ -63,7 +67,9 @@ fn forward_secrecy_credential_revocation_is_fine_grained() {
     // Nurse qualifies via role=nurse ∧ level ≥ 59.
     let nurse = sys.subscribe(
         "nancy",
-        AttributeSet::new().with_str("role", "nurse").with("level", 60),
+        AttributeSet::new()
+            .with_str("role", "nurse")
+            .with("level", 60),
     );
     let nym = nurse.nym().unwrap().to_string();
     let b1 = sys.publisher.broadcast(&doc(), "doc.xml", &mut sys.rng);
@@ -100,11 +106,15 @@ fn collusion_resistance_split_conjunction() {
     let mut sys = SystemHarness::new_p256(policies(), 4);
     let role_only = sys.subscribe(
         "rosa",
-        AttributeSet::new().with_str("role", "nurse").with("level", 10),
+        AttributeSet::new()
+            .with_str("role", "nurse")
+            .with("level", 10),
     );
     let level_only = sys.subscribe(
         "lena",
-        AttributeSet::new().with_str("role", "cleaner").with("level", 99),
+        AttributeSet::new()
+            .with_str("role", "cleaner")
+            .with("level", 99),
     );
     let bc = sys.publisher.broadcast(&doc(), "doc.xml", &mut sys.rng);
     assert!(!can_read(&role_only, &bc, sys.publisher.policies()));
@@ -112,10 +122,7 @@ fn collusion_resistance_split_conjunction() {
 
     // Collusion: a synthetic subscriber holding rosa's role-CSS and lena's
     // level-CSS.
-    let mut colluder = sys.subscribe(
-        "mallory",
-        AttributeSet::new().with_str("role", "intruder"),
-    );
+    let mut colluder = sys.subscribe("mallory", AttributeSet::new().with_str("role", "intruder"));
     let pol = sys.publisher.policies();
     let role_cond = AttributeCondition::eq_str("role", "nurse");
     let level_cond = AttributeCondition::new("level", ComparisonOp::Ge, 59);
@@ -150,7 +157,9 @@ fn unqualified_registration_yields_no_css_but_publisher_cannot_tell() {
     // none: no condition matches role=cleaner / level=3.
     let cleaner = sys.subscribe(
         "carl",
-        AttributeSet::new().with_str("role", "cleaner").with("level", 3),
+        AttributeSet::new()
+            .with_str("role", "cleaner")
+            .with("level", 3),
     );
     assert_eq!(cleaner.css_count(), 0, "no envelope opened");
 
@@ -179,10 +188,7 @@ fn publisher_state_contains_no_attribute_values() {
     let doctor = sys.subscribe("dora", AttributeSet::new().with_str("role", "doctor"));
     let cleaner = sys.subscribe("carl", AttributeSet::new().with_str("role", "cleaner"));
     let table = sys.publisher.css_table();
-    let role_conds: Vec<_> = sys
-        .publisher
-        .policies()
-        .conditions_on_attribute("role");
+    let role_conds: Vec<_> = sys.publisher.policies().conditions_on_attribute("role");
     for cond in &role_conds {
         let d = table.get(&pbcd::gkm::Nym::new(doctor.nym().unwrap()), cond);
         let c = table.get(&pbcd::gkm::Nym::new(cleaner.nym().unwrap()), cond);
@@ -198,7 +204,9 @@ fn credential_update_changes_access() {
     let mut sys = SystemHarness::new_p256(policies(), 7);
     let mut nurse = sys.subscribe(
         "nancy",
-        AttributeSet::new().with_str("role", "nurse").with("level", 58),
+        AttributeSet::new()
+            .with_str("role", "nurse")
+            .with("level", 58),
     );
     let b1 = sys.publisher.broadcast(&doc(), "doc.xml", &mut sys.rng);
     assert!(!can_read(&nurse, &b1, sys.publisher.policies()));

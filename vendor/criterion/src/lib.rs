@@ -1,0 +1,265 @@
+//! Offline stand-in for the subset of the [`criterion` 0.5](https://docs.rs/criterion)
+//! API used by the pbcd benches.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! minimal measurement harness with criterion's API shape: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], [`Throughput`],
+//! [`black_box`] and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: each benchmark is warmed up once,
+//! then timed over an adaptive iteration count bounded by a small wall-clock
+//! budget, and the mean time per iteration is printed. There are no
+//! statistics, baselines or HTML reports. Passing `--test` (as `cargo test`
+//! does for bench targets) runs every benchmark exactly once, so bench
+//! targets stay cheap in CI.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration timing collected by [`Bencher::iter`].
+#[derive(Clone, Copy, Debug)]
+struct Sample {
+    iters: u64,
+    total: Duration,
+}
+
+/// Drives one benchmark body.
+pub struct Bencher<'a> {
+    sample: &'a mut Option<Sample>,
+    test_mode: bool,
+    budget: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing the mean over an adaptive iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (and the only run in --test mode).
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed();
+        if self.test_mode {
+            *self.sample = Some(Sample {
+                iters: 1,
+                total: first,
+            });
+            return;
+        }
+        // Aim for enough iterations to fill the budget, bounded both ways.
+        let per_iter = first.max(Duration::from_nanos(1));
+        let iters = (self.budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        *self.sample = Some(Sample {
+            iters,
+            total: start.elapsed(),
+        });
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Throughput annotation for a benchmark group. Accepted for API
+/// compatibility; reported alongside timings.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes processed per iteration, reported in decimal multiples.
+    BytesDecimal(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The top-level benchmark harness.
+pub struct Criterion {
+    test_mode: bool,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs bench targets with `--test`; `cargo bench`
+        // passes `--bench`. Anything else (e.g. a name filter) is ignored.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            budget: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `f` under `id` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        self.run_one(&id.to_string(), None, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, label: &str, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut sample = None;
+        let mut b = Bencher {
+            sample: &mut sample,
+            test_mode: self.test_mode,
+            budget: self.budget,
+        };
+        f(&mut b);
+        match sample {
+            Some(s) => {
+                let mean = s.total / u32::try_from(s.iters).unwrap_or(u32::MAX).max(1);
+                let extra = match throughput {
+                    Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+                        let secs = mean.as_secs_f64().max(1e-12);
+                        format!("  ({:.1} MiB/s)", n as f64 / secs / (1024.0 * 1024.0))
+                    }
+                    Some(Throughput::Elements(n)) => {
+                        let secs = mean.as_secs_f64().max(1e-12);
+                        format!("  ({:.0} elem/s)", n as f64 / secs)
+                    }
+                    None => String::new(),
+                };
+                println!(
+                    "{label:<50} time: {mean:>12.2?}  ({} iters){extra}",
+                    s.iters
+                );
+            }
+            None => println!("{label:<50} (no sample recorded)"),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the adaptive iteration count ignores
+    /// it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&label, throughput, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&label, throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Runs this group's benchmark functions in declaration order.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring criterion's macro of
+/// the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,34 @@
+//! Fixed-size array strategies (`uniform2`, `uniform4`, …).
+
+use rand::rngs::StdRng;
+
+use crate::strategy::Strategy;
+
+/// Strategy producing `[S::Value; N]` from `N` independent draws of `S`.
+pub struct UniformArray<S, const N: usize>(S);
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        core::array::from_fn(|_| self.0.generate(rng))
+    }
+}
+
+macro_rules! uniform_fns {
+    ($($fname:ident => $n:literal),* $(,)?) => {$(
+        /// Generates a fixed-size array from independent draws of `strategy`.
+        pub fn $fname<S: Strategy>(strategy: S) -> UniformArray<S, $n> {
+            UniformArray(strategy)
+        }
+    )*};
+}
+
+uniform_fns! {
+    uniform2 => 2,
+    uniform4 => 4,
+    uniform8 => 8,
+    uniform12 => 12,
+    uniform16 => 16,
+    uniform32 => 32,
+}

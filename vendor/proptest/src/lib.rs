@@ -1,0 +1,207 @@
+//! Offline stand-in for the subset of the [`proptest` 1.x](https://docs.rs/proptest)
+//! API used by the pbcd property-test suites.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! small re-implementation of the proptest surface the tests consume:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//!   `prop_recursive` and `boxed`,
+//! * strategies for integer/`usize` ranges, tuples, `&str` character-class
+//!   regexes, [`Just`](strategy::Just), [`any`](arbitrary::any),
+//!   `prop::array::uniformN`,
+//!   `prop::collection::{vec, btree_set}`, `prop::option::of` and
+//!   `prop::sample::Index`,
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`, plus
+//!   [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`] and [`prop_oneof!`].
+//!
+//! Semantic differences from real proptest, deliberately accepted:
+//! generation is purely random (no bias towards edge cases), failures are
+//! **not shrunk** (the failing case is reported as-is), and the per-test RNG
+//! seed is derived deterministically from the test name so runs are
+//! reproducible.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod array;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a property-test module needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespaced re-exports (`prop::collection::vec`, …), mirroring
+    /// `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::array;
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Derives a per-test RNG seed from the test name.
+///
+/// Deterministic (FNV-1a) so a failing property test reproduces on re-run;
+/// callers can perturb it via the `PBCD_PROPTEST_SEED` environment variable.
+pub fn seed_for(test_name: &str) -> u64 {
+    seed_for_impl(test_name)
+}
+
+/// Builds the deterministic per-test RNG used by [`proptest!`].
+///
+/// Exposed for the macro expansion; consumer crates need not depend on
+/// `rand` themselves.
+pub fn rng_for(test_name: &str) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(seed_for(test_name))
+}
+
+fn seed_for_impl(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    if let Ok(extra) = std::env::var("PBCD_PROPTEST_SEED") {
+        for b in extra.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body over `Config::cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::strategy::Strategy as _;
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::rng_for(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                while accepted < config.cases {
+                    $(let $arg = ($strat).generate(&mut rng);)+
+                    let outcome: $crate::test_runner::TestCaseResult = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => accepted += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                            assert!(
+                                rejected <= config.cases.saturating_mul(100).max(10_000),
+                                "{}: too many prop_assume! rejections ({} accepted cases so far)",
+                                stringify!($name), accepted,
+                            );
+                        }
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("{}: property failed on case {}: {}", stringify!($name), accepted, msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Fails the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current test case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        match (&$lhs, &$rhs) {
+            (l, r) => $crate::prop_assert!(
+                *l == *r,
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($lhs), stringify!($rhs), l, r
+            ),
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        match (&$lhs, &$rhs) {
+            (l, r) => $crate::prop_assert!(*l == *r, $($fmt)+),
+        }
+    }};
+}
+
+/// Fails the current test case if the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        match (&$lhs, &$rhs) {
+            (l, r) => $crate::prop_assert!(
+                *l != *r,
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($lhs), stringify!($rhs), l
+            ),
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        match (&$lhs, &$rhs) {
+            (l, r) => $crate::prop_assert!(*l != *r, $($fmt)+),
+        }
+    }};
+}
+
+/// Discards the current test case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}
+
+/// Chooses uniformly between several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,25 @@
+//! Sampling helpers (`Index`).
+
+/// An index into a collection whose size is only known inside the test body.
+///
+/// Generated via `any::<Index>()`; [`Index::index`] then projects it onto a
+/// concrete collection length.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Index {
+    raw: usize,
+}
+
+impl Index {
+    pub(crate) fn new(raw: usize) -> Self {
+        Index { raw }
+    }
+
+    /// Projects this abstract index onto a collection of `len` elements.
+    ///
+    /// # Panics
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        self.raw % len
+    }
+}

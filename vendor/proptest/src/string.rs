@@ -1,0 +1,282 @@
+//! Generation-only character-class "regex" strategies for `&str` patterns.
+//!
+//! Supports the pattern subset the pbcd suites use: concatenations of
+//! character classes with optional quantifiers, e.g. `"[a-d]"`,
+//! `"[a-zA-Z][a-zA-Z0-9]{0,6}"`, and classes with `&&`-intersections such as
+//! `"[ -~&&[^<>&\"']]{0,16}"` (printable ASCII minus markup characters).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One pattern atom: a set of candidate characters plus a repetition range.
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Generates a random string matching `pattern`.
+///
+/// # Panics
+/// Panics on syntax this mini-parser does not understand, or when a class
+/// resolves to the empty set — a property-test authoring bug either way.
+pub fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let atoms = parse_pattern(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let count = rng.gen_range(atom.min..=atom.max);
+        for _ in 0..count {
+            let idx = rng.gen_range(0..atom.chars.len());
+            out.push(atom.chars[idx]);
+        }
+    }
+    out
+}
+
+fn printable_ascii() -> Vec<char> {
+    (0x20u8..=0x7e).map(char::from).collect()
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let b: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let chars = match b[i] {
+            '[' => {
+                let (set, next) = parse_class(&b, i, pattern);
+                i = next;
+                set
+            }
+            '\\' => {
+                assert!(i + 1 < b.len(), "dangling escape in pattern {pattern:?}");
+                i += 2;
+                vec![b[i - 1]]
+            }
+            '.' => {
+                i += 1;
+                printable_ascii()
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        assert!(
+            !chars.is_empty(),
+            "empty character class in pattern {pattern:?}"
+        );
+        let (min, max) = parse_quantifier(&b, &mut i, pattern);
+        atoms.push(Atom { chars, min, max });
+    }
+    atoms
+}
+
+/// Parses a `[...]` class starting at `start`; returns the resolved set and
+/// the index just past the closing bracket.
+fn parse_class(b: &[char], start: usize, pattern: &str) -> (Vec<char>, usize) {
+    debug_assert_eq!(b[start], '[');
+    // Find the matching close bracket, tracking nesting from `&&[...]`.
+    let mut depth = 0usize;
+    let mut end = None;
+    let mut j = start;
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 1,
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = Some(j);
+                    break;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let end = end.unwrap_or_else(|| panic!("unbalanced [ in pattern {pattern:?}"));
+    let inner = &b[start + 1..end];
+
+    // Split on `&&` at nesting depth zero and intersect the operands.
+    let mut operands: Vec<&[char]> = Vec::new();
+    let mut depth = 0usize;
+    let mut seg_start = 0usize;
+    let mut k = 0usize;
+    while k < inner.len() {
+        match inner[k] {
+            '\\' => k += 1,
+            '[' => depth += 1,
+            ']' => depth -= 1,
+            '&' if depth == 0 && k + 1 < inner.len() && inner[k + 1] == '&' => {
+                operands.push(&inner[seg_start..k]);
+                k += 1;
+                seg_start = k + 1;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    operands.push(&inner[seg_start..]);
+
+    let mut set: Option<Vec<char>> = None;
+    for op in operands {
+        let op_set = eval_operand(op, pattern);
+        set = Some(match set {
+            None => op_set,
+            Some(prev) => prev.into_iter().filter(|c| op_set.contains(c)).collect(),
+        });
+    }
+    (set.unwrap_or_default(), end + 1)
+}
+
+/// Evaluates one intersection operand: either bare class items or a nested
+/// `[...]` / `[^...]` class.
+fn eval_operand(op: &[char], pattern: &str) -> Vec<char> {
+    if op.first() == Some(&'[') {
+        assert_eq!(
+            op.last(),
+            Some(&']'),
+            "bad nested class in pattern {pattern:?}"
+        );
+        return eval_items(&op[1..op.len() - 1], pattern);
+    }
+    eval_items(op, pattern)
+}
+
+/// Evaluates class items (chars, `a-z` ranges, leading `^` negation over
+/// printable ASCII).
+fn eval_items(items: &[char], pattern: &str) -> Vec<char> {
+    let (negate, items) = match items.first() {
+        Some(&'^') => (true, &items[1..]),
+        _ => (false, items),
+    };
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < items.len() {
+        let c = match items[i] {
+            '\\' => {
+                i += 1;
+                assert!(i < items.len(), "dangling escape in pattern {pattern:?}");
+                items[i]
+            }
+            c => c,
+        };
+        // `a-z` range (a `-` as first/last item is a literal).
+        if i + 2 < items.len() && items[i + 1] == '-' && items[i + 2] != ']' {
+            let (lo, hi) = (c, items[i + 2]);
+            assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+            set.extend(lo..=hi);
+            i += 3;
+        } else {
+            set.push(c);
+            i += 1;
+        }
+    }
+    if negate {
+        printable_ascii()
+            .into_iter()
+            .filter(|c| !set.contains(c))
+            .collect()
+    } else {
+        set.sort_unstable();
+        set.dedup();
+        set
+    }
+}
+
+/// Parses an optional quantifier at `*i`, returning `(min, max)` repetition
+/// counts. Unbounded quantifiers are capped at 8 repetitions.
+fn parse_quantifier(b: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    const CAP: usize = 8;
+    if *i >= b.len() {
+        return (1, 1);
+    }
+    match b[*i] {
+        '?' => {
+            *i += 1;
+            (0, 1)
+        }
+        '*' => {
+            *i += 1;
+            (0, CAP)
+        }
+        '+' => {
+            *i += 1;
+            (1, CAP)
+        }
+        '{' => {
+            let close = b[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|off| *i + off)
+                .unwrap_or_else(|| panic!("unbalanced {{ in pattern {pattern:?}"));
+            let body: String = b[*i + 1..close].iter().collect();
+            *i = close + 1;
+            let parse_n = |s: &str| -> usize {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad quantifier {{{body}}} in pattern {pattern:?}"))
+            };
+            match body.split_once(',') {
+                None => {
+                    let n = parse_n(&body);
+                    (n, n)
+                }
+                Some((lo, hi)) => {
+                    let min = parse_n(lo);
+                    let max = if hi.trim().is_empty() {
+                        min.max(CAP)
+                    } else {
+                        parse_n(hi)
+                    };
+                    (min, max)
+                }
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn simple_class_and_quantifier() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-d]", &mut rng);
+            assert_eq!(s.len(), 1);
+            assert!(('a'..='d').contains(&s.chars().next().unwrap()));
+            let t = generate_from_pattern("[a-z]{1,5}", &mut rng);
+            assert!((1..=5).contains(&t.len()));
+            assert!(t.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn concatenation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-zA-Z][a-zA-Z0-9]{0,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 7);
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()));
+        }
+    }
+
+    #[test]
+    fn intersection_with_negation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let s = generate_from_pattern("[ -~&&[^<>&\"']]{0,16}", &mut rng);
+            assert!(s.len() <= 16);
+            for c in s.chars() {
+                assert!((' '..='~').contains(&c));
+                assert!(!"<>&\"'".contains(c), "forbidden char {c:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Test-runner configuration and per-case outcomes.
+
+/// Subset of `proptest::test_runner::Config` used by the suites.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of accepted (non-rejected) cases each property must pass.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`; it does not count against
+    /// the property.
+    Reject(String),
+    /// The property does not hold for this case.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure outcome.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection outcome.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Outcome of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
