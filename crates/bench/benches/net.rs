@@ -1,0 +1,89 @@
+//! Broker fan-out throughput vs. subscriber count, on loopback TCP.
+//!
+//! Measures the untrusted-broker hot path in isolation: one pre-encrypted
+//! container published repeatedly, with every connected subscriber
+//! confirming receipt before the iteration ends. No crypto in the loop —
+//! the broker never does any — so the numbers are pure framing + fan-out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pbcd_docs::{BroadcastContainer, EncryptedGroup, EncryptedSegment};
+use pbcd_net::{Broker, BrokerClient, PeerRole};
+use std::sync::mpsc;
+
+/// A realistic container: 4 policy groups × 4 KiB ciphertext segments plus
+/// ACV-sized key info.
+fn workload_container() -> BroadcastContainer {
+    BroadcastContainer {
+        epoch: 1,
+        document_name: "bench.xml".into(),
+        skeleton_xml: "<doc><pbcd-segment id=\"0\"/></doc>".into(),
+        groups: (0..4u32)
+            .map(|config_id| EncryptedGroup {
+                config_id,
+                key_info: vec![0x5A; 256],
+                segments: vec![EncryptedSegment {
+                    segment_id: config_id,
+                    tag: format!("Section{config_id}"),
+                    ciphertext: vec![0xC5; 4096],
+                }],
+            })
+            .collect(),
+    }
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_broker_fanout");
+    group.sample_size(10);
+    let container = workload_container();
+    let size = container.size_bytes();
+
+    for subs in [1usize, 4, 16] {
+        let broker = Broker::bind("127.0.0.1:0").expect("bind bench broker");
+        let addr = broker.addr();
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let (got_tx, got_rx) = mpsc::channel();
+        let threads: Vec<_> = (0..subs)
+            .map(|_| {
+                let ready = ready_tx.clone();
+                let got = got_tx.clone();
+                std::thread::spawn(move || {
+                    let mut client = BrokerClient::connect(addr, PeerRole::Subscriber)
+                        .expect("subscriber connects");
+                    client.subscribe::<&str>(&[]).expect("subscribe");
+                    ready.send(()).expect("main alive");
+                    while client.next_delivery().is_ok() {
+                        if got.send(()).is_err() {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..subs {
+            ready_rx.recv().expect("subscriber ready");
+        }
+        let mut publisher =
+            BrokerClient::connect(addr, PeerRole::Publisher).expect("publisher connects");
+
+        group.throughput(Throughput::Bytes((size * subs) as u64));
+        group.bench_with_input(BenchmarkId::new("subscribers", subs), &subs, |b, &subs| {
+            b.iter(|| {
+                publisher.publish(&container).expect("publish");
+                for _ in 0..subs {
+                    got_rx.recv().expect("delivery confirmed");
+                }
+            })
+        });
+
+        drop(publisher);
+        broker.shutdown();
+        drop(got_rx);
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fanout);
+criterion_main!(benches);

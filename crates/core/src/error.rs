@@ -1,6 +1,7 @@
 //! Unified error type for the end-to-end system.
 
 use pbcd_docs::{WireError, XmlError};
+use pbcd_net::NetError;
 use pbcd_ocbe::OcbeError;
 
 /// Errors surfaced by the PBCD system layer.
@@ -31,6 +32,8 @@ pub enum PbcdError {
     MalformedKeyInfo,
     /// The subscriber is not registered / unknown pseudonym.
     UnknownSubscriber,
+    /// A broker connection failed (adapters in [`crate::net`]).
+    Net(NetError),
 }
 
 impl core::fmt::Display for PbcdError {
@@ -52,6 +55,7 @@ impl core::fmt::Display for PbcdError {
             Self::Xml(e) => write!(f, "xml: {e}"),
             Self::MalformedKeyInfo => write!(f, "malformed GKM key info"),
             Self::UnknownSubscriber => write!(f, "unknown subscriber"),
+            Self::Net(e) => write!(f, "net: {e}"),
         }
     }
 }
@@ -73,5 +77,11 @@ impl From<WireError> for PbcdError {
 impl From<XmlError> for PbcdError {
     fn from(e: XmlError) -> Self {
         Self::Xml(e)
+    }
+}
+
+impl From<NetError> for PbcdError {
+    fn from(e: NetError) -> Self {
+        Self::Net(e)
     }
 }

@@ -10,20 +10,22 @@ use crate::idmgr::IdentityManager;
 use crate::idp::IdentityProvider;
 use crate::publisher::{Publisher, PublisherConfig};
 use crate::subscriber::Subscriber;
+use pbcd_gkm::{AcvBgkm, BroadcastGkm};
 use pbcd_group::CyclicGroup;
 use pbcd_group::P256Group;
 use pbcd_policy::{AttributeSet, PolicySet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// The assembled system.
-pub struct SystemHarness<G: CyclicGroup> {
+/// The assembled system, generic over the group backend and (like
+/// [`Publisher`]/[`Subscriber`]) over the broadcast GKM scheme.
+pub struct SystemHarness<G: CyclicGroup, K: BroadcastGkm = AcvBgkm> {
     /// The (single, for simplicity) identity provider.
     pub idp: IdentityProvider<G>,
     /// The identity manager.
     pub idmgr: IdentityManager<G>,
     /// The publisher.
-    pub publisher: Publisher<G>,
+    pub publisher: Publisher<G, K>,
     /// Deterministic randomness for reproducible runs.
     pub rng: StdRng,
 }
@@ -36,12 +38,25 @@ impl SystemHarness<P256Group> {
 }
 
 impl<G: CyclicGroup> SystemHarness<G> {
-    /// Builds a system over any group backend.
+    /// Builds an ACV-BGKM system over any group backend.
     pub fn new(group: G, policies: PolicySet, config: PublisherConfig, seed: u64) -> Self {
+        Self::new_with_gkm(group, policies, config, AcvBgkm::default(), seed)
+    }
+}
+
+impl<G: CyclicGroup, K: BroadcastGkm> SystemHarness<G, K> {
+    /// Builds a system over any group backend and any GKM scheme.
+    pub fn new_with_gkm(
+        group: G,
+        policies: PolicySet,
+        config: PublisherConfig,
+        gkm: K,
+        seed: u64,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let idp = IdentityProvider::new(group.clone(), "idp", &mut rng);
         let idmgr = IdentityManager::new(group.clone(), &mut rng);
-        let publisher = Publisher::with_config(group, idmgr.verifying_key(), policies, config);
+        let publisher = Publisher::with_gkm(group, idmgr.verifying_key(), policies, config, gkm);
         Self {
             idp,
             idmgr,
@@ -52,8 +67,8 @@ impl<G: CyclicGroup> SystemHarness<G> {
 
     /// Issues identity tokens for every attribute of `attrs` and returns
     /// the subscriber holding them (not yet registered).
-    pub fn onboard(&mut self, subject: &str, attrs: AttributeSet) -> Subscriber<G> {
-        let mut sub = Subscriber::new(attrs.clone());
+    pub fn onboard(&mut self, subject: &str, attrs: AttributeSet) -> Subscriber<G, K> {
+        let mut sub = Subscriber::with_gkm(attrs.clone(), self.publisher.gkm().clone());
         for (name, value) in attrs.iter() {
             let assertion = self
                 .idp
@@ -71,7 +86,7 @@ impl<G: CyclicGroup> SystemHarness<G> {
     /// subscriber holds, register for **all** conditions naming that
     /// attribute. Returns how many CSSs the subscriber extracted
     /// (information the publisher never has).
-    pub fn register_all(&mut self, sub: &mut Subscriber<G>) -> usize {
+    pub fn register_all(&mut self, sub: &mut Subscriber<G, K>) -> usize {
         let mut extracted = 0;
         let tags: Vec<String> = sub
             .attributes()
@@ -99,7 +114,7 @@ impl<G: CyclicGroup> SystemHarness<G> {
     }
 
     /// Onboards and fully registers a subscriber in one call.
-    pub fn subscribe(&mut self, subject: &str, attrs: AttributeSet) -> Subscriber<G> {
+    pub fn subscribe(&mut self, subject: &str, attrs: AttributeSet) -> Subscriber<G, K> {
         let mut sub = self.onboard(subject, attrs);
         self.register_all(&mut sub);
         sub
@@ -114,7 +129,7 @@ impl<G: CyclicGroup> SystemHarness<G> {
         subject: &str,
         attrs: AttributeSet,
         decoy_attributes: &[&str],
-    ) -> Subscriber<G> {
+    ) -> Subscriber<G, K> {
         let mut sub = self.onboard(subject, attrs);
         for attr in decoy_attributes {
             let (token, opening) = self.idmgr.issue_decoy_token(subject, attr, &mut self.rng);

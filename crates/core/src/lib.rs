@@ -10,7 +10,10 @@
 //!   the CSS table `T`, per-configuration ACV-BGKM rekey and broadcast,
 //! * [`subscriber`] — receiver side: registration, key derivation from
 //!   public broadcast values, decryption and document reassembly,
-//! * [`harness`] — a wired-up system for examples, tests and benches.
+//! * [`harness`] — a wired-up system for examples, tests and benches,
+//! * [`net`] — [`NetPublisher`]/[`NetSubscriber`] adapters that move
+//!   dissemination onto an untrusted `pbcd_net` broker while registration
+//!   stays out-of-band.
 //!
 //! Privacy property carried end-to-end: the publisher sees pseudonyms,
 //! commitments and proofs — never an attribute value, and never whether a
@@ -23,6 +26,7 @@ pub mod error;
 pub mod harness;
 pub mod idmgr;
 pub mod idp;
+pub mod net;
 pub mod publisher;
 pub mod subscriber;
 pub mod token;
@@ -31,6 +35,7 @@ pub use error::PbcdError;
 pub use harness::SystemHarness;
 pub use idmgr::IdentityManager;
 pub use idp::{AttributeAssertion, IdentityProvider};
+pub use net::{NetPublisher, NetSubscriber};
 pub use publisher::{Publisher, PublisherConfig};
 pub use subscriber::Subscriber;
 pub use token::IdentityToken;

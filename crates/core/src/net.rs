@@ -1,0 +1,173 @@
+//! Network adapters: the existing [`Publisher`]/[`Subscriber`] actors
+//! speaking to an untrusted `pbcd_net` broker over real sockets.
+//!
+//! The adapters change *transport only*, not trust: registration (the OCBE
+//! flow that delivers CSSs) remains out-of-band between subscriber and
+//! publisher exactly as in the paper — run it through
+//! [`crate::SystemHarness`] or the manual flow first, then hand the actors
+//! to the adapters for dissemination. The broker carries only broadcast
+//! containers, which are safe in any hands.
+
+use crate::error::PbcdError;
+use crate::publisher::Publisher;
+use crate::subscriber::Subscriber;
+use pbcd_docs::{BroadcastContainer, Element};
+use pbcd_gkm::{AcvBgkm, BroadcastGkm};
+use pbcd_group::CyclicGroup;
+use pbcd_net::{BrokerClient, ConfigSummary, NetError, PeerRole, PublishReceipt};
+use pbcd_policy::PolicySet;
+use rand::RngCore;
+use std::net::ToSocketAddrs;
+use std::time::Duration;
+
+/// A [`Publisher`] whose broadcasts go out over a broker connection.
+pub struct NetPublisher<G: CyclicGroup, K: BroadcastGkm = AcvBgkm> {
+    publisher: Publisher<G, K>,
+    client: BrokerClient,
+}
+
+impl<G: CyclicGroup, K: BroadcastGkm> NetPublisher<G, K> {
+    /// Wraps `publisher` and connects it to the broker at `addr`.
+    pub fn connect(publisher: Publisher<G, K>, addr: impl ToSocketAddrs) -> Result<Self, NetError> {
+        let client = BrokerClient::connect(addr, PeerRole::Publisher)?;
+        Ok(Self { publisher, client })
+    }
+
+    /// The wrapped publisher (e.g. for policy inspection).
+    pub fn publisher(&self) -> &Publisher<G, K> {
+        &self.publisher
+    }
+
+    /// Mutable access for out-of-band flows: registration, revocation.
+    pub fn publisher_mut(&mut self) -> &mut Publisher<G, K> {
+        &mut self.publisher
+    }
+
+    /// Segments, rekeys and encrypts `doc` exactly like
+    /// [`Publisher::broadcast`], then ships the container to the broker.
+    /// Returns the broker's receipt (epoch + fan-out count).
+    pub fn broadcast<R: RngCore + ?Sized>(
+        &mut self,
+        doc: &Element,
+        doc_name: &str,
+        rng: &mut R,
+    ) -> Result<PublishReceipt, NetError> {
+        let container = self.publisher.broadcast(doc, doc_name, rng);
+        self.client.publish(&container)
+    }
+
+    /// What the broker currently retains.
+    pub fn list_configs(&mut self) -> Result<Vec<ConfigSummary>, NetError> {
+        self.client.list_configs()
+    }
+
+    /// Says goodbye to the broker and returns the wrapped publisher.
+    pub fn disconnect(self) -> Result<Publisher<G, K>, NetError> {
+        self.client.bye()?;
+        Ok(self.publisher)
+    }
+}
+
+/// A [`Subscriber`] receiving broadcasts from a broker connection.
+///
+/// Deliveries are **epoch-ordered per document**: the broker is untrusted,
+/// and concurrent or hostile publishers could race a stale (e.g.
+/// pre-revocation) container in after a fresher one — the adapter drops any
+/// delivery whose epoch is not strictly newer than the last one seen for
+/// that document, so consumers can safely treat the latest receive as
+/// current.
+pub struct NetSubscriber<G: CyclicGroup, K: BroadcastGkm = AcvBgkm> {
+    subscriber: Subscriber<G, K>,
+    client: BrokerClient,
+    /// The subscribed document names (empty = everything).
+    documents: Vec<String>,
+    /// document name → highest epoch delivered so far.
+    seen_epochs: std::collections::BTreeMap<String, u64>,
+}
+
+/// Cap on distinct document names tracked per subscriber; a hostile broker
+/// streaming made-up names must not grow client memory without bound.
+const MAX_TRACKED_DOCUMENTS: usize = 4096;
+
+impl<G: CyclicGroup, K: BroadcastGkm> NetSubscriber<G, K> {
+    /// Wraps a (registered) `subscriber`, connects to the broker at `addr`
+    /// and subscribes to `documents` (empty = every document). Retained
+    /// containers are replayed immediately and arrive via
+    /// [`Self::recv_container`]/[`Self::recv_document`].
+    pub fn connect(
+        subscriber: Subscriber<G, K>,
+        addr: impl ToSocketAddrs,
+        documents: &[&str],
+    ) -> Result<Self, NetError> {
+        let mut client = BrokerClient::connect(addr, PeerRole::Subscriber)?;
+        client.set_read_timeout(Some(std::time::Duration::from_secs(10)))?;
+        client.subscribe(documents)?;
+        client.set_read_timeout(None)?;
+        Ok(Self {
+            subscriber,
+            client,
+            documents: documents.iter().map(|d| d.to_string()).collect(),
+            seen_epochs: std::collections::BTreeMap::new(),
+        })
+    }
+
+    /// The wrapped subscriber.
+    pub fn subscriber(&self) -> &Subscriber<G, K> {
+        &self.subscriber
+    }
+
+    /// Bounds how long receives may block.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), NetError> {
+        self.client.set_read_timeout(timeout)
+    }
+
+    /// Blocks for the next raw container (no decryption) whose epoch is
+    /// strictly newer than anything previously received for its document;
+    /// stale or duplicate deliveries — and deliveries for documents this
+    /// subscriber never asked for (a broker is not trusted to honor the
+    /// filter) — are silently skipped.
+    pub fn recv_container(&mut self) -> Result<BroadcastContainer, NetError> {
+        loop {
+            let container = self.client.next_delivery()?;
+            if !self.documents.is_empty() && !self.documents.contains(&container.document_name) {
+                continue;
+            }
+            match self.seen_epochs.get_mut(&container.document_name) {
+                Some(seen) if container.epoch <= *seen => continue,
+                Some(seen) => {
+                    *seen = container.epoch;
+                    return Ok(container);
+                }
+                None => {
+                    if self.seen_epochs.len() >= MAX_TRACKED_DOCUMENTS {
+                        return Err(NetError::protocol(
+                            "broker delivered more distinct documents than the client tracks",
+                        ));
+                    }
+                    self.seen_epochs
+                        .insert(container.document_name.clone(), container.epoch);
+                    return Ok(container);
+                }
+            }
+        }
+    }
+
+    /// Blocks for the next container and decrypts everything this
+    /// subscriber's CSSs allow, reassembling the document with the rest
+    /// redacted. A non-qualified subscriber gets the skeleton only —
+    /// failing closed, not erroring.
+    pub fn recv_document(
+        &mut self,
+        policies: &PolicySet,
+    ) -> Result<(BroadcastContainer, Element), PbcdError> {
+        let container = self.recv_container()?;
+        let view = self.subscriber.decrypt_broadcast(&container, policies)?;
+        Ok((container, view))
+    }
+
+    /// Says goodbye to the broker and returns the wrapped subscriber.
+    pub fn disconnect(self) -> Result<Subscriber<G, K>, NetError> {
+        self.client.bye()?;
+        Ok(self.subscriber)
+    }
+}

@@ -11,7 +11,7 @@ use crate::error::PbcdError;
 use crate::token::IdentityToken;
 use pbcd_crypto::AuthKey;
 use pbcd_docs::{segment, BroadcastContainer, Element, EncryptedGroup, EncryptedSegment};
-use pbcd_gkm::{AccessRow, AcvBgkm, CssTable, Nym};
+use pbcd_gkm::{AccessRow, AcvBgkm, BroadcastGkm, CssTable, Nym};
 use pbcd_group::{CyclicGroup, VerifyingKey};
 use pbcd_ocbe::{Envelope, OcbeSystem, ProofMessage};
 use pbcd_policy::{AttributeCondition, PolicyConfiguration, PolicySet};
@@ -40,36 +40,52 @@ impl Default for PublisherConfig {
     }
 }
 
-/// The Publisher.
-pub struct Publisher<G: CyclicGroup> {
+/// The Publisher, generic over the broadcast GKM scheme (default: the
+/// paper's ACV-BGKM). Any [`BroadcastGkm`] implementation — marker,
+/// secure-lock, sharded ACV — slots in without touching the registration
+/// or segmentation logic.
+pub struct Publisher<G: CyclicGroup, K: BroadcastGkm = AcvBgkm> {
     ocbe: OcbeSystem<G>,
     idmgr_key: VerifyingKey<G>,
     policies: PolicySet,
     table: CssTable,
-    gkm: AcvBgkm,
+    gkm: K,
     epoch: u64,
     config: PublisherConfig,
 }
 
 impl<G: CyclicGroup> Publisher<G> {
-    /// Creates a publisher trusting tokens signed by `idmgr_key`.
+    /// Creates an ACV-BGKM publisher trusting tokens signed by `idmgr_key`.
     pub fn new(group: G, idmgr_key: VerifyingKey<G>, policies: PolicySet) -> Self {
         Self::with_config(group, idmgr_key, policies, PublisherConfig::default())
     }
 
-    /// Creates a publisher with explicit configuration.
+    /// Creates an ACV-BGKM publisher with explicit configuration.
     pub fn with_config(
         group: G,
         idmgr_key: VerifyingKey<G>,
         policies: PolicySet,
         config: PublisherConfig,
     ) -> Self {
+        Self::with_gkm(group, idmgr_key, policies, config, AcvBgkm::default())
+    }
+}
+
+impl<G: CyclicGroup, K: BroadcastGkm> Publisher<G, K> {
+    /// Creates a publisher over an explicit GKM scheme.
+    pub fn with_gkm(
+        group: G,
+        idmgr_key: VerifyingKey<G>,
+        policies: PolicySet,
+        config: PublisherConfig,
+        gkm: K,
+    ) -> Self {
         Self {
             ocbe: OcbeSystem::new(group, config.ell),
             idmgr_key,
             policies,
             table: CssTable::new(config.kappa_bits),
-            gkm: AcvBgkm::default(),
+            gkm,
             epoch: 0,
             config,
         }
@@ -87,7 +103,7 @@ impl<G: CyclicGroup> Publisher<G> {
     }
 
     /// The GKM scheme parameters (shared with subscribers).
-    pub fn gkm(&self) -> &AcvBgkm {
+    pub fn gkm(&self) -> &K {
         &self.gkm
     }
 
@@ -251,7 +267,7 @@ impl<G: CyclicGroup> Publisher<G> {
         } else {
             let rows = self.access_rows(pc);
             let (k, info) = self.gkm.rekey(&rows, rng);
-            (k, info.encode())
+            (k, self.gkm.encode_info(&info))
         };
         let key = AuthKey::from_master(&key_bytes);
         let segments = segs

@@ -7,15 +7,16 @@ use crate::token::IdentityToken;
 use pbcd_commit::Opening;
 use pbcd_crypto::AuthKey;
 use pbcd_docs::{parse, reassemble, BroadcastContainer, Element};
-use pbcd_gkm::{AcvBgkm, AcvPublicInfo};
+use pbcd_gkm::{AcvBgkm, BroadcastGkm};
 use pbcd_group::CyclicGroup;
 use pbcd_ocbe::{Envelope, OcbeSystem, ProofMessage, ProofSecrets};
 use pbcd_policy::{AttributeCondition, AttributeSet, PolicySet};
 use rand::RngCore;
 use std::collections::BTreeMap;
 
-/// The Subscriber.
-pub struct Subscriber<G: CyclicGroup> {
+/// The Subscriber, generic over the broadcast GKM scheme (default: the
+/// paper's ACV-BGKM). The scheme must match the publisher's.
+pub struct Subscriber<G: CyclicGroup, K: BroadcastGkm = AcvBgkm> {
     nym: Option<String>,
     /// The subscriber's private attribute values (never sent anywhere).
     attributes: AttributeSet,
@@ -23,18 +24,25 @@ pub struct Subscriber<G: CyclicGroup> {
     tokens: BTreeMap<String, (IdentityToken<G>, Opening)>,
     /// Conditions whose CSS was successfully extracted.
     css_store: BTreeMap<AttributeCondition, Vec<u8>>,
-    gkm: AcvBgkm,
+    gkm: K,
 }
 
 impl<G: CyclicGroup> Subscriber<G> {
-    /// Creates a subscriber with its private attribute set.
+    /// Creates an ACV-BGKM subscriber with its private attribute set.
     pub fn new(attributes: AttributeSet) -> Self {
+        Self::with_gkm(attributes, AcvBgkm::default())
+    }
+}
+
+impl<G: CyclicGroup, K: BroadcastGkm> Subscriber<G, K> {
+    /// Creates a subscriber deriving keys with an explicit GKM scheme.
+    pub fn with_gkm(attributes: AttributeSet, gkm: K) -> Self {
         Self {
             nym: None,
             attributes,
             tokens: BTreeMap::new(),
             css_store: BTreeMap::new(),
-            gkm: AcvBgkm::default(),
+            gkm,
         }
     }
 
@@ -171,7 +179,14 @@ impl<G: CyclicGroup> Subscriber<G> {
             if group.key_info.is_empty() || group.segments.is_empty() {
                 continue;
             }
-            let info = AcvPublicInfo::decode(&group.key_info).ok_or(PbcdError::MalformedKeyInfo)?;
+            // Undecodable key info fails closed: the group stays redacted
+            // (like the empty-configuration case above) rather than one
+            // corrupted group — e.g. from a hostile broker — erroring out
+            // the decryptable remainder of the broadcast.
+            let Some(info) = self.gkm.decode_info(&group.key_info) else {
+                continue;
+            };
+            let nym = self.nym.as_deref().unwrap_or("");
             let pc = policies.configuration_of(&group.segments[0].tag);
             // Try each member ACP whose CSSs we hold until one key checks out.
             for acp_id in pc.acp_ids() {
@@ -181,7 +196,9 @@ impl<G: CyclicGroup> Subscriber<G> {
                 let Some(css_concat) = self.css_concat(&acp.conditions) else {
                     continue;
                 };
-                let key_bytes = self.gkm.derive_key(&info, &css_concat);
+                let Some(key_bytes) = self.gkm.derive_key(&info, nym, &css_concat) else {
+                    continue;
+                };
                 let key = AuthKey::from_master(&key_bytes);
                 let mut ok = true;
                 let mut decrypted = Vec::with_capacity(group.segments.len());

@@ -57,26 +57,28 @@ pub struct BroadcastContainer {
 }
 
 impl BroadcastContainer {
-    /// Serializes to the wire format.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut buf = BytesMut::new();
+    /// Serializes to the wire format. Fails (instead of panicking) when any
+    /// field exceeds [`crate::wire::MAX_FIELD_LEN`], so encoding a hostile
+    /// container can never abort the encoding thread.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut buf = BytesMut::with_capacity(self.size_bytes());
         buf.put_slice(MAGIC);
         buf.put_u32(VERSION);
         buf.put_u64(self.epoch);
-        put_str(&mut buf, &self.document_name);
-        put_str(&mut buf, &self.skeleton_xml);
+        put_str(&mut buf, &self.document_name)?;
+        put_str(&mut buf, &self.skeleton_xml)?;
         buf.put_u32(self.groups.len() as u32);
         for g in &self.groups {
             buf.put_u32(g.config_id);
-            put_bytes(&mut buf, &g.key_info);
+            put_bytes(&mut buf, &g.key_info)?;
             buf.put_u32(g.segments.len() as u32);
             for s in &g.segments {
                 buf.put_u32(s.segment_id);
-                put_str(&mut buf, &s.tag);
-                put_bytes(&mut buf, &s.ciphertext);
+                put_str(&mut buf, &s.tag)?;
+                put_bytes(&mut buf, &s.ciphertext)?;
             }
         }
-        buf.to_vec()
+        Ok(buf.to_vec())
     }
 
     /// Parses and validates the wire format.
@@ -101,7 +103,7 @@ impl BroadcastContainer {
         if group_count > data.len() / 12 + 1 {
             return Err(WireError::Truncated);
         }
-        let mut groups = Vec::with_capacity(group_count);
+        let mut groups = Vec::with_capacity(group_count.min(1024));
         for _ in 0..group_count {
             let config_id = get_u32(&mut buf)?;
             let key_info = get_bytes(&mut buf)?;
@@ -109,7 +111,7 @@ impl BroadcastContainer {
             if segment_count > data.len() / 12 + 1 {
                 return Err(WireError::Truncated);
             }
-            let mut segments = Vec::with_capacity(segment_count);
+            let mut segments = Vec::with_capacity(segment_count.min(1024));
             for _ in 0..segment_count {
                 let segment_id = get_u32(&mut buf)?;
                 let tag = get_str(&mut buf)?;
@@ -137,9 +139,20 @@ impl BroadcastContainer {
         })
     }
 
-    /// Total broadcast size in bytes.
+    /// Total broadcast size in bytes (what [`Self::encode`] would emit),
+    /// computed without materializing the encoding.
     pub fn size_bytes(&self) -> usize {
-        self.encode().len()
+        let mut n = 4 + 4 + 8; // magic ‖ version ‖ epoch
+        n += 4 + self.document_name.len();
+        n += 4 + self.skeleton_xml.len();
+        n += 4; // group count
+        for g in &self.groups {
+            n += 4 + 4 + g.key_info.len() + 4;
+            for s in &g.segments {
+                n += 4 + 4 + s.tag.len() + 4 + s.ciphertext.len();
+            }
+        }
+        n
     }
 }
 
@@ -174,23 +187,31 @@ mod tests {
     #[test]
     fn roundtrip() {
         let c = sample();
-        let enc = c.encode();
+        let enc = c.encode().unwrap();
+        assert_eq!(enc.len(), c.size_bytes());
         assert_eq!(BroadcastContainer::decode(&enc).unwrap(), c);
     }
 
     #[test]
+    fn oversized_field_fails_encode() {
+        let mut c = sample();
+        c.groups[0].segments[0].ciphertext = vec![0; crate::wire::MAX_FIELD_LEN + 1];
+        assert!(matches!(c.encode(), Err(WireError::FieldTooLong(_))));
+    }
+
+    #[test]
     fn rejects_bad_magic_and_version() {
-        let mut enc = sample().encode();
+        let mut enc = sample().encode().unwrap();
         enc[0] = b'X';
         assert_eq!(BroadcastContainer::decode(&enc), Err(WireError::BadHeader));
-        let mut enc = sample().encode();
+        let mut enc = sample().encode().unwrap();
         enc[7] = 99; // version byte
         assert_eq!(BroadcastContainer::decode(&enc), Err(WireError::BadHeader));
     }
 
     #[test]
     fn rejects_truncation_everywhere() {
-        let enc = sample().encode();
+        let enc = sample().encode().unwrap();
         for cut in 0..enc.len() {
             assert!(
                 BroadcastContainer::decode(&enc[..cut]).is_err(),
@@ -201,7 +222,7 @@ mod tests {
 
     #[test]
     fn rejects_trailing_garbage() {
-        let mut enc = sample().encode();
+        let mut enc = sample().encode().unwrap();
         enc.push(0);
         assert!(BroadcastContainer::decode(&enc).is_err());
     }
@@ -214,7 +235,7 @@ mod tests {
             skeleton_xml: String::new(),
             groups: vec![],
         };
-        assert_eq!(BroadcastContainer::decode(&c.encode()).unwrap(), c);
+        assert_eq!(BroadcastContainer::decode(&c.encode().unwrap()).unwrap(), c);
     }
 
     #[test]

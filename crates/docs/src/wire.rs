@@ -1,8 +1,10 @@
 //! Length-prefixed binary encoding helpers over the `bytes` crate.
 //!
 //! All multi-byte integers are big-endian; variable-length fields carry a
-//! `u32` length prefix. Decoding is strict: truncated or oversized inputs
-//! yield [`WireError`] instead of panicking.
+//! `u32` length prefix. Both directions are strict: truncated or oversized
+//! inputs yield [`WireError`] instead of panicking, and *encoding* an
+//! oversized field fails the same way — a hostile field can never abort a
+//! thread that is framing it (e.g. a broker relaying untrusted containers).
 
 use bytes::{Buf, BufMut};
 
@@ -10,7 +12,7 @@ use bytes::{Buf, BufMut};
 /// a sanity bound against corrupt length prefixes.
 pub const MAX_FIELD_LEN: usize = 16 * 1024 * 1024;
 
-/// Decoding errors.
+/// Encoding/decoding errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
     /// Input ended before the announced field length.
@@ -36,11 +38,15 @@ impl core::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-/// Appends a length-prefixed byte field.
-pub fn put_bytes(buf: &mut impl BufMut, data: &[u8]) {
-    assert!(data.len() <= MAX_FIELD_LEN, "field too long to encode");
+/// Appends a length-prefixed byte field; rejects oversized fields instead
+/// of panicking.
+pub fn put_bytes(buf: &mut impl BufMut, data: &[u8]) -> Result<(), WireError> {
+    if data.len() > MAX_FIELD_LEN {
+        return Err(WireError::FieldTooLong(data.len()));
+    }
     buf.put_u32(data.len() as u32);
     buf.put_slice(data);
+    Ok(())
 }
 
 /// Reads a length-prefixed byte field.
@@ -61,8 +67,8 @@ pub fn get_bytes(buf: &mut impl Buf) -> Result<Vec<u8>, WireError> {
 }
 
 /// Appends a length-prefixed UTF-8 string.
-pub fn put_str(buf: &mut impl BufMut, s: &str) {
-    put_bytes(buf, s.as_bytes());
+pub fn put_str(buf: &mut impl BufMut, s: &str) -> Result<(), WireError> {
+    put_bytes(buf, s.as_bytes())
 }
 
 /// Reads a length-prefixed UTF-8 string.
@@ -94,8 +100,8 @@ mod tests {
     #[test]
     fn roundtrip_fields() {
         let mut buf = BytesMut::new();
-        put_bytes(&mut buf, b"hello");
-        put_str(&mut buf, "world");
+        put_bytes(&mut buf, b"hello").unwrap();
+        put_str(&mut buf, "world").unwrap();
         buf.put_u32(42);
         buf.put_u64(7);
         let mut r = buf.freeze();
@@ -109,7 +115,7 @@ mod tests {
     #[test]
     fn truncation_detected() {
         let mut buf = BytesMut::new();
-        put_bytes(&mut buf, b"hello");
+        put_bytes(&mut buf, b"hello").unwrap();
         let full = buf.freeze();
         for cut in 0..full.len() {
             let mut partial = full.slice(..cut);
@@ -130,9 +136,21 @@ mod tests {
     }
 
     #[test]
+    fn oversized_field_fails_encode_without_panicking() {
+        let huge = vec![0u8; MAX_FIELD_LEN + 1];
+        let mut buf = BytesMut::new();
+        assert_eq!(
+            put_bytes(&mut buf, &huge),
+            Err(WireError::FieldTooLong(MAX_FIELD_LEN + 1))
+        );
+        // Nothing was written: a failed field leaves the buffer untouched.
+        assert!(buf.is_empty());
+    }
+
+    #[test]
     fn invalid_utf8_rejected() {
         let mut buf = BytesMut::new();
-        put_bytes(&mut buf, &[0xff, 0xfe]);
+        put_bytes(&mut buf, &[0xff, 0xfe]).unwrap();
         let mut r = buf.freeze();
         assert_eq!(get_str(&mut r), Err(WireError::InvalidUtf8));
     }
@@ -140,8 +158,8 @@ mod tests {
     #[test]
     fn empty_fields() {
         let mut buf = BytesMut::new();
-        put_bytes(&mut buf, b"");
-        put_str(&mut buf, "");
+        put_bytes(&mut buf, b"").unwrap();
+        put_str(&mut buf, "").unwrap();
         let mut r = buf.freeze();
         assert_eq!(get_bytes(&mut r).unwrap(), Vec::<u8>::new());
         assert_eq!(get_str(&mut r).unwrap(), "");

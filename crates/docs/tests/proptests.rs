@@ -109,7 +109,7 @@ proptest! {
                 })
                 .collect(),
         };
-        let enc = container.encode();
+        let enc = container.encode().expect("bounded fields encode");
         prop_assert_eq!(BroadcastContainer::decode(&enc), Ok(container));
     }
 

@@ -12,6 +12,9 @@
 //! * [`secure_lock`] — the CRT secure lock (Chiou & Chen; related work).
 //! * [`lkh`] — Logical Key Hierarchy (stateful tree rekeying; related work).
 //! * [`simplistic`] — direct per-subscriber key delivery (§VIII-B).
+//! * [`traits`] — the [`BroadcastGkm`] trait every *stateless* scheme
+//!   implements (LKH cannot: its rekey sends per-member messages), making
+//!   the schemes hot-swappable in `pbcd_core` and the benches.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +26,7 @@ pub mod marker;
 pub mod secure_lock;
 pub mod sharded;
 pub mod simplistic;
+pub mod traits;
 
 pub use acv::{AccessRow, AcvBgkm, AcvPublicInfo, KevCache};
 pub use css::{Css, CssTable, Nym};
@@ -31,3 +35,4 @@ pub use marker::{MarkerGkm, MarkerPublicInfo};
 pub use secure_lock::{LockPublicInfo, SecureLockGkm};
 pub use sharded::{ShardedAcvBgkm, ShardedPublicInfo};
 pub use simplistic::{SimplisticGkm, SimplisticPublicInfo};
+pub use traits::BroadcastGkm;

@@ -102,6 +102,33 @@ impl MarkerGkm {
     }
 }
 
+impl MarkerPublicInfo {
+    /// Wire encoding: `z (16) ‖ word_count u32 ‖ word*` (32 bytes each).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(20 + 32 * self.words.len());
+        out.extend_from_slice(&self.z);
+        out.extend_from_slice(&(self.words.len() as u32).to_be_bytes());
+        for w in &self.words {
+            out.extend_from_slice(w);
+        }
+        out
+    }
+
+    /// Parses the wire encoding; strict — no trailing bytes, bounded count.
+    pub fn decode(data: &[u8]) -> Option<Self> {
+        let z: [u8; 16] = data.get(..16)?.try_into().ok()?;
+        let count = u32::from_be_bytes(data.get(16..20)?.try_into().ok()?) as usize;
+        if count != (data.len() - 20) / 32 || data.len() != 20 + 32 * count {
+            return None;
+        }
+        let words = data[20..]
+            .chunks_exact(32)
+            .map(|c| c.try_into().expect("32-byte chunk"))
+            .collect();
+        Some(Self { z, words })
+    }
+}
+
 fn mask(css_concat: &[u8], z: &[u8]) -> [u8; 32] {
     let mut input = Vec::with_capacity(css_concat.len() + z.len());
     input.extend_from_slice(css_concat);

@@ -117,6 +117,31 @@ impl SecureLockGkm {
     }
 }
 
+impl LockPublicInfo {
+    /// Wire encoding: `z (16) ‖ lock_len u32 ‖ lock` (big-endian).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(20 + self.lock.len());
+        out.extend_from_slice(&self.z);
+        out.extend_from_slice(&(self.lock.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.lock);
+        out
+    }
+
+    /// Parses the wire encoding; strict — the announced length must cover
+    /// exactly the remaining bytes.
+    pub fn decode(data: &[u8]) -> Option<Self> {
+        let z: [u8; 16] = data.get(..16)?.try_into().ok()?;
+        let len = u32::from_be_bytes(data.get(16..20)?.try_into().ok()?) as usize;
+        if data.len() != 20 + len {
+            return None;
+        }
+        Some(Self {
+            z,
+            lock: data[20..].to_vec(),
+        })
+    }
+}
+
 /// Derives a deterministic 128-bit prime modulus from a CSS by hashing and
 /// scanning forward (Miller–Rabin with a deterministic base set seeded from
 /// the candidate itself).

@@ -1,0 +1,680 @@
+//! The untrusted dissemination broker: a threaded TCP server that stores
+//! and fans out broadcast containers it cannot read.
+//!
+//! # Threat model
+//!
+//! The broker is the paper's untrusted third-party channel. Everything it
+//! ever holds is public by construction: container skeletons, segment tags,
+//! authenticated ciphertexts and the GKM public info (`X`, `z₁…z_N`) that
+//! reveals nothing to non-qualified parties. It holds no keys, no CSSs and
+//! no subscriber attributes — compromising the broker yields exactly what
+//! eavesdropping on the broadcast channel yields. Correspondingly, the
+//! broker trusts nobody: every inbound frame is strictly decoded, a
+//! malformed or protocol-violating connection is dropped in isolation
+//! (never panicking a broker thread), and slow or dead subscribers are
+//! disconnected rather than allowed to wedge fan-out.
+//!
+//! # Semantics
+//!
+//! * **Retained latest**: the newest container per document name is kept
+//!   and replayed to late subscribers (at-least-once: a subscriber racing a
+//!   publish may see the same epoch twice; epochs make that detectable).
+//! * **Fan-out**: a publish is forwarded to every current subscriber whose
+//!   subscription matches the document (empty subscription = everything).
+//! * **Registration stays out-of-band**: the broker plays no part in the
+//!   OCBE registration flow, exactly as the paper separates the Pub/Sub
+//!   registration phase from dissemination.
+
+use crate::error::NetError;
+use crate::frame::{
+    deliver_body, read_frame_body, ConfigSummary, Frame, PeerRole, CONTAINER_OFFSET,
+};
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Broker tuning knobs.
+#[derive(Clone, Debug)]
+pub struct BrokerConfig {
+    /// Replay the retained container to matching new subscribers.
+    pub replay_retained: bool,
+    /// Per-subscriber socket write timeout; a consumer stalled past this is
+    /// dropped so one dead peer cannot wedge fan-out for everyone.
+    pub write_timeout: Option<Duration>,
+    /// Read timeout applied until a connection produces its first complete
+    /// frame; a connect-and-say-nothing peer is dropped after this instead
+    /// of pinning a broker thread forever. Established peers may then idle
+    /// indefinitely (subscribers legitimately block awaiting deliveries).
+    pub handshake_timeout: Option<Duration>,
+    /// Upper bound on concurrent connections; excess connects are closed
+    /// immediately (counted in `connections_rejected`).
+    pub max_connections: usize,
+    /// Upper bound on distinct retained document names; publishes that
+    /// would exceed it are rejected (updates to retained documents pass).
+    pub max_retained_documents: usize,
+    /// Upper bound on the *total bytes* of retained containers; together
+    /// with the document cap this keeps hostile publishers from growing
+    /// broker memory without limit.
+    pub max_retained_bytes: usize,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        Self {
+            replay_retained: true,
+            write_timeout: Some(Duration::from_secs(5)),
+            handshake_timeout: Some(Duration::from_secs(10)),
+            max_connections: 1024,
+            max_retained_documents: 256,
+            max_retained_bytes: 256 * 1024 * 1024,
+        }
+    }
+}
+
+/// Counters exposed by [`BrokerHandle::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BrokerStats {
+    /// Containers accepted from publishers.
+    pub publishes: u64,
+    /// Containers written to subscribers (fan-out plus replays).
+    pub deliveries: u64,
+    /// Subscribers dropped after a failed or timed-out write.
+    pub subscribers_dropped: u64,
+    /// Connections terminated for malformed or protocol-violating input.
+    pub connections_rejected: u64,
+}
+
+/// One registered subscriber: a serialized writer plus its document filter.
+struct SubEntry {
+    writer: Arc<Mutex<TcpStream>>,
+    /// Empty set = subscribed to every document.
+    documents: Vec<String>,
+}
+
+impl SubEntry {
+    fn matches(&self, document: &str) -> bool {
+        self.documents.is_empty() || self.documents.iter().any(|d| d == document)
+    }
+}
+
+/// Mutable broker state behind one lock.
+#[derive(Default)]
+struct State {
+    /// document name → encoded latest container (shared so replay
+    /// snapshots are pointer clones, not megabyte copies under the lock).
+    retained: BTreeMap<String, Arc<Vec<u8>>>,
+    /// Running total of retained container bytes (enforces the byte cap).
+    retained_bytes: usize,
+    /// document name → public summary of the retained container.
+    summaries: BTreeMap<String, ConfigSummary>,
+    /// connection id → subscriber registration.
+    subscribers: BTreeMap<u64, SubEntry>,
+    /// connection id → raw stream of every live connection (for shutdown).
+    connections: BTreeMap<u64, TcpStream>,
+    /// Join handles of per-connection threads.
+    threads: Vec<JoinHandle<()>>,
+}
+
+struct Shared {
+    config: BrokerConfig,
+    shutdown: AtomicBool,
+    state: Mutex<State>,
+    next_conn_id: AtomicU64,
+    publishes: AtomicU64,
+    deliveries: AtomicU64,
+    subscribers_dropped: AtomicU64,
+    connections_rejected: AtomicU64,
+}
+
+/// The dissemination broker. [`Broker::bind`] starts the accept loop and
+/// returns a [`BrokerHandle`] owning it.
+pub struct Broker;
+
+impl Broker {
+    /// Binds `addr` (use port 0 for an ephemeral port) with defaults.
+    pub fn bind(addr: &str) -> io::Result<BrokerHandle> {
+        Self::bind_with(addr, BrokerConfig::default())
+    }
+
+    /// Binds with explicit configuration.
+    pub fn bind_with(addr: &str, config: BrokerConfig) -> io::Result<BrokerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            config,
+            shutdown: AtomicBool::new(false),
+            state: Mutex::new(State::default()),
+            next_conn_id: AtomicU64::new(0),
+            publishes: AtomicU64::new(0),
+            deliveries: AtomicU64::new(0),
+            subscribers_dropped: AtomicU64::new(0),
+            connections_rejected: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("pbcd-broker-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(BrokerHandle {
+            addr: local_addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// Owner of a running broker; dropping it shuts the broker down.
+pub struct BrokerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl BrokerHandle {
+    /// The bound address (resolve ephemeral ports through this).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> BrokerStats {
+        BrokerStats {
+            publishes: self.shared.publishes.load(Ordering::Relaxed),
+            deliveries: self.shared.deliveries.load(Ordering::Relaxed),
+            subscribers_dropped: self.shared.subscribers_dropped.load(Ordering::Relaxed),
+            connections_rejected: self.shared.connections_rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of currently registered subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("broker state")
+            .subscribers
+            .len()
+    }
+
+    /// The encoded bytes the broker retains for `document` — everything a
+    /// compromise of the broker would leak for it. Tests audit these for
+    /// plaintext.
+    pub fn retained_container(&self, document: &str) -> Option<Vec<u8>> {
+        self.shared
+            .state
+            .lock()
+            .expect("broker state")
+            .retained
+            .get(document)
+            .map(|bytes| bytes.as_ref().clone())
+    }
+
+    /// Graceful shutdown: stops accepting, closes every connection, joins
+    /// every thread. Idempotent; also runs on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock per-connection reads.
+        {
+            let state = self.shared.state.lock().expect("broker state");
+            for stream in state.connections.values() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        // Unblock the accept loop. An unspecified bind address (0.0.0.0 /
+        // ::) is not connectable on every platform — wake via loopback on
+        // the bound port instead, and bound the attempt so shutdown can
+        // never hang on an unreachable listener.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        match TcpStream::connect_timeout(&wake, Duration::from_secs(1)) {
+            Ok(_) => {
+                let _ = accept.join();
+            }
+            // Wake unreachable (e.g. the bound interface vanished): the
+            // accept thread may stay parked in accept(); leak it rather
+            // than hang shutdown/Drop forever. Connection threads were
+            // already closed above.
+            Err(_) => drop(accept),
+        }
+    }
+}
+
+impl Drop for BrokerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            // Accept errors are transient (EMFILE, aborted handshake);
+            // keep serving unless we are shutting down — but back off so a
+            // persistent condition (fd exhaustion) doesn't busy-spin a core.
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+            continue;
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        let Ok(raw) = stream.try_clone() else {
+            continue;
+        };
+        // Register under the state lock, re-checking the shutdown flag
+        // there: shutdown sets the flag *before* taking the lock for its
+        // close sweep, so either we see the flag and bail, or our stream is
+        // in the map when the sweep runs — no connection can slip through
+        // unclosed and leave its handler thread blocked forever.
+        {
+            let mut state = shared.state.lock().expect("broker state");
+            // Reap finished connection threads so bookkeeping stays
+            // proportional to *live* connections, not total served.
+            let (done, running): (Vec<_>, Vec<_>) = std::mem::take(&mut state.threads)
+                .into_iter()
+                .partition(|t| t.is_finished());
+            state.threads = running;
+            for t in done {
+                let _ = t.join();
+            }
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            if state.connections.len() >= shared.config.max_connections {
+                shared.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                continue; // drops both handles, closing the socket
+            }
+            state.connections.insert(id, raw);
+        }
+        let conn_shared = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name(format!("pbcd-broker-conn-{id}"))
+            .spawn(move || {
+                handle_connection(&conn_shared, id, stream);
+            });
+        let mut state = shared.state.lock().expect("broker state");
+        match spawned {
+            Ok(handle) => state.threads.push(handle),
+            Err(_) => {
+                state.connections.remove(&id);
+            }
+        }
+    }
+    // Drain connection threads so shutdown is a real join.
+    let threads = {
+        let mut state = shared.state.lock().expect("broker state");
+        std::mem::take(&mut state.threads)
+    };
+    for t in threads {
+        let _ = t.join();
+    }
+}
+
+/// Per-connection service loop. Every error path here terminates *this*
+/// connection only: decode errors, protocol violations and write failures
+/// are contained, and the loop itself never panics on peer input.
+fn handle_connection(shared: &Shared, id: u64, mut stream: TcpStream) {
+    let writer = match stream.try_clone() {
+        Ok(w) => {
+            let _ = w.set_write_timeout(shared.config.write_timeout);
+            Arc::new(Mutex::new(w))
+        }
+        Err(_) => return,
+    };
+    let _ = stream.set_nodelay(true);
+    // Until the peer has produced one complete frame, reads are bounded by
+    // the handshake timeout: a connect-and-say-nothing peer cannot pin this
+    // thread forever. Once it speaks, blocking indefinitely is legitimate
+    // (idle subscribers wait for deliveries).
+    let mut handshaken = false;
+    let _ = stream.set_read_timeout(shared.config.handshake_timeout);
+
+    loop {
+        let mut body = match read_frame_body(&mut stream) {
+            Ok(b) => b,
+            Err(NetError::Closed) | Err(NetError::Io { .. }) => break,
+            Err(_) if shared.shutdown.load(Ordering::SeqCst) => break,
+            Err(e) => {
+                // Hostile length prefix: report, count, drop the peer.
+                shared.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = send(
+                    shared,
+                    &writer,
+                    &Frame::Error {
+                        message: format!("malformed frame: {e}"),
+                    },
+                );
+                break;
+            }
+        };
+        if !handshaken {
+            handshaken = true;
+            let _ = stream.set_read_timeout(None);
+        }
+        let frame = match Frame::decode(&body) {
+            Ok(f) => f,
+            Err(_) if shared.shutdown.load(Ordering::SeqCst) => break,
+            Err(e) => {
+                // Malformed input: report, count, drop the peer.
+                shared.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = send(
+                    shared,
+                    &writer,
+                    &Frame::Error {
+                        message: format!("malformed frame: {e}"),
+                    },
+                );
+                break;
+            }
+        };
+        match frame {
+            Frame::Hello { role: _ } => {
+                let reply = Frame::Hello {
+                    role: PeerRole::Broker,
+                };
+                if send(shared, &writer, &reply).is_err() {
+                    break;
+                }
+            }
+            Frame::Publish(container) => {
+                let epoch = container.epoch;
+                // The strict decode guarantees the body tail *is* the
+                // canonical container encoding; retain it instead of
+                // re-encoding megabytes on the hot path.
+                let mut container_bytes = std::mem::take(&mut body);
+                container_bytes.drain(..CONTAINER_OFFSET);
+                match handle_publish(shared, container, container_bytes) {
+                    Ok(fanout) => {
+                        if send(shared, &writer, &Frame::Ack { epoch, fanout }).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        shared.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                        let _ = send(
+                            shared,
+                            &writer,
+                            &Frame::Error {
+                                message: format!("publish rejected: {e}"),
+                            },
+                        );
+                        break;
+                    }
+                }
+            }
+            Frame::Subscribe { documents } => {
+                if handle_subscribe(shared, id, &writer, documents).is_err() {
+                    break;
+                }
+            }
+            Frame::ListConfigs => {
+                let entries: Vec<ConfigSummary> = {
+                    let state = shared.state.lock().expect("broker state");
+                    state.summaries.values().cloned().collect()
+                };
+                if send(shared, &writer, &Frame::Configs(entries)).is_err() {
+                    break;
+                }
+            }
+            Frame::Bye => {
+                let _ = send(shared, &writer, &Frame::Bye);
+                break;
+            }
+            // Frames only the broker may send: a client speaking them is
+            // confused or hostile — cut it off (in isolation).
+            Frame::Deliver(_) | Frame::Configs(_) | Frame::Ack { .. } | Frame::Error { .. } => {
+                shared.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = send(
+                    shared,
+                    &writer,
+                    &Frame::Error {
+                        message: "unexpected broker-only frame from client".into(),
+                    },
+                );
+                break;
+            }
+        }
+    }
+
+    let mut state = shared.state.lock().expect("broker state");
+    state.subscribers.remove(&id);
+    state.connections.remove(&id);
+}
+
+/// Retains the container (already-canonical `container_bytes`) and fans it
+/// out; returns the fan-out count, or an error for a publish that would
+/// grow the retained store past its cap.
+fn handle_publish(
+    shared: &Shared,
+    container: pbcd_docs::BroadcastContainer,
+    container_bytes: Vec<u8>,
+) -> Result<u32, NetError> {
+    let deliver_frame = deliver_body(&container_bytes);
+    let summary = ConfigSummary {
+        document_name: container.document_name.clone(),
+        epoch: container.epoch,
+        config_ids: container.groups.iter().map(|g| g.config_id).collect(),
+        size_bytes: container_bytes.len() as u64,
+    };
+
+    let targets: Vec<(u64, Arc<Mutex<TcpStream>>)> = {
+        let mut state = shared.state.lock().expect("broker state");
+        // Bound the retained store: an unauthenticated peer must not be
+        // able to grow broker memory without limit by inventing document
+        // names. Updates to already-retained documents always pass.
+        if !state.retained.contains_key(&container.document_name)
+            && state.retained.len() >= shared.config.max_retained_documents
+        {
+            return Err(NetError::protocol(format!(
+                "retained document cap {} reached",
+                shared.config.max_retained_documents
+            )));
+        }
+        // Newest-epoch wins: replaying an older (e.g. pre-revocation)
+        // container must not roll the retained state back. Equal epochs
+        // pass so a publisher may idempotently retry a lost Ack.
+        if let Some(existing) = state.summaries.get(&container.document_name) {
+            if container.epoch < existing.epoch {
+                return Err(NetError::protocol(format!(
+                    "stale epoch {} (retained epoch is {})",
+                    container.epoch, existing.epoch
+                )));
+            }
+        }
+        let replaced_len = state
+            .retained
+            .get(&container.document_name)
+            .map_or(0, |b| b.len());
+        let new_total = state.retained_bytes - replaced_len + container_bytes.len();
+        if new_total > shared.config.max_retained_bytes {
+            return Err(NetError::protocol(format!(
+                "retained byte cap {} would be exceeded",
+                shared.config.max_retained_bytes
+            )));
+        }
+        state.retained_bytes = new_total;
+        state
+            .retained
+            .insert(container.document_name.clone(), Arc::new(container_bytes));
+        state
+            .summaries
+            .insert(container.document_name.clone(), summary);
+        state
+            .subscribers
+            .iter()
+            .filter(|(_, sub)| sub.matches(&container.document_name))
+            .map(|(id, sub)| (*id, Arc::clone(&sub.writer)))
+            .collect()
+    };
+    shared.publishes.fetch_add(1, Ordering::Relaxed);
+
+    let mut fanout = 0u32;
+    let mut failed = Vec::new();
+    for (sub_id, writer) in targets {
+        match send_raw(shared, &writer, &deliver_frame) {
+            Ok(()) => {
+                fanout += 1;
+                shared.deliveries.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => failed.push(sub_id),
+        }
+    }
+    if !failed.is_empty() {
+        let mut state = shared.state.lock().expect("broker state");
+        for sub_id in failed {
+            if state.subscribers.remove(&sub_id).is_some() {
+                shared.subscribers_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            // Actually disconnect the stalled peer: closing its socket
+            // unblocks its handler thread (which then frees the connection
+            // slot) and tells the peer it is no longer subscribed.
+            if let Some(conn) = state.connections.get(&sub_id) {
+                let _ = conn.shutdown(Shutdown::Both);
+            }
+        }
+    }
+    Ok(fanout)
+}
+
+/// Registers the subscription, acks it and replays retained containers.
+///
+/// Lock discipline: this connection's *writer* lock is taken first and the
+/// global state lock only briefly inside it — never a network write under
+/// the state lock, so a stalled consumer cannot stall the whole broker.
+/// Holding the writer across registration + replay also means a concurrent
+/// publish fanning out a newer epoch to this subscriber queues behind the
+/// replay, so a stale retained container can never arrive after a fresher
+/// one. Deadlock-free because fan-out takes writer locks only *after*
+/// releasing the state lock — no thread ever waits on a writer while
+/// holding state.
+fn handle_subscribe(
+    shared: &Shared,
+    id: u64,
+    writer: &Arc<Mutex<TcpStream>>,
+    documents: Vec<String>,
+) -> Result<(), NetError> {
+    let entry = SubEntry {
+        writer: Arc::clone(writer),
+        documents,
+    };
+    let mut guard = writer.lock().expect("writer lock");
+    let replay: Vec<Arc<Vec<u8>>> = {
+        let mut state = shared.state.lock().expect("broker state");
+        let replay = if shared.config.replay_retained {
+            state
+                .retained
+                .iter()
+                .filter(|(doc, _)| entry.matches(doc))
+                .map(|(_, bytes)| Arc::clone(bytes))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        state.subscribers.insert(id, entry);
+        replay
+    };
+
+    // One deadline bounds the Ack plus the *entire* replay: a subscriber
+    // that cannot drain the retained set within the window is disconnected
+    // (it can reconnect with a narrower document filter) instead of holding
+    // this writer mutex — and thus matching fan-outs — open indefinitely.
+    let deadline = shared.config.write_timeout.map(|t| Instant::now() + t);
+    write_body_deadline(
+        &mut guard,
+        &Frame::Ack {
+            epoch: 0,
+            fanout: 0,
+        }
+        .encode()?,
+        deadline,
+    )?;
+    for bytes in replay {
+        write_body_deadline(&mut guard, &deliver_body(&bytes), deadline)?;
+        shared.deliveries.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(())
+}
+
+/// Serialized frame write to a shared writer, deadline-bounded.
+fn send(shared: &Shared, writer: &Arc<Mutex<TcpStream>>, frame: &Frame) -> Result<(), NetError> {
+    send_raw(shared, writer, &frame.encode()?)
+}
+
+/// Serialized write of a pre-encoded frame body. The whole operation runs
+/// against one deadline derived from `write_timeout`: a peer that trickles
+/// a few bytes per timeout window (re-arming SO_SNDTIMEO forever) is still
+/// cut off, so the writer mutex is held a bounded time per frame.
+fn send_raw(shared: &Shared, writer: &Arc<Mutex<TcpStream>>, body: &[u8]) -> Result<(), NetError> {
+    let deadline = shared.config.write_timeout.map(|t| Instant::now() + t);
+    let mut guard = writer.lock().expect("writer lock");
+    write_body_deadline(&mut guard, body, deadline)
+}
+
+/// Writes `length u32 ‖ body` honoring an absolute deadline across partial
+/// writes (plain socket write timeouts re-arm on every syscall, which a
+/// trickling receiver can exploit to hold a write open indefinitely).
+fn write_body_deadline(
+    stream: &mut TcpStream,
+    body: &[u8],
+    deadline: Option<Instant>,
+) -> Result<(), NetError> {
+    use std::io::Write;
+    if body.len() > crate::frame::MAX_FRAME_LEN {
+        return Err(NetError::protocol("frame body exceeds MAX_FRAME_LEN"));
+    }
+    let len = (body.len() as u32).to_be_bytes();
+    write_all_deadline(stream, &len, deadline)?;
+    write_all_deadline(stream, body, deadline)?;
+    stream.flush()?;
+    Ok(())
+}
+
+fn write_all_deadline(
+    stream: &mut TcpStream,
+    mut buf: &[u8],
+    deadline: Option<Instant>,
+) -> Result<(), NetError> {
+    use std::io::Write;
+    while !buf.is_empty() {
+        if let Some(d) = deadline {
+            let remaining = d.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(NetError::Io {
+                    kind: std::io::ErrorKind::TimedOut,
+                    detail: "write deadline exceeded".into(),
+                });
+            }
+            let _ = stream.set_write_timeout(Some(remaining.max(Duration::from_millis(1))));
+        }
+        match stream.write(buf) {
+            Ok(0) => {
+                return Err(NetError::Io {
+                    kind: std::io::ErrorKind::WriteZero,
+                    detail: "socket refused bytes".into(),
+                })
+            }
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}

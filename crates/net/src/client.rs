@@ -1,0 +1,184 @@
+//! Synchronous broker client used by publishers and subscribers.
+//!
+//! The client speaks the framed protocol over one TCP connection. Because
+//! the broker may interleave `Deliver` frames with replies (a fan-out can
+//! land between a request and its response), every wait loop parks
+//! deliveries in a queue that [`BrokerClient::next_delivery`] drains first.
+
+use crate::error::NetError;
+use crate::frame::{
+    publish_body, read_frame, write_body, write_frame, ConfigSummary, Frame, PeerRole,
+};
+use pbcd_docs::BroadcastContainer;
+use std::collections::VecDeque;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Receipt returned by [`BrokerClient::publish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublishReceipt {
+    /// Epoch of the acknowledged container.
+    pub epoch: u64,
+    /// Subscribers the broker delivered it to.
+    pub fanout: u32,
+}
+
+/// Read timeout applied while waiting for the broker's handshake reply —
+/// an unresponsive (or hostile) broker cannot hang `connect` forever. It
+/// is cleared once the handshake completes, since idling afterwards is
+/// legitimate for subscribers.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Most deliveries the client will queue while waiting for a reply (or
+/// draining a goodbye); a broker pushing more than this instead of
+/// answering is misbehaving, and the client errors rather than buffering
+/// unbounded memory on an untrusted peer's say-so.
+const MAX_PENDING_DELIVERIES: usize = 1024;
+
+/// A connected protocol endpoint.
+pub struct BrokerClient {
+    stream: TcpStream,
+    pending: VecDeque<BroadcastContainer>,
+}
+
+impl BrokerClient {
+    /// Connects, handshakes (`Hello` both ways) and returns the client.
+    /// The handshake wait is bounded (10 s); afterwards reads block
+    /// indefinitely unless [`Self::set_read_timeout`] is set.
+    pub fn connect(addr: impl ToSocketAddrs, role: PeerRole) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
+        let mut client = Self {
+            stream,
+            pending: VecDeque::new(),
+        };
+        client.send(&Frame::Hello { role })?;
+        let reply = client.recv()?;
+        let _ = client.stream.set_read_timeout(None);
+        match reply {
+            Frame::Hello {
+                role: PeerRole::Broker,
+            } => Ok(client),
+            Frame::Error { message } => Err(NetError::Protocol(message)),
+            other => Err(NetError::protocol(format!(
+                "expected broker Hello, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Publishes a container; blocks until the broker acknowledges it.
+    /// Encodes the container in place — no deep copy on the hot path.
+    pub fn publish(&mut self, container: &BroadcastContainer) -> Result<PublishReceipt, NetError> {
+        let body = publish_body(&container.encode()?);
+        self.send_body(&body)?;
+        match self.wait_skipping_deliveries()? {
+            Frame::Ack { epoch, fanout } => Ok(PublishReceipt { epoch, fanout }),
+            other => Err(NetError::protocol(format!(
+                "expected publish Ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Subscribes to `documents` (empty = every document); blocks until
+    /// acknowledged. Retained containers arrive as ordinary deliveries.
+    pub fn subscribe<S: AsRef<str>>(&mut self, documents: &[S]) -> Result<(), NetError> {
+        let documents = documents.iter().map(|s| s.as_ref().to_string()).collect();
+        self.send(&Frame::Subscribe { documents })?;
+        match self.wait_skipping_deliveries()? {
+            Frame::Ack { .. } => Ok(()),
+            other => Err(NetError::protocol(format!(
+                "expected subscribe Ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the broker for its retained-container summaries.
+    pub fn list_configs(&mut self) -> Result<Vec<ConfigSummary>, NetError> {
+        self.send(&Frame::ListConfigs)?;
+        match self.wait_skipping_deliveries()? {
+            Frame::Configs(entries) => Ok(entries),
+            other => Err(NetError::protocol(format!(
+                "expected Configs, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Blocks for the next delivered container (queued ones first).
+    pub fn next_delivery(&mut self) -> Result<BroadcastContainer, NetError> {
+        if let Some(c) = self.pending.pop_front() {
+            return Ok(c);
+        }
+        match self.recv()? {
+            Frame::Deliver(c) => Ok(c),
+            Frame::Error { message } => Err(NetError::Protocol(message)),
+            other => Err(NetError::protocol(format!(
+                "expected Deliver, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Sets the socket read timeout; a timed-out read surfaces as
+    /// [`NetError::Io`].
+    ///
+    /// **Caveat:** a timeout that fires mid-frame (after some bytes of a
+    /// large delivery were already consumed) leaves the stream
+    /// desynchronized — treat any timeout during a receive as fatal for
+    /// this connection and reconnect, rather than retrying the read.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), NetError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Says goodbye and closes the connection.
+    pub fn bye(mut self) -> Result<(), NetError> {
+        self.send(&Frame::Bye)?;
+        // The broker echoes Bye; deliveries may still be in flight first —
+        // drain a bounded number of them, then give up on the goodbye.
+        for _ in 0..MAX_PENDING_DELIVERIES {
+            match self.recv() {
+                Ok(Frame::Bye) | Err(NetError::Closed) => return Ok(()),
+                Ok(Frame::Deliver(_)) => continue,
+                Ok(other) => {
+                    return Err(NetError::protocol(format!("expected Bye, got {other:?}")))
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(NetError::protocol(
+            "broker flooded the goodbye with deliveries",
+        ))
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
+        write_frame(&mut self.stream, frame)
+    }
+
+    /// Writes a pre-encoded frame body with the length prefix.
+    fn send_body(&mut self, body: &[u8]) -> Result<(), NetError> {
+        write_body(&mut self.stream, body)
+    }
+
+    fn recv(&mut self) -> Result<Frame, NetError> {
+        read_frame(&mut self.stream)
+    }
+
+    /// Reads until a non-`Deliver` frame arrives, queueing deliveries; a
+    /// broker `Error` frame becomes `Err` directly.
+    fn wait_skipping_deliveries(&mut self) -> Result<Frame, NetError> {
+        loop {
+            match self.recv()? {
+                Frame::Deliver(c) => {
+                    if self.pending.len() >= MAX_PENDING_DELIVERIES {
+                        return Err(NetError::protocol(
+                            "broker sent deliveries instead of a reply until the pending queue filled",
+                        ));
+                    }
+                    self.pending.push_back(c);
+                }
+                Frame::Error { message } => return Err(NetError::Protocol(message)),
+                other => return Ok(other),
+            }
+        }
+    }
+}

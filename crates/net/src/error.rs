@@ -1,0 +1,61 @@
+//! Error type for the network layer.
+//!
+//! I/O errors are flattened to `(kind, detail)` so [`NetError`] stays
+//! `Clone + PartialEq` — the system-level error enum in `pbcd_core` wraps
+//! it and relies on both.
+
+use pbcd_docs::WireError;
+
+/// Errors surfaced by brokers, clients and the framing layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// An underlying socket operation failed.
+    Io {
+        /// The `std::io` error kind.
+        kind: std::io::ErrorKind,
+        /// Human-readable detail from the original error.
+        detail: String,
+    },
+    /// A frame or container failed strict encoding/decoding.
+    Wire(WireError),
+    /// The peer violated the protocol (wrong frame at the wrong time,
+    /// version mismatch, oversized frame, or a broker-reported error).
+    Protocol(String),
+    /// The peer closed the connection at a clean frame boundary.
+    Closed,
+}
+
+impl NetError {
+    /// Shorthand for a protocol violation.
+    pub fn protocol(msg: impl Into<String>) -> Self {
+        Self::Protocol(msg.into())
+    }
+}
+
+impl core::fmt::Display for NetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Io { kind, detail } => write!(f, "i/o ({kind:?}): {detail}"),
+            Self::Wire(e) => write!(f, "wire: {e}"),
+            Self::Protocol(msg) => write!(f, "protocol: {msg}"),
+            Self::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io {
+            kind: e.kind(),
+            detail: e.to_string(),
+        }
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        Self::Wire(e)
+    }
+}

@@ -1,0 +1,464 @@
+//! The broker protocol's framed messages.
+//!
+//! Every frame travels as `length u32 ‖ body` on the socket; the body is
+//! `magic "PN" ‖ version u8 ‖ kind u8 ‖ payload` with all integers
+//! big-endian and every variable-length field length-prefixed via
+//! [`pbcd_docs::wire`]. Decoding is strict and total: truncated, oversized
+//! or trailing bytes yield [`WireError`], never a panic — a hostile peer
+//! cannot take down a broker thread with a malformed frame.
+//!
+//! Containers ride inside [`Frame::Publish`]/[`Frame::Deliver`] in their
+//! own wire format ([`BroadcastContainer::encode`]); the broker forwards
+//! them without ever holding a decryption key.
+
+use crate::error::NetError;
+use bytes::{Buf, BufMut, BytesMut};
+use pbcd_docs::wire::{get_str, get_u32, get_u64, put_str, WireError};
+use pbcd_docs::BroadcastContainer;
+use std::io::{Read, Write};
+
+/// Leading bytes of every frame body.
+pub const FRAME_MAGIC: &[u8; 2] = b"PN";
+/// Protocol version spoken by this crate.
+pub const PROTOCOL_VERSION: u8 = 1;
+/// Upper bound on a frame body (64 MiB) — a sanity bound against corrupt
+/// or hostile length prefixes, comfortably above the 16 MiB field limit.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Who is speaking on a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerRole {
+    /// A publisher pushing broadcast containers.
+    Publisher,
+    /// A subscriber awaiting deliveries.
+    Subscriber,
+    /// The broker itself (used in its `Hello` reply).
+    Broker,
+}
+
+impl PeerRole {
+    fn code(self) -> u8 {
+        match self {
+            Self::Publisher => 0,
+            Self::Subscriber => 1,
+            Self::Broker => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self, WireError> {
+        match code {
+            0 => Ok(Self::Publisher),
+            1 => Ok(Self::Subscriber),
+            2 => Ok(Self::Broker),
+            _ => Err(WireError::BadHeader),
+        }
+    }
+}
+
+/// One retained broadcast as reported by [`Frame::Configs`]: public
+/// metadata only (the broker knows nothing else).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigSummary {
+    /// Document name the container was published under.
+    pub document_name: String,
+    /// Rekey epoch of the retained container.
+    pub epoch: u64,
+    /// Policy-configuration ids present in the container.
+    pub config_ids: Vec<u32>,
+    /// Size of the retained container in bytes.
+    pub size_bytes: u64,
+}
+
+/// A protocol frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Connection handshake; the broker answers with its own `Hello`.
+    Hello {
+        /// The speaker's role.
+        role: PeerRole,
+    },
+    /// Publisher → broker: a fresh broadcast container.
+    Publish(BroadcastContainer),
+    /// Subscriber → broker: subscribe to the named documents (empty list =
+    /// every document).
+    Subscribe {
+        /// Document names to receive; empty subscribes to everything.
+        documents: Vec<String>,
+    },
+    /// Broker → subscriber: a broadcast container (live fan-out or replay
+    /// of the retained latest).
+    Deliver(BroadcastContainer),
+    /// Ask the broker what it currently retains.
+    ListConfigs,
+    /// Broker's reply to [`Frame::ListConfigs`].
+    Configs(Vec<ConfigSummary>),
+    /// Broker's acknowledgement of a `Publish` (with the fan-out count) or
+    /// a `Subscribe` (fanout 0).
+    Ack {
+        /// Epoch of the acknowledged container (0 for subscriptions).
+        epoch: u64,
+        /// How many subscribers the container was delivered to.
+        fanout: u32,
+    },
+    /// Graceful goodbye; either side may send it before closing.
+    Bye,
+    /// Fatal per-connection error report; the sender closes afterwards.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+const KIND_HELLO: u8 = 1;
+const KIND_PUBLISH: u8 = 2;
+const KIND_SUBSCRIBE: u8 = 3;
+const KIND_DELIVER: u8 = 4;
+const KIND_LIST_CONFIGS: u8 = 5;
+const KIND_CONFIGS: u8 = 6;
+const KIND_ACK: u8 = 7;
+const KIND_BYE: u8 = 8;
+const KIND_ERROR: u8 = 9;
+
+impl Frame {
+    /// Serializes the frame body (without the outer length prefix).
+    /// Fails — instead of panicking — on oversized fields.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut buf = BytesMut::new();
+        buf.put_slice(FRAME_MAGIC);
+        buf.put_u8(PROTOCOL_VERSION);
+        match self {
+            Self::Hello { role } => {
+                buf.put_u8(KIND_HELLO);
+                buf.put_u8(role.code());
+            }
+            Self::Publish(container) => {
+                buf.put_u8(KIND_PUBLISH);
+                buf.put_slice(&container.encode()?);
+            }
+            Self::Subscribe { documents } => {
+                buf.put_u8(KIND_SUBSCRIBE);
+                buf.put_u32(documents.len() as u32);
+                for d in documents {
+                    put_str(&mut buf, d)?;
+                }
+            }
+            Self::Deliver(container) => {
+                buf.put_u8(KIND_DELIVER);
+                buf.put_slice(&container.encode()?);
+            }
+            Self::ListConfigs => buf.put_u8(KIND_LIST_CONFIGS),
+            Self::Configs(entries) => {
+                buf.put_u8(KIND_CONFIGS);
+                buf.put_u32(entries.len() as u32);
+                for e in entries {
+                    put_str(&mut buf, &e.document_name)?;
+                    buf.put_u64(e.epoch);
+                    buf.put_u64(e.size_bytes);
+                    buf.put_u32(e.config_ids.len() as u32);
+                    for id in &e.config_ids {
+                        buf.put_u32(*id);
+                    }
+                }
+            }
+            Self::Ack { epoch, fanout } => {
+                buf.put_u8(KIND_ACK);
+                buf.put_u64(*epoch);
+                buf.put_u32(*fanout);
+            }
+            Self::Bye => buf.put_u8(KIND_BYE),
+            Self::Error { message } => {
+                buf.put_u8(KIND_ERROR);
+                put_str(&mut buf, message)?;
+            }
+        }
+        Ok(buf.to_vec())
+    }
+
+    /// Strict parse of a frame body. Any deviation — bad magic, unknown
+    /// version or kind, truncation, trailing bytes — is a [`WireError`].
+    pub fn decode(data: &[u8]) -> Result<Self, WireError> {
+        let mut buf = data;
+        if buf.remaining() < 4 {
+            return Err(WireError::Truncated);
+        }
+        let mut magic = [0u8; 2];
+        buf.copy_to_slice(&mut magic);
+        if &magic != FRAME_MAGIC {
+            return Err(WireError::BadHeader);
+        }
+        if buf.get_u8() != PROTOCOL_VERSION {
+            return Err(WireError::BadHeader);
+        }
+        let kind = buf.get_u8();
+        let frame = match kind {
+            KIND_HELLO => {
+                if buf.remaining() < 1 {
+                    return Err(WireError::Truncated);
+                }
+                let role = PeerRole::from_code(buf.get_u8())?;
+                Self::Hello { role }
+            }
+            KIND_PUBLISH => {
+                let container = BroadcastContainer::decode(buf)?;
+                buf = &[];
+                Self::Publish(container)
+            }
+            KIND_SUBSCRIBE => {
+                let count = get_u32(&mut buf)? as usize;
+                // Each document name costs ≥ 4 bytes on the wire.
+                if count > data.len() / 4 + 1 {
+                    return Err(WireError::Truncated);
+                }
+                let mut documents = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    documents.push(get_str(&mut buf)?);
+                }
+                Self::Subscribe { documents }
+            }
+            KIND_DELIVER => {
+                let container = BroadcastContainer::decode(buf)?;
+                buf = &[];
+                Self::Deliver(container)
+            }
+            KIND_LIST_CONFIGS => Self::ListConfigs,
+            KIND_CONFIGS => {
+                let count = get_u32(&mut buf)? as usize;
+                // Each summary costs ≥ 24 bytes on the wire.
+                if count > data.len() / 24 + 1 {
+                    return Err(WireError::Truncated);
+                }
+                let mut entries = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let document_name = get_str(&mut buf)?;
+                    let epoch = get_u64(&mut buf)?;
+                    let size_bytes = get_u64(&mut buf)?;
+                    let id_count = get_u32(&mut buf)? as usize;
+                    if id_count > data.len() / 4 + 1 {
+                        return Err(WireError::Truncated);
+                    }
+                    let mut config_ids = Vec::with_capacity(id_count.min(1024));
+                    for _ in 0..id_count {
+                        config_ids.push(get_u32(&mut buf)?);
+                    }
+                    entries.push(ConfigSummary {
+                        document_name,
+                        epoch,
+                        config_ids,
+                        size_bytes,
+                    });
+                }
+                Self::Configs(entries)
+            }
+            KIND_ACK => {
+                let epoch = get_u64(&mut buf)?;
+                let fanout = get_u32(&mut buf)?;
+                Self::Ack { epoch, fanout }
+            }
+            KIND_BYE => Self::Bye,
+            KIND_ERROR => Self::Error {
+                message: get_str(&mut buf)?,
+            },
+            _ => return Err(WireError::BadHeader),
+        };
+        if !buf.is_empty() {
+            return Err(WireError::BadHeader);
+        }
+        Ok(frame)
+    }
+}
+
+fn container_frame_body(kind: u8, container_bytes: &[u8]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(4 + container_bytes.len());
+    body.extend_from_slice(FRAME_MAGIC);
+    body.push(PROTOCOL_VERSION);
+    body.push(kind);
+    body.extend_from_slice(container_bytes);
+    body
+}
+
+/// Builds a `Deliver` frame body around already-encoded container bytes
+/// without re-decoding them — the broker's retention/replay hot path.
+pub fn deliver_body(container_bytes: &[u8]) -> Vec<u8> {
+    container_frame_body(KIND_DELIVER, container_bytes)
+}
+
+/// Builds a `Publish` frame body around already-encoded container bytes —
+/// lets a publisher ship a container without deep-cloning it into a frame.
+pub fn publish_body(container_bytes: &[u8]) -> Vec<u8> {
+    container_frame_body(KIND_PUBLISH, container_bytes)
+}
+
+/// Byte offset of a container within a `Publish`/`Deliver` frame body
+/// (magic ‖ version ‖ kind). After a strict [`Frame::decode`], the body's
+/// tail from this offset *is* the canonical container encoding — consumers
+/// can retain it without re-encoding.
+pub const CONTAINER_OFFSET: usize = 4;
+
+/// Writes one pre-encoded frame body with its length prefix and flushes —
+/// the single place the transport framing (and its size guard) lives.
+pub fn write_body(w: &mut impl Write, body: &[u8]) -> Result<(), NetError> {
+    if body.len() > MAX_FRAME_LEN {
+        return Err(NetError::protocol(format!(
+            "frame body {} exceeds MAX_FRAME_LEN",
+            body.len()
+        )));
+    }
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes one length-prefixed frame and flushes.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), NetError> {
+    write_body(w, &frame.encode()?)
+}
+
+/// Reads one length-prefixed frame *body* without decoding it. A clean
+/// EOF before the length prefix is [`NetError::Closed`]; a hostile length
+/// is a protocol error — never a panic. Memory is committed only as
+/// payload bytes actually arrive, so announcing a 64 MiB frame and then
+/// stalling costs the attacker bandwidth, not the reader memory.
+pub fn read_frame_body(r: &mut impl Read) -> Result<Vec<u8>, NetError> {
+    let mut len_bytes = [0u8; 4];
+    if let Err(e) = r.read_exact(&mut len_bytes) {
+        return Err(if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            NetError::Closed
+        } else {
+            e.into()
+        });
+    }
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if !(4..=MAX_FRAME_LEN).contains(&len) {
+        return Err(NetError::protocol(format!("bad frame length {len}")));
+    }
+    let mut body = Vec::with_capacity(len.min(64 * 1024));
+    let mut chunk = [0u8; 64 * 1024];
+    while body.len() < len {
+        let take = (len - body.len()).min(chunk.len());
+        r.read_exact(&mut chunk[..take])?;
+        body.extend_from_slice(&chunk[..take]);
+    }
+    Ok(body)
+}
+
+/// Reads one length-prefixed frame. See [`read_frame_body`] for the error
+/// contract of the transport half.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, NetError> {
+    Ok(Frame::decode(&read_frame_body(r)?)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbcd_docs::{EncryptedGroup, EncryptedSegment};
+
+    fn sample_container() -> BroadcastContainer {
+        BroadcastContainer {
+            epoch: 9,
+            document_name: "EHR.xml".into(),
+            skeleton_xml: "<r><pbcd-segment id=\"0\"/></r>".into(),
+            groups: vec![EncryptedGroup {
+                config_id: 0,
+                key_info: vec![4; 40],
+                segments: vec![EncryptedSegment {
+                    segment_id: 0,
+                    tag: "Record".into(),
+                    ciphertext: vec![7; 64],
+                }],
+            }],
+        }
+    }
+
+    fn samples() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                role: PeerRole::Publisher,
+            },
+            Frame::Publish(sample_container()),
+            Frame::Subscribe {
+                documents: vec!["EHR.xml".into(), "news.xml".into()],
+            },
+            Frame::Subscribe { documents: vec![] },
+            Frame::Deliver(sample_container()),
+            Frame::ListConfigs,
+            Frame::Configs(vec![ConfigSummary {
+                document_name: "EHR.xml".into(),
+                epoch: 9,
+                config_ids: vec![0, 1, 2],
+                size_bytes: 512,
+            }]),
+            Frame::Ack {
+                epoch: 9,
+                fanout: 3,
+            },
+            Frame::Bye,
+            Frame::Error {
+                message: "no thanks".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_frame_roundtrips() {
+        for frame in samples() {
+            let enc = frame.encode().unwrap();
+            assert_eq!(Frame::decode(&enc).unwrap(), frame, "{frame:?}");
+        }
+    }
+
+    #[test]
+    fn truncation_never_decodes() {
+        for frame in samples() {
+            let enc = frame.encode().unwrap();
+            for cut in 0..enc.len() {
+                assert!(
+                    Frame::decode(&enc[..cut]).is_err(),
+                    "{frame:?} cut at {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        for frame in samples() {
+            let mut enc = frame.encode().unwrap();
+            enc.push(0);
+            assert!(Frame::decode(&enc).is_err(), "{frame:?}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_kind_rejected() {
+        let mut enc = Frame::Bye.encode().unwrap();
+        enc[0] = b'X';
+        assert_eq!(Frame::decode(&enc), Err(WireError::BadHeader));
+        let mut enc = Frame::Bye.encode().unwrap();
+        enc[2] = 99; // version
+        assert_eq!(Frame::decode(&enc), Err(WireError::BadHeader));
+        let mut enc = Frame::Bye.encode().unwrap();
+        enc[3] = 200; // kind
+        assert_eq!(Frame::decode(&enc), Err(WireError::BadHeader));
+    }
+
+    #[test]
+    fn frame_io_roundtrip_over_a_buffer() {
+        let mut wire = Vec::new();
+        for frame in samples() {
+            write_frame(&mut wire, &frame).unwrap();
+        }
+        let mut r = wire.as_slice();
+        for frame in samples() {
+            assert_eq!(read_frame(&mut r).unwrap(), frame);
+        }
+        assert_eq!(read_frame(&mut r), Err(NetError::Closed));
+    }
+
+    #[test]
+    fn oversized_announced_length_rejected() {
+        let huge = ((MAX_FRAME_LEN + 1) as u32).to_be_bytes();
+        let mut r = huge.as_slice();
+        assert!(matches!(read_frame(&mut r), Err(NetError::Protocol(_))));
+    }
+}

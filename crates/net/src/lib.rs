@@ -1,0 +1,41 @@
+//! # pbcd-net
+//!
+//! Networked dissemination for the PBCD workspace: an **untrusted broker**
+//! that stores and fans out broadcast containers over real TCP sockets,
+//! plus the client endpoint publishers and subscribers speak to it.
+//!
+//! The paper's central property makes this safe: a broadcast container —
+//! skeleton, segment tags, authenticated ciphertexts and the public
+//! ACV-BGKM values — reveals nothing to non-qualified parties, so the
+//! machine moving those bytes needs no trust at all. Registration (the
+//! OCBE flow that delivers CSSs) stays out-of-band between subscriber and
+//! publisher; only dissemination rides the broker. This mirrors the
+//! deployment model of confidentiality-preserving pub/sub: an
+//! honest-but-curious (or compromised) relay learns exactly what a wire
+//! tap would.
+//!
+//! * [`frame`] — the framed protocol (`Hello`, `Publish`, `Subscribe`,
+//!   `Deliver`, `ListConfigs`, `Configs`, `Ack`, `Bye`, `Error`) with
+//!   strict, non-panicking codecs,
+//! * [`broker`] — the threaded accept-loop broker: retained latest
+//!   container per document, fan-out on publish, per-connection error
+//!   isolation, graceful shutdown,
+//! * [`client`] — the synchronous [`BrokerClient`] endpoint.
+//!
+//! Everything is plain `std::net`/`std::thread`; the build stays fully
+//! offline (no async runtime dependency).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod client;
+pub mod error;
+pub mod frame;
+
+pub use broker::{Broker, BrokerConfig, BrokerHandle, BrokerStats};
+pub use client::{BrokerClient, PublishReceipt};
+pub use error::NetError;
+pub use frame::{
+    read_frame, write_frame, ConfigSummary, Frame, PeerRole, MAX_FRAME_LEN, PROTOCOL_VERSION,
+};

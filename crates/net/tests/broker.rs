@@ -1,0 +1,285 @@
+//! Broker behaviour tests over real loopback sockets: retention, fan-out,
+//! topic filtering, replay, per-connection error isolation and graceful
+//! shutdown. No crypto here — containers carry opaque bytes, exactly what
+//! the broker sees in production.
+
+use pbcd_docs::{BroadcastContainer, EncryptedGroup, EncryptedSegment};
+use pbcd_net::{
+    read_frame, write_frame, Broker, BrokerClient, BrokerConfig, Frame, NetError, PeerRole,
+    PROTOCOL_VERSION,
+};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn container(doc: &str, epoch: u64) -> BroadcastContainer {
+    BroadcastContainer {
+        epoch,
+        document_name: doc.to_string(),
+        skeleton_xml: format!("<r><pbcd-segment id=\"0\"/><!--{epoch}--></r>"),
+        groups: vec![EncryptedGroup {
+            config_id: 0,
+            key_info: vec![0xAB; 32],
+            segments: vec![EncryptedSegment {
+                segment_id: 0,
+                tag: "Record".into(),
+                ciphertext: vec![epoch as u8; 128],
+            }],
+        }],
+    }
+}
+
+#[test]
+fn fan_out_reaches_matching_subscribers_only() {
+    let broker = Broker::bind("127.0.0.1:0").unwrap();
+    let mut on_topic = BrokerClient::connect(broker.addr(), PeerRole::Subscriber).unwrap();
+    on_topic.subscribe(&["ehr.xml"]).unwrap();
+    let mut wildcard = BrokerClient::connect(broker.addr(), PeerRole::Subscriber).unwrap();
+    wildcard.subscribe::<&str>(&[]).unwrap();
+    let mut off_topic = BrokerClient::connect(broker.addr(), PeerRole::Subscriber).unwrap();
+    off_topic.subscribe(&["news.xml"]).unwrap();
+
+    let mut publisher = BrokerClient::connect(broker.addr(), PeerRole::Publisher).unwrap();
+    let c = container("ehr.xml", 1);
+    let receipt = publisher.publish(&c).unwrap();
+    assert_eq!(receipt.epoch, 1);
+    assert_eq!(receipt.fanout, 2, "on-topic + wildcard, not off-topic");
+
+    assert_eq!(on_topic.next_delivery().unwrap(), c);
+    assert_eq!(wildcard.next_delivery().unwrap(), c);
+    off_topic
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .unwrap();
+    assert!(matches!(
+        off_topic.next_delivery(),
+        Err(NetError::Io { .. })
+    ));
+
+    let stats = broker.stats();
+    assert_eq!(stats.publishes, 1);
+    assert_eq!(stats.deliveries, 2);
+    broker.shutdown();
+}
+
+#[test]
+fn late_subscriber_gets_latest_retained_container() {
+    let broker = Broker::bind("127.0.0.1:0").unwrap();
+    let mut publisher = BrokerClient::connect(broker.addr(), PeerRole::Publisher).unwrap();
+    publisher.publish(&container("doc.xml", 1)).unwrap();
+    let newest = container("doc.xml", 2);
+    publisher.publish(&newest).unwrap();
+
+    // The broker retains only the latest epoch.
+    let mut late = BrokerClient::connect(broker.addr(), PeerRole::Subscriber).unwrap();
+    late.subscribe(&["doc.xml"]).unwrap();
+    assert_eq!(late.next_delivery().unwrap(), newest);
+
+    let configs = publisher.list_configs().unwrap();
+    assert_eq!(configs.len(), 1);
+    assert_eq!(configs[0].document_name, "doc.xml");
+    assert_eq!(configs[0].epoch, 2);
+    assert_eq!(configs[0].config_ids, vec![0]);
+    broker.shutdown();
+}
+
+#[test]
+fn garbage_connection_is_isolated_from_healthy_ones() {
+    let broker = Broker::bind("127.0.0.1:0").unwrap();
+    let mut healthy = BrokerClient::connect(broker.addr(), PeerRole::Subscriber).unwrap();
+    healthy.subscribe::<&str>(&[]).unwrap();
+
+    // A peer spraying garbage gets an Error frame and a closed socket…
+    let mut evil = TcpStream::connect(broker.addr()).unwrap();
+    evil.write_all(&(8u32).to_be_bytes()).unwrap();
+    evil.write_all(b"\xde\xad\xbe\xef\xde\xad\xbe\xef").unwrap();
+    match read_frame(&mut evil) {
+        Ok(Frame::Error { message }) => assert!(message.contains("malformed")),
+        other => panic!("expected Error frame, got {other:?}"),
+    }
+    assert!(matches!(read_frame(&mut evil), Err(NetError::Closed)));
+
+    // …and a peer speaking broker-only frames likewise.
+    let mut confused = TcpStream::connect(broker.addr()).unwrap();
+    write_frame(
+        &mut confused,
+        &Frame::Ack {
+            epoch: 0,
+            fanout: 0,
+        },
+    )
+    .unwrap();
+    assert!(matches!(read_frame(&mut confused), Ok(Frame::Error { .. })));
+
+    // The broker keeps serving everyone else.
+    let mut publisher = BrokerClient::connect(broker.addr(), PeerRole::Publisher).unwrap();
+    let c = container("doc.xml", 7);
+    assert_eq!(publisher.publish(&c).unwrap().fanout, 1);
+    assert_eq!(healthy.next_delivery().unwrap(), c);
+    assert!(broker.stats().connections_rejected >= 2);
+    broker.shutdown();
+}
+
+#[test]
+fn oversized_publish_is_rejected_not_fatal() {
+    let broker = Broker::bind("127.0.0.1:0").unwrap();
+    let mut publisher = BrokerClient::connect(broker.addr(), PeerRole::Publisher).unwrap();
+    // A container whose single field would exceed the field limit fails at
+    // the *client's* encode step — the non-panicking encode path.
+    let mut huge = container("doc.xml", 1);
+    huge.groups[0].segments[0].ciphertext = vec![0; pbcd_docs::wire::MAX_FIELD_LEN + 1];
+    assert!(matches!(
+        publisher.publish(&huge),
+        Err(NetError::Wire(pbcd_docs::WireError::FieldTooLong(_)))
+    ));
+    // The connection survives an encode failure (nothing was sent).
+    assert_eq!(
+        publisher.publish(&container("doc.xml", 2)).unwrap().epoch,
+        2
+    );
+    broker.shutdown();
+}
+
+#[test]
+fn version_mismatch_is_rejected() {
+    let broker = Broker::bind("127.0.0.1:0").unwrap();
+    let mut stream = TcpStream::connect(broker.addr()).unwrap();
+    // Hand-rolled Hello with a wrong protocol version byte.
+    let body = [b'P', b'N', PROTOCOL_VERSION + 1, 1, 0];
+    stream
+        .write_all(&(body.len() as u32).to_be_bytes())
+        .unwrap();
+    stream.write_all(&body).unwrap();
+    assert!(matches!(read_frame(&mut stream), Ok(Frame::Error { .. })));
+    broker.shutdown();
+}
+
+#[test]
+fn bye_is_acknowledged_and_subscribers_deregister() {
+    let broker = Broker::bind("127.0.0.1:0").unwrap();
+    let mut sub = BrokerClient::connect(broker.addr(), PeerRole::Subscriber).unwrap();
+    sub.subscribe::<&str>(&[]).unwrap();
+    // Deregistration is asynchronous; poll briefly.
+    sub.bye().unwrap();
+    for _ in 0..100 {
+        if broker.subscriber_count() == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(broker.subscriber_count(), 0);
+
+    let mut publisher = BrokerClient::connect(broker.addr(), PeerRole::Publisher).unwrap();
+    assert_eq!(publisher.publish(&container("d.xml", 1)).unwrap().fanout, 0);
+    broker.shutdown();
+}
+
+#[test]
+fn stale_epoch_cannot_roll_back_retained_state() {
+    let broker = Broker::bind("127.0.0.1:0").unwrap();
+    let mut publisher = BrokerClient::connect(broker.addr(), PeerRole::Publisher).unwrap();
+    let newest = container("doc.xml", 5);
+    publisher.publish(&newest).unwrap();
+    // Re-publishing the same epoch is an idempotent retry: accepted.
+    publisher.publish(&newest).unwrap();
+    // An older epoch (e.g. a replayed pre-revocation container) is refused.
+    match publisher.publish(&container("doc.xml", 4)) {
+        Err(NetError::Protocol(msg)) => assert!(msg.contains("stale epoch")),
+        other => panic!("expected stale-epoch rejection, got {other:?}"),
+    }
+    let mut late = BrokerClient::connect(broker.addr(), PeerRole::Subscriber).unwrap();
+    late.subscribe(&["doc.xml"]).unwrap();
+    assert_eq!(late.next_delivery().unwrap().epoch, 5);
+    broker.shutdown();
+}
+
+#[test]
+fn retained_document_cap_bounds_broker_memory() {
+    let broker = Broker::bind_with(
+        "127.0.0.1:0",
+        BrokerConfig {
+            max_retained_documents: 2,
+            ..BrokerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut publisher = BrokerClient::connect(broker.addr(), PeerRole::Publisher).unwrap();
+    publisher.publish(&container("a.xml", 1)).unwrap();
+    publisher.publish(&container("b.xml", 1)).unwrap();
+    // A third distinct document is rejected (and the connection dropped).
+    match publisher.publish(&container("c.xml", 1)) {
+        Err(NetError::Protocol(msg)) => assert!(msg.contains("cap")),
+        other => panic!("expected cap rejection, got {other:?}"),
+    }
+    assert!(broker.retained_container("c.xml").is_none());
+    // Updates to already-retained documents still pass.
+    let mut publisher = BrokerClient::connect(broker.addr(), PeerRole::Publisher).unwrap();
+    assert_eq!(publisher.publish(&container("a.xml", 2)).unwrap().epoch, 2);
+    broker.shutdown();
+}
+
+#[test]
+fn retained_byte_cap_bounds_broker_memory() {
+    let broker = Broker::bind_with(
+        "127.0.0.1:0",
+        BrokerConfig {
+            max_retained_bytes: 400,
+            ..BrokerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut publisher = BrokerClient::connect(broker.addr(), PeerRole::Publisher).unwrap();
+    // One ~250-byte container fits; a second distinct document would push
+    // the total past the byte cap and is refused.
+    publisher.publish(&container("a.xml", 1)).unwrap();
+    match publisher.publish(&container("b.xml", 1)) {
+        Err(NetError::Protocol(msg)) => assert!(msg.contains("byte cap")),
+        other => panic!("expected byte-cap rejection, got {other:?}"),
+    }
+    // Replacing the retained container for the same document still works
+    // (the replaced bytes are freed from the running total).
+    let mut publisher = BrokerClient::connect(broker.addr(), PeerRole::Publisher).unwrap();
+    assert_eq!(publisher.publish(&container("a.xml", 2)).unwrap().epoch, 2);
+    broker.shutdown();
+}
+
+#[test]
+fn connection_cap_and_handshake_timeout_protect_the_broker() {
+    let broker = Broker::bind_with(
+        "127.0.0.1:0",
+        BrokerConfig {
+            max_connections: 1,
+            handshake_timeout: Some(Duration::from_millis(150)),
+            ..BrokerConfig::default()
+        },
+    )
+    .unwrap();
+
+    // A silent peer occupies the only slot…
+    let mut silent = TcpStream::connect(broker.addr()).unwrap();
+    // …so the next connection is closed immediately (over cap).
+    let mut overflow = TcpStream::connect(broker.addr()).unwrap();
+    assert!(
+        read_frame(&mut overflow).is_err(),
+        "over-cap connection must be closed, not served"
+    );
+
+    // The silent peer never completes a frame; the handshake timeout
+    // evicts it instead of pinning a broker thread forever.
+    assert!(read_frame(&mut silent).is_err(), "silent peer evicted");
+
+    // The freed slot serves a real client normally.
+    let mut client = BrokerClient::connect(broker.addr(), PeerRole::Subscriber).unwrap();
+    client.subscribe::<&str>(&[]).unwrap();
+    assert!(broker.stats().connections_rejected >= 1);
+    broker.shutdown();
+}
+
+#[test]
+fn shutdown_disconnects_clients_and_joins() {
+    let broker = Broker::bind("127.0.0.1:0").unwrap();
+    let addr = broker.addr();
+    let mut sub = BrokerClient::connect(addr, PeerRole::Subscriber).unwrap();
+    sub.subscribe::<&str>(&[]).unwrap();
+    broker.shutdown(); // must not hang with a live blocked reader
+    assert!(sub.next_delivery().is_err(), "socket was closed");
+}

@@ -1,0 +1,125 @@
+//! Dissemination through an untrusted TCP broker on loopback.
+//!
+//! Demonstrates the deployment model the paper's construction enables: the
+//! publisher hands every broadcast container to a third-party broker that
+//! stores and fans it out *without being able to read it* — qualified
+//! subscribers re-derive keys from the public ACV values in the container,
+//! everyone else (including the broker) sees only ciphertext.
+//!
+//! ```sh
+//! cargo run --release --example broker_dissemination
+//! ```
+
+use pbcd::core::{NetPublisher, NetSubscriber, SystemHarness};
+use pbcd::docs::Element;
+use pbcd::net::Broker;
+use pbcd::policy::{
+    AccessControlPolicy, AttributeCondition, AttributeSet, ComparisonOp, PolicySet,
+};
+
+fn main() {
+    // Policies: doctors read the diagnosis, clearance ≥ 5 reads billing.
+    let mut policies = PolicySet::new();
+    policies.add(AccessControlPolicy::new(
+        vec![AttributeCondition::eq_str("role", "doctor")],
+        &["Diagnosis"],
+        "ward.xml",
+    ));
+    policies.add(AccessControlPolicy::new(
+        vec![AttributeCondition::new("clearance", ComparisonOp::Ge, 5)],
+        &["Billing"],
+        "ward.xml",
+    ));
+
+    // Out-of-band phase: token issuance + oblivious registration, exactly
+    // as in the in-process examples. The broker plays no part in this.
+    let mut sys = SystemHarness::new_p256(policies, 7);
+    let doctor = sys.subscribe(
+        "dora",
+        AttributeSet::new()
+            .with_str("role", "doctor")
+            .with("clearance", 7),
+    );
+    let nurse = sys.subscribe(
+        "nancy",
+        AttributeSet::new()
+            .with_str("role", "nurse")
+            .with("clearance", 6),
+    );
+    let clerk = sys.subscribe(
+        "carl",
+        AttributeSet::new()
+            .with_str("role", "clerk")
+            .with("clearance", 1),
+    );
+
+    // The untrusted broker: an ephemeral TCP server on loopback.
+    let broker = Broker::bind("127.0.0.1:0").expect("bind loopback broker");
+    println!("broker listening on {}", broker.addr());
+
+    let mut net_doctor =
+        NetSubscriber::connect(doctor, broker.addr(), &["ward.xml"]).expect("doctor connects");
+    let mut net_nurse =
+        NetSubscriber::connect(nurse, broker.addr(), &["ward.xml"]).expect("nurse connects");
+    let mut net_clerk =
+        NetSubscriber::connect(clerk, broker.addr(), &["ward.xml"]).expect("clerk connects");
+
+    let SystemHarness {
+        publisher, mut rng, ..
+    } = sys;
+    let mut net_pub = NetPublisher::connect(publisher, broker.addr()).expect("publisher connects");
+
+    let report = Element::new("WardReport")
+        .child(Element::new("Diagnosis").text("acute appendicitis, operate today"))
+        .child(Element::new("Billing").text("invoice total 4815 USD"));
+    let receipt = net_pub
+        .broadcast(&report, "ward.xml", &mut rng)
+        .expect("broadcast through the broker");
+    println!(
+        "published ward.xml epoch {} → fanned out to {} subscribers",
+        receipt.epoch, receipt.fanout
+    );
+
+    let policies = net_pub.publisher().policies().clone();
+    for (name, sub) in [
+        ("doctor", &mut net_doctor),
+        ("nurse", &mut net_nurse),
+        ("clerk", &mut net_clerk),
+    ] {
+        let (container, view) = sub.recv_document(&policies).expect("delivery");
+        let tags = sub.subscriber().accessible_tags(&container, &policies);
+        println!(
+            "{name:>6}: decrypted {:?} — Diagnosis {}, Billing {}",
+            tags,
+            if view.find("Diagnosis").is_some() {
+                "readable"
+            } else {
+                "redacted"
+            },
+            if view.find("Billing").is_some() {
+                "readable"
+            } else {
+                "redacted"
+            },
+        );
+    }
+
+    // What the broker knows: container metadata, nothing decryptable.
+    let configs = net_pub.list_configs().expect("list configs");
+    for c in configs {
+        println!(
+            "broker retains {:?}: epoch {}, {} policy group(s), {} bytes of ciphertext+public info",
+            c.document_name,
+            c.epoch,
+            c.config_ids.len(),
+            c.size_bytes
+        );
+    }
+    let stats = broker.stats();
+    println!(
+        "broker stats: {} publish(es), {} deliveries, {} drops, {} rejected connections",
+        stats.publishes, stats.deliveries, stats.subscribers_dropped, stats.connections_rejected
+    );
+    broker.shutdown();
+    println!("broker shut down cleanly");
+}

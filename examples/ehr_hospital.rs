@@ -110,7 +110,7 @@ fn main() {
     println!(
         "\nbroadcast: {} policy-configuration groups, {} bytes total\n",
         bc.groups.len(),
-        bc.encode().len()
+        bc.size_bytes()
     );
 
     // Access matrix.

@@ -46,7 +46,7 @@ fn main() {
         "\nbroadcast: epoch {}, {} encrypted group(s), {} bytes on the wire",
         broadcast.epoch,
         broadcast.groups.len(),
-        broadcast.encode().len()
+        broadcast.size_bytes()
     );
 
     // 5. Each subscriber decrypts what its attributes allow.

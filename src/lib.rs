@@ -13,7 +13,8 @@
 //! * [`docs`] — XML-lite, segmentation, broadcast containers,
 //! * [`gkm`] — **ACV-BGKM** (the paper's contribution) plus marker,
 //!   secure-lock, LKH and simplistic baselines,
-//! * [`core`] — IdP / IdMgr / Publisher / Subscriber end-to-end system.
+//! * [`core`] — IdP / IdMgr / Publisher / Subscriber end-to-end system,
+//! * [`net`] — untrusted TCP dissemination broker + client endpoints.
 //!
 //! ## Quickstart
 //!
@@ -50,5 +51,6 @@ pub use pbcd_docs as docs;
 pub use pbcd_gkm as gkm;
 pub use pbcd_group as group;
 pub use pbcd_math as math;
+pub use pbcd_net as net;
 pub use pbcd_ocbe as ocbe;
 pub use pbcd_policy as policy;

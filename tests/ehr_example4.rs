@@ -221,7 +221,7 @@ fn broadcast_container_roundtrips_through_wire_format() {
     let _doc = sys.subscribe("dora", AttributeSet::new().with_str("role", "doc"));
     let ehr = ehr_document("Jane Doe");
     let bc = sys.publisher.broadcast(&ehr, "EHR.xml", &mut sys.rng);
-    let encoded = bc.encode();
+    let encoded = bc.encode().expect("honest container encodes");
     let decoded = pbcd::docs::BroadcastContainer::decode(&encoded).unwrap();
     assert_eq!(bc, decoded);
     assert!(encoded.len() > 500, "container carries real payloads");
