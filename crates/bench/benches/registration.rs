@@ -1,0 +1,99 @@
+//! Registration throughput through the protocol layer: full oblivious
+//! registration round-trips per second against `PublisherService`, with
+//! the byte exchange in-process vs. over a loopback TCP socket
+//! (`pbcd_net::direct`). The delta between the two is the transport tax;
+//! the EQ/GE delta is the OCBE proof cost (ℓ digit commitments).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbcd_core::{PublisherService, RegistrationSession, Subscriber, SystemHarness};
+use pbcd_group::P256Group;
+use pbcd_net::{RegistrationClient, RegistrationServer};
+use pbcd_policy::{AccessControlPolicy, AttributeCondition, AttributeSet, ComparisonOp, PolicySet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, Mutex};
+
+fn policies() -> PolicySet {
+    let mut set = PolicySet::new();
+    set.add(AccessControlPolicy::new(
+        vec![AttributeCondition::eq_str("role", "doctor")],
+        &["Diagnosis"],
+        "ward.xml",
+    ));
+    set.add(AccessControlPolicy::new(
+        vec![AttributeCondition::new("clearance", ComparisonOp::Ge, 5)],
+        &["Billing"],
+        "ward.xml",
+    ));
+    set
+}
+
+fn setup() -> (
+    P256Group,
+    PublisherService<P256Group>,
+    Subscriber<P256Group>,
+) {
+    let mut sys = SystemHarness::new_p256(policies(), 0xBE7C);
+    let sub = sys.onboard(
+        "bench-subject",
+        AttributeSet::new()
+            .with_str("role", "doctor")
+            .with("clearance", 7),
+    );
+    let SystemHarness { publisher, .. } = sys;
+    (P256Group::new(), PublisherService::new(publisher, 1), sub)
+}
+
+fn bench_registration(c: &mut Criterion) {
+    let mut group_bench = c.benchmark_group("registration_roundtrip");
+    group_bench.sample_size(10);
+
+    let conds = [
+        ("eq", AttributeCondition::eq_str("role", "doctor")),
+        (
+            "ge_ell48",
+            AttributeCondition::new("clearance", ComparisonOp::Ge, 5),
+        ),
+    ];
+
+    // In-process: request/response bytes handed directly to the service.
+    for (label, cond) in &conds {
+        let (group, mut service, mut sub) = setup();
+        let mut rng = StdRng::seed_from_u64(7);
+        group_bench.bench_with_input(BenchmarkId::new("in_proc", label), cond, |b, cond| {
+            b.iter(|| {
+                let session = RegistrationSession::new(&mut sub, group.clone(), 48);
+                let (request, pending) = session.start(cond, &mut rng).expect("start");
+                let response = service.handle(&request);
+                assert!(pending.complete(&response).expect("complete"));
+            })
+        });
+    }
+
+    // Loopback TCP: the same bytes through RegistrationServer/Client.
+    for (label, cond) in &conds {
+        let (group, service, mut sub) = setup();
+        let mut rng = StdRng::seed_from_u64(7);
+        let shared = Arc::new(Mutex::new(service));
+        let handler = Arc::clone(&shared);
+        let server = RegistrationServer::bind("127.0.0.1:0", move |req: &[u8]| {
+            handler.lock().expect("service lock").handle(req)
+        })
+        .expect("bind");
+        let mut client = RegistrationClient::connect(server.addr()).expect("connect");
+        group_bench.bench_with_input(BenchmarkId::new("tcp", label), cond, |b, cond| {
+            b.iter(|| {
+                let session = RegistrationSession::new(&mut sub, group.clone(), 48);
+                let (request, pending) = session.start(cond, &mut rng).expect("start");
+                let response = client.call(&request).expect("call");
+                assert!(pending.complete(&response).expect("complete"));
+            })
+        });
+        client.close().expect("close");
+        server.shutdown();
+    }
+    group_bench.finish();
+}
+
+criterion_group!(benches, bench_registration);
+criterion_main!(benches);

@@ -34,6 +34,24 @@ pub enum PbcdError {
     UnknownSubscriber,
     /// A broker connection failed (adapters in [`crate::net`]).
     Net(NetError),
+    /// A token's pseudonym does not match the subscriber's established
+    /// nym — installing it would silently corrupt the CSS store.
+    NymMismatch {
+        /// The nym every prior token of this subscriber carries.
+        expected: String,
+        /// The nym on the rejected token.
+        got: String,
+    },
+    /// The peer answered a protocol exchange with a typed error response.
+    ErrorResponse {
+        /// The typed error code.
+        code: crate::proto::ErrorCode,
+        /// Human-readable detail from the peer.
+        message: String,
+    },
+    /// The peer answered with a well-formed response of the wrong kind for
+    /// the request that was sent.
+    UnexpectedResponse,
 }
 
 impl core::fmt::Display for PbcdError {
@@ -56,6 +74,14 @@ impl core::fmt::Display for PbcdError {
             Self::MalformedKeyInfo => write!(f, "malformed GKM key info"),
             Self::UnknownSubscriber => write!(f, "unknown subscriber"),
             Self::Net(e) => write!(f, "net: {e}"),
+            Self::NymMismatch { expected, got } => write!(
+                f,
+                "token nym '{got}' does not match the subscriber's nym '{expected}'"
+            ),
+            Self::ErrorResponse { code, message } => {
+                write!(f, "peer error response ({code}): {message}")
+            }
+            Self::UnexpectedResponse => write!(f, "peer sent a response of the wrong kind"),
         }
     }
 }

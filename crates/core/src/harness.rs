@@ -5,10 +5,19 @@
 //! issuance, token issuance, registration for **every** condition whose
 //! attribute matches a held token (the paper's recommended
 //! inference-resistant behaviour), and broadcast decryption.
+//!
+//! Registration runs through the byte-level [`crate::proto`] protocol —
+//! the subscriber side builds its own `OcbeSystem` from the parameters in
+//! the publisher's `Conditions` response and exchanges encoded messages
+//! with [`crate::service::dispatch`], so the in-process flow exercises the
+//! very same code path as a socket deployment.
 
 use crate::idmgr::IdentityManager;
 use crate::idp::IdentityProvider;
+use crate::proto::{Request, Response};
 use crate::publisher::{Publisher, PublisherConfig};
+use crate::service;
+use crate::session::RegistrationSession;
 use crate::subscriber::Subscriber;
 use pbcd_gkm::{AcvBgkm, BroadcastGkm};
 use pbcd_group::CyclicGroup;
@@ -77,37 +86,43 @@ impl<G: CyclicGroup, K: BroadcastGkm> SystemHarness<G, K> {
                 .idmgr
                 .issue_token(&assertion, &self.idp.verifying_key(), &mut self.rng)
                 .expect("harness assertions are honest");
-            sub.install_token(token, opening);
+            sub.install_token(token, opening)
+                .expect("one IdMgr, one nym per subject");
         }
         sub
     }
 
-    /// Runs the full oblivious registration: for every token the
-    /// subscriber holds, register for **all** conditions naming that
-    /// attribute. Returns how many CSSs the subscriber extracted
+    /// Runs the full oblivious registration **through the byte-level
+    /// protocol**: the subscriber queries the publisher's conditions, then
+    /// registers for every condition whose attribute matches a held token.
+    /// Every leg is an encoded [`crate::proto`] message handed to
+    /// [`crate::service::dispatch`] — no `OcbeSystem` handle crosses the
+    /// actor boundary. Returns how many CSSs the subscriber extracted
     /// (information the publisher never has).
     pub fn register_all(&mut self, sub: &mut Subscriber<G, K>) -> usize {
+        let group = self.publisher.ocbe().group().clone();
+        let query = Request::<G>::ConditionsQuery { attribute: None }
+            .encode(&group)
+            .expect("query encodes");
+        let reply = service::dispatch(&mut self.publisher, &query, &mut self.rng);
+        let Ok(Response::Conditions(info)) = Response::decode(&group, &reply) else {
+            panic!("publisher answered the conditions query with an error");
+        };
         let mut extracted = 0;
-        let tags: Vec<String> = sub
-            .attributes()
-            .iter()
-            .map(|(n, _)| n.to_string())
-            .collect();
-        for tag in tags {
-            for cond in self.publisher.conditions_for_attribute(&tag) {
-                let Some(token) = sub.token_for(&tag).cloned() else {
-                    continue;
-                };
-                let (proof, secrets) = sub
-                    .prepare_registration(self.publisher.ocbe(), &cond, &mut self.rng)
-                    .expect("token present");
-                let envelope = self
-                    .publisher
-                    .register(&token, &cond, &proof, &mut self.rng)
-                    .expect("registration accepted");
-                if sub.complete_registration(self.publisher.ocbe(), &cond, &envelope, &secrets) {
-                    extracted += 1;
-                }
+        for cond in &info.conditions {
+            if sub.token_for(&cond.attribute).is_none() {
+                continue;
+            }
+            let session = RegistrationSession::new(sub, group.clone(), info.ell);
+            let (request, pending) = session
+                .start(cond, &mut self.rng)
+                .expect("token presence checked above");
+            let response = service::dispatch(&mut self.publisher, &request, &mut self.rng);
+            if pending
+                .complete(&response)
+                .expect("harness registrations are well-formed")
+            {
+                extracted += 1;
             }
         }
         extracted
@@ -133,7 +148,8 @@ impl<G: CyclicGroup, K: BroadcastGkm> SystemHarness<G, K> {
         let mut sub = self.onboard(subject, attrs);
         for attr in decoy_attributes {
             let (token, opening) = self.idmgr.issue_decoy_token(subject, attr, &mut self.rng);
-            sub.install_decoy_token(token, opening, crate::idmgr::decoy_value());
+            sub.install_decoy_token(token, opening, crate::idmgr::decoy_value())
+                .expect("decoy tokens carry the subject's own nym");
         }
         self.register_all(&mut sub);
         sub

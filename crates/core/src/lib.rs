@@ -10,10 +10,18 @@
 //!   the CSS table `T`, per-configuration ACV-BGKM rekey and broadcast,
 //! * [`subscriber`] — receiver side: registration, key derivation from
 //!   public broadcast values, decryption and document reassembly,
-//! * [`harness`] — a wired-up system for examples, tests and benches,
-//! * [`net`] — [`NetPublisher`]/[`NetSubscriber`] adapters that move
-//!   dissemination onto an untrusted `pbcd_net` broker while registration
-//!   stays out-of-band.
+//! * [`proto`] — the transport-agnostic protocol layer: typed,
+//!   strictly-decoded request/response messages for issuance, the
+//!   conditions query and oblivious registration,
+//! * [`service`] — [`PublisherService`]/[`IssuerService`]: total
+//!   bytes-in/bytes-out handlers over [`proto`],
+//! * [`session`] — the session-typed subscriber driver
+//!   ([`RegistrationSession`] → [`PendingRegistration`]) plus TCP helpers,
+//! * [`harness`] — a wired-up system for examples, tests and benches
+//!   (registration runs through the byte-level protocol even in-process),
+//! * [`net`] — [`NetPublisher`]/[`NetSubscriber`] adapters: dissemination
+//!   over an untrusted `pbcd_net` broker, registration over a direct
+//!   publisher socket the broker never sees.
 //!
 //! Privacy property carried end-to-end: the publisher sees pseudonyms,
 //! commitments and proofs — never an attribute value, and never whether a
@@ -27,7 +35,10 @@ pub mod harness;
 pub mod idmgr;
 pub mod idp;
 pub mod net;
+pub mod proto;
 pub mod publisher;
+pub mod service;
+pub mod session;
 pub mod subscriber;
 pub mod token;
 
@@ -37,5 +48,7 @@ pub use idmgr::IdentityManager;
 pub use idp::{AttributeAssertion, IdentityProvider};
 pub use net::{NetPublisher, NetSubscriber};
 pub use publisher::{Publisher, PublisherConfig};
+pub use service::{IssueVerifier, IssuerService, PublisherService, ServiceStats};
+pub use session::{PendingRegistration, RegistrationSession};
 pub use subscriber::Subscriber;
 pub use token::IdentityToken;

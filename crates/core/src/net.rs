@@ -1,46 +1,142 @@
-//! Network adapters: the existing [`Publisher`]/[`Subscriber`] actors
-//! speaking to an untrusted `pbcd_net` broker over real sockets.
+//! Network adapters: the [`Publisher`]/[`Subscriber`] actors deployed over
+//! real sockets.
 //!
-//! The adapters change *transport only*, not trust: registration (the OCBE
-//! flow that delivers CSSs) remains out-of-band between subscriber and
-//! publisher exactly as in the paper — run it through
-//! [`crate::SystemHarness`] or the manual flow first, then hand the actors
-//! to the adapters for dissemination. The broker carries only broadcast
-//! containers, which are safe in any hands.
+//! Two transports, two trust levels, matching the paper's model:
+//!
+//! * **Dissemination** rides the untrusted `pbcd_net` broker — broadcast
+//!   containers are safe in any hands.
+//! * **Registration** (the OCBE flow that delivers CSSs) runs over a
+//!   *direct* publisher↔subscriber socket: [`NetPublisher`] can expose its
+//!   [`PublisherService`] through a [`pbcd_net::direct::RegistrationServer`]
+//!   and [`NetSubscriber::register_via`] drives the session-typed client
+//!   side against it. The broker never carries — and its crate can never
+//!   even type — this traffic.
 
 use crate::error::PbcdError;
 use crate::publisher::Publisher;
+use crate::service::{PublisherService, ServiceStats};
+use crate::session;
 use crate::subscriber::Subscriber;
 use pbcd_docs::{BroadcastContainer, Element};
 use pbcd_gkm::{AcvBgkm, BroadcastGkm};
 use pbcd_group::CyclicGroup;
+use pbcd_net::direct::RegistrationServer;
 use pbcd_net::{BrokerClient, ConfigSummary, NetError, PeerRole, PublishReceipt};
-use pbcd_policy::PolicySet;
+use pbcd_policy::{AttributeCondition, PolicySet};
 use rand::RngCore;
-use std::net::ToSocketAddrs;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-/// A [`Publisher`] whose broadcasts go out over a broker connection.
+/// A [`Publisher`] deployed on the network: broadcasts go to a broker,
+/// and (optionally) a direct registration endpoint serves the oblivious
+/// CSS flow on a separate socket.
+///
+/// The publisher lives inside a shared [`PublisherService`] so the
+/// registration server thread and the broadcasting caller can both reach
+/// it; access it through [`Self::with_publisher`]/[`Self::with_publisher_mut`].
 pub struct NetPublisher<G: CyclicGroup, K: BroadcastGkm = AcvBgkm> {
-    publisher: Publisher<G, K>,
+    service: Arc<Mutex<PublisherService<G, K>>>,
     client: BrokerClient,
+    registration: Option<RegistrationServer>,
 }
 
 impl<G: CyclicGroup, K: BroadcastGkm> NetPublisher<G, K> {
-    /// Wraps `publisher` and connects it to the broker at `addr`.
+    /// Wraps `publisher` and connects it to the broker at `addr`. The
+    /// registration endpoint is off until [`Self::serve_registration`].
     pub fn connect(publisher: Publisher<G, K>, addr: impl ToSocketAddrs) -> Result<Self, NetError> {
+        Self::connect_service(PublisherService::new(publisher, 0), addr)
+    }
+
+    /// Wraps an existing [`PublisherService`] (e.g. with a chosen RNG
+    /// seed) and connects it to the broker at `addr`.
+    pub fn connect_service(
+        service: PublisherService<G, K>,
+        addr: impl ToSocketAddrs,
+    ) -> Result<Self, NetError> {
         let client = BrokerClient::connect(addr, PeerRole::Publisher)?;
-        Ok(Self { publisher, client })
+        Ok(Self {
+            service: Arc::new(Mutex::new(service)),
+            client,
+            registration: None,
+        })
     }
 
-    /// The wrapped publisher (e.g. for policy inspection).
-    pub fn publisher(&self) -> &Publisher<G, K> {
-        &self.publisher
+    /// Opens the direct registration endpoint on `addr` (use port 0 for an
+    /// ephemeral port), reseeding the service RNG with `seed` first.
+    /// Subscribers point [`NetSubscriber::register_via`] (or
+    /// [`crate::session::register_all_via`]) at the returned address.
+    pub fn serve_registration(
+        &mut self,
+        addr: impl ToSocketAddrs,
+        seed: u64,
+    ) -> Result<SocketAddr, NetError>
+    where
+        K: 'static,
+    {
+        self.service
+            .lock()
+            .expect("publisher service poisoned")
+            .reseed(seed);
+        let service = Arc::clone(&self.service);
+        let server = RegistrationServer::bind(addr, move |request: &[u8]| {
+            service
+                .lock()
+                .expect("publisher service poisoned")
+                .handle(request)
+        })?;
+        let bound = server.addr();
+        self.registration = Some(server);
+        Ok(bound)
     }
 
-    /// Mutable access for out-of-band flows: registration, revocation.
-    pub fn publisher_mut(&mut self) -> &mut Publisher<G, K> {
-        &mut self.publisher
+    /// The registration endpoint's address, if serving.
+    pub fn registration_addr(&self) -> Option<SocketAddr> {
+        self.registration.as_ref().map(RegistrationServer::addr)
+    }
+
+    /// Runs `f` against the wrapped publisher (policy inspection, table
+    /// audits).
+    pub fn with_publisher<T>(&self, f: impl FnOnce(&Publisher<G, K>) -> T) -> T {
+        f(self
+            .service
+            .lock()
+            .expect("publisher service poisoned")
+            .publisher())
+    }
+
+    /// Runs `f` against the wrapped publisher mutably (revocation and
+    /// other publisher-local actions).
+    pub fn with_publisher_mut<T>(&self, f: impl FnOnce(&mut Publisher<G, K>) -> T) -> T {
+        f(self
+            .service
+            .lock()
+            .expect("publisher service poisoned")
+            .publisher_mut())
+    }
+
+    /// A clone of the public policy set.
+    pub fn policies(&self) -> PolicySet {
+        self.with_publisher(|p| p.policies().clone())
+    }
+
+    /// Subscription revocation (publisher-local; takes effect on the next
+    /// broadcast, with no message to anyone).
+    pub fn revoke_subscriber(&self, nym: &str) -> bool {
+        self.with_publisher_mut(|p| p.revoke_subscriber(nym))
+    }
+
+    /// Credential revocation for one `(nym, condition)` record.
+    pub fn revoke_credential(&self, nym: &str, cond: &AttributeCondition) -> bool {
+        self.with_publisher_mut(|p| p.revoke_credential(nym, cond))
+    }
+
+    /// Registration-service traffic counters.
+    pub fn service_stats(&self) -> ServiceStats {
+        self.service
+            .lock()
+            .expect("publisher service poisoned")
+            .stats()
     }
 
     /// Segments, rekeys and encrypts `doc` exactly like
@@ -52,7 +148,12 @@ impl<G: CyclicGroup, K: BroadcastGkm> NetPublisher<G, K> {
         doc_name: &str,
         rng: &mut R,
     ) -> Result<PublishReceipt, NetError> {
-        let container = self.publisher.broadcast(doc, doc_name, rng);
+        let container = self
+            .service
+            .lock()
+            .expect("publisher service poisoned")
+            .publisher_mut()
+            .broadcast(doc, doc_name, rng);
         self.client.publish(&container)
     }
 
@@ -61,10 +162,18 @@ impl<G: CyclicGroup, K: BroadcastGkm> NetPublisher<G, K> {
         self.client.list_configs()
     }
 
-    /// Says goodbye to the broker and returns the wrapped publisher.
-    pub fn disconnect(self) -> Result<Publisher<G, K>, NetError> {
+    /// Shuts the registration endpoint (if any), says goodbye to the
+    /// broker and returns the wrapped publisher.
+    pub fn disconnect(mut self) -> Result<Publisher<G, K>, NetError> {
+        if let Some(server) = self.registration.take() {
+            server.shutdown();
+        }
         self.client.bye()?;
-        Ok(self.publisher)
+        let service = Arc::try_unwrap(self.service)
+            .map_err(|_| NetError::protocol("registration handler still alive after shutdown"))?
+            .into_inner()
+            .expect("publisher service poisoned");
+        Ok(service.into_inner())
     }
 }
 
@@ -90,10 +199,11 @@ pub struct NetSubscriber<G: CyclicGroup, K: BroadcastGkm = AcvBgkm> {
 const MAX_TRACKED_DOCUMENTS: usize = 4096;
 
 impl<G: CyclicGroup, K: BroadcastGkm> NetSubscriber<G, K> {
-    /// Wraps a (registered) `subscriber`, connects to the broker at `addr`
-    /// and subscribes to `documents` (empty = every document). Retained
-    /// containers are replayed immediately and arrive via
-    /// [`Self::recv_container`]/[`Self::recv_document`].
+    /// Wraps `subscriber`, connects to the broker at `addr` and subscribes
+    /// to `documents` (empty = every document). Retained containers are
+    /// replayed immediately and arrive via
+    /// [`Self::recv_container`]/[`Self::recv_document`]. Registration can
+    /// happen before or after this — see [`Self::register_via`].
     pub fn connect(
         subscriber: Subscriber<G, K>,
         addr: impl ToSocketAddrs,
@@ -114,6 +224,19 @@ impl<G: CyclicGroup, K: BroadcastGkm> NetSubscriber<G, K> {
     /// The wrapped subscriber.
     pub fn subscriber(&self) -> &Subscriber<G, K> {
         &self.subscriber
+    }
+
+    /// Runs the full oblivious registration against a publisher's direct
+    /// registration endpoint at `addr` — the [`crate::proto`] flow over a
+    /// socket the broker never sees. `group` is the public deployment
+    /// group parameter. Returns how many CSSs were extracted.
+    pub fn register_via<R: RngCore + ?Sized>(
+        &mut self,
+        addr: impl ToSocketAddrs,
+        group: &G,
+        rng: &mut R,
+    ) -> Result<usize, PbcdError> {
+        session::register_all_via(&mut self.subscriber, group, addr, rng)
     }
 
     /// Bounds how long receives may block.

@@ -1,0 +1,270 @@
+//! Publisher- and issuer-side protocol services: single
+//! bytes-in/bytes-out entry points over the [`crate::proto`] messages.
+//!
+//! A service owns its actor and a deterministic RNG, and exposes exactly
+//! one method — `handle(request_bytes) -> response_bytes` — that is
+//! **total**: malformed, hostile or out-of-protocol input yields an
+//! encoded [`proto::ErrorResponse`], never a panic, and the service keeps
+//! serving. Because the surface is pure bytes it is trivially
+//! rate-limitable, fuzzable, and transportable: pass `handle` as the
+//! handler of a [`pbcd_net::direct::RegistrationServer`] and the whole
+//! registration flow crosses real sockets with no shared `OcbeSystem`
+//! references between the endpoints.
+
+use crate::error::PbcdError;
+use crate::idmgr::IdentityManager;
+use crate::idp::IdentityProvider;
+use crate::proto::{
+    self, ConditionsInfo, ErrorCode, ErrorResponse, IssueResponse, RegisterResponse, Request,
+    Response,
+};
+use crate::publisher::Publisher;
+use pbcd_gkm::{AcvBgkm, BroadcastGkm};
+use pbcd_group::CyclicGroup;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Running counters a service keeps about its traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests handled (including rejected ones).
+    pub requests: u64,
+    /// Registrations that produced an envelope.
+    pub registrations: u64,
+    /// Requests answered with a typed error response.
+    pub errors: u64,
+}
+
+/// Longest error-detail string shipped back to a peer; truncation keeps
+/// the error path infallible (a bounded message can always encode).
+const MAX_ERROR_DETAIL: usize = 256;
+
+fn error_bytes<G: CyclicGroup>(group: &G, code: ErrorCode, message: &str) -> Vec<u8> {
+    let mut end = message.len().min(MAX_ERROR_DETAIL);
+    while !message.is_char_boundary(end) {
+        end -= 1;
+    }
+    Response::<G>::Error(ErrorResponse {
+        code,
+        message: message[..end].to_string(),
+    })
+    .encode(group)
+    .expect("bounded error responses always encode")
+}
+
+fn code_for(err: &PbcdError) -> ErrorCode {
+    match err {
+        PbcdError::BadTokenSignature | PbcdError::BadAssertionSignature => ErrorCode::BadToken,
+        PbcdError::TagMismatch { .. } => ErrorCode::TagMismatch,
+        PbcdError::UnknownCondition => ErrorCode::UnknownCondition,
+        PbcdError::Ocbe(_) => ErrorCode::BadProof,
+        _ => ErrorCode::Internal,
+    }
+}
+
+/// The publisher-side protocol handler as a free function: decodes one
+/// request, serves it against `publisher`, encodes the response. Total —
+/// every failure becomes a typed error response.
+///
+/// [`PublisherService`] wraps this with owned state; [`crate::harness`]
+/// calls it directly so the in-process flow exercises the very same
+/// byte-level protocol as the socket deployment.
+pub fn dispatch<G: CyclicGroup, K: BroadcastGkm, R: RngCore + ?Sized>(
+    publisher: &mut Publisher<G, K>,
+    request: &[u8],
+    rng: &mut R,
+) -> Vec<u8> {
+    let group = publisher.ocbe().group().clone();
+    let req = match Request::decode(&group, request) {
+        Ok(r) => r,
+        Err(e) => return error_bytes(&group, ErrorCode::Malformed, &e.to_string()),
+    };
+    let resp = match req {
+        Request::ConditionsQuery { attribute } => Response::Conditions(ConditionsInfo {
+            ell: publisher.ocbe().ell(),
+            kappa_bits: publisher.css_table().kappa_bits(),
+            conditions: match attribute {
+                Some(a) => publisher.conditions_for_attribute(&a),
+                None => publisher.policies().distinct_conditions(),
+            },
+        }),
+        Request::Register(r) => match publisher.register(&r.token, &r.cond, &r.proof, rng) {
+            Ok(envelope) => Response::Register(RegisterResponse { envelope }),
+            Err(e) => return error_bytes(&group, code_for(&e), &e.to_string()),
+        },
+        Request::Issue(_) => {
+            return error_bytes(
+                &group,
+                ErrorCode::Unsupported,
+                "publishers do not issue tokens; speak to the identity manager",
+            )
+        }
+    };
+    resp.encode(&group)
+        .unwrap_or_else(|e| error_bytes(&group, ErrorCode::Internal, &e.to_string()))
+}
+
+/// The publisher's registration endpoint: owns the [`Publisher`] and an
+/// RNG, and answers [`crate::proto`] requests as opaque bytes.
+pub struct PublisherService<G: CyclicGroup, K: BroadcastGkm = AcvBgkm> {
+    publisher: Publisher<G, K>,
+    rng: StdRng,
+    stats: ServiceStats,
+}
+
+impl<G: CyclicGroup, K: BroadcastGkm> PublisherService<G, K> {
+    /// Wraps `publisher` with a deterministically seeded RNG (matching the
+    /// repository-wide reproducibility convention).
+    pub fn new(publisher: Publisher<G, K>, seed: u64) -> Self {
+        Self {
+            publisher,
+            rng: StdRng::seed_from_u64(seed),
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// Handles one request; total, never panics on hostile bytes.
+    pub fn handle(&mut self, request: &[u8]) -> Vec<u8> {
+        self.stats.requests += 1;
+        let response = dispatch(&mut self.publisher, request, &mut self.rng);
+        if proto::is_error_response(&response) {
+            self.stats.errors += 1;
+        } else if proto::is_register_request(request) {
+            // A non-error answer to a registration means an envelope went
+            // out.
+            self.stats.registrations += 1;
+        }
+        response
+    }
+
+    /// The wrapped publisher (e.g. for broadcasting and policy queries).
+    pub fn publisher(&self) -> &Publisher<G, K> {
+        &self.publisher
+    }
+
+    /// Mutable access (broadcast, revocation — publisher-local actions
+    /// that are not protocol requests).
+    pub fn publisher_mut(&mut self) -> &mut Publisher<G, K> {
+        &mut self.publisher
+    }
+
+    /// Reseeds the envelope RNG (e.g. before exposing the service on a
+    /// socket).
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Unwraps the publisher.
+    pub fn into_inner(self) -> Publisher<G, K> {
+        self.publisher
+    }
+}
+
+/// A subject-authentication hook for [`IssuerService`]: given an incoming
+/// [`proto::IssueRequest`], decide whether this deployment's identity
+/// provider actually vouches for `(subject, attribute, value)`.
+pub type IssueVerifier = Box<dyn FnMut(&proto::IssueRequest) -> bool + Send>;
+
+/// The issuance endpoint (paper §V-A): the IdP + IdMgr pair behind one
+/// bytes-in/bytes-out handler. Subscribers send [`proto::IssueRequest`]s
+/// and receive signed tokens plus their private openings. The issuer
+/// legitimately learns attribute values — it is the party committing to
+/// them; the publisher never sees this exchange.
+///
+/// **Trust caveat:** the protocol message carries a *claimed*
+/// `(subject, attribute, value)`; the paper's IdP certifies attributes it
+/// has verified out of band (an employer's HR system, a DMV, …). A service
+/// built with [`Self::new`] trusts every claim — acceptable only on an
+/// authenticated channel to already-vetted subjects (as in the examples
+/// and tests here, where the harness plays every role). Real deployments
+/// must install an [`IssueVerifier`] via [`Self::with_verifier`] — a
+/// rejected claim gets a typed [`ErrorCode::BadToken`] response, and a
+/// network peer can then no longer mint qualifying tokens (or tokens
+/// bound to someone else's nym) by just asking.
+pub struct IssuerService<G: CyclicGroup> {
+    idp: IdentityProvider<G>,
+    idmgr: IdentityManager<G>,
+    rng: StdRng,
+    verifier: Option<IssueVerifier>,
+}
+
+impl<G: CyclicGroup> IssuerService<G> {
+    /// Wraps an IdP/IdMgr pair that vouches for every claim it receives —
+    /// see the trust caveat on the type.
+    pub fn new(idp: IdentityProvider<G>, idmgr: IdentityManager<G>, seed: u64) -> Self {
+        Self {
+            idp,
+            idmgr,
+            rng: StdRng::seed_from_u64(seed),
+            verifier: None,
+        }
+    }
+
+    /// Like [`Self::new`], but every issuance claim must pass `verifier`
+    /// first; rejected claims get a typed [`ErrorCode::BadToken`] response.
+    pub fn with_verifier(
+        idp: IdentityProvider<G>,
+        idmgr: IdentityManager<G>,
+        seed: u64,
+        verifier: impl FnMut(&proto::IssueRequest) -> bool + Send + 'static,
+    ) -> Self {
+        Self {
+            idp,
+            idmgr,
+            rng: StdRng::seed_from_u64(seed),
+            verifier: Some(Box::new(verifier)),
+        }
+    }
+
+    /// Handles one request; total, never panics on hostile bytes.
+    pub fn handle(&mut self, request: &[u8]) -> Vec<u8> {
+        let group = self.idmgr.pedersen().group().clone();
+        let req = match Request::decode(&group, request) {
+            Ok(r) => r,
+            Err(e) => return error_bytes(&group, ErrorCode::Malformed, &e.to_string()),
+        };
+        let resp = match req {
+            Request::Issue(r) => {
+                if let Some(verifier) = &mut self.verifier {
+                    if !verifier(&r) {
+                        return error_bytes(
+                            &group,
+                            ErrorCode::BadToken,
+                            "the identity provider does not vouch for this claim",
+                        );
+                    }
+                }
+                let assertion =
+                    self.idp
+                        .assert_attribute(&r.subject, &r.attribute, r.value, &mut self.rng);
+                match self
+                    .idmgr
+                    .issue_token(&assertion, &self.idp.verifying_key(), &mut self.rng)
+                {
+                    Ok((token, opening)) => Response::Issue(IssueResponse { token, opening }),
+                    Err(e) => return error_bytes(&group, code_for(&e), &e.to_string()),
+                }
+            }
+            Request::ConditionsQuery { .. } | Request::Register(_) => {
+                return error_bytes(
+                    &group,
+                    ErrorCode::Unsupported,
+                    "the issuer only serves token issuance",
+                )
+            }
+        };
+        resp.encode(&group)
+            .unwrap_or_else(|e| error_bytes(&group, ErrorCode::Internal, &e.to_string()))
+    }
+
+    /// The identity manager (e.g. for its verifying key, which publishers
+    /// need at setup).
+    pub fn idmgr(&self) -> &IdentityManager<G> {
+        &self.idmgr
+    }
+}

@@ -1,0 +1,222 @@
+//! Session-typed subscriber-side registration: the receiver half of the
+//! [`crate::proto`] protocol, with the state machine enforced by the type
+//! system.
+//!
+//! [`RegistrationSession::start`] consumes the session and yields the
+//! encoded request plus a [`PendingRegistration`]; only that pending value
+//! can complete the exchange, and [`PendingRegistration::complete`]
+//! consumes it. Two whole classes of misuse are therefore compile-time
+//! errors: completing a registration that was never prepared, and reusing
+//! one registration's [`pbcd_ocbe::ProofSecrets`] for another response.
+//!
+//! The session owns its own [`OcbeSystem`], rebuilt from the *public*
+//! deployment parameters (group, ℓ) a publisher reports in
+//! [`crate::proto::ConditionsInfo`] — no handle is ever shared with the
+//! publisher, so the same code drives in-process byte exchanges and real
+//! sockets ([`register_all_via`]).
+
+use crate::error::PbcdError;
+use crate::proto::{ConditionsInfo, IssueRequest, RegisterRequest, Request, Response};
+use crate::subscriber::Subscriber;
+use pbcd_gkm::BroadcastGkm;
+use pbcd_group::CyclicGroup;
+use pbcd_net::direct::RegistrationClient;
+use pbcd_ocbe::{OcbeSystem, ProofSecrets};
+use pbcd_policy::AttributeCondition;
+use rand::RngCore;
+use std::net::ToSocketAddrs;
+
+/// A not-yet-started registration for one subscriber, bound to the
+/// publisher's public OCBE parameters.
+pub struct RegistrationSession<'s, G: CyclicGroup, K: BroadcastGkm> {
+    subscriber: &'s mut Subscriber<G, K>,
+    ocbe: OcbeSystem<G>,
+}
+
+impl<'s, G: CyclicGroup, K: BroadcastGkm> RegistrationSession<'s, G, K> {
+    /// Opens a session from the publisher's published parameters. `ell`
+    /// must be in `1..=63` (validate untrusted input with
+    /// [`valid_ell`] first — this constructor asserts).
+    pub fn new(subscriber: &'s mut Subscriber<G, K>, group: G, ell: u32) -> Self {
+        Self {
+            subscriber,
+            ocbe: OcbeSystem::new(group, ell),
+        }
+    }
+
+    /// Phase 1: builds the OCBE proof for `cond` and returns the encoded
+    /// [`RegisterRequest`] plus the pending half of the exchange. Errors if
+    /// the subscriber holds no token for the condition's attribute.
+    pub fn start<R: RngCore + ?Sized>(
+        self,
+        cond: &AttributeCondition,
+        rng: &mut R,
+    ) -> Result<(Vec<u8>, PendingRegistration<'s, G, K>), PbcdError> {
+        let token = self
+            .subscriber
+            .token_for(&cond.attribute)
+            .cloned()
+            .ok_or_else(|| PbcdError::MissingToken(cond.attribute.clone()))?;
+        let (proof, secrets) = self
+            .subscriber
+            .prepare_registration(&self.ocbe, cond, rng)?;
+        let request = Request::Register(RegisterRequest {
+            token,
+            cond: cond.clone(),
+            proof,
+        })
+        .encode(self.ocbe.group())?;
+        Ok((
+            request,
+            PendingRegistration {
+                subscriber: self.subscriber,
+                ocbe: self.ocbe,
+                cond: cond.clone(),
+                secrets,
+            },
+        ))
+    }
+}
+
+/// An in-flight registration: the only value that can accept the
+/// publisher's response, and only once.
+pub struct PendingRegistration<'s, G: CyclicGroup, K: BroadcastGkm> {
+    subscriber: &'s mut Subscriber<G, K>,
+    ocbe: OcbeSystem<G>,
+    cond: AttributeCondition,
+    secrets: ProofSecrets,
+}
+
+impl<G: CyclicGroup, K: BroadcastGkm> PendingRegistration<'_, G, K> {
+    /// The condition this exchange registers for.
+    pub fn condition(&self) -> &AttributeCondition {
+        &self.cond
+    }
+
+    /// Phase 2: decodes the response and tries to open the envelope,
+    /// storing the CSS on success. Returns whether the CSS was extracted —
+    /// information only the subscriber ever has. Consumes `self`, so the
+    /// proof secrets can never be replayed against a second response.
+    pub fn complete(self, response: &[u8]) -> Result<bool, PbcdError> {
+        match Response::decode(self.ocbe.group(), response)? {
+            Response::Register(r) => Ok(self.subscriber.complete_registration(
+                &self.ocbe,
+                &self.cond,
+                &r.envelope,
+                &self.secrets,
+            )),
+            Response::Error(e) => Err(PbcdError::ErrorResponse {
+                code: e.code,
+                message: e.message,
+            }),
+            _ => Err(PbcdError::UnexpectedResponse),
+        }
+    }
+}
+
+/// Whether a peer-reported ℓ is a legal OCBE width (untrusted inputs must
+/// pass this before reaching [`RegistrationSession::new`]).
+pub fn valid_ell(ell: u32) -> bool {
+    (1..=63).contains(&ell)
+}
+
+fn expect_conditions<G: CyclicGroup>(
+    group: &G,
+    response: &[u8],
+) -> Result<ConditionsInfo, PbcdError> {
+    match Response::decode(group, response)? {
+        Response::Conditions(info) => Ok(info),
+        Response::Error(e) => Err(PbcdError::ErrorResponse {
+            code: e.code,
+            message: e.message,
+        }),
+        _ => Err(PbcdError::UnexpectedResponse),
+    }
+}
+
+/// Queries a publisher endpoint for its deployment parameters and
+/// registrable conditions.
+pub fn fetch_conditions<G: CyclicGroup>(
+    group: &G,
+    client: &mut RegistrationClient,
+) -> Result<ConditionsInfo, PbcdError> {
+    let request = Request::<G>::ConditionsQuery { attribute: None }.encode(group)?;
+    let response = client.call(&request)?;
+    let info = expect_conditions(group, &response)?;
+    if !valid_ell(info.ell) {
+        return Err(PbcdError::Wire(pbcd_docs::WireError::InvalidValue));
+    }
+    Ok(info)
+}
+
+/// Runs the full oblivious registration against a publisher's TCP
+/// registration endpoint: queries the conditions, then registers for
+/// **every** condition whose attribute matches a held token (the paper's
+/// inference-resistant behaviour). Returns how many CSSs were extracted —
+/// a count the publisher never learns.
+pub fn register_all_via<G: CyclicGroup, K: BroadcastGkm, R: RngCore + ?Sized>(
+    subscriber: &mut Subscriber<G, K>,
+    group: &G,
+    addr: impl ToSocketAddrs,
+    rng: &mut R,
+) -> Result<usize, PbcdError> {
+    let mut client = RegistrationClient::connect(addr)?;
+    let info = fetch_conditions(group, &mut client)?;
+    let mut extracted = 0;
+    for cond in &info.conditions {
+        if subscriber.token_for(&cond.attribute).is_none() {
+            continue;
+        }
+        let session = RegistrationSession::new(subscriber, group.clone(), info.ell);
+        let (request, pending) = session.start(cond, rng)?;
+        let response = client.call(&request)?;
+        if pending.complete(&response)? {
+            extracted += 1;
+        }
+    }
+    client.close()?;
+    Ok(extracted)
+}
+
+/// Requests a signed identity token for every attribute the subscriber
+/// holds from an issuer endpoint ([`crate::service::IssuerService`] behind
+/// a [`pbcd_net::direct::RegistrationServer`]) and installs them. Returns
+/// the number of tokens installed.
+pub fn fetch_tokens_via<G: CyclicGroup, K: BroadcastGkm>(
+    subscriber: &mut Subscriber<G, K>,
+    group: &G,
+    addr: impl ToSocketAddrs,
+    subject: &str,
+) -> Result<usize, PbcdError> {
+    let mut client = RegistrationClient::connect(addr)?;
+    let attrs: Vec<(String, u64)> = subscriber
+        .attributes()
+        .iter()
+        .map(|(n, v)| (n.to_string(), v))
+        .collect();
+    let mut installed = 0;
+    for (attribute, value) in attrs {
+        let request = Request::<G>::Issue(IssueRequest {
+            subject: subject.to_string(),
+            attribute,
+            value,
+        })
+        .encode(group)?;
+        let response = client.call(&request)?;
+        match Response::decode(group, &response)? {
+            Response::Issue(r) => {
+                subscriber.install_token(r.token, r.opening)?;
+                installed += 1;
+            }
+            Response::Error(e) => {
+                return Err(PbcdError::ErrorResponse {
+                    code: e.code,
+                    message: e.message,
+                })
+            }
+            _ => return Err(PbcdError::UnexpectedResponse),
+        }
+    }
+    client.close()?;
+    Ok(installed)
+}

@@ -57,12 +57,28 @@ impl<G: CyclicGroup, K: BroadcastGkm> Subscriber<G, K> {
     }
 
     /// Installs an identity token received from the IdMgr.
-    pub fn install_token(&mut self, token: IdentityToken<G>, opening: Opening) {
+    ///
+    /// All of a subscriber's tokens must carry the same pseudonym; a
+    /// mismatched-nym token is rejected with [`PbcdError::NymMismatch`]
+    /// (in release builds it would otherwise silently corrupt the CSS
+    /// store, since stored CSSs are keyed by the first-installed nym).
+    pub fn install_token(
+        &mut self,
+        token: IdentityToken<G>,
+        opening: Opening,
+    ) -> Result<(), PbcdError> {
         match &self.nym {
-            Some(n) => debug_assert_eq!(n, &token.nym, "all tokens share one nym"),
+            Some(n) if *n != token.nym => {
+                return Err(PbcdError::NymMismatch {
+                    expected: n.clone(),
+                    got: token.nym.clone(),
+                })
+            }
+            Some(_) => {}
             None => self.nym = Some(token.nym.clone()),
         }
         self.tokens.insert(token.id_tag.clone(), (token, opening));
+        Ok(())
     }
 
     /// Installs a §VI-A decoy token for an attribute this subscriber does
@@ -74,9 +90,11 @@ impl<G: CyclicGroup, K: BroadcastGkm> Subscriber<G, K> {
         token: IdentityToken<G>,
         opening: Opening,
         decoy_value: u64,
-    ) {
-        self.attributes.set(&token.id_tag.clone(), decoy_value);
-        self.install_token(token, opening);
+    ) -> Result<(), PbcdError> {
+        let tag = token.id_tag.clone();
+        self.install_token(token, opening)?;
+        self.attributes.set(&tag, decoy_value);
+        Ok(())
     }
 
     /// The token for an attribute, if any.
@@ -96,6 +114,10 @@ impl<G: CyclicGroup, K: BroadcastGkm> Subscriber<G, K> {
 
     /// Receiver phase 1 of registration for one condition: build the OCBE
     /// proof message from the matching token.
+    ///
+    /// Low-level primitive: prefer [`crate::session::RegistrationSession`],
+    /// which pairs this with [`Self::complete_registration`] through the
+    /// type system and speaks the byte-level [`crate::proto`] messages.
     pub fn prepare_registration<R: RngCore + ?Sized>(
         &self,
         ocbe: &OcbeSystem<G>,
@@ -116,6 +138,10 @@ impl<G: CyclicGroup, K: BroadcastGkm> Subscriber<G, K> {
     /// Receiver phase 2: try to open the envelope; store the CSS on
     /// success. Returns whether the CSS was extracted — information only
     /// the subscriber ever has.
+    ///
+    /// Low-level primitive: prefer [`crate::session::PendingRegistration`],
+    /// which makes completing an unstarted registration (or reusing proof
+    /// secrets) a compile-time error.
     pub fn complete_registration(
         &mut self,
         ocbe: &OcbeSystem<G>,

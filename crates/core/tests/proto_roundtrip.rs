@@ -1,0 +1,288 @@
+//! Protocol-layer codec robustness: every [`pbcd_core::proto`] message
+//! round-trips bit-exactly, and decoding is **total** — truncation,
+//! corruption, trailing bytes and header tampering yield errors, never
+//! panics. These are the attacker-facing bytes of the registration
+//! endpoint, so the fuzz here mirrors `pbcd_net`'s frame proptests.
+
+use pbcd_core::proto::{
+    ConditionsInfo, ErrorCode, ErrorResponse, IssueRequest, IssueResponse, RegisterRequest,
+    RegisterResponse, Request, Response,
+};
+use pbcd_core::{IdentityManager, IdentityProvider};
+use pbcd_group::P256Group;
+use pbcd_ocbe::{ComparisonOp, OcbeSystem, Predicate};
+use pbcd_policy::AttributeCondition;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn group() -> P256Group {
+    P256Group::new()
+}
+
+/// Builds one of every request/response shape, covering all proof and
+/// envelope variants (Empty/Bits/Dual, Eq/Ge/Le/Dual — including the
+/// edge thresholds where one Dual side is absent).
+fn sample_messages() -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+    let group = group();
+    let mut rng = StdRng::seed_from_u64(0xC0DEC);
+    let idp = IdentityProvider::new(group.clone(), "idp", &mut rng);
+    let mut idmgr = IdentityManager::new(group.clone(), &mut rng);
+    let assertion = idp.assert_attribute("alice", "level", 59, &mut rng);
+    let (token, opening) = idmgr
+        .issue_token(&assertion, &idp.verifying_key(), &mut rng)
+        .expect("honest assertion");
+    let ocbe = OcbeSystem::new(group.clone(), 16);
+
+    let mut requests = vec![
+        Request::<P256Group>::ConditionsQuery { attribute: None }
+            .encode(&group)
+            .unwrap(),
+        Request::<P256Group>::ConditionsQuery {
+            attribute: Some("level".into()),
+        }
+        .encode(&group)
+        .unwrap(),
+        Request::<P256Group>::Issue(IssueRequest {
+            subject: "alice".into(),
+            attribute: "level".into(),
+            value: 59,
+        })
+        .encode(&group)
+        .unwrap(),
+    ];
+    let mut responses = vec![
+        Response::<P256Group>::Conditions(ConditionsInfo {
+            ell: 16,
+            kappa_bits: 128,
+            conditions: vec![
+                AttributeCondition::new("level", ComparisonOp::Ge, 59),
+                AttributeCondition::eq_str("role", "nurse"),
+            ],
+        })
+        .encode(&group)
+        .unwrap(),
+        Response::<P256Group>::Issue(IssueResponse {
+            token: token.clone(),
+            opening: opening.clone(),
+        })
+        .encode(&group)
+        .unwrap(),
+        Response::<P256Group>::Error(ErrorResponse {
+            code: ErrorCode::UnknownCondition,
+            message: "no such condition".into(),
+        })
+        .encode(&group)
+        .unwrap(),
+    ];
+
+    // One register request/response pair per comparison operator,
+    // including the ≠ edge thresholds (threshold 0 ⇒ GE side only;
+    // threshold max ⇒ LE side only).
+    for (op, threshold) in [
+        (ComparisonOp::Eq, 59),
+        (ComparisonOp::Ge, 59),
+        (ComparisonOp::Gt, 10),
+        (ComparisonOp::Le, 59),
+        (ComparisonOp::Lt, 59),
+        (ComparisonOp::Neq, 59),
+        (ComparisonOp::Neq, 0),
+        (ComparisonOp::Neq, 65535),
+    ] {
+        let pred = Predicate::new(op, threshold);
+        let (proof, _secrets) = ocbe
+            .receiver_prepare(59, &opening, &pred, &mut rng)
+            .expect("satisfiable predicate");
+        let envelope = ocbe
+            .sender_compose(&token.commitment, &pred, &proof, b"css-bytes", &mut rng)
+            .expect("proof accepted");
+        requests.push(
+            Request::Register(RegisterRequest {
+                token: token.clone(),
+                cond: AttributeCondition::new("level", op, threshold),
+                proof,
+            })
+            .encode(&group)
+            .unwrap(),
+        );
+        responses.push(
+            Response::Register(RegisterResponse { envelope })
+                .encode(&group)
+                .unwrap(),
+        );
+    }
+    (requests, responses)
+}
+
+/// decode → re-encode must reproduce the original bytes exactly (the
+/// codec is canonical, so byte equality substitutes for structural
+/// equality without `PartialEq` on envelope types).
+#[test]
+fn every_message_roundtrips_bit_exactly() {
+    let group = group();
+    let (requests, responses) = sample_messages();
+    for bytes in &requests {
+        let decoded = Request::<P256Group>::decode(&group, bytes).expect("request decodes");
+        assert_eq!(&decoded.encode(&group).unwrap(), bytes, "{decoded:?}");
+    }
+    for bytes in &responses {
+        let decoded = Response::<P256Group>::decode(&group, bytes).expect("response decodes");
+        assert_eq!(&decoded.encode(&group).unwrap(), bytes, "{decoded:?}");
+    }
+}
+
+/// Every strict prefix of every message fails to decode (and never
+/// panics).
+#[test]
+fn truncation_never_decodes() {
+    let group = group();
+    let (requests, responses) = sample_messages();
+    for bytes in &requests {
+        for cut in 0..bytes.len() {
+            assert!(
+                Request::<P256Group>::decode(&group, &bytes[..cut]).is_err(),
+                "request cut at {cut}"
+            );
+        }
+    }
+    for bytes in &responses {
+        for cut in 0..bytes.len() {
+            assert!(
+                Response::<P256Group>::decode(&group, &bytes[..cut]).is_err(),
+                "response cut at {cut}"
+            );
+        }
+    }
+}
+
+#[test]
+fn trailing_garbage_rejected() {
+    let group = group();
+    let (requests, responses) = sample_messages();
+    for bytes in requests {
+        let mut long = bytes;
+        long.push(0);
+        assert!(Request::<P256Group>::decode(&group, &long).is_err());
+    }
+    for bytes in responses {
+        let mut long = bytes;
+        long.push(0);
+        assert!(Response::<P256Group>::decode(&group, &long).is_err());
+    }
+}
+
+#[test]
+fn header_tampering_rejected() {
+    let group = group();
+    let good = Request::<P256Group>::ConditionsQuery { attribute: None }
+        .encode(&group)
+        .unwrap();
+    for (idx, val) in [(0usize, b'X'), (2, 99), (3, 200)] {
+        let mut bad = good.clone();
+        bad[idx] = val;
+        assert!(Request::<P256Group>::decode(&group, &bad).is_err());
+    }
+    // Response kinds are rejected on the request side and vice versa.
+    let resp = Response::<P256Group>::Error(ErrorResponse {
+        code: ErrorCode::Internal,
+        message: String::new(),
+    })
+    .encode(&group)
+    .unwrap();
+    assert!(Request::<P256Group>::decode(&group, &resp).is_err());
+}
+
+/// A non-canonical scalar (≥ group order) in a token signature must be
+/// rejected, not silently reduced — otherwise one signature would have
+/// multiple wire forms.
+#[test]
+fn non_canonical_scalars_rejected() {
+    let group = group();
+    let (requests, _) = sample_messages();
+    // requests[3] is the first Register message; the signature scalars sit
+    // after nym, id_tag and the commitment. Rather than compute offsets,
+    // corrupt every 32-byte-aligned window to all-0xFF and require that
+    // *no* corruption both decodes and re-encodes differently.
+    for bytes in &requests {
+        for start in (0..bytes.len().saturating_sub(32)).step_by(7) {
+            let mut bad = bytes.clone();
+            for b in &mut bad[start..start + 32] {
+                *b = 0xFF;
+            }
+            if let Ok(decoded) = Request::<P256Group>::decode(&group, &bad) {
+                // If it decodes, re-encoding must reproduce the mutated
+                // bytes (canonicality).
+                assert_eq!(decoded.encode(&group).unwrap(), bad);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random single-byte corruption anywhere in any message: decode may
+    /// succeed or fail, but must never panic, and anything that decodes
+    /// must re-encode canonically.
+    #[test]
+    fn corruption_is_total(msg_idx in 0usize..11, raw_pos in 0usize..1_000_000, delta in 1u8..=255) {
+        let group = group();
+        let (requests, responses) = sample_messages();
+        let reqs = &requests[msg_idx.min(requests.len() - 1)];
+        let pos = raw_pos % reqs.len();
+        let mut bad = reqs.clone();
+        bad[pos] = bad[pos].wrapping_add(delta);
+        if let Ok(decoded) = Request::<P256Group>::decode(&group, &bad) {
+            prop_assert_eq!(decoded.encode(&group).unwrap(), bad);
+        }
+        let resp = &responses[msg_idx.min(responses.len() - 1)];
+        let pos = raw_pos % resp.len();
+        let mut bad = resp.clone();
+        bad[pos] = bad[pos].wrapping_add(delta);
+        if let Ok(decoded) = Response::<P256Group>::decode(&group, &bad) {
+            prop_assert_eq!(decoded.encode(&group).unwrap(), bad);
+        }
+    }
+
+    /// Arbitrary conditions round-trip through the Conditions response.
+    #[test]
+    fn arbitrary_conditions_roundtrip(
+        attrs in prop::collection::vec("[a-zA-Z][a-zA-Z0-9_.-]{0,12}", 0..6),
+        ops in prop::collection::vec(0u8..6, 6),
+        thresholds in prop::collection::vec(any::<u64>(), 6),
+        ell in 1u32..=63,
+        kappa in 1u32..=4096,
+    ) {
+        let group = group();
+        let conditions: Vec<AttributeCondition> = attrs
+            .iter()
+            .zip(&ops)
+            .zip(&thresholds)
+            .map(|((a, &o), &t)| {
+                let op = [
+                    ComparisonOp::Eq, ComparisonOp::Neq, ComparisonOp::Gt,
+                    ComparisonOp::Ge, ComparisonOp::Lt, ComparisonOp::Le,
+                ][o as usize];
+                AttributeCondition::new(a, op, t)
+            })
+            .collect();
+        let info = ConditionsInfo { ell, kappa_bits: kappa, conditions };
+        let bytes = Response::<P256Group>::Conditions(info.clone()).encode(&group).unwrap();
+        match Response::<P256Group>::decode(&group, &bytes).expect("decodes") {
+            Response::Conditions(back) => prop_assert_eq!(back, info),
+            other => prop_assert!(false, "wrong kind: {:?}", other),
+        }
+    }
+
+    /// Pure noise never decodes as anything (the magic gate) and never
+    /// panics.
+    #[test]
+    fn random_noise_never_panics(noise in prop::collection::vec(any::<u8>(), 0..256)) {
+        let group = group();
+        let _ = Request::<P256Group>::decode(&group, &noise);
+        let _ = Response::<P256Group>::decode(&group, &noise);
+        if noise.len() >= 2 && &noise[..2] != b"PP" {
+            prop_assert!(Request::<P256Group>::decode(&group, &noise).is_err());
+        }
+    }
+}

@@ -23,6 +23,9 @@ pub enum WireError {
     InvalidUtf8,
     /// Unexpected magic bytes or version.
     BadHeader,
+    /// A field decoded structurally but carried an invalid value (e.g. a
+    /// byte string that is not a group element, or a non-canonical scalar).
+    InvalidValue,
 }
 
 impl core::fmt::Display for WireError {
@@ -32,6 +35,7 @@ impl core::fmt::Display for WireError {
             Self::FieldTooLong(n) => write!(f, "field length {n} exceeds limit"),
             Self::InvalidUtf8 => write!(f, "invalid UTF-8 in string field"),
             Self::BadHeader => write!(f, "bad magic or version"),
+            Self::InvalidValue => write!(f, "structurally valid but semantically invalid field"),
         }
     }
 }
@@ -74,6 +78,25 @@ pub fn put_str(buf: &mut impl BufMut, s: &str) -> Result<(), WireError> {
 /// Reads a length-prefixed UTF-8 string.
 pub fn get_str(buf: &mut impl Buf) -> Result<String, WireError> {
     String::from_utf8(get_bytes(buf)?).map_err(|_| WireError::InvalidUtf8)
+}
+
+/// Reads a fixed-width byte array (no length prefix) — for fields whose
+/// width is part of the format, e.g. nonces and hash-sized words.
+pub fn get_fixed<const N: usize>(buf: &mut impl Buf) -> Result<[u8; N], WireError> {
+    if buf.remaining() < N {
+        return Err(WireError::Truncated);
+    }
+    let mut out = [0u8; N];
+    buf.copy_to_slice(&mut out);
+    Ok(out)
+}
+
+/// Reads a `u8`, checking availability.
+pub fn get_u8(buf: &mut impl Buf) -> Result<u8, WireError> {
+    if buf.remaining() < 1 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u8())
 }
 
 /// Reads a `u32`, checking availability.
@@ -153,6 +176,19 @@ mod tests {
         put_bytes(&mut buf, &[0xff, 0xfe]).unwrap();
         let mut r = buf.freeze();
         assert_eq!(get_str(&mut r), Err(WireError::InvalidUtf8));
+    }
+
+    #[test]
+    fn fixed_and_u8_fields() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(&[1, 2, 3, 4]);
+        buf.put_u8(9);
+        let mut r = buf.freeze();
+        assert_eq!(get_fixed::<4>(&mut r).unwrap(), [1, 2, 3, 4]);
+        assert_eq!(get_u8(&mut r).unwrap(), 9);
+        assert_eq!(get_u8(&mut r), Err(WireError::Truncated));
+        let mut short: &[u8] = &[1, 2];
+        assert_eq!(get_fixed::<3>(&mut short), Err(WireError::Truncated));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::acv::AccessRow;
 use pbcd_crypto::sha256;
+use pbcd_docs::wire;
 use rand::RngCore;
 
 /// The public, well-known marker (16 bytes).
@@ -114,17 +115,22 @@ impl MarkerPublicInfo {
         out
     }
 
-    /// Parses the wire encoding; strict — no trailing bytes, bounded count.
+    /// Parses the wire encoding via the audited [`pbcd_docs::wire`]
+    /// helpers; strict — no trailing bytes, count bounded by the input.
     pub fn decode(data: &[u8]) -> Option<Self> {
-        let z: [u8; 16] = data.get(..16)?.try_into().ok()?;
-        let count = u32::from_be_bytes(data.get(16..20)?.try_into().ok()?) as usize;
-        if count != (data.len() - 20) / 32 || data.len() != 20 + 32 * count {
+        let mut buf = data;
+        let z = wire::get_fixed::<16>(&mut buf).ok()?;
+        let count = wire::get_u32(&mut buf).ok()? as usize;
+        if count != buf.len() / 32 {
             return None;
         }
-        let words = data[20..]
-            .chunks_exact(32)
-            .map(|c| c.try_into().expect("32-byte chunk"))
-            .collect();
+        let mut words = Vec::with_capacity(count);
+        for _ in 0..count {
+            words.push(wire::get_fixed::<32>(&mut buf).ok()?);
+        }
+        if !buf.is_empty() {
+            return None;
+        }
         Some(Self { z, words })
     }
 }

@@ -13,6 +13,7 @@
 
 use crate::acv::AccessRow;
 use pbcd_crypto::sha256;
+use pbcd_docs::wire;
 use pbcd_math::{miller_rabin, VarUint, U128};
 use rand::RngCore;
 
@@ -118,27 +119,31 @@ impl SecureLockGkm {
 }
 
 impl LockPublicInfo {
-    /// Wire encoding: `z (16) ‖ lock_len u32 ‖ lock` (big-endian).
+    /// Wire encoding: `z (16) ‖ lock_len u32 ‖ lock` (big-endian) — the
+    /// lock field uses the standard [`pbcd_docs::wire`] length prefix.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(20 + self.lock.len());
         out.extend_from_slice(&self.z);
-        out.extend_from_slice(&(self.lock.len() as u32).to_be_bytes());
-        out.extend_from_slice(&self.lock);
+        if wire::put_bytes(&mut out, &self.lock).is_err() {
+            // A lock above MAX_FIELD_LEN is unconstructible via rekey
+            // (membership would have to be astronomic); emit an encoding
+            // that can never decode rather than panicking.
+            return Vec::new();
+        }
         out
     }
 
-    /// Parses the wire encoding; strict — the announced length must cover
-    /// exactly the remaining bytes.
+    /// Parses the wire encoding via the audited [`pbcd_docs::wire`]
+    /// helpers; strict — the announced length must cover exactly the
+    /// remaining bytes.
     pub fn decode(data: &[u8]) -> Option<Self> {
-        let z: [u8; 16] = data.get(..16)?.try_into().ok()?;
-        let len = u32::from_be_bytes(data.get(16..20)?.try_into().ok()?) as usize;
-        if data.len() != 20 + len {
+        let mut buf = data;
+        let z = wire::get_fixed::<16>(&mut buf).ok()?;
+        let lock = wire::get_bytes(&mut buf).ok()?;
+        if !buf.is_empty() {
             return None;
         }
-        Some(Self {
-            z,
-            lock: data[20..].to_vec(),
-        })
+        Some(Self { z, lock })
     }
 }
 

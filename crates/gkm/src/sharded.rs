@@ -10,6 +10,7 @@
 
 use crate::acv::{AccessRow, AcvBgkm, AcvPublicInfo};
 use pbcd_crypto::sha256;
+use pbcd_docs::wire;
 use rand::RngCore;
 
 /// Broadcast public info: one ACV per shard, all carrying the same key.
@@ -97,37 +98,36 @@ impl ShardedAcvBgkm {
 
 impl ShardedPublicInfo {
     /// Wire encoding: `num_shards u32 ‖ (len u32 ‖ acv_info)*` — one
-    /// length-prefixed [`AcvPublicInfo`] encoding per shard.
+    /// [`pbcd_docs::wire`]-length-prefixed [`AcvPublicInfo`] encoding per
+    /// shard.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(&self.num_shards.to_be_bytes());
         for shard in &self.shards {
-            let enc = shard.encode();
-            out.extend_from_slice(&(enc.len() as u32).to_be_bytes());
-            out.extend_from_slice(&enc);
+            if wire::put_bytes(&mut out, &shard.encode()).is_err() {
+                // A shard above MAX_FIELD_LEN would need ~1M members in a
+                // single shard; emit an undecodable encoding over panicking.
+                return Vec::new();
+            }
         }
         out
     }
 
-    /// Parses the wire encoding; strict — the shard count must match
-    /// `num_shards` exactly (so [`ShardedAcvBgkm::derive_key`] can index by
-    /// pseudonym hash without bounds surprises) and be at least 1.
+    /// Parses the wire encoding via the audited [`pbcd_docs::wire`]
+    /// helpers; strict — the shard count must match `num_shards` exactly
+    /// (so [`ShardedAcvBgkm::derive_key`] can index by pseudonym hash
+    /// without bounds surprises) and be at least 1.
     pub fn decode(data: &[u8]) -> Option<Self> {
-        let num_shards = u32::from_be_bytes(data.get(..4)?.try_into().ok()?);
+        let mut buf = data;
+        let num_shards = wire::get_u32(&mut buf).ok()?;
         if num_shards == 0 || num_shards as usize > data.len() / 4 + 1 {
             return None;
         }
-        let mut pos = 4;
         let mut shards = Vec::with_capacity((num_shards as usize).min(1024));
         for _ in 0..num_shards {
-            let len = u32::from_be_bytes(data.get(pos..pos + 4)?.try_into().ok()?) as usize;
-            pos += 4;
-            shards.push(AcvPublicInfo::decode(
-                data.get(pos..pos.checked_add(len)?)?,
-            )?);
-            pos += len;
+            shards.push(AcvPublicInfo::decode(&wire::get_bytes(&mut buf).ok()?)?);
         }
-        if pos != data.len() {
+        if !buf.is_empty() {
             return None;
         }
         Some(Self { num_shards, shards })

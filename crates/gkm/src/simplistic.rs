@@ -9,6 +9,7 @@
 
 use crate::acv::AccessRow;
 use pbcd_crypto::AuthKey;
+use pbcd_docs::wire;
 use rand::RngCore;
 
 /// Per-subscriber addressed key ciphertexts.
@@ -78,41 +79,39 @@ impl SimplisticGkm {
 }
 
 impl SimplisticPublicInfo {
-    /// Wire encoding: `count u32 ‖ (nym_len u32 ‖ nym ‖ ct_len u32 ‖ ct)*`.
+    /// Wire encoding: `count u32 ‖ (nym_len u32 ‖ nym ‖ ct_len u32 ‖ ct)*`
+    /// with both variable fields carried as [`pbcd_docs::wire`]
+    /// length-prefixed strings/bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(&(self.deliveries.len() as u32).to_be_bytes());
         for (nym, ct) in &self.deliveries {
-            out.extend_from_slice(&(nym.len() as u32).to_be_bytes());
-            out.extend_from_slice(nym.as_bytes());
-            out.extend_from_slice(&(ct.len() as u32).to_be_bytes());
-            out.extend_from_slice(ct);
+            if wire::put_str(&mut out, nym).is_err() || wire::put_bytes(&mut out, ct).is_err() {
+                // Unconstructible via rekey (a nym or wrapped key above
+                // MAX_FIELD_LEN); emit an undecodable encoding over
+                // panicking.
+                return Vec::new();
+            }
         }
         out
     }
 
-    /// Parses the wire encoding; strict — counts and lengths are bounded by
-    /// the input size and no trailing bytes are tolerated.
+    /// Parses the wire encoding via the audited [`pbcd_docs::wire`]
+    /// helpers; strict — counts and lengths are bounded by the input size
+    /// and no trailing bytes are tolerated.
     pub fn decode(data: &[u8]) -> Option<Self> {
-        let count = u32::from_be_bytes(data.get(..4)?.try_into().ok()?) as usize;
+        let mut buf = data;
+        let count = wire::get_u32(&mut buf).ok()? as usize;
         if count > data.len() / 8 + 1 {
             return None;
         }
-        let mut pos = 4usize;
-        let mut get = |len: usize| -> Option<&[u8]> {
-            let s = data.get(pos..pos.checked_add(len)?)?;
-            pos += len;
-            Some(s)
-        };
         let mut deliveries = Vec::with_capacity(count.min(1024));
         for _ in 0..count {
-            let nym_len = u32::from_be_bytes(get(4)?.try_into().ok()?) as usize;
-            let nym = String::from_utf8(get(nym_len)?.to_vec()).ok()?;
-            let ct_len = u32::from_be_bytes(get(4)?.try_into().ok()?) as usize;
-            let ct = get(ct_len)?.to_vec();
+            let nym = wire::get_str(&mut buf).ok()?;
+            let ct = wire::get_bytes(&mut buf).ok()?;
             deliveries.push((nym, ct));
         }
-        if pos != data.len() {
+        if !buf.is_empty() {
             return None;
         }
         Some(Self { deliveries })

@@ -1,0 +1,477 @@
+//! Direct request/response endpoints for the protocol legs that must
+//! **not** ride the broker: registration and token issuance, which run
+//! publisher↔subscriber (or issuer↔subscriber) only.
+//!
+//! The server is a deliberately dumb byte pipe: it reads one
+//! length-prefixed request, hands the bytes to a caller-supplied handler,
+//! and writes the handler's bytes back. It knows nothing about tokens,
+//! proofs or envelopes — `pbcd_net` still depends on `pbcd_docs` alone, so
+//! the dependency graph keeps enforcing that *no broker-layer code can
+//! reach key material*; the typed protocol lives one layer up
+//! (`pbcd_core::proto`) and plugs in as a `handle(bytes) -> bytes`
+//! closure.
+//!
+//! Framing is the broker's own transport half (`len u32 ‖ body`, memory
+//! committed only as bytes arrive), but with a much tighter default size
+//! bound ([`DirectConfig::max_request_len`], 4 MiB): registration messages
+//! are a few KiB, so nothing on this socket ever needs the broker's
+//! 64 MiB container allowance. Each connection serves requests
+//! sequentially; connections are isolated — a peer that sends garbage
+//! framing, goes silent past the idle timeout, or even panics the handler
+//! loses its own connection and nothing else.
+
+use crate::error::NetError;
+use crate::frame::{read_body_bounded, write_body, MAX_FRAME_LEN};
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs for a [`RegistrationServer`].
+#[derive(Debug, Clone)]
+pub struct DirectConfig {
+    /// Maximum concurrent connections; further peers are refused by
+    /// closing their socket immediately.
+    pub max_connections: usize,
+    /// Per-read idle timeout: a connected peer that sends nothing for this
+    /// long is dropped (`None` = wait forever).
+    pub read_timeout: Option<Duration>,
+    /// Maximum accepted request size. Registration/issuance messages are
+    /// a few KiB, so the default (4 MiB, matching the protocol layer's own
+    /// message bound) is generous — and far below the broker's 64 MiB
+    /// container frames, which have no business on this socket. A hostile
+    /// length prefix beyond this costs the peer its connection before any
+    /// memory is committed.
+    pub max_request_len: usize,
+}
+
+impl Default for DirectConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 256,
+            read_timeout: Some(Duration::from_secs(60)),
+            max_request_len: 4 * 1024 * 1024,
+        }
+    }
+}
+
+struct ServerShared {
+    shutdown: AtomicBool,
+    /// Live connection streams, for forced shutdown. Keyed by connection id.
+    connections: Mutex<HashMap<u64, TcpStream>>,
+    requests: AtomicU64,
+}
+
+/// A threaded request/response server around one `handle(bytes) -> bytes`
+/// function.
+pub struct RegistrationServer {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl RegistrationServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `handler` with the default [`DirectConfig`].
+    ///
+    /// The handler runs under a mutex — requests from concurrent
+    /// connections are serialized through it, which is exactly the
+    /// semantics a stateful endpoint (e.g. a `PublisherService` issuing
+    /// CSSs) needs.
+    pub fn bind<F>(addr: impl ToSocketAddrs, handler: F) -> Result<Self, NetError>
+    where
+        F: FnMut(&[u8]) -> Vec<u8> + Send + 'static,
+    {
+        Self::bind_with(addr, DirectConfig::default(), handler)
+    }
+
+    /// Binds with explicit configuration.
+    pub fn bind_with<F>(
+        addr: impl ToSocketAddrs,
+        config: DirectConfig,
+        handler: F,
+    ) -> Result<Self, NetError>
+    where
+        F: FnMut(&[u8]) -> Vec<u8> + Send + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            shutdown: AtomicBool::new(false),
+            connections: Mutex::new(HashMap::new()),
+            requests: AtomicU64::new(0),
+        });
+        let handler = Arc::new(Mutex::new(handler));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, shared, config, handler))
+        };
+        Ok(Self {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the actual port for `:0` binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests served so far (including ones answered with handler-level
+    /// error bytes — the server cannot tell those apart, by design).
+    pub fn requests_served(&self) -> u64 {
+        self.shared.requests.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, disconnects every peer and joins the server
+    /// threads. Also runs on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock per-connection reads.
+        {
+            let conns = self
+                .shared
+                .connections
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for stream in conns.values() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        // Unblock the accept loop; an unspecified bind address (0.0.0.0 /
+        // ::) is not connectable everywhere, so wake via loopback, bounded
+        // so shutdown can never hang on an unreachable listener.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        match TcpStream::connect_timeout(&wake, Duration::from_secs(1)) {
+            Ok(_) => {
+                let _ = accept.join();
+            }
+            // Wake unreachable: leak the accept thread rather than hang
+            // shutdown forever; connections were already closed above.
+            Err(_) => drop(accept),
+        }
+    }
+}
+
+impl Drop for RegistrationServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+type SharedHandler = Arc<Mutex<dyn FnMut(&[u8]) -> Vec<u8> + Send>>;
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<ServerShared>,
+    config: DirectConfig,
+    handler: SharedHandler,
+) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    let mut next_id: u64 = 0;
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Transient accept error: back off briefly and retry.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // Reap finished workers so a long-lived server does not accumulate
+        // handles.
+        workers.retain(|w| !w.is_finished());
+
+        let id = next_id;
+        next_id += 1;
+        {
+            // Register under the lock, re-checking the shutdown flag inside
+            // the critical section so a racing shutdown cannot miss us.
+            let mut conns = shared
+                .connections
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if shared.shutdown.load(Ordering::SeqCst) || conns.len() >= config.max_connections {
+                let _ = stream.shutdown(Shutdown::Both);
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            match stream.try_clone() {
+                Ok(clone) => {
+                    conns.insert(id, clone);
+                }
+                Err(_) => {
+                    let _ = stream.shutdown(Shutdown::Both);
+                    continue;
+                }
+            }
+        }
+        let shared_conn = Arc::clone(&shared);
+        let handler = Arc::clone(&handler);
+        let conn_config = config.clone();
+        workers.push(std::thread::spawn(move || {
+            serve_connection(stream, &shared_conn, &conn_config, handler);
+            shared_conn
+                .connections
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .remove(&id);
+        }));
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    shared: &ServerShared,
+    config: &DirectConfig,
+    handler: SharedHandler,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(config.read_timeout);
+    // Until clean close, garbage framing, oversize or idle timeout — any
+    // of which ends this connection; nobody else is affected. Requests may
+    // be any length from empty up to the configured bound (the 4-byte
+    // broker-frame minimum does not apply to this raw byte pipe).
+    while let Ok(request) = read_body_bounded(&mut stream, 0, config.max_request_len) {
+        // A panicking handler costs the *triggering* connection its reply
+        // and nothing else: the panic is contained here, and a mutex
+        // poisoned by it is recovered by every later lock (the handler
+        // owns no invariant that half-applied state could break — it is
+        // bytes-in/bytes-out by contract).
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut h = handler
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            h(&request)
+        }));
+        let Ok(response) = response else {
+            break;
+        };
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        if write_body(&mut stream, &response).is_err() {
+            break;
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Read timeout applied to every [`RegistrationClient`] call so an
+/// unresponsive endpoint cannot hang the subscriber forever; adjustable
+/// via [`RegistrationClient::set_read_timeout`].
+const CALL_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The client half: one connection, synchronous `call` round-trips.
+pub struct RegistrationClient {
+    stream: TcpStream,
+}
+
+impl RegistrationClient {
+    /// Connects to a [`RegistrationServer`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(CALL_TIMEOUT));
+        Ok(Self { stream })
+    }
+
+    /// Sends one request and blocks for the response. Requests and
+    /// responses may be any length (including empty) up to
+    /// [`MAX_FRAME_LEN`] on the client side; the server enforces its own
+    /// [`DirectConfig::max_request_len`].
+    pub fn call(&mut self, request: &[u8]) -> Result<Vec<u8>, NetError> {
+        write_body(&mut self.stream, request)?;
+        read_body_bounded(&mut self.stream, 0, MAX_FRAME_LEN)
+    }
+
+    /// Bounds how long a call may wait for its response.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), NetError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Closes the connection.
+    pub fn close(self) -> Result<(), NetError> {
+        self.stream.shutdown(Shutdown::Both)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> RegistrationServer {
+        RegistrationServer::bind("127.0.0.1:0", |req: &[u8]| {
+            let mut out = b"echo:".to_vec();
+            out.extend_from_slice(req);
+            out
+        })
+        .expect("bind")
+    }
+
+    #[test]
+    fn round_trip_and_sequential_calls() {
+        let server = echo_server();
+        let mut client = RegistrationClient::connect(server.addr()).expect("connect");
+        for i in 0..5u8 {
+            let resp = client.call(&[1, 2, 3, i]).expect("call");
+            assert_eq!(resp, [b'e', b'c', b'h', b'o', b':', 1, 2, 3, i]);
+        }
+        assert_eq!(server.requests_served(), 5);
+        client.close().expect("close");
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_are_serialized_through_the_handler() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&counter);
+        let server = RegistrationServer::bind("127.0.0.1:0", move |_req: &[u8]| {
+            let n = c.fetch_add(1, Ordering::SeqCst);
+            n.to_be_bytes().to_vec()
+        })
+        .expect("bind");
+        let addr = server.addr();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut client = RegistrationClient::connect(addr).expect("connect");
+                    for _ in 0..8 {
+                        client.call(&[0u8; 8]).expect("call");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("client thread");
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+        assert_eq!(server.requests_served(), 32);
+        server.shutdown();
+    }
+
+    #[test]
+    fn garbage_framing_kills_only_that_connection() {
+        use std::io::Write;
+        let server = echo_server();
+        // A raw socket announcing an absurd frame length.
+        let mut bad = TcpStream::connect(server.addr()).expect("connect");
+        bad.write_all(&u32::MAX.to_be_bytes()).expect("write");
+        // The server drops it; a well-behaved client still works.
+        let mut good = RegistrationClient::connect(server.addr()).expect("connect");
+        assert_eq!(good.call(b"hi!!").expect("call"), b"echo:hi!!");
+        server.shutdown();
+    }
+
+    #[test]
+    fn max_connections_refuses_excess_peers() {
+        let server = RegistrationServer::bind_with(
+            "127.0.0.1:0",
+            DirectConfig {
+                max_connections: 1,
+                read_timeout: Some(Duration::from_secs(5)),
+                ..DirectConfig::default()
+            },
+            |req: &[u8]| req.to_vec(),
+        )
+        .expect("bind");
+        let mut first = RegistrationClient::connect(server.addr()).expect("connect");
+        assert_eq!(first.call(b"ok??").expect("call"), b"ok??");
+        // The second connection is accepted by the OS but closed by the
+        // server; its first call errors.
+        let mut second = RegistrationClient::connect(server.addr()).expect("connect");
+        assert!(second.call(b"nope").is_err());
+        // The first connection keeps working.
+        assert_eq!(first.call(b"more").expect("call"), b"more");
+        server.shutdown();
+    }
+
+    #[test]
+    fn short_and_empty_bodies_round_trip() {
+        // The raw pipe has no 4-byte frame minimum in either direction.
+        let server = RegistrationServer::bind("127.0.0.1:0", |req: &[u8]| {
+            if req.is_empty() {
+                Vec::new()
+            } else {
+                req[..1].to_vec()
+            }
+        })
+        .expect("bind");
+        let mut client = RegistrationClient::connect(server.addr()).expect("connect");
+        assert_eq!(client.call(b"zq").expect("short call"), b"z");
+        assert_eq!(client.call(b"").expect("empty call"), b"");
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_costs_only_that_connection() {
+        let server = RegistrationServer::bind_with(
+            "127.0.0.1:0",
+            DirectConfig {
+                max_request_len: 1024,
+                ..DirectConfig::default()
+            },
+            |req: &[u8]| req.to_vec(),
+        )
+        .expect("bind");
+        // A length prefix beyond the bound is rejected before any payload
+        // memory is committed; the connection dies, the server survives.
+        let mut hostile = RegistrationClient::connect(server.addr()).expect("connect");
+        assert!(hostile.call(&vec![0u8; 2048]).is_err());
+        let mut good = RegistrationClient::connect(server.addr()).expect("connect");
+        assert_eq!(good.call(b"fine").expect("call"), b"fine");
+        server.shutdown();
+    }
+
+    #[test]
+    fn panicking_handler_kills_one_connection_not_the_server() {
+        let server = RegistrationServer::bind("127.0.0.1:0", |req: &[u8]| {
+            assert!(req != &b"boom"[..], "hostile request tripped a handler bug");
+            req.to_vec()
+        })
+        .expect("bind");
+        let mut victim = RegistrationClient::connect(server.addr()).expect("connect");
+        assert!(victim.call(b"boom").is_err(), "no reply after the panic");
+        // A fresh connection is served normally — the poisoned handler
+        // mutex is recovered, per-connection isolation holds.
+        let mut good = RegistrationClient::connect(server.addr()).expect("connect");
+        assert_eq!(good.call(b"calm").expect("call"), b"calm");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_disconnects_live_clients() {
+        let server = echo_server();
+        let mut client = RegistrationClient::connect(server.addr()).expect("connect");
+        assert!(client.call(b"ping").is_ok());
+        server.shutdown();
+        assert!(client.call(b"ping").is_err(), "server is gone");
+    }
+}

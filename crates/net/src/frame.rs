@@ -320,6 +320,20 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), NetError> {
 /// payload bytes actually arrive, so announcing a 64 MiB frame and then
 /// stalling costs the attacker bandwidth, not the reader memory.
 pub fn read_frame_body(r: &mut impl Read) -> Result<Vec<u8>, NetError> {
+    // Broker frames carry at least magic ‖ version ‖ kind (4 bytes).
+    read_body_bounded(r, 4, MAX_FRAME_LEN)
+}
+
+/// [`read_frame_body`] with caller-chosen length bounds — transports whose
+/// payloads are smaller than broker frames (e.g. the direct registration
+/// pipe, whose protocol messages never exceed a few KiB) tighten `max_len`
+/// so a hostile length prefix cannot commit [`MAX_FRAME_LEN`] of memory,
+/// and raw byte pipes drop the 4-byte minimum.
+pub fn read_body_bounded(
+    r: &mut impl Read,
+    min_len: usize,
+    max_len: usize,
+) -> Result<Vec<u8>, NetError> {
     let mut len_bytes = [0u8; 4];
     if let Err(e) = r.read_exact(&mut len_bytes) {
         return Err(if e.kind() == std::io::ErrorKind::UnexpectedEof {
@@ -329,7 +343,7 @@ pub fn read_frame_body(r: &mut impl Read) -> Result<Vec<u8>, NetError> {
         });
     }
     let len = u32::from_be_bytes(len_bytes) as usize;
-    if !(4..=MAX_FRAME_LEN).contains(&len) {
+    if len < min_len || len > max_len {
         return Err(NetError::protocol(format!("bad frame length {len}")));
     }
     let mut body = Vec::with_capacity(len.min(64 * 1024));

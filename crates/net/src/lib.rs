@@ -20,7 +20,12 @@
 //! * [`broker`] — the threaded accept-loop broker: retained latest
 //!   container per document, fan-out on publish, per-connection error
 //!   isolation, graceful shutdown,
-//! * [`client`] — the synchronous [`BrokerClient`] endpoint.
+//! * [`client`] — the synchronous [`BrokerClient`] endpoint,
+//! * [`direct`] — [`RegistrationServer`]/[`RegistrationClient`]: the
+//!   length-prefixed request/response transport for the legs that must
+//!   *bypass* the broker (registration, issuance). A pure byte pipe — the
+//!   typed messages live in `pbcd_core::proto`, so this crate still
+//!   structurally cannot reach key material.
 //!
 //! Everything is plain `std::net`/`std::thread`; the build stays fully
 //! offline (no async runtime dependency).
@@ -30,11 +35,13 @@
 
 pub mod broker;
 pub mod client;
+pub mod direct;
 pub mod error;
 pub mod frame;
 
 pub use broker::{Broker, BrokerConfig, BrokerHandle, BrokerStats};
 pub use client::{BrokerClient, PublishReceipt};
+pub use direct::{DirectConfig, RegistrationClient, RegistrationServer};
 pub use error::NetError;
 pub use frame::{
     read_frame, write_frame, ConfigSummary, Frame, PeerRole, MAX_FRAME_LEN, PROTOCOL_VERSION,

@@ -80,7 +80,7 @@ fn main() {
         receipt.epoch, receipt.fanout
     );
 
-    let policies = net_pub.publisher().policies().clone();
+    let policies = net_pub.policies();
     for (name, sub) in [
         ("doctor", &mut net_doctor),
         ("nurse", &mut net_nurse),

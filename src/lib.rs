@@ -14,7 +14,10 @@
 //! * [`gkm`] — **ACV-BGKM** (the paper's contribution) plus marker,
 //!   secure-lock, LKH and simplistic baselines,
 //! * [`core`] — IdP / IdMgr / Publisher / Subscriber end-to-end system,
-//! * [`net`] — untrusted TCP dissemination broker + client endpoints.
+//!   including the transport-agnostic protocol layer (`core::proto`,
+//!   `core::service`, `core::session`),
+//! * [`net`] — untrusted TCP dissemination broker + client endpoints,
+//!   plus the direct request/response transport for registration.
 //!
 //! ## Quickstart
 //!

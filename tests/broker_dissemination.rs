@@ -87,7 +87,7 @@ fn loopback_dissemination_with_privacy_audit() {
     assert_eq!(receipt.epoch, 1);
     assert_eq!(receipt.fanout, 3, "all three subscribers are connected");
 
-    let policies = net_pub.publisher().policies().clone();
+    let policies = net_pub.policies();
 
     // Qualified subscribers re-derive keys from the public info in the
     // delivered container and reassemble their entitled views.
@@ -195,7 +195,7 @@ fn revocation_takes_effect_on_next_networked_broadcast() {
         publisher, mut rng, ..
     } = sys;
     let mut net_pub = NetPublisher::connect(publisher, broker.addr()).expect("connect");
-    let policies = net_pub.publisher().policies().clone();
+    let policies = net_pub.policies();
 
     net_pub
         .broadcast(&ward_report(), "ward.xml", &mut rng)
@@ -204,7 +204,7 @@ fn revocation_takes_effect_on_next_networked_broadcast() {
     assert!(view1.find("Diagnosis").is_some());
 
     // Out-of-band revocation on the wrapped publisher, then rebroadcast.
-    assert!(net_pub.publisher_mut().revoke_subscriber(&doctor_nym));
+    assert!(net_pub.revoke_subscriber(&doctor_nym));
     net_pub
         .broadcast(&ward_report(), "ward.xml", &mut rng)
         .expect("second broadcast");
@@ -252,7 +252,7 @@ fn alternate_gkm_scheme_over_the_broker() {
         publisher, mut rng, ..
     } = sys;
     let mut net_pub = NetPublisher::connect(publisher, broker.addr()).expect("connect");
-    let policies = net_pub.publisher().policies().clone();
+    let policies = net_pub.policies();
 
     let receipt = net_pub
         .broadcast(&ward_report(), "ward.xml", &mut rng)
