@@ -1,11 +1,17 @@
 //! Criterion ablation: substrate costs — group exponentiation on both
-//! backends, Pedersen commitments, hashing and AES-CTR throughput.
+//! backends (fixed-base comb/table, variable-base wNAF/sliding-window,
+//! Straus double exponentiation, and the naive double-and-add baselines
+//! they replaced), Pedersen commitments, Schnorr verification, hashing
+//! and AES-CTR throughput.
+//!
+//! The machine-readable counterpart (`BENCH_group_ops.json`, tracked in
+//! the repository per PR) is produced by `reproduce bench-json`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pbcd_bench::bench_rng;
 use pbcd_commit::Pedersen;
 use pbcd_crypto::{ctr_encrypt, sha1, sha256, NONCE_LEN};
-use pbcd_group::{CyclicGroup, ModpGroup, P256Group};
+use pbcd_group::{CyclicGroup, ModpGroup, P256Group, SigningKey};
 
 fn bench_group_exponentiation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_group_exp");
@@ -14,15 +20,40 @@ fn bench_group_exponentiation(c: &mut Criterion) {
     let modp = ModpGroup::new();
     {
         let mut rng = bench_rng();
-        let base = p256.generator();
         let k = p256.random_scalar(&mut rng);
-        group.bench_function("p256", |b| b.iter(|| p256.exp(&base, &k)));
+        let ku = k.to_uint();
+        let base = p256.exp_g(&p256.random_scalar(&mut rng));
+        let gen = p256.generator();
+        // Fixed-base comb (the g^k hot path) vs the pre-PR naive ladder.
+        group.bench_function("p256_fixed_g", |b| b.iter(|| p256.exp_g(&k)));
+        group.bench_function("p256_naive_g", |b| b.iter(|| p256.exp_naive(&gen, &ku)));
+        // Variable-base wNAF vs the naive ladder on the same base.
+        group.bench_function("p256_wnaf", |b| b.iter(|| p256.exp(&base, &k)));
+        group.bench_function("p256_naive", |b| b.iter(|| p256.exp_naive(&base, &ku)));
+        // Straus a^x·b^y vs two naive ladders + op.
+        let y = p256.random_scalar(&mut rng);
+        group.bench_function("p256_exp2_straus", |b| {
+            b.iter(|| p256.exp2(&gen, &k, &base, &y))
+        });
+        group.bench_function("p256_exp2_naive", |b| {
+            b.iter(|| {
+                p256.op(
+                    &p256.exp_naive(&gen, &ku),
+                    &p256.exp_naive(&base, &y.to_uint()),
+                )
+            })
+        });
     }
     {
         let mut rng = bench_rng();
-        let base = modp.generator();
         let k = modp.random_scalar(&mut rng);
-        group.bench_function("modp_1024_160", |b| b.iter(|| modp.exp(&base, &k)));
+        let ku = k.to_uint();
+        let base = modp.exp_g(&modp.random_scalar(&mut rng));
+        let gen = modp.generator();
+        group.bench_function("modp_fixed_g", |b| b.iter(|| modp.exp_g(&k)));
+        group.bench_function("modp_naive_g", |b| b.iter(|| modp.exp_naive(&gen, &ku)));
+        group.bench_function("modp_window", |b| b.iter(|| modp.exp(&base, &k)));
+        group.bench_function("modp_naive", |b| b.iter(|| modp.exp_naive(&base, &ku)));
     }
     group.finish();
 }
@@ -35,6 +66,43 @@ fn bench_pedersen(c: &mut Criterion) {
     let sc = ped.group().scalar_ctx().clone();
     let v = sc.from_u64(28);
     group.bench_function("commit_p256", |b| b.iter(|| ped.commit(&v, &mut rng)));
+    // Verification re-runs commit_with (pedersen_gh, two fixed-base
+    // tables) — the Straus-era acceptance metric.
+    let (c28, o28) = ped.commit(&v, &mut rng);
+    group.bench_function("verify_p256", |b| b.iter(|| ped.verify_open(&c28, &o28)));
+    let g = ped.group().clone();
+    group.bench_function("commit_p256_naive", |b| {
+        b.iter(|| {
+            g.op(
+                &g.exp_naive(&g.generator(), &o28.value.to_uint()),
+                &g.exp_naive(&g.pedersen_h(), &o28.randomness.to_uint()),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_schnorr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_schnorr");
+    group.sample_size(20);
+    let g = P256Group::new();
+    let mut rng = bench_rng();
+    let key = SigningKey::generate(&g, &mut rng);
+    let vk = key.verifying_key();
+    let msg = b"identity token: nym=pn-1492 tag=age c=...";
+    let sig = key.sign(&g, &mut rng, msg);
+    assert!(vk.verify(&g, msg, &sig));
+    group.bench_function("sign_p256", |b| b.iter(|| key.sign(&g, &mut rng, msg)));
+    group.bench_function("verify_p256", |b| b.iter(|| vk.verify(&g, msg, &sig)));
+    // The pre-PR verify recomputed R' as two independent naive ladders.
+    group.bench_function("verify_p256_naive_exps", |b| {
+        b.iter(|| {
+            g.div(
+                &g.exp_naive(&g.generator(), &sig.s.to_uint()),
+                &g.exp_naive(vk.element(), &sig.e.to_uint()),
+            )
+        })
+    });
     group.finish();
 }
 
@@ -56,6 +124,7 @@ criterion_group!(
     benches,
     bench_group_exponentiation,
     bench_pedersen,
+    bench_schnorr,
     bench_symmetric
 );
 criterion_main!(benches);

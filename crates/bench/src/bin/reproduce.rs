@@ -3,15 +3,23 @@
 //!
 //! Usage:
 //!   reproduce [--quick] [table2|fig2|fig3|fig4|fig5|fig6|
-//!              ablation-gkm|ablation-group|ablation-shard|ablation-batch|all]
+//!              ablation-gkm|ablation-group|ablation-shard|ablation-batch|
+//!              bench-json|all]
 //!
 //! `--quick` shrinks round counts and sweep ranges for smoke runs; the
 //! default settings mirror the paper's parameters (50 OCBE rounds, N up to
 //! 1000, 25%–100% fills).
+//!
+//! `bench-json` measures the group-arithmetic substrate (fixed-base,
+//! wNAF/window, Straus, Pedersen, Schnorr — optimized *and* naive
+//! baselines) and writes `BENCH_group_ops.json` (`op → ns/iter`) to the
+//! current directory, so the perf trajectory is tracked in-repo per PR.
+//! It is **not** part of `all`: the JSON is committed deliberately, from
+//! a full (non-quick) run.
 
 use pbcd_bench::{bench_rng, eq_steps, ge_round, ge_steps, gkm_workload, ms, print_row, time_avg};
 use pbcd_gkm::{AcvBgkm, MarkerGkm, SecureLockGkm, ShardedAcvBgkm, SimplisticGkm};
-use pbcd_group::{CyclicGroup, ModpGroup, P256Group};
+use pbcd_group::{CyclicGroup, ModpGroup, P256Group, SigningKey};
 use pbcd_math::FpCtx;
 use std::time::{Duration, Instant};
 
@@ -68,6 +76,232 @@ fn main() {
     if want("ablation-dominance") {
         ablation_dominance(&opts);
     }
+    // Deliberate opt-in (not in `all`): writes BENCH_group_ops.json.
+    if targets.contains(&"bench-json") {
+        bench_json(&opts);
+    }
+}
+
+/// Measures the group-arithmetic substrate and writes
+/// `BENCH_group_ops.json` — a flat `op → ns/iter` map with optimized and
+/// naive-baseline entries plus derived speedups. Naive baselines measure
+/// the dominant group operations of the pre-optimization code paths (the
+/// double-and-add ladders); sub-microsecond hashing around them is
+/// ignored.
+fn bench_json(opts: &Opts) {
+    let rounds = if opts.quick { 3 } else { 100 };
+    println!("== bench-json: group arithmetic substrate (avg over {rounds} rounds) ==");
+    let mut ops: Vec<(String, f64)> = Vec::new();
+    let ns = |d: Duration| d.as_secs_f64() * 1e9;
+    let push = |ops: &mut Vec<(String, f64)>, name: &str, d: Duration| {
+        println!("{name:<34}{:>14.0} ns", ns(d));
+        ops.push((name.to_string(), ns(d)));
+    };
+
+    {
+        let p256 = P256Group::new();
+        let mut rng = bench_rng();
+        let k = p256.random_scalar(&mut rng);
+        let y = p256.random_scalar(&mut rng);
+        let ku = k.to_uint();
+        let gen = p256.generator();
+        let base = p256.exp_g(&y);
+        p256.exp_g(&k); // warm the lazy tables before timing
+        p256.exp_h(&k);
+        push(
+            &mut ops,
+            "p256_exp_g_fixed",
+            time_avg(rounds, || p256.exp_g(&k)),
+        );
+        push(
+            &mut ops,
+            "p256_exp_g_naive",
+            time_avg(rounds, || p256.exp_naive(&gen, &ku)),
+        );
+        push(
+            &mut ops,
+            "p256_exp_var_wnaf",
+            time_avg(rounds, || p256.exp(&base, &k)),
+        );
+        push(
+            &mut ops,
+            "p256_exp_var_naive",
+            time_avg(rounds, || p256.exp_naive(&base, &ku)),
+        );
+        push(
+            &mut ops,
+            "p256_exp2_straus",
+            time_avg(rounds, || p256.exp2(&gen, &k, &base, &y)),
+        );
+        push(
+            &mut ops,
+            "p256_exp2_naive",
+            time_avg(rounds, || {
+                p256.op(
+                    &p256.exp_naive(&gen, &ku),
+                    &p256.exp_naive(&base, &y.to_uint()),
+                )
+            }),
+        );
+        push(
+            &mut ops,
+            "p256_pedersen_commit",
+            time_avg(rounds, || p256.pedersen_gh(&k, &y)),
+        );
+        push(
+            &mut ops,
+            "p256_pedersen_commit_naive",
+            time_avg(rounds, || {
+                p256.op(
+                    &p256.exp_naive(&gen, &ku),
+                    &p256.exp_naive(&p256.pedersen_h(), &y.to_uint()),
+                )
+            }),
+        );
+        let key = SigningKey::generate(&p256, &mut rng);
+        let vk = key.verifying_key();
+        let msg = b"identity token: nym=pn-1492 tag=age c=...";
+        let sig = key.sign(&p256, &mut rng, msg);
+        assert!(vk.verify(&p256, msg, &sig));
+        push(
+            &mut ops,
+            "p256_schnorr_verify",
+            time_avg(rounds, || vk.verify(&p256, msg, &sig)),
+        );
+        push(
+            &mut ops,
+            "p256_schnorr_verify_naive",
+            time_avg(rounds, || {
+                p256.div(
+                    &p256.exp_naive(&gen, &sig.s.to_uint()),
+                    &p256.exp_naive(vk.element(), &sig.e.to_uint()),
+                )
+            }),
+        );
+    }
+    {
+        let modp = ModpGroup::new();
+        let mut rng = bench_rng();
+        let k = modp.random_scalar(&mut rng);
+        let y = modp.random_scalar(&mut rng);
+        let ku = k.to_uint();
+        let gen = modp.generator();
+        let base = modp.exp_g(&y);
+        modp.exp_g(&k);
+        modp.exp_h(&k);
+        push(
+            &mut ops,
+            "modp_exp_g_fixed",
+            time_avg(rounds, || modp.exp_g(&k)),
+        );
+        push(
+            &mut ops,
+            "modp_exp_g_naive",
+            time_avg(rounds, || modp.exp_naive(&gen, &ku)),
+        );
+        push(
+            &mut ops,
+            "modp_exp_var_window",
+            time_avg(rounds, || modp.exp(&base, &k)),
+        );
+        push(
+            &mut ops,
+            "modp_exp_var_naive",
+            time_avg(rounds, || modp.exp_naive(&base, &ku)),
+        );
+        push(
+            &mut ops,
+            "modp_exp2_shamir",
+            time_avg(rounds, || modp.exp2(&gen, &k, &base, &y)),
+        );
+        push(
+            &mut ops,
+            "modp_exp2_naive",
+            time_avg(rounds, || {
+                modp.op(
+                    &modp.exp_naive(&gen, &ku),
+                    &modp.exp_naive(&base, &y.to_uint()),
+                )
+            }),
+        );
+        push(
+            &mut ops,
+            "modp_pedersen_commit",
+            time_avg(rounds, || modp.pedersen_gh(&k, &y)),
+        );
+        push(
+            &mut ops,
+            "modp_pedersen_commit_naive",
+            time_avg(rounds, || {
+                modp.op(
+                    &modp.exp_naive(&gen, &ku),
+                    &modp.exp_naive(&modp.pedersen_h(), &y.to_uint()),
+                )
+            }),
+        );
+    }
+
+    // Derived speedups: naive / optimized for each paired entry.
+    let lookup = |ops: &[(String, f64)], name: &str| -> Option<f64> {
+        ops.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    };
+    let pairs = [
+        ("p256_exp_g", "p256_exp_g_fixed", "p256_exp_g_naive"),
+        ("p256_exp_var", "p256_exp_var_wnaf", "p256_exp_var_naive"),
+        ("p256_exp2", "p256_exp2_straus", "p256_exp2_naive"),
+        (
+            "p256_pedersen_commit",
+            "p256_pedersen_commit",
+            "p256_pedersen_commit_naive",
+        ),
+        (
+            "p256_schnorr_verify",
+            "p256_schnorr_verify",
+            "p256_schnorr_verify_naive",
+        ),
+        ("modp_exp_g", "modp_exp_g_fixed", "modp_exp_g_naive"),
+        ("modp_exp_var", "modp_exp_var_window", "modp_exp_var_naive"),
+        ("modp_exp2", "modp_exp2_shamir", "modp_exp2_naive"),
+        (
+            "modp_pedersen_commit",
+            "modp_pedersen_commit",
+            "modp_pedersen_commit_naive",
+        ),
+    ];
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    for (label, fast, naive) in pairs {
+        if let (Some(f), Some(n)) = (lookup(&ops, fast), lookup(&ops, naive)) {
+            if f > 0.0 {
+                println!("{label:<34}{:>13.2}x", n / f);
+                speedups.push((label.to_string(), n / f));
+            }
+        }
+    }
+
+    // Hand-rolled JSON (no serde in the workspace); numbers as integers
+    // of nanoseconds / hundredths for stable, diff-friendly output.
+    let mut json = String::from("{\n  \"schema\": \"pbcd-bench-group-ops/v1\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if opts.quick { "quick" } else { "full" }
+    ));
+    json.push_str("  \"ops_ns\": {\n");
+    for (i, (name, v)) in ops.iter().enumerate() {
+        let comma = if i + 1 == ops.len() { "" } else { "," };
+        json.push_str(&format!("    \"{name}\": {}{comma}\n", v.round() as u64));
+    }
+    json.push_str("  },\n  \"speedup_vs_naive\": {\n");
+    for (i, (name, v)) in speedups.iter().enumerate() {
+        let comma = if i + 1 == speedups.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{name}\": {:.2}{comma}\n",
+            (v * 100.0).round() / 100.0
+        ));
+    }
+    json.push_str("  }\n}\n");
+    let path = "BENCH_group_ops.json";
+    std::fs::write(path, &json).expect("write BENCH_group_ops.json");
+    println!("wrote {path}\n");
 }
 
 /// Table II: EQ-OCBE per-step times.

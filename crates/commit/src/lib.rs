@@ -103,11 +103,13 @@ impl<G: CyclicGroup> Pedersen<G> {
     }
 
     /// Deterministic commitment with caller-chosen randomness.
+    ///
+    /// Runs on the backend's fixed-base tables for `g` and `h`
+    /// ([`CyclicGroup::pedersen_gh`]) — this is the hot path of issuance,
+    /// registration proofs and commitment verification alike.
     pub fn commit_with(&self, value: &Scalar, randomness: &Scalar) -> Commitment<G> {
-        let gx = self.group.exp_g(value);
-        let hr = self.group.exp(&self.group.pedersen_h(), randomness);
         Commitment {
-            elem: self.group.op(&gx, &hr),
+            elem: self.group.pedersen_gh(value, randomness),
         }
     }
 
@@ -156,13 +158,14 @@ impl<G: CyclicGroup> Pedersen<G> {
     }
 
     /// `Π cᵢ^{2^i}` — the weighted product the GE/LE-OCBE sender uses to
-    /// check bit decompositions, evaluated Horner-style (msb first).
+    /// check bit decompositions, evaluated Horner-style (msb first) by
+    /// the backend ([`CyclicGroup::prod_pow2`] — projective backends run
+    /// the whole chain with one final normalization).
     pub fn weighted_product(&self, commitments: &[Commitment<G>]) -> Commitment<G> {
-        let mut acc = self.group.identity();
-        for c in commitments.iter().rev() {
-            acc = self.group.op(&self.group.op(&acc, &acc), &c.elem);
+        let elems: Vec<G::Elem> = commitments.iter().map(|c| c.elem.clone()).collect();
+        Commitment {
+            elem: self.group.prod_pow2(&elems),
         }
-        Commitment { elem: acc }
     }
 
     /// Canonical encoding of a commitment.

@@ -48,7 +48,9 @@ pub use idmgr::IdentityManager;
 pub use idp::{AttributeAssertion, IdentityProvider};
 pub use net::{NetPublisher, NetSubscriber};
 pub use publisher::{Publisher, PublisherConfig};
-pub use service::{IssueVerifier, IssuerService, PublisherService, ServiceStats};
+pub use service::{
+    ConditionsSnapshot, IssueVerifier, IssuerService, PublisherService, ServiceStats,
+};
 pub use session::{PendingRegistration, RegistrationSession};
 pub use subscriber::Subscriber;
 pub use token::IdentityToken;

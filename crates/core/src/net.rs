@@ -13,8 +13,9 @@
 //!   even type — this traffic.
 
 use crate::error::PbcdError;
+use crate::proto;
 use crate::publisher::Publisher;
-use crate::service::{PublisherService, ServiceStats};
+use crate::service::{ConditionsSnapshot, PublisherService, ServiceStats};
 use crate::session;
 use crate::subscriber::Subscriber;
 use pbcd_docs::{BroadcastContainer, Element};
@@ -39,6 +40,9 @@ pub struct NetPublisher<G: CyclicGroup, K: BroadcastGkm = AcvBgkm> {
     service: Arc<Mutex<PublisherService<G, K>>>,
     client: BrokerClient,
     registration: Option<RegistrationServer>,
+    /// Pre-encoded full-conditions response served without the service
+    /// mutex; invalidated by [`Self::with_publisher_mut`].
+    conditions: Arc<ConditionsSnapshot>,
 }
 
 impl<G: CyclicGroup, K: BroadcastGkm> NetPublisher<G, K> {
@@ -59,6 +63,7 @@ impl<G: CyclicGroup, K: BroadcastGkm> NetPublisher<G, K> {
             service: Arc::new(Mutex::new(service)),
             client,
             registration: None,
+            conditions: Arc::new(ConditionsSnapshot::new()),
         })
     }
 
@@ -66,6 +71,15 @@ impl<G: CyclicGroup, K: BroadcastGkm> NetPublisher<G, K> {
     /// ephemeral port), reseeding the service RNG with `seed` first.
     /// Subscribers point [`NetSubscriber::register_via`] (or
     /// [`crate::session::register_all_via`]) at the returned address.
+    /// The full conditions query (`attribute: None`) is read-mostly and
+    /// carries no per-subscriber state, so it is answered from a
+    /// pre-encoded [`ConditionsSnapshot`] **without taking the service
+    /// mutex** — heavy conditions traffic no longer serializes behind
+    /// in-flight registrations. The snapshot is populated here and after
+    /// any cache miss, and invalidated by [`Self::with_publisher_mut`]
+    /// (the mutation gateway for policy changes). Snapshot-served
+    /// requests are counted by [`Self::conditions_cache_hits`], not
+    /// [`Self::service_stats`].
     pub fn serve_registration(
         &mut self,
         addr: impl ToSocketAddrs,
@@ -74,12 +88,32 @@ impl<G: CyclicGroup, K: BroadcastGkm> NetPublisher<G, K> {
     where
         K: 'static,
     {
-        self.service
-            .lock()
-            .expect("publisher service poisoned")
-            .reseed(seed);
+        {
+            let mut service = self.service.lock().expect("publisher service poisoned");
+            service.reseed(seed);
+            if let Some(bytes) = service.encode_conditions() {
+                self.conditions.set(bytes);
+            }
+        }
         let service = Arc::clone(&self.service);
+        let snapshot = Arc::clone(&self.conditions);
         let server = RegistrationServer::bind(addr, move |request: &[u8]| {
+            if proto::is_full_conditions_query(request) {
+                if let Some(bytes) = snapshot.get() {
+                    return bytes.as_ref().clone();
+                }
+                // Miss: compute *and repopulate* under the service lock, so
+                // a concurrent `with_publisher_mut` (which invalidates
+                // while holding the same lock) cannot interleave between
+                // the two and leave stale pre-mutation bytes installed.
+                let mut svc = service.lock().expect("publisher service poisoned");
+                let response = svc.handle(request);
+                if !proto::is_error_response(&response) {
+                    snapshot.set(response.clone());
+                }
+                drop(svc);
+                return response;
+            }
             service
                 .lock()
                 .expect("publisher service poisoned")
@@ -106,13 +140,26 @@ impl<G: CyclicGroup, K: BroadcastGkm> NetPublisher<G, K> {
     }
 
     /// Runs `f` against the wrapped publisher mutably (revocation and
-    /// other publisher-local actions).
+    /// other publisher-local actions). Invalidates the pre-encoded
+    /// conditions snapshot — an arbitrary mutation may change what the
+    /// conditions endpoint should answer; the next query repopulates it.
+    /// The invalidation happens while the service lock is still held, so
+    /// it serializes with the miss-path repopulation (which sets the
+    /// snapshot under the same lock) — no interleaving can re-install
+    /// pre-mutation bytes.
     pub fn with_publisher_mut<T>(&self, f: impl FnOnce(&mut Publisher<G, K>) -> T) -> T {
-        f(self
-            .service
-            .lock()
-            .expect("publisher service poisoned")
-            .publisher_mut())
+        let mut service = self.service.lock().expect("publisher service poisoned");
+        let out = f(service.publisher_mut());
+        self.conditions.invalidate();
+        drop(service);
+        out
+    }
+
+    /// How many full-conditions queries the registration endpoint served
+    /// straight from the snapshot (without the service mutex). These do
+    /// **not** appear in [`Self::service_stats`].
+    pub fn conditions_cache_hits(&self) -> u64 {
+        self.conditions.hits()
     }
 
     /// A clone of the public policy set.

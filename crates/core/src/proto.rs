@@ -691,6 +691,15 @@ pub fn is_register_request(data: &[u8]) -> bool {
     matches!(open_header(data), Ok((KIND_REGISTER_REQUEST, _)))
 }
 
+/// True iff `data` is a well-formed **full** conditions query
+/// (`attribute: None`) — byte-exact, so the network layer can answer the
+/// read-mostly query from a pre-encoded snapshot without decoding or
+/// consulting the publisher service. Attribute-filtered queries return
+/// `false` and take the normal service path.
+pub fn is_full_conditions_query(data: &[u8]) -> bool {
+    matches!(open_header(data), Ok((KIND_CONDITIONS_QUERY, payload)) if payload == [0])
+}
+
 impl<G: CyclicGroup> core::fmt::Debug for Request<G> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {

@@ -23,6 +23,8 @@ use pbcd_gkm::{AcvBgkm, BroadcastGkm};
 use pbcd_group::CyclicGroup;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// Running counters a service keeps about its traffic.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -137,6 +139,22 @@ impl<G: CyclicGroup, K: BroadcastGkm> PublisherService<G, K> {
         response
     }
 
+    /// Pre-encodes the response to the **full** conditions query
+    /// (`attribute: None`) — byte-identical to what [`Self::handle`]
+    /// would return — so read-mostly endpoints can serve it from a
+    /// [`ConditionsSnapshot`] without locking this service. `None` only
+    /// if the policy data fails to encode (oversized fields).
+    pub fn encode_conditions(&self) -> Option<Vec<u8>> {
+        let group = self.publisher.ocbe().group().clone();
+        Response::<G>::Conditions(ConditionsInfo {
+            ell: self.publisher.ocbe().ell(),
+            kappa_bits: self.publisher.css_table().kappa_bits(),
+            conditions: self.publisher.policies().distinct_conditions(),
+        })
+        .encode(&group)
+        .ok()
+    }
+
     /// The wrapped publisher (e.g. for broadcasting and policy queries).
     pub fn publisher(&self) -> &Publisher<G, K> {
         &self.publisher
@@ -162,6 +180,67 @@ impl<G: CyclicGroup, K: BroadcastGkm> PublisherService<G, K> {
     /// Unwraps the publisher.
     pub fn into_inner(self) -> Publisher<G, K> {
         self.publisher
+    }
+}
+
+/// A shared, pre-encoded copy of the full-conditions response that
+/// read-mostly endpoints serve **without taking the publisher-service
+/// mutex** — under many concurrent subscribers, conditions queries no
+/// longer serialize behind registrations (which hold the service lock for
+/// a full OCBE envelope composition each).
+///
+/// Lifecycle: populate with [`Self::set`] (from
+/// [`PublisherService::encode_conditions`] or a fresh `handle` response),
+/// serve with [`Self::get`], and [`Self::invalidate`] on **any**
+/// publisher mutation — the policy set, ℓ or κ may have changed; the next
+/// query repopulates lazily. Snapshot-served requests bypass
+/// [`ServiceStats`]; they are counted in [`Self::hits`] instead.
+#[derive(Debug, Default)]
+pub struct ConditionsSnapshot {
+    bytes: RwLock<Option<Arc<Vec<u8>>>>,
+    hits: AtomicU64,
+}
+
+impl ConditionsSnapshot {
+    /// An empty (unpopulated) snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The snapshot bytes, if populated. Counts a hit when it is.
+    pub fn get(&self) -> Option<Arc<Vec<u8>>> {
+        let bytes = self
+            .bytes
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        if bytes.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        bytes
+    }
+
+    /// Installs fresh pre-encoded response bytes.
+    pub fn set(&self, bytes: Vec<u8>) {
+        *self
+            .bytes
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(Arc::new(bytes));
+    }
+
+    /// Drops the snapshot; the next query goes to the service and
+    /// repopulates.
+    pub fn invalidate(&self) {
+        *self
+            .bytes
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+    }
+
+    /// How many queries were answered from the snapshot (i.e. without the
+    /// service mutex).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
     }
 }
 

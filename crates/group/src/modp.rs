@@ -5,11 +5,18 @@
 //! ablation counterpart to [`crate::p256::P256Group`] — same abstract
 //! interface, very different exponentiation cost profile (1024-bit modular
 //! arithmetic vs 256-bit curve arithmetic).
+//!
+//! Exponentiation is **variable-time** (see `docs/ARCHITECTURE.md`,
+//! "Group arithmetic"): variable bases use the sliding-window
+//! [`MontCtx::pow`], the fixed bases `g` and `h` use lazily built
+//! radix-16 [`FixedBaseTable`]s (40 windows × 15 residues ≈ 75 KiB per
+//! base over the 1024-bit modulus), and `a^x · b^y` runs as one
+//! Straus/Shamir chain via [`MontCtx::pow2`].
 
-use crate::traits::{CyclicGroup, ScalarCtx};
+use crate::traits::{CyclicGroup, Scalar, ScalarCtx};
 use pbcd_crypto::sha256_concat;
-use pbcd_math::{FpCtx, MontCtx, U1024, U256};
-use std::sync::Arc;
+use pbcd_math::{FixedBaseTable, FpCtx, MontCtx, U1024, U256};
+use std::sync::{Arc, OnceLock};
 
 // RFC 5114 section 2.1 constants (1024-bit MODP group, 160-bit subgroup).
 const P_HEX: &str = concat!(
@@ -45,6 +52,10 @@ struct ModpInner {
     cofactor: U1024,
     gen: ModpElem,
     h: ModpElem,
+    /// Lazily built fixed-base tables, shared by every clone of the
+    /// group handle.
+    g_table: OnceLock<FixedBaseTable<16>>,
+    h_table: OnceLock<FixedBaseTable<16>>,
 }
 
 impl Default for ModpGroup {
@@ -75,6 +86,8 @@ impl ModpGroup {
                 cofactor,
                 gen,
                 h: ModpElem(U1024::ZERO), // patched below
+                g_table: OnceLock::new(),
+                h_table: OnceLock::new(),
             }),
         };
         let h = group.hash_to_group("pbcd-modp-pedersen-h", b"v1");
@@ -94,6 +107,52 @@ impl ModpGroup {
             return false;
         }
         self.f().pow(x_mont, &self.inner.order_wide) == self.f().one()
+    }
+
+    /// Window width of the fixed-base tables for `g` and `h`.
+    const FIXED_WINDOW: u32 = 4;
+
+    fn g_table(&self) -> &FixedBaseTable<16> {
+        self.inner.g_table.get_or_init(|| {
+            FixedBaseTable::new(
+                self.f(),
+                &self.inner.gen.0,
+                self.inner.order.bits(),
+                Self::FIXED_WINDOW,
+            )
+        })
+    }
+
+    fn h_table(&self) -> &FixedBaseTable<16> {
+        self.inner.h_table.get_or_init(|| {
+            FixedBaseTable::new(
+                self.f(),
+                &self.inner.h.0,
+                self.inner.order.bits(),
+                Self::FIXED_WINDOW,
+            )
+        })
+    }
+
+    /// Naive square-and-multiply exponentiation — the pre-optimization
+    /// reference ladder, exposed for the equivalence test-suite and the
+    /// speedup-tracking benches. Semantically identical to
+    /// [`CyclicGroup::exp_uint`], just slower.
+    pub fn exp_naive(&self, base: &ModpElem, k: &U256) -> ModpElem {
+        let k = if k < self.order() {
+            *k
+        } else {
+            k.rem(self.order())
+        };
+        let f = self.f();
+        let mut acc = f.one();
+        for i in (0..k.bits()).rev() {
+            acc = f.mont_sqr(&acc);
+            if k.bit(i) {
+                acc = f.mont_mul(&acc, &base.0);
+            }
+        }
+        ModpElem(acc)
     }
 }
 
@@ -139,6 +198,24 @@ impl CyclicGroup for ModpGroup {
             k.rem(self.order())
         };
         ModpElem(self.f().pow(&base.0, &k))
+    }
+
+    fn exp_g(&self, k: &Scalar) -> ModpElem {
+        ModpElem(self.g_table().pow(self.f(), &k.to_uint()))
+    }
+
+    fn exp_h(&self, k: &Scalar) -> ModpElem {
+        ModpElem(self.h_table().pow(self.f(), &k.to_uint()))
+    }
+
+    fn exp2(&self, a: &ModpElem, x: &Scalar, b: &ModpElem, y: &Scalar) -> ModpElem {
+        ModpElem(self.f().pow2(&a.0, &x.to_uint(), &b.0, &y.to_uint()))
+    }
+
+    fn pedersen_gh(&self, m: &Scalar, r: &Scalar) -> ModpElem {
+        let gm = self.g_table().pow(self.f(), &m.to_uint());
+        let hr = self.h_table().pow(self.f(), &r.to_uint());
+        ModpElem(self.f().mont_mul(&gm, &hr))
     }
 
     fn serialize(&self, a: &ModpElem) -> Vec<u8> {

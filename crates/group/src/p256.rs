@@ -2,13 +2,24 @@
 //!
 //! Short-Weierstrass curve `y² = x³ − 3x + b` over the 256-bit prime field,
 //! prime group order (cofactor 1), Jacobian projective arithmetic in
-//! Montgomery form. Scalar multiplication is a variable-time double-and-add;
-//! adequate for a research reproduction, noted as such.
+//! Montgomery form.
+//!
+//! Scalar multiplication is **variable-time** (adequate for a research
+//! reproduction, noted as such — see `docs/ARCHITECTURE.md`, "Group
+//! arithmetic"):
+//!
+//! * variable bases use width-5 wNAF recoding with a batch-normalized
+//!   table of odd affine multiples and mixed (Jacobian + affine) addition;
+//! * the fixed bases `g` and `h` use lazily built radix-16 comb tables
+//!   (64 windows × 15 affine points ≈ 60 KiB per base), reducing `g^k` to
+//!   ~60 mixed additions with no doublings at all;
+//! * `a^x · b^y` runs as a Straus interleaving with one shared doubling
+//!   chain.
 
-use crate::traits::{CyclicGroup, ScalarCtx};
+use crate::traits::{CyclicGroup, Scalar, ScalarCtx};
 use pbcd_crypto::sha256_concat;
 use pbcd_math::{FpCtx, MontCtx, U256};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 const P_HEX: &str = "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff";
 const N_HEX: &str = "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551";
@@ -38,6 +49,26 @@ struct Jacobian {
     z: U256, // z = 0 encodes the identity
 }
 
+/// A nonzero affine point (Montgomery-form coordinates) used in
+/// precomputed tables, where mixed addition makes `z = 1` operands pay.
+#[derive(Clone, Copy)]
+struct AffinePt {
+    x: U256,
+    y: U256,
+}
+
+/// Window width of the wNAF recoding for variable-base multiplication
+/// (odd multiples `1P, 3P, …, 15P` — 8 table points).
+const WNAF_WINDOW: u32 = 5;
+/// Window width of the fixed-base comb tables for `g` and `h`.
+const COMB_WINDOW: u32 = 4;
+
+/// Fixed-base comb: `tables[i][d − 1] = (d · 2^(w·i)) · B` as affine
+/// points, one row per `w`-bit window of the 256-bit scalar.
+struct CombTable {
+    tables: Vec<Vec<AffinePt>>,
+}
+
 /// The P-256 group backend.
 #[derive(Clone)]
 pub struct P256Group {
@@ -52,6 +83,10 @@ struct P256Inner {
     three: U256, // Montgomery form of 3 (a = -3)
     gen: P256Point,
     h: P256Point,
+    /// Lazily built fixed-base tables, shared by every clone of the
+    /// group handle (they live behind the same `Arc`).
+    g_comb: OnceLock<CombTable>,
+    h_comb: OnceLock<CombTable>,
 }
 
 impl Default for P256Group {
@@ -84,6 +119,8 @@ impl P256Group {
                 three,
                 gen,
                 h: P256Point::Identity, // patched below
+                g_comb: OnceLock::new(),
+                h_comb: OnceLock::new(),
             }),
         };
         let h = group.hash_to_group("pbcd-p256-pedersen-h", b"v1");
@@ -223,16 +260,266 @@ impl P256Group {
         }
     }
 
-    fn jac_mul(&self, p: &Jacobian, k: &U256) -> Jacobian {
-        let mut acc = Jacobian {
+    fn jac_identity(&self) -> Jacobian {
+        Jacobian {
             x: self.f().one(),
             y: self.f().one(),
             z: U256::ZERO,
-        };
+        }
+    }
+
+    fn jac_from_affine(&self, q: &AffinePt) -> Jacobian {
+        Jacobian {
+            x: q.x,
+            y: q.y,
+            z: self.f().one(),
+        }
+    }
+
+    /// Mixed addition `p + q` with affine `q` (madd-2007-bl, `Z2 = 1`):
+    /// 7M + 4S versus 11M + 5S for the general addition.
+    fn jac_add_affine(&self, p: &Jacobian, q: &AffinePt) -> Jacobian {
+        if p.z.is_zero() {
+            return self.jac_from_affine(q);
+        }
+        let f = self.f();
+        let z1z1 = f.mont_sqr(&p.z);
+        let u2 = f.mont_mul(&q.x, &z1z1);
+        let s2 = f.mont_mul(&f.mont_mul(&q.y, &p.z), &z1z1);
+        if p.x == u2 {
+            return if p.y == s2 {
+                self.jac_double(p)
+            } else {
+                self.jac_identity()
+            };
+        }
+        let h = f.sub(&u2, &p.x);
+        let hh = f.mont_sqr(&h);
+        let i = f.double(&f.double(&hh));
+        let j = f.mont_mul(&h, &i);
+        let r = f.double(&f.sub(&s2, &p.y));
+        let v = f.mont_mul(&p.x, &i);
+        let x3 = f.sub(&f.sub(&f.mont_sqr(&r), &j), &f.double(&v));
+        let y3 = f.sub(
+            &f.mont_mul(&r, &f.sub(&v, &x3)),
+            &f.double(&f.mont_mul(&p.y, &j)),
+        );
+        let z3 = f.sub(&f.sub(&f.mont_sqr(&f.add(&p.z, &h)), &z1z1), &hh);
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Normalizes a batch of *nonzero* Jacobian points to affine with one
+    /// shared field inversion (Montgomery's trick via
+    /// [`MontCtx::batch_inv`]).
+    fn batch_to_affine(&self, pts: &[Jacobian]) -> Vec<AffinePt> {
+        let f = self.f();
+        let zs: Vec<U256> = pts.iter().map(|p| p.z).collect();
+        let zinvs = f.batch_inv(&zs).expect("table points are nonzero");
+        pts.iter()
+            .zip(&zinvs)
+            .map(|(p, zinv)| {
+                let zinv2 = f.mont_sqr(zinv);
+                AffinePt {
+                    x: f.mont_mul(&p.x, &zinv2),
+                    y: f.mont_mul(&p.y, &f.mont_mul(&zinv2, zinv)),
+                }
+            })
+            .collect()
+    }
+
+    /// Width-`w` NAF recoding: signed odd digits in `±{1, 3, …, 2^(w−1)−1}`
+    /// with at least `w − 1` zeros between nonzero digits, lsb first.
+    fn wnaf(k: &U256, w: u32) -> Vec<i8> {
+        let mut k = *k;
+        let mut out = Vec::with_capacity(257);
+        let mask = (1u64 << w) - 1;
+        while !k.is_zero() {
+            if k.is_odd() {
+                let mut d = (k.limbs()[0] & mask) as i64;
+                if d >= 1 << (w - 1) {
+                    d -= 1 << w;
+                }
+                if d >= 0 {
+                    k = k.wrapping_sub(&U256::from_u64(d as u64));
+                } else {
+                    k = k.wrapping_add(&U256::from_u64((-d) as u64));
+                }
+                out.push(d as i8);
+            } else {
+                out.push(0);
+            }
+            k = k.shr(1);
+        }
+        out
+    }
+
+    /// Variable-base scalar multiplication: wNAF over a batch-normalized
+    /// table of odd affine multiples, with mixed additions in the main
+    /// loop. `k` must already be reduced modulo the order.
+    fn jac_mul(&self, p: &Jacobian, k: &U256) -> Jacobian {
+        if k.is_zero() || p.z.is_zero() {
+            return self.jac_identity();
+        }
+        // Odd multiples 1P, 3P, …, (2^(w−1)−1)P.
+        let table_len = 1usize << (WNAF_WINDOW - 2);
+        let mut jac_table = Vec::with_capacity(table_len);
+        jac_table.push(p.clone());
+        let twop = self.jac_double(p);
+        for i in 1..table_len {
+            let next = self.jac_add(&jac_table[i - 1], &twop);
+            jac_table.push(next);
+        }
+        let table = self.batch_to_affine(&jac_table);
+        let digits = Self::wnaf(k, WNAF_WINDOW);
+        let mut acc = self.jac_identity();
+        for &d in digits.iter().rev() {
+            acc = self.jac_double(&acc);
+            if d != 0 {
+                let entry = table[(d.unsigned_abs() as usize) >> 1];
+                let entry = if d > 0 {
+                    entry
+                } else {
+                    AffinePt {
+                        x: entry.x,
+                        y: self.f().neg(&entry.y),
+                    }
+                };
+                acc = self.jac_add_affine(&acc, &entry);
+            }
+        }
+        acc
+    }
+
+    /// The original MSB-first double-and-add ladder, kept as the reference
+    /// implementation the equivalence tests and benches compare against.
+    fn jac_mul_naive(&self, p: &Jacobian, k: &U256) -> Jacobian {
+        let mut acc = self.jac_identity();
         for i in (0..k.bits()).rev() {
             acc = self.jac_double(&acc);
             if k.bit(i) {
                 acc = self.jac_add(&acc, p);
+            }
+        }
+        acc
+    }
+
+    /// Naive double-and-add exponentiation — the pre-optimization
+    /// reference ladder, exposed for the equivalence test-suite and the
+    /// speedup-tracking benches. Semantically identical to
+    /// [`CyclicGroup::exp_uint`], just slower.
+    pub fn exp_naive(&self, base: &P256Point, k: &U256) -> P256Point {
+        let k = if k < self.order() {
+            *k
+        } else {
+            k.rem(self.order())
+        };
+        let j = self.jac_mul_naive(&self.to_jacobian(base), &k);
+        self.to_affine(&j)
+    }
+
+    /// Builds the fixed-base comb for `base`: for every `w`-bit window
+    /// position, all 15 odd-and-even digit multiples as affine points,
+    /// normalized with a single batched inversion.
+    fn build_comb(&self, base: &P256Point) -> CombTable {
+        let base = match base {
+            P256Point::Affine { x, y } => AffinePt { x: *x, y: *y },
+            P256Point::Identity => unreachable!("fixed bases are non-identity"),
+        };
+        let windows = 256u32.div_ceil(COMB_WINDOW) as usize;
+        let row_len = (1usize << COMB_WINDOW) - 1;
+        let mut all = Vec::with_capacity(windows * row_len);
+        let mut window_base = self.jac_from_affine(&base);
+        for _ in 0..windows {
+            // d·B for d = 1..=15: repeated addition of B.
+            all.push(window_base.clone());
+            for _ in 1..row_len {
+                let next = self.jac_add(&all[all.len() - 1], &window_base);
+                all.push(next);
+            }
+            // Next window base: 16·B = 15·B + B.
+            window_base = self.jac_add(&all[all.len() - 1], &window_base);
+        }
+        let affine = self.batch_to_affine(&all);
+        CombTable {
+            tables: affine.chunks(row_len).map(<[AffinePt]>::to_vec).collect(),
+        }
+    }
+
+    /// Fixed-base exponentiation from a comb table: one mixed addition per
+    /// nonzero window digit, no doublings. `k` must be reduced.
+    fn comb_mul(&self, comb: &CombTable, k: &U256) -> Jacobian {
+        let mut acc = self.jac_identity();
+        for (i, row) in comb.tables.iter().enumerate() {
+            let base_bit = i as u32 * COMB_WINDOW;
+            let mut d = 0usize;
+            for b in (0..COMB_WINDOW).rev() {
+                d = (d << 1) | k.bit(base_bit + b) as usize;
+            }
+            if d != 0 {
+                acc = self.jac_add_affine(&acc, &row[d - 1]);
+            }
+        }
+        acc
+    }
+
+    fn g_comb(&self) -> &CombTable {
+        self.inner
+            .g_comb
+            .get_or_init(|| self.build_comb(&self.inner.gen))
+    }
+
+    fn h_comb(&self) -> &CombTable {
+        self.inner
+            .h_comb
+            .get_or_init(|| self.build_comb(&self.inner.h))
+    }
+
+    /// Straus interleaving for `a^x · b^y`: width-4 wNAF tables for both
+    /// bases (batch-normalized together) and one shared doubling chain.
+    fn straus2(&self, a: &Jacobian, x: &U256, b: &Jacobian, y: &U256) -> Jacobian {
+        const W: u32 = 4;
+        if a.z.is_zero() || x.is_zero() {
+            return self.jac_mul(b, y);
+        }
+        if b.z.is_zero() || y.is_zero() {
+            return self.jac_mul(a, x);
+        }
+        let table_len = 1usize << (W - 2);
+        let mut jac_table = Vec::with_capacity(2 * table_len);
+        for p in [a, b] {
+            let start = jac_table.len();
+            jac_table.push(p.clone());
+            let twop = self.jac_double(p);
+            for i in 1..table_len {
+                let next = self.jac_add(&jac_table[start + i - 1], &twop);
+                jac_table.push(next);
+            }
+        }
+        let table = self.batch_to_affine(&jac_table);
+        let (ta, tb) = table.split_at(table_len);
+        let da = Self::wnaf(x, W);
+        let db = Self::wnaf(y, W);
+        let mut acc = self.jac_identity();
+        for i in (0..da.len().max(db.len())).rev() {
+            acc = self.jac_double(&acc);
+            for (digits, tbl) in [(&da, ta), (&db, tb)] {
+                let d = digits.get(i).copied().unwrap_or(0);
+                if d != 0 {
+                    let entry = tbl[(d.unsigned_abs() as usize) >> 1];
+                    let entry = if d > 0 {
+                        entry
+                    } else {
+                        AffinePt {
+                            x: entry.x,
+                            y: self.f().neg(&entry.y),
+                        }
+                    };
+                    acc = self.jac_add_affine(&acc, &entry);
+                }
             }
         }
         acc
@@ -317,6 +604,44 @@ impl CyclicGroup for P256Group {
         };
         let j = self.jac_mul(&self.to_jacobian(base), &k);
         self.to_affine(&j)
+    }
+
+    fn exp_g(&self, k: &Scalar) -> P256Point {
+        self.to_affine(&self.comb_mul(self.g_comb(), &k.to_uint()))
+    }
+
+    fn exp_h(&self, k: &Scalar) -> P256Point {
+        self.to_affine(&self.comb_mul(self.h_comb(), &k.to_uint()))
+    }
+
+    fn exp2(&self, a: &P256Point, x: &Scalar, b: &P256Point, y: &Scalar) -> P256Point {
+        let j = self.straus2(
+            &self.to_jacobian(a),
+            &x.to_uint(),
+            &self.to_jacobian(b),
+            &y.to_uint(),
+        );
+        self.to_affine(&j)
+    }
+
+    fn pedersen_gh(&self, m: &Scalar, r: &Scalar) -> P256Point {
+        let gm = self.comb_mul(self.g_comb(), &m.to_uint());
+        let hr = self.comb_mul(self.h_comb(), &r.to_uint());
+        self.to_affine(&self.jac_add(&gm, &hr))
+    }
+
+    fn prod_pow2(&self, elems: &[P256Point]) -> P256Point {
+        let mut acc = self.jac_identity();
+        for e in elems.iter().rev() {
+            acc = self.jac_double(&acc);
+            match e {
+                P256Point::Identity => {}
+                P256Point::Affine { x, y } => {
+                    acc = self.jac_add_affine(&acc, &AffinePt { x: *x, y: *y });
+                }
+            }
+        }
+        self.to_affine(&acc)
     }
 
     fn serialize(&self, a: &P256Point) -> Vec<u8> {

@@ -101,11 +101,11 @@ impl<G: CyclicGroup> VerifyingKey<G> {
     }
 
     /// Verifies a signature: recompute `R' = g^s · pk^{−e}` and check that
-    /// the challenge matches.
+    /// the challenge matches. The double exponentiation runs as one
+    /// Straus/Shamir chain ([`CyclicGroup::exp2`]) rather than two
+    /// independent ladders.
     pub fn verify(&self, group: &G, msg: &[u8], sig: &Signature) -> bool {
-        let g_s = group.exp_g(&sig.s);
-        let pk_e = group.exp(&self.pk, &sig.e);
-        let big_r = group.div(&g_s, &pk_e);
+        let big_r = group.exp2(&group.generator(), &sig.s, &self.pk, &(-&sig.e));
         challenge(group, &big_r, msg) == sig.e
     }
 }

@@ -79,8 +79,54 @@ pub trait CyclicGroup: Clone + Send + Sync + 'static {
     }
 
     /// `g^k` for a canonical scalar.
+    ///
+    /// Backends override this with fixed-base precomputation (`g` is known
+    /// forever); the default just delegates to [`CyclicGroup::exp`].
     fn exp_g(&self, k: &Scalar) -> Self::Elem {
         self.exp(&self.generator(), k)
+    }
+
+    /// `h^k` for a canonical scalar — the Pedersen blinding base.
+    ///
+    /// Like [`CyclicGroup::exp_g`], backends override this with a cached
+    /// fixed-base table; the naive default keeps third-party backends
+    /// compiling unchanged.
+    fn exp_h(&self, k: &Scalar) -> Self::Elem {
+        self.exp(&self.pedersen_h(), k)
+    }
+
+    /// Simultaneous double exponentiation `a^x · b^y`.
+    ///
+    /// The workhorse of verification equations (Schnorr's
+    /// `g^s · pk^{−e}`). Backends override this with Straus/Shamir
+    /// interleaving — one shared doubling chain instead of two — while the
+    /// default composes the two naive exponentiations.
+    fn exp2(&self, a: &Self::Elem, x: &Scalar, b: &Self::Elem, y: &Scalar) -> Self::Elem {
+        self.op(&self.exp(a, x), &self.exp(b, y))
+    }
+
+    /// The Pedersen commitment body `g^m · h^r`.
+    ///
+    /// Both bases are fixed, so backends serve this from two precomputed
+    /// tables; the default composes [`CyclicGroup::exp_g`] and
+    /// [`CyclicGroup::exp_h`].
+    fn pedersen_gh(&self, m: &Scalar, r: &Scalar) -> Self::Elem {
+        self.op(&self.exp_g(m), &self.exp_h(r))
+    }
+
+    /// `Π elemsᵢ^(2^i)` — the power-of-two weighted product the bitwise
+    /// OCBE sender uses to reassemble digit commitments, evaluated
+    /// Horner-style (msb first).
+    ///
+    /// Backends with expensive per-`op` normalization (projective curves)
+    /// override this to run the whole chain in projective coordinates
+    /// with a single final normalization.
+    fn prod_pow2(&self, elems: &[Self::Elem]) -> Self::Elem {
+        let mut acc = self.identity();
+        for e in elems.iter().rev() {
+            acc = self.op(&self.op(&acc, &acc), e);
+        }
+        acc
     }
 
     /// A uniformly random scalar.

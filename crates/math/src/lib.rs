@@ -5,7 +5,9 @@
 //! Content Dissemination"*, ICDE 2010):
 //!
 //! * [`uint`] — fixed-width big integers on 64-bit limbs (`Uint<L>`),
-//! * [`mont`] — Montgomery-form modular arithmetic ([`MontCtx`]),
+//! * [`mont`] — Montgomery-form modular arithmetic ([`MontCtx`]) with
+//!   sliding-window / simultaneous exponentiation and batched inversion,
+//! * [`pow`] — fixed-base exponentiation tables ([`FixedBaseTable`]),
 //! * [`fp`] — ergonomic prime-field elements with shared contexts,
 //! * [`linalg`] — dense Gauss–Jordan / null-space solving over `F_q`
 //!   (the role NTL's `kernel()` plays in the paper's C++ system),
@@ -23,6 +25,7 @@
 pub mod fp;
 pub mod linalg;
 pub mod mont;
+pub mod pow;
 pub mod prime;
 pub mod uint;
 pub mod varuint;
@@ -30,6 +33,7 @@ pub mod varuint;
 pub use fp::{Fp, FpCtx};
 pub use linalg::{dot, Matrix};
 pub use mont::MontCtx;
+pub use pow::FixedBaseTable;
 pub use prime::{gen_prime, gkm_q80, miller_rabin};
 pub use uint::{Uint, U1024, U1088, U128, U192, U256, U512};
 pub use varuint::VarUint;

@@ -157,6 +157,17 @@ impl<const L: usize> Matrix<L> {
 
     /// In-place Gauss–Jordan to reduced row-echelon form.
     /// Returns the pivot column of each pivot row (so `result.len()` = rank).
+    ///
+    /// Pivot rows stay *unnormalized* during the elimination sweeps (the
+    /// per-sweep pivot inverse is folded into the elimination factors —
+    /// `(n−1)` factor multiplications cost less than scaling a wide
+    /// `(m−col)`-entry pivot row, and the BGKM matrices are much wider
+    /// than tall); all pivot rows are then normalized in one deferred
+    /// pass driven by a single [`MontCtx`](crate::MontCtx) batched
+    /// inversion (`batch_inv`: one inversion + `3(n−1)` multiplications
+    /// for `n` pivots). The one inversion per sweep that computes the
+    /// elimination factor is irreducible — the factor *is* a division by
+    /// the pivot — so only the normalization half batches.
     pub fn row_reduce(&mut self) -> Vec<usize> {
         let mont = self.ctx.mont().clone();
         let (rows, cols) = (self.rows, self.cols);
@@ -174,24 +185,21 @@ impl<const L: usize> Matrix<L> {
             if src != pivot_row {
                 self.swap_rows(src, pivot_row);
             }
-            // Normalize the pivot row.
             let inv = mont
                 .inv(&self.data[pivot_row * cols + col])
                 .expect("pivot nonzero");
-            for j in col..cols {
-                let idx = pivot_row * cols + j;
-                self.data[idx] = mont.mont_mul(&self.data[idx], &inv);
-            }
-            // Eliminate the column everywhere else.
+            // Eliminate the column everywhere else against the
+            // unnormalized pivot row: row_r -= (a_rc · v⁻¹) · row_pivot.
             for r in 0..rows {
                 if r == pivot_row {
                     continue;
                 }
-                let factor = self.data[r * cols + col];
-                if factor.is_zero() {
+                let lead = self.data[r * cols + col];
+                if lead.is_zero() {
                     continue;
                 }
-                // row_r -= factor * row_pivot (columns before `col` are 0).
+                let factor = mont.mont_mul(&lead, &inv);
+                // (columns before `col` are 0 in both rows).
                 let (head, tail) = if r < pivot_row {
                     let (h, t) = self.data.split_at_mut(pivot_row * cols);
                     (&mut h[r * cols..(r + 1) * cols], &t[..cols])
@@ -206,6 +214,26 @@ impl<const L: usize> Matrix<L> {
             }
             pivots.push(col);
             pivot_row += 1;
+        }
+        // Deferred normalization: later sweeps zeroed every pivot row's
+        // entries in *other* pivot columns without touching its own pivot
+        // value, so one batched inversion of the pivot values finishes
+        // the reduction.
+        if !pivots.is_empty() {
+            let pivot_vals: Vec<Uint<L>> = pivots
+                .iter()
+                .enumerate()
+                .map(|(r, &c)| self.data[r * cols + c])
+                .collect();
+            let invs = mont.batch_inv(&pivot_vals).expect("pivots nonzero");
+            for (r, (&c, w)) in pivots.iter().zip(&invs).enumerate() {
+                for j in c..cols {
+                    let idx = r * cols + j;
+                    if !self.data[idx].is_zero() {
+                        self.data[idx] = mont.mont_mul(&self.data[idx], w);
+                    }
+                }
+            }
         }
         pivots
     }

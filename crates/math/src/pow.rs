@@ -1,0 +1,154 @@
+//! Fixed-base exponentiation with radix-2^w precomputed tables.
+//!
+//! When the base of an exponentiation is known ahead of time (the group
+//! generators `g` and `h` in Pedersen commitments, OCBE envelopes and
+//! Schnorr signatures), the whole squaring chain can be precomputed once:
+//! a [`FixedBaseTable`] stores `base^(d·2^(w·i))` for every window
+//! position `i` and digit `d`, after which *any* exponentiation is just
+//! one multiplication per nonzero window digit — no squarings at all.
+//!
+//! For a 160-bit exponent with `w = 4` this is ~38 multiplications versus
+//! ~190 for a sliding-window ladder, at a one-time cost of
+//! `⌈bits/w⌉·(2^w − 1)` stored residues (≈75 KiB for a 1024-bit modulus).
+//! All exponentiation here is variable-time in the exponent, like the rest
+//! of the workspace — see `docs/ARCHITECTURE.md` ("Group arithmetic").
+
+use crate::mont::MontCtx;
+use crate::uint::Uint;
+
+/// Precomputed radix-2^w powers of one fixed Montgomery-form base.
+///
+/// `tables[i][d − 1] = base^(d · 2^(w·i))` for `d ∈ 1..2^w` and window
+/// index `i ∈ 0..⌈max_bits/w⌉`. Built once (lazily, by the group
+/// backends) and reused for every exponentiation with that base.
+#[derive(Clone, PartialEq, Eq)]
+pub struct FixedBaseTable<const L: usize> {
+    window: u32,
+    max_bits: u32,
+    tables: Vec<Vec<Uint<L>>>,
+}
+
+impl<const L: usize> FixedBaseTable<L> {
+    /// Precomputes the table for `base_mont` covering exponents up to
+    /// `max_bits` bits, with `window`-bit digits. Panics on a zero window
+    /// or one wider than 16 bits (the useful range is 2–6).
+    pub fn new(ctx: &MontCtx<L>, base_mont: &Uint<L>, max_bits: u32, window: u32) -> Self {
+        assert!((1..=16).contains(&window), "window out of range");
+        let digits = max_bits.div_ceil(window).max(1) as usize;
+        let row_len = (1usize << window) - 1;
+        let mut tables = Vec::with_capacity(digits);
+        let mut b = *base_mont; // base^(2^(w·i)) for the current window
+        for _ in 0..digits {
+            let mut row = Vec::with_capacity(row_len);
+            row.push(b);
+            for d in 1..row_len {
+                let next = ctx.mont_mul(&row[d - 1], &b);
+                row.push(next);
+            }
+            // base^(2^(w·(i+1))) = row[2^w − 2] · b = b^(2^w).
+            b = ctx.mont_mul(&row[row_len - 1], &b);
+            tables.push(row);
+        }
+        Self {
+            window,
+            max_bits: digits as u32 * window,
+            tables,
+        }
+    }
+
+    /// The window width in bits.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// Largest exponent bit length the table covers.
+    pub fn max_bits(&self) -> u32 {
+        self.max_bits
+    }
+
+    /// Number of stored residues (for memory accounting).
+    pub fn entries(&self) -> usize {
+        self.tables.iter().map(Vec::len).sum()
+    }
+
+    /// `base^exp` as one multiplication per nonzero window digit.
+    /// Panics if `exp` exceeds the precomputed coverage (callers reduce
+    /// exponents modulo the group order first).
+    pub fn pow<const E: usize>(&self, ctx: &MontCtx<L>, exp: &Uint<E>) -> Uint<L> {
+        assert!(
+            exp.bits() <= self.max_bits,
+            "exponent exceeds fixed-base table coverage"
+        );
+        let mut acc = ctx.one();
+        for (i, row) in self.tables.iter().enumerate() {
+            let base_bit = i as u32 * self.window;
+            let mut d = 0usize;
+            for b in (0..self.window).rev() {
+                d = (d << 1) | exp.bit(base_bit + b) as usize;
+            }
+            if d != 0 {
+                acc = ctx.mont_mul(&acc, &row[d - 1]);
+            }
+        }
+        acc
+    }
+}
+
+impl<const L: usize> core::fmt::Debug for FixedBaseTable<L> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "FixedBaseTable(w={}, bits={}, entries={})",
+            self.window,
+            self.max_bits,
+            self.entries()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uint::{U128, U256};
+    use rand::SeedableRng;
+
+    fn q80() -> U128 {
+        U128::from_u128((1u128 << 80) - 65)
+    }
+
+    #[test]
+    fn fixed_base_matches_pow() {
+        let ctx = MontCtx::new(q80());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(40);
+        for window in [2u32, 4, 5] {
+            let base = ctx.to_mont(&U128::random_below(&mut rng, &q80()));
+            let table = FixedBaseTable::new(&ctx, &base, 80, window);
+            for _ in 0..50 {
+                let e = U128::random_bits(&mut rng, 80);
+                assert_eq!(table.pow(&ctx, &e), ctx.pow(&base, &e), "w={window}");
+            }
+            for e in [U128::ZERO, U128::one(), U128::from_u64(2)] {
+                assert_eq!(table.pow(&ctx, &e), ctx.pow(&base, &e));
+            }
+        }
+    }
+
+    #[test]
+    fn wider_exponent_type_is_accepted_within_coverage() {
+        let ctx = MontCtx::new(q80());
+        let base = ctx.to_mont(&U128::from_u64(3));
+        let table = FixedBaseTable::new(&ctx, &base, 80, 4);
+        let e = U256::from_u64(0xdead_beef);
+        let e_narrow: U128 = e.narrow().unwrap();
+        assert_eq!(table.pow(&ctx, &e), ctx.pow(&base, &e_narrow));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds fixed-base table coverage")]
+    fn oversized_exponent_panics() {
+        let ctx = MontCtx::new(q80());
+        let base = ctx.to_mont(&U128::from_u64(3));
+        let table = FixedBaseTable::new(&ctx, &base, 16, 4);
+        let _ = table.pow(&ctx, &U128::from_u64(1 << 20));
+    }
+}

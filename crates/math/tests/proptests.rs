@@ -99,7 +99,57 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sliding_window_pow_matches_schoolbook(a in arb_u128(), e in arb_u128()) {
+        let q = q80();
+        let a = a.rem(&q);
+        let ctx = MontCtx::new(q);
+        let got = ctx.from_mont(&ctx.pow(&ctx.to_mont(&a), &e));
+        prop_assert_eq!(got, a.pow_mod(&e, &q));
+    }
+
+    #[test]
+    fn fixed_base_table_matches_pow(a in arb_u128(), e in arb_u128(), w in 2u32..6) {
+        let q = q80();
+        let a = a.rem(&q);
+        let e = e.rem(&q); // table covers order-sized exponents
+        let ctx = MontCtx::new(q);
+        let base = ctx.to_mont(&a);
+        let table = pbcd_math::FixedBaseTable::new(&ctx, &base, 80, w);
+        prop_assert_eq!(table.pow(&ctx, &e), ctx.pow(&base, &e));
+    }
+
+    #[test]
+    fn pow2_matches_two_pows(a in arb_u128(), b in arb_u128(), x in arb_u128(), y in arb_u128()) {
+        let q = q80();
+        let ctx = MontCtx::new(q);
+        let a = ctx.to_mont(&a.rem(&q));
+        let b = ctx.to_mont(&b.rem(&q));
+        let expect = ctx.mont_mul(&ctx.pow(&a, &x), &ctx.pow(&b, &y));
+        prop_assert_eq!(ctx.pow2(&a, &x, &b, &y), expect);
+    }
+
+    #[test]
+    fn batch_inv_matches_fermat(seed in any::<u64>(), n in 1usize..20) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let q = q80();
+        let ctx = MontCtx::new(q);
+        let vals: Vec<U128> = (0..n)
+            .map(|_| loop {
+                let v = U128::random_below(&mut rng, &q);
+                if !v.is_zero() {
+                    break ctx.to_mont(&v);
+                }
+            })
+            .collect();
+        let invs = ctx.batch_inv(&vals).expect("nonzero inputs");
+        for (v, i) in vals.iter().zip(&invs) {
+            prop_assert_eq!(Some(*i), ctx.inv(v));
+        }
+    }
 
     #[test]
     fn null_vectors_annihilate(

@@ -223,7 +223,7 @@ pub fn compose<G: CyclicGroup, R: RngCore + ?Sized>(
     let master = sha256(&concat);
 
     let y = group.random_nonzero_scalar(rng);
-    let eta = group.exp(&group.pedersen_h(), &y);
+    let eta = group.exp_h(&y);
     let g_inv = group.inv(&group.generator());
     let mut shares = Vec::with_capacity(ell);
     for (ci, ki) in proof.commitments.iter().zip(&key_shares) {

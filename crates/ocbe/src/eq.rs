@@ -47,7 +47,7 @@ pub fn compose<G: CyclicGroup, R: RngCore + ?Sized>(
     let y = group.random_nonzero_scalar(rng);
     let diff = ped.shift_value(c, x0); // commits to x − x₀ under r
     let sigma = group.exp(diff.element(), &y);
-    let eta = group.exp(&group.pedersen_h(), &y);
+    let eta = group.exp_h(&y);
     let key = envelope_key(group, &sigma);
     EqEnvelope {
         eta,
