@@ -1,43 +1,31 @@
-//! Broker fan-out throughput vs. subscriber count, on loopback TCP.
+//! Network-plane benchmarks on loopback TCP.
 //!
-//! Measures the untrusted-broker hot path in isolation: one pre-encrypted
-//! container published repeatedly, with every connected subscriber
-//! confirming receipt before the iteration ends. No crypto in the loop —
-//! the broker never does any — so the numbers are pure framing + fan-out.
+//! * `net_broker_fanout` — broker fan-out throughput vs. subscriber count
+//!   (1 → 256): one pre-encrypted container published repeatedly, every
+//!   connected subscriber confirming receipt before the iteration ends.
+//!   No crypto in the loop — the broker never does any — so the numbers
+//!   are pure framing + queue fan-out.
+//! * `net_registration_concurrency` — full oblivious registration
+//!   round-trips through `pbcd_net::direct`, serialized handler
+//!   (`RegistrationServer::bind`, one service mutex) vs. concurrent
+//!   handler (`bind_concurrent` + `SharedPublisherService`, sharded CSS
+//!   table) as the connection count grows: the concurrent path's
+//!   throughput should scale with connections, the serialized one
+//!   plateaus.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pbcd_docs::{BroadcastContainer, EncryptedGroup, EncryptedSegment};
-use pbcd_net::{Broker, BrokerClient, PeerRole};
-use std::sync::mpsc;
-
-/// A realistic container: 4 policy groups × 4 KiB ciphertext segments plus
-/// ACV-sized key info.
-fn workload_container() -> BroadcastContainer {
-    BroadcastContainer {
-        epoch: 1,
-        document_name: "bench.xml".into(),
-        skeleton_xml: "<doc><pbcd-segment id=\"0\"/></doc>".into(),
-        groups: (0..4u32)
-            .map(|config_id| EncryptedGroup {
-                config_id,
-                key_info: vec![0x5A; 256],
-                segments: vec![EncryptedSegment {
-                    segment_id: config_id,
-                    tag: format!("Section{config_id}"),
-                    ciphertext: vec![0xC5; 4096],
-                }],
-            })
-            .collect(),
-    }
-}
+use pbcd_bench::{fanout_container, registration_workload, run_registration_clients};
+use pbcd_core::SharedPublisherService;
+use pbcd_net::{Broker, BrokerClient, PeerRole, RegistrationServer};
+use std::sync::{mpsc, Arc, Mutex};
 
 fn bench_fanout(c: &mut Criterion) {
     let mut group = c.benchmark_group("net_broker_fanout");
     group.sample_size(10);
-    let container = workload_container();
+    let container = fanout_container();
     let size = container.size_bytes();
 
-    for subs in [1usize, 4, 16] {
+    for subs in [1usize, 4, 16, 64, 256] {
         let broker = Broker::bind("127.0.0.1:0").expect("bind bench broker");
         let addr = broker.addr();
         let (ready_tx, ready_rx) = mpsc::channel();
@@ -85,5 +73,45 @@ fn bench_fanout(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fanout);
+fn bench_registration_concurrency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_registration_concurrency");
+    group.sample_size(10);
+    const CALLS: usize = 4;
+
+    for conns in [1usize, 2, 4, 8] {
+        // Serialized: every request takes the single service mutex.
+        let (service, requests) = registration_workload(conns);
+        let shared = Arc::new(Mutex::new(service));
+        let handler = Arc::clone(&shared);
+        let server = RegistrationServer::bind("127.0.0.1:0", move |req: &[u8]| {
+            handler.lock().expect("service lock").handle(req)
+        })
+        .expect("bind serialized");
+        let addr = server.addr();
+        group.throughput(Throughput::Elements((conns * CALLS) as u64));
+        group.bench_with_input(BenchmarkId::new("serialized", conns), &conns, |b, _| {
+            b.iter(|| run_registration_clients(addr, &requests, CALLS))
+        });
+        server.shutdown();
+
+        // Concurrent: the sharded service, no handler lock.
+        let (service, requests) = registration_workload(conns);
+        let shared = Arc::new(SharedPublisherService::new(service));
+        shared.reseed(1);
+        let handler = Arc::clone(&shared);
+        let server = RegistrationServer::bind_concurrent("127.0.0.1:0", move |req: &[u8]| {
+            handler.handle(req)
+        })
+        .expect("bind concurrent");
+        let addr = server.addr();
+        group.throughput(Throughput::Elements((conns * CALLS) as u64));
+        group.bench_with_input(BenchmarkId::new("concurrent", conns), &conns, |b, _| {
+            b.iter(|| run_registration_clients(addr, &requests, CALLS))
+        });
+        server.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fanout, bench_registration_concurrency);
 criterion_main!(benches);

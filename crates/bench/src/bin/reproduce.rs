@@ -13,9 +13,11 @@
 //! `bench-json` measures the group-arithmetic substrate (fixed-base,
 //! wNAF/window, Straus, Pedersen, Schnorr — optimized *and* naive
 //! baselines) and writes `BENCH_group_ops.json` (`op → ns/iter`) to the
-//! current directory, so the perf trajectory is tracked in-repo per PR.
-//! It is **not** part of `all`: the JSON is committed deliberately, from
-//! a full (non-quick) run.
+//! current directory, so the perf trajectory is tracked in-repo per PR —
+//! and the network plane (broker fan-out publish latency incl. a stalled
+//! subscriber, serialized vs concurrent registration throughput) into
+//! `BENCH_net.json`. It is **not** part of `all`: the JSONs are committed
+//! deliberately, from a full (non-quick) run.
 
 use pbcd_bench::{bench_rng, eq_steps, ge_round, ge_steps, gkm_workload, ms, print_row, time_avg};
 use pbcd_gkm::{AcvBgkm, MarkerGkm, SecureLockGkm, ShardedAcvBgkm, SimplisticGkm};
@@ -76,10 +78,197 @@ fn main() {
     if want("ablation-dominance") {
         ablation_dominance(&opts);
     }
-    // Deliberate opt-in (not in `all`): writes BENCH_group_ops.json.
+    // Deliberate opt-in (not in `all`): writes BENCH_group_ops.json and
+    // BENCH_net.json.
     if targets.contains(&"bench-json") {
         bench_json(&opts);
+        bench_net_json(&opts);
     }
+}
+
+/// Measures the network dissemination/registration plane on loopback TCP
+/// and writes `BENCH_net.json`:
+///
+/// * broker publish round-trip (Ack latency) vs subscriber count, with
+///   every subscriber confirming receipt out-of-band — and the same
+///   measurement with one **stalled** subscriber attached, which under
+///   per-subscriber writer queues must not move the number (enqueue-time
+///   isolation; pre-queue fan-out coupled it to `write_timeout`);
+/// * full oblivious EQ-registration throughput through
+///   `pbcd_net::direct`, serialized single-mutex handler vs the
+///   concurrent sharded service, across connection counts.
+///
+/// Caveat recorded in the JSON: on a single-vCPU container the
+/// serialized/concurrent pair is expected to be at parity (there is no
+/// second core to scale onto); the structural claim there is the removed
+/// lock, asserted by `direct::tests::concurrent_handler_really_runs_in_parallel`.
+fn bench_net_json(opts: &Opts) {
+    use pbcd_core::SharedPublisherService;
+    use pbcd_net::{Broker, BrokerClient, BrokerConfig, PeerRole, RegistrationServer};
+    use std::sync::{mpsc, Arc, Mutex};
+
+    let rounds = if opts.quick { 3 } else { 50 };
+    println!("== bench-json: network plane (avg over {rounds} rounds) ==");
+    let ns = |d: Duration| d.as_secs_f64() * 1e9;
+    let mut entries: Vec<(String, f64)> = Vec::new();
+
+    // Same container as the criterion fan-out bench — one definition, so
+    // the two measurements cannot silently diverge.
+    let container = pbcd_bench::fanout_container();
+
+    // --- broker fan-out: publish Ack latency + full-delivery latency ---
+    let sub_counts: &[usize] = if opts.quick { &[4] } else { &[16, 64] };
+    for &subs in sub_counts {
+        for stalled in [false, true] {
+            let broker = Broker::bind_with(
+                "127.0.0.1:0",
+                BrokerConfig {
+                    write_timeout: Some(Duration::from_secs(30)),
+                    subscriber_queue: rounds + 8,
+                    ..BrokerConfig::default()
+                },
+            )
+            .expect("bind broker");
+            let addr = broker.addr();
+            let (ready_tx, ready_rx) = mpsc::channel();
+            let (got_tx, got_rx) = mpsc::channel();
+            let threads: Vec<_> = (0..subs)
+                .map(|_| {
+                    let ready = ready_tx.clone();
+                    let got = got_tx.clone();
+                    std::thread::spawn(move || {
+                        let mut client = BrokerClient::connect(addr, PeerRole::Subscriber)
+                            .expect("subscriber connects");
+                        client.subscribe::<&str>(&[]).expect("subscribe");
+                        ready.send(()).expect("main alive");
+                        while client.next_delivery().is_ok() {
+                            if got.send(()).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for _ in 0..subs {
+                ready_rx.recv().expect("subscriber ready");
+            }
+            // The stalled peer subscribes and then never reads: its queue
+            // fills, its socket jams — and the publish numbers must not
+            // notice.
+            let _stalled_client = stalled.then(|| {
+                let mut c =
+                    BrokerClient::connect(addr, PeerRole::Subscriber).expect("stalled connects");
+                c.subscribe::<&str>(&[]).expect("stalled subscribe");
+                c
+            });
+            let mut publisher =
+                BrokerClient::connect(addr, PeerRole::Publisher).expect("publisher connects");
+            let mut publish_total = Duration::ZERO;
+            let mut delivered_total = Duration::ZERO;
+            let mut c = container.clone();
+            for round in 0..rounds {
+                c.epoch = (round + 2) as u64;
+                let t = Instant::now();
+                publisher.publish(&c).expect("publish");
+                publish_total += t.elapsed();
+                for _ in 0..subs {
+                    got_rx.recv().expect("delivery confirmed");
+                }
+                delivered_total += t.elapsed();
+            }
+            let label = if stalled { "_with_stalled" } else { "" };
+            let publish_avg = publish_total / rounds as u32;
+            let delivered_avg = delivered_total / rounds as u32;
+            println!(
+                "fanout subs={subs}{label}: publish ack {:>10.0} ns, all delivered {:>10.0} ns",
+                ns(publish_avg),
+                ns(delivered_avg)
+            );
+            entries.push((
+                format!("fanout_{subs}{label}_publish_ack_ns"),
+                ns(publish_avg),
+            ));
+            entries.push((
+                format!("fanout_{subs}{label}_all_delivered_ns"),
+                ns(delivered_avg),
+            ));
+            drop(publisher);
+            broker.shutdown();
+            drop(got_rx);
+            for t in threads {
+                let _ = t.join();
+            }
+        }
+    }
+
+    // --- registration throughput: serialized vs concurrent handler ---
+    // (workload shared with `benches/net.rs` via the pbcd_bench library,
+    // so the two measurements cannot silently diverge)
+    let calls = if opts.quick { 2 } else { 8 };
+    let conn_counts: &[usize] = if opts.quick { &[2] } else { &[1, 4, 8] };
+    for &conns in conn_counts {
+        let (service, requests) = pbcd_bench::registration_workload(conns);
+        let shared = Arc::new(Mutex::new(service));
+        let handler = Arc::clone(&shared);
+        let server = RegistrationServer::bind("127.0.0.1:0", move |req: &[u8]| {
+            handler.lock().expect("service lock").handle(req)
+        })
+        .expect("bind serialized");
+        let t = Instant::now();
+        pbcd_bench::run_registration_clients(server.addr(), &requests, calls);
+        let serialized = t.elapsed();
+        server.shutdown();
+
+        let (service, requests) = pbcd_bench::registration_workload(conns);
+        let shared = Arc::new(SharedPublisherService::new(service));
+        shared.reseed(1);
+        let handler = Arc::clone(&shared);
+        let server = RegistrationServer::bind_concurrent("127.0.0.1:0", move |req: &[u8]| {
+            handler.handle(req)
+        })
+        .expect("bind concurrent");
+        let t = Instant::now();
+        pbcd_bench::run_registration_clients(server.addr(), &requests, calls);
+        let concurrent = t.elapsed();
+        server.shutdown();
+
+        let ops = (conns * calls) as f64;
+        let ser_rps = ops / serialized.as_secs_f64();
+        let con_rps = ops / concurrent.as_secs_f64();
+        println!(
+            "registration conns={conns}: serialized {ser_rps:>8.0} ops/s, concurrent {con_rps:>8.0} ops/s"
+        );
+        entries.push((
+            format!("registration_serialized_c{conns}_ops_per_s"),
+            ser_rps,
+        ));
+        entries.push((
+            format!("registration_concurrent_c{conns}_ops_per_s"),
+            con_rps,
+        ));
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut json = String::from("{\n  \"schema\": \"pbcd-bench-net/v1\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n  \"host_cores\": {cores},\n",
+        if opts.quick { "quick" } else { "full" }
+    ));
+    json.push_str(
+        "  \"note\": \"publish_ack is the publisher-visible latency (enqueue-bounded); \
+         with_stalled attaches one never-reading subscriber, which must not move it. \
+         On a 1-core host the serialized/concurrent registration pair is expected at \
+         parity; scaling shows on multicore.\",\n",
+    );
+    json.push_str("  \"metrics\": {\n");
+    for (i, (name, v)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!("    \"{name}\": {}{comma}\n", v.round() as u64));
+    }
+    json.push_str("  }\n}\n");
+    let path = "BENCH_net.json";
+    std::fs::write(path, &json).expect("write BENCH_net.json");
+    println!("wrote {path}\n");
 }
 
 /// Measures the group-arithmetic substrate and writes

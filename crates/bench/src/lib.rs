@@ -176,6 +176,96 @@ pub fn eq_steps(payload: &[u8], rng: &mut StdRng) -> (Duration, Duration) {
     (t_compose, t_open)
 }
 
+// ---------------------------------------------------------------------------
+// Network-plane workloads (net bench + BENCH_net.json)
+// ---------------------------------------------------------------------------
+
+/// The broker fan-out benchmark container: 4 policy groups × 4 KiB
+/// ciphertext segments plus ACV-sized key info — a realistic mid-size
+/// broadcast. Shared by `benches/net.rs` and the `reproduce` binary so
+/// the criterion numbers and the committed `BENCH_net.json` always
+/// measure the same workload.
+pub fn fanout_container() -> pbcd_docs::BroadcastContainer {
+    use pbcd_docs::{BroadcastContainer, EncryptedGroup, EncryptedSegment};
+    BroadcastContainer {
+        epoch: 1,
+        document_name: "bench.xml".into(),
+        skeleton_xml: "<doc><pbcd-segment id=\"0\"/></doc>".into(),
+        groups: (0..4u32)
+            .map(|config_id| EncryptedGroup {
+                config_id,
+                key_info: vec![0x5A; 256],
+                segments: vec![EncryptedSegment {
+                    segment_id: config_id,
+                    tag: format!("Section{config_id}"),
+                    ciphertext: vec![0xC5; 4096],
+                }],
+            })
+            .collect(),
+    }
+}
+
+/// The two-condition ward policy set used by the registration benches.
+pub fn registration_policies() -> pbcd_policy::PolicySet {
+    use pbcd_policy::{AccessControlPolicy, AttributeCondition, ComparisonOp, PolicySet};
+    let mut set = PolicySet::new();
+    set.add(AccessControlPolicy::new(
+        vec![AttributeCondition::eq_str("role", "doctor")],
+        &["Diagnosis"],
+        "ward.xml",
+    ));
+    set.add(AccessControlPolicy::new(
+        vec![AttributeCondition::new("clearance", ComparisonOp::Ge, 5)],
+        &["Billing"],
+        "ward.xml",
+    ));
+    set
+}
+
+/// A registration-throughput workload: the publisher service plus one
+/// pre-encoded EQ `RegisterRequest` per connection. Distinct subscribers,
+/// so concurrent issues land in different CSS-table rows; a replayed
+/// request is re-served by design (credential-update semantics), which
+/// makes each request an ideal repeatable unit of work.
+pub fn registration_workload(n: usize) -> (pbcd_core::PublisherService<P256Group>, Vec<Vec<u8>>) {
+    use pbcd_core::{PublisherService, RegistrationSession, SystemHarness};
+    use pbcd_policy::{AttributeCondition, AttributeSet};
+    let mut sys = SystemHarness::new_p256(registration_policies(), 0xBE7C);
+    let group = P256Group::new();
+    let cond = AttributeCondition::eq_str("role", "doctor");
+    let mut requests = Vec::new();
+    for i in 0..n {
+        let mut sub = sys.onboard(
+            &format!("bench-subject-{i}"),
+            AttributeSet::new()
+                .with_str("role", "doctor")
+                .with("clearance", 7),
+        );
+        let mut rng = StdRng::seed_from_u64(100 + i as u64);
+        let session = RegistrationSession::new(&mut sub, group.clone(), 48);
+        let (request, _pending) = session.start(&cond, &mut rng).expect("start");
+        requests.push(request);
+    }
+    let SystemHarness { publisher, .. } = sys;
+    (PublisherService::new(publisher, 1), requests)
+}
+
+/// Drives one client thread per request against a registration endpoint,
+/// `calls` round-trips each, all connections in flight at once.
+pub fn run_registration_clients(addr: std::net::SocketAddr, requests: &[Vec<u8>], calls: usize) {
+    std::thread::scope(|scope| {
+        for request in requests {
+            scope.spawn(move || {
+                let mut client = pbcd_net::RegistrationClient::connect(addr).expect("connect");
+                for _ in 0..calls {
+                    let response = client.call(request).expect("call");
+                    assert!(!response.is_empty());
+                }
+            });
+        }
+    });
+}
+
 /// Pretty-prints one row of a report table.
 pub fn print_row(label: &str, cells: &[String]) {
     print!("{label:<30}");

@@ -34,6 +34,15 @@ pub enum PbcdError {
     UnknownSubscriber,
     /// A broker connection failed (adapters in [`crate::net`]).
     Net(NetError),
+    /// The broker refused a publish with a typed reason — bad or unknown
+    /// signing key, a stale/replayed epoch, or a retention cap. The broker
+    /// connection stays usable; the publisher can correct and retry.
+    PublishRejected {
+        /// The machine-readable refusal reason.
+        reason: pbcd_net::RejectReason,
+        /// Human-readable detail from the broker.
+        detail: String,
+    },
     /// A token's pseudonym does not match the subscriber's established
     /// nym — installing it would silently corrupt the CSS store.
     NymMismatch {
@@ -74,6 +83,9 @@ impl core::fmt::Display for PbcdError {
             Self::MalformedKeyInfo => write!(f, "malformed GKM key info"),
             Self::UnknownSubscriber => write!(f, "unknown subscriber"),
             Self::Net(e) => write!(f, "net: {e}"),
+            Self::PublishRejected { reason, detail } => {
+                write!(f, "broker rejected publish ({reason}): {detail}")
+            }
             Self::NymMismatch { expected, got } => write!(
                 f,
                 "token nym '{got}' does not match the subscriber's nym '{expected}'"
@@ -108,6 +120,9 @@ impl From<XmlError> for PbcdError {
 
 impl From<NetError> for PbcdError {
     fn from(e: NetError) -> Self {
-        Self::Net(e)
+        match e {
+            NetError::Rejected { reason, detail } => Self::PublishRejected { reason, detail },
+            other => Self::Net(other),
+        }
     }
 }

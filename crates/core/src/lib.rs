@@ -47,9 +47,11 @@ pub use harness::SystemHarness;
 pub use idmgr::IdentityManager;
 pub use idp::{AttributeAssertion, IdentityProvider};
 pub use net::{NetPublisher, NetSubscriber};
+pub use publisher::Registrar;
 pub use publisher::{Publisher, PublisherConfig};
 pub use service::{
     ConditionsSnapshot, IssueVerifier, IssuerService, PublisherService, ServiceStats,
+    SharedPublisherService,
 };
 pub use session::{PendingRegistration, RegistrationSession};
 pub use subscriber::Subscriber;

@@ -13,36 +13,38 @@
 //!   even type — this traffic.
 
 use crate::error::PbcdError;
-use crate::proto;
 use crate::publisher::Publisher;
-use crate::service::{ConditionsSnapshot, PublisherService, ServiceStats};
+use crate::service::{PublisherService, ServiceStats, SharedPublisherService};
 use crate::session;
 use crate::subscriber::Subscriber;
 use pbcd_docs::{BroadcastContainer, Element};
 use pbcd_gkm::{AcvBgkm, BroadcastGkm};
-use pbcd_group::CyclicGroup;
+use pbcd_group::{CyclicGroup, SigningKey};
 use pbcd_net::direct::RegistrationServer;
 use pbcd_net::{BrokerClient, ConfigSummary, NetError, PeerRole, PublishReceipt};
 use pbcd_policy::{AttributeCondition, PolicySet};
 use rand::RngCore;
 use std::net::{SocketAddr, ToSocketAddrs};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// A [`Publisher`] deployed on the network: broadcasts go to a broker,
-/// and (optionally) a direct registration endpoint serves the oblivious
-/// CSS flow on a separate socket.
+/// A [`Publisher`] deployed on the network: broadcasts go to a broker
+/// (optionally Schnorr-signed, for brokers that require publisher
+/// authentication), and (optionally) a direct registration endpoint
+/// serves the oblivious CSS flow on a separate socket.
 ///
-/// The publisher lives inside a shared [`PublisherService`] so the
-/// registration server thread and the broadcasting caller can both reach
-/// it; access it through [`Self::with_publisher`]/[`Self::with_publisher_mut`].
+/// The publisher lives inside a [`SharedPublisherService`] so the
+/// registration server's **concurrent** connection handlers and the
+/// broadcasting caller can all reach it; access it through
+/// [`Self::with_publisher`]/[`Self::with_publisher_mut`].
 pub struct NetPublisher<G: CyclicGroup, K: BroadcastGkm = AcvBgkm> {
-    service: Arc<Mutex<PublisherService<G, K>>>,
+    shared: Arc<SharedPublisherService<G, K>>,
+    group: G,
     client: BrokerClient,
     registration: Option<RegistrationServer>,
-    /// Pre-encoded full-conditions response served without the service
-    /// mutex; invalidated by [`Self::with_publisher_mut`].
-    conditions: Arc<ConditionsSnapshot>,
+    /// When set, broadcasts go out as signed publishes under this
+    /// `(key_id, signing key)` pair.
+    signing: Option<(String, SigningKey<G>)>,
 }
 
 impl<G: CyclicGroup, K: BroadcastGkm> NetPublisher<G, K> {
@@ -58,28 +60,39 @@ impl<G: CyclicGroup, K: BroadcastGkm> NetPublisher<G, K> {
         service: PublisherService<G, K>,
         addr: impl ToSocketAddrs,
     ) -> Result<Self, NetError> {
+        let group = service.publisher().ocbe().group().clone();
         let client = BrokerClient::connect(addr, PeerRole::Publisher)?;
         Ok(Self {
-            service: Arc::new(Mutex::new(service)),
+            shared: Arc::new(SharedPublisherService::new(service)),
+            group,
             client,
             registration: None,
-            conditions: Arc::new(ConditionsSnapshot::new()),
+            signing: None,
         })
     }
 
+    /// Enables authenticated publishing: every subsequent
+    /// [`Self::broadcast`] ships a `PublishSigned` frame signed with `key`
+    /// and claiming `key_id` — required against a broker configured with a
+    /// [`pbcd_net::PublisherDirectory`]. Returns `self` for chaining.
+    pub fn with_signing_key(mut self, key_id: impl Into<String>, key: SigningKey<G>) -> Self {
+        self.signing = Some((key_id.into(), key));
+        self
+    }
+
     /// Opens the direct registration endpoint on `addr` (use port 0 for an
-    /// ephemeral port), reseeding the service RNG with `seed` first.
+    /// ephemeral port), reseeding the service RNGs with `seed` first.
     /// Subscribers point [`NetSubscriber::register_via`] (or
     /// [`crate::session::register_all_via`]) at the returned address.
-    /// The full conditions query (`attribute: None`) is read-mostly and
-    /// carries no per-subscriber state, so it is answered from a
-    /// pre-encoded [`ConditionsSnapshot`] **without taking the service
-    /// mutex** — heavy conditions traffic no longer serializes behind
-    /// in-flight registrations. The snapshot is populated here and after
-    /// any cache miss, and invalidated by [`Self::with_publisher_mut`]
-    /// (the mutation gateway for policy changes). Snapshot-served
-    /// requests are counted by [`Self::conditions_cache_hits`], not
-    /// [`Self::service_stats`].
+    ///
+    /// The endpoint runs **concurrently**: connection handlers call
+    /// [`SharedPublisherService::handle`] in parallel, so the full
+    /// conditions query is served from a lock-free snapshot and
+    /// registrations run against the `Arc`-shared registrar + sharded CSS
+    /// table — no request class serializes on a single service mutex.
+    /// Snapshot-served conditions queries are counted in
+    /// [`ServiceStats::conditions_cache_hits`] (also exposed by
+    /// [`Self::conditions_cache_hits`]), not in `requests`.
     pub fn serve_registration(
         &mut self,
         addr: impl ToSocketAddrs,
@@ -88,36 +101,10 @@ impl<G: CyclicGroup, K: BroadcastGkm> NetPublisher<G, K> {
     where
         K: 'static,
     {
-        {
-            let mut service = self.service.lock().expect("publisher service poisoned");
-            service.reseed(seed);
-            if let Some(bytes) = service.encode_conditions() {
-                self.conditions.set(bytes);
-            }
-        }
-        let service = Arc::clone(&self.service);
-        let snapshot = Arc::clone(&self.conditions);
-        let server = RegistrationServer::bind(addr, move |request: &[u8]| {
-            if proto::is_full_conditions_query(request) {
-                if let Some(bytes) = snapshot.get() {
-                    return bytes.as_ref().clone();
-                }
-                // Miss: compute *and repopulate* under the service lock, so
-                // a concurrent `with_publisher_mut` (which invalidates
-                // while holding the same lock) cannot interleave between
-                // the two and leave stale pre-mutation bytes installed.
-                let mut svc = service.lock().expect("publisher service poisoned");
-                let response = svc.handle(request);
-                if !proto::is_error_response(&response) {
-                    snapshot.set(response.clone());
-                }
-                drop(svc);
-                return response;
-            }
-            service
-                .lock()
-                .expect("publisher service poisoned")
-                .handle(request)
+        self.shared.reseed(seed);
+        let shared = Arc::clone(&self.shared);
+        let server = RegistrationServer::bind_concurrent(addr, move |request: &[u8]| {
+            shared.handle(request)
         })?;
         let bound = server.addr();
         self.registration = Some(server);
@@ -132,34 +119,24 @@ impl<G: CyclicGroup, K: BroadcastGkm> NetPublisher<G, K> {
     /// Runs `f` against the wrapped publisher (policy inspection, table
     /// audits).
     pub fn with_publisher<T>(&self, f: impl FnOnce(&Publisher<G, K>) -> T) -> T {
-        f(self
-            .service
-            .lock()
-            .expect("publisher service poisoned")
-            .publisher())
+        self.shared.with_publisher(f)
     }
 
     /// Runs `f` against the wrapped publisher mutably (revocation and
     /// other publisher-local actions). Invalidates the pre-encoded
-    /// conditions snapshot — an arbitrary mutation may change what the
-    /// conditions endpoint should answer; the next query repopulates it.
-    /// The invalidation happens while the service lock is still held, so
-    /// it serializes with the miss-path repopulation (which sets the
-    /// snapshot under the same lock) — no interleaving can re-install
-    /// pre-mutation bytes.
+    /// conditions snapshot and the registration-material snapshot — an
+    /// arbitrary mutation may change what either should serve; both
+    /// repopulate lazily, serialized against the service lock so stale
+    /// material can never be re-installed.
     pub fn with_publisher_mut<T>(&self, f: impl FnOnce(&mut Publisher<G, K>) -> T) -> T {
-        let mut service = self.service.lock().expect("publisher service poisoned");
-        let out = f(service.publisher_mut());
-        self.conditions.invalidate();
-        drop(service);
-        out
+        self.shared.with_publisher_mut(f)
     }
 
     /// How many full-conditions queries the registration endpoint served
-    /// straight from the snapshot (without the service mutex). These do
-    /// **not** appear in [`Self::service_stats`].
+    /// straight from the snapshot (without the service mutex). Also
+    /// reported as [`ServiceStats::conditions_cache_hits`].
     pub fn conditions_cache_hits(&self) -> u64 {
-        self.conditions.hits()
+        self.shared.conditions_cache_hits()
     }
 
     /// A clone of the public policy set.
@@ -178,30 +155,36 @@ impl<G: CyclicGroup, K: BroadcastGkm> NetPublisher<G, K> {
         self.with_publisher_mut(|p| p.revoke_credential(nym, cond))
     }
 
-    /// Registration-service traffic counters.
+    /// Registration-service traffic counters (both service paths plus the
+    /// conditions-snapshot hit count).
     pub fn service_stats(&self) -> ServiceStats {
-        self.service
-            .lock()
-            .expect("publisher service poisoned")
-            .stats()
+        self.shared.stats()
     }
 
     /// Segments, rekeys and encrypts `doc` exactly like
-    /// [`Publisher::broadcast`], then ships the container to the broker.
-    /// Returns the broker's receipt (epoch + fan-out count).
+    /// [`Publisher::broadcast`], then ships the container to the broker —
+    /// signed, when a key was installed via [`Self::with_signing_key`].
+    /// Returns the broker's receipt (epoch + fan-out count); a typed
+    /// broker refusal (unknown key, bad signature, stale epoch, retention
+    /// cap) surfaces as [`PbcdError::PublishRejected`] with the broker
+    /// connection still usable.
     pub fn broadcast<R: RngCore + ?Sized>(
         &mut self,
         doc: &Element,
         doc_name: &str,
         rng: &mut R,
-    ) -> Result<PublishReceipt, NetError> {
+    ) -> Result<PublishReceipt, PbcdError> {
         let container = self
-            .service
-            .lock()
-            .expect("publisher service poisoned")
-            .publisher_mut()
-            .broadcast(doc, doc_name, rng);
-        self.client.publish(&container)
+            .shared
+            .with_publisher_broadcast(|p| p.broadcast(doc, doc_name, rng));
+        let receipt = match &self.signing {
+            Some((key_id, key)) => {
+                self.client
+                    .publish_signed(&self.group, key_id, key, &container, rng)
+            }
+            None => self.client.publish(&container),
+        };
+        receipt.map_err(PbcdError::from)
     }
 
     /// What the broker currently retains.
@@ -216,11 +199,9 @@ impl<G: CyclicGroup, K: BroadcastGkm> NetPublisher<G, K> {
             server.shutdown();
         }
         self.client.bye()?;
-        let service = Arc::try_unwrap(self.service)
-            .map_err(|_| NetError::protocol("registration handler still alive after shutdown"))?
-            .into_inner()
-            .expect("publisher service poisoned");
-        Ok(service.into_inner())
+        let shared = Arc::try_unwrap(self.shared)
+            .map_err(|_| NetError::protocol("registration handler still alive after shutdown"))?;
+        Ok(shared.into_service().into_inner())
     }
 }
 

@@ -11,12 +11,13 @@ use crate::error::PbcdError;
 use crate::token::IdentityToken;
 use pbcd_crypto::AuthKey;
 use pbcd_docs::{segment, BroadcastContainer, Element, EncryptedGroup, EncryptedSegment};
-use pbcd_gkm::{AccessRow, AcvBgkm, BroadcastGkm, CssTable, Nym};
+use pbcd_gkm::{AccessRow, AcvBgkm, BroadcastGkm, CssTable, Nym, ShardedCssTable};
 use pbcd_group::{CyclicGroup, VerifyingKey};
 use pbcd_ocbe::{Envelope, OcbeSystem, ProofMessage};
 use pbcd_policy::{AttributeCondition, PolicyConfiguration, PolicySet};
 use rand::{RngCore, SeedableRng};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Publisher configuration knobs.
 #[derive(Clone, Debug)]
@@ -48,7 +49,10 @@ pub struct Publisher<G: CyclicGroup, K: BroadcastGkm = AcvBgkm> {
     ocbe: OcbeSystem<G>,
     idmgr_key: VerifyingKey<G>,
     policies: PolicySet,
-    table: CssTable,
+    /// The CSS table `T`, sharded and shared: registration handlers hold
+    /// their own [`Arc`] (via [`Publisher::registrar`]) and issue CSSs
+    /// concurrently without going through the publisher at all.
+    table: Arc<ShardedCssTable>,
     gkm: K,
     epoch: u64,
     config: PublisherConfig,
@@ -84,7 +88,7 @@ impl<G: CyclicGroup, K: BroadcastGkm> Publisher<G, K> {
             ocbe: OcbeSystem::new(group, config.ell),
             idmgr_key,
             policies,
-            table: CssTable::new(config.kappa_bits),
+            table: Arc::new(ShardedCssTable::new(config.kappa_bits)),
             gkm,
             epoch: 0,
             config,
@@ -95,6 +99,15 @@ impl<G: CyclicGroup, K: BroadcastGkm> Publisher<G, K> {
     /// subscriber attributes are).
     pub fn policies(&self) -> &PolicySet {
         &self.policies
+    }
+
+    /// Mutable access to the policy set (dynamic policy updates). Changes
+    /// take effect on the next broadcast; layers that cache
+    /// policy-derived material (the conditions snapshot, the concurrent
+    /// registrar) invalidate it through their `with_publisher_mut`
+    /// gateways, which is the only route network deployments expose.
+    pub fn policies_mut(&mut self) -> &mut PolicySet {
+        &mut self.policies
     }
 
     /// The OCBE deployment parameters (shared with subscribers).
@@ -112,9 +125,34 @@ impl<G: CyclicGroup, K: BroadcastGkm> Publisher<G, K> {
         self.epoch
     }
 
-    /// The CSS table (exposed for audits and the Table-I example).
-    pub fn css_table(&self) -> &CssTable {
+    /// A point-in-time copy of the CSS table (exposed for audits and the
+    /// Table-I example). The live table is sharded and shared — see
+    /// [`Self::shared_css_table`].
+    pub fn css_table(&self) -> CssTable {
+        self.table.snapshot()
+    }
+
+    /// The live, sharded CSS table. Registration handlers write to it
+    /// through their own [`Arc`]; broadcast reads it shard by shard.
+    pub fn shared_css_table(&self) -> &Arc<ShardedCssTable> {
         &self.table
+    }
+
+    /// A read-mostly handle carrying everything registration needs — the
+    /// OCBE system, the IdMgr verification key, the current condition set
+    /// and an [`Arc`] of the CSS table — detached from the publisher, so
+    /// any number of handler threads can serve [`Registrar::register`]
+    /// concurrently while the publisher broadcasts. The condition snapshot
+    /// goes stale on policy mutation: rebuild the registrar whenever the
+    /// publisher is mutated (the same discipline as the conditions-response
+    /// snapshot in [`crate::service`]).
+    pub fn registrar(&self) -> Registrar<G> {
+        Registrar {
+            ocbe: self.ocbe.clone(),
+            idmgr_key: self.idmgr_key.clone(),
+            conditions: self.policies.distinct_conditions(),
+            table: Arc::clone(&self.table),
+        }
     }
 
     /// The distinct conditions that mention `attribute` — what a subscriber
@@ -134,28 +172,16 @@ impl<G: CyclicGroup, K: BroadcastGkm> Publisher<G, K> {
         proof: &ProofMessage<G>,
         rng: &mut R,
     ) -> Result<Envelope<G>, PbcdError> {
-        token.verify(self.ocbe.pedersen(), &self.idmgr_key)?;
-        if token.id_tag != cond.attribute {
-            return Err(PbcdError::TagMismatch {
-                token_tag: token.id_tag.clone(),
-                condition_attribute: cond.attribute.clone(),
-            });
-        }
-        if !self
-            .policies
-            .distinct_conditions()
-            .iter()
-            .any(|c| c == cond)
-        {
-            return Err(PbcdError::UnknownCondition);
-        }
-        // Fresh CSS, recorded unconditionally: `T` over-approximates — only
-        // qualified subscribers can actually open the envelope.
-        let css = self.table.issue(&Nym::new(&token.nym), cond, rng);
-        let envelope =
-            self.ocbe
-                .sender_compose(&token.commitment, &cond.predicate(), proof, &css, rng)?;
-        Ok(envelope)
+        register_inner(
+            &self.ocbe,
+            &self.idmgr_key,
+            &self.policies.distinct_conditions(),
+            &self.table,
+            token,
+            cond,
+            proof,
+            rng,
+        )
     }
 
     /// Credential revocation: deletes one `(nym, cond)` record. The next
@@ -164,6 +190,10 @@ impl<G: CyclicGroup, K: BroadcastGkm> Publisher<G, K> {
     pub fn revoke_credential(&mut self, nym: &str, cond: &AttributeCondition) -> bool {
         self.table.remove_credential(&Nym::new(nym), cond)
     }
+
+    // (revocations keep `&mut self` although the sharded table would allow
+    // `&self`: mutating publisher state through a shared reference would
+    // silently bypass the snapshot-invalidation gateways built on top.)
 
     /// Subscription revocation: deletes a subscriber's whole row.
     pub fn revoke_subscriber(&mut self, nym: &str) -> bool {
@@ -179,10 +209,12 @@ impl<G: CyclicGroup, K: BroadcastGkm> Publisher<G, K> {
                 continue;
             };
             for nym in self.table.nyms_with_all(&acp.conditions) {
-                let css_concat = self
-                    .table
-                    .css_concat(nym, &acp.conditions)
-                    .expect("nyms_with_all guarantees coverage");
+                // A concurrent credential revocation between the two shard
+                // reads can legitimately remove coverage; skip the row —
+                // the next broadcast (a full rekey) settles it either way.
+                let Some(css_concat) = self.table.css_concat(&nym, &acp.conditions) else {
+                    continue;
+                };
                 rows.push(AccessRow {
                     nym: nym.as_str().to_string(),
                     css_concat,
@@ -313,4 +345,80 @@ impl<G: CyclicGroup, K: BroadcastGkm> Publisher<G, K> {
             .map(|g| g.expect("every job completed"))
             .collect()
     }
+}
+
+/// The registration half of a [`Publisher`], detached for concurrency:
+/// token verification, condition lookup and OCBE envelope composition are
+/// read-only against materials captured at build time, and CSS issuance
+/// goes through the shared sharded table — so `register` takes `&self`
+/// and any number of threads can serve registrations at once, each
+/// contending only for its subscriber's table shard.
+///
+/// Obtain via [`Publisher::registrar`]; rebuild after any publisher
+/// mutation (the captured condition list is a snapshot).
+pub struct Registrar<G: CyclicGroup> {
+    pub(crate) ocbe: OcbeSystem<G>,
+    pub(crate) idmgr_key: VerifyingKey<G>,
+    pub(crate) conditions: Vec<AttributeCondition>,
+    pub(crate) table: Arc<ShardedCssTable>,
+}
+
+impl<G: CyclicGroup> Registrar<G> {
+    /// The OCBE deployment parameters (for decoding requests and encoding
+    /// responses).
+    pub fn ocbe(&self) -> &OcbeSystem<G> {
+        &self.ocbe
+    }
+
+    /// Registration, identical in behaviour to [`Publisher::register`] but
+    /// callable from concurrent handler threads.
+    pub fn register<R: RngCore + ?Sized>(
+        &self,
+        token: &IdentityToken<G>,
+        cond: &AttributeCondition,
+        proof: &ProofMessage<G>,
+        rng: &mut R,
+    ) -> Result<Envelope<G>, PbcdError> {
+        register_inner(
+            &self.ocbe,
+            &self.idmgr_key,
+            &self.conditions,
+            &self.table,
+            token,
+            cond,
+            proof,
+            rng,
+        )
+    }
+}
+
+/// The single source of truth for registration (paper §V-B), shared by
+/// the exclusive [`Publisher::register`] and the concurrent
+/// [`Registrar::register`].
+#[allow(clippy::too_many_arguments)]
+fn register_inner<G: CyclicGroup, R: RngCore + ?Sized>(
+    ocbe: &OcbeSystem<G>,
+    idmgr_key: &VerifyingKey<G>,
+    conditions: &[AttributeCondition],
+    table: &ShardedCssTable,
+    token: &IdentityToken<G>,
+    cond: &AttributeCondition,
+    proof: &ProofMessage<G>,
+    rng: &mut R,
+) -> Result<Envelope<G>, PbcdError> {
+    token.verify(ocbe.pedersen(), idmgr_key)?;
+    if token.id_tag != cond.attribute {
+        return Err(PbcdError::TagMismatch {
+            token_tag: token.id_tag.clone(),
+            condition_attribute: cond.attribute.clone(),
+        });
+    }
+    if !conditions.iter().any(|c| c == cond) {
+        return Err(PbcdError::UnknownCondition);
+    }
+    // Fresh CSS, recorded unconditionally: `T` over-approximates — only
+    // qualified subscribers can actually open the envelope.
+    let css = table.issue(&Nym::new(&token.nym), cond, rng);
+    let envelope = ocbe.sender_compose(&token.commitment, &cond.predicate(), proof, &css, rng)?;
+    Ok(envelope)
 }

@@ -18,23 +18,30 @@ use crate::proto::{
     self, ConditionsInfo, ErrorCode, ErrorResponse, IssueResponse, RegisterResponse, Request,
     Response,
 };
-use crate::publisher::Publisher;
+use crate::publisher::{Publisher, Registrar};
 use pbcd_gkm::{AcvBgkm, BroadcastGkm};
 use pbcd_group::CyclicGroup;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Running counters a service keeps about its traffic.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceStats {
-    /// Requests handled (including rejected ones).
+    /// Requests handled (including rejected ones). Does **not** include
+    /// snapshot-served conditions queries — see
+    /// [`Self::conditions_cache_hits`].
     pub requests: u64,
     /// Registrations that produced an envelope.
     pub registrations: u64,
     /// Requests answered with a typed error response.
     pub errors: u64,
+    /// Full conditions queries answered from the pre-encoded snapshot,
+    /// i.e. without touching the service at all. Always 0 for a bare
+    /// [`PublisherService`] (which has no snapshot); populated by
+    /// [`SharedPublisherService::stats`].
+    pub conditions_cache_hits: u64,
 }
 
 /// Longest error-detail string shipped back to a peer; truncation keeps
@@ -84,7 +91,7 @@ pub fn dispatch<G: CyclicGroup, K: BroadcastGkm, R: RngCore + ?Sized>(
     let resp = match req {
         Request::ConditionsQuery { attribute } => Response::Conditions(ConditionsInfo {
             ell: publisher.ocbe().ell(),
-            kappa_bits: publisher.css_table().kappa_bits(),
+            kappa_bits: publisher.shared_css_table().kappa_bits(),
             conditions: match attribute {
                 Some(a) => publisher.conditions_for_attribute(&a),
                 None => publisher.policies().distinct_conditions(),
@@ -148,7 +155,7 @@ impl<G: CyclicGroup, K: BroadcastGkm> PublisherService<G, K> {
         let group = self.publisher.ocbe().group().clone();
         Response::<G>::Conditions(ConditionsInfo {
             ell: self.publisher.ocbe().ell(),
-            kappa_bits: self.publisher.css_table().kappa_bits(),
+            kappa_bits: self.publisher.shared_css_table().kappa_bits(),
             conditions: self.publisher.policies().distinct_conditions(),
         })
         .encode(&group)
@@ -241,6 +248,243 @@ impl ConditionsSnapshot {
     /// service mutex).
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
+    }
+}
+
+/// The publisher service sharded for concurrency: a total
+/// `handle(bytes) -> bytes` that any number of connection threads may call
+/// **simultaneously** (`&self`), routing each request class to the
+/// cheapest synchronization that serves it:
+///
+/// * **Full conditions query** → the pre-encoded [`ConditionsSnapshot`],
+///   no lock at all (PR 4's fast path, now folded in here);
+/// * **Registration** → an `Arc`-shared read-mostly [`Registrar`] (OCBE
+///   parameters, IdMgr key, condition list) plus the sharded CSS table —
+///   concurrent registrations contend only on their subscriber's table
+///   shard and a momentary RNG reseed;
+/// * **everything else** (filtered conditions queries, unsupported kinds,
+///   malformed bytes) → the exclusive inner [`PublisherService`] mutex,
+///   which also remains the gateway for every publisher mutation.
+///
+/// Snapshot discipline: [`Self::with_publisher_mut`] invalidates both the
+/// conditions snapshot and the registrar while holding the inner lock;
+/// rebuild-on-miss also runs under that lock, so stale material can never
+/// be re-installed after a mutation.
+pub struct SharedPublisherService<G: CyclicGroup, K: BroadcastGkm = AcvBgkm> {
+    inner: Mutex<PublisherService<G, K>>,
+    /// Read-mostly registration material; `None` = stale, rebuild on use.
+    registrar: RwLock<Option<Arc<Registrar<G>>>>,
+    conditions: ConditionsSnapshot,
+    /// Seed source for per-request RNGs: held only long enough to draw 8
+    /// bytes, never across an envelope composition.
+    rng: Mutex<StdRng>,
+    requests: AtomicU64,
+    registrations: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl<G: CyclicGroup, K: BroadcastGkm> SharedPublisherService<G, K> {
+    /// Wraps an exclusive service for concurrent serving. The
+    /// concurrent-path seed source is drawn from the wrapped service's own
+    /// RNG, so the caller-chosen service seed governs every CSS the
+    /// concurrent path issues too — never a hardcoded constant.
+    pub fn new(mut service: PublisherService<G, K>) -> Self {
+        let seed = service.rng.next_u64();
+        Self {
+            inner: Mutex::new(service),
+            registrar: RwLock::new(None),
+            conditions: ConditionsSnapshot::new(),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            requests: AtomicU64::new(0),
+            registrations: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Reseeds both the inner service RNG and the concurrent-path seed
+    /// source, and eagerly (re)builds the conditions snapshot and the
+    /// registrar so the first requests already take the fast paths.
+    pub fn reseed(&self, seed: u64) {
+        let mut service = self.lock_inner();
+        service.reseed(seed);
+        *self
+            .rng
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) =
+            StdRng::seed_from_u64(seed.wrapping_add(1));
+        if let Some(bytes) = service.encode_conditions() {
+            self.conditions.set(bytes);
+        }
+        *self
+            .registrar
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) =
+            Some(Arc::new(service.publisher().registrar()));
+    }
+
+    fn lock_inner(&self) -> std::sync::MutexGuard<'_, PublisherService<G, K>> {
+        self.inner.lock().expect("publisher service poisoned")
+    }
+
+    /// Handles one request; total, never panics on hostile bytes, and safe
+    /// to call from any number of threads at once.
+    pub fn handle(&self, request: &[u8]) -> Vec<u8> {
+        // Fast path 1: the full conditions query, served lock-free from
+        // the snapshot (counted in `conditions_cache_hits`, not
+        // `requests` — it never touches the service).
+        if proto::is_full_conditions_query(request) {
+            if let Some(bytes) = self.conditions.get() {
+                return bytes.as_ref().clone();
+            }
+            // Miss: compute *and repopulate* under the service lock, so a
+            // concurrent `with_publisher_mut` (which invalidates while
+            // holding the same lock) cannot interleave between the two and
+            // leave stale pre-mutation bytes installed.
+            let mut service = self.lock_inner();
+            let response = service.handle(request);
+            if !proto::is_error_response(&response) {
+                self.conditions.set(response.clone());
+            }
+            return response;
+        }
+        // Fast path 2: registration through the shared registrar — the
+        // stateful hot path, no service mutex.
+        if proto::is_register_request(request) {
+            let registrar = self.registrar_handle();
+            let seed = self
+                .rng
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .next_u64();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let response = dispatch_register(&registrar, request, &mut rng);
+            self.requests.fetch_add(1, Ordering::Relaxed);
+            if proto::is_error_response(&response) {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.registrations.fetch_add(1, Ordering::Relaxed);
+            }
+            return response;
+        }
+        // Everything else (filtered conditions queries, unsupported kinds,
+        // garbage): the exclusive path, which counts its own stats.
+        self.lock_inner().handle(request)
+    }
+
+    /// The current registrar, rebuilt under the service lock on staleness.
+    fn registrar_handle(&self) -> Arc<Registrar<G>> {
+        if let Some(r) = self
+            .registrar
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_ref()
+        {
+            return Arc::clone(r);
+        }
+        // Lock order everywhere: inner service, then registrar slot — the
+        // same order `with_publisher_mut` takes for invalidation, so a
+        // mutation either completes before the rebuild (we capture fresh
+        // material) or waits for it (and invalidates what we installed).
+        let service = self.lock_inner();
+        let mut slot = self
+            .registrar
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(r) = slot.as_ref() {
+            return Arc::clone(r);
+        }
+        let rebuilt = Arc::new(service.publisher().registrar());
+        *slot = Some(Arc::clone(&rebuilt));
+        rebuilt
+    }
+
+    /// Runs `f` against the wrapped publisher (policy inspection, audits).
+    pub fn with_publisher<T>(&self, f: impl FnOnce(&Publisher<G, K>) -> T) -> T {
+        f(self.lock_inner().publisher())
+    }
+
+    /// Runs `f` against the wrapped publisher mutably (revocation, policy
+    /// edits). Invalidates the conditions snapshot **and** the registrar
+    /// while the service lock is held — an arbitrary mutation may change
+    /// the policy/OCBE material both depend on; each rebuilds lazily.
+    pub fn with_publisher_mut<T>(&self, f: impl FnOnce(&mut Publisher<G, K>) -> T) -> T {
+        let mut service = self.lock_inner();
+        let out = f(service.publisher_mut());
+        self.conditions.invalidate();
+        *self
+            .registrar
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+        drop(service);
+        out
+    }
+
+    /// Exclusive publisher access *without* snapshot/registrar
+    /// invalidation — solely for broadcast, which bumps the epoch and
+    /// rekeys but cannot change the conditions or registration material.
+    pub(crate) fn with_publisher_broadcast<T>(
+        &self,
+        f: impl FnOnce(&mut Publisher<G, K>) -> T,
+    ) -> T {
+        let mut service = self.lock_inner();
+        f(service.publisher_mut())
+    }
+
+    /// Aggregated traffic counters: the exclusive path's own stats plus
+    /// the concurrent registration path and the snapshot hit count.
+    pub fn stats(&self) -> ServiceStats {
+        let inner = self.lock_inner().stats();
+        ServiceStats {
+            requests: inner.requests + self.requests.load(Ordering::Relaxed),
+            registrations: inner.registrations + self.registrations.load(Ordering::Relaxed),
+            errors: inner.errors + self.errors.load(Ordering::Relaxed),
+            conditions_cache_hits: self.conditions.hits(),
+        }
+    }
+
+    /// Full conditions queries served straight from the snapshot.
+    pub fn conditions_cache_hits(&self) -> u64 {
+        self.conditions.hits()
+    }
+
+    /// Unwraps the exclusive service (fails if handler threads still hold
+    /// clones of the `Arc` this is typically wrapped in — callers go
+    /// through `Arc::try_unwrap` first).
+    pub fn into_service(self) -> PublisherService<G, K> {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// The concurrent registration dispatcher: decode, register through the
+/// shared [`Registrar`], encode — with exactly [`dispatch`]'s error
+/// surface, so the wire behaviour is independent of which path served a
+/// request.
+fn dispatch_register<G: CyclicGroup, R: RngCore + ?Sized>(
+    registrar: &Registrar<G>,
+    request: &[u8],
+    rng: &mut R,
+) -> Vec<u8> {
+    let group = registrar.ocbe().group().clone();
+    let req = match Request::decode(&group, request) {
+        Ok(r) => r,
+        Err(e) => return error_bytes(&group, ErrorCode::Malformed, &e.to_string()),
+    };
+    let Request::Register(r) = req else {
+        // Unreachable behind `is_register_request`, but keep the function
+        // total on its own terms.
+        return error_bytes(
+            &group,
+            ErrorCode::Unsupported,
+            "concurrent path serves registrations only",
+        );
+    };
+    match registrar.register(&r.token, &r.cond, &r.proof, rng) {
+        Ok(envelope) => Response::Register(RegisterResponse { envelope })
+            .encode(&group)
+            .unwrap_or_else(|e| error_bytes(&group, ErrorCode::Internal, &e.to_string())),
+        Err(e) => error_bytes(&group, code_for(&e), &e.to_string()),
     }
 }
 

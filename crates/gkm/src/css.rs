@@ -10,6 +10,8 @@
 use pbcd_policy::AttributeCondition;
 use rand::RngCore;
 use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::RwLock;
 
 /// A subscriber pseudonym (`nym`).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -164,6 +166,177 @@ impl CssTable {
     }
 }
 
+/// Default shard count for [`ShardedCssTable`] — enough to keep 8–16
+/// registration threads from contending, small enough that whole-table
+/// scans (broadcast) stay cheap.
+pub const DEFAULT_CSS_SHARDS: usize = 16;
+
+/// A concurrency-friendly CSS table: the same `(nym, cond) → CSS` map as
+/// [`CssTable`], split into N independently locked shards keyed by a hash
+/// of the pseudonym. Every per-subscriber operation (issue, lookup,
+/// revocation) touches exactly one shard, so concurrent registrations for
+/// different subscribers proceed in parallel; whole-table queries
+/// (`nyms_with_all`, the broadcast-time `U_k` scan) walk the shards one at
+/// a time and re-sort, preserving [`CssTable`]'s deterministic pseudonym
+/// order.
+///
+/// All methods take `&self` — the table is designed to sit behind an
+/// `Arc` shared between a publisher (broadcast-time reads, revocations)
+/// and any number of registration handlers (issues).
+#[derive(Debug)]
+pub struct ShardedCssTable {
+    kappa_bits: u32,
+    shards: Box<[RwLock<CssTable>]>,
+}
+
+impl ShardedCssTable {
+    /// Creates an empty table issuing κ-bit secrets over
+    /// [`DEFAULT_CSS_SHARDS`] shards (κ must be a positive multiple of 8).
+    pub fn new(kappa_bits: u32) -> Self {
+        Self::with_shards(kappa_bits, DEFAULT_CSS_SHARDS)
+    }
+
+    /// Creates an empty table with an explicit shard count (≥ 1).
+    pub fn with_shards(kappa_bits: u32, shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard");
+        Self {
+            kappa_bits,
+            shards: (0..shards)
+                .map(|_| RwLock::new(CssTable::new(kappa_bits)))
+                .collect(),
+        }
+    }
+
+    fn shard_for(&self, nym: &Nym) -> &RwLock<CssTable> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        nym.0.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// The CSS bit width κ.
+    pub fn kappa_bits(&self) -> u32 {
+        self.kappa_bits
+    }
+
+    /// The number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Issues (or re-issues, overriding) a CSS for `(nym, cond)`, locking
+    /// only the pseudonym's shard.
+    pub fn issue<R: RngCore + ?Sized>(
+        &self,
+        nym: &Nym,
+        cond: &AttributeCondition,
+        rng: &mut R,
+    ) -> Css {
+        // Draw the randomness *outside* the lock so a slow RNG never
+        // extends the critical section.
+        let mut css = vec![0u8; (self.kappa_bits / 8) as usize];
+        rng.fill_bytes(&mut css);
+        let mut shard = self
+            .shard_for(nym)
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        shard
+            .rows
+            .entry(nym.clone())
+            .or_default()
+            .insert(cond.clone(), css.clone());
+        css
+    }
+
+    /// Looks up the CSS for `(nym, cond)` (a copy — the record stays
+    /// behind its shard lock).
+    pub fn get(&self, nym: &Nym, cond: &AttributeCondition) -> Option<Css> {
+        self.shard_for(nym)
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(nym, cond)
+            .cloned()
+    }
+
+    /// Credential revocation: removes one `(nym, cond)` record.
+    pub fn remove_credential(&self, nym: &Nym, cond: &AttributeCondition) -> bool {
+        self.shard_for(nym)
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove_credential(nym, cond)
+    }
+
+    /// Subscription revocation: removes the whole `nym` row.
+    pub fn remove_subscriber(&self, nym: &Nym) -> bool {
+        self.shard_for(nym)
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove_subscriber(nym)
+    }
+
+    /// Number of subscribers with records.
+    pub fn subscriber_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .subscriber_count()
+            })
+            .sum()
+    }
+
+    /// Total number of CSS records.
+    pub fn record_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .record_count()
+            })
+            .sum()
+    }
+
+    /// The paper's `U_k` query across all shards, re-sorted so the result
+    /// order matches the unsharded [`CssTable::nyms_with_all`].
+    pub fn nyms_with_all(&self, conds: &[AttributeCondition]) -> Vec<Nym> {
+        let mut out: Vec<Nym> = Vec::new();
+        for shard in self.shards.iter() {
+            let guard = shard
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            out.extend(guard.nyms_with_all(conds).into_iter().cloned());
+        }
+        out.sort();
+        out
+    }
+
+    /// Concatenation of a subscriber's CSSs for `conds`, in order — single
+    /// shard. `None` if any record is missing.
+    pub fn css_concat(&self, nym: &Nym, conds: &[AttributeCondition]) -> Option<Vec<u8>> {
+        self.shard_for(nym)
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .css_concat(nym, conds)
+    }
+
+    /// A merged point-in-time copy of the whole table, for audits, the
+    /// Table-I rendering, and every [`CssTable`] read API. Locks the
+    /// shards one at a time; concurrent issues may or may not appear.
+    pub fn snapshot(&self) -> CssTable {
+        let mut merged = CssTable::new(self.kappa_bits);
+        for shard in self.shards.iter() {
+            let guard = shard
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for (nym, row) in &guard.rows {
+                merged.rows.insert(nym.clone(), row.clone());
+            }
+        }
+        merged
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,5 +464,71 @@ mod tests {
     #[should_panic(expected = "multiple of 8")]
     fn kappa_must_be_byte_aligned() {
         CssTable::new(13);
+    }
+
+    #[test]
+    fn sharded_table_matches_unsharded_semantics() {
+        let sharded = ShardedCssTable::with_shards(64, 4);
+        let mut flat = CssTable::new(64);
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let conds = [cond("a", 1), cond("b", 2)];
+        for i in 0..32 {
+            let nym = Nym::new(&format!("pn-{i:04}"));
+            for c in &conds {
+                // Same RNG stream → identical CSS bytes in both tables.
+                let s = sharded.issue(&nym, c, &mut r1);
+                let f = flat.issue(&nym, c, &mut r2);
+                assert_eq!(s, f);
+            }
+        }
+        assert_eq!(sharded.record_count(), flat.record_count());
+        assert_eq!(sharded.subscriber_count(), flat.subscriber_count());
+        // U_k order is the unsharded (sorted) order.
+        let sharded_nyms = sharded.nyms_with_all(&conds);
+        let flat_nyms: Vec<Nym> = flat.nyms_with_all(&conds).into_iter().cloned().collect();
+        assert_eq!(sharded_nyms, flat_nyms);
+        let probe = Nym::new("pn-0007");
+        assert_eq!(
+            sharded.css_concat(&probe, &conds),
+            flat.css_concat(&probe, &conds)
+        );
+        assert_eq!(
+            sharded.get(&probe, &conds[0]).as_ref(),
+            flat.get(&probe, &conds[0])
+        );
+        // Snapshot equals the flat table exactly.
+        let snap = sharded.snapshot();
+        assert_eq!(snap.record_count(), flat.record_count());
+        assert_eq!(
+            snap.css_concat(&probe, &conds),
+            flat.css_concat(&probe, &conds)
+        );
+
+        // Revocations bite in one shard only.
+        assert!(sharded.remove_credential(&probe, &conds[0]));
+        assert!(!sharded.remove_credential(&probe, &conds[0]));
+        assert!(sharded.remove_subscriber(&probe));
+        assert_eq!(sharded.subscriber_count(), 31);
+    }
+
+    #[test]
+    fn sharded_concurrent_issues_land_in_consistent_state() {
+        let table = std::sync::Arc::new(ShardedCssTable::new(64));
+        let c = cond("level", 3);
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let table = std::sync::Arc::clone(&table);
+                let c = c.clone();
+                scope.spawn(move || {
+                    let mut r = rand::rngs::StdRng::seed_from_u64(t);
+                    for i in 0..16 {
+                        table.issue(&Nym::new(&format!("pn-{t}-{i}")), &c, &mut r);
+                    }
+                });
+            }
+        });
+        assert_eq!(table.record_count(), 8 * 16);
+        assert_eq!(table.nyms_with_all(std::slice::from_ref(&c)).len(), 8 * 16);
     }
 }

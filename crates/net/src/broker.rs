@@ -12,7 +12,24 @@
 //! broker trusts nobody: every inbound frame is strictly decoded, a
 //! malformed or protocol-violating connection is dropped in isolation
 //! (never panicking a broker thread), and slow or dead subscribers are
-//! disconnected rather than allowed to wedge fan-out.
+//! disconnected rather than allowed to wedge fan-out. With a
+//! [`BrokerConfig::publisher_auth`] key map configured, retained state can
+//! only be mutated by holders of an authorized Schnorr signing key
+//! (availability against hostile publishers); the broker verifies with
+//! public keys only.
+//!
+//! # Concurrency
+//!
+//! Fan-out is **per-subscriber-queued**: each subscriber connection owns a
+//! dedicated writer thread fed by a bounded queue of reference-counted,
+//! pre-framed `Deliver` bodies. A publish enqueues one `Arc` pointer per
+//! matching subscriber — under the state lock, so delivery order is the
+//! retained-state order — and returns; the publisher's `Ack` latency is
+//! enqueue time, independent of the slowest consumer. A subscriber that
+//! stalls (or trickles bytes) fills only its own queue and is dropped on
+//! overflow or write deadline; nobody else notices. All frames written to
+//! a subscribed connection travel through its queue, so a control reply
+//! can never interleave mid-`Deliver` on the socket.
 //!
 //! # Semantics
 //!
@@ -25,25 +42,29 @@
 //!   OCBE registration flow, exactly as the paper separates the Pub/Sub
 //!   registration phase from dissemination.
 
-use crate::error::NetError;
+use crate::auth::PublishAuth;
+use crate::error::{NetError, RejectReason};
 use crate::frame::{
-    deliver_body, read_frame_body, ConfigSummary, Frame, PeerRole, CONTAINER_OFFSET,
+    deliver_body, publish_auth_message, read_frame_body, signed_container_offset, ConfigSummary,
+    Frame, PeerRole, CONTAINER_OFFSET,
 };
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Broker tuning knobs.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct BrokerConfig {
     /// Replay the retained container to matching new subscribers.
     pub replay_retained: bool,
-    /// Per-subscriber socket write timeout; a consumer stalled past this is
-    /// dropped so one dead peer cannot wedge fan-out for everyone.
+    /// Per-subscriber write deadline applied by that subscriber's writer
+    /// thread; a consumer stalled past this is dropped. Never blocks a
+    /// publisher — publish latency is bounded by enqueue time regardless.
     pub write_timeout: Option<Duration>,
     /// Read timeout applied until a connection produces its first complete
     /// frame; a connect-and-say-nothing peer is dropped after this instead
@@ -60,6 +81,36 @@ pub struct BrokerConfig {
     /// with the document cap this keeps hostile publishers from growing
     /// broker memory without limit.
     pub max_retained_bytes: usize,
+    /// Frames buffered per subscriber between a publish and that
+    /// subscriber's socket. A subscriber whose queue overflows is dropped:
+    /// backpressure converts into disconnection (it can reconnect and
+    /// replay the retained latest), never into publisher latency.
+    pub subscriber_queue: usize,
+    /// Authorized publisher keys. `None` — or an authenticator reporting
+    /// [`PublishAuth::is_required`] `false` (e.g. an empty
+    /// [`crate::auth::PublisherDirectory`]) — is legacy open mode: any
+    /// peer may publish, exactly the pre-authentication behaviour. With
+    /// keys configured, unsigned publishes are refused and signed ones
+    /// must verify and carry a strictly increasing epoch.
+    pub publisher_auth: Option<Arc<dyn PublishAuth>>,
+}
+
+impl core::fmt::Debug for BrokerConfig {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("BrokerConfig")
+            .field("replay_retained", &self.replay_retained)
+            .field("write_timeout", &self.write_timeout)
+            .field("handshake_timeout", &self.handshake_timeout)
+            .field("max_connections", &self.max_connections)
+            .field("max_retained_documents", &self.max_retained_documents)
+            .field("max_retained_bytes", &self.max_retained_bytes)
+            .field("subscriber_queue", &self.subscriber_queue)
+            .field(
+                "publisher_auth",
+                &self.publisher_auth.as_ref().map(|a| a.is_required()),
+            )
+            .finish()
+    }
 }
 
 impl Default for BrokerConfig {
@@ -71,6 +122,8 @@ impl Default for BrokerConfig {
             max_connections: 1024,
             max_retained_documents: 256,
             max_retained_bytes: 256 * 1024 * 1024,
+            subscriber_queue: 64,
+            publisher_auth: None,
         }
     }
 }
@@ -80,17 +133,39 @@ impl Default for BrokerConfig {
 pub struct BrokerStats {
     /// Containers accepted from publishers.
     pub publishes: u64,
-    /// Containers written to subscribers (fan-out plus replays).
+    /// Publishes refused (missing/bad signature, stale epoch, retention
+    /// caps) — the availability counter hostile publishers show up in.
+    pub publishes_rejected: u64,
+    /// Containers written to subscribers (fan-out plus replays). Updated
+    /// by the writer threads as sockets accept the bytes, so it trails
+    /// the publish `Ack` by however long the slowest live consumer takes.
     pub deliveries: u64,
-    /// Subscribers dropped after a failed or timed-out write.
+    /// Subscribers dropped after a queue overflow or a failed/timed-out
+    /// write.
     pub subscribers_dropped: u64,
     /// Connections terminated for malformed or protocol-violating input.
     pub connections_rejected: u64,
+    /// Frames currently sitting in subscriber queues (a gauge, summed over
+    /// live subscribers at the moment of the stats call).
+    pub queue_depth: u64,
 }
 
-/// One registered subscriber: a serialized writer plus its document filter.
+/// One frame queued to a subscriber's writer thread: pre-framed body
+/// bytes, reference-counted so a fan-out of N enqueues N pointers, not N
+/// copies of the container.
+enum Job {
+    /// A `Deliver` body (counted in [`BrokerStats::deliveries`]).
+    Deliver(Arc<Vec<u8>>),
+    /// Any other reply frame owed to a subscribed connection (`Ack`,
+    /// `Configs`, `Bye`, `Error`) — routed through the same queue so it
+    /// cannot interleave with a `Deliver` mid-frame.
+    Control(Arc<Vec<u8>>),
+}
+
+/// One registered subscriber: its queue, depth gauge and document filter.
 struct SubEntry {
-    writer: Arc<Mutex<TcpStream>>,
+    sender: SyncSender<Job>,
+    depth: Arc<AtomicU64>,
     /// Empty set = subscribed to every document.
     documents: Vec<String>,
 }
@@ -99,13 +174,30 @@ impl SubEntry {
     fn matches(&self, document: &str) -> bool {
         self.documents.is_empty() || self.documents.iter().any(|d| d == document)
     }
+
+    /// Non-blocking enqueue; `false` means the queue is full or the writer
+    /// is gone — either way the subscriber is beyond saving.
+    fn enqueue(&self, job: Job) -> bool {
+        // Increment *before* the push: the writer thread may pop the job
+        // and decrement immediately, and the gauge must never underflow.
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        match self.sender.try_send(job) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
 }
 
-/// Mutable broker state behind one lock.
+/// Mutable broker state behind one lock. The lock is held only for map
+/// bookkeeping and queue pushes — never across a socket write.
 #[derive(Default)]
 struct State {
-    /// document name → encoded latest container (shared so replay
-    /// snapshots are pointer clones, not megabyte copies under the lock).
+    /// document name → pre-framed `Deliver` body of the latest container
+    /// (shared so fan-out and replay enqueue pointer clones; the container
+    /// encoding itself starts at [`CONTAINER_OFFSET`]).
     retained: BTreeMap<String, Arc<Vec<u8>>>,
     /// Running total of retained container bytes (enforces the byte cap).
     retained_bytes: usize,
@@ -115,7 +207,7 @@ struct State {
     subscribers: BTreeMap<u64, SubEntry>,
     /// connection id → raw stream of every live connection (for shutdown).
     connections: BTreeMap<u64, TcpStream>,
-    /// Join handles of per-connection threads.
+    /// Join handles of per-connection handler *and* writer threads.
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -125,6 +217,7 @@ struct Shared {
     state: Mutex<State>,
     next_conn_id: AtomicU64,
     publishes: AtomicU64,
+    publishes_rejected: AtomicU64,
     deliveries: AtomicU64,
     subscribers_dropped: AtomicU64,
     connections_rejected: AtomicU64,
@@ -150,6 +243,7 @@ impl Broker {
             state: Mutex::new(State::default()),
             next_conn_id: AtomicU64::new(0),
             publishes: AtomicU64::new(0),
+            publishes_rejected: AtomicU64::new(0),
             deliveries: AtomicU64::new(0),
             subscribers_dropped: AtomicU64::new(0),
             connections_rejected: AtomicU64::new(0),
@@ -181,11 +275,21 @@ impl BrokerHandle {
 
     /// Counter snapshot.
     pub fn stats(&self) -> BrokerStats {
+        let queue_depth = {
+            let state = self.shared.state.lock().expect("broker state");
+            state
+                .subscribers
+                .values()
+                .map(|s| s.depth.load(Ordering::Relaxed))
+                .sum()
+        };
         BrokerStats {
             publishes: self.shared.publishes.load(Ordering::Relaxed),
+            publishes_rejected: self.shared.publishes_rejected.load(Ordering::Relaxed),
             deliveries: self.shared.deliveries.load(Ordering::Relaxed),
             subscribers_dropped: self.shared.subscribers_dropped.load(Ordering::Relaxed),
             connections_rejected: self.shared.connections_rejected.load(Ordering::Relaxed),
+            queue_depth,
         }
     }
 
@@ -209,7 +313,7 @@ impl BrokerHandle {
             .expect("broker state")
             .retained
             .get(document)
-            .map(|bytes| bytes.as_ref().clone())
+            .map(|body| body[CONTAINER_OFFSET..].to_vec())
     }
 
     /// Graceful shutdown: stops accepting, closes every connection, joins
@@ -223,9 +327,11 @@ impl BrokerHandle {
             return;
         };
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Unblock per-connection reads.
+        // Unblock per-connection reads and writer-thread writes, and drop
+        // every queue sender so writers parked in `recv` wake and exit.
         {
-            let state = self.shared.state.lock().expect("broker state");
+            let mut state = self.shared.state.lock().expect("broker state");
+            state.subscribers.clear();
             for stream in state.connections.values() {
                 let _ = stream.shutdown(Shutdown::Both);
             }
@@ -286,7 +392,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         // unclosed and leave its handler thread blocked forever.
         {
             let mut state = shared.state.lock().expect("broker state");
-            // Reap finished connection threads so bookkeeping stays
+            // Reap finished connection/writer threads so bookkeeping stays
             // proportional to *live* connections, not total served.
             let (done, running): (Vec<_>, Vec<_>) = std::mem::take(&mut state.threads)
                 .into_iter()
@@ -308,7 +414,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         let spawned = std::thread::Builder::new()
             .name(format!("pbcd-broker-conn-{id}"))
             .spawn(move || {
-                handle_connection(&conn_shared, id, stream);
+                handle_connection(conn_shared, id, stream);
             });
         let mut state = shared.state.lock().expect("broker state");
         match spawned {
@@ -318,26 +424,89 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             }
         }
     }
-    // Drain connection threads so shutdown is a real join.
-    let threads = {
-        let mut state = shared.state.lock().expect("broker state");
-        std::mem::take(&mut state.threads)
-    };
-    for t in threads {
-        let _ = t.join();
+    // Drain connection and writer threads so shutdown is a real join.
+    loop {
+        let threads = {
+            let mut state = shared.state.lock().expect("broker state");
+            std::mem::take(&mut state.threads)
+        };
+        if threads.is_empty() {
+            break;
+        }
+        // Handler threads may register *writer* threads while we join, so
+        // loop until the set is empty.
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Where a connection's outbound frames go. Every connection starts
+/// `Direct` (the handler thread writes replies itself); the first
+/// `Subscribe` moves the write half into a dedicated writer thread and all
+/// further frames — deliveries and replies alike — travel its queue.
+enum ConnWriter {
+    Direct(TcpStream),
+    Queued(SyncSender<Job>, Arc<AtomicU64>),
+}
+
+impl ConnWriter {
+    /// Sends one reply frame. For queued connections this is a
+    /// non-blocking enqueue; failure drops the subscriber (accounted in
+    /// `subscribers_dropped`, like every other drop path) and the caller
+    /// must terminate the connection.
+    fn reply(&mut self, shared: &Shared, id: u64, frame: &Frame) -> Result<(), NetError> {
+        let body = frame.encode()?;
+        match self {
+            Self::Direct(stream) => {
+                let deadline = shared.config.write_timeout.map(|t| Instant::now() + t);
+                write_body_deadline(stream, &body, deadline)
+            }
+            Self::Queued(sender, depth) => {
+                // Same pre-increment discipline as `SubEntry::enqueue`.
+                depth.fetch_add(1, Ordering::Relaxed);
+                match sender.try_send(Job::Control(Arc::new(body))) {
+                    Ok(()) => Ok(()),
+                    Err(_) => {
+                        depth.fetch_sub(1, Ordering::Relaxed);
+                        drop_subscriber(shared, id);
+                        Err(NetError::protocol("subscriber queue overflow"))
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Removes a subscriber that can no longer be served, counting the drop
+/// exactly once and closing its socket so every thread of the connection
+/// unwinds. Shared by the writer-thread failure path and the control-reply
+/// overflow path (publish-time overflow does the same inline under its
+/// already-held lock).
+fn drop_subscriber(shared: &Shared, id: u64) {
+    let mut state = shared.state.lock().expect("broker state");
+    if state.subscribers.remove(&id).is_some() {
+        shared.subscribers_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(conn) = state.connections.get(&id) {
+        let _ = conn.shutdown(Shutdown::Both);
     }
 }
 
 /// Per-connection service loop. Every error path here terminates *this*
 /// connection only: decode errors, protocol violations and write failures
-/// are contained, and the loop itself never panics on peer input.
-fn handle_connection(shared: &Shared, id: u64, mut stream: TcpStream) {
-    let writer = match stream.try_clone() {
-        Ok(w) => {
-            let _ = w.set_write_timeout(shared.config.write_timeout);
-            Arc::new(Mutex::new(w))
+/// are contained, and the loop itself never panics on peer input. Takes
+/// the `Arc` by value because a `Subscribe` hands a clone of it to the
+/// spawned writer thread.
+fn handle_connection(shared: Arc<Shared>, id: u64, mut stream: TcpStream) {
+    let shared = &shared;
+    let mut writer = match stream.try_clone() {
+        Ok(w) => ConnWriter::Direct(w),
+        Err(_) => {
+            let mut state = shared.state.lock().expect("broker state");
+            state.connections.remove(&id);
+            return;
         }
-        Err(_) => return,
     };
     let _ = stream.set_nodelay(true);
     // Until the peer has produced one complete frame, reads are bounded by
@@ -355,9 +524,9 @@ fn handle_connection(shared: &Shared, id: u64, mut stream: TcpStream) {
             Err(e) => {
                 // Hostile length prefix: report, count, drop the peer.
                 shared.connections_rejected.fetch_add(1, Ordering::Relaxed);
-                let _ = send(
+                let _ = writer.reply(
                     shared,
-                    &writer,
+                    id,
                     &Frame::Error {
                         message: format!("malformed frame: {e}"),
                     },
@@ -375,9 +544,9 @@ fn handle_connection(shared: &Shared, id: u64, mut stream: TcpStream) {
             Err(e) => {
                 // Malformed input: report, count, drop the peer.
                 shared.connections_rejected.fetch_add(1, Ordering::Relaxed);
-                let _ = send(
+                let _ = writer.reply(
                     shared,
-                    &writer,
+                    id,
                     &Frame::Error {
                         message: format!("malformed frame: {e}"),
                     },
@@ -387,41 +556,124 @@ fn handle_connection(shared: &Shared, id: u64, mut stream: TcpStream) {
         };
         match frame {
             Frame::Hello { role: _ } => {
-                let reply = Frame::Hello {
+                let hello = Frame::Hello {
                     role: PeerRole::Broker,
                 };
-                if send(shared, &writer, &reply).is_err() {
+                if writer.reply(shared, id, &hello).is_err() {
                     break;
                 }
             }
             Frame::Publish(container) => {
+                // Keyed broker: unsigned publishes are refused outright —
+                // the legacy Error path, since a v1 peer cannot decode a
+                // `Reject` frame.
+                if auth_required(shared) {
+                    shared.publishes_rejected.fetch_add(1, Ordering::Relaxed);
+                    let _ = writer.reply(
+                        shared,
+                        id,
+                        &Frame::Error {
+                            message: "publish rejected: publisher authentication required".into(),
+                        },
+                    );
+                    break;
+                }
                 let epoch = container.epoch;
                 // The strict decode guarantees the body tail *is* the
                 // canonical container encoding; retain it instead of
                 // re-encoding megabytes on the hot path.
                 let mut container_bytes = std::mem::take(&mut body);
                 container_bytes.drain(..CONTAINER_OFFSET);
-                match handle_publish(shared, container, container_bytes) {
+                match handle_publish(shared, &container, container_bytes, false) {
                     Ok(fanout) => {
-                        if send(shared, &writer, &Frame::Ack { epoch, fanout }).is_err() {
+                        if writer
+                            .reply(shared, id, &Frame::Ack { epoch, fanout })
+                            .is_err()
+                        {
                             break;
                         }
                     }
-                    Err(e) => {
-                        shared.connections_rejected.fetch_add(1, Ordering::Relaxed);
-                        let _ = send(
+                    Err(reject) => {
+                        shared.publishes_rejected.fetch_add(1, Ordering::Relaxed);
+                        let _ = writer.reply(
                             shared,
-                            &writer,
+                            id,
                             &Frame::Error {
-                                message: format!("publish rejected: {e}"),
+                                message: format!("publish rejected: {}", reject.detail),
                             },
                         );
                         break;
                     }
                 }
             }
+            Frame::PublishSigned {
+                key_id,
+                signature,
+                container,
+            } => {
+                let epoch = container.epoch;
+                let mut container_bytes = std::mem::take(&mut body);
+                container_bytes.drain(..signed_container_offset(&key_id));
+                // Verify *before* the state lock: signature checks are the
+                // expensive part and must not serialize the broker.
+                if let Some(auth) = shared.config.publisher_auth.as_ref() {
+                    if auth.is_required() {
+                        let msg = publish_auth_message(
+                            &container.document_name,
+                            container.epoch,
+                            &container_bytes,
+                        );
+                        if let Some(reason) = auth.check(&key_id, &msg, &signature).reject_reason()
+                        {
+                            shared.publishes_rejected.fetch_add(1, Ordering::Relaxed);
+                            // Typed, *non-fatal* refusal: the publisher may
+                            // correct and retry on this connection.
+                            if writer
+                                .reply(
+                                    shared,
+                                    id,
+                                    &Frame::Reject {
+                                        reason,
+                                        message: reason.to_string(),
+                                    },
+                                )
+                                .is_err()
+                            {
+                                break;
+                            }
+                            continue;
+                        }
+                    }
+                }
+                match handle_publish(shared, &container, container_bytes, true) {
+                    Ok(fanout) => {
+                        if writer
+                            .reply(shared, id, &Frame::Ack { epoch, fanout })
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                    Err(reject) => {
+                        shared.publishes_rejected.fetch_add(1, Ordering::Relaxed);
+                        if writer
+                            .reply(
+                                shared,
+                                id,
+                                &Frame::Reject {
+                                    reason: reject.reason,
+                                    message: reject.detail,
+                                },
+                            )
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                }
+            }
             Frame::Subscribe { documents } => {
-                if handle_subscribe(shared, id, &writer, documents).is_err() {
+                if handle_subscribe(shared, id, &mut writer, documents).is_err() {
                     break;
                 }
             }
@@ -430,21 +682,25 @@ fn handle_connection(shared: &Shared, id: u64, mut stream: TcpStream) {
                     let state = shared.state.lock().expect("broker state");
                     state.summaries.values().cloned().collect()
                 };
-                if send(shared, &writer, &Frame::Configs(entries)).is_err() {
+                if writer.reply(shared, id, &Frame::Configs(entries)).is_err() {
                     break;
                 }
             }
             Frame::Bye => {
-                let _ = send(shared, &writer, &Frame::Bye);
+                let _ = writer.reply(shared, id, &Frame::Bye);
                 break;
             }
             // Frames only the broker may send: a client speaking them is
             // confused or hostile — cut it off (in isolation).
-            Frame::Deliver(_) | Frame::Configs(_) | Frame::Ack { .. } | Frame::Error { .. } => {
+            Frame::Deliver(_)
+            | Frame::Configs(_)
+            | Frame::Ack { .. }
+            | Frame::Error { .. }
+            | Frame::Reject { .. } => {
                 shared.connections_rejected.fetch_add(1, Ordering::Relaxed);
-                let _ = send(
+                let _ = writer.reply(
                     shared,
-                    &writer,
+                    id,
                     &Frame::Error {
                         message: "unexpected broker-only frame from client".into(),
                     },
@@ -454,178 +710,324 @@ fn handle_connection(shared: &Shared, id: u64, mut stream: TcpStream) {
         }
     }
 
+    // Teardown: dropping the SubEntry (and our local sender, when queued)
+    // disconnects the queue, so the writer thread drains and exits; the
+    // writer's own socket shutdown covers the case where it is mid-write.
     let mut state = shared.state.lock().expect("broker state");
     state.subscribers.remove(&id);
     state.connections.remove(&id);
 }
 
+fn auth_required(shared: &Shared) -> bool {
+    shared
+        .config
+        .publisher_auth
+        .as_ref()
+        .is_some_and(|a| a.is_required())
+}
+
+/// A refused publish: the typed reason plus human-readable detail.
+struct PublishReject {
+    reason: RejectReason,
+    detail: String,
+}
+
+impl PublishReject {
+    fn new(reason: RejectReason, detail: impl Into<String>) -> Self {
+        Self {
+            reason,
+            detail: detail.into(),
+        }
+    }
+}
+
 /// Retains the container (already-canonical `container_bytes`) and fans it
-/// out; returns the fan-out count, or an error for a publish that would
-/// grow the retained store past its cap.
+/// out by enqueueing one reference-counted `Deliver` body per matching
+/// subscriber; returns the fan-out (enqueue) count. The state lock is held
+/// for map bookkeeping and queue pushes only — publish latency is enqueue
+/// time, never a socket write.
 fn handle_publish(
     shared: &Shared,
-    container: pbcd_docs::BroadcastContainer,
+    container: &pbcd_docs::BroadcastContainer,
     container_bytes: Vec<u8>,
-) -> Result<u32, NetError> {
-    let deliver_frame = deliver_body(&container_bytes);
+    authenticated: bool,
+) -> Result<u32, PublishReject> {
+    let container_len = container_bytes.len();
+    let deliver = Arc::new(deliver_body(&container_bytes));
     let summary = ConfigSummary {
         document_name: container.document_name.clone(),
         epoch: container.epoch,
         config_ids: container.groups.iter().map(|g| g.config_id).collect(),
-        size_bytes: container_bytes.len() as u64,
+        size_bytes: container_len as u64,
     };
 
-    let targets: Vec<(u64, Arc<Mutex<TcpStream>>)> = {
+    let mut fanout = 0u32;
+    let mut overflowed: Vec<u64> = Vec::new();
+    {
         let mut state = shared.state.lock().expect("broker state");
-        // Bound the retained store: an unauthenticated peer must not be
-        // able to grow broker memory without limit by inventing document
-        // names. Updates to already-retained documents always pass.
+        // Bound the retained store: a peer must not be able to grow broker
+        // memory without limit by inventing document names. Updates to
+        // already-retained documents always pass.
         if !state.retained.contains_key(&container.document_name)
             && state.retained.len() >= shared.config.max_retained_documents
         {
-            return Err(NetError::protocol(format!(
-                "retained document cap {} reached",
-                shared.config.max_retained_documents
-            )));
+            return Err(PublishReject::new(
+                RejectReason::RetentionCap,
+                format!(
+                    "retained document cap {} reached",
+                    shared.config.max_retained_documents
+                ),
+            ));
         }
         // Newest-epoch wins: replaying an older (e.g. pre-revocation)
-        // container must not roll the retained state back. Equal epochs
-        // pass so a publisher may idempotently retry a lost Ack.
+        // container must not roll the retained state back. In open mode an
+        // equal epoch passes so a publisher may idempotently retry a lost
+        // Ack; in authenticated mode epochs must be strictly increasing, so
+        // a captured signed publish cannot even be replayed at its own
+        // epoch.
         if let Some(existing) = state.summaries.get(&container.document_name) {
-            if container.epoch < existing.epoch {
-                return Err(NetError::protocol(format!(
-                    "stale epoch {} (retained epoch is {})",
-                    container.epoch, existing.epoch
-                )));
+            let stale = if authenticated {
+                container.epoch <= existing.epoch
+            } else {
+                container.epoch < existing.epoch
+            };
+            if stale {
+                return Err(PublishReject::new(
+                    RejectReason::StaleEpoch,
+                    format!(
+                        "stale epoch {} (retained epoch is {})",
+                        container.epoch, existing.epoch
+                    ),
+                ));
             }
         }
         let replaced_len = state
             .retained
             .get(&container.document_name)
-            .map_or(0, |b| b.len());
-        let new_total = state.retained_bytes - replaced_len + container_bytes.len();
+            .map_or(0, |b| b.len() - CONTAINER_OFFSET);
+        let new_total = state.retained_bytes - replaced_len + container_len;
         if new_total > shared.config.max_retained_bytes {
-            return Err(NetError::protocol(format!(
-                "retained byte cap {} would be exceeded",
-                shared.config.max_retained_bytes
-            )));
+            return Err(PublishReject::new(
+                RejectReason::RetentionCap,
+                format!(
+                    "retained byte cap {} would be exceeded",
+                    shared.config.max_retained_bytes
+                ),
+            ));
         }
         state.retained_bytes = new_total;
         state
             .retained
-            .insert(container.document_name.clone(), Arc::new(container_bytes));
+            .insert(container.document_name.clone(), Arc::clone(&deliver));
         state
             .summaries
             .insert(container.document_name.clone(), summary);
-        state
+        // Enqueue under the lock: queue pushes are non-blocking, and doing
+        // them here gives a total order — a replay enqueued by a racing
+        // subscribe can never land *after* this fresher epoch.
+        for (sub_id, sub) in state
             .subscribers
             .iter()
             .filter(|(_, sub)| sub.matches(&container.document_name))
-            .map(|(id, sub)| (*id, Arc::clone(&sub.writer)))
-            .collect()
-    };
-    shared.publishes.fetch_add(1, Ordering::Relaxed);
-
-    let mut fanout = 0u32;
-    let mut failed = Vec::new();
-    for (sub_id, writer) in targets {
-        match send_raw(shared, &writer, &deliver_frame) {
-            Ok(()) => {
+        {
+            if sub.enqueue(Job::Deliver(Arc::clone(&deliver))) {
                 fanout += 1;
-                shared.deliveries.fetch_add(1, Ordering::Relaxed);
+            } else {
+                overflowed.push(*sub_id);
             }
-            Err(_) => failed.push(sub_id),
         }
-    }
-    if !failed.is_empty() {
-        let mut state = shared.state.lock().expect("broker state");
-        for sub_id in failed {
+        // A full queue marks a consumer that cannot keep up: drop it here
+        // (slow-consumer backpressure becomes disconnection, not publisher
+        // latency) and close its socket so its threads unwind.
+        for sub_id in overflowed {
             if state.subscribers.remove(&sub_id).is_some() {
                 shared.subscribers_dropped.fetch_add(1, Ordering::Relaxed);
             }
-            // Actually disconnect the stalled peer: closing its socket
-            // unblocks its handler thread (which then frees the connection
-            // slot) and tells the peer it is no longer subscribed.
             if let Some(conn) = state.connections.get(&sub_id) {
                 let _ = conn.shutdown(Shutdown::Both);
             }
         }
     }
+    shared.publishes.fetch_add(1, Ordering::Relaxed);
     Ok(fanout)
 }
 
-/// Registers the subscription, acks it and replays retained containers.
+/// Registers the subscription, spawns the subscriber's writer thread (on
+/// first subscribe), and enqueues the `Ack` plus retained replays.
 ///
-/// Lock discipline: this connection's *writer* lock is taken first and the
-/// global state lock only briefly inside it — never a network write under
-/// the state lock, so a stalled consumer cannot stall the whole broker.
-/// Holding the writer across registration + replay also means a concurrent
-/// publish fanning out a newer epoch to this subscriber queues behind the
-/// replay, so a stale retained container can never arrive after a fresher
-/// one. Deadlock-free because fan-out takes writer locks only *after*
-/// releasing the state lock — no thread ever waits on a writer while
-/// holding state.
+/// Lock discipline: registration, the replay snapshot and the replay
+/// enqueues all happen inside one state-lock critical section — and
+/// publishes enqueue under the same lock — so a subscriber can never see a
+/// stale retained container after a fresher fan-out. No socket write
+/// happens under the lock; enqueues are non-blocking pushes.
 fn handle_subscribe(
-    shared: &Shared,
+    shared: &Arc<Shared>,
     id: u64,
-    writer: &Arc<Mutex<TcpStream>>,
+    writer: &mut ConnWriter,
     documents: Vec<String>,
 ) -> Result<(), NetError> {
-    let entry = SubEntry {
-        writer: Arc::clone(writer),
-        documents,
-    };
-    let mut guard = writer.lock().expect("writer lock");
-    let replay: Vec<Arc<Vec<u8>>> = {
-        let mut state = shared.state.lock().expect("broker state");
-        let replay = if shared.config.replay_retained {
-            state
-                .retained
-                .iter()
-                .filter(|(doc, _)| entry.matches(doc))
-                .map(|(_, bytes)| Arc::clone(bytes))
-                .collect()
-        } else {
-            Vec::new()
-        };
-        state.subscribers.insert(id, entry);
-        replay
-    };
-
-    // One deadline bounds the Ack plus the *entire* replay: a subscriber
-    // that cannot drain the retained set within the window is disconnected
-    // (it can reconnect with a narrower document filter) instead of holding
-    // this writer mutex — and thus matching fan-outs — open indefinitely.
-    let deadline = shared.config.write_timeout.map(|t| Instant::now() + t);
-    write_body_deadline(
-        &mut guard,
-        &Frame::Ack {
+    let ack = Arc::new(
+        Frame::Ack {
             epoch: 0,
             fanout: 0,
         }
         .encode()?,
-        deadline,
-    )?;
-    for bytes in replay {
-        write_body_deadline(&mut guard, &deliver_body(&bytes), deadline)?;
-        shared.deliveries.fetch_add(1, Ordering::Relaxed);
+    );
+    // First subscribe: move the write half into a dedicated writer thread.
+    if let ConnWriter::Direct(_) = writer {
+        // Take the write half out up front; a disconnected placeholder
+        // sits in `writer` for the (single-threaded) window until the real
+        // queued writer is installed below.
+        let (placeholder_tx, _placeholder_rx) = std::sync::mpsc::sync_channel(1);
+        let placeholder = ConnWriter::Queued(placeholder_tx, Arc::new(AtomicU64::new(0)));
+        let ConnWriter::Direct(stream) = std::mem::replace(writer, placeholder) else {
+            unreachable!("checked Direct above");
+        };
+        // Registration, channel creation and the replay enqueues all run
+        // inside ONE state-lock critical section so no publish can
+        // interleave (the ordering guarantee) — and the channel is sized
+        // to hold the Ack plus the *entire* matching retained set on top
+        // of the configured live-queue budget, so a broad subscriber can
+        // always take its replay however many documents are retained.
+        // `subscriber_queue` remains the backpressure bound for live
+        // fan-out on top of that.
+        let (receiver, depth) = {
+            let mut state = shared.state.lock().expect("broker state");
+            let entry_matches =
+                |doc: &str| documents.is_empty() || documents.iter().any(|d| d == doc);
+            let replay: Vec<Arc<Vec<u8>>> = if shared.config.replay_retained {
+                state
+                    .retained
+                    .iter()
+                    .filter(|(doc, _)| entry_matches(doc))
+                    .map(|(_, body)| Arc::clone(body))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let capacity = shared.config.subscriber_queue + replay.len() + 1;
+            let (sender, receiver) = std::sync::mpsc::sync_channel(capacity);
+            let depth = Arc::new(AtomicU64::new(0));
+            let entry = SubEntry {
+                sender: sender.clone(),
+                depth: Arc::clone(&depth),
+                documents,
+            };
+            // Fits by construction; `enqueue` still guards the invariant.
+            for job in std::iter::once(Job::Control(Arc::clone(&ack)))
+                .chain(replay.into_iter().map(Job::Deliver))
+            {
+                if !entry.enqueue(job) {
+                    return Err(NetError::protocol("subscriber queue overflow on replay"));
+                }
+            }
+            state.subscribers.insert(id, entry);
+            *writer = ConnWriter::Queued(sender, Arc::clone(&depth));
+            (receiver, depth)
+        };
+        let spawned = {
+            let writer_depth = Arc::clone(&depth);
+            let writer_shared = Arc::clone(shared);
+            std::thread::Builder::new()
+                .name(format!("pbcd-broker-writer-{id}"))
+                .spawn(move || writer_loop(&writer_shared, id, stream, receiver, &writer_depth))
+        };
+        let thread = match spawned {
+            Ok(t) => t,
+            Err(e) => {
+                // No writer to drain the queue: undo the registration.
+                let mut state = shared.state.lock().expect("broker state");
+                state.subscribers.remove(&id);
+                return Err(NetError::Io {
+                    kind: e.kind(),
+                    detail: format!("spawn writer: {e}"),
+                });
+            }
+        };
+        shared
+            .state
+            .lock()
+            .expect("broker state")
+            .threads
+            .push(thread);
+        Ok(())
+    } else {
+        // Re-subscription on a live connection: swap the filter and replay
+        // through the existing writer. The existing channel's capacity was
+        // sized at first subscribe; a re-subscribe whose *new* replay no
+        // longer fits is dropped (reconnecting fresh always works).
+        let ConnWriter::Queued(sender, depth) = &*writer else {
+            unreachable!("non-Direct is Queued");
+        };
+        let entry = SubEntry {
+            sender: sender.clone(),
+            depth: Arc::clone(depth),
+            documents,
+        };
+        let mut state = shared.state.lock().expect("broker state");
+        register_and_replay(shared, &mut state, id, entry, &ack)
     }
+}
+
+/// Inserts the subscription and enqueues `Ack` + matching retained
+/// replays, all under the already-held state lock.
+fn register_and_replay(
+    shared: &Shared,
+    state: &mut State,
+    id: u64,
+    entry: SubEntry,
+    ack: &Arc<Vec<u8>>,
+) -> Result<(), NetError> {
+    let mut jobs: Vec<Job> = vec![Job::Control(Arc::clone(ack))];
+    if shared.config.replay_retained {
+        jobs.extend(
+            state
+                .retained
+                .iter()
+                .filter(|(doc, _)| entry.matches(doc))
+                .map(|(_, body)| Job::Deliver(Arc::clone(body))),
+        );
+    }
+    for job in jobs {
+        if !entry.enqueue(job) {
+            // Cannot even hold the Ack + retained set: this subscriber is
+            // not viable (it can reconnect with a narrower filter).
+            state.subscribers.remove(&id);
+            shared.subscribers_dropped.fetch_add(1, Ordering::Relaxed);
+            return Err(NetError::protocol("subscriber queue overflow on replay"));
+        }
+    }
+    state.subscribers.insert(id, entry);
     Ok(())
 }
 
-/// Serialized frame write to a shared writer, deadline-bounded.
-fn send(shared: &Shared, writer: &Arc<Mutex<TcpStream>>, frame: &Frame) -> Result<(), NetError> {
-    send_raw(shared, writer, &frame.encode()?)
-}
-
-/// Serialized write of a pre-encoded frame body. The whole operation runs
-/// against one deadline derived from `write_timeout`: a peer that trickles
-/// a few bytes per timeout window (re-arming SO_SNDTIMEO forever) is still
-/// cut off, so the writer mutex is held a bounded time per frame.
-fn send_raw(shared: &Shared, writer: &Arc<Mutex<TcpStream>>, body: &[u8]) -> Result<(), NetError> {
-    let deadline = shared.config.write_timeout.map(|t| Instant::now() + t);
-    let mut guard = writer.lock().expect("writer lock");
-    write_body_deadline(&mut guard, body, deadline)
+/// One subscriber's writer: pops pre-framed bodies off the queue and
+/// writes each against its own absolute deadline. A failed or expired
+/// write drops the subscriber — nobody else is affected, and the queue's
+/// senders observe the disconnect on their next push.
+fn writer_loop(
+    shared: &Shared,
+    id: u64,
+    mut stream: TcpStream,
+    receiver: Receiver<Job>,
+    depth: &AtomicU64,
+) {
+    while let Ok(job) = receiver.recv() {
+        depth.fetch_sub(1, Ordering::Relaxed);
+        let (body, is_deliver) = match &job {
+            Job::Deliver(b) => (b, true),
+            Job::Control(b) => (b, false),
+        };
+        let deadline = shared.config.write_timeout.map(|t| Instant::now() + t);
+        if write_body_deadline(&mut stream, body, deadline).is_err() {
+            drop_subscriber(shared, id);
+            break;
+        }
+        if is_deliver {
+            shared.deliveries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
 }
 
 /// Writes `length u32 ‖ body` honoring an absolute deadline across partial

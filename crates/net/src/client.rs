@@ -7,9 +7,12 @@
 
 use crate::error::NetError;
 use crate::frame::{
-    publish_body, read_frame, write_body, write_frame, ConfigSummary, Frame, PeerRole,
+    publish_auth_message, publish_body, read_frame, signed_publish_body, write_body, write_frame,
+    ConfigSummary, Frame, PeerRole,
 };
 use pbcd_docs::BroadcastContainer;
+use pbcd_group::{CyclicGroup, SigningKey};
+use rand::RngCore;
 use std::collections::VecDeque;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -72,6 +75,32 @@ impl BrokerClient {
     pub fn publish(&mut self, container: &BroadcastContainer) -> Result<PublishReceipt, NetError> {
         let body = publish_body(&container.encode()?);
         self.send_body(&body)?;
+        self.await_publish_ack()
+    }
+
+    /// Publishes a container with a Schnorr signature over
+    /// `doc_name ‖ epoch ‖ container_bytes` under `key` (registered with
+    /// the broker as `key_id`). Required against a keyed broker; accepted
+    /// (signature unchecked) by an open-mode one. A typed broker refusal
+    /// surfaces as [`NetError::Rejected`] and leaves the connection
+    /// usable.
+    pub fn publish_signed<G: CyclicGroup, R: RngCore + ?Sized>(
+        &mut self,
+        group: &G,
+        key_id: &str,
+        key: &SigningKey<G>,
+        container: &BroadcastContainer,
+        rng: &mut R,
+    ) -> Result<PublishReceipt, NetError> {
+        let container_bytes = container.encode()?;
+        let msg = publish_auth_message(&container.document_name, container.epoch, &container_bytes);
+        let signature = key.sign(group, rng, &msg).to_bytes::<G>();
+        let body = signed_publish_body(key_id, &signature, &container_bytes);
+        self.send_body(&body)?;
+        self.await_publish_ack()
+    }
+
+    fn await_publish_ack(&mut self) -> Result<PublishReceipt, NetError> {
         match self.wait_skipping_deliveries()? {
             Frame::Ack { epoch, fanout } => Ok(PublishReceipt { epoch, fanout }),
             other => Err(NetError::protocol(format!(
@@ -164,7 +193,8 @@ impl BrokerClient {
     }
 
     /// Reads until a non-`Deliver` frame arrives, queueing deliveries; a
-    /// broker `Error` frame becomes `Err` directly.
+    /// broker `Error` frame becomes `Err` directly, and a typed `Reject`
+    /// becomes [`NetError::Rejected`] (the connection stays usable).
     fn wait_skipping_deliveries(&mut self) -> Result<Frame, NetError> {
         loop {
             match self.recv()? {
@@ -177,6 +207,12 @@ impl BrokerClient {
                     self.pending.push_back(c);
                 }
                 Frame::Error { message } => return Err(NetError::Protocol(message)),
+                Frame::Reject { reason, message } => {
+                    return Err(NetError::Rejected {
+                        reason,
+                        detail: message,
+                    })
+                }
                 other => return Ok(other),
             }
         }

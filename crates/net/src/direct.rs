@@ -19,6 +19,17 @@
 //! sequentially; connections are isolated — a peer that sends garbage
 //! framing, goes silent past the idle timeout, or even panics the handler
 //! loses its own connection and nothing else.
+//!
+//! Two handler disciplines:
+//!
+//! * [`RegistrationServer::bind`] takes `FnMut` and serializes every
+//!   request through one mutex — the right semantics for an exclusive
+//!   stateful endpoint (e.g. an issuer owning its RNG).
+//! * [`RegistrationServer::bind_concurrent`] takes `Fn + Sync` and calls
+//!   it from every connection thread **in parallel** — for handlers that
+//!   manage their own interior sharding (e.g. the publisher's concurrent
+//!   registration service), so N connections no longer serialize on a
+//!   single service lock.
 
 use crate::error::NetError;
 use crate::frame::{read_body_bounded, write_body, MAX_FRAME_LEN};
@@ -78,8 +89,9 @@ impl RegistrationServer {
     ///
     /// The handler runs under a mutex — requests from concurrent
     /// connections are serialized through it, which is exactly the
-    /// semantics a stateful endpoint (e.g. a `PublisherService` issuing
-    /// CSSs) needs.
+    /// semantics an exclusive stateful endpoint (e.g. an `IssuerService`
+    /// owning its RNG) needs. Handlers that shard their own state should
+    /// use [`Self::bind_concurrent`] instead.
     pub fn bind<F>(addr: impl ToSocketAddrs, handler: F) -> Result<Self, NetError>
     where
         F: FnMut(&[u8]) -> Vec<u8> + Send + 'static,
@@ -87,7 +99,7 @@ impl RegistrationServer {
         Self::bind_with(addr, DirectConfig::default(), handler)
     }
 
-    /// Binds with explicit configuration.
+    /// Binds with explicit configuration (serialized handler).
     pub fn bind_with<F>(
         addr: impl ToSocketAddrs,
         config: DirectConfig,
@@ -96,6 +108,42 @@ impl RegistrationServer {
     where
         F: FnMut(&[u8]) -> Vec<u8> + Send + 'static,
     {
+        Self::bind_handler(
+            addr,
+            config,
+            SharedHandler::Serialized(Arc::new(Mutex::new(handler))),
+        )
+    }
+
+    /// Binds a **concurrent** handler: `handler` is called from every
+    /// connection thread in parallel, with no server-side lock around it.
+    /// The handler is responsible for its own synchronization — this is
+    /// the entry point for sharded services whose hot path must not
+    /// serialize on a single mutex.
+    pub fn bind_concurrent<F>(addr: impl ToSocketAddrs, handler: F) -> Result<Self, NetError>
+    where
+        F: Fn(&[u8]) -> Vec<u8> + Send + Sync + 'static,
+    {
+        Self::bind_concurrent_with(addr, DirectConfig::default(), handler)
+    }
+
+    /// [`Self::bind_concurrent`] with explicit configuration.
+    pub fn bind_concurrent_with<F>(
+        addr: impl ToSocketAddrs,
+        config: DirectConfig,
+        handler: F,
+    ) -> Result<Self, NetError>
+    where
+        F: Fn(&[u8]) -> Vec<u8> + Send + Sync + 'static,
+    {
+        Self::bind_handler(addr, config, SharedHandler::Concurrent(Arc::new(handler)))
+    }
+
+    fn bind_handler(
+        addr: impl ToSocketAddrs,
+        config: DirectConfig,
+        handler: SharedHandler,
+    ) -> Result<Self, NetError> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
@@ -103,7 +151,6 @@ impl RegistrationServer {
             connections: Mutex::new(HashMap::new()),
             requests: AtomicU64::new(0),
         });
-        let handler = Arc::new(Mutex::new(handler));
         let accept = {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || accept_loop(listener, shared, config, handler))
@@ -175,7 +222,40 @@ impl Drop for RegistrationServer {
     }
 }
 
-type SharedHandler = Arc<Mutex<dyn FnMut(&[u8]) -> Vec<u8> + Send>>;
+/// A serialized (mutex-guarded `FnMut`) handler.
+type SerializedHandler = Arc<Mutex<dyn FnMut(&[u8]) -> Vec<u8> + Send>>;
+/// A concurrent (`Fn + Sync`, self-synchronizing) handler.
+type ConcurrentHandler = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
+
+/// The two handler disciplines a server can run. Cloned per connection
+/// (both variants are `Arc`s).
+enum SharedHandler {
+    /// Requests from all connections serialize through one mutex.
+    Serialized(SerializedHandler),
+    /// Requests run concurrently; the handler synchronizes itself.
+    Concurrent(ConcurrentHandler),
+}
+
+impl Clone for SharedHandler {
+    fn clone(&self) -> Self {
+        match self {
+            Self::Serialized(h) => Self::Serialized(Arc::clone(h)),
+            Self::Concurrent(h) => Self::Concurrent(Arc::clone(h)),
+        }
+    }
+}
+
+impl SharedHandler {
+    fn call(&self, request: &[u8]) -> Vec<u8> {
+        match self {
+            Self::Serialized(h) => {
+                let mut h = h.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                h(request)
+            }
+            Self::Concurrent(h) => h(request),
+        }
+    }
+}
 
 fn accept_loop(
     listener: TcpListener,
@@ -231,7 +311,7 @@ fn accept_loop(
             }
         }
         let shared_conn = Arc::clone(&shared);
-        let handler = Arc::clone(&handler);
+        let handler = handler.clone();
         let conn_config = config.clone();
         workers.push(std::thread::spawn(move || {
             serve_connection(stream, &shared_conn, &conn_config, handler);
@@ -261,16 +341,13 @@ fn serve_connection(
     // broker-frame minimum does not apply to this raw byte pipe).
     while let Ok(request) = read_body_bounded(&mut stream, 0, config.max_request_len) {
         // A panicking handler costs the *triggering* connection its reply
-        // and nothing else: the panic is contained here, and a mutex
-        // poisoned by it is recovered by every later lock (the handler
-        // owns no invariant that half-applied state could break — it is
-        // bytes-in/bytes-out by contract).
-        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut h = handler
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            h(&request)
-        }));
+        // and nothing else: the panic is contained here, and (in the
+        // serialized discipline) a mutex poisoned by it is recovered by
+        // every later lock — the handler owns no invariant that
+        // half-applied state could break; it is bytes-in/bytes-out by
+        // contract.
+        let response =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler.call(&request)));
         let Ok(response) = response else {
             break;
         };
@@ -463,6 +540,38 @@ mod tests {
         // mutex is recovered, per-connection isolation holds.
         let mut good = RegistrationClient::connect(server.addr()).expect("connect");
         assert_eq!(good.call(b"calm").expect("call"), b"calm");
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_handler_really_runs_in_parallel() {
+        // Two connections must sit inside the handler *at the same time*:
+        // a 2-party barrier inside the handler only clears if the second
+        // request is served while the first is still in flight. Under the
+        // serialized discipline this would deadlock (and time out).
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let b = Arc::clone(&barrier);
+        let server = RegistrationServer::bind_concurrent("127.0.0.1:0", move |req: &[u8]| {
+            b.wait();
+            req.to_vec()
+        })
+        .expect("bind");
+        let addr = server.addr();
+        let threads: Vec<_> = (0..2)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut client = RegistrationClient::connect(addr).expect("connect");
+                    client
+                        .set_read_timeout(Some(Duration::from_secs(20)))
+                        .expect("timeout");
+                    client.call(&[i]).expect("call served concurrently")
+                })
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().expect("client").len(), 1);
+        }
+        assert_eq!(server.requests_served(), 2);
         server.shutdown();
     }
 

@@ -6,6 +6,62 @@
 
 use pbcd_docs::WireError;
 
+/// Why a broker refused a publish — the typed payload of a
+/// [`crate::frame::Frame::Reject`] reply to a signed publish. Machine-
+/// readable so publishers can react (re-key, bump the epoch, shrink the
+/// container) instead of parsing error strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The broker requires signed publishes and this one was unsigned.
+    AuthRequired,
+    /// The claimed key id is not in the broker's authorized-publisher map.
+    UnknownPublisher,
+    /// The signature did not verify over `doc_name ‖ epoch ‖ container`.
+    BadSignature,
+    /// The epoch is not newer than the retained one (replay or stale).
+    StaleEpoch,
+    /// Accepting the container would exceed a retention cap.
+    RetentionCap,
+}
+
+impl RejectReason {
+    /// Wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            Self::AuthRequired => 1,
+            Self::UnknownPublisher => 2,
+            Self::BadSignature => 3,
+            Self::StaleEpoch => 4,
+            Self::RetentionCap => 5,
+        }
+    }
+
+    /// Parses a wire code.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            1 => Self::AuthRequired,
+            2 => Self::UnknownPublisher,
+            3 => Self::BadSignature,
+            4 => Self::StaleEpoch,
+            5 => Self::RetentionCap,
+            _ => return None,
+        })
+    }
+}
+
+impl core::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Self::AuthRequired => "publisher authentication required",
+            Self::UnknownPublisher => "unknown publisher key",
+            Self::BadSignature => "bad publish signature",
+            Self::StaleEpoch => "stale or replayed epoch",
+            Self::RetentionCap => "retention cap exceeded",
+        };
+        write!(f, "{s}")
+    }
+}
+
 /// Errors surfaced by brokers, clients and the framing layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetError {
@@ -21,6 +77,14 @@ pub enum NetError {
     /// The peer violated the protocol (wrong frame at the wrong time,
     /// version mismatch, oversized frame, or a broker-reported error).
     Protocol(String),
+    /// The broker refused a publish with a typed reason (the connection
+    /// stays usable — e.g. retry with a fresh epoch).
+    Rejected {
+        /// The machine-readable reason.
+        reason: RejectReason,
+        /// Human-readable detail from the broker.
+        detail: String,
+    },
     /// The peer closed the connection at a clean frame boundary.
     Closed,
 }
@@ -38,6 +102,7 @@ impl core::fmt::Display for NetError {
             Self::Io { kind, detail } => write!(f, "i/o ({kind:?}): {detail}"),
             Self::Wire(e) => write!(f, "wire: {e}"),
             Self::Protocol(msg) => write!(f, "protocol: {msg}"),
+            Self::Rejected { reason, detail } => write!(f, "publish rejected ({reason}): {detail}"),
             Self::Closed => write!(f, "connection closed"),
         }
     }

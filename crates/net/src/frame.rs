@@ -11,7 +11,7 @@
 //! own wire format ([`BroadcastContainer::encode`]); the broker forwards
 //! them without ever holding a decryption key.
 
-use crate::error::NetError;
+use crate::error::{NetError, RejectReason};
 use bytes::{Buf, BufMut, BytesMut};
 use pbcd_docs::wire::{get_str, get_u32, get_u64, put_str, WireError};
 use pbcd_docs::BroadcastContainer;
@@ -19,8 +19,17 @@ use std::io::{Read, Write};
 
 /// Leading bytes of every frame body.
 pub const FRAME_MAGIC: &[u8; 2] = b"PN";
-/// Protocol version spoken by this crate.
+/// Baseline protocol version: every frame kind that existed before
+/// authenticated publishes. New-style frames ([`Frame::PublishSigned`],
+/// [`Frame::Reject`]) are encoded under [`PROTOCOL_VERSION_SIGNED`];
+/// everything else keeps the v1 header, so a peer that never uses signed
+/// publishes interoperates with both old and new brokers unchanged —
+/// version negotiation by construction, not by handshake.
 pub const PROTOCOL_VERSION: u8 = 1;
+/// Protocol version introducing `PublishSigned`/`Reject`. Decoders accept
+/// both versions; encoders emit the lowest version that can express the
+/// frame.
+pub const PROTOCOL_VERSION_SIGNED: u8 = 2;
 /// Upper bound on a frame body (64 MiB) — a sanity bound against corrupt
 /// or hostile length prefixes, comfortably above the 16 MiB field limit.
 pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
@@ -107,6 +116,29 @@ pub enum Frame {
         /// What went wrong.
         message: String,
     },
+    /// Publisher → broker (v2): a broadcast container with a Schnorr
+    /// signature over [`publish_auth_message`] under the named publisher
+    /// key. The broker verifies against its configured key map; it never
+    /// holds the signing half.
+    PublishSigned {
+        /// Which authorized publisher key signed this (the broker's
+        /// [`crate::broker::BrokerConfig`] key-map key).
+        key_id: String,
+        /// 64-byte Schnorr signature (`e ‖ s`).
+        signature: Vec<u8>,
+        /// The container being published.
+        container: BroadcastContainer,
+    },
+    /// Broker → publisher (v2): typed refusal of a signed publish. Unlike
+    /// [`Frame::Error`] this is **not** fatal — the connection stays
+    /// usable, so a publisher can correct (e.g. bump a stale epoch) and
+    /// retry.
+    Reject {
+        /// The machine-readable reason.
+        reason: RejectReason,
+        /// Human-readable detail.
+        message: String,
+    },
 }
 
 const KIND_HELLO: u8 = 1;
@@ -118,6 +150,11 @@ const KIND_CONFIGS: u8 = 6;
 const KIND_ACK: u8 = 7;
 const KIND_BYE: u8 = 8;
 const KIND_ERROR: u8 = 9;
+const KIND_PUBLISH_SIGNED: u8 = 10;
+const KIND_REJECT: u8 = 11;
+
+/// Length of the Schnorr signature carried by [`Frame::PublishSigned`].
+pub const PUBLISH_SIGNATURE_LEN: usize = 64;
 
 impl Frame {
     /// Serializes the frame body (without the outer length prefix).
@@ -125,7 +162,12 @@ impl Frame {
     pub fn encode(&self) -> Result<Vec<u8>, WireError> {
         let mut buf = BytesMut::new();
         buf.put_slice(FRAME_MAGIC);
-        buf.put_u8(PROTOCOL_VERSION);
+        // Lowest version that can express the frame: legacy peers never
+        // see a v2 header unless they took part in a signed publish.
+        buf.put_u8(match self {
+            Self::PublishSigned { .. } | Self::Reject { .. } => PROTOCOL_VERSION_SIGNED,
+            _ => PROTOCOL_VERSION,
+        });
         match self {
             Self::Hello { role } => {
                 buf.put_u8(KIND_HELLO);
@@ -170,6 +212,24 @@ impl Frame {
                 buf.put_u8(KIND_ERROR);
                 put_str(&mut buf, message)?;
             }
+            Self::PublishSigned {
+                key_id,
+                signature,
+                container,
+            } => {
+                if signature.len() != PUBLISH_SIGNATURE_LEN {
+                    return Err(WireError::InvalidValue);
+                }
+                buf.put_u8(KIND_PUBLISH_SIGNED);
+                put_str(&mut buf, key_id)?;
+                buf.put_slice(signature);
+                buf.put_slice(&container.encode()?);
+            }
+            Self::Reject { reason, message } => {
+                buf.put_u8(KIND_REJECT);
+                buf.put_u8(reason.code());
+                put_str(&mut buf, message)?;
+            }
         }
         Ok(buf.to_vec())
     }
@@ -186,10 +246,16 @@ impl Frame {
         if &magic != FRAME_MAGIC {
             return Err(WireError::BadHeader);
         }
-        if buf.get_u8() != PROTOCOL_VERSION {
+        let version = buf.get_u8();
+        if version != PROTOCOL_VERSION && version != PROTOCOL_VERSION_SIGNED {
             return Err(WireError::BadHeader);
         }
         let kind = buf.get_u8();
+        // The v2 kinds require the v2 header; everything else rides v1.
+        let v2_kind = kind == KIND_PUBLISH_SIGNED || kind == KIND_REJECT;
+        if v2_kind != (version == PROTOCOL_VERSION_SIGNED) {
+            return Err(WireError::BadHeader);
+        }
         let frame = match kind {
             KIND_HELLO => {
                 if buf.remaining() < 1 {
@@ -258,6 +324,32 @@ impl Frame {
             KIND_ERROR => Self::Error {
                 message: get_str(&mut buf)?,
             },
+            KIND_PUBLISH_SIGNED => {
+                let key_id = get_str(&mut buf)?;
+                if buf.remaining() < PUBLISH_SIGNATURE_LEN {
+                    return Err(WireError::Truncated);
+                }
+                let mut signature = vec![0u8; PUBLISH_SIGNATURE_LEN];
+                buf.copy_to_slice(&mut signature);
+                let container = BroadcastContainer::decode(buf)?;
+                buf = &[];
+                Self::PublishSigned {
+                    key_id,
+                    signature,
+                    container,
+                }
+            }
+            KIND_REJECT => {
+                if buf.remaining() < 1 {
+                    return Err(WireError::Truncated);
+                }
+                let reason =
+                    RejectReason::from_code(buf.get_u8()).ok_or(WireError::InvalidValue)?;
+                Self::Reject {
+                    reason,
+                    message: get_str(&mut buf)?,
+                }
+            }
             _ => return Err(WireError::BadHeader),
         };
         if !buf.is_empty() {
@@ -288,11 +380,50 @@ pub fn publish_body(container_bytes: &[u8]) -> Vec<u8> {
     container_frame_body(KIND_PUBLISH, container_bytes)
 }
 
+/// Builds a `PublishSigned` frame body around already-encoded container
+/// bytes and a detached signature — the container is neither re-encoded
+/// nor cloned beyond this one buffer.
+///
+/// `signature` must be [`PUBLISH_SIGNATURE_LEN`] bytes over
+/// [`publish_auth_message`] of the same `container_bytes`.
+pub fn signed_publish_body(key_id: &str, signature: &[u8], container_bytes: &[u8]) -> Vec<u8> {
+    debug_assert_eq!(signature.len(), PUBLISH_SIGNATURE_LEN);
+    let mut body = Vec::with_capacity(signed_container_offset(key_id) + container_bytes.len());
+    body.extend_from_slice(FRAME_MAGIC);
+    body.push(PROTOCOL_VERSION_SIGNED);
+    body.push(KIND_PUBLISH_SIGNED);
+    body.extend_from_slice(&(key_id.len() as u32).to_be_bytes());
+    body.extend_from_slice(key_id.as_bytes());
+    body.extend_from_slice(signature);
+    body.extend_from_slice(container_bytes);
+    body
+}
+
 /// Byte offset of a container within a `Publish`/`Deliver` frame body
 /// (magic ‖ version ‖ kind). After a strict [`Frame::decode`], the body's
 /// tail from this offset *is* the canonical container encoding — consumers
 /// can retain it without re-encoding.
 pub const CONTAINER_OFFSET: usize = 4;
+
+/// Byte offset of the container within a `PublishSigned` frame body
+/// (magic ‖ version ‖ kind ‖ len-prefixed key id ‖ signature).
+pub fn signed_container_offset(key_id: &str) -> usize {
+    CONTAINER_OFFSET + 4 + key_id.len() + PUBLISH_SIGNATURE_LEN
+}
+
+/// The canonical byte string a publisher signs and the broker verifies
+/// for an authenticated publish: a domain tag, then
+/// `doc_name ‖ epoch ‖ container_bytes` with the variable-length name
+/// length-prefixed so field boundaries cannot be shifted.
+pub fn publish_auth_message(doc_name: &str, epoch: u64, container_bytes: &[u8]) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(27 + 4 + doc_name.len() + 8 + container_bytes.len());
+    msg.extend_from_slice(b"pbcd-broker-publish-v2\0");
+    msg.extend_from_slice(&(doc_name.len() as u32).to_be_bytes());
+    msg.extend_from_slice(doc_name.as_bytes());
+    msg.extend_from_slice(&epoch.to_be_bytes());
+    msg.extend_from_slice(container_bytes);
+    msg
+}
 
 /// Writes one pre-encoded frame body with its length prefix and flushes —
 /// the single place the transport framing (and its size guard) lives.
@@ -410,6 +541,15 @@ mod tests {
             Frame::Error {
                 message: "no thanks".into(),
             },
+            Frame::PublishSigned {
+                key_id: "pub-1".into(),
+                signature: vec![0x3C; PUBLISH_SIGNATURE_LEN],
+                container: sample_container(),
+            },
+            Frame::Reject {
+                reason: RejectReason::StaleEpoch,
+                message: "retained epoch is 9".into(),
+            },
         ]
     }
 
@@ -474,5 +614,48 @@ mod tests {
         let huge = ((MAX_FRAME_LEN + 1) as u32).to_be_bytes();
         let mut r = huge.as_slice();
         assert!(matches!(read_frame(&mut r), Err(NetError::Protocol(_))));
+    }
+
+    #[test]
+    fn version_is_negotiated_per_frame_kind() {
+        // Legacy kinds keep the v1 header byte-for-byte…
+        let enc = Frame::Bye.encode().unwrap();
+        assert_eq!(enc[2], PROTOCOL_VERSION);
+        // …new kinds carry v2…
+        let signed = Frame::PublishSigned {
+            key_id: "k".into(),
+            signature: vec![0; PUBLISH_SIGNATURE_LEN],
+            container: sample_container(),
+        };
+        let enc = signed.encode().unwrap();
+        assert_eq!(enc[2], PROTOCOL_VERSION_SIGNED);
+        // …and a version/kind mismatch in either direction is rejected.
+        let mut forged = Frame::Bye.encode().unwrap();
+        forged[2] = PROTOCOL_VERSION_SIGNED;
+        assert_eq!(Frame::decode(&forged), Err(WireError::BadHeader));
+        let mut downgraded = signed.encode().unwrap();
+        downgraded[2] = PROTOCOL_VERSION;
+        assert_eq!(Frame::decode(&downgraded), Err(WireError::BadHeader));
+    }
+
+    #[test]
+    fn signed_publish_body_matches_frame_encode() {
+        let container = sample_container();
+        let container_bytes = container.encode().unwrap();
+        let sig = vec![0x7E; PUBLISH_SIGNATURE_LEN];
+        let via_helper = signed_publish_body("pub-1", &sig, &container_bytes);
+        let via_frame = Frame::PublishSigned {
+            key_id: "pub-1".into(),
+            signature: sig,
+            container,
+        }
+        .encode()
+        .unwrap();
+        assert_eq!(via_helper, via_frame);
+        // The advertised offset really lands on the container bytes.
+        assert_eq!(
+            &via_helper[signed_container_offset("pub-1")..],
+            container_bytes.as_slice()
+        );
     }
 }

@@ -14,12 +14,15 @@
 //! honest-but-curious (or compromised) relay learns exactly what a wire
 //! tap would.
 //!
-//! * [`frame`] — the framed protocol (`Hello`, `Publish`, `Subscribe`,
-//!   `Deliver`, `ListConfigs`, `Configs`, `Ack`, `Bye`, `Error`) with
-//!   strict, non-panicking codecs,
+//! * [`frame`] — the framed protocol (`Hello`, `Publish`, `PublishSigned`,
+//!   `Subscribe`, `Deliver`, `ListConfigs`, `Configs`, `Ack`, `Bye`,
+//!   `Error`, `Reject`) with strict, non-panicking codecs and per-kind
+//!   version negotiation,
+//! * [`auth`] — publisher authentication: Schnorr verification of signed
+//!   publishes against a configured key map (verification halves only),
 //! * [`broker`] — the threaded accept-loop broker: retained latest
-//!   container per document, fan-out on publish, per-connection error
-//!   isolation, graceful shutdown,
+//!   container per document, concurrent fan-out through per-subscriber
+//!   writer queues, per-connection error isolation, graceful shutdown,
 //! * [`client`] — the synchronous [`BrokerClient`] endpoint,
 //! * [`direct`] — [`RegistrationServer`]/[`RegistrationClient`]: the
 //!   length-prefixed request/response transport for the legs that must
@@ -33,16 +36,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod auth;
 pub mod broker;
 pub mod client;
 pub mod direct;
 pub mod error;
 pub mod frame;
 
+pub use auth::{AuthOutcome, PublishAuth, PublisherDirectory};
 pub use broker::{Broker, BrokerConfig, BrokerHandle, BrokerStats};
 pub use client::{BrokerClient, PublishReceipt};
 pub use direct::{DirectConfig, RegistrationClient, RegistrationServer};
-pub use error::NetError;
+pub use error::{NetError, RejectReason};
 pub use frame::{
     read_frame, write_frame, ConfigSummary, Frame, PeerRole, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    PROTOCOL_VERSION_SIGNED,
 };

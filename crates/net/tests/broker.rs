@@ -55,9 +55,115 @@ fn fan_out_reaches_matching_subscribers_only() {
         Err(NetError::Io { .. })
     ));
 
+    // Deliveries are counted by the writer threads just after the socket
+    // write, so poll briefly instead of assuming instant visibility.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while broker.stats().deliveries < 2 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
     let stats = broker.stats();
     assert_eq!(stats.publishes, 1);
     assert_eq!(stats.deliveries, 2);
+    broker.shutdown();
+}
+
+/// The slow-consumer isolation guarantee: one stalled subscriber must not
+/// delay delivery to 16 healthy ones, and publish latency stays bounded by
+/// enqueue time — not by `write_timeout`. Under the old sequential
+/// fan-out, the first publish after the stalled peer's buffers filled
+/// blocked the publishing thread for the whole write deadline (30 s here);
+/// with per-subscriber writer queues it returns in milliseconds and the
+/// stalled peer alone is dropped on queue overflow.
+#[test]
+fn stalled_subscriber_does_not_delay_healthy_ones() {
+    const HEALTHY: usize = 16;
+    const PUBLISHES: u64 = 16;
+    let broker = Broker::bind_with(
+        "127.0.0.1:0",
+        BrokerConfig {
+            // Deliberately enormous: if publish latency were coupled to the
+            // write deadline, this test would blow its time budget.
+            write_timeout: Some(Duration::from_secs(30)),
+            subscriber_queue: 4,
+            max_retained_bytes: 1024 * 1024 * 1024,
+            ..BrokerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = broker.addr();
+
+    // A half-megabyte container so the stalled peer's socket buffers jam
+    // after a couple of frames and its queue overflows soon after.
+    let mut big = container("doc.xml", 0);
+    big.groups[0].segments[0].ciphertext = vec![0xAA; 512 * 1024];
+
+    // The stalled subscriber: subscribes, then never reads again.
+    let mut stalled = BrokerClient::connect(addr, PeerRole::Subscriber).unwrap();
+    stalled.subscribe(&["doc.xml"]).unwrap();
+
+    // 16 healthy subscribers, each draining every delivery promptly.
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    let mut threads = Vec::new();
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+    for _ in 0..HEALTHY {
+        let done = done_tx.clone();
+        let ready = ready_tx.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut client = BrokerClient::connect(addr, PeerRole::Subscriber).unwrap();
+            client.subscribe(&["doc.xml"]).unwrap();
+            ready.send(()).unwrap();
+            let mut last_epoch = 0;
+            for _ in 0..PUBLISHES {
+                let c = client.next_delivery().expect("healthy delivery");
+                assert!(c.epoch > last_epoch, "epoch order preserved per queue");
+                last_epoch = c.epoch;
+            }
+            done.send(last_epoch).unwrap();
+        }));
+    }
+    for _ in 0..HEALTHY {
+        ready_rx.recv().unwrap();
+    }
+
+    let mut publisher = BrokerClient::connect(addr, PeerRole::Publisher).unwrap();
+    let mut max_publish = Duration::ZERO;
+    let started = std::time::Instant::now();
+    for epoch in 1..=PUBLISHES {
+        big.epoch = epoch;
+        let t = std::time::Instant::now();
+        publisher.publish(&big).expect("publish");
+        max_publish = max_publish.max(t.elapsed());
+    }
+    let total = started.elapsed();
+
+    // Every healthy subscriber saw every epoch, in order.
+    for _ in 0..HEALTHY {
+        assert_eq!(
+            done_rx.recv_timeout(Duration::from_secs(30)).unwrap(),
+            PUBLISHES
+        );
+    }
+    // Publish latency was enqueue-bounded: nowhere near the 30 s write
+    // deadline the stalled peer would have charged the old sequential path.
+    assert!(
+        max_publish < Duration::from_secs(10),
+        "slowest publish took {max_publish:?} — fan-out is coupled to the stalled consumer"
+    );
+    assert!(
+        total < Duration::from_secs(25),
+        "whole run took {total:?} — fan-out is coupled to the stalled consumer"
+    );
+    // The stalled subscriber — and only it — was dropped on queue overflow.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while broker.stats().subscribers_dropped < 1 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let stats = broker.stats();
+    assert_eq!(stats.subscribers_dropped, 1, "exactly the stalled peer");
+    assert_eq!(stats.publishes, PUBLISHES);
+    for t in threads {
+        t.join().unwrap();
+    }
     broker.shutdown();
 }
 
@@ -271,6 +377,39 @@ fn connection_cap_and_handshake_timeout_protect_the_broker() {
     let mut client = BrokerClient::connect(broker.addr(), PeerRole::Subscriber).unwrap();
     client.subscribe::<&str>(&[]).unwrap();
     assert!(broker.stats().connections_rejected >= 1);
+    broker.shutdown();
+}
+
+/// A broad (empty-filter) subscriber must receive the full retained set on
+/// subscribe even when it exceeds the live-queue budget: the replay is
+/// sized into the queue at subscribe time, it is not subject to the
+/// `subscriber_queue` backpressure bound.
+#[test]
+fn replay_larger_than_the_live_queue_budget_succeeds() {
+    const DOCS: usize = 24;
+    let broker = Broker::bind_with(
+        "127.0.0.1:0",
+        BrokerConfig {
+            subscriber_queue: 4, // far below the retained count
+            ..BrokerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut publisher = BrokerClient::connect(broker.addr(), PeerRole::Publisher).unwrap();
+    for i in 0..DOCS {
+        publisher
+            .publish(&container(&format!("doc-{i:02}.xml"), 1))
+            .unwrap();
+    }
+
+    let mut late = BrokerClient::connect(broker.addr(), PeerRole::Subscriber).unwrap();
+    late.subscribe::<&str>(&[]).unwrap();
+    let mut seen = std::collections::BTreeSet::new();
+    for _ in 0..DOCS {
+        seen.insert(late.next_delivery().unwrap().document_name);
+    }
+    assert_eq!(seen.len(), DOCS, "every retained document replayed");
+    assert_eq!(broker.stats().subscribers_dropped, 0);
     broker.shutdown();
 }
 

@@ -1,10 +1,15 @@
-//! Dissemination through an untrusted TCP broker on loopback.
+//! Dissemination through an untrusted TCP broker on loopback, with
+//! **publisher authentication** enabled.
 //!
 //! Demonstrates the deployment model the paper's construction enables: the
 //! publisher hands every broadcast container to a third-party broker that
 //! stores and fans it out *without being able to read it* — qualified
 //! subscribers re-derive keys from the public ACV values in the container,
-//! everyone else (including the broker) sees only ciphertext.
+//! everyone else (including the broker) sees only ciphertext. The broker
+//! is additionally configured with the publisher's *verification* key, so
+//! only Schnorr-signed publishes mutate retained state — a hostile peer
+//! can no longer squat the document name or burn the retention caps
+//! (availability, on top of the paper's confidentiality guarantee).
 //!
 //! ```sh
 //! cargo run --release --example broker_dissemination
@@ -12,10 +17,12 @@
 
 use pbcd::core::{NetPublisher, NetSubscriber, SystemHarness};
 use pbcd::docs::Element;
-use pbcd::net::Broker;
+use pbcd::group::SigningKey;
+use pbcd::net::{Broker, BrokerClient, BrokerConfig, PeerRole, PublisherDirectory};
 use pbcd::policy::{
     AccessControlPolicy, AttributeCondition, AttributeSet, ComparisonOp, PolicySet,
 };
+use std::sync::Arc;
 
 fn main() {
     // Policies: doctors read the diagnosis, clearance ≥ 5 reads billing.
@@ -53,9 +60,27 @@ fn main() {
             .with("clearance", 1),
     );
 
-    // The untrusted broker: an ephemeral TCP server on loopback.
-    let broker = Broker::bind("127.0.0.1:0").expect("bind loopback broker");
-    println!("broker listening on {}", broker.addr());
+    // The publisher's broker-authentication key pair: the broker gets the
+    // verification half only, keyed by a deployment-chosen id.
+    let SystemHarness {
+        publisher, mut rng, ..
+    } = sys;
+    let group = publisher.ocbe().group().clone();
+    let signing_key = SigningKey::generate(&group, &mut rng);
+    let directory =
+        PublisherDirectory::new(group).with_key("ward-publisher", signing_key.verifying_key());
+
+    // The untrusted broker: an ephemeral TCP server on loopback that now
+    // refuses publishes not signed by an authorized key.
+    let broker = Broker::bind_with(
+        "127.0.0.1:0",
+        BrokerConfig {
+            publisher_auth: Some(Arc::new(directory)),
+            ..BrokerConfig::default()
+        },
+    )
+    .expect("bind loopback broker");
+    println!("broker listening on {} (publisher auth ON)", broker.addr());
 
     let mut net_doctor =
         NetSubscriber::connect(doctor, broker.addr(), &["ward.xml"]).expect("doctor connects");
@@ -64,19 +89,35 @@ fn main() {
     let mut net_clerk =
         NetSubscriber::connect(clerk, broker.addr(), &["ward.xml"]).expect("clerk connects");
 
-    let SystemHarness {
-        publisher, mut rng, ..
-    } = sys;
-    let mut net_pub = NetPublisher::connect(publisher, broker.addr()).expect("publisher connects");
+    // A hostile peer tries the classic availability attack first: squat
+    // the document name at the maximum epoch so the real publisher would
+    // be locked out by the stale-epoch guard. With keys configured the
+    // broker refuses it outright.
+    let mut hostile =
+        BrokerClient::connect(broker.addr(), PeerRole::Publisher).expect("hostile connects");
+    let junk = pbcd::docs::BroadcastContainer {
+        epoch: u64::MAX,
+        document_name: "ward.xml".into(),
+        skeleton_xml: "<r><pbcd-segment id=\"0\"/></r>".into(),
+        groups: vec![],
+    };
+    match hostile.publish(&junk) {
+        Err(e) => println!("hostile unsigned publish at epoch u64::MAX refused: {e}"),
+        Ok(_) => unreachable!("the keyed broker must refuse unsigned publishes"),
+    }
+
+    let mut net_pub = NetPublisher::connect(publisher, broker.addr())
+        .expect("publisher connects")
+        .with_signing_key("ward-publisher", signing_key);
 
     let report = Element::new("WardReport")
         .child(Element::new("Diagnosis").text("acute appendicitis, operate today"))
         .child(Element::new("Billing").text("invoice total 4815 USD"));
     let receipt = net_pub
         .broadcast(&report, "ward.xml", &mut rng)
-        .expect("broadcast through the broker");
+        .expect("signed broadcast through the broker");
     println!(
-        "published ward.xml epoch {} → fanned out to {} subscribers",
+        "signed publish of ward.xml epoch {} → fanned out to {} subscribers",
         receipt.epoch, receipt.fanout
     );
 
@@ -117,8 +158,14 @@ fn main() {
     }
     let stats = broker.stats();
     println!(
-        "broker stats: {} publish(es), {} deliveries, {} drops, {} rejected connections",
-        stats.publishes, stats.deliveries, stats.subscribers_dropped, stats.connections_rejected
+        "broker stats: {} publish(es), {} rejected publish(es), {} deliveries, {} drops, \
+         {} rejected connections, queue depth {}",
+        stats.publishes,
+        stats.publishes_rejected,
+        stats.deliveries,
+        stats.subscribers_dropped,
+        stats.connections_rejected,
+        stats.queue_depth,
     );
     broker.shutdown();
     println!("broker shut down cleanly");

@@ -73,10 +73,11 @@ fn main() {
     let yos_ge = AttributeCondition::new("YoS", ComparisonOp::Ge, 5);
     let yos_lt = AttributeCondition::new("YoS", ComparisonOp::Lt, 5);
     assert!(yos_ge.mutually_exclusive(&yos_lt));
+    // One table snapshot for the whole audit loop (css_table() copies).
+    let table = sys.publisher.css_table();
     for sub in [&b, &c] {
         let nym = Nym::new(sub.nym().unwrap());
-        let both = sys.publisher.css_table().get(&nym, &yos_ge).is_some()
-            && sys.publisher.css_table().get(&nym, &yos_lt).is_some();
+        let both = table.get(&nym, &yos_ge).is_some() && table.get(&nym, &yos_lt).is_some();
         println!(
             "  {}: registered for YoS ≥ 5 AND YoS < 5 → {}",
             nym,

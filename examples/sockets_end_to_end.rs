@@ -1,6 +1,7 @@
 //! The complete paper flow with every leg on real loopback TCP sockets:
 //! token issuance, the oblivious registration round-trip, broadcast
-//! dissemination through the untrusted broker, and revocation taking
+//! dissemination through the untrusted broker (**signed** — the broker is
+//! keyed and refuses unauthenticated publishers), and revocation taking
 //! effect — with **no in-process handle sharing** between the actors.
 //!
 //! Wire map:
@@ -8,11 +9,12 @@
 //! ```text
 //! Subscriber ──(IssueRequest)────────▶ IssuerService     (direct socket A)
 //! Subscriber ──(ConditionsQuery, RegisterRequest)─▶ PublisherService (direct socket B)
-//! Publisher  ──(broadcast container)─▶ Broker ──▶ Subscribers (broker socket C)
+//! Publisher  ──(signed container)────▶ Broker ──▶ Subscribers (broker socket C)
 //! ```
 //!
 //! The broker only ever sees socket C — registration and issuance bytes
-//! structurally cannot reach it.
+//! structurally cannot reach it; socket B's handlers run **concurrently**
+//! (sharded CSS table, lock-free conditions snapshot).
 //!
 //! ```sh
 //! cargo run --release --example sockets_end_to_end
@@ -23,13 +25,14 @@ use pbcd::core::{
     Publisher, PublisherService, Subscriber,
 };
 use pbcd::docs::Element;
-use pbcd::group::P256Group;
-use pbcd::net::{Broker, RegistrationServer};
+use pbcd::group::{P256Group, SigningKey};
+use pbcd::net::{Broker, BrokerConfig, PublisherDirectory, RegistrationServer};
 use pbcd::policy::{
     AccessControlPolicy, AttributeCondition, AttributeSet, ComparisonOp, PolicySet,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 fn main() {
     let group = P256Group::new();
@@ -59,14 +62,30 @@ fn main() {
             .expect("bind issuer endpoint");
     println!("issuer endpoint on       {}", issuer_server.addr());
 
-    // The untrusted broker on socket C, and the publisher: broadcasts to
-    // the broker, registration served on direct socket B.
-    let broker = Broker::bind("127.0.0.1:0").expect("bind broker");
-    println!("broker on                {}", broker.addr());
+    // The untrusted broker on socket C — keyed with the publisher's
+    // verification key, so only signed publishes mutate retained state —
+    // and the publisher: signed broadcasts to the broker, registration
+    // served concurrently on direct socket B.
+    let publish_key = SigningKey::generate(&group, &mut rng);
+    let directory =
+        PublisherDirectory::new(group.clone()).with_key("ward-pub", publish_key.verifying_key());
+    let broker = Broker::bind_with(
+        "127.0.0.1:0",
+        BrokerConfig {
+            publisher_auth: Some(Arc::new(directory)),
+            ..BrokerConfig::default()
+        },
+    )
+    .expect("bind broker");
+    println!(
+        "broker on                {} (publisher auth ON)",
+        broker.addr()
+    );
     let publisher = Publisher::new(group.clone(), idmgr_key, policies);
     let mut net_pub =
         NetPublisher::connect_service(PublisherService::new(publisher, 0), broker.addr())
-            .expect("publisher connects");
+            .expect("publisher connects")
+            .with_signing_key("ward-pub", publish_key);
     let reg_addr = net_pub
         .serve_registration("127.0.0.1:0", 42)
         .expect("bind registration endpoint");
@@ -129,9 +148,9 @@ fn main() {
         .child(Element::new("Billing").text("invoice total 4815 USD"));
     let receipt = net_pub
         .broadcast(&report, "ward.xml", &mut rng)
-        .expect("broadcast");
+        .expect("signed broadcast");
     println!(
-        "broadcast epoch {} fanned out to {} subscribers via the broker",
+        "signed broadcast epoch {} fanned out to {} subscribers via the broker",
         receipt.epoch, receipt.fanout
     );
     for (name, sub) in &mut subscribers {

@@ -65,6 +65,11 @@ fn full_conditions_query_served_from_snapshot_without_service_lock() {
     assert_eq!(first, second, "snapshot bytes are stable");
     assert_eq!(publisher.conditions_cache_hits(), 2);
     assert_eq!(
+        publisher.service_stats().conditions_cache_hits,
+        2,
+        "hits are folded into ServiceStats"
+    );
+    assert_eq!(
         publisher.service_stats().requests,
         0,
         "fast-path queries never touch the service"
@@ -105,6 +110,7 @@ fn full_conditions_query_served_from_snapshot_without_service_lock() {
     let hit_again = client.call(&full_query).expect("call");
     assert_eq!(hit_again, first);
     assert_eq!(publisher.conditions_cache_hits(), 3);
+    assert_eq!(publisher.service_stats().conditions_cache_hits, 3);
 
     client.close().expect("close");
     let publisher = publisher.disconnect().expect("disconnect");

@@ -258,12 +258,14 @@ fn decoy_tokens_hide_attribute_possession_without_granting_access() {
         &["level"],
     );
     let d_nym = pbcd::gkm::Nym::new(doctor.nym().unwrap());
+    // One table snapshot, probed in the loop (css_table() copies).
+    let d_table = sys.publisher.css_table();
     let d_covered = sys
         .publisher
         .policies()
         .distinct_conditions()
         .iter()
-        .filter(|c| sys.publisher.css_table().get(&d_nym, c).is_some())
+        .filter(|c| d_table.get(&d_nym, c).is_some())
         .count();
     assert_eq!(d_covered, 3, "same registration shape as the cleaner");
     let bc2 = sys.publisher.broadcast(&doc(), "doc.xml", &mut sys.rng);
