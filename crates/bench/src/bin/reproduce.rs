@@ -94,6 +94,9 @@ fn main() {
 ///   measurement with one **stalled** subscriber attached, which under
 ///   per-subscriber writer queues must not move the number (enqueue-time
 ///   isolation; pre-queue fan-out coupled it to `write_timeout`);
+/// * the same fan-out with the durable retention log enabled (fsync off)
+///   — the `persist_*` entries — plus the raw per-record append cost and
+///   the startup recovery scan over the full log;
 /// * full oblivious EQ-registration throughput through
 ///   `pbcd_net::direct`, serialized single-mutex handler vs the
 ///   concurrent sharded service, across connection counts.
@@ -104,7 +107,10 @@ fn main() {
 /// lock, asserted by `direct::tests::concurrent_handler_really_runs_in_parallel`.
 fn bench_net_json(opts: &Opts) {
     use pbcd_core::SharedPublisherService;
-    use pbcd_net::{Broker, BrokerClient, BrokerConfig, PeerRole, RegistrationServer};
+    use pbcd_net::{
+        Broker, BrokerClient, BrokerConfig, ConfigSummary, FsyncPolicy, PeerRole,
+        RegistrationServer, RetentionStore,
+    };
     use std::sync::{mpsc, Arc, Mutex};
 
     let rounds = if opts.quick { 3 } else { 50 };
@@ -116,69 +122,81 @@ fn bench_net_json(opts: &Opts) {
     // the two measurements cannot silently diverge.
     let container = pbcd_bench::fanout_container();
 
+    // One measurement routine for every broker configuration (in-memory
+    // and durable), so the persist_* overhead numbers compare
+    // like-for-like against the same code path.
+    let measure_fanout = |config: BrokerConfig, subs: usize, stalled: bool| {
+        let broker = Broker::bind_with("127.0.0.1:0", config).expect("bind broker");
+        let addr = broker.addr();
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let (got_tx, got_rx) = mpsc::channel();
+        let threads: Vec<_> = (0..subs)
+            .map(|_| {
+                let ready = ready_tx.clone();
+                let got = got_tx.clone();
+                std::thread::spawn(move || {
+                    let mut client = BrokerClient::connect(addr, PeerRole::Subscriber)
+                        .expect("subscriber connects");
+                    client.subscribe::<&str>(&[]).expect("subscribe");
+                    ready.send(()).expect("main alive");
+                    while client.next_delivery().is_ok() {
+                        if got.send(()).is_err() {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..subs {
+            ready_rx.recv().expect("subscriber ready");
+        }
+        // The stalled peer subscribes and then never reads: its queue
+        // fills, its socket jams — and the publish numbers must not
+        // notice.
+        let _stalled_client = stalled.then(|| {
+            let mut c =
+                BrokerClient::connect(addr, PeerRole::Subscriber).expect("stalled connects");
+            c.subscribe::<&str>(&[]).expect("stalled subscribe");
+            c
+        });
+        let mut publisher =
+            BrokerClient::connect(addr, PeerRole::Publisher).expect("publisher connects");
+        let mut publish_total = Duration::ZERO;
+        let mut delivered_total = Duration::ZERO;
+        let mut c = container.clone();
+        for round in 0..rounds {
+            c.epoch = (round + 2) as u64;
+            let t = Instant::now();
+            publisher.publish(&c).expect("publish");
+            publish_total += t.elapsed();
+            for _ in 0..subs {
+                got_rx.recv().expect("delivery confirmed");
+            }
+            delivered_total += t.elapsed();
+        }
+        drop(publisher);
+        broker.shutdown();
+        drop(got_rx);
+        for t in threads {
+            let _ = t.join();
+        }
+        (
+            publish_total / rounds as u32,
+            delivered_total / rounds as u32,
+        )
+    };
+    let base_config = || BrokerConfig {
+        write_timeout: Some(Duration::from_secs(30)),
+        subscriber_queue: rounds + 8,
+        ..BrokerConfig::default()
+    };
+
     // --- broker fan-out: publish Ack latency + full-delivery latency ---
     let sub_counts: &[usize] = if opts.quick { &[4] } else { &[16, 64] };
     for &subs in sub_counts {
         for stalled in [false, true] {
-            let broker = Broker::bind_with(
-                "127.0.0.1:0",
-                BrokerConfig {
-                    write_timeout: Some(Duration::from_secs(30)),
-                    subscriber_queue: rounds + 8,
-                    ..BrokerConfig::default()
-                },
-            )
-            .expect("bind broker");
-            let addr = broker.addr();
-            let (ready_tx, ready_rx) = mpsc::channel();
-            let (got_tx, got_rx) = mpsc::channel();
-            let threads: Vec<_> = (0..subs)
-                .map(|_| {
-                    let ready = ready_tx.clone();
-                    let got = got_tx.clone();
-                    std::thread::spawn(move || {
-                        let mut client = BrokerClient::connect(addr, PeerRole::Subscriber)
-                            .expect("subscriber connects");
-                        client.subscribe::<&str>(&[]).expect("subscribe");
-                        ready.send(()).expect("main alive");
-                        while client.next_delivery().is_ok() {
-                            if got.send(()).is_err() {
-                                break;
-                            }
-                        }
-                    })
-                })
-                .collect();
-            for _ in 0..subs {
-                ready_rx.recv().expect("subscriber ready");
-            }
-            // The stalled peer subscribes and then never reads: its queue
-            // fills, its socket jams — and the publish numbers must not
-            // notice.
-            let _stalled_client = stalled.then(|| {
-                let mut c =
-                    BrokerClient::connect(addr, PeerRole::Subscriber).expect("stalled connects");
-                c.subscribe::<&str>(&[]).expect("stalled subscribe");
-                c
-            });
-            let mut publisher =
-                BrokerClient::connect(addr, PeerRole::Publisher).expect("publisher connects");
-            let mut publish_total = Duration::ZERO;
-            let mut delivered_total = Duration::ZERO;
-            let mut c = container.clone();
-            for round in 0..rounds {
-                c.epoch = (round + 2) as u64;
-                let t = Instant::now();
-                publisher.publish(&c).expect("publish");
-                publish_total += t.elapsed();
-                for _ in 0..subs {
-                    got_rx.recv().expect("delivery confirmed");
-                }
-                delivered_total += t.elapsed();
-            }
+            let (publish_avg, delivered_avg) = measure_fanout(base_config(), subs, stalled);
             let label = if stalled { "_with_stalled" } else { "" };
-            let publish_avg = publish_total / rounds as u32;
-            let delivered_avg = delivered_total / rounds as u32;
             println!(
                 "fanout subs={subs}{label}: publish ack {:>10.0} ns, all delivered {:>10.0} ns",
                 ns(publish_avg),
@@ -192,13 +210,93 @@ fn bench_net_json(opts: &Opts) {
                 format!("fanout_{subs}{label}_all_delivered_ns"),
                 ns(delivered_avg),
             ));
-            drop(publisher);
-            broker.shutdown();
-            drop(got_rx);
-            for t in threads {
-                let _ = t.join();
-            }
         }
+    }
+
+    // --- durable retention: the same fan-out with the log enabled ---
+    // The acceptance target: fsync-off durable publish-ack stays within
+    // 2x of the in-memory broker (the append is one buffered write under
+    // the state lock, before Ack).
+    let scratch = |tag: &str| {
+        std::env::temp_dir().join(format!("pbcd-bench-{tag}-{}.log", std::process::id()))
+    };
+    for &subs in sub_counts {
+        let path = scratch(&format!("fanout-{subs}"));
+        let _ = std::fs::remove_file(&path);
+        let (publish_avg, delivered_avg) = measure_fanout(
+            BrokerConfig {
+                store_path: Some(path.clone()),
+                fsync: FsyncPolicy::Off,
+                ..base_config()
+            },
+            subs,
+            false,
+        );
+        let _ = std::fs::remove_file(&path);
+        println!(
+            "persist fanout subs={subs}: publish ack {:>10.0} ns, all delivered {:>10.0} ns",
+            ns(publish_avg),
+            ns(delivered_avg)
+        );
+        entries.push((
+            format!("persist_fanout_{subs}_publish_ack_ns"),
+            ns(publish_avg),
+        ));
+        entries.push((
+            format!("persist_fanout_{subs}_all_delivered_ns"),
+            ns(delivered_avg),
+        ));
+    }
+
+    // --- retention log: raw append overhead + recovery scan time ---
+    // Append `records` epochs to a bare store (fsync off), then reopen it
+    // and time the recovery scan over the full log.
+    {
+        let records = if opts.quick { 16u64 } else { 256 };
+        let path = scratch("store");
+        let _ = std::fs::remove_file(&path);
+        let mut store =
+            RetentionStore::open(&path, 1, u64::MAX, FsyncPolicy::Off).expect("open store");
+        // Pre-encode one body per epoch so the timed loop is the append
+        // alone, not container serialization.
+        let batch: Vec<(ConfigSummary, Arc<Vec<u8>>)> = (1..=records)
+            .map(|epoch| {
+                let mut c = container.clone();
+                c.epoch = epoch;
+                let body = pbcd_net::frame::deliver_body(&c.encode().expect("container encodes"));
+                let summary = ConfigSummary {
+                    document_name: c.document_name.clone(),
+                    epoch,
+                    config_ids: c.groups.iter().map(|g| g.config_id).collect(),
+                    size_bytes: (body.len() - 4) as u64,
+                };
+                (summary, Arc::new(body))
+            })
+            .collect();
+        let t = Instant::now();
+        for (summary, body) in batch {
+            store.retain(summary, body).expect("retain");
+        }
+        let append_avg = t.elapsed() / records as u32;
+        store.sync().expect("sync");
+        drop(store);
+        let t = Instant::now();
+        let store =
+            RetentionStore::open(&path, 1, u64::MAX, FsyncPolicy::Off).expect("reopen store");
+        let recovery = t.elapsed();
+        assert_eq!(store.recovery().records_recovered, records);
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+        println!(
+            "retention log: append {:>10.0} ns/record, recovery of {records} records {:>10.0} ns",
+            ns(append_avg),
+            ns(recovery)
+        );
+        entries.push(("persist_append_ns".into(), ns(append_avg)));
+        entries.push((
+            format!("persist_recovery_{records}_records_ns"),
+            ns(recovery),
+        ));
     }
 
     // --- registration throughput: serialized vs concurrent handler ---
@@ -257,8 +355,10 @@ fn bench_net_json(opts: &Opts) {
     json.push_str(
         "  \"note\": \"publish_ack is the publisher-visible latency (enqueue-bounded); \
          with_stalled attaches one never-reading subscriber, which must not move it. \
-         On a 1-core host the serialized/concurrent registration pair is expected at \
-         parity; scaling shows on multicore.\",\n",
+         persist_* repeats the fan-out with the durable retention log on (fsync off); \
+         the append is one buffered write before Ack and must keep publish_ack within \
+         2x of in-memory. On a 1-core host the serialized/concurrent registration pair \
+         is expected at parity; scaling shows on multicore.\",\n",
     );
     json.push_str("  \"metrics\": {\n");
     for (i, (name, v)) in entries.iter().enumerate() {

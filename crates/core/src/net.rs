@@ -237,9 +237,37 @@ impl<G: CyclicGroup, K: BroadcastGkm> NetSubscriber<G, K> {
         addr: impl ToSocketAddrs,
         documents: &[&str],
     ) -> Result<Self, NetError> {
+        Self::connect_inner(subscriber, addr, documents, 1)
+    }
+
+    /// Like [`Self::connect`], but asks the broker to replay up to the
+    /// last `depth` retained epochs per document (a durable broker keeps
+    /// [`pbcd_net::BrokerConfig::history_depth`] of them). The broker
+    /// replays history oldest-first, so every replayed epoch passes this
+    /// adapter's strictly-increasing epoch filter and arrives through
+    /// [`Self::recv_container`] in epoch order.
+    pub fn connect_with_history(
+        subscriber: Subscriber<G, K>,
+        addr: impl ToSocketAddrs,
+        documents: &[&str],
+        depth: u32,
+    ) -> Result<Self, NetError> {
+        Self::connect_inner(subscriber, addr, documents, depth)
+    }
+
+    fn connect_inner(
+        subscriber: Subscriber<G, K>,
+        addr: impl ToSocketAddrs,
+        documents: &[&str],
+        depth: u32,
+    ) -> Result<Self, NetError> {
         let mut client = BrokerClient::connect(addr, PeerRole::Subscriber)?;
         client.set_read_timeout(Some(std::time::Duration::from_secs(10)))?;
-        client.subscribe(documents)?;
+        if depth <= 1 {
+            client.subscribe(documents)?;
+        } else {
+            client.subscribe_with_history(documents, depth)?;
+        }
         client.set_read_timeout(None)?;
         Ok(Self {
             subscriber,

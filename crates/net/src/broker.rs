@@ -33,9 +33,16 @@
 //!
 //! # Semantics
 //!
-//! * **Retained latest**: the newest container per document name is kept
-//!   and replayed to late subscribers (at-least-once: a subscriber racing a
-//!   publish may see the same epoch twice; epochs make that detectable).
+//! * **Retained history**: the newest [`BrokerConfig::history_depth`]
+//!   epochs per document are kept and replayed to late subscribers
+//!   oldest-first (at-least-once: a subscriber racing a publish may see
+//!   the same epoch twice; epochs make that detectable). A plain
+//!   `Subscribe` replays only the newest; [`Frame::SubscribeHistory`]
+//!   requests up to the retained depth.
+//! * **Durability** (optional): with [`BrokerConfig::store_path`] set,
+//!   every accepted publish is appended to a checksummed log before it is
+//!   acknowledged ([`crate::store`]); a restarted broker recovers its
+//!   retained set — and its epoch-monotonicity guard — from the log.
 //! * **Fan-out**: a publish is forwarded to every current subscriber whose
 //!   subscription matches the document (empty subscription = everything).
 //! * **Registration stays out-of-band**: the broker plays no part in the
@@ -48,9 +55,11 @@ use crate::frame::{
     deliver_body, publish_auth_message, read_frame_body, signed_container_offset, ConfigSummary,
     Frame, PeerRole, CONTAINER_OFFSET,
 };
+use crate::store::{FsyncPolicy, RecoveryReport, RetentionStore};
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -93,6 +102,23 @@ pub struct BrokerConfig {
     /// keys configured, unsigned publishes are refused and signed ones
     /// must verify and carry a strictly increasing epoch.
     pub publisher_auth: Option<Arc<dyn PublishAuth>>,
+    /// Path of the durable retention log. `None` (the default) keeps
+    /// retention purely in memory — the pre-durability behaviour. With a
+    /// path set, every accepted publish is appended (and synced per
+    /// [`Self::fsync`]) before it is acknowledged, and `bind` recovers the
+    /// retained set from the log's longest valid prefix.
+    pub store_path: Option<PathBuf>,
+    /// When log appends reach stable storage; irrelevant without
+    /// [`Self::store_path`]. See [`FsyncPolicy`] for the trade-offs.
+    pub fsync: FsyncPolicy,
+    /// How many epochs per document are retained for history replay
+    /// (clamped to ≥ 1). Depth 1 is exactly the old newest-epoch-wins
+    /// retention.
+    pub history_depth: usize,
+    /// Log-size cap: once the log outgrows this, live records are
+    /// compacted into a fresh file. Irrelevant without
+    /// [`Self::store_path`].
+    pub max_log_bytes: u64,
 }
 
 impl core::fmt::Debug for BrokerConfig {
@@ -109,6 +135,10 @@ impl core::fmt::Debug for BrokerConfig {
                 "publisher_auth",
                 &self.publisher_auth.as_ref().map(|a| a.is_required()),
             )
+            .field("store_path", &self.store_path)
+            .field("fsync", &self.fsync)
+            .field("history_depth", &self.history_depth)
+            .field("max_log_bytes", &self.max_log_bytes)
             .finish()
     }
 }
@@ -124,6 +154,10 @@ impl Default for BrokerConfig {
             max_retained_bytes: 256 * 1024 * 1024,
             subscriber_queue: 64,
             publisher_auth: None,
+            store_path: None,
+            fsync: FsyncPolicy::PerPublish,
+            history_depth: 1,
+            max_log_bytes: 1024 * 1024 * 1024,
         }
     }
 }
@@ -148,6 +182,18 @@ pub struct BrokerStats {
     /// Frames currently sitting in subscriber queues (a gauge, summed over
     /// live subscribers at the moment of the stats call).
     pub queue_depth: u64,
+    /// Distinct document names currently retained (a gauge).
+    pub retained_documents: u64,
+    /// Total container bytes currently retained across every held epoch
+    /// (a gauge; the currency of [`BrokerConfig::max_retained_bytes`]).
+    pub retained_bytes: u64,
+    /// Current size of the durable retention log in bytes (0 without a
+    /// [`BrokerConfig::store_path`]).
+    pub log_bytes: u64,
+    /// Records recovered from the log when this broker started.
+    pub records_recovered: u64,
+    /// Log compactions performed since this broker started.
+    pub compactions: u64,
 }
 
 /// One frame queued to a subscriber's writer thread: pre-framed body
@@ -192,17 +238,15 @@ impl SubEntry {
 }
 
 /// Mutable broker state behind one lock. The lock is held only for map
-/// bookkeeping and queue pushes — never across a socket write.
-#[derive(Default)]
+/// bookkeeping, retention-store updates and queue pushes — never across a
+/// socket write. (With `PerPublish` fsync the log sync also runs under the
+/// lock: that *is* the durability contract — the Ack must not outrun the
+/// disk.)
 struct State {
-    /// document name → pre-framed `Deliver` body of the latest container
-    /// (shared so fan-out and replay enqueue pointer clones; the container
-    /// encoding itself starts at [`CONTAINER_OFFSET`]).
-    retained: BTreeMap<String, Arc<Vec<u8>>>,
-    /// Running total of retained container bytes (enforces the byte cap).
-    retained_bytes: usize,
-    /// document name → public summary of the retained container.
-    summaries: BTreeMap<String, ConfigSummary>,
+    /// Per-document retained epoch history (pre-framed `Deliver` bodies,
+    /// shared so fan-out and replay enqueue pointer clones), optionally
+    /// backed by the on-disk log.
+    store: RetentionStore,
     /// connection id → subscriber registration.
     subscribers: BTreeMap<u64, SubEntry>,
     /// connection id → raw stream of every live connection (for shutdown).
@@ -233,14 +277,31 @@ impl Broker {
         Self::bind_with(addr, BrokerConfig::default())
     }
 
-    /// Binds with explicit configuration.
+    /// Binds with explicit configuration. With a
+    /// [`BrokerConfig::store_path`], this opens the log and recovers the
+    /// retained set (longest valid prefix, torn tail truncated) before the
+    /// first connection is accepted.
     pub fn bind_with(addr: &str, config: BrokerConfig) -> io::Result<BrokerHandle> {
+        let store = match &config.store_path {
+            Some(path) => RetentionStore::open(
+                path,
+                config.history_depth,
+                config.max_log_bytes,
+                config.fsync,
+            )?,
+            None => RetentionStore::in_memory(config.history_depth),
+        };
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             config,
             shutdown: AtomicBool::new(false),
-            state: Mutex::new(State::default()),
+            state: Mutex::new(State {
+                store,
+                subscribers: BTreeMap::new(),
+                connections: BTreeMap::new(),
+                threads: Vec::new(),
+            }),
             next_conn_id: AtomicU64::new(0),
             publishes: AtomicU64::new(0),
             publishes_rejected: AtomicU64::new(0),
@@ -275,13 +336,27 @@ impl BrokerHandle {
 
     /// Counter snapshot.
     pub fn stats(&self) -> BrokerStats {
-        let queue_depth = {
+        let (
+            queue_depth,
+            retained_documents,
+            retained_bytes,
+            log_bytes,
+            records_recovered,
+            compactions,
+        ) = {
             let state = self.shared.state.lock().expect("broker state");
-            state
-                .subscribers
-                .values()
-                .map(|s| s.depth.load(Ordering::Relaxed))
-                .sum()
+            (
+                state
+                    .subscribers
+                    .values()
+                    .map(|s| s.depth.load(Ordering::Relaxed))
+                    .sum(),
+                state.store.document_count() as u64,
+                state.store.retained_bytes() as u64,
+                state.store.log_bytes(),
+                state.store.recovery().records_recovered,
+                state.store.compactions(),
+            )
         };
         BrokerStats {
             publishes: self.shared.publishes.load(Ordering::Relaxed),
@@ -290,7 +365,23 @@ impl BrokerHandle {
             subscribers_dropped: self.shared.subscribers_dropped.load(Ordering::Relaxed),
             connections_rejected: self.shared.connections_rejected.load(Ordering::Relaxed),
             queue_depth,
+            retained_documents,
+            retained_bytes,
+            log_bytes,
+            records_recovered,
+            compactions,
         }
+    }
+
+    /// What startup recovery found in the durable log (all zeroes for an
+    /// in-memory broker or a fresh log).
+    pub fn recovery(&self) -> RecoveryReport {
+        self.shared
+            .state
+            .lock()
+            .expect("broker state")
+            .store
+            .recovery()
     }
 
     /// Number of currently registered subscribers.
@@ -311,8 +402,8 @@ impl BrokerHandle {
             .state
             .lock()
             .expect("broker state")
-            .retained
-            .get(document)
+            .store
+            .newest_body(document)
             .map(|body| body[CONTAINER_OFFSET..].to_vec())
     }
 
@@ -335,6 +426,8 @@ impl BrokerHandle {
             for stream in state.connections.values() {
                 let _ = stream.shutdown(Shutdown::Both);
             }
+            // Graceful shutdown loses nothing even under fsync-off.
+            let _ = state.store.sync();
         }
         // Unblock the accept loop. An unspecified bind address (0.0.0.0 /
         // ::) is not connectable on every platform — wake via loopback on
@@ -673,14 +766,23 @@ fn handle_connection(shared: Arc<Shared>, id: u64, mut stream: TcpStream) {
                 }
             }
             Frame::Subscribe { documents } => {
-                if handle_subscribe(shared, id, &mut writer, documents).is_err() {
+                if handle_subscribe(shared, id, &mut writer, documents, 1).is_err() {
+                    break;
+                }
+            }
+            Frame::SubscribeHistory { documents, depth } => {
+                // Depth is a request, not a demand: the broker replays at
+                // most what it retains (its configured history depth).
+                if handle_subscribe(shared, id, &mut writer, documents, depth.max(1) as usize)
+                    .is_err()
+                {
                     break;
                 }
             }
             Frame::ListConfigs => {
                 let entries: Vec<ConfigSummary> = {
                     let state = shared.state.lock().expect("broker state");
-                    state.summaries.values().cloned().collect()
+                    state.store.summaries()
                 };
                 if writer.reply(shared, id, &Frame::Configs(entries)).is_err() {
                     break;
@@ -768,8 +870,8 @@ fn handle_publish(
         // Bound the retained store: a peer must not be able to grow broker
         // memory without limit by inventing document names. Updates to
         // already-retained documents always pass.
-        if !state.retained.contains_key(&container.document_name)
-            && state.retained.len() >= shared.config.max_retained_documents
+        if state.store.newest_epoch(&container.document_name).is_none()
+            && state.store.document_count() >= shared.config.max_retained_documents
         {
             return Err(PublishReject::new(
                 RejectReason::RetentionCap,
@@ -784,28 +886,29 @@ fn handle_publish(
         // equal epoch passes so a publisher may idempotently retry a lost
         // Ack; in authenticated mode epochs must be strictly increasing, so
         // a captured signed publish cannot even be replayed at its own
-        // epoch.
-        if let Some(existing) = state.summaries.get(&container.document_name) {
+        // epoch. After a restart the comparison runs against the epochs
+        // recovered from the log, so a durable broker's monotonicity guard
+        // survives the crash.
+        if let Some(existing) = state.store.newest_epoch(&container.document_name) {
             let stale = if authenticated {
-                container.epoch <= existing.epoch
+                container.epoch <= existing
             } else {
-                container.epoch < existing.epoch
+                container.epoch < existing
             };
             if stale {
                 return Err(PublishReject::new(
                     RejectReason::StaleEpoch,
                     format!(
                         "stale epoch {} (retained epoch is {})",
-                        container.epoch, existing.epoch
+                        container.epoch, existing
                     ),
                 ));
             }
         }
-        let replaced_len = state
-            .retained
-            .get(&container.document_name)
-            .map_or(0, |b| b.len() - CONTAINER_OFFSET);
-        let new_total = state.retained_bytes - replaced_len + container_len;
+        let new_total =
+            state
+                .store
+                .projected_bytes(&container.document_name, container.epoch, container_len);
         if new_total > shared.config.max_retained_bytes {
             return Err(PublishReject::new(
                 RejectReason::RetentionCap,
@@ -815,13 +918,16 @@ fn handle_publish(
                 ),
             ));
         }
-        state.retained_bytes = new_total;
-        state
-            .retained
-            .insert(container.document_name.clone(), Arc::clone(&deliver));
-        state
-            .summaries
-            .insert(container.document_name.clone(), summary);
+        // Durability point: the log append (and fsync, per policy) happens
+        // here, before the Ack and before any fan-out enqueue. An append
+        // failure rejects the publish with nothing retained — the
+        // publisher may retry the same epoch once the disk recovers.
+        if let Err(e) = state.store.retain(summary, Arc::clone(&deliver)) {
+            return Err(PublishReject::new(
+                RejectReason::StoreFailure,
+                format!("retention log append failed: {e}"),
+            ));
+        }
         // Enqueue under the lock: queue pushes are non-blocking, and doing
         // them here gives a total order — a replay enqueued by a racing
         // subscribe can never land *after* this fresher epoch.
@@ -853,7 +959,9 @@ fn handle_publish(
 }
 
 /// Registers the subscription, spawns the subscriber's writer thread (on
-/// first subscribe), and enqueues the `Ack` plus retained replays.
+/// first subscribe), and enqueues the `Ack` plus retained replays — the
+/// newest `depth` epochs per matching document, oldest-first, so
+/// epoch-monotonic receivers accept the whole history.
 ///
 /// Lock discipline: registration, the replay snapshot and the replay
 /// enqueues all happen inside one state-lock critical section — and
@@ -865,6 +973,7 @@ fn handle_subscribe(
     id: u64,
     writer: &mut ConnWriter,
     documents: Vec<String>,
+    depth: usize,
 ) -> Result<(), NetError> {
     let ack = Arc::new(
         Frame::Ack {
@@ -891,26 +1000,21 @@ fn handle_subscribe(
         // always take its replay however many documents are retained.
         // `subscriber_queue` remains the backpressure bound for live
         // fan-out on top of that.
-        let (receiver, depth) = {
+        let (receiver, queue_depth) = {
             let mut state = shared.state.lock().expect("broker state");
             let entry_matches =
                 |doc: &str| documents.is_empty() || documents.iter().any(|d| d == doc);
             let replay: Vec<Arc<Vec<u8>>> = if shared.config.replay_retained {
-                state
-                    .retained
-                    .iter()
-                    .filter(|(doc, _)| entry_matches(doc))
-                    .map(|(_, body)| Arc::clone(body))
-                    .collect()
+                state.store.replay(entry_matches, depth)
             } else {
                 Vec::new()
             };
             let capacity = shared.config.subscriber_queue + replay.len() + 1;
             let (sender, receiver) = std::sync::mpsc::sync_channel(capacity);
-            let depth = Arc::new(AtomicU64::new(0));
+            let queue_depth = Arc::new(AtomicU64::new(0));
             let entry = SubEntry {
                 sender: sender.clone(),
-                depth: Arc::clone(&depth),
+                depth: Arc::clone(&queue_depth),
                 documents,
             };
             // Fits by construction; `enqueue` still guards the invariant.
@@ -922,11 +1026,11 @@ fn handle_subscribe(
                 }
             }
             state.subscribers.insert(id, entry);
-            *writer = ConnWriter::Queued(sender, Arc::clone(&depth));
-            (receiver, depth)
+            *writer = ConnWriter::Queued(sender, Arc::clone(&queue_depth));
+            (receiver, queue_depth)
         };
         let spawned = {
-            let writer_depth = Arc::clone(&depth);
+            let writer_depth = Arc::clone(&queue_depth);
             let writer_shared = Arc::clone(shared);
             std::thread::Builder::new()
                 .name(format!("pbcd-broker-writer-{id}"))
@@ -956,36 +1060,38 @@ fn handle_subscribe(
         // through the existing writer. The existing channel's capacity was
         // sized at first subscribe; a re-subscribe whose *new* replay no
         // longer fits is dropped (reconnecting fresh always works).
-        let ConnWriter::Queued(sender, depth) = &*writer else {
+        let ConnWriter::Queued(sender, queue_depth) = &*writer else {
             unreachable!("non-Direct is Queued");
         };
         let entry = SubEntry {
             sender: sender.clone(),
-            depth: Arc::clone(depth),
+            depth: Arc::clone(queue_depth),
             documents,
         };
         let mut state = shared.state.lock().expect("broker state");
-        register_and_replay(shared, &mut state, id, entry, &ack)
+        register_and_replay(shared, &mut state, id, entry, &ack, depth)
     }
 }
 
 /// Inserts the subscription and enqueues `Ack` + matching retained
-/// replays, all under the already-held state lock.
+/// replays (newest `depth` epochs per document, oldest-first), all under
+/// the already-held state lock.
 fn register_and_replay(
     shared: &Shared,
     state: &mut State,
     id: u64,
     entry: SubEntry,
     ack: &Arc<Vec<u8>>,
+    depth: usize,
 ) -> Result<(), NetError> {
     let mut jobs: Vec<Job> = vec![Job::Control(Arc::clone(ack))];
     if shared.config.replay_retained {
         jobs.extend(
             state
-                .retained
-                .iter()
-                .filter(|(doc, _)| entry.matches(doc))
-                .map(|(_, body)| Job::Deliver(Arc::clone(body))),
+                .store
+                .replay(|doc| entry.matches(doc), depth)
+                .into_iter()
+                .map(Job::Deliver),
         );
     }
     for job in jobs {

@@ -122,6 +122,27 @@ impl BrokerClient {
         }
     }
 
+    /// Subscribes to `documents` (empty = every document) and asks the
+    /// broker to replay up to the last `depth` retained epochs of each —
+    /// delivered oldest-first, so consumers that drop non-increasing
+    /// epochs accept the whole history. The broker replays at most what it
+    /// retains (its configured history depth); a plain [`Self::subscribe`]
+    /// is equivalent to depth 1.
+    pub fn subscribe_with_history<S: AsRef<str>>(
+        &mut self,
+        documents: &[S],
+        depth: u32,
+    ) -> Result<(), NetError> {
+        let documents = documents.iter().map(|s| s.as_ref().to_string()).collect();
+        self.send(&Frame::SubscribeHistory { documents, depth })?;
+        match self.wait_skipping_deliveries()? {
+            Frame::Ack { .. } => Ok(()),
+            other => Err(NetError::protocol(format!(
+                "expected subscribe Ack, got {other:?}"
+            ))),
+        }
+    }
+
     /// Asks the broker for its retained-container summaries.
     pub fn list_configs(&mut self) -> Result<Vec<ConfigSummary>, NetError> {
         self.send(&Frame::ListConfigs)?;

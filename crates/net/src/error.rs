@@ -22,6 +22,10 @@ pub enum RejectReason {
     StaleEpoch,
     /// Accepting the container would exceed a retention cap.
     RetentionCap,
+    /// The broker could not append the container to its durable retention
+    /// log (disk full, I/O error). Nothing was retained or fanned out; the
+    /// publisher may retry the same epoch once the broker recovers.
+    StoreFailure,
 }
 
 impl RejectReason {
@@ -33,6 +37,7 @@ impl RejectReason {
             Self::BadSignature => 3,
             Self::StaleEpoch => 4,
             Self::RetentionCap => 5,
+            Self::StoreFailure => 6,
         }
     }
 
@@ -44,6 +49,7 @@ impl RejectReason {
             3 => Self::BadSignature,
             4 => Self::StaleEpoch,
             5 => Self::RetentionCap,
+            6 => Self::StoreFailure,
             _ => return None,
         })
     }
@@ -57,6 +63,7 @@ impl core::fmt::Display for RejectReason {
             Self::BadSignature => "bad publish signature",
             Self::StaleEpoch => "stale or replayed epoch",
             Self::RetentionCap => "retention cap exceeded",
+            Self::StoreFailure => "durable retention store failure",
         };
         write!(f, "{s}")
     }

@@ -30,6 +30,10 @@ pub const PROTOCOL_VERSION: u8 = 1;
 /// both versions; encoders emit the lowest version that can express the
 /// frame.
 pub const PROTOCOL_VERSION_SIGNED: u8 = 2;
+/// Protocol version introducing [`Frame::SubscribeHistory`] (multi-epoch
+/// replay from the broker's durable retention store). Same negotiation
+/// rule: only peers that request history ever emit a v3 header.
+pub const PROTOCOL_VERSION_HISTORY: u8 = 3;
 /// Upper bound on a frame body (64 MiB) — a sanity bound against corrupt
 /// or hostile length prefixes, comfortably above the 16 MiB field limit.
 pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
@@ -139,6 +143,18 @@ pub enum Frame {
         /// Human-readable detail.
         message: String,
     },
+    /// Subscriber → broker (v3): subscribe to the named documents and
+    /// replay up to the last `depth` retained epochs of each (instead of
+    /// only the newest). Replay arrives **oldest-first** through the same
+    /// per-subscriber queue as live traffic, so epoch-monotonic receivers
+    /// accept every epoch.
+    SubscribeHistory {
+        /// Document names to receive; empty subscribes to everything.
+        documents: Vec<String>,
+        /// How many retained epochs per document to replay (0 is treated
+        /// as 1; the broker caps this at its configured history depth).
+        depth: u32,
+    },
 }
 
 const KIND_HELLO: u8 = 1;
@@ -152,6 +168,18 @@ const KIND_BYE: u8 = 8;
 const KIND_ERROR: u8 = 9;
 const KIND_PUBLISH_SIGNED: u8 = 10;
 const KIND_REJECT: u8 = 11;
+const KIND_SUBSCRIBE_HISTORY: u8 = 12;
+
+/// Lowest protocol version whose decoder understands `kind` — the header
+/// version a frame of that kind must carry (per-kind negotiation: encoders
+/// emit exactly this, decoders reject anything else).
+fn required_version(kind: u8) -> u8 {
+    match kind {
+        KIND_PUBLISH_SIGNED | KIND_REJECT => PROTOCOL_VERSION_SIGNED,
+        KIND_SUBSCRIBE_HISTORY => PROTOCOL_VERSION_HISTORY,
+        _ => PROTOCOL_VERSION,
+    }
+}
 
 /// Length of the Schnorr signature carried by [`Frame::PublishSigned`].
 pub const PUBLISH_SIGNATURE_LEN: usize = 64;
@@ -166,6 +194,7 @@ impl Frame {
         // see a v2 header unless they took part in a signed publish.
         buf.put_u8(match self {
             Self::PublishSigned { .. } | Self::Reject { .. } => PROTOCOL_VERSION_SIGNED,
+            Self::SubscribeHistory { .. } => PROTOCOL_VERSION_HISTORY,
             _ => PROTOCOL_VERSION,
         });
         match self {
@@ -230,6 +259,14 @@ impl Frame {
                 buf.put_u8(reason.code());
                 put_str(&mut buf, message)?;
             }
+            Self::SubscribeHistory { documents, depth } => {
+                buf.put_u8(KIND_SUBSCRIBE_HISTORY);
+                buf.put_u32(*depth);
+                buf.put_u32(documents.len() as u32);
+                for d in documents {
+                    put_str(&mut buf, d)?;
+                }
+            }
         }
         Ok(buf.to_vec())
     }
@@ -247,13 +284,12 @@ impl Frame {
             return Err(WireError::BadHeader);
         }
         let version = buf.get_u8();
-        if version != PROTOCOL_VERSION && version != PROTOCOL_VERSION_SIGNED {
+        if !(PROTOCOL_VERSION..=PROTOCOL_VERSION_HISTORY).contains(&version) {
             return Err(WireError::BadHeader);
         }
         let kind = buf.get_u8();
-        // The v2 kinds require the v2 header; everything else rides v1.
-        let v2_kind = kind == KIND_PUBLISH_SIGNED || kind == KIND_REJECT;
-        if v2_kind != (version == PROTOCOL_VERSION_SIGNED) {
+        // Each kind rides exactly the version that introduced it.
+        if version != required_version(kind) {
             return Err(WireError::BadHeader);
         }
         let frame = match kind {
@@ -349,6 +385,19 @@ impl Frame {
                     reason,
                     message: get_str(&mut buf)?,
                 }
+            }
+            KIND_SUBSCRIBE_HISTORY => {
+                let depth = get_u32(&mut buf)?;
+                let count = get_u32(&mut buf)? as usize;
+                // Each document name costs ≥ 4 bytes on the wire.
+                if count > data.len() / 4 + 1 {
+                    return Err(WireError::Truncated);
+                }
+                let mut documents = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    documents.push(get_str(&mut buf)?);
+                }
+                Self::SubscribeHistory { documents, depth }
             }
             _ => return Err(WireError::BadHeader),
         };
@@ -550,6 +599,14 @@ mod tests {
                 reason: RejectReason::StaleEpoch,
                 message: "retained epoch is 9".into(),
             },
+            Frame::SubscribeHistory {
+                documents: vec!["EHR.xml".into()],
+                depth: 4,
+            },
+            Frame::SubscribeHistory {
+                documents: vec![],
+                depth: 0,
+            },
         ]
     }
 
@@ -629,11 +686,21 @@ mod tests {
         };
         let enc = signed.encode().unwrap();
         assert_eq!(enc[2], PROTOCOL_VERSION_SIGNED);
-        // …and a version/kind mismatch in either direction is rejected.
+        // …history subscribes carry v3…
+        let history = Frame::SubscribeHistory {
+            documents: vec![],
+            depth: 2,
+        };
+        let enc = history.encode().unwrap();
+        assert_eq!(enc[2], PROTOCOL_VERSION_HISTORY);
+        // …and a version/kind mismatch in any direction is rejected.
         let mut forged = Frame::Bye.encode().unwrap();
         forged[2] = PROTOCOL_VERSION_SIGNED;
         assert_eq!(Frame::decode(&forged), Err(WireError::BadHeader));
         let mut downgraded = signed.encode().unwrap();
+        downgraded[2] = PROTOCOL_VERSION;
+        assert_eq!(Frame::decode(&downgraded), Err(WireError::BadHeader));
+        let mut downgraded = history.encode().unwrap();
         downgraded[2] = PROTOCOL_VERSION;
         assert_eq!(Frame::decode(&downgraded), Err(WireError::BadHeader));
     }

@@ -23,6 +23,9 @@
 //! * [`broker`] — the threaded accept-loop broker: retained latest
 //!   container per document, concurrent fan-out through per-subscriber
 //!   writer queues, per-connection error isolation, graceful shutdown,
+//! * [`store`] — durable, history-capable retention: a checksummed
+//!   append-only log of ciphertext containers with crash recovery
+//!   (longest-valid-prefix + torn-tail truncation) and compaction,
 //! * [`client`] — the synchronous [`BrokerClient`] endpoint,
 //! * [`direct`] — [`RegistrationServer`]/[`RegistrationClient`]: the
 //!   length-prefixed request/response transport for the legs that must
@@ -42,6 +45,7 @@ pub mod client;
 pub mod direct;
 pub mod error;
 pub mod frame;
+pub mod store;
 
 pub use auth::{AuthOutcome, PublishAuth, PublisherDirectory};
 pub use broker::{Broker, BrokerConfig, BrokerHandle, BrokerStats};
@@ -50,5 +54,6 @@ pub use direct::{DirectConfig, RegistrationClient, RegistrationServer};
 pub use error::{NetError, RejectReason};
 pub use frame::{
     read_frame, write_frame, ConfigSummary, Frame, PeerRole, MAX_FRAME_LEN, PROTOCOL_VERSION,
-    PROTOCOL_VERSION_SIGNED,
+    PROTOCOL_VERSION_HISTORY, PROTOCOL_VERSION_SIGNED,
 };
+pub use store::{FsyncPolicy, RecordError, RecoveryReport, RetentionStore, StoredRecord};

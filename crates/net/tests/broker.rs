@@ -311,15 +311,19 @@ fn retained_document_cap_bounds_broker_memory() {
     let mut publisher = BrokerClient::connect(broker.addr(), PeerRole::Publisher).unwrap();
     publisher.publish(&container("a.xml", 1)).unwrap();
     publisher.publish(&container("b.xml", 1)).unwrap();
+    assert_eq!(broker.stats().retained_documents, 2);
     // A third distinct document is rejected (and the connection dropped).
     match publisher.publish(&container("c.xml", 1)) {
         Err(NetError::Protocol(msg)) => assert!(msg.contains("cap")),
         other => panic!("expected cap rejection, got {other:?}"),
     }
     assert!(broker.retained_container("c.xml").is_none());
+    // The gauge reflects the refusal: the retained set did not grow.
+    assert_eq!(broker.stats().retained_documents, 2);
     // Updates to already-retained documents still pass.
     let mut publisher = BrokerClient::connect(broker.addr(), PeerRole::Publisher).unwrap();
     assert_eq!(publisher.publish(&container("a.xml", 2)).unwrap().epoch, 2);
+    assert_eq!(broker.stats().retained_documents, 2);
     broker.shutdown();
 }
 
@@ -337,14 +341,27 @@ fn retained_byte_cap_bounds_broker_memory() {
     // One ~250-byte container fits; a second distinct document would push
     // the total past the byte cap and is refused.
     publisher.publish(&container("a.xml", 1)).unwrap();
+    let retained = broker.stats().retained_bytes;
+    assert!(
+        retained > 0 && retained <= 400,
+        "gauge tracks the retained container ({retained} bytes)"
+    );
     match publisher.publish(&container("b.xml", 1)) {
         Err(NetError::Protocol(msg)) => assert!(msg.contains("byte cap")),
         other => panic!("expected byte-cap rejection, got {other:?}"),
     }
+    // The gauge reflects the refusal: nothing was added.
+    assert_eq!(broker.stats().retained_bytes, retained);
     // Replacing the retained container for the same document still works
     // (the replaced bytes are freed from the running total).
     let mut publisher = BrokerClient::connect(broker.addr(), PeerRole::Publisher).unwrap();
     assert_eq!(publisher.publish(&container("a.xml", 2)).unwrap().epoch, 2);
+    assert_eq!(
+        broker.stats().retained_bytes,
+        retained,
+        "same-size replacement keeps the gauge level"
+    );
+    assert_eq!(broker.stats().retained_documents, 1);
     broker.shutdown();
 }
 

@@ -1,0 +1,232 @@
+//! Multi-epoch history semantics over real loopback sockets: a broker
+//! with history depth K retains (and replays) exactly the newest K epochs
+//! per document, oldest-first; and the epoch-monotonicity guard — the
+//! closure of the `u64::MAX` wedge — survives a broker restart because it
+//! runs against the epochs recovered from the durable log.
+
+use pbcd_docs::{BroadcastContainer, EncryptedGroup, EncryptedSegment};
+use pbcd_group::{P256Group, SigningKey};
+use pbcd_net::{
+    Broker, BrokerClient, BrokerConfig, BrokerHandle, FsyncPolicy, NetError, PeerRole,
+    PublisherDirectory, RejectReason,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn scratch_log(tag: &str) -> (PathBuf, ScratchGuard) {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let path =
+        std::env::temp_dir().join(format!("pbcd-history-{tag}-{}-{n}.log", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    (path.clone(), ScratchGuard(path))
+}
+
+struct ScratchGuard(PathBuf);
+
+impl Drop for ScratchGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+        let mut compact = self.0.as_os_str().to_os_string();
+        compact.push(".compact");
+        let _ = std::fs::remove_file(compact);
+    }
+}
+
+fn container(doc: &str, epoch: u64) -> BroadcastContainer {
+    BroadcastContainer {
+        epoch,
+        document_name: doc.to_string(),
+        skeleton_xml: format!("<r><pbcd-segment id=\"0\"/><!--{epoch}--></r>"),
+        groups: vec![EncryptedGroup {
+            config_id: 0,
+            key_info: vec![0xAB; 32],
+            segments: vec![EncryptedSegment {
+                segment_id: 0,
+                tag: "Record".into(),
+                ciphertext: vec![epoch as u8; 128],
+            }],
+        }],
+    }
+}
+
+fn delivered_epochs(client: &mut BrokerClient, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|_| client.next_delivery().unwrap().epoch)
+        .collect()
+}
+
+fn assert_no_more_deliveries(client: &mut BrokerClient) {
+    client
+        .set_read_timeout(Some(std::time::Duration::from_millis(200)))
+        .unwrap();
+    assert!(matches!(client.next_delivery(), Err(NetError::Io { .. })));
+}
+
+/// N epochs into a depth-K broker: a fresh subscriber requesting the last
+/// K gets exactly the newest K, oldest-first — no more, no less.
+#[test]
+fn history_subscriber_gets_exactly_the_newest_k_oldest_first() {
+    const K: usize = 3;
+    let broker = Broker::bind_with(
+        "127.0.0.1:0",
+        BrokerConfig {
+            history_depth: K,
+            ..BrokerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut publisher = BrokerClient::connect(broker.addr(), PeerRole::Publisher).unwrap();
+    for epoch in 1..=7u64 {
+        publisher.publish(&container("doc.xml", epoch)).unwrap();
+    }
+
+    // Requesting exactly K replays epochs 5,6,7 in that order.
+    let mut sub = BrokerClient::connect(broker.addr(), PeerRole::Subscriber).unwrap();
+    sub.subscribe_with_history(&["doc.xml"], K as u32).unwrap();
+    assert_eq!(delivered_epochs(&mut sub, K), vec![5, 6, 7]);
+    assert_no_more_deliveries(&mut sub);
+
+    // Requesting more than the broker retains yields the same window.
+    let mut greedy = BrokerClient::connect(broker.addr(), PeerRole::Subscriber).unwrap();
+    greedy.subscribe_with_history(&["doc.xml"], 100).unwrap();
+    assert_eq!(delivered_epochs(&mut greedy, K), vec![5, 6, 7]);
+    assert_no_more_deliveries(&mut greedy);
+
+    // Requesting less trims from the old end…
+    let mut shallow = BrokerClient::connect(broker.addr(), PeerRole::Subscriber).unwrap();
+    shallow.subscribe_with_history(&["doc.xml"], 2).unwrap();
+    assert_eq!(delivered_epochs(&mut shallow, 2), vec![6, 7]);
+    assert_no_more_deliveries(&mut shallow);
+
+    // …and a plain Subscribe stays newest-only (back-compat).
+    let mut plain = BrokerClient::connect(broker.addr(), PeerRole::Subscriber).unwrap();
+    plain.subscribe(&["doc.xml"]).unwrap();
+    assert_eq!(delivered_epochs(&mut plain, 1), vec![7]);
+    assert_no_more_deliveries(&mut plain);
+
+    broker.shutdown();
+}
+
+/// History replay and live fan-out share one ordered queue: a subscriber
+/// that joins mid-stream sees replayed history strictly before fresher
+/// live epochs, never interleaved out of order.
+#[test]
+fn history_replay_orders_before_live_deliveries() {
+    let broker = Broker::bind_with(
+        "127.0.0.1:0",
+        BrokerConfig {
+            history_depth: 2,
+            ..BrokerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut publisher = BrokerClient::connect(broker.addr(), PeerRole::Publisher).unwrap();
+    publisher.publish(&container("doc.xml", 1)).unwrap();
+    publisher.publish(&container("doc.xml", 2)).unwrap();
+
+    let mut sub = BrokerClient::connect(broker.addr(), PeerRole::Subscriber).unwrap();
+    sub.subscribe_with_history(&["doc.xml"], 2).unwrap();
+    publisher.publish(&container("doc.xml", 3)).unwrap();
+
+    assert_eq!(delivered_epochs(&mut sub, 3), vec![1, 2, 3]);
+    broker.shutdown();
+}
+
+/// The depth-1 configuration is exactly the old newest-epoch-wins broker:
+/// multi-epoch requests degrade to the single retained epoch.
+#[test]
+fn depth_one_broker_retains_only_the_newest() {
+    let broker = Broker::bind("127.0.0.1:0").unwrap();
+    let mut publisher = BrokerClient::connect(broker.addr(), PeerRole::Publisher).unwrap();
+    for epoch in 1..=4u64 {
+        publisher.publish(&container("doc.xml", epoch)).unwrap();
+    }
+    let mut sub = BrokerClient::connect(broker.addr(), PeerRole::Subscriber).unwrap();
+    sub.subscribe_with_history(&["doc.xml"], 4).unwrap();
+    assert_eq!(delivered_epochs(&mut sub, 1), vec![4]);
+    assert_no_more_deliveries(&mut sub);
+    broker.shutdown();
+}
+
+fn keyed_durable_broker(
+    group: &P256Group,
+    key: &SigningKey<P256Group>,
+    path: &std::path::Path,
+) -> BrokerHandle {
+    let directory = PublisherDirectory::new(group.clone()).with_key("pub-1", key.verifying_key());
+    Broker::bind_with(
+        "127.0.0.1:0",
+        BrokerConfig {
+            publisher_auth: Some(Arc::new(directory)),
+            store_path: Some(path.to_path_buf()),
+            fsync: FsyncPolicy::Off,
+            history_depth: 2,
+            ..BrokerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Epoch monotonicity — including the closure of the `u64::MAX` wedge —
+/// survives a restart: the stale-epoch guard runs against epochs recovered
+/// from the log, so a captured signed publish cannot be replayed into the
+/// broker's next life, and an unauthenticated peer still cannot wedge a
+/// name at `u64::MAX`.
+#[test]
+fn epoch_monotonicity_and_the_wedge_closure_survive_a_restart() {
+    let group = P256Group::new();
+    let mut rng = StdRng::seed_from_u64(0xD06);
+    let key = SigningKey::generate(&group, &mut rng);
+    let (path, _guard) = scratch_log("wedge");
+
+    // First life: authenticated epochs 1 and 2 land.
+    let broker = keyed_durable_broker(&group, &key, &path);
+    let mut publisher = BrokerClient::connect(broker.addr(), PeerRole::Publisher).unwrap();
+    for epoch in [1, 2] {
+        publisher
+            .publish_signed(
+                &group,
+                "pub-1",
+                &key,
+                &container("ward.xml", epoch),
+                &mut rng,
+            )
+            .unwrap();
+    }
+    drop(publisher);
+    broker.shutdown();
+
+    // Second life: the recovered epochs drive the staleness guard.
+    let broker = keyed_durable_broker(&group, &key, &path);
+    assert_eq!(broker.stats().records_recovered, 2);
+    let mut publisher = BrokerClient::connect(broker.addr(), PeerRole::Publisher).unwrap();
+
+    // Replaying the captured epoch-2 publish (even correctly signed) is
+    // refused: authenticated epochs stay *strictly* increasing across the
+    // restart.
+    match publisher.publish_signed(&group, "pub-1", &key, &container("ward.xml", 2), &mut rng) {
+        Err(NetError::Rejected { reason, .. }) => assert_eq!(reason, RejectReason::StaleEpoch),
+        other => panic!("expected stale-epoch rejection, got {other:?}"),
+    }
+
+    // A hostile unauthenticated peer still cannot wedge the name.
+    let mut hostile = BrokerClient::connect(broker.addr(), PeerRole::Publisher).unwrap();
+    assert!(hostile.publish(&container("ward.xml", u64::MAX)).is_err());
+
+    // The legitimate publisher proceeds at epoch 3 on the same connection.
+    let receipt = publisher
+        .publish_signed(&group, "pub-1", &key, &container("ward.xml", 3), &mut rng)
+        .unwrap();
+    assert_eq!(receipt.epoch, 3);
+
+    // A history subscriber sees the recovered epoch plus the fresh one,
+    // oldest-first (depth 2 window over {2, 3}).
+    let mut sub = BrokerClient::connect(broker.addr(), PeerRole::Subscriber).unwrap();
+    sub.subscribe_with_history(&["ward.xml"], 2).unwrap();
+    assert_eq!(delivered_epochs(&mut sub, 2), vec![2, 3]);
+    broker.shutdown();
+}
