@@ -163,11 +163,15 @@ fn bench_net_json(opts: &Opts) {
             BrokerClient::connect(addr, PeerRole::Publisher).expect("publisher connects");
         let mut publish_total = Duration::ZERO;
         let mut delivered_total = Duration::ZERO;
+        // Per-round ack RTTs also land in a telemetry histogram, so the
+        // JSON carries real percentiles, not just the mean.
+        let ack_hist = pbcd_telemetry::Registry::new().histogram("ack_ns");
         let mut c = container.clone();
         for round in 0..rounds {
             c.epoch = (round + 2) as u64;
             let t = Instant::now();
             publisher.publish(&c).expect("publish");
+            ack_hist.record_since(t);
             publish_total += t.elapsed();
             for _ in 0..subs {
                 got_rx.recv().expect("delivery confirmed");
@@ -183,6 +187,7 @@ fn bench_net_json(opts: &Opts) {
         (
             publish_total / rounds as u32,
             delivered_total / rounds as u32,
+            ack_hist.snapshot(),
         )
     };
     let base_config = || BrokerConfig {
@@ -195,17 +200,22 @@ fn bench_net_json(opts: &Opts) {
     let sub_counts: &[usize] = if opts.quick { &[4] } else { &[16, 64] };
     for &subs in sub_counts {
         for stalled in [false, true] {
-            let (publish_avg, delivered_avg) = measure_fanout(base_config(), subs, stalled);
+            let (publish_avg, delivered_avg, ack) = measure_fanout(base_config(), subs, stalled);
             let label = if stalled { "_with_stalled" } else { "" };
             println!(
-                "fanout subs={subs}{label}: publish ack {:>10.0} ns, all delivered {:>10.0} ns",
+                "fanout subs={subs}{label}: publish ack {:>10.0} ns (p50 {} p99 {}), all delivered {:>10.0} ns",
                 ns(publish_avg),
+                ack.p50,
+                ack.p99,
                 ns(delivered_avg)
             );
             entries.push((
                 format!("fanout_{subs}{label}_publish_ack_ns"),
                 ns(publish_avg),
             ));
+            for (q, v) in [("p50", ack.p50), ("p90", ack.p90), ("p99", ack.p99)] {
+                entries.push((format!("fanout_{subs}{label}_publish_ack_{q}_ns"), v as f64));
+            }
             entries.push((
                 format!("fanout_{subs}{label}_all_delivered_ns"),
                 ns(delivered_avg),
@@ -223,7 +233,7 @@ fn bench_net_json(opts: &Opts) {
     for &subs in sub_counts {
         let path = scratch(&format!("fanout-{subs}"));
         let _ = std::fs::remove_file(&path);
-        let (publish_avg, delivered_avg) = measure_fanout(
+        let (publish_avg, delivered_avg, _) = measure_fanout(
             BrokerConfig {
                 store_path: Some(path.clone()),
                 fsync: FsyncPolicy::Off,
@@ -246,6 +256,56 @@ fn bench_net_json(opts: &Opts) {
             format!("persist_fanout_{subs}_all_delivered_ns"),
             ns(delivered_avg),
         ));
+    }
+
+    // --- durable retention, interval fsync: the middle policy ---
+    // `Interval` bounds the power-loss window without an fsync per
+    // publish; its publish-ack cost should sit between fsync-off and
+    // per-publish. One fan-out width is enough to place it.
+    {
+        let subs = sub_counts[0];
+        let path = scratch(&format!("fanout-interval-{subs}"));
+        let _ = std::fs::remove_file(&path);
+        let (publish_avg, delivered_avg, _) = measure_fanout(
+            BrokerConfig {
+                store_path: Some(path.clone()),
+                fsync: FsyncPolicy::Interval(Duration::from_millis(50)),
+                ..base_config()
+            },
+            subs,
+            false,
+        );
+        let _ = std::fs::remove_file(&path);
+        println!(
+            "persist fanout subs={subs} fsync=50ms: publish ack {:>10.0} ns, all delivered {:>10.0} ns",
+            ns(publish_avg),
+            ns(delivered_avg)
+        );
+        entries.push((
+            format!("persist_fsync_interval_{subs}_publish_ack_ns"),
+            ns(publish_avg),
+        ));
+        entries.push((
+            format!("persist_fsync_interval_{subs}_all_delivered_ns"),
+            ns(delivered_avg),
+        ));
+    }
+
+    // --- telemetry recording cost: the per-event price of the registry ---
+    // One histogram record is the unit the broker hot path pays per
+    // publish/delivery; it must be nanoseconds, not microseconds.
+    {
+        let iters = if opts.quick { 10_000u64 } else { 1_000_000 };
+        let registry = pbcd_telemetry::Registry::new();
+        let h = registry.histogram("bench_record_ns");
+        let t = Instant::now();
+        for i in 0..iters {
+            h.record(i);
+        }
+        let per_record = t.elapsed().as_secs_f64() * 1e9 / iters as f64;
+        assert_eq!(h.snapshot().count, iters);
+        println!("telemetry: histogram record {per_record:>10.1} ns/event");
+        entries.push(("telemetry_record_ns".into(), per_record));
     }
 
     // --- retention log: raw append overhead + recovery scan time ---

@@ -38,9 +38,11 @@ pub const MAX_MESSAGE_LEN: usize = 4 * 1024 * 1024;
 const KIND_CONDITIONS_QUERY: u8 = 1;
 const KIND_REGISTER_REQUEST: u8 = 2;
 const KIND_ISSUE_REQUEST: u8 = 3;
+const KIND_STATS_QUERY: u8 = 4;
 const KIND_CONDITIONS: u8 = 16;
 const KIND_REGISTER_RESPONSE: u8 = 17;
 const KIND_ISSUE_RESPONSE: u8 = 18;
+const KIND_STATS: u8 = 19;
 const KIND_ERROR: u8 = 31;
 
 /// Typed error codes carried by [`ErrorResponse`] — the wire projection of
@@ -184,6 +186,10 @@ pub enum Request<G: CyclicGroup> {
     Register(RegisterRequest<G>),
     /// Token issuance.
     Issue(IssueRequest),
+    /// Ask the endpoint for its telemetry exposition. Carries nothing;
+    /// the reply is aggregates only (the same threat model as the broker's
+    /// stats frame: never token material, attribute values or envelopes).
+    Stats,
 }
 
 /// A protocol response (publisher/issuer → subscriber).
@@ -194,6 +200,12 @@ pub enum Response<G: CyclicGroup> {
     Register(RegisterResponse<G>),
     /// Reply to [`Request::Issue`].
     Issue(IssueResponse<G>),
+    /// Reply to [`Request::Stats`]: the text exposition of the endpoint's
+    /// metrics registry.
+    Stats {
+        /// `name{label} value` exposition lines.
+        text: String,
+    },
     /// Typed failure; the connection stays usable.
     Error(ErrorResponse),
 }
@@ -559,6 +571,9 @@ impl<G: CyclicGroup> Request<G> {
                 wire::put_str(&mut buf, &r.attribute)?;
                 buf.put_u64(r.value);
             }
+            Self::Stats => {
+                buf = header(KIND_STATS_QUERY);
+            }
         }
         Ok(buf)
     }
@@ -594,6 +609,7 @@ impl<G: CyclicGroup> Request<G> {
                     value,
                 })
             }
+            KIND_STATS_QUERY => Self::Stats,
             _ => return Err(WireError::BadHeader),
         };
         finish(buf)?;
@@ -624,6 +640,10 @@ impl<G: CyclicGroup> Response<G> {
                 buf = header(KIND_ISSUE_RESPONSE);
                 put_token(&mut buf, group, &r.token)?;
                 put_opening(&mut buf, &r.opening);
+            }
+            Self::Stats { text } => {
+                buf = header(KIND_STATS);
+                wire::put_str(&mut buf, text)?;
             }
             Self::Error(e) => {
                 buf = header(KIND_ERROR);
@@ -666,6 +686,9 @@ impl<G: CyclicGroup> Response<G> {
                 let opening = get_opening(&mut buf, group)?;
                 Self::Issue(IssueResponse { token, opening })
             }
+            KIND_STATS => Self::Stats {
+                text: wire::get_str(&mut buf)?,
+            },
             KIND_ERROR => {
                 let code = ErrorCode::from_code(wire::get_u8(&mut buf)?)?;
                 let message = wire::get_str(&mut buf)?;
@@ -700,6 +723,44 @@ pub fn is_full_conditions_query(data: &[u8]) -> bool {
     matches!(open_header(data), Ok((KIND_CONDITIONS_QUERY, payload)) if payload == [0])
 }
 
+/// True iff `data` is a well-formed stats query (empty payload) — a cheap
+/// classifier so services can answer from their registry before any
+/// group-dependent decode.
+pub fn is_stats_query(data: &[u8]) -> bool {
+    matches!(open_header(data), Ok((KIND_STATS_QUERY, payload)) if payload.is_empty())
+}
+
+/// Short label for a request's kind byte — the `kind` label on the
+/// services' per-request-kind latency histograms. Malformed headers (which
+/// still cost a decode attempt and an error response) classify as
+/// `"malformed"`.
+pub fn request_kind_label(data: &[u8]) -> &'static str {
+    match open_header(data) {
+        Ok((KIND_CONDITIONS_QUERY, _)) => "conditions",
+        Ok((KIND_REGISTER_REQUEST, _)) => "register",
+        Ok((KIND_ISSUE_REQUEST, _)) => "issue",
+        Ok((KIND_STATS_QUERY, _)) => "stats",
+        _ => "malformed",
+    }
+}
+
+/// The OCBE envelope flavour inside an encoded register *response*
+/// (`"eq"`, `"ge"`, `"le"`, `"dual"`), read from the payload discriminant
+/// without a group context. `None` for anything that is not a well-formed
+/// register response — the label source for `ocbe_envelopes_total`.
+pub fn register_envelope_kind(data: &[u8]) -> Option<&'static str> {
+    match open_header(data) {
+        Ok((KIND_REGISTER_RESPONSE, payload)) => match payload.first()? {
+            0 => Some("eq"),
+            1 => Some("ge"),
+            2 => Some("le"),
+            3 => Some("dual"),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
 impl<G: CyclicGroup> core::fmt::Debug for Request<G> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
@@ -712,6 +773,7 @@ impl<G: CyclicGroup> core::fmt::Debug for Request<G> {
                 r.token, r.cond, r.proof
             ),
             Self::Issue(r) => write!(f, "Issue({}/{})", r.subject, r.attribute),
+            Self::Stats => write!(f, "Stats"),
         }
     }
 }
@@ -728,6 +790,7 @@ impl<G: CyclicGroup> core::fmt::Debug for Response<G> {
             ),
             Self::Register(r) => write!(f, "Register({:?})", r.envelope),
             Self::Issue(r) => write!(f, "Issue({:?})", r.token),
+            Self::Stats { text } => write!(f, "Stats({} bytes)", text.len()),
             Self::Error(e) => write!(f, "Error({:?}: {})", e.code, e.message),
         }
     }

@@ -21,12 +21,17 @@ use crate::proto::{
 use crate::publisher::{Publisher, Registrar};
 use pbcd_gkm::{AcvBgkm, BroadcastGkm};
 use pbcd_group::CyclicGroup;
+use pbcd_telemetry::{Counter, Gauge, Histogram, Registry, Snapshot};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
-/// Running counters a service keeps about its traffic.
+/// Running counters a service keeps about its traffic — a fixed-shape
+/// view over the service's metrics registry (every field reads a registry
+/// counter; [`PublisherService::metrics`] exposes the full set, including
+/// per-request-kind latency histograms and OCBE envelope counters).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Requests handled (including rejected ones). Does **not** include
@@ -71,6 +76,102 @@ fn code_for(err: &PbcdError) -> ErrorCode {
     }
 }
 
+/// Pre-resolved registry handles for the service-plane metrics. Clonable:
+/// [`SharedPublisherService`] keeps a clone whose handles point at the
+/// same underlying atomics as the wrapped service's, so both request
+/// paths feed one registry.
+#[derive(Clone)]
+struct ServiceTelemetry {
+    registry: Arc<Registry>,
+    requests: Counter,
+    registrations: Counter,
+    errors: Counter,
+    snapshot_hits: Gauge,
+    env_eq: Counter,
+    env_ge: Counter,
+    env_le: Counter,
+    env_dual: Counter,
+    handle_conditions_ns: Histogram,
+    handle_register_ns: Histogram,
+    handle_issue_ns: Histogram,
+    handle_stats_ns: Histogram,
+    handle_malformed_ns: Histogram,
+    group_exp: Gauge,
+    group_exp2: Gauge,
+}
+
+impl ServiceTelemetry {
+    /// Registers the full service metric set eagerly, so even a fresh
+    /// service's exposition shows every name at zero.
+    fn new() -> ServiceTelemetry {
+        let registry = Arc::new(Registry::new());
+        ServiceTelemetry {
+            requests: registry.counter("service_requests_total"),
+            registrations: registry.counter("service_registrations_total"),
+            errors: registry.counter("service_errors_total"),
+            snapshot_hits: registry.gauge("service_conditions_cache_hits"),
+            env_eq: registry.counter("ocbe_envelopes_total{kind=\"eq\"}"),
+            env_ge: registry.counter("ocbe_envelopes_total{kind=\"ge\"}"),
+            env_le: registry.counter("ocbe_envelopes_total{kind=\"le\"}"),
+            env_dual: registry.counter("ocbe_envelopes_total{kind=\"dual\"}"),
+            handle_conditions_ns: registry.histogram("service_handle_ns{kind=\"conditions\"}"),
+            handle_register_ns: registry.histogram("service_handle_ns{kind=\"register\"}"),
+            handle_issue_ns: registry.histogram("service_handle_ns{kind=\"issue\"}"),
+            handle_stats_ns: registry.histogram("service_handle_ns{kind=\"stats\"}"),
+            handle_malformed_ns: registry.histogram("service_handle_ns{kind=\"malformed\"}"),
+            group_exp: registry.gauge("group_exp_total"),
+            group_exp2: registry.gauge("group_exp2_total"),
+            registry,
+        }
+    }
+
+    /// The latency histogram for a request-kind label (from
+    /// [`proto::request_kind_label`]).
+    fn histogram_for(&self, kind: &str) -> &Histogram {
+        match kind {
+            "conditions" => &self.handle_conditions_ns,
+            "register" => &self.handle_register_ns,
+            "issue" => &self.handle_issue_ns,
+            "stats" => &self.handle_stats_ns,
+            _ => &self.handle_malformed_ns,
+        }
+    }
+
+    /// Counts one composed OCBE envelope under its flavour label.
+    fn count_envelope(&self, kind: &str) {
+        match kind {
+            "eq" => self.env_eq.inc(),
+            "ge" => self.env_ge.inc(),
+            "le" => self.env_le.inc(),
+            "dual" => self.env_dual.inc(),
+            _ => {}
+        }
+    }
+
+    /// Books a served request: errors, registrations and envelope
+    /// flavours from the byte classifiers, plus the per-kind latency.
+    fn record(&self, request: &[u8], response: &[u8], start: Instant) {
+        if proto::is_error_response(response) {
+            self.errors.inc();
+        } else if proto::is_register_request(request) {
+            self.registrations.inc();
+            if let Some(kind) = proto::register_envelope_kind(response) {
+                self.count_envelope(kind);
+            }
+        }
+        self.histogram_for(proto::request_kind_label(request))
+            .record_since(start);
+    }
+
+    /// One consistent snapshot, with the process-wide group-exponentiation
+    /// tallies ([`pbcd_group::ops`]) mirrored in as gauges first.
+    fn snapshot(&self) -> Snapshot {
+        self.group_exp.set(pbcd_group::ops::exp_total());
+        self.group_exp2.set(pbcd_group::ops::exp2_total());
+        self.registry.snapshot()
+    }
+}
+
 /// The publisher-side protocol handler as a free function: decodes one
 /// request, serves it against `publisher`, encodes the response. Total —
 /// every failure becomes a typed error response.
@@ -108,6 +209,13 @@ pub fn dispatch<G: CyclicGroup, K: BroadcastGkm, R: RngCore + ?Sized>(
                 "publishers do not issue tokens; speak to the identity manager",
             )
         }
+        Request::Stats => {
+            return error_bytes(
+                &group,
+                ErrorCode::Unsupported,
+                "stats are served by the owning service, not the bare dispatcher",
+            )
+        }
     };
     resp.encode(&group)
         .unwrap_or_else(|e| error_bytes(&group, ErrorCode::Internal, &e.to_string()))
@@ -118,7 +226,7 @@ pub fn dispatch<G: CyclicGroup, K: BroadcastGkm, R: RngCore + ?Sized>(
 pub struct PublisherService<G: CyclicGroup, K: BroadcastGkm = AcvBgkm> {
     publisher: Publisher<G, K>,
     rng: StdRng,
-    stats: ServiceStats,
+    telemetry: ServiceTelemetry,
 }
 
 impl<G: CyclicGroup, K: BroadcastGkm> PublisherService<G, K> {
@@ -128,21 +236,29 @@ impl<G: CyclicGroup, K: BroadcastGkm> PublisherService<G, K> {
         Self {
             publisher,
             rng: StdRng::seed_from_u64(seed),
-            stats: ServiceStats::default(),
+            telemetry: ServiceTelemetry::new(),
         }
     }
 
-    /// Handles one request; total, never panics on hostile bytes.
+    /// Handles one request; total, never panics on hostile bytes. A
+    /// [`proto::Request::Stats`] query is answered from the service's own
+    /// registry; everything else goes through [`dispatch`], with the
+    /// per-kind latency and OCBE envelope flavour booked from the byte
+    /// classifiers.
     pub fn handle(&mut self, request: &[u8]) -> Vec<u8> {
-        self.stats.requests += 1;
-        let response = dispatch(&mut self.publisher, request, &mut self.rng);
-        if proto::is_error_response(&response) {
-            self.stats.errors += 1;
-        } else if proto::is_register_request(request) {
-            // A non-error answer to a registration means an envelope went
-            // out.
-            self.stats.registrations += 1;
-        }
+        let start = Instant::now();
+        self.telemetry.requests.inc();
+        let response = if proto::is_stats_query(request) {
+            let group = self.publisher.ocbe().group().clone();
+            Response::<G>::Stats {
+                text: self.telemetry.snapshot().render_text(),
+            }
+            .encode(&group)
+            .unwrap_or_else(|e| error_bytes(&group, ErrorCode::Internal, &e.to_string()))
+        } else {
+            dispatch(&mut self.publisher, request, &mut self.rng)
+        };
+        self.telemetry.record(request, &response, start);
         response
     }
 
@@ -179,9 +295,21 @@ impl<G: CyclicGroup, K: BroadcastGkm> PublisherService<G, K> {
         self.rng = StdRng::seed_from_u64(seed);
     }
 
-    /// Traffic counters.
+    /// Traffic counters — a fixed-shape view over [`Self::metrics`].
     pub fn stats(&self) -> ServiceStats {
-        self.stats
+        ServiceStats {
+            requests: self.telemetry.requests.get(),
+            registrations: self.telemetry.registrations.get(),
+            errors: self.telemetry.errors.get(),
+            conditions_cache_hits: self.telemetry.snapshot_hits.get(),
+        }
+    }
+
+    /// Full metrics snapshot: request counters, per-kind handler latency
+    /// histograms, OCBE envelope counters and the mirrored process-wide
+    /// group-exponentiation tallies.
+    pub fn metrics(&self) -> Snapshot {
+        self.telemetry.snapshot()
     }
 
     /// Unwraps the publisher.
@@ -278,9 +406,10 @@ pub struct SharedPublisherService<G: CyclicGroup, K: BroadcastGkm = AcvBgkm> {
     /// Seed source for per-request RNGs: held only long enough to draw 8
     /// bytes, never across an envelope composition.
     rng: Mutex<StdRng>,
-    requests: AtomicU64,
-    registrations: AtomicU64,
-    errors: AtomicU64,
+    /// A clone of the wrapped service's telemetry: the concurrent
+    /// registration path books into the same registry atomics as the
+    /// exclusive path, so there is exactly one set of service counters.
+    telemetry: ServiceTelemetry,
 }
 
 impl<G: CyclicGroup, K: BroadcastGkm> SharedPublisherService<G, K> {
@@ -290,14 +419,13 @@ impl<G: CyclicGroup, K: BroadcastGkm> SharedPublisherService<G, K> {
     /// concurrent path issues too — never a hardcoded constant.
     pub fn new(mut service: PublisherService<G, K>) -> Self {
         let seed = service.rng.next_u64();
+        let telemetry = service.telemetry.clone();
         Self {
             inner: Mutex::new(service),
             registrar: RwLock::new(None),
             conditions: ConditionsSnapshot::new(),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
-            requests: AtomicU64::new(0),
-            registrations: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
+            telemetry,
         }
     }
 
@@ -348,8 +476,10 @@ impl<G: CyclicGroup, K: BroadcastGkm> SharedPublisherService<G, K> {
             return response;
         }
         // Fast path 2: registration through the shared registrar — the
-        // stateful hot path, no service mutex.
+        // stateful hot path, no service mutex. Booked into the same
+        // registry handles the exclusive path uses.
         if proto::is_register_request(request) {
+            let start = Instant::now();
             let registrar = self.registrar_handle();
             let seed = self
                 .rng
@@ -358,13 +488,17 @@ impl<G: CyclicGroup, K: BroadcastGkm> SharedPublisherService<G, K> {
                 .next_u64();
             let mut rng = StdRng::seed_from_u64(seed);
             let response = dispatch_register(&registrar, request, &mut rng);
-            self.requests.fetch_add(1, Ordering::Relaxed);
-            if proto::is_error_response(&response) {
-                self.errors.fetch_add(1, Ordering::Relaxed);
-            } else {
-                self.registrations.fetch_add(1, Ordering::Relaxed);
-            }
+            self.telemetry.requests.inc();
+            self.telemetry.record(request, &response, start);
             return response;
+        }
+        // Stats query: refresh the snapshot-hit gauge (the one counter
+        // living outside the registry), then render via the exclusive
+        // service — the registry is shared, so the exposition covers both
+        // request paths.
+        if proto::is_stats_query(request) {
+            self.telemetry.snapshot_hits.set(self.conditions.hits());
+            return self.lock_inner().handle(request);
         }
         // Everything else (filtered conditions queries, unsupported kinds,
         // garbage): the exclusive path, which counts its own stats.
@@ -430,16 +564,22 @@ impl<G: CyclicGroup, K: BroadcastGkm> SharedPublisherService<G, K> {
         f(service.publisher_mut())
     }
 
-    /// Aggregated traffic counters: the exclusive path's own stats plus
-    /// the concurrent registration path and the snapshot hit count.
+    /// Aggregated traffic counters: both request paths book into one
+    /// shared registry, so this is a plain read — no service lock.
     pub fn stats(&self) -> ServiceStats {
-        let inner = self.lock_inner().stats();
         ServiceStats {
-            requests: inner.requests + self.requests.load(Ordering::Relaxed),
-            registrations: inner.registrations + self.registrations.load(Ordering::Relaxed),
-            errors: inner.errors + self.errors.load(Ordering::Relaxed),
+            requests: self.telemetry.requests.get(),
+            registrations: self.telemetry.registrations.get(),
+            errors: self.telemetry.errors.get(),
             conditions_cache_hits: self.conditions.hits(),
         }
+    }
+
+    /// Full metrics snapshot over both request paths (see
+    /// [`PublisherService::metrics`]).
+    pub fn metrics(&self) -> Snapshot {
+        self.telemetry.snapshot_hits.set(self.conditions.hits());
+        self.telemetry.snapshot()
     }
 
     /// Full conditions queries served straight from the snapshot.
@@ -573,7 +713,7 @@ impl<G: CyclicGroup> IssuerService<G> {
                     Err(e) => return error_bytes(&group, code_for(&e), &e.to_string()),
                 }
             }
-            Request::ConditionsQuery { .. } | Request::Register(_) => {
+            Request::ConditionsQuery { .. } | Request::Register(_) | Request::Stats => {
                 return error_bytes(
                     &group,
                     ErrorCode::Unsupported,

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod modp;
+pub mod ops;
 pub mod p256;
 pub mod schnorr_sig;
 pub mod traits;

@@ -192,6 +192,7 @@ impl CyclicGroup for ModpGroup {
     }
 
     fn exp_uint(&self, base: &ModpElem, k: &U256) -> ModpElem {
+        crate::ops::count_exp(1);
         let k = if k < self.order() {
             *k
         } else {
@@ -201,18 +202,22 @@ impl CyclicGroup for ModpGroup {
     }
 
     fn exp_g(&self, k: &Scalar) -> ModpElem {
+        crate::ops::count_exp(1);
         ModpElem(self.g_table().pow(self.f(), &k.to_uint()))
     }
 
     fn exp_h(&self, k: &Scalar) -> ModpElem {
+        crate::ops::count_exp(1);
         ModpElem(self.h_table().pow(self.f(), &k.to_uint()))
     }
 
     fn exp2(&self, a: &ModpElem, x: &Scalar, b: &ModpElem, y: &Scalar) -> ModpElem {
+        crate::ops::count_exp2();
         ModpElem(self.f().pow2(&a.0, &x.to_uint(), &b.0, &y.to_uint()))
     }
 
     fn pedersen_gh(&self, m: &Scalar, r: &Scalar) -> ModpElem {
+        crate::ops::count_exp(2);
         let gm = self.g_table().pow(self.f(), &m.to_uint());
         let hr = self.h_table().pow(self.f(), &r.to_uint());
         ModpElem(self.f().mont_mul(&gm, &hr))

@@ -597,6 +597,7 @@ impl CyclicGroup for P256Group {
     }
 
     fn exp_uint(&self, base: &P256Point, k: &U256) -> P256Point {
+        crate::ops::count_exp(1);
         let k = if k < self.order() {
             *k
         } else {
@@ -607,14 +608,17 @@ impl CyclicGroup for P256Group {
     }
 
     fn exp_g(&self, k: &Scalar) -> P256Point {
+        crate::ops::count_exp(1);
         self.to_affine(&self.comb_mul(self.g_comb(), &k.to_uint()))
     }
 
     fn exp_h(&self, k: &Scalar) -> P256Point {
+        crate::ops::count_exp(1);
         self.to_affine(&self.comb_mul(self.h_comb(), &k.to_uint()))
     }
 
     fn exp2(&self, a: &P256Point, x: &Scalar, b: &P256Point, y: &Scalar) -> P256Point {
+        crate::ops::count_exp2();
         let j = self.straus2(
             &self.to_jacobian(a),
             &x.to_uint(),
@@ -625,6 +629,7 @@ impl CyclicGroup for P256Group {
     }
 
     fn pedersen_gh(&self, m: &Scalar, r: &Scalar) -> P256Point {
+        crate::ops::count_exp(2);
         let gm = self.comb_mul(self.g_comb(), &m.to_uint());
         let hr = self.comb_mul(self.h_comb(), &r.to_uint());
         self.to_affine(&self.jac_add(&gm, &hr))

@@ -55,7 +55,8 @@ use crate::frame::{
     deliver_body, publish_auth_message, read_frame_body, signed_container_offset, ConfigSummary,
     Frame, PeerRole, CONTAINER_OFFSET,
 };
-use crate::store::{FsyncPolicy, RecoveryReport, RetentionStore};
+use crate::store::{FsyncPolicy, RecoveryReport, RetentionStore, StoreTelemetry};
+use pbcd_telemetry::{Counter, Gauge, Histogram, Registry, Snapshot, TraceEvent, TraceKind};
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -163,6 +164,17 @@ impl Default for BrokerConfig {
 }
 
 /// Counters exposed by [`BrokerHandle::stats`].
+///
+/// # Consistency contract
+///
+/// Every field is materialized from **one** registry snapshot taken while
+/// the broker state lock is held, and publish-side counters are bumped
+/// inside that same lock. A `BrokerStats` is therefore internally
+/// consistent with respect to publishes: a snapshot can never show (say) a
+/// publish's retained bytes without its `publishes` increment. Counters
+/// updated by writer threads outside the lock (`deliveries`, write-failure
+/// drops) are monotone and at most a few events behind the instant of the
+/// call — never ahead of it.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BrokerStats {
     /// Containers accepted from publishers.
@@ -201,11 +213,107 @@ pub struct BrokerStats {
 /// copies of the container.
 enum Job {
     /// A `Deliver` body (counted in [`BrokerStats::deliveries`]).
-    Deliver(Arc<Vec<u8>>),
+    Deliver {
+        /// Pre-framed `Deliver` body.
+        body: Arc<Vec<u8>>,
+        /// Document epoch carried for trace events (0 when unknown, i.e.
+        /// replays, which replay pre-framed bodies without re-decoding).
+        epoch: u64,
+        /// Registry timestamp of the enqueue, so the writer thread can
+        /// record the enqueue→write latency.
+        enqueued_ns: u64,
+    },
     /// Any other reply frame owed to a subscribed connection (`Ack`,
     /// `Configs`, `Bye`, `Error`) — routed through the same queue so it
     /// cannot interleave with a `Deliver` mid-frame.
     Control(Arc<Vec<u8>>),
+}
+
+/// Why a subscriber was dropped — the label on
+/// `broker_subscriber_drops_total{cause=...}`.
+#[derive(Clone, Copy, Debug)]
+enum DropCause {
+    /// Live fan-out or a control reply found the subscriber's queue full.
+    QueueOverflow,
+    /// The subscriber's writer thread hit a failed or timed-out write.
+    WriteFailed,
+    /// A (re-)subscribe could not even enqueue its Ack + retained replay.
+    ReplayOverflow,
+}
+
+/// Pre-resolved registry handles for every broker metric. Hot paths touch
+/// only the cloned atomic handles (one relaxed add each); the registry map
+/// lock is taken at registration and snapshot time only.
+struct BrokerTelemetry {
+    registry: Registry,
+    publishes: Counter,
+    publishes_rejected: Counter,
+    deliveries: Counter,
+    subscribers_dropped: Counter,
+    connections_rejected: Counter,
+    drop_queue_overflow: Counter,
+    drop_write_failed: Counter,
+    drop_replay_overflow: Counter,
+    publish_ack_ns: Histogram,
+    enqueue_to_write_ns: Histogram,
+    queue_depth: Gauge,
+    retained_documents: Gauge,
+    retained_bytes: Gauge,
+    log_bytes: Gauge,
+    records_recovered: Gauge,
+    compactions: Gauge,
+}
+
+impl BrokerTelemetry {
+    /// Registers every broker metric eagerly, so a scrape of an idle
+    /// broker already exposes the full (all-zero) metric set.
+    fn new() -> BrokerTelemetry {
+        let registry = Registry::new();
+        BrokerTelemetry {
+            publishes: registry.counter("broker_publishes_total"),
+            publishes_rejected: registry.counter("broker_publishes_rejected_total"),
+            deliveries: registry.counter("broker_deliveries_total"),
+            subscribers_dropped: registry.counter("broker_subscribers_dropped_total"),
+            connections_rejected: registry.counter("broker_connections_rejected_total"),
+            drop_queue_overflow: registry
+                .counter("broker_subscriber_drops_total{cause=\"queue_overflow\"}"),
+            drop_write_failed: registry
+                .counter("broker_subscriber_drops_total{cause=\"write_failed\"}"),
+            drop_replay_overflow: registry
+                .counter("broker_subscriber_drops_total{cause=\"replay_overflow\"}"),
+            publish_ack_ns: registry.histogram("broker_publish_ack_ns"),
+            enqueue_to_write_ns: registry.histogram("broker_enqueue_to_write_ns"),
+            queue_depth: registry.gauge("broker_queue_depth"),
+            retained_documents: registry.gauge("broker_retained_documents"),
+            retained_bytes: registry.gauge("broker_retained_bytes"),
+            log_bytes: registry.gauge("broker_log_bytes"),
+            records_recovered: registry.gauge("broker_records_recovered"),
+            compactions: registry.gauge("broker_log_compactions"),
+            registry,
+        }
+    }
+
+    /// Counts a subscriber drop under both the total and its cause label.
+    fn count_drop(&self, cause: DropCause, conn_id: u64) {
+        self.subscribers_dropped.inc();
+        match cause {
+            DropCause::QueueOverflow => self.drop_queue_overflow.inc(),
+            DropCause::WriteFailed => self.drop_write_failed.inc(),
+            DropCause::ReplayOverflow => self.drop_replay_overflow.inc(),
+        }
+        self.trace(TraceKind::Drop, conn_id, 0, 0);
+    }
+
+    /// Records one wire-level trace event.
+    fn trace(&self, kind: TraceKind, conn_id: u64, epoch: u64, duration_ns: u64) {
+        self.registry.trace().record(TraceEvent {
+            timestamp_ns: self.registry.now_ns(),
+            conn_id,
+            kind,
+            epoch,
+            duration_ns,
+        });
+    }
 }
 
 /// One registered subscriber: its queue, depth gauge and document filter.
@@ -260,11 +368,30 @@ struct Shared {
     shutdown: AtomicBool,
     state: Mutex<State>,
     next_conn_id: AtomicU64,
-    publishes: AtomicU64,
-    publishes_rejected: AtomicU64,
-    deliveries: AtomicU64,
-    subscribers_dropped: AtomicU64,
-    connections_rejected: AtomicU64,
+    telemetry: BrokerTelemetry,
+}
+
+/// The single read path for broker observability: sets every gauge from
+/// live state and snapshots the registry, all inside one state-lock
+/// critical section (the [`BrokerStats`] consistency contract).
+fn telemetry_snapshot(shared: &Shared) -> Snapshot {
+    let state = shared.state.lock().expect("broker state");
+    let t = &shared.telemetry;
+    t.queue_depth.set(
+        state
+            .subscribers
+            .values()
+            .map(|s| s.depth.load(Ordering::Relaxed))
+            .sum(),
+    );
+    t.retained_documents
+        .set(state.store.document_count() as u64);
+    t.retained_bytes.set(state.store.retained_bytes() as u64);
+    t.log_bytes.set(state.store.log_bytes());
+    t.records_recovered
+        .set(state.store.recovery().records_recovered);
+    t.compactions.set(state.store.compactions());
+    t.registry.snapshot()
 }
 
 /// The dissemination broker. [`Broker::bind`] starts the accept loop and
@@ -282,7 +409,8 @@ impl Broker {
     /// retained set (longest valid prefix, torn tail truncated) before the
     /// first connection is accepted.
     pub fn bind_with(addr: &str, config: BrokerConfig) -> io::Result<BrokerHandle> {
-        let store = match &config.store_path {
+        let telemetry = BrokerTelemetry::new();
+        let mut store = match &config.store_path {
             Some(path) => RetentionStore::open(
                 path,
                 config.history_depth,
@@ -291,6 +419,7 @@ impl Broker {
             )?,
             None => RetentionStore::in_memory(config.history_depth),
         };
+        store.attach_telemetry(StoreTelemetry::new(&telemetry.registry));
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -303,11 +432,7 @@ impl Broker {
                 threads: Vec::new(),
             }),
             next_conn_id: AtomicU64::new(0),
-            publishes: AtomicU64::new(0),
-            publishes_rejected: AtomicU64::new(0),
-            deliveries: AtomicU64::new(0),
-            subscribers_dropped: AtomicU64::new(0),
-            connections_rejected: AtomicU64::new(0),
+            telemetry,
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
@@ -334,43 +459,44 @@ impl BrokerHandle {
         self.addr
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot — a fixed-shape view over [`Self::metrics`], kept
+    /// for source compatibility. See the [`BrokerStats`] consistency
+    /// contract: all fields come from one registry snapshot.
     pub fn stats(&self) -> BrokerStats {
-        let (
-            queue_depth,
-            retained_documents,
-            retained_bytes,
-            log_bytes,
-            records_recovered,
-            compactions,
-        ) = {
-            let state = self.shared.state.lock().expect("broker state");
-            (
-                state
-                    .subscribers
-                    .values()
-                    .map(|s| s.depth.load(Ordering::Relaxed))
-                    .sum(),
-                state.store.document_count() as u64,
-                state.store.retained_bytes() as u64,
-                state.store.log_bytes(),
-                state.store.recovery().records_recovered,
-                state.store.compactions(),
-            )
-        };
+        let snap = telemetry_snapshot(&self.shared);
+        let counter = |name: &str| snap.counter(name).unwrap_or(0);
+        let gauge = |name: &str| snap.gauge(name).unwrap_or(0);
         BrokerStats {
-            publishes: self.shared.publishes.load(Ordering::Relaxed),
-            publishes_rejected: self.shared.publishes_rejected.load(Ordering::Relaxed),
-            deliveries: self.shared.deliveries.load(Ordering::Relaxed),
-            subscribers_dropped: self.shared.subscribers_dropped.load(Ordering::Relaxed),
-            connections_rejected: self.shared.connections_rejected.load(Ordering::Relaxed),
-            queue_depth,
-            retained_documents,
-            retained_bytes,
-            log_bytes,
-            records_recovered,
-            compactions,
+            publishes: counter("broker_publishes_total"),
+            publishes_rejected: counter("broker_publishes_rejected_total"),
+            deliveries: counter("broker_deliveries_total"),
+            subscribers_dropped: counter("broker_subscribers_dropped_total"),
+            connections_rejected: counter("broker_connections_rejected_total"),
+            queue_depth: gauge("broker_queue_depth"),
+            retained_documents: gauge("broker_retained_documents"),
+            retained_bytes: gauge("broker_retained_bytes"),
+            log_bytes: gauge("broker_log_bytes"),
+            records_recovered: gauge("broker_records_recovered"),
+            compactions: gauge("broker_log_compactions"),
         }
+    }
+
+    /// Full metrics snapshot: every broker counter and gauge plus the
+    /// latency histograms (publish→ack, enqueue→write, store append /
+    /// fsync / compaction / recovery-scan timings).
+    pub fn metrics(&self) -> Snapshot {
+        telemetry_snapshot(&self.shared)
+    }
+
+    /// [`Self::metrics`] in the text exposition format — the same bytes a
+    /// [`Frame::StatsRequest`] returns over the wire.
+    pub fn metrics_text(&self) -> String {
+        telemetry_snapshot(&self.shared).render_text()
+    }
+
+    /// The most recent wire-level trace events, oldest first.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.shared.telemetry.registry.trace().events()
     }
 
     /// What startup recovery found in the durable log (all zeroes for an
@@ -498,7 +624,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 break;
             }
             if state.connections.len() >= shared.config.max_connections {
-                shared.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                shared.telemetry.connections_rejected.inc();
                 continue; // drops both handles, closing the socket
             }
             state.connections.insert(id, raw);
@@ -562,7 +688,7 @@ impl ConnWriter {
                     Ok(()) => Ok(()),
                     Err(_) => {
                         depth.fetch_sub(1, Ordering::Relaxed);
-                        drop_subscriber(shared, id);
+                        drop_subscriber(shared, id, DropCause::QueueOverflow);
                         Err(NetError::protocol("subscriber queue overflow"))
                     }
                 }
@@ -576,10 +702,10 @@ impl ConnWriter {
 /// unwinds. Shared by the writer-thread failure path and the control-reply
 /// overflow path (publish-time overflow does the same inline under its
 /// already-held lock).
-fn drop_subscriber(shared: &Shared, id: u64) {
+fn drop_subscriber(shared: &Shared, id: u64, cause: DropCause) {
     let mut state = shared.state.lock().expect("broker state");
     if state.subscribers.remove(&id).is_some() {
-        shared.subscribers_dropped.fetch_add(1, Ordering::Relaxed);
+        shared.telemetry.count_drop(cause, id);
     }
     if let Some(conn) = state.connections.get(&id) {
         let _ = conn.shutdown(Shutdown::Both);
@@ -602,6 +728,7 @@ fn handle_connection(shared: Arc<Shared>, id: u64, mut stream: TcpStream) {
         }
     };
     let _ = stream.set_nodelay(true);
+    shared.telemetry.trace(TraceKind::Connect, id, 0, 0);
     // Until the peer has produced one complete frame, reads are bounded by
     // the handshake timeout: a connect-and-say-nothing peer cannot pin this
     // thread forever. Once it speaks, blocking indefinitely is legitimate
@@ -616,7 +743,7 @@ fn handle_connection(shared: Arc<Shared>, id: u64, mut stream: TcpStream) {
             Err(_) if shared.shutdown.load(Ordering::SeqCst) => break,
             Err(e) => {
                 // Hostile length prefix: report, count, drop the peer.
-                shared.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                shared.telemetry.connections_rejected.inc();
                 let _ = writer.reply(
                     shared,
                     id,
@@ -636,7 +763,7 @@ fn handle_connection(shared: Arc<Shared>, id: u64, mut stream: TcpStream) {
             Err(_) if shared.shutdown.load(Ordering::SeqCst) => break,
             Err(e) => {
                 // Malformed input: report, count, drop the peer.
-                shared.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                shared.telemetry.connections_rejected.inc();
                 let _ = writer.reply(
                     shared,
                     id,
@@ -657,11 +784,15 @@ fn handle_connection(shared: Arc<Shared>, id: u64, mut stream: TcpStream) {
                 }
             }
             Frame::Publish(container) => {
+                let publish_start = Instant::now();
                 // Keyed broker: unsigned publishes are refused outright —
                 // the legacy Error path, since a v1 peer cannot decode a
                 // `Reject` frame.
                 if auth_required(shared) {
-                    shared.publishes_rejected.fetch_add(1, Ordering::Relaxed);
+                    shared.telemetry.publishes_rejected.inc();
+                    shared
+                        .telemetry
+                        .trace(TraceKind::Reject, id, container.epoch, 0);
                     let _ = writer.reply(
                         shared,
                         id,
@@ -685,9 +816,11 @@ fn handle_connection(shared: Arc<Shared>, id: u64, mut stream: TcpStream) {
                         {
                             break;
                         }
+                        record_publish_ack(shared, id, epoch, publish_start);
                     }
                     Err(reject) => {
-                        shared.publishes_rejected.fetch_add(1, Ordering::Relaxed);
+                        shared.telemetry.publishes_rejected.inc();
+                        shared.telemetry.trace(TraceKind::Reject, id, epoch, 0);
                         let _ = writer.reply(
                             shared,
                             id,
@@ -704,6 +837,7 @@ fn handle_connection(shared: Arc<Shared>, id: u64, mut stream: TcpStream) {
                 signature,
                 container,
             } => {
+                let publish_start = Instant::now();
                 let epoch = container.epoch;
                 let mut container_bytes = std::mem::take(&mut body);
                 container_bytes.drain(..signed_container_offset(&key_id));
@@ -718,7 +852,8 @@ fn handle_connection(shared: Arc<Shared>, id: u64, mut stream: TcpStream) {
                         );
                         if let Some(reason) = auth.check(&key_id, &msg, &signature).reject_reason()
                         {
-                            shared.publishes_rejected.fetch_add(1, Ordering::Relaxed);
+                            shared.telemetry.publishes_rejected.inc();
+                            shared.telemetry.trace(TraceKind::Reject, id, epoch, 0);
                             // Typed, *non-fatal* refusal: the publisher may
                             // correct and retry on this connection.
                             if writer
@@ -746,9 +881,11 @@ fn handle_connection(shared: Arc<Shared>, id: u64, mut stream: TcpStream) {
                         {
                             break;
                         }
+                        record_publish_ack(shared, id, epoch, publish_start);
                     }
                     Err(reject) => {
-                        shared.publishes_rejected.fetch_add(1, Ordering::Relaxed);
+                        shared.telemetry.publishes_rejected.inc();
+                        shared.telemetry.trace(TraceKind::Reject, id, epoch, 0);
                         if writer
                             .reply(
                                 shared,
@@ -769,6 +906,7 @@ fn handle_connection(shared: Arc<Shared>, id: u64, mut stream: TcpStream) {
                 if handle_subscribe(shared, id, &mut writer, documents, 1).is_err() {
                     break;
                 }
+                shared.telemetry.trace(TraceKind::Subscribe, id, 0, 0);
             }
             Frame::SubscribeHistory { documents, depth } => {
                 // Depth is a request, not a demand: the broker replays at
@@ -778,6 +916,7 @@ fn handle_connection(shared: Arc<Shared>, id: u64, mut stream: TcpStream) {
                 {
                     break;
                 }
+                shared.telemetry.trace(TraceKind::Subscribe, id, 0, 0);
             }
             Frame::ListConfigs => {
                 let entries: Vec<ConfigSummary> = {
@@ -785,6 +924,19 @@ fn handle_connection(shared: Arc<Shared>, id: u64, mut stream: TcpStream) {
                     state.store.summaries()
                 };
                 if writer.reply(shared, id, &Frame::Configs(entries)).is_err() {
+                    break;
+                }
+            }
+            Frame::StatsRequest => {
+                // Aggregates only: the exposition carries counters, gauges
+                // and latency quantiles — never container bytes, document
+                // plaintext or subscriber identities (see the module-level
+                // threat model).
+                let text = telemetry_snapshot(shared).render_text();
+                if writer
+                    .reply(shared, id, &Frame::StatsResponse { text })
+                    .is_err()
+                {
                     break;
                 }
             }
@@ -798,8 +950,9 @@ fn handle_connection(shared: Arc<Shared>, id: u64, mut stream: TcpStream) {
             | Frame::Configs(_)
             | Frame::Ack { .. }
             | Frame::Error { .. }
-            | Frame::Reject { .. } => {
-                shared.connections_rejected.fetch_add(1, Ordering::Relaxed);
+            | Frame::Reject { .. }
+            | Frame::StatsResponse { .. } => {
+                shared.telemetry.connections_rejected.inc();
                 let _ = writer.reply(
                     shared,
                     id,
@@ -931,12 +1084,18 @@ fn handle_publish(
         // Enqueue under the lock: queue pushes are non-blocking, and doing
         // them here gives a total order — a replay enqueued by a racing
         // subscribe can never land *after* this fresher epoch.
+        let enqueued_ns = shared.telemetry.registry.now_ns();
         for (sub_id, sub) in state
             .subscribers
             .iter()
             .filter(|(_, sub)| sub.matches(&container.document_name))
         {
-            if sub.enqueue(Job::Deliver(Arc::clone(&deliver))) {
+            let job = Job::Deliver {
+                body: Arc::clone(&deliver),
+                epoch: container.epoch,
+                enqueued_ns,
+            };
+            if sub.enqueue(job) {
                 fanout += 1;
             } else {
                 overflowed.push(*sub_id);
@@ -947,15 +1106,30 @@ fn handle_publish(
         // latency) and close its socket so its threads unwind.
         for sub_id in overflowed {
             if state.subscribers.remove(&sub_id).is_some() {
-                shared.subscribers_dropped.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .telemetry
+                    .count_drop(DropCause::QueueOverflow, sub_id);
             }
             if let Some(conn) = state.connections.get(&sub_id) {
                 let _ = conn.shutdown(Shutdown::Both);
             }
         }
+        // Counted inside the lock so a stats snapshot (which also runs
+        // under this lock) can never see the retained bytes of a publish
+        // without its `publishes` increment — the consistency contract.
+        shared.telemetry.publishes.inc();
     }
-    shared.publishes.fetch_add(1, Ordering::Relaxed);
     Ok(fanout)
+}
+
+/// Records the publish→ack latency histogram point and its trace event.
+/// Called after the Ack is written (Direct) or enqueued (Queued).
+fn record_publish_ack(shared: &Shared, conn_id: u64, epoch: u64, start: Instant) {
+    let elapsed = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    shared.telemetry.publish_ack_ns.record(elapsed);
+    shared
+        .telemetry
+        .trace(TraceKind::Publish, conn_id, epoch, elapsed);
 }
 
 /// Registers the subscription, spawns the subscriber's writer thread (on
@@ -1018,9 +1192,14 @@ fn handle_subscribe(
                 documents,
             };
             // Fits by construction; `enqueue` still guards the invariant.
-            for job in std::iter::once(Job::Control(Arc::clone(&ack)))
-                .chain(replay.into_iter().map(Job::Deliver))
-            {
+            let enqueued_ns = shared.telemetry.registry.now_ns();
+            for job in std::iter::once(Job::Control(Arc::clone(&ack))).chain(
+                replay.into_iter().map(|body| Job::Deliver {
+                    body,
+                    epoch: 0,
+                    enqueued_ns,
+                }),
+            ) {
                 if !entry.enqueue(job) {
                     return Err(NetError::protocol("subscriber queue overflow on replay"));
                 }
@@ -1086,12 +1265,17 @@ fn register_and_replay(
 ) -> Result<(), NetError> {
     let mut jobs: Vec<Job> = vec![Job::Control(Arc::clone(ack))];
     if shared.config.replay_retained {
+        let enqueued_ns = shared.telemetry.registry.now_ns();
         jobs.extend(
             state
                 .store
                 .replay(|doc| entry.matches(doc), depth)
                 .into_iter()
-                .map(Job::Deliver),
+                .map(|body| Job::Deliver {
+                    body,
+                    epoch: 0,
+                    enqueued_ns,
+                }),
         );
     }
     for job in jobs {
@@ -1099,7 +1283,7 @@ fn register_and_replay(
             // Cannot even hold the Ack + retained set: this subscriber is
             // not viable (it can reconnect with a narrower filter).
             state.subscribers.remove(&id);
-            shared.subscribers_dropped.fetch_add(1, Ordering::Relaxed);
+            shared.telemetry.count_drop(DropCause::ReplayOverflow, id);
             return Err(NetError::protocol("subscriber queue overflow on replay"));
         }
     }
@@ -1120,17 +1304,30 @@ fn writer_loop(
 ) {
     while let Ok(job) = receiver.recv() {
         depth.fetch_sub(1, Ordering::Relaxed);
-        let (body, is_deliver) = match &job {
-            Job::Deliver(b) => (b, true),
-            Job::Control(b) => (b, false),
+        let (body, deliver_meta) = match &job {
+            Job::Deliver {
+                body,
+                epoch,
+                enqueued_ns,
+            } => (body, Some((*epoch, *enqueued_ns))),
+            Job::Control(b) => (b, None),
         };
         let deadline = shared.config.write_timeout.map(|t| Instant::now() + t);
         if write_body_deadline(&mut stream, body, deadline).is_err() {
-            drop_subscriber(shared, id);
+            drop_subscriber(shared, id, DropCause::WriteFailed);
             break;
         }
-        if is_deliver {
-            shared.deliveries.fetch_add(1, Ordering::Relaxed);
+        if let Some((epoch, enqueued_ns)) = deliver_meta {
+            shared.telemetry.deliveries.inc();
+            let wait_ns = shared
+                .telemetry
+                .registry
+                .now_ns()
+                .saturating_sub(enqueued_ns);
+            shared.telemetry.enqueue_to_write_ns.record(wait_ns);
+            shared
+                .telemetry
+                .trace(TraceKind::Deliver, id, epoch, wait_ns);
         }
     }
     let _ = stream.shutdown(Shutdown::Both);

@@ -154,6 +154,19 @@ impl BrokerClient {
         }
     }
 
+    /// Scrapes the broker's live metrics: the text exposition (counters,
+    /// gauges, latency quantiles) produced from one consistent registry
+    /// snapshot. Requires a stats-capable (v4+) broker.
+    pub fn stats(&mut self) -> Result<String, NetError> {
+        self.send(&Frame::StatsRequest)?;
+        match self.wait_skipping_deliveries()? {
+            Frame::StatsResponse { text } => Ok(text),
+            other => Err(NetError::protocol(format!(
+                "expected StatsResponse, got {other:?}"
+            ))),
+        }
+    }
+
     /// Blocks for the next delivered container (queued ones first).
     pub fn next_delivery(&mut self) -> Result<BroadcastContainer, NetError> {
         if let Some(c) = self.pending.pop_front() {

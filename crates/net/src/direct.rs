@@ -33,12 +33,13 @@
 
 use crate::error::NetError;
 use crate::frame::{read_body_bounded, write_body, MAX_FRAME_LEN};
+use pbcd_telemetry::{Counter, Histogram, Registry, Snapshot};
 use std::collections::HashMap;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for a [`RegistrationServer`].
 #[derive(Debug, Clone)]
@@ -72,7 +73,13 @@ struct ServerShared {
     shutdown: AtomicBool,
     /// Live connection streams, for forced shutdown. Keyed by connection id.
     connections: Mutex<HashMap<u64, TcpStream>>,
-    requests: AtomicU64,
+    /// Transport-level metrics: request count and wall-clock handler
+    /// latency. The server cannot label by request kind (it is a byte
+    /// pipe by design); kind-level metrics live in the handler's own
+    /// registry one layer up.
+    registry: Registry,
+    requests: Counter,
+    request_ns: Histogram,
 }
 
 /// A threaded request/response server around one `handle(bytes) -> bytes`
@@ -146,10 +153,15 @@ impl RegistrationServer {
     ) -> Result<Self, NetError> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let registry = Registry::new();
+        let requests = registry.counter("direct_requests_total");
+        let request_ns = registry.histogram("direct_request_ns");
         let shared = Arc::new(ServerShared {
             shutdown: AtomicBool::new(false),
             connections: Mutex::new(HashMap::new()),
-            requests: AtomicU64::new(0),
+            registry,
+            requests,
+            request_ns,
         });
         let accept = {
             let shared = Arc::clone(&shared);
@@ -170,7 +182,18 @@ impl RegistrationServer {
     /// Requests served so far (including ones answered with handler-level
     /// error bytes — the server cannot tell those apart, by design).
     pub fn requests_served(&self) -> u64 {
-        self.shared.requests.load(Ordering::Relaxed)
+        self.shared.requests.get()
+    }
+
+    /// Snapshot of the transport metrics: `direct_requests_total` and the
+    /// `direct_request_ns` handler-latency histogram.
+    pub fn metrics(&self) -> Snapshot {
+        self.shared.registry.snapshot()
+    }
+
+    /// [`Self::metrics`] rendered in the text exposition format.
+    pub fn metrics_text(&self) -> String {
+        self.metrics().render_text()
     }
 
     /// Stops accepting, disconnects every peer and joins the server
@@ -346,12 +369,14 @@ fn serve_connection(
         // every later lock — the handler owns no invariant that
         // half-applied state could break; it is bytes-in/bytes-out by
         // contract.
+        let start = Instant::now();
         let response =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler.call(&request)));
         let Ok(response) = response else {
             break;
         };
-        shared.requests.fetch_add(1, Ordering::Relaxed);
+        shared.requests.inc();
+        shared.request_ns.record_since(start);
         if write_body(&mut stream, &response).is_err() {
             break;
         }
@@ -403,6 +428,7 @@ impl RegistrationClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU64;
 
     fn echo_server() -> RegistrationServer {
         RegistrationServer::bind("127.0.0.1:0", |req: &[u8]| {

@@ -34,6 +34,10 @@ pub const PROTOCOL_VERSION_SIGNED: u8 = 2;
 /// replay from the broker's durable retention store). Same negotiation
 /// rule: only peers that request history ever emit a v3 header.
 pub const PROTOCOL_VERSION_HISTORY: u8 = 3;
+/// Protocol version introducing the telemetry scrape pair
+/// ([`Frame::StatsRequest`]/[`Frame::StatsResponse`]). Same negotiation
+/// rule: only peers that scrape stats ever emit a v4 header.
+pub const PROTOCOL_VERSION_STATS: u8 = 4;
 /// Upper bound on a frame body (64 MiB) — a sanity bound against corrupt
 /// or hostile length prefixes, comfortably above the 16 MiB field limit.
 pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
@@ -155,6 +159,17 @@ pub enum Frame {
         /// as 1; the broker caps this at its configured history depth).
         depth: u32,
     },
+    /// Operator → broker (v4): scrape the broker's telemetry registry.
+    StatsRequest,
+    /// Broker → operator (v4): the registry snapshot rendered in the
+    /// Prometheus-style text exposition format (`name{label} value`
+    /// lines). Carries only aggregate counters, gauges and latency
+    /// quantiles — never container bytes, document plaintext or
+    /// per-subscriber identities.
+    StatsResponse {
+        /// The rendered text exposition.
+        text: String,
+    },
 }
 
 const KIND_HELLO: u8 = 1;
@@ -169,6 +184,8 @@ const KIND_ERROR: u8 = 9;
 const KIND_PUBLISH_SIGNED: u8 = 10;
 const KIND_REJECT: u8 = 11;
 const KIND_SUBSCRIBE_HISTORY: u8 = 12;
+const KIND_STATS_REQUEST: u8 = 13;
+const KIND_STATS_RESPONSE: u8 = 14;
 
 /// Lowest protocol version whose decoder understands `kind` — the header
 /// version a frame of that kind must carry (per-kind negotiation: encoders
@@ -177,6 +194,7 @@ fn required_version(kind: u8) -> u8 {
     match kind {
         KIND_PUBLISH_SIGNED | KIND_REJECT => PROTOCOL_VERSION_SIGNED,
         KIND_SUBSCRIBE_HISTORY => PROTOCOL_VERSION_HISTORY,
+        KIND_STATS_REQUEST | KIND_STATS_RESPONSE => PROTOCOL_VERSION_STATS,
         _ => PROTOCOL_VERSION,
     }
 }
@@ -195,6 +213,7 @@ impl Frame {
         buf.put_u8(match self {
             Self::PublishSigned { .. } | Self::Reject { .. } => PROTOCOL_VERSION_SIGNED,
             Self::SubscribeHistory { .. } => PROTOCOL_VERSION_HISTORY,
+            Self::StatsRequest | Self::StatsResponse { .. } => PROTOCOL_VERSION_STATS,
             _ => PROTOCOL_VERSION,
         });
         match self {
@@ -267,6 +286,11 @@ impl Frame {
                     put_str(&mut buf, d)?;
                 }
             }
+            Self::StatsRequest => buf.put_u8(KIND_STATS_REQUEST),
+            Self::StatsResponse { text } => {
+                buf.put_u8(KIND_STATS_RESPONSE);
+                put_str(&mut buf, text)?;
+            }
         }
         Ok(buf.to_vec())
     }
@@ -284,7 +308,7 @@ impl Frame {
             return Err(WireError::BadHeader);
         }
         let version = buf.get_u8();
-        if !(PROTOCOL_VERSION..=PROTOCOL_VERSION_HISTORY).contains(&version) {
+        if !(PROTOCOL_VERSION..=PROTOCOL_VERSION_STATS).contains(&version) {
             return Err(WireError::BadHeader);
         }
         let kind = buf.get_u8();
@@ -399,6 +423,10 @@ impl Frame {
                 }
                 Self::SubscribeHistory { documents, depth }
             }
+            KIND_STATS_REQUEST => Self::StatsRequest,
+            KIND_STATS_RESPONSE => Self::StatsResponse {
+                text: get_str(&mut buf)?,
+            },
             _ => return Err(WireError::BadHeader),
         };
         if !buf.is_empty() {
@@ -607,6 +635,10 @@ mod tests {
                 documents: vec![],
                 depth: 0,
             },
+            Frame::StatsRequest,
+            Frame::StatsResponse {
+                text: "broker_publishes_total 3\nbroker_queue_depth 0\n".into(),
+            },
         ]
     }
 
@@ -701,6 +733,12 @@ mod tests {
         downgraded[2] = PROTOCOL_VERSION;
         assert_eq!(Frame::decode(&downgraded), Err(WireError::BadHeader));
         let mut downgraded = history.encode().unwrap();
+        downgraded[2] = PROTOCOL_VERSION;
+        assert_eq!(Frame::decode(&downgraded), Err(WireError::BadHeader));
+        // …stats frames carry v4, and downgrading them is rejected too.
+        let enc = Frame::StatsRequest.encode().unwrap();
+        assert_eq!(enc[2], PROTOCOL_VERSION_STATS);
+        let mut downgraded = enc;
         downgraded[2] = PROTOCOL_VERSION;
         assert_eq!(Frame::decode(&downgraded), Err(WireError::BadHeader));
     }

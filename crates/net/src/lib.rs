@@ -16,8 +16,8 @@
 //!
 //! * [`frame`] — the framed protocol (`Hello`, `Publish`, `PublishSigned`,
 //!   `Subscribe`, `Deliver`, `ListConfigs`, `Configs`, `Ack`, `Bye`,
-//!   `Error`, `Reject`) with strict, non-panicking codecs and per-kind
-//!   version negotiation,
+//!   `Error`, `Reject`, `StatsRequest`/`StatsResponse`) with strict,
+//!   non-panicking codecs and per-kind version negotiation,
 //! * [`auth`] — publisher authentication: Schnorr verification of signed
 //!   publishes against a configured key map (verification halves only),
 //! * [`broker`] — the threaded accept-loop broker: retained latest
@@ -27,6 +27,12 @@
 //!   append-only log of ciphertext containers with crash recovery
 //!   (longest-valid-prefix + torn-tail truncation) and compaction,
 //! * [`client`] — the synchronous [`BrokerClient`] endpoint,
+//! * **observability** — every broker carries a [`pbcd_telemetry`]
+//!   registry: counters, gauges, publish→ack / enqueue→write / store
+//!   latency histograms and a wire-level trace ring, scrapeable live over
+//!   the socket via `Frame::StatsRequest` ([`BrokerClient::stats`]) or in
+//!   process via [`BrokerHandle::metrics`]. The exposition carries
+//!   aggregates only — never container bytes or subscriber identities.
 //! * [`direct`] — [`RegistrationServer`]/[`RegistrationClient`]: the
 //!   length-prefixed request/response transport for the legs that must
 //!   *bypass* the broker (registration, issuance). A pure byte pipe — the
@@ -54,6 +60,7 @@ pub use direct::{DirectConfig, RegistrationClient, RegistrationServer};
 pub use error::{NetError, RejectReason};
 pub use frame::{
     read_frame, write_frame, ConfigSummary, Frame, PeerRole, MAX_FRAME_LEN, PROTOCOL_VERSION,
-    PROTOCOL_VERSION_HISTORY, PROTOCOL_VERSION_SIGNED,
+    PROTOCOL_VERSION_HISTORY, PROTOCOL_VERSION_SIGNED, PROTOCOL_VERSION_STATS,
 };
+pub use pbcd_telemetry::{Snapshot, TraceEvent, TraceKind};
 pub use store::{FsyncPolicy, RecordError, RecoveryReport, RetentionStore, StoredRecord};

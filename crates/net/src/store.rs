@@ -56,6 +56,7 @@ use crate::error::NetError;
 use crate::frame::{ConfigSummary, Frame, CONTAINER_OFFSET, MAX_FRAME_LEN};
 use bytes::Buf;
 use pbcd_docs::wire::{get_str, get_u64, put_str, WireError};
+use pbcd_telemetry::{Histogram, Registry};
 use std::collections::{BTreeMap, VecDeque};
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufReader, Read, Seek, SeekFrom, Write};
@@ -261,17 +262,51 @@ struct LogBackend {
 }
 
 impl LogBackend {
-    fn maybe_sync(&mut self) -> io::Result<()> {
+    /// Syncs per the configured policy, timing the actual `sync_data`
+    /// calls (a `maybe_sync` that elects not to sync records nothing).
+    fn maybe_sync(&mut self, fsync_ns: Option<&Histogram>) -> io::Result<()> {
         match self.fsync {
             FsyncPolicy::Off => Ok(()),
-            FsyncPolicy::PerPublish => self.file.sync_data(),
+            FsyncPolicy::PerPublish => timed_sync(&self.file, fsync_ns),
             FsyncPolicy::Interval(every) => {
                 if self.last_sync.elapsed() >= every {
-                    self.file.sync_data()?;
+                    timed_sync(&self.file, fsync_ns)?;
                     self.last_sync = Instant::now();
                 }
                 Ok(())
             }
+        }
+    }
+}
+
+fn timed_sync(file: &File, fsync_ns: Option<&Histogram>) -> io::Result<()> {
+    let start = Instant::now();
+    file.sync_data()?;
+    if let Some(h) = fsync_ns {
+        h.record_since(start);
+    }
+    Ok(())
+}
+
+/// Pre-resolved registry handles for the store's timing points. The broker
+/// attaches these after `open`/`in_memory` (keeping the store's public
+/// constructors signature-stable); a store without them records nothing.
+pub(crate) struct StoreTelemetry {
+    append_ns: Histogram,
+    fsync_ns: Histogram,
+    compaction_ns: Histogram,
+    recovery_scan_ns: Histogram,
+}
+
+impl StoreTelemetry {
+    /// Registers the store's metric names in `registry` (eagerly, so a
+    /// scrape shows them even before the first append).
+    pub(crate) fn new(registry: &Registry) -> Self {
+        StoreTelemetry {
+            append_ns: registry.histogram("store_append_ns"),
+            fsync_ns: registry.histogram("store_fsync_ns"),
+            compaction_ns: registry.histogram("store_compaction_ns"),
+            recovery_scan_ns: registry.histogram("store_recovery_scan_ns"),
         }
     }
 }
@@ -296,6 +331,10 @@ pub struct RetentionStore {
     log: Option<LogBackend>,
     recovery: RecoveryReport,
     compactions: u64,
+    /// Wall time the recovery scan took at `open` (zero for in-memory
+    /// stores); replayed into the telemetry histogram on attach.
+    recovery_elapsed: Duration,
+    telemetry: Option<StoreTelemetry>,
 }
 
 impl RetentionStore {
@@ -309,7 +348,21 @@ impl RetentionStore {
             log: None,
             recovery: RecoveryReport::default(),
             compactions: 0,
+            recovery_elapsed: Duration::ZERO,
+            telemetry: None,
         }
+    }
+
+    /// Attaches telemetry handles. The recovery-scan duration observed at
+    /// `open` is recorded into the fresh histogram here, so the metric
+    /// survives the attach-after-open construction order.
+    pub(crate) fn attach_telemetry(&mut self, telemetry: StoreTelemetry) {
+        if self.log.is_some() {
+            telemetry
+                .recovery_scan_ns
+                .record_duration(self.recovery_elapsed);
+        }
+        self.telemetry = Some(telemetry);
     }
 
     /// Opens (or creates) the log at `path`, recovers the longest valid
@@ -330,6 +383,7 @@ impl RetentionStore {
             .create(true)
             .open(&path)?;
         let mut store = Self::in_memory(history_depth);
+        let scan_start = Instant::now();
         let file_len = file.metadata()?.len();
         file.seek(SeekFrom::Start(0))?;
         let mut reader = BufReader::new(&file);
@@ -358,6 +412,7 @@ impl RetentionStore {
             file.set_len(good_offset)?;
         }
         store.recovery.documents = store.docs.len() as u64;
+        store.recovery_elapsed = scan_start.elapsed();
         store.log = Some(LogBackend {
             path,
             file,
@@ -488,6 +543,8 @@ impl RetentionStore {
     /// document, with equality meaning an idempotent replace.
     pub fn retain(&mut self, summary: ConfigSummary, deliver: Arc<Vec<u8>>) -> io::Result<()> {
         debug_assert!(deliver.len() >= CONTAINER_OFFSET);
+        let start = Instant::now();
+        let fsync_ns = self.telemetry.as_ref().map(|t| t.fsync_ns.clone());
         if let Some(log) = &mut self.log {
             let record = encode_record(&summary.document_name, summary.epoch, &deliver)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("encode: {e}")))?;
@@ -496,9 +553,15 @@ impl RetentionStore {
                 return Err(e);
             }
             log.log_bytes += record.len() as u64;
-            log.maybe_sync()?;
+            log.maybe_sync(fsync_ns.as_ref())?;
         }
         self.apply(summary, deliver);
+        // Append time covers the whole durability point (encode, log
+        // write, policy fsync, in-memory install) — for an in-memory
+        // store it is just the install. Compaction is timed separately.
+        if let Some(t) = &self.telemetry {
+            t.append_ns.record_since(start);
+        }
         self.maybe_compact()
     }
 
@@ -561,6 +624,7 @@ impl RetentionStore {
     /// history entry, oldest-first per document): temp file, fsync,
     /// atomic rename, reopen for append.
     fn compact(&mut self) -> io::Result<()> {
+        let start = Instant::now();
         let Some(log) = &mut self.log else {
             return Ok(());
         };
@@ -583,6 +647,9 @@ impl RetentionStore {
         log.log_bytes = written;
         log.compaction_floor = written;
         self.compactions += 1;
+        if let Some(t) = &self.telemetry {
+            t.compaction_ns.record_since(start);
+        }
         Ok(())
     }
 }

@@ -1,0 +1,171 @@
+//! Log-bucketed latency histograms.
+//!
+//! A [`Histogram`] sorts recorded values (nanoseconds, by convention) into
+//! power-of-two buckets: bucket `0` holds the value `0`, bucket `i ≥ 1`
+//! holds `[2^(i-1), 2^i)`, and the last bucket absorbs everything at or
+//! above `2^(BUCKET_COUNT-2)` (≈ 4.6 minutes in nanoseconds — far beyond
+//! any latency this workspace measures). Recording is a single relaxed
+//! `fetch_add` on a pre-resolved bucket slot, so a histogram handle can sit
+//! on the broker's publish hot path without a measurable cost.
+//!
+//! Snapshots derive count, quantiles, and max from the bucket counts alone.
+//! A reported quantile is the *inclusive upper bound* of the bucket the
+//! quantile falls into, so it over-estimates the true sample quantile by
+//! less than 2× — the right trade for a fixed-size, lock-free recorder.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Number of buckets: `0`, then one per power of two up to `2^38`, then an
+/// overflow bucket. 40 slots × 8 bytes keeps a histogram in a cache line
+/// pair's neighbourhood.
+pub const BUCKET_COUNT: usize = 40;
+
+/// Bucket index for a recorded value: `0 → 0`, otherwise one plus the
+/// position of the highest set bit, clamped into the overflow bucket.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(BUCKET_COUNT - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the overflow
+/// bucket, whose true range is unbounded).
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= BUCKET_COUNT - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A lock-free, fixed-size latency histogram handle.
+///
+/// Cloning is cheap (an `Arc` bump) and every clone records into the same
+/// buckets; this is how the registry hands hot paths a pre-resolved handle
+/// so no name lookup happens per record.
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: Arc<[AtomicU64]>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh histogram with all buckets zero.
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets: Arc::from(buckets),
+        }
+    }
+
+    /// Records one value (nanoseconds by convention): exactly one relaxed
+    /// atomic add.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a [`Duration`], saturating at `u64::MAX` nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records the time elapsed since `start`.
+    #[inline]
+    pub fn record_since(&self, start: Instant) {
+        self.record_duration(start.elapsed());
+    }
+
+    /// A point-in-time copy of the bucket counts with derived statistics.
+    ///
+    /// Buckets are read individually (relaxed), so a snapshot racing
+    /// concurrent recording may split a record across `count` and a bucket;
+    /// every value recorded before the snapshot started is included.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; BUCKET_COUNT];
+        for (slot, bucket) in counts.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot::from_counts(counts)
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &snap.count)
+            .field("p50", &snap.p50)
+            .field("max", &snap.max)
+            .finish()
+    }
+}
+
+/// Derived view of a histogram at one point in time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (see [`bucket_index`] for the bucket layout).
+    pub counts: [u64; BUCKET_COUNT],
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Median (bucket upper bound, see module docs).
+    pub p50: u64,
+    /// 90th percentile (bucket upper bound).
+    pub p90: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
+    /// Upper bound of the highest non-empty bucket; 0 when empty.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Builds the derived statistics from raw bucket counts.
+    pub fn from_counts(counts: [u64; BUCKET_COUNT]) -> Self {
+        let count: u64 = counts.iter().sum();
+        let max = counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(bucket_upper_bound)
+            .unwrap_or(0);
+        let mut snap = HistogramSnapshot {
+            counts,
+            count,
+            p50: 0,
+            p90: 0,
+            p99: 0,
+            max,
+        };
+        snap.p50 = snap.quantile(0.50);
+        snap.p90 = snap.quantile(0.90);
+        snap.p99 = snap.quantile(0.99);
+        snap
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as a bucket upper bound: the value
+    /// `v` such that at least `⌈q·count⌉` recorded values were `≤ v`.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_upper_bound(i);
+            }
+        }
+        self.max
+    }
+}

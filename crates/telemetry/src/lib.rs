@@ -1,0 +1,489 @@
+//! Unified telemetry plane for the pbcd workspace: a dependency-free
+//! metrics registry, log-bucketed latency histograms, a bounded trace-event
+//! ring, and a Prometheus-style text exposition format.
+//!
+//! Everything here is `std`-only (the workspace builds fully offline) and
+//! designed around one constraint: **recording must be lock-free and
+//! near-free**. Hot paths hold pre-resolved [`Counter`] / [`Gauge`] /
+//! [`Histogram`] handles (cheap `Arc` clones obtained once at setup), so a
+//! record is a single relaxed atomic add — no name lookup, no locking, no
+//! allocation.
+//!
+//! The [`Registry`] is the cold-path side: it names metrics, hands out
+//! handles, and produces point-in-time [`Snapshot`]s. A snapshot is taken
+//! under the registry's one internal lock and reads every metric in a
+//! single pass, which is what gives callers a *consistent read path*: all
+//! values in one snapshot were observed in one critical section, so a
+//! stats view built from a snapshot can never pair a counter from "now"
+//! with a gauge from "later". (Individual atomic loads are still relaxed;
+//! the consistency contract is "one pass, one point in time", not a
+//! globally serialized cut.)
+//!
+//! ```
+//! use pbcd_telemetry::Registry;
+//!
+//! let registry = Registry::new();
+//! let publishes = registry.counter("broker_publishes_total");
+//! let latency = registry.histogram("broker_publish_ack_ns");
+//!
+//! publishes.inc();
+//! latency.record(12_345);
+//!
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("broker_publishes_total"), Some(1));
+//! println!("{}", snap.render_text());
+//! ```
+//!
+//! Metric names follow the Prometheus convention `name{label="value"}`;
+//! the label part, when present, is simply part of the registered name
+//! (e.g. `broker_subscriber_drops_total{cause="queue_overflow"}`), and the
+//! renderer splices histogram quantile labels into an existing label set.
+
+mod hist;
+mod trace;
+
+pub use hist::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, BUCKET_COUNT};
+pub use trace::{TraceEvent, TraceKind, TraceLog};
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A monotonically increasing event counter.
+///
+/// Clones share the same underlying cell; recording is one relaxed atomic
+/// add.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at zero, not attached to any registry.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (queue depth, retained bytes, …).
+///
+/// Clones share the same underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A fresh gauge at zero, not attached to any registry.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`, saturating at zero (concurrent add/sub races may
+    /// briefly over- or under-shoot; gauges are instantaneous readings,
+    /// not ledgers).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        // fetch_update with saturating_sub never wraps below zero.
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One registered metric (registry-internal).
+#[derive(Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A point-in-time value of one metric inside a [`Snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Histogram snapshot (boxed: a snapshot carries its full bucket
+    /// array).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// Names and snapshots metrics; the cold-path half of the telemetry plane.
+///
+/// Handle lookup (`counter`/`gauge`/`histogram`) takes the registry's one
+/// mutex; hot paths call it once at setup and keep the returned handle.
+/// Every registry also owns a [`TraceLog`] ring and a start instant that
+/// anchors [`Registry::now_ns`] timestamps.
+pub struct Registry {
+    start: Instant,
+    metrics: Mutex<BTreeMap<String, Metric>>,
+    trace: TraceLog,
+}
+
+/// Default capacity of a registry's trace-event ring.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry with the default trace capacity.
+    pub fn new() -> Registry {
+        Registry::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// An empty registry whose trace ring retains `capacity` events.
+    pub fn with_trace_capacity(capacity: usize) -> Registry {
+        Registry {
+            start: Instant::now(),
+            metrics: Mutex::new(BTreeMap::new()),
+            trace: TraceLog::new(capacity),
+        }
+    }
+
+    /// Nanoseconds since this registry was created (trace timestamps).
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// The trace-event ring.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Returns the counter registered under `name`, registering it first
+    /// if needed.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind — that
+    /// is a programming error, not a runtime condition.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.register(name, || Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c,
+            other => panic!(
+                "metric {name:?} already registered as {}",
+                other.kind_name()
+            ),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, registering it first if
+    /// needed.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.register(name, || Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g,
+            other => panic!(
+                "metric {name:?} already registered as {}",
+                other.kind_name()
+            ),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, registering it first
+    /// if needed.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match self.register(name, || Metric::Histogram(Histogram::new())) {
+            Metric::Histogram(h) => h,
+            other => panic!(
+                "metric {name:?} already registered as {}",
+                other.kind_name()
+            ),
+        }
+    }
+
+    fn register(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut metrics = self.metrics.lock().expect("telemetry registry poisoned");
+        metrics.entry(name.to_string()).or_insert_with(make).clone()
+    }
+
+    /// A point-in-time snapshot of every registered metric.
+    ///
+    /// This is the **single read path** for stats views: all metrics are
+    /// read in one pass under the registry lock, so values inside one
+    /// snapshot belong to one point in time (see the crate docs for the
+    /// precise contract).
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.lock().expect("telemetry registry poisoned");
+        let entries = metrics
+            .iter()
+            .map(|(name, m)| {
+                let value = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        Snapshot { entries }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let metrics = self.metrics.lock().expect("telemetry registry poisoned");
+        f.debug_struct("Registry")
+            .field("metrics", &metrics.len())
+            .field("trace", &self.trace)
+            .finish()
+    }
+}
+
+/// A point-in-time view of a whole [`Registry`], ordered by metric name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// `(name, value)` pairs in lexicographic name order.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// The value registered under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Counter value under `name` (`None` if absent or not a counter).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value under `name` (`None` if absent or not a gauge).
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram snapshot under `name` (`None` if absent or not a
+    /// histogram).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name)? {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Renders the snapshot in the Prometheus-style text format.
+    ///
+    /// Counters and gauges render as `name value`; a histogram `h` renders
+    /// as `h{quantile="0.5"}`, `h{quantile="0.9"}`, `h{quantile="0.99"}`,
+    /// `h_max`, and `h_count` lines. A `{label="…"}` set already present
+    /// in the registered name is preserved (quantile labels are spliced
+    /// into it). Values are integers; one line per value, `\n`-terminated.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricValue::Histogram(h) => {
+                    let (base, labels) = split_labels(name);
+                    for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+                        let _ = match labels {
+                            Some(l) => writeln!(out, "{base}{{{l},quantile=\"{q}\"}} {v}"),
+                            None => writeln!(out, "{base}{{quantile=\"{q}\"}} {v}"),
+                        };
+                    }
+                    let _ = match labels {
+                        Some(l) => writeln!(
+                            out,
+                            "{base}_max{{{l}}} {}\n{base}_count{{{l}}} {}",
+                            h.max, h.count
+                        ),
+                        None => writeln!(out, "{base}_max {}\n{base}_count {}", h.max, h.count),
+                    };
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Splits `name{label="x"}` into `("name", Some("label=\"x\""))`;
+/// names without labels return `(name, None)`.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match (name.find('{'), name.ends_with('}')) {
+        (Some(open), true) => (&name[..open], Some(&name[open + 1..name.len() - 1])),
+        _ => (name, None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("a_total");
+        let g = r.gauge("b_depth");
+        c.inc();
+        c.add(4);
+        g.set(7);
+        g.sub(3);
+        g.sub(100); // saturates
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a_total"), Some(5));
+        assert_eq!(snap.gauge("b_depth"), Some(0));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn handles_share_state() {
+        let r = Registry::new();
+        r.counter("x").inc();
+        r.counter("x").inc();
+        assert_eq!(r.snapshot().counter("x"), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn render_text_format() {
+        let r = Registry::new();
+        r.counter("pub_total").add(3);
+        r.gauge("depth").set(2);
+        r.histogram("lat_ns").record(100);
+        r.counter("drops_total{cause=\"overflow\"}").inc();
+        let text = r.snapshot().render_text();
+        assert!(text.contains("pub_total 3\n"));
+        assert!(text.contains("depth 2\n"));
+        assert!(text.contains("drops_total{cause=\"overflow\"} 1\n"));
+        assert!(text.contains("lat_ns{quantile=\"0.5\"} 127\n"));
+        assert!(text.contains("lat_ns_count 1\n"));
+        assert!(text.contains("lat_ns_max 127\n"));
+    }
+
+    #[test]
+    fn labelled_histogram_splices_quantile() {
+        let r = Registry::new();
+        r.histogram("req_ns{kind=\"register\"}").record(1);
+        let text = r.snapshot().render_text();
+        assert!(text.contains("req_ns{kind=\"register\",quantile=\"0.5\"} 1\n"));
+        assert!(text.contains("req_ns_count{kind=\"register\"} 1\n"));
+    }
+
+    #[test]
+    fn trace_ring_wraps_and_orders() {
+        let log = TraceLog::new(4);
+        for i in 0..6u64 {
+            log.record(TraceEvent {
+                timestamp_ns: i,
+                conn_id: i,
+                kind: TraceKind::Publish,
+                epoch: i,
+                duration_ns: 0,
+            });
+        }
+        let events = log.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(
+            events.iter().map(|e| e.conn_id).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5]
+        );
+        assert_eq!(log.recorded(), 6);
+        assert_eq!(log.capacity(), 4);
+    }
+
+    #[test]
+    fn trace_kind_codes_roundtrip() {
+        for kind in [
+            TraceKind::Connect,
+            TraceKind::Publish,
+            TraceKind::Reject,
+            TraceKind::Deliver,
+            TraceKind::Subscribe,
+            TraceKind::Drop,
+            TraceKind::Request,
+        ] {
+            assert_eq!(TraceKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(TraceKind::from_code(0), None);
+        assert_eq!(TraceKind::from_code(99), None);
+    }
+
+    #[test]
+    fn snapshot_is_single_pass() {
+        let r = Registry::new();
+        let c = r.counter("n");
+        let g = r.gauge("m");
+        c.add(10);
+        g.set(10);
+        let snap = r.snapshot();
+        // Mutations after the snapshot are invisible to it.
+        c.add(1);
+        g.set(99);
+        assert_eq!(snap.counter("n"), Some(10));
+        assert_eq!(snap.gauge("m"), Some(10));
+    }
+}

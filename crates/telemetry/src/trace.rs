@@ -1,0 +1,213 @@
+//! A bounded, lock-free ring buffer of structured trace events.
+//!
+//! The broker records one fixed-size event per wire-level happening
+//! (publish, deliver, drop, …) so an operator can reconstruct the recent
+//! per-connection timeline of a live process without logs. All event
+//! fields are 64-bit words stored in atomics; each slot carries a seqlock
+//! sequence number so readers detect and skip slots that are mid-write.
+//! Writers never block and never allocate: they claim a slot with one
+//! `fetch_add` on the head cursor and overwrite the oldest event once the
+//! ring wraps.
+//!
+//! Trace events deliberately carry **no document names, payload bytes, or
+//! subscriber identities** — only numeric connection ids and epochs, the
+//! same pseudonymous view the broker already has. This keeps the stats
+//! frame's threat model simple: scraping a broker can never reveal more
+//! than broker compromise already would.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What kind of wire-level happening a [`TraceEvent`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A connection was accepted.
+    Connect,
+    /// A publish was accepted and retained (duration = publish→ack).
+    Publish,
+    /// A publish was rejected.
+    Reject,
+    /// A Deliver frame was written to a subscriber
+    /// (duration = enqueue→write-complete).
+    Deliver,
+    /// A connection subscribed.
+    Subscribe,
+    /// A subscriber was forcibly dropped.
+    Drop,
+    /// A direct-plane request was served (duration = handler time).
+    Request,
+}
+
+impl TraceKind {
+    /// Stable numeric code used inside the atomic slots.
+    pub fn code(self) -> u64 {
+        match self {
+            TraceKind::Connect => 1,
+            TraceKind::Publish => 2,
+            TraceKind::Reject => 3,
+            TraceKind::Deliver => 4,
+            TraceKind::Subscribe => 5,
+            TraceKind::Drop => 6,
+            TraceKind::Request => 7,
+        }
+    }
+
+    /// Inverse of [`TraceKind::code`]; `None` for unknown codes.
+    pub fn from_code(code: u64) -> Option<TraceKind> {
+        Some(match code {
+            1 => TraceKind::Connect,
+            2 => TraceKind::Publish,
+            3 => TraceKind::Reject,
+            4 => TraceKind::Deliver,
+            5 => TraceKind::Subscribe,
+            6 => TraceKind::Drop,
+            7 => TraceKind::Request,
+            _ => return None,
+        })
+    }
+
+    /// Short lowercase label (used by `Debug`/rendering).
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceKind::Connect => "connect",
+            TraceKind::Publish => "publish",
+            TraceKind::Reject => "reject",
+            TraceKind::Deliver => "deliver",
+            TraceKind::Subscribe => "subscribe",
+            TraceKind::Drop => "drop",
+            TraceKind::Request => "request",
+        }
+    }
+}
+
+/// One structured trace event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the owning registry was created.
+    pub timestamp_ns: u64,
+    /// Numeric connection id the event belongs to (0 when none applies).
+    pub conn_id: u64,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Document epoch involved (0 when none applies).
+    pub epoch: u64,
+    /// Duration of the traced operation in nanoseconds (0 for
+    /// instantaneous events).
+    pub duration_ns: u64,
+}
+
+/// One ring slot: a seqlock sequence word plus the five event fields.
+///
+/// `seq` is even when the slot is stable and odd while a writer is
+/// mid-update; `seq == 0` means never written.
+struct Slot {
+    seq: AtomicU64,
+    timestamp_ns: AtomicU64,
+    conn_id: AtomicU64,
+    kind: AtomicU64,
+    epoch: AtomicU64,
+    duration_ns: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            timestamp_ns: AtomicU64::new(0),
+            conn_id: AtomicU64::new(0),
+            kind: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            duration_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A bounded lock-free event log. See the module docs for the concurrency
+/// contract: writes never block; a read races at most the slots being
+/// rewritten at that instant and skips them.
+pub struct TraceLog {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+}
+
+impl TraceLog {
+    /// A ring holding the most recent `capacity` events (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> TraceLog {
+        let capacity = capacity.max(1);
+        TraceLog {
+            slots: (0..capacity).map(|_| Slot::empty()).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total number of events ever recorded (not the retained count).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Records one event, overwriting the oldest once the ring is full.
+    ///
+    /// Lock-free: one `fetch_add` claims a slot, then the fields are
+    /// published under the slot's seqlock. If writers lap the ring so fast
+    /// that two claim the same slot simultaneously, readers may skip that
+    /// slot — events are best-effort diagnostics, never load-bearing.
+    pub fn record(&self, ev: TraceEvent) {
+        let idx = (self.head.fetch_add(1, Ordering::Relaxed) as usize) % self.slots.len();
+        let slot = &self.slots[idx];
+        slot.seq.fetch_add(1, Ordering::AcqRel); // odd: write in progress
+        slot.timestamp_ns.store(ev.timestamp_ns, Ordering::Relaxed);
+        slot.conn_id.store(ev.conn_id, Ordering::Relaxed);
+        slot.kind.store(ev.kind.code(), Ordering::Relaxed);
+        slot.epoch.store(ev.epoch, Ordering::Relaxed);
+        slot.duration_ns.store(ev.duration_ns, Ordering::Relaxed);
+        slot.seq.fetch_add(1, Ordering::AcqRel); // even: stable
+    }
+
+    /// The retained events, oldest first.
+    ///
+    /// Slots that are mid-write (or torn by a racing writer) are skipped;
+    /// the returned events are each individually consistent.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let retained = head.min(cap);
+        let mut out = Vec::with_capacity(retained as usize);
+        for i in 0..retained {
+            let idx = ((head - retained + i) % cap) as usize;
+            let slot = &self.slots[idx];
+            let seq1 = slot.seq.load(Ordering::Acquire);
+            if seq1 == 0 || seq1 % 2 == 1 {
+                continue;
+            }
+            let ev = TraceEvent {
+                timestamp_ns: slot.timestamp_ns.load(Ordering::Relaxed),
+                conn_id: slot.conn_id.load(Ordering::Relaxed),
+                kind: match TraceKind::from_code(slot.kind.load(Ordering::Relaxed)) {
+                    Some(k) => k,
+                    None => continue,
+                },
+                epoch: slot.epoch.load(Ordering::Relaxed),
+                duration_ns: slot.duration_ns.load(Ordering::Relaxed),
+            };
+            let seq2 = slot.seq.load(Ordering::Acquire);
+            if seq1 != seq2 {
+                continue; // torn by a racing writer: skip
+            }
+            out.push(ev);
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for TraceLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceLog")
+            .field("capacity", &self.capacity())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}

@@ -1,0 +1,140 @@
+//! Histogram correctness: pinned bucket boundaries, monotone CDF,
+//! quantiles checked against a sorted-reference implementation on random
+//! samples, and exact totals under concurrent recording.
+
+use pbcd_telemetry::{bucket_index, bucket_upper_bound, Histogram, BUCKET_COUNT};
+use proptest::prelude::*;
+use std::thread;
+
+#[test]
+fn bucket_boundaries_are_pinned() {
+    // Bucket 0 holds exactly the value 0.
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_upper_bound(0), 0);
+    // Bucket i (1 ≤ i < BUCKET_COUNT-1) holds [2^(i-1), 2^i).
+    for i in 1..BUCKET_COUNT - 1 {
+        let lo = 1u64 << (i - 1);
+        let hi = (1u64 << i) - 1;
+        assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+        assert_eq!(bucket_index(hi), i, "upper bound of bucket {i}");
+        assert_eq!(bucket_upper_bound(i), hi);
+    }
+    // Everything at or above 2^(BUCKET_COUNT-2) lands in the overflow
+    // bucket, whose reported upper bound is u64::MAX.
+    let overflow_lo = 1u64 << (BUCKET_COUNT - 2);
+    assert_eq!(bucket_index(overflow_lo), BUCKET_COUNT - 1);
+    assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+    assert_eq!(bucket_upper_bound(BUCKET_COUNT - 1), u64::MAX);
+}
+
+#[test]
+fn empty_histogram_snapshot_is_all_zero() {
+    let snap = Histogram::new().snapshot();
+    assert_eq!(snap.count, 0);
+    assert_eq!(snap.p50, 0);
+    assert_eq!(snap.p90, 0);
+    assert_eq!(snap.p99, 0);
+    assert_eq!(snap.max, 0);
+}
+
+#[test]
+fn single_value_pins_every_statistic_to_its_bucket() {
+    let h = Histogram::new();
+    h.record(1000); // bucket 10: [512, 1023]
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 1);
+    assert_eq!(snap.p50, 1023);
+    assert_eq!(snap.p90, 1023);
+    assert_eq!(snap.p99, 1023);
+    assert_eq!(snap.max, 1023);
+}
+
+#[test]
+fn concurrent_recording_sums_exactly() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 10_000;
+    let h = Histogram::new();
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let h = h.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Spread across many buckets so threads collide on slots.
+                    h.record((t * PER_THREAD + i) as u64);
+                }
+            });
+        }
+    });
+    let snap = h.snapshot();
+    assert_eq!(snap.count, (THREADS * PER_THREAD) as u64);
+    assert_eq!(snap.counts.iter().sum::<u64>(), snap.count);
+}
+
+/// Reference quantile on the raw samples: smallest sample value `v` such
+/// that at least `⌈q·n⌉` samples are ≤ `v`.
+fn reference_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[target - 1]
+}
+
+proptest! {
+    #[test]
+    fn cdf_is_monotone_and_totals_match(values in prop::collection::vec(any::<u64>(), 1..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.counts.iter().sum::<u64>(), snap.count);
+        // Quantiles are monotone in q.
+        prop_assert!(snap.p50 <= snap.p90);
+        prop_assert!(snap.p90 <= snap.p99);
+        prop_assert!(snap.p99 <= snap.max);
+        // The CDF over buckets is monotone by construction; check the
+        // quantile function against it for a sweep of q values.
+        let mut prev = 0u64;
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = snap.quantile(q);
+            prop_assert!(v >= prev, "quantile({}) = {} < {}", q, v, prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn quantiles_agree_with_sorted_reference(
+        values in prop::collection::vec(0u64..2_000_000_000, 1..300),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let snap = h.snapshot();
+        for (q, got) in [(0.5, snap.p50), (0.99, snap.p99)] {
+            let want = reference_quantile(&sorted, q);
+            // The histogram reports the inclusive upper bound of the
+            // bucket the reference quantile falls into: same bucket,
+            // never a smaller value, less than 2x above.
+            prop_assert_eq!(bucket_index(got), bucket_index(want),
+                "q={} reference {} reported {}", q, want, got);
+            prop_assert!(got >= want);
+        }
+    }
+
+    #[test]
+    fn every_value_lands_in_its_pinned_bucket(v in any::<u64>()) {
+        let h = Histogram::new();
+        h.record(v);
+        let snap = h.snapshot();
+        let i = bucket_index(v);
+        prop_assert_eq!(snap.counts[i], 1);
+        // The bucket really covers v.
+        prop_assert!(v <= bucket_upper_bound(i));
+        if i > 0 {
+            prop_assert!(v > bucket_upper_bound(i - 1));
+        }
+    }
+}

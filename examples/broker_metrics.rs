@@ -1,0 +1,80 @@
+//! Scraping a live broker's telemetry over the wire.
+//!
+//! Runs a real end-to-end dissemination round (policies, registration,
+//! signed publish, subscriber decryption) and then asks the broker for its
+//! metrics with a `StatsRequest` frame — the same exposition text an
+//! external monitoring agent would collect. The scrape carries only
+//! aggregates: counters, gauges and latency quantiles, never container
+//! bytes or subscriber identities.
+//!
+//! ```sh
+//! cargo run --release --example broker_metrics
+//! ```
+
+use pbcd::core::SystemHarness;
+use pbcd::docs::Element;
+use pbcd::net::{Broker, BrokerClient, BrokerConfig, PeerRole};
+use pbcd::policy::{AccessControlPolicy, AttributeSet, PolicySet};
+
+fn main() {
+    let mut policies = PolicySet::new();
+    policies.add(AccessControlPolicy::parse("role = 'doctor'", &["Record"], "ward.xml").unwrap());
+
+    // Out-of-band: issuance + oblivious registration (no broker involved).
+    let mut sys = SystemHarness::new_p256(policies, 11);
+    let doctor = sys.subscribe("dora", AttributeSet::new().with_str("role", "doctor"));
+
+    // Broker on loopback; an in-memory retention store keeps the example
+    // self-contained (a durable broker adds store_append/fsync timings).
+    let broker = Broker::bind_with("127.0.0.1:0", BrokerConfig::default()).unwrap();
+    let addr = broker.addr();
+    println!("broker listening on {addr}");
+
+    // One subscriber and a few published epochs.
+    let mut sub_conn = BrokerClient::connect(addr, PeerRole::Subscriber).unwrap();
+    sub_conn.subscribe(&["ward.xml"]).unwrap();
+    let mut publisher = BrokerClient::connect(addr, PeerRole::Publisher).unwrap();
+    for round in 0..4 {
+        let body = format!("lab result, round {round}");
+        let doc = Element::new("root").child(Element::new("Record").text(&body));
+        let container = sys.publisher.broadcast(&doc, "ward.xml", &mut sys.rng);
+        let receipt = publisher.publish(&container).unwrap();
+        let delivered = sub_conn.next_delivery().unwrap();
+        let seen = doctor
+            .decrypt_broadcast(&delivered, sys.publisher.policies())
+            .unwrap();
+        assert!(seen.find("Record").is_some());
+        println!(
+            "published epoch {} (fan-out {}), doctor decrypted it",
+            receipt.epoch, receipt.fanout
+        );
+    }
+
+    // The scrape: any connection may ask; the broker answers with the
+    // text exposition of one consistent registry snapshot.
+    let mut scraper = BrokerClient::connect(addr, PeerRole::Publisher).unwrap();
+    let text = scraper.stats().unwrap();
+    println!("\n--- wire scrape (StatsRequest -> StatsResponse) ---");
+    for line in text.lines() {
+        if line.starts_with("broker_") || line.starts_with("store_") {
+            println!("{line}");
+        }
+    }
+
+    // The same data is available in process, typed.
+    let snap = broker.metrics();
+    let ack = snap.histogram("broker_publish_ack_ns").expect("registered");
+    println!(
+        "\npublish->ack: count={} p50={}ns p99={}ns",
+        ack.count, ack.p50, ack.p99
+    );
+    assert_eq!(snap.counter("broker_publishes_total"), Some(4));
+    assert!(text.contains("broker_publish_ack_ns{quantile=\"0.5\"}"));
+    assert!(!text.contains("ward.xml"), "scrape must not name documents");
+
+    drop(publisher);
+    drop(sub_conn);
+    drop(scraper);
+    broker.shutdown();
+    println!("\nall scrape assertions held; broker shut down cleanly");
+}

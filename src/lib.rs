@@ -57,3 +57,4 @@ pub use pbcd_math as math;
 pub use pbcd_net as net;
 pub use pbcd_ocbe as ocbe;
 pub use pbcd_policy as policy;
+pub use pbcd_telemetry as telemetry;
