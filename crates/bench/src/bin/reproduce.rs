@@ -99,7 +99,11 @@ fn main() {
 ///   the startup recovery scan over the full log;
 /// * full oblivious EQ-registration throughput through
 ///   `pbcd_net::direct`, serialized single-mutex handler vs the
-///   concurrent sharded service, across connection counts.
+///   concurrent sharded service, across connection counts;
+/// * the relay overlay: publish → all-edge-delivery latency through a
+///   1-origin/4-edge tree at the same total subscriber count as the flat
+///   fan-out (the delta is the cost of one relay hop), and the
+///   log-backed cold-start rate (records/s) for a late-attached edge.
 ///
 /// Caveat recorded in the JSON: on a single-vCPU container the
 /// serialized/concurrent pair is expected to be at parity (there is no
@@ -406,6 +410,165 @@ fn bench_net_json(opts: &Opts) {
         ));
     }
 
+    // --- relay overlay: tree dissemination latency ---
+    // A 1-origin/4-edge tree serving the same total subscriber count as
+    // the flat fan-out above (`fanout_{subs}_all_delivered_ns` is the
+    // direct comparison): every delivery now crosses one relay hop, so
+    // the delta between the two entries is the price of federation.
+    {
+        use pbcd_net::RelayConfig;
+        let edges_n = 4usize;
+        let subs = sub_counts[0];
+        let per_edge = (subs / edges_n).max(1);
+        let total = per_edge * edges_n;
+        let origin = Broker::bind_with(
+            "127.0.0.1:0",
+            BrokerConfig {
+                relay: Some(RelayConfig {
+                    accept_peers: false,
+                    ..RelayConfig::new("origin")
+                }),
+                ..base_config()
+            },
+        )
+        .expect("bind relay origin");
+        let edges: Vec<_> = (0..edges_n)
+            .map(|i| {
+                let edge = Broker::bind_with(
+                    "127.0.0.1:0",
+                    BrokerConfig {
+                        relay: Some(RelayConfig::new(format!("edge-{i}"))),
+                        ..base_config()
+                    },
+                )
+                .expect("bind relay edge");
+                origin.add_peer(edge.addr().to_string()).expect("peer edge");
+                edge
+            })
+            .collect();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while origin.stats().relay_links < edges_n as u64 {
+            assert!(Instant::now() < deadline, "relay links did not come up");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let (got_tx, got_rx) = mpsc::channel();
+        let mut threads = Vec::new();
+        for edge in &edges {
+            let addr = edge.addr();
+            for _ in 0..per_edge {
+                let ready = ready_tx.clone();
+                let got = got_tx.clone();
+                threads.push(std::thread::spawn(move || {
+                    let mut client = BrokerClient::connect(addr, PeerRole::Subscriber)
+                        .expect("edge subscriber connects");
+                    client.subscribe::<&str>(&[]).expect("edge subscribe");
+                    ready.send(()).expect("main alive");
+                    while client.next_delivery().is_ok() {
+                        if got.send(()).is_err() {
+                            break;
+                        }
+                    }
+                }));
+            }
+        }
+        for _ in 0..total {
+            ready_rx.recv().expect("edge subscriber ready");
+        }
+        let mut publisher =
+            BrokerClient::connect(origin.addr(), PeerRole::Publisher).expect("publisher connects");
+        let mut delivered_total = Duration::ZERO;
+        let mut c = container.clone();
+        for round in 0..rounds {
+            c.epoch = (round + 2) as u64;
+            let t = Instant::now();
+            publisher.publish(&c).expect("publish");
+            for _ in 0..total {
+                got_rx.recv().expect("edge delivery confirmed");
+            }
+            delivered_total += t.elapsed();
+        }
+        drop(publisher);
+        origin.shutdown();
+        for edge in edges {
+            edge.shutdown();
+        }
+        drop(got_rx);
+        for t in threads {
+            let _ = t.join();
+        }
+        let delivered_avg = delivered_total / rounds as u32;
+        println!(
+            "relay tree 1x{edges_n} subs={total}: publish → all edge deliveries {:>10.0} ns \
+             (flat comparison: fanout_{total}_all_delivered_ns)",
+            ns(delivered_avg)
+        );
+        entries.push((
+            format!("relay_tree_1x{edges_n}_{total}_all_delivered_ns"),
+            ns(delivered_avg),
+        ));
+    }
+
+    // --- relay overlay: log-backed cold-start throughput ---
+    // A durable origin retains `records` epochs, then a fresh edge
+    // attaches: the time from `add_peer` to the edge holding every epoch
+    // is the catch-up stream (one Relay frame + synchronous Ack per
+    // record, snapshotted from the retention index).
+    {
+        use pbcd_net::RelayConfig;
+        let records = if opts.quick { 16u64 } else { 256 };
+        let path = scratch("relay-catchup");
+        let _ = std::fs::remove_file(&path);
+        let origin = Broker::bind_with(
+            "127.0.0.1:0",
+            BrokerConfig {
+                store_path: Some(path.clone()),
+                fsync: FsyncPolicy::Off,
+                history_depth: records as usize,
+                relay: Some(RelayConfig {
+                    accept_peers: false,
+                    ..RelayConfig::new("origin")
+                }),
+                ..base_config()
+            },
+        )
+        .expect("bind durable origin");
+        let mut publisher =
+            BrokerClient::connect(origin.addr(), PeerRole::Publisher).expect("publisher connects");
+        let mut c = container.clone();
+        for epoch in 1..=records {
+            c.epoch = epoch;
+            publisher.publish(&c).expect("publish");
+        }
+        drop(publisher);
+        let edge = Broker::bind_with(
+            "127.0.0.1:0",
+            BrokerConfig {
+                history_depth: records as usize,
+                relay: Some(RelayConfig::new("edge")),
+                ..base_config()
+            },
+        )
+        .expect("bind late edge");
+        let t = Instant::now();
+        origin.add_peer(edge.addr().to_string()).expect("peer edge");
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while edge.stats().relays_accepted < records {
+            assert!(Instant::now() < deadline, "catch-up did not converge");
+            std::thread::yield_now();
+        }
+        let elapsed = t.elapsed();
+        let rps = records as f64 / elapsed.as_secs_f64();
+        origin.shutdown();
+        edge.shutdown();
+        let _ = std::fs::remove_file(&path);
+        println!(
+            "relay catch-up: {records} records in {:>10.0} ns ({rps:>8.0} records/s)",
+            ns(elapsed)
+        );
+        entries.push(("relay_catch_up_records_per_s".into(), rps));
+    }
+
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut json = String::from("{\n  \"schema\": \"pbcd-bench-net/v1\",\n");
     json.push_str(&format!(
@@ -418,7 +581,10 @@ fn bench_net_json(opts: &Opts) {
          persist_* repeats the fan-out with the durable retention log on (fsync off); \
          the append is one buffered write before Ack and must keep publish_ack within \
          2x of in-memory. On a 1-core host the serialized/concurrent registration pair \
-         is expected at parity; scaling shows on multicore.\",\n",
+         is expected at parity; scaling shows on multicore. relay_tree_* is the same \
+         all-delivered measurement through a 1-origin/4-edge overlay at equal total \
+         subscribers (compare fanout_N_all_delivered_ns); relay_catch_up is the \
+         log-backed cold-start stream rate for a late-attached edge.\",\n",
     );
     json.push_str("  \"metrics\": {\n");
     for (i, (name, v)) in entries.iter().enumerate() {

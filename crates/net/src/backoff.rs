@@ -1,0 +1,172 @@
+//! Jittered, capped exponential backoff for reconnect loops.
+//!
+//! Relay links, reconnecting clients and any other retry loop in this
+//! crate share one policy object so their behaviour under a partition is
+//! uniform: delays double from [`BackoffConfig::base`] up to
+//! [`BackoffConfig::cap`], and every delay is *equal-jittered* — half the
+//! exponential term plus a uniformly random half — so a fleet of edges
+//! cut off by the same partition does not reconnect in lockstep and
+//! thundering-herd the upstream the moment it returns.
+//!
+//! The jitter source is a tiny xorshift64* generator seeded from the
+//! clock: statistically plenty for de-synchronizing retries, with no
+//! entropy or crypto claims (nothing here is secret).
+
+use std::time::Duration;
+
+/// Retry/backoff policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// First (pre-jitter) delay; subsequent delays double from here.
+    pub base: Duration,
+    /// Upper bound on the pre-jitter delay (the exponential stops growing
+    /// here; jitter never exceeds it).
+    pub cap: Duration,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        Self {
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One retry loop's backoff state: call [`Backoff::next_delay`] before
+/// each retry, [`Backoff::reset`] after a success so the next failure
+/// starts over at [`BackoffConfig::base`].
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    config: BackoffConfig,
+    attempt: u32,
+    rng_state: u64,
+}
+
+impl Backoff {
+    /// A fresh backoff sequence under `config`, jitter-seeded from the
+    /// clock plus a process-wide counter (so two sequences created in the
+    /// same clock tick still diverge).
+    pub fn new(config: BackoffConfig) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SALT: AtomicU64 = AtomicU64::new(0);
+        let clock = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9E37_79B9_7F4A_7C15);
+        let salt = SALT.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        Self::with_seed(config, clock ^ salt)
+    }
+
+    /// A backoff sequence with an explicit jitter seed — deterministic,
+    /// for tests.
+    pub fn with_seed(config: BackoffConfig, seed: u64) -> Self {
+        Self {
+            config,
+            attempt: 0,
+            // xorshift64* must not start at 0.
+            rng_state: seed | 1,
+        }
+    }
+
+    /// How many delays have been handed out since the last reset.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The next delay: `min(cap, base · 2^attempt)`, equal-jittered into
+    /// `[d/2, d]` so it is bounded below (no hot-spinning) and bounded
+    /// above by the cap. Saturates instead of overflowing on very long
+    /// retry runs.
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self
+            .config
+            .base
+            .saturating_mul(1u32.checked_shl(self.attempt.min(31)).unwrap_or(u32::MAX))
+            .min(self.config.cap);
+        self.attempt = self.attempt.saturating_add(1);
+        let half = exp / 2;
+        half + mul_frac(half, self.next_u64())
+    }
+
+    /// Starts the sequence over (call after a successful attempt).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64* (Vigna): tiny, fast, good enough to decorrelate
+        // retry timing across a fleet.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// `d · (r / 2^64)` without overflow — a uniform fraction of a duration.
+fn mul_frac(d: Duration, r: u64) -> Duration {
+    let nanos = d.as_nanos() as u64;
+    let scaled = ((nanos as u128) * (r as u128)) >> 64;
+    Duration::from_nanos(scaled as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(base_ms: u64, cap_ms: u64) -> BackoffConfig {
+        BackoffConfig {
+            base: Duration::from_millis(base_ms),
+            cap: Duration::from_millis(cap_ms),
+        }
+    }
+
+    #[test]
+    fn delays_grow_exponentially_and_cap() {
+        let mut b = Backoff::with_seed(config(10, 200), 7);
+        let mut prev_upper = Duration::ZERO;
+        for attempt in 0..12u32 {
+            let d = b.next_delay();
+            let exp = Duration::from_millis(10)
+                .saturating_mul(1 << attempt.min(20))
+                .min(Duration::from_millis(200));
+            assert!(d >= exp / 2, "attempt {attempt}: {d:?} below jitter floor");
+            assert!(d <= exp, "attempt {attempt}: {d:?} above pre-jitter value");
+            assert!(d <= Duration::from_millis(200), "cap violated");
+            prev_upper = prev_upper.max(d);
+        }
+        assert!(prev_upper >= Duration::from_millis(100), "never grew");
+    }
+
+    #[test]
+    fn reset_starts_over() {
+        let mut b = Backoff::with_seed(config(10, 10_000), 7);
+        for _ in 0..6 {
+            b.next_delay();
+        }
+        assert_eq!(b.attempts(), 6);
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        assert!(b.next_delay() <= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn two_seeds_desynchronize() {
+        let mut a = Backoff::with_seed(config(1000, 60_000), 1);
+        let mut b = Backoff::with_seed(config(1000, 60_000), 2);
+        let differs = (0..8).any(|_| a.next_delay() != b.next_delay());
+        assert!(differs, "jitter produced identical sequences");
+    }
+
+    #[test]
+    fn huge_attempt_counts_saturate() {
+        let mut b = Backoff::with_seed(config(1000, 3_000), 3);
+        for _ in 0..100 {
+            let d = b.next_delay();
+            assert!(d <= Duration::from_millis(3_000));
+        }
+    }
+}

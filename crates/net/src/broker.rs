@@ -52,9 +52,10 @@
 use crate::auth::PublishAuth;
 use crate::error::{NetError, RejectReason};
 use crate::frame::{
-    deliver_body, publish_auth_message, read_frame_body, signed_container_offset, ConfigSummary,
-    Frame, PeerRole, CONTAINER_OFFSET,
+    deliver_body, publish_auth_message, read_frame_body, relay_body, relay_container_offset,
+    signed_container_offset, ConfigSummary, Frame, PeerRole, CONTAINER_OFFSET,
 };
+use crate::relay::{self, relay_verdict, RelayConfig, RelaySource, RelayVerdict};
 use crate::store::{FsyncPolicy, RecoveryReport, RetentionStore, StoreTelemetry};
 use pbcd_telemetry::{Counter, Gauge, Histogram, Registry, Snapshot, TraceEvent, TraceKind};
 use std::collections::BTreeMap;
@@ -120,6 +121,14 @@ pub struct BrokerConfig {
     /// compacted into a fresh file. Irrelevant without
     /// [`Self::store_path`].
     pub max_log_bytes: u64,
+    /// Broker-overlay peering plane. `None` (the default) is a standalone
+    /// broker: v5 overlay frames are refused like any other unexpected
+    /// frame and nothing else changes. With a [`RelayConfig`], the broker
+    /// dials its configured downstream peers (forwarding every accepted
+    /// publish one hop on) and — when
+    /// [`RelayConfig::accept_peers`] — accepts inbound peer links,
+    /// cold-starting each from its retention log.
+    pub relay: Option<RelayConfig>,
 }
 
 impl core::fmt::Debug for BrokerConfig {
@@ -140,6 +149,7 @@ impl core::fmt::Debug for BrokerConfig {
             .field("fsync", &self.fsync)
             .field("history_depth", &self.history_depth)
             .field("max_log_bytes", &self.max_log_bytes)
+            .field("relay", &self.relay)
             .finish()
     }
 }
@@ -159,6 +169,7 @@ impl Default for BrokerConfig {
             fsync: FsyncPolicy::PerPublish,
             history_depth: 1,
             max_log_bytes: 1024 * 1024 * 1024,
+            relay: None,
         }
     }
 }
@@ -206,6 +217,22 @@ pub struct BrokerStats {
     pub records_recovered: u64,
     /// Log compactions performed since this broker started.
     pub compactions: u64,
+    /// Relayed containers accepted from peer brokers (retained and fanned
+    /// out exactly like local publishes).
+    pub relays_accepted: u64,
+    /// Relayed containers refused by the overlay guards (loop, stale hop,
+    /// non-peer sender) — all non-fatal, the idempotency/loop-suppression
+    /// machinery showing up as a number instead of a hang.
+    pub relays_suppressed: u64,
+    /// Containers this broker's outbound peer links delivered downstream
+    /// (live forwards plus catch-up records, summed over peers).
+    pub relays_forwarded: u64,
+    /// Retained records streamed to cold-starting or resyncing peers (a
+    /// subset of [`Self::relays_forwarded`]).
+    pub relay_catch_up_records: u64,
+    /// Outbound peer links currently live — connected, caught up or
+    /// streaming (a gauge).
+    pub relay_links: u64,
 }
 
 /// One frame queued to a subscriber's writer thread: pre-framed body
@@ -244,8 +271,8 @@ enum DropCause {
 /// Pre-resolved registry handles for every broker metric. Hot paths touch
 /// only the cloned atomic handles (one relaxed add each); the registry map
 /// lock is taken at registration and snapshot time only.
-struct BrokerTelemetry {
-    registry: Registry,
+pub(crate) struct BrokerTelemetry {
+    pub(crate) registry: Registry,
     publishes: Counter,
     publishes_rejected: Counter,
     deliveries: Counter,
@@ -262,6 +289,16 @@ struct BrokerTelemetry {
     log_bytes: Gauge,
     records_recovered: Gauge,
     compactions: Gauge,
+    relays_accepted: Counter,
+    relays_suppressed: Counter,
+    suppressed_loop: Counter,
+    suppressed_stale: Counter,
+    suppressed_not_peer: Counter,
+    pub(crate) relays_forwarded: Counter,
+    pub(crate) relay_catch_up_records: Counter,
+    pub(crate) relay_lag_ns: Histogram,
+    relay_links: Gauge,
+    relay_links_dropped: Counter,
 }
 
 impl BrokerTelemetry {
@@ -289,8 +326,33 @@ impl BrokerTelemetry {
             log_bytes: registry.gauge("broker_log_bytes"),
             records_recovered: registry.gauge("broker_records_recovered"),
             compactions: registry.gauge("broker_log_compactions"),
+            relays_accepted: registry.counter("broker_relays_accepted_total"),
+            relays_suppressed: registry.counter("broker_relays_suppressed_total"),
+            suppressed_loop: registry.counter("broker_relays_suppressed_total{cause=\"loop\"}"),
+            suppressed_stale: registry.counter("broker_relays_suppressed_total{cause=\"stale\"}"),
+            suppressed_not_peer: registry
+                .counter("broker_relays_suppressed_total{cause=\"not_a_peer\"}"),
+            relays_forwarded: registry.counter("broker_relays_forwarded_total"),
+            relay_catch_up_records: registry.counter("broker_relay_catch_up_records_total"),
+            relay_lag_ns: registry.histogram("broker_relay_lag_ns"),
+            relay_links: registry.gauge("broker_relay_links"),
+            relay_links_dropped: registry.counter("broker_relay_links_dropped_total"),
             registry,
         }
+    }
+
+    /// Counts a suppressed relay under both the total and its cause
+    /// label. `RelayLoop`/`StaleHop`/`NotAPeer` are the only reasons the
+    /// overlay guards emit; anything else is a plain publish reject.
+    fn count_suppressed(&self, reason: RejectReason, conn_id: u64, epoch: u64) {
+        self.relays_suppressed.inc();
+        match reason {
+            RejectReason::RelayLoop => self.suppressed_loop.inc(),
+            RejectReason::StaleHop => self.suppressed_stale.inc(),
+            RejectReason::NotAPeer => self.suppressed_not_peer.inc(),
+            _ => {}
+        }
+        self.trace(TraceKind::Reject, conn_id, epoch, 0);
     }
 
     /// Counts a subscriber drop under both the total and its cause label.
@@ -305,7 +367,7 @@ impl BrokerTelemetry {
     }
 
     /// Records one wire-level trace event.
-    fn trace(&self, kind: TraceKind, conn_id: u64, epoch: u64, duration_ns: u64) {
+    pub(crate) fn trace(&self, kind: TraceKind, conn_id: u64, epoch: u64, duration_ns: u64) {
         self.registry.trace().record(TraceEvent {
             timestamp_ns: self.registry.now_ns(),
             conn_id,
@@ -345,30 +407,66 @@ impl SubEntry {
     }
 }
 
+/// One container queued to an outbound peer link's thread: a pre-framed
+/// `Relay` body (origin + hops already stamped), reference-counted so a
+/// forward to N peers enqueues N pointers.
+pub(crate) struct RelayJob {
+    /// Pre-framed `Relay` frame body.
+    pub(crate) body: Arc<Vec<u8>>,
+    /// Container epoch, for trace events.
+    pub(crate) epoch: u64,
+    /// Registry timestamp of the enqueue — the link thread records
+    /// enqueue→downstream-ack into the relay-lag histogram.
+    pub(crate) enqueued_ns: u64,
+}
+
+/// One live outbound peer link: the bounded queue its link thread drains.
+/// Registered only once the link is connected and past its catch-up
+/// snapshot, so `relay_links.len()` gauges *live* links.
+pub(crate) struct RelayLink {
+    pub(crate) sender: SyncSender<RelayJob>,
+}
+
+/// Where a retained document entered the overlay — the origin id and hop
+/// count stamped on the `Relay` frame it arrived in. Locally published
+/// documents have no entry (this broker *is* their origin). In-memory
+/// only: after a restart the broker re-originates relayed documents under
+/// its own id, with epoch monotonicity as the documented backstop against
+/// the resulting re-circulation.
+pub(crate) struct RelayMeta {
+    pub(crate) origin: String,
+    pub(crate) hops: u8,
+}
+
 /// Mutable broker state behind one lock. The lock is held only for map
 /// bookkeeping, retention-store updates and queue pushes — never across a
 /// socket write. (With `PerPublish` fsync the log sync also runs under the
 /// lock: that *is* the durability contract — the Ack must not outrun the
 /// disk.)
-struct State {
+pub(crate) struct State {
     /// Per-document retained epoch history (pre-framed `Deliver` bodies,
     /// shared so fan-out and replay enqueue pointer clones), optionally
     /// backed by the on-disk log.
-    store: RetentionStore,
+    pub(crate) store: RetentionStore,
     /// connection id → subscriber registration.
     subscribers: BTreeMap<u64, SubEntry>,
     /// connection id → raw stream of every live connection (for shutdown).
-    connections: BTreeMap<u64, TcpStream>,
-    /// Join handles of per-connection handler *and* writer threads.
-    threads: Vec<JoinHandle<()>>,
+    pub(crate) connections: BTreeMap<u64, TcpStream>,
+    /// link id → live outbound peer link (fed under this lock, exactly
+    /// like subscriber queues, so relay order is retained-state order).
+    pub(crate) relay_links: BTreeMap<u64, RelayLink>,
+    /// document → overlay provenance of its newest retained epoch.
+    pub(crate) relay_meta: BTreeMap<String, RelayMeta>,
+    /// Join handles of per-connection handler, writer *and* link threads.
+    pub(crate) threads: Vec<JoinHandle<()>>,
 }
 
-struct Shared {
-    config: BrokerConfig,
-    shutdown: AtomicBool,
-    state: Mutex<State>,
-    next_conn_id: AtomicU64,
-    telemetry: BrokerTelemetry,
+pub(crate) struct Shared {
+    pub(crate) config: BrokerConfig,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) state: Mutex<State>,
+    pub(crate) next_conn_id: AtomicU64,
+    pub(crate) telemetry: BrokerTelemetry,
 }
 
 /// The single read path for broker observability: sets every gauge from
@@ -391,6 +489,7 @@ fn telemetry_snapshot(shared: &Shared) -> Snapshot {
     t.records_recovered
         .set(state.store.recovery().records_recovered);
     t.compactions.set(state.store.compactions());
+    t.relay_links.set(state.relay_links.len() as u64);
     t.registry.snapshot()
 }
 
@@ -429,6 +528,8 @@ impl Broker {
                 store,
                 subscribers: BTreeMap::new(),
                 connections: BTreeMap::new(),
+                relay_links: BTreeMap::new(),
+                relay_meta: BTreeMap::new(),
                 threads: Vec::new(),
             }),
             next_conn_id: AtomicU64::new(0),
@@ -438,6 +539,15 @@ impl Broker {
         let accept = std::thread::Builder::new()
             .name("pbcd-broker-accept".into())
             .spawn(move || accept_loop(listener, accept_shared))?;
+        // Dial the configured downstream peers. Each link thread owns its
+        // connect/handshake/catch-up/forward lifecycle and reconnects with
+        // capped jittered backoff, so an unreachable peer costs nothing
+        // but a sleeping thread.
+        if let Some(relay_config) = shared.config.relay.clone() {
+            for peer in relay_config.peers {
+                relay::spawn_link(&shared, peer)?;
+            }
+        }
         Ok(BrokerHandle {
             addr: local_addr,
             shared,
@@ -478,7 +588,28 @@ impl BrokerHandle {
             log_bytes: gauge("broker_log_bytes"),
             records_recovered: gauge("broker_records_recovered"),
             compactions: gauge("broker_log_compactions"),
+            relays_accepted: counter("broker_relays_accepted_total"),
+            relays_suppressed: counter("broker_relays_suppressed_total"),
+            relays_forwarded: counter("broker_relays_forwarded_total"),
+            relay_catch_up_records: counter("broker_relay_catch_up_records_total"),
+            relay_links: gauge("broker_relay_links"),
         }
+    }
+
+    /// Dials `addr` as a new downstream peer at runtime — the attach path
+    /// for edges whose address is not known at bind time (every test
+    /// broker binds port 0). Requires a [`BrokerConfig::relay`]
+    /// configuration; the link thread it spawns connects, cold-starts the
+    /// peer from this broker's retention log, then forwards live, and
+    /// reconnects with capped jittered backoff after any failure.
+    pub fn add_peer(&self, addr: impl Into<String>) -> Result<(), NetError> {
+        if self.shared.config.relay.is_none() {
+            return Err(NetError::protocol(
+                "add_peer requires BrokerConfig::relay to be configured",
+            ));
+        }
+        relay::spawn_link(&self.shared, addr.into())?;
+        Ok(())
     }
 
     /// Full metrics snapshot: every broker counter and gauge plus the
@@ -549,6 +680,10 @@ impl BrokerHandle {
         {
             let mut state = self.shared.state.lock().expect("broker state");
             state.subscribers.clear();
+            // Dropping the link senders wakes link threads parked in
+            // `recv`; the shutdown flag (checked before every reconnect
+            // and backoff slice) stops them from dialing again.
+            state.relay_links.clear();
             for stream in state.connections.values() {
                 let _ = stream.shutdown(Shutdown::Both);
             }
@@ -735,6 +870,9 @@ fn handle_connection(shared: Arc<Shared>, id: u64, mut stream: TcpStream) {
     // (idle subscribers wait for deliveries).
     let mut handshaken = false;
     let _ = stream.set_read_timeout(shared.config.handshake_timeout);
+    // Set once this connection completes a `PeerHello` exchange: only then
+    // are inbound `Relay` frames honored (anything else is `NotAPeer`).
+    let mut peer_id: Option<String> = None;
 
     loop {
         let mut body = match read_frame_body(&mut stream) {
@@ -808,7 +946,13 @@ fn handle_connection(shared: Arc<Shared>, id: u64, mut stream: TcpStream) {
                 // re-encoding megabytes on the hot path.
                 let mut container_bytes = std::mem::take(&mut body);
                 container_bytes.drain(..CONTAINER_OFFSET);
-                match handle_publish(shared, &container, container_bytes, false) {
+                match handle_publish(
+                    shared,
+                    &container,
+                    container_bytes,
+                    false,
+                    RelaySource::Local,
+                ) {
                     Ok(fanout) => {
                         if writer
                             .reply(shared, id, &Frame::Ack { epoch, fanout })
@@ -873,7 +1017,13 @@ fn handle_connection(shared: Arc<Shared>, id: u64, mut stream: TcpStream) {
                         }
                     }
                 }
-                match handle_publish(shared, &container, container_bytes, true) {
+                match handle_publish(
+                    shared,
+                    &container,
+                    container_bytes,
+                    true,
+                    RelaySource::Local,
+                ) {
                     Ok(fanout) => {
                         if writer
                             .reply(shared, id, &Frame::Ack { epoch, fanout })
@@ -940,18 +1090,167 @@ fn handle_connection(shared: Arc<Shared>, id: u64, mut stream: TcpStream) {
                     break;
                 }
             }
+            Frame::PeerHello { broker_id } => {
+                // An inbound peer link opening. Refusal is typed and
+                // non-fatal: a broker that does not accept peers is still
+                // a perfectly good broker for this connection's other
+                // traffic (and the dialer's backoff handles the rest).
+                let Some(relay_config) = shared.config.relay.as_ref().filter(|r| r.accept_peers)
+                else {
+                    shared
+                        .telemetry
+                        .count_suppressed(RejectReason::NotAPeer, id, 0);
+                    let reject = Frame::Reject {
+                        reason: RejectReason::NotAPeer,
+                        message: "this broker does not accept relay peers".into(),
+                    };
+                    if writer.reply(shared, id, &reject).is_err() {
+                        break;
+                    }
+                    continue;
+                };
+                let hello = Frame::PeerHello {
+                    broker_id: relay_config.broker_id.clone(),
+                };
+                // Reply with our id, then immediately advertise our
+                // retained high-water marks: the upstream streams exactly
+                // the records we are missing (cold start and partition
+                // resync are the same exchange).
+                let known = {
+                    let state = shared.state.lock().expect("broker state");
+                    state.store.newest_epochs()
+                };
+                peer_id = Some(broker_id);
+                if writer.reply(shared, id, &hello).is_err()
+                    || writer
+                        .reply(shared, id, &Frame::RelayCatchUp { known })
+                        .is_err()
+                {
+                    break;
+                }
+            }
+            Frame::Relay {
+                origin,
+                hops,
+                container,
+            } => {
+                let epoch = container.epoch;
+                // Only accepted peers may relay. The peer link itself is
+                // the authorization: signatures were verified where the
+                // container entered the overlay (origin-only), and the
+                // container's own authenticated encryption — the paper's
+                // core property — is what a hostile edge cannot forge.
+                if peer_id.is_none() {
+                    shared
+                        .telemetry
+                        .count_suppressed(RejectReason::NotAPeer, id, epoch);
+                    let reject = Frame::Reject {
+                        reason: RejectReason::NotAPeer,
+                        message: "relay from a non-peer connection".into(),
+                    };
+                    if writer.reply(shared, id, &reject).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+                let relay_config = shared
+                    .config
+                    .relay
+                    .as_ref()
+                    .expect("peer link accepted without relay config");
+                let retained = {
+                    let state = shared.state.lock().expect("broker state");
+                    state.store.newest_epoch(&container.document_name)
+                };
+                let verdict = relay_verdict(
+                    &relay_config.broker_id,
+                    retained,
+                    &origin,
+                    hops,
+                    epoch,
+                    relay_config.max_hops,
+                );
+                let reject_reason = match verdict {
+                    RelayVerdict::Loop => Some(RejectReason::RelayLoop),
+                    RelayVerdict::Stale => Some(RejectReason::StaleHop),
+                    RelayVerdict::Accept => None,
+                };
+                if let Some(reason) = reject_reason {
+                    shared.telemetry.count_suppressed(reason, id, epoch);
+                    let reject = Frame::Reject {
+                        reason,
+                        message: reason.to_string(),
+                    };
+                    if writer.reply(shared, id, &reject).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+                let mut container_bytes = std::mem::take(&mut body);
+                container_bytes.drain(..relay_container_offset(&origin));
+                match handle_publish(
+                    shared,
+                    &container,
+                    container_bytes,
+                    true,
+                    RelaySource::Peer {
+                        origin: &origin,
+                        hops,
+                    },
+                ) {
+                    Ok(fanout) => {
+                        shared.telemetry.relays_accepted.inc();
+                        shared.telemetry.trace(TraceKind::Publish, id, epoch, 0);
+                        if writer
+                            .reply(shared, id, &Frame::Ack { epoch, fanout })
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                    Err(reject) => {
+                        // The verdict above ran outside the state lock; a
+                        // racing publish can still make this epoch stale
+                        // at retention time — that in-lock recheck is the
+                        // real guard, surfaced under the relay taxonomy.
+                        let reason = if reject.reason == RejectReason::StaleEpoch {
+                            RejectReason::StaleHop
+                        } else {
+                            reject.reason
+                        };
+                        shared.telemetry.count_suppressed(reason, id, epoch);
+                        if writer
+                            .reply(
+                                shared,
+                                id,
+                                &Frame::Reject {
+                                    reason,
+                                    message: reject.detail,
+                                },
+                            )
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                }
+            }
             Frame::Bye => {
                 let _ = writer.reply(shared, id, &Frame::Bye);
                 break;
             }
             // Frames only the broker may send: a client speaking them is
             // confused or hostile — cut it off (in isolation).
+            // (`RelayCatchUp` travels downstream→upstream on a link the
+            // *upstream* dialed; inbound on an accepted connection it is
+            // equally out of place.)
             Frame::Deliver(_)
             | Frame::Configs(_)
             | Frame::Ack { .. }
             | Frame::Error { .. }
             | Frame::Reject { .. }
-            | Frame::StatsResponse { .. } => {
+            | Frame::StatsResponse { .. }
+            | Frame::RelayCatchUp { .. } => {
                 shared.telemetry.connections_rejected.inc();
                 let _ = writer.reply(
                     shared,
@@ -998,7 +1297,9 @@ impl PublishReject {
 
 /// Retains the container (already-canonical `container_bytes`) and fans it
 /// out by enqueueing one reference-counted `Deliver` body per matching
-/// subscriber; returns the fan-out (enqueue) count. The state lock is held
+/// subscriber — plus, on a relay-enabled broker, one `Relay` body per live
+/// outbound peer link (same bytes, hop count advanced). Returns the
+/// fan-out (enqueue) count over local subscribers. The state lock is held
 /// for map bookkeeping and queue pushes only — publish latency is enqueue
 /// time, never a socket write.
 fn handle_publish(
@@ -1006,6 +1307,7 @@ fn handle_publish(
     container: &pbcd_docs::BroadcastContainer,
     container_bytes: Vec<u8>,
     authenticated: bool,
+    source: RelaySource<'_>,
 ) -> Result<u32, PublishReject> {
     let container_len = container_bytes.len();
     let deliver = Arc::new(deliver_body(&container_bytes));
@@ -1112,6 +1414,50 @@ fn handle_publish(
             }
             if let Some(conn) = state.connections.get(&sub_id) {
                 let _ = conn.shutdown(Shutdown::Both);
+            }
+        }
+        // Overlay forwarding: advance the hop count and push the same
+        // container bytes — verbatim — onto every live outbound peer
+        // link's queue (still under the lock, so relay order is retained-
+        // state order, exactly like subscriber fan-out). A full link
+        // queue marks a peer that cannot keep up: the link is dropped and
+        // its thread reconnects + resyncs from the log, which replays
+        // everything the queue drop skipped.
+        if let Some(relay_config) = shared.config.relay.as_ref() {
+            if let RelaySource::Peer { origin, hops } = source {
+                state.relay_meta.insert(
+                    container.document_name.clone(),
+                    RelayMeta {
+                        origin: origin.to_string(),
+                        hops,
+                    },
+                );
+            }
+            let (origin, hops_out) = match source {
+                RelaySource::Local => (relay_config.broker_id.as_str(), 1),
+                RelaySource::Peer { origin, hops } => (origin, hops.saturating_add(1)),
+            };
+            if !state.relay_links.is_empty() && hops_out <= relay_config.max_hops {
+                let rbody = Arc::new(relay_body(origin, hops_out, &container_bytes));
+                let enqueued_ns = shared.telemetry.registry.now_ns();
+                let mut dead_links: Vec<u64> = Vec::new();
+                for (link_id, link) in &state.relay_links {
+                    let job = RelayJob {
+                        body: Arc::clone(&rbody),
+                        epoch: container.epoch,
+                        enqueued_ns,
+                    };
+                    if link.sender.try_send(job).is_err() {
+                        dead_links.push(*link_id);
+                    }
+                }
+                for link_id in dead_links {
+                    state.relay_links.remove(&link_id);
+                    shared.telemetry.relay_links_dropped.inc();
+                    if let Some(conn) = state.connections.get(&link_id) {
+                        let _ = conn.shutdown(Shutdown::Both);
+                    }
+                }
             }
         }
         // Counted inside the lock so a stats snapshot (which also runs
@@ -1336,7 +1682,7 @@ fn writer_loop(
 /// Writes `length u32 ‖ body` honoring an absolute deadline across partial
 /// writes (plain socket write timeouts re-arm on every syscall, which a
 /// trickling receiver can exploit to hold a write open indefinitely).
-fn write_body_deadline(
+pub(crate) fn write_body_deadline(
     stream: &mut TcpStream,
     body: &[u8],
     deadline: Option<Instant>,

@@ -26,6 +26,22 @@ pub enum RejectReason {
     /// log (disk full, I/O error). Nothing was retained or fanned out; the
     /// publisher may retry the same epoch once the broker recovers.
     StoreFailure,
+    /// A relayed container arrived back at its origin broker or exhausted
+    /// its hop budget — the overlay's loop-suppression guard fired.
+    /// Non-fatal: the peer link stays up and the refusal is counted, not
+    /// escalated (cycles are legal in mesh topologies; suppression is how
+    /// they terminate).
+    RelayLoop,
+    /// A relayed epoch was not newer than the receiving broker's retained
+    /// epoch for that document. Normal during catch-up/live overlap and
+    /// on redundant mesh paths — the per-hop monotonicity guard doubles
+    /// as idempotent duplicate suppression. Non-fatal.
+    StaleHop,
+    /// A `Relay`/`PeerHello` frame arrived from a connection that is not
+    /// an accepted peer link (relay disabled, peering not accepted, or a
+    /// plain client speaking broker-overlay frames). Non-fatal for the
+    /// sender's connection.
+    NotAPeer,
 }
 
 impl RejectReason {
@@ -38,6 +54,9 @@ impl RejectReason {
             Self::StaleEpoch => 4,
             Self::RetentionCap => 5,
             Self::StoreFailure => 6,
+            Self::RelayLoop => 7,
+            Self::StaleHop => 8,
+            Self::NotAPeer => 9,
         }
     }
 
@@ -50,6 +69,9 @@ impl RejectReason {
             4 => Self::StaleEpoch,
             5 => Self::RetentionCap,
             6 => Self::StoreFailure,
+            7 => Self::RelayLoop,
+            8 => Self::StaleHop,
+            9 => Self::NotAPeer,
             _ => return None,
         })
     }
@@ -64,6 +86,9 @@ impl core::fmt::Display for RejectReason {
             Self::StaleEpoch => "stale or replayed epoch",
             Self::RetentionCap => "retention cap exceeded",
             Self::StoreFailure => "durable retention store failure",
+            Self::RelayLoop => "relay loop suppressed (origin match or hop budget exhausted)",
+            Self::StaleHop => "relayed epoch not newer than retained (duplicate suppressed)",
+            Self::NotAPeer => "connection is not an accepted relay peer",
         };
         write!(f, "{s}")
     }

@@ -38,6 +38,13 @@ pub const PROTOCOL_VERSION_HISTORY: u8 = 3;
 /// ([`Frame::StatsRequest`]/[`Frame::StatsResponse`]). Same negotiation
 /// rule: only peers that scrape stats ever emit a v4 header.
 pub const PROTOCOL_VERSION_STATS: u8 = 4;
+/// Protocol version introducing the broker-overlay relay family
+/// ([`Frame::PeerHello`]/[`Frame::Relay`]/[`Frame::RelayCatchUp`]): broker
+/// → broker peering links that forward containers one hop at a time. Same
+/// negotiation rule as every prior extension: only peering brokers ever
+/// emit a v5 header, so v1–v4 publishers, subscribers and operators
+/// interoperate with a relay-enabled broker byte-for-byte unchanged.
+pub const PROTOCOL_VERSION_RELAY: u8 = 5;
 /// Upper bound on a frame body (64 MiB) — a sanity bound against corrupt
 /// or hostile length prefixes, comfortably above the 16 MiB field limit.
 pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
@@ -170,6 +177,43 @@ pub enum Frame {
         /// The rendered text exposition.
         text: String,
     },
+    /// Broker ↔ broker (v5): opens a relay peering link. The dialing
+    /// (upstream) broker sends its id; the accepting (downstream) broker
+    /// replies with its own `PeerHello` followed by a
+    /// [`Frame::RelayCatchUp`] describing what it already retains.
+    PeerHello {
+        /// The speaking broker's overlay-unique id — the value carried in
+        /// every [`Frame::Relay`] it originates, and the anchor of the
+        /// origin-id loop-suppression check.
+        broker_id: String,
+    },
+    /// Broker → broker (v5): a container forwarded over a peering link.
+    /// The container bytes are the **origin's signed body verbatim** — an
+    /// edge re-frames but never re-encodes, so subscriber-visible bytes
+    /// are identical at every tier and the origin's signature check covers
+    /// the whole overlay. Loop suppression rides the header: a broker
+    /// rejects its own `origin` coming back and any frame whose `hops`
+    /// exceeds its TTL budget.
+    Relay {
+        /// Id of the broker the container entered the overlay at.
+        origin: String,
+        /// Relay hops traversed when this frame is received (the origin
+        /// sends 1; each forwarding edge increments).
+        hops: u8,
+        /// The container, byte-identical to the origin's encoding.
+        container: BroadcastContainer,
+    },
+    /// Broker → broker (v5): the downstream's retained high-water marks,
+    /// sent right after its `PeerHello` reply. The upstream streams every
+    /// retained record strictly newer than these (depth-K per document,
+    /// oldest-first, straight off its [`crate::store::RetentionStore`])
+    /// as ordinary [`Frame::Relay`] frames before going live — log-backed
+    /// cold-start and post-partition resync are the same code path.
+    RelayCatchUp {
+        /// `(document, newest retained epoch)` pairs; absent documents
+        /// mean "send me everything you retain".
+        known: Vec<(String, u64)>,
+    },
 }
 
 const KIND_HELLO: u8 = 1;
@@ -186,6 +230,9 @@ const KIND_REJECT: u8 = 11;
 const KIND_SUBSCRIBE_HISTORY: u8 = 12;
 const KIND_STATS_REQUEST: u8 = 13;
 const KIND_STATS_RESPONSE: u8 = 14;
+const KIND_PEER_HELLO: u8 = 15;
+const KIND_RELAY: u8 = 16;
+const KIND_RELAY_CATCH_UP: u8 = 17;
 
 /// Lowest protocol version whose decoder understands `kind` — the header
 /// version a frame of that kind must carry (per-kind negotiation: encoders
@@ -195,6 +242,7 @@ fn required_version(kind: u8) -> u8 {
         KIND_PUBLISH_SIGNED | KIND_REJECT => PROTOCOL_VERSION_SIGNED,
         KIND_SUBSCRIBE_HISTORY => PROTOCOL_VERSION_HISTORY,
         KIND_STATS_REQUEST | KIND_STATS_RESPONSE => PROTOCOL_VERSION_STATS,
+        KIND_PEER_HELLO | KIND_RELAY | KIND_RELAY_CATCH_UP => PROTOCOL_VERSION_RELAY,
         _ => PROTOCOL_VERSION,
     }
 }
@@ -214,6 +262,9 @@ impl Frame {
             Self::PublishSigned { .. } | Self::Reject { .. } => PROTOCOL_VERSION_SIGNED,
             Self::SubscribeHistory { .. } => PROTOCOL_VERSION_HISTORY,
             Self::StatsRequest | Self::StatsResponse { .. } => PROTOCOL_VERSION_STATS,
+            Self::PeerHello { .. } | Self::Relay { .. } | Self::RelayCatchUp { .. } => {
+                PROTOCOL_VERSION_RELAY
+            }
             _ => PROTOCOL_VERSION,
         });
         match self {
@@ -291,6 +342,28 @@ impl Frame {
                 buf.put_u8(KIND_STATS_RESPONSE);
                 put_str(&mut buf, text)?;
             }
+            Self::PeerHello { broker_id } => {
+                buf.put_u8(KIND_PEER_HELLO);
+                put_str(&mut buf, broker_id)?;
+            }
+            Self::Relay {
+                origin,
+                hops,
+                container,
+            } => {
+                buf.put_u8(KIND_RELAY);
+                put_str(&mut buf, origin)?;
+                buf.put_u8(*hops);
+                buf.put_slice(&container.encode()?);
+            }
+            Self::RelayCatchUp { known } => {
+                buf.put_u8(KIND_RELAY_CATCH_UP);
+                buf.put_u32(known.len() as u32);
+                for (doc, epoch) in known {
+                    put_str(&mut buf, doc)?;
+                    buf.put_u64(*epoch);
+                }
+            }
         }
         Ok(buf.to_vec())
     }
@@ -308,7 +381,7 @@ impl Frame {
             return Err(WireError::BadHeader);
         }
         let version = buf.get_u8();
-        if !(PROTOCOL_VERSION..=PROTOCOL_VERSION_STATS).contains(&version) {
+        if !(PROTOCOL_VERSION..=PROTOCOL_VERSION_RELAY).contains(&version) {
             return Err(WireError::BadHeader);
         }
         let kind = buf.get_u8();
@@ -427,6 +500,37 @@ impl Frame {
             KIND_STATS_RESPONSE => Self::StatsResponse {
                 text: get_str(&mut buf)?,
             },
+            KIND_PEER_HELLO => Self::PeerHello {
+                broker_id: get_str(&mut buf)?,
+            },
+            KIND_RELAY => {
+                let origin = get_str(&mut buf)?;
+                if buf.remaining() < 1 {
+                    return Err(WireError::Truncated);
+                }
+                let hops = buf.get_u8();
+                let container = BroadcastContainer::decode(buf)?;
+                buf = &[];
+                Self::Relay {
+                    origin,
+                    hops,
+                    container,
+                }
+            }
+            KIND_RELAY_CATCH_UP => {
+                let count = get_u32(&mut buf)? as usize;
+                // Each (document, epoch) pair costs ≥ 12 bytes on the wire.
+                if count > data.len() / 12 + 1 {
+                    return Err(WireError::Truncated);
+                }
+                let mut known = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let doc = get_str(&mut buf)?;
+                    let epoch = get_u64(&mut buf)?;
+                    known.push((doc, epoch));
+                }
+                Self::RelayCatchUp { known }
+            }
             _ => return Err(WireError::BadHeader),
         };
         if !buf.is_empty() {
@@ -486,6 +590,31 @@ pub const CONTAINER_OFFSET: usize = 4;
 /// (magic ‖ version ‖ kind ‖ len-prefixed key id ‖ signature).
 pub fn signed_container_offset(key_id: &str) -> usize {
     CONTAINER_OFFSET + 4 + key_id.len() + PUBLISH_SIGNATURE_LEN
+}
+
+/// Builds a `Relay` frame body around already-encoded container bytes —
+/// the overlay's forwarding hot path re-frames the origin's bytes
+/// verbatim, never re-encoding (that is what keeps subscriber-visible
+/// bytes identical at every tier).
+pub fn relay_body(origin: &str, hops: u8, container_bytes: &[u8]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(relay_container_offset(origin) + container_bytes.len());
+    body.extend_from_slice(FRAME_MAGIC);
+    body.push(PROTOCOL_VERSION_RELAY);
+    body.push(KIND_RELAY);
+    body.extend_from_slice(&(origin.len() as u32).to_be_bytes());
+    body.extend_from_slice(origin.as_bytes());
+    body.push(hops);
+    body.extend_from_slice(container_bytes);
+    body
+}
+
+/// Byte offset of the container within a `Relay` frame body
+/// (magic ‖ version ‖ kind ‖ len-prefixed origin ‖ hops). After a strict
+/// [`Frame::decode`], the body's tail from this offset *is* the origin's
+/// canonical container encoding — a receiving broker retains and
+/// re-forwards it without re-encoding.
+pub fn relay_container_offset(origin: &str) -> usize {
+    CONTAINER_OFFSET + 4 + origin.len() + 1
 }
 
 /// The canonical byte string a publisher signs and the broker verifies
@@ -639,6 +768,18 @@ mod tests {
             Frame::StatsResponse {
                 text: "broker_publishes_total 3\nbroker_queue_depth 0\n".into(),
             },
+            Frame::PeerHello {
+                broker_id: "edge-west-2".into(),
+            },
+            Frame::Relay {
+                origin: "origin-1".into(),
+                hops: 2,
+                container: sample_container(),
+            },
+            Frame::RelayCatchUp {
+                known: vec![("EHR.xml".into(), 9), ("news.xml".into(), 3)],
+            },
+            Frame::RelayCatchUp { known: vec![] },
         ]
     }
 
@@ -741,6 +882,53 @@ mod tests {
         let mut downgraded = enc;
         downgraded[2] = PROTOCOL_VERSION;
         assert_eq!(Frame::decode(&downgraded), Err(WireError::BadHeader));
+        // …and the relay family carries exactly v5: older peers can never
+        // be handed (or tricked into accepting) an overlay frame under a
+        // version they already speak.
+        for frame in [
+            Frame::PeerHello {
+                broker_id: "edge".into(),
+            },
+            Frame::Relay {
+                origin: "origin".into(),
+                hops: 1,
+                container: sample_container(),
+            },
+            Frame::RelayCatchUp { known: vec![] },
+        ] {
+            let enc = frame.encode().unwrap();
+            assert_eq!(enc[2], PROTOCOL_VERSION_RELAY, "{frame:?}");
+            for v in [
+                PROTOCOL_VERSION,
+                PROTOCOL_VERSION_SIGNED,
+                PROTOCOL_VERSION_HISTORY,
+                PROTOCOL_VERSION_STATS,
+            ] {
+                let mut downgraded = enc.clone();
+                downgraded[2] = v;
+                assert_eq!(Frame::decode(&downgraded), Err(WireError::BadHeader));
+            }
+        }
+    }
+
+    #[test]
+    fn relay_body_matches_frame_encode() {
+        let container = sample_container();
+        let container_bytes = container.encode().unwrap();
+        let via_helper = relay_body("origin-1", 3, &container_bytes);
+        let via_frame = Frame::Relay {
+            origin: "origin-1".into(),
+            hops: 3,
+            container,
+        }
+        .encode()
+        .unwrap();
+        assert_eq!(via_helper, via_frame);
+        // The advertised offset really lands on the container bytes.
+        assert_eq!(
+            &via_helper[relay_container_offset("origin-1")..],
+            container_bytes.as_slice()
+        );
     }
 
     #[test]

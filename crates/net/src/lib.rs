@@ -27,6 +27,16 @@
 //!   append-only log of ciphertext containers with crash recovery
 //!   (longest-valid-prefix + torn-tail truncation) and compaction,
 //! * [`client`] — the synchronous [`BrokerClient`] endpoint,
+//! * [`relay`] — the multi-broker dissemination overlay: brokers peer
+//!   into trees or meshes over v5 `PeerHello`/`Relay`/`RelayCatchUp`
+//!   frames, forwarding the origin's container bytes **verbatim** one
+//!   hop at a time (subscribers see byte-identical containers at every
+//!   tier; signatures verify at the origin only). Loop suppression is
+//!   origin-id + hop-budget with epoch monotonicity as the idempotency
+//!   backstop; a newly attached edge cold-starts from its upstream's
+//!   retention log before going live,
+//! * [`backoff`] — the shared jittered, capped exponential reconnect
+//!   policy used by relay links (and available to clients),
 //! * **observability** — every broker carries a [`pbcd_telemetry`]
 //!   registry: counters, gauges, publish→ack / enqueue→write / store
 //!   latency histograms and a wire-level trace ring, scrapeable live over
@@ -46,21 +56,26 @@
 #![warn(missing_docs)]
 
 pub mod auth;
+pub mod backoff;
 pub mod broker;
 pub mod client;
 pub mod direct;
 pub mod error;
 pub mod frame;
+pub mod relay;
 pub mod store;
 
 pub use auth::{AuthOutcome, PublishAuth, PublisherDirectory};
+pub use backoff::{Backoff, BackoffConfig};
 pub use broker::{Broker, BrokerConfig, BrokerHandle, BrokerStats};
 pub use client::{BrokerClient, PublishReceipt};
 pub use direct::{DirectConfig, RegistrationClient, RegistrationServer};
 pub use error::{NetError, RejectReason};
 pub use frame::{
     read_frame, write_frame, ConfigSummary, Frame, PeerRole, MAX_FRAME_LEN, PROTOCOL_VERSION,
-    PROTOCOL_VERSION_HISTORY, PROTOCOL_VERSION_SIGNED, PROTOCOL_VERSION_STATS,
+    PROTOCOL_VERSION_HISTORY, PROTOCOL_VERSION_RELAY, PROTOCOL_VERSION_SIGNED,
+    PROTOCOL_VERSION_STATS,
 };
 pub use pbcd_telemetry::{Snapshot, TraceEvent, TraceKind};
+pub use relay::{relay_verdict, RelayConfig, RelayVerdict};
 pub use store::{FsyncPolicy, RecordError, RecoveryReport, RetentionStore, StoredRecord};

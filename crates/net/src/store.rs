@@ -481,6 +481,46 @@ impl RetentionStore {
         out
     }
 
+    /// The newest retained epoch of every document, in document-name
+    /// order — the high-water marks a downstream broker advertises in a
+    /// `RelayCatchUp` so its upstream streams only what it is missing.
+    pub fn newest_epochs(&self) -> Vec<(String, u64)> {
+        self.docs
+            .iter()
+            .filter_map(|(doc, hist)| hist.epochs.back().map(|(e, _)| (doc.clone(), *e)))
+            .collect()
+    }
+
+    /// Catch-up stream for a newly attached (or resyncing) peer: for every
+    /// document, the newest `depth` retained records whose epoch is
+    /// **strictly newer** than the peer's advertised high-water mark
+    /// (`known`, from its `RelayCatchUp`; absent documents get the full
+    /// depth). Ordering is oldest-first per document, documents in name
+    /// order — the same order the peer's own per-hop monotonicity guard
+    /// accepts without suppression. Entries are
+    /// `(document, epoch, pre-framed Deliver body)` pointer clones off the
+    /// retention index; nothing is re-read from disk or re-encoded.
+    pub fn catch_up(
+        &self,
+        known: &BTreeMap<String, u64>,
+        depth: usize,
+    ) -> Vec<(String, u64, Arc<Vec<u8>>)> {
+        let depth = depth.max(1);
+        let mut out = Vec::new();
+        for (doc, hist) in &self.docs {
+            let floor = known.get(doc).copied();
+            let skip = hist.epochs.len().saturating_sub(depth);
+            out.extend(
+                hist.epochs
+                    .iter()
+                    .skip(skip)
+                    .filter(|(epoch, _)| floor.map_or(true, |f| *epoch > f))
+                    .map(|(epoch, body)| (doc.clone(), *epoch, Arc::clone(body))),
+            );
+        }
+        out
+    }
+
     /// Public summaries of the newest retained container per document, in
     /// document-name order.
     pub fn summaries(&self) -> Vec<ConfigSummary> {
@@ -816,6 +856,35 @@ mod tests {
             })
             .collect();
         assert_eq!(epochs, vec![3, 4]);
+    }
+
+    #[test]
+    fn catch_up_streams_only_what_the_peer_is_missing() {
+        let mut store = RetentionStore::in_memory(3);
+        for doc in ["a.xml", "b.xml"] {
+            for epoch in 1..=4u64 {
+                let b = body(doc, epoch);
+                let s = summary(doc, epoch, &b);
+                store.retain(s, Arc::new(b)).unwrap();
+            }
+        }
+        // Peer knows a.xml up to epoch 3 and has never seen b.xml.
+        let known = BTreeMap::from([("a.xml".to_string(), 3u64)]);
+        let stream = store.catch_up(&known, 8);
+        let keys: Vec<(&str, u64)> = stream.iter().map(|(d, e, _)| (d.as_str(), *e)).collect();
+        // a.xml: only epoch 4; b.xml: the full retained depth, oldest
+        // first (epoch 1 was evicted by depth 3).
+        assert_eq!(
+            keys,
+            vec![("a.xml", 4), ("b.xml", 2), ("b.xml", 3), ("b.xml", 4)]
+        );
+        // A fully caught-up peer gets nothing.
+        let known = BTreeMap::from([("a.xml".to_string(), 4u64), ("b.xml".to_string(), 9u64)]);
+        assert!(store.catch_up(&known, 8).is_empty());
+        // Depth caps the per-document stream at the newest entries.
+        let shallow = store.catch_up(&BTreeMap::new(), 1);
+        let keys: Vec<(&str, u64)> = shallow.iter().map(|(d, e, _)| (d.as_str(), *e)).collect();
+        assert_eq!(keys, vec![("a.xml", 4), ("b.xml", 4)]);
     }
 
     #[test]

@@ -465,6 +465,7 @@ mod tests {
             TraceKind::Subscribe,
             TraceKind::Drop,
             TraceKind::Request,
+            TraceKind::Relay,
         ] {
             assert_eq!(TraceKind::from_code(kind.code()), Some(kind));
         }

@@ -35,6 +35,9 @@ pub enum TraceKind {
     Drop,
     /// A direct-plane request was served (duration = handler time).
     Request,
+    /// A container was forwarded to a peer broker and acknowledged
+    /// (duration = enqueue→downstream-ack, i.e. relay lag).
+    Relay,
 }
 
 impl TraceKind {
@@ -48,6 +51,7 @@ impl TraceKind {
             TraceKind::Subscribe => 5,
             TraceKind::Drop => 6,
             TraceKind::Request => 7,
+            TraceKind::Relay => 8,
         }
     }
 
@@ -61,6 +65,7 @@ impl TraceKind {
             5 => TraceKind::Subscribe,
             6 => TraceKind::Drop,
             7 => TraceKind::Request,
+            8 => TraceKind::Relay,
             _ => return None,
         })
     }
@@ -75,6 +80,7 @@ impl TraceKind {
             TraceKind::Subscribe => "subscribe",
             TraceKind::Drop => "drop",
             TraceKind::Request => "request",
+            TraceKind::Relay => "relay",
         }
     }
 }

@@ -1,0 +1,177 @@
+//! A two-tier dissemination overlay: one origin broker relays to two
+//! edge brokers, subscribers attach to the edges, and one edge is
+//! started **late** — it cold-starts from the origin's retention log and
+//! converges to the identical retained set before serving its local
+//! subscriber.
+//!
+//! The overlay moves the origin's ciphertext containers verbatim, one
+//! hop at a time, so every tier fans out byte-identical frames and the
+//! paper's trust model is unchanged: edges are as untrusted as the
+//! origin broker — a wire tap with retention — and subscribers decrypt
+//! only through their own registered secrets.
+//!
+//! ```sh
+//! cargo run --release --example broker_relay_tree
+//! ```
+
+use pbcd::core::{NetPublisher, NetSubscriber, SystemHarness};
+use pbcd::docs::Element;
+use pbcd::net::{Broker, BrokerConfig, BrokerHandle, FsyncPolicy, RelayConfig};
+use pbcd::policy::{AccessControlPolicy, AttributeCondition, AttributeSet, PolicySet};
+use std::time::{Duration, Instant};
+
+fn wait_until(what: &str, mut pred: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !pred() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn main() {
+    let mut policies = PolicySet::new();
+    policies.add(AccessControlPolicy::new(
+        vec![AttributeCondition::eq_str("role", "doctor")],
+        &["Diagnosis"],
+        "ward.xml",
+    ));
+
+    // Registration stays out-of-band, exactly as in the flat-broker
+    // examples: no broker in the tree ever sees key material.
+    let mut sys = SystemHarness::new_p256(policies, 7);
+    let amira = sys.subscribe(
+        "amira",
+        AttributeSet::new()
+            .with_str("role", "doctor")
+            .with("clearance", 7),
+    );
+    let lena = sys.subscribe(
+        "lena",
+        AttributeSet::new()
+            .with_str("role", "doctor")
+            .with("clearance", 7),
+    );
+    let SystemHarness {
+        publisher, mut rng, ..
+    } = sys;
+
+    // The origin: durable (its log is what late edges cold-start from)
+    // and relay-enabled, dialing edges as they appear.
+    let store_path =
+        std::env::temp_dir().join(format!("pbcd-relay-tree-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&store_path);
+    let origin = Broker::bind_with(
+        "127.0.0.1:0",
+        BrokerConfig {
+            store_path: Some(store_path.clone()),
+            fsync: FsyncPolicy::PerPublish,
+            history_depth: 3,
+            relay: Some(RelayConfig {
+                accept_peers: false,
+                ..RelayConfig::new("origin")
+            }),
+            ..BrokerConfig::default()
+        },
+    )
+    .expect("bind origin");
+
+    // Edge 1 is up from the start and serves Amira live.
+    let edge1 = edge_broker("edge-1");
+    origin
+        .add_peer(edge1.addr().to_string())
+        .expect("peer edge-1");
+    wait_until("edge-1 link", || origin.stats().relay_links == 1);
+    println!(
+        "origin {} → edge-1 {} (log: {})",
+        origin.addr(),
+        edge1.addr(),
+        store_path.display()
+    );
+
+    let mut net_amira =
+        NetSubscriber::connect(amira, edge1.addr(), &["ward.xml"]).expect("amira joins edge-1");
+
+    // Three epochs enter at the origin and reach Amira through the edge.
+    let mut net_pub = NetPublisher::connect(publisher, origin.addr()).expect("publisher connects");
+    let shared_policies = net_pub.policies();
+    for note in [
+        "suspected appendicitis",
+        "confirmed, surgery booked",
+        "post-op stable",
+    ] {
+        let report = Element::new("WardReport").child(Element::new("Diagnosis").text(note));
+        let receipt = net_pub
+            .broadcast(&report, "ward.xml", &mut rng)
+            .expect("broadcast");
+        println!("published ward.xml epoch {} ({note:?})", receipt.epoch);
+    }
+    for _ in 0..3 {
+        let (container, view) = net_amira
+            .recv_document(&shared_policies)
+            .expect("relayed delivery");
+        println!(
+            "amira (edge-1) decrypted epoch {}: {:?}",
+            container.epoch,
+            first_diagnosis(&view)
+        );
+    }
+
+    // Edge 2 attaches late: everything it serves Lena was cold-started
+    // out of the origin's retention log through RelayCatchUp.
+    let edge2 = edge_broker("edge-2");
+    origin
+        .add_peer(edge2.addr().to_string())
+        .expect("peer edge-2");
+    wait_until("edge-2 cold start", || edge2.stats().relays_accepted == 3);
+    let origin_stats = origin.stats();
+    println!(
+        "\nedge-2 {} attached late: {} record(s) streamed from the log, \
+         {} forward(s) total over {} link(s)",
+        edge2.addr(),
+        origin_stats.relay_catch_up_records,
+        origin_stats.relays_forwarded,
+        origin_stats.relay_links,
+    );
+
+    let mut net_lena = NetSubscriber::connect_with_history(lena, edge2.addr(), &["ward.xml"], 3)
+        .expect("lena joins edge-2");
+    for _ in 0..3 {
+        let (container, view) = net_lena
+            .recv_document(&shared_policies)
+            .expect("replayed delivery");
+        println!(
+            "lena (edge-2) replayed epoch {}: {:?}",
+            container.epoch,
+            first_diagnosis(&view)
+        );
+    }
+
+    origin.shutdown();
+    edge1.shutdown();
+    edge2.shutdown();
+    let _ = std::fs::remove_file(&store_path);
+    println!("\ntree shut down cleanly; log removed");
+}
+
+fn edge_broker(id: &str) -> BrokerHandle {
+    Broker::bind_with(
+        "127.0.0.1:0",
+        BrokerConfig {
+            history_depth: 3,
+            relay: Some(RelayConfig::new(id)),
+            ..BrokerConfig::default()
+        },
+    )
+    .expect("bind edge")
+}
+
+fn first_diagnosis(view: &Element) -> String {
+    view.find("Diagnosis")
+        .and_then(|e| {
+            e.children.iter().find_map(|n| match n {
+                pbcd::docs::Node::Text(t) => Some(t.clone()),
+                _ => None,
+            })
+        })
+        .unwrap_or_else(|| "<redacted>".into())
+}
