@@ -5,6 +5,10 @@
 //!   connected subscriber confirming receipt before the iteration ends.
 //!   No crypto in the loop — the broker never does any — so the numbers
 //!   are pure framing + queue fan-out.
+//! * `net_broker_fanout_pooled` — the large tiers (256 → 4096) against
+//!   the event-driven broker I/O plane, with the subscribers multiplexed
+//!   onto a few client-side sweep threads (`pbcd_bench::FanoutHerd`) so
+//!   the measuring process does not itself pay a thread per subscriber.
 //! * `net_registration_concurrency` — full oblivious registration
 //!   round-trips through `pbcd_net::direct`, serialized handler
 //!   (`RegistrationServer::bind`, one service mutex) vs. concurrent
@@ -14,10 +18,11 @@
 //!   plateaus.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pbcd_bench::{fanout_container, registration_workload, run_registration_clients};
+use pbcd_bench::{fanout_container, registration_workload, run_registration_clients, FanoutHerd};
 use pbcd_core::SharedPublisherService;
-use pbcd_net::{Broker, BrokerClient, PeerRole, RegistrationServer};
+use pbcd_net::{Broker, BrokerClient, BrokerConfig, PeerRole, RegistrationServer};
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
 
 fn bench_fanout(c: &mut Criterion) {
     let mut group = c.benchmark_group("net_broker_fanout");
@@ -73,6 +78,49 @@ fn bench_fanout(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_fanout_pooled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_broker_fanout_pooled");
+    group.sample_size(10);
+    let container = fanout_container();
+    let size = container.size_bytes();
+
+    for subs in [256usize, 1024, 4096] {
+        let broker = Broker::bind_with(
+            "127.0.0.1:0",
+            BrokerConfig {
+                max_connections: subs + 64,
+                subscriber_queue: 64,
+                write_timeout: Some(Duration::from_secs(30)),
+                ..BrokerConfig::default()
+            },
+        )
+        .expect("bind bench broker");
+        let herd = FanoutHerd::connect(broker.addr(), subs, 4);
+        let mut publisher =
+            BrokerClient::connect(broker.addr(), PeerRole::Publisher).expect("publisher connects");
+
+        // Delivery confirmation is a cumulative frame count across the
+        // herd, so each iteration waits for `subs` more deliveries.
+        let mut expected = herd.delivered();
+        group.throughput(Throughput::Bytes((size * subs) as u64));
+        group.bench_with_input(BenchmarkId::new("subscribers", subs), &subs, |b, &subs| {
+            b.iter(|| {
+                publisher.publish(&container).expect("publish");
+                expected += subs as u64;
+                assert!(
+                    herd.wait_delivered(expected, Duration::from_secs(120)),
+                    "herd deliveries stalled"
+                );
+            })
+        });
+
+        drop(publisher);
+        herd.shutdown();
+        broker.shutdown();
+    }
+    group.finish();
+}
+
 fn bench_registration_concurrency(c: &mut Criterion) {
     let mut group = c.benchmark_group("net_registration_concurrency");
     group.sample_size(10);
@@ -113,5 +161,10 @@ fn bench_registration_concurrency(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fanout, bench_registration_concurrency);
+criterion_group!(
+    benches,
+    bench_fanout,
+    bench_fanout_pooled,
+    bench_registration_concurrency
+);
 criterion_main!(benches);

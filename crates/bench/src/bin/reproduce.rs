@@ -86,6 +86,18 @@ fn main() {
     }
 }
 
+/// Live OS threads in this process per the kernel (`/proc/self/status`);
+/// `None` off Linux.
+fn os_thread_count() -> Option<usize> {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()?
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))?
+        .trim()
+        .parse()
+        .ok()
+}
+
 /// Measures the network dissemination/registration plane on loopback TCP
 /// and writes `BENCH_net.json`:
 ///
@@ -94,6 +106,10 @@ fn main() {
 ///   measurement with one **stalled** subscriber attached, which under
 ///   per-subscriber writer queues must not move the number (enqueue-time
 ///   isolation; pre-queue fan-out coupled it to `write_timeout`);
+/// * the pooled fan-out tiers — 256/1024/4096 subscribers multiplexed
+///   through a client-side [`pbcd_bench::FanoutHerd`] against the
+///   event-driven broker I/O plane — plus `os_threads_at_1k_subs`, the
+///   process thread count with 1024 live subscriptions;
 /// * the same fan-out with the durable retention log enabled (fsync off)
 ///   — the `persist_*` entries — plus the raw per-record append cost and
 ///   the startup recovery scan over the full log;
@@ -224,6 +240,71 @@ fn bench_net_json(opts: &Opts) {
                 format!("fanout_{subs}{label}_all_delivered_ns"),
                 ns(delivered_avg),
             ));
+        }
+    }
+
+    // --- event-driven I/O plane: pooled fan-out tiers ---
+    // 256 → 4096 subscribers, multiplexed client-side onto a few herd
+    // sweep threads (thread-per-subscriber clients stop scaling long
+    // before the broker does). The scaling claims: publish-ack latency
+    // grows sub-linearly from the 64-subscriber tier to 1024 (fan-out is
+    // an enqueue per subscriber, not a write), and the broker runs O(pool)
+    // OS threads at 1k subscribers, not O(subscribers) — recorded as
+    // `os_threads_at_1k_subs` from `/proc/self/status` (herd sweep
+    // threads included, so the number is an upper bound on the broker's).
+    {
+        let tiers: &[(usize, u32)] = if opts.quick {
+            &[(32, 3)]
+        } else {
+            &[(256, 20), (1024, 10), (4096, 5)]
+        };
+        for &(subs, tier_rounds) in tiers {
+            let broker = Broker::bind_with(
+                "127.0.0.1:0",
+                BrokerConfig {
+                    max_connections: subs + 64,
+                    subscriber_queue: tier_rounds as usize + 8,
+                    ..base_config()
+                },
+            )
+            .expect("bind pooled-tier broker");
+            let herd = pbcd_bench::FanoutHerd::connect(broker.addr(), subs, 4);
+            let mut publisher = BrokerClient::connect(broker.addr(), PeerRole::Publisher)
+                .expect("publisher connects");
+            let mut publish_total = Duration::ZERO;
+            let mut delivered_total = Duration::ZERO;
+            let mut expected = 0u64;
+            let mut c = container.clone();
+            for round in 0..tier_rounds {
+                c.epoch = (round + 2) as u64;
+                let t = Instant::now();
+                publisher.publish(&c).expect("publish");
+                publish_total += t.elapsed();
+                expected += subs as u64;
+                assert!(
+                    herd.wait_delivered(expected, Duration::from_secs(120)),
+                    "pooled tier subs={subs} round={round}: deliveries stalled"
+                );
+                delivered_total += t.elapsed();
+            }
+            if subs == 1024 {
+                if let Some(threads) = os_thread_count() {
+                    println!("os threads at 1k subscribers: {threads}");
+                    entries.push(("os_threads_at_1k_subs".into(), threads as f64));
+                }
+            }
+            drop(publisher);
+            herd.shutdown();
+            broker.shutdown();
+            let publish_avg = publish_total / tier_rounds;
+            let delivered_avg = delivered_total / tier_rounds;
+            println!(
+                "fanout subs={subs} (pooled herd): publish ack {:>10.0} ns, all delivered {:>10.0} ns",
+                ns(publish_avg),
+                ns(delivered_avg)
+            );
+            entries.push((format!("fanout_{subs}_publish_ack_ns"), ns(publish_avg)));
+            entries.push((format!("fanout_{subs}_all_delivered_ns"), ns(delivered_avg)));
         }
     }
 
@@ -575,15 +656,26 @@ fn bench_net_json(opts: &Opts) {
         "  \"mode\": \"{}\",\n  \"host_cores\": {cores},\n",
         if opts.quick { "quick" } else { "full" }
     ));
+    if cores == 1 {
+        // The pooled writer/reader planes and the concurrent registration
+        // handler exist to scale across cores; on a single-vCPU host the
+        // numbers can only show the structural claims (enqueue-bounded
+        // latency, O(pool) threads), never parallel speedup. Flag it so a
+        // reader of the committed JSON knows a multicore rerun is owed.
+        json.push_str("  \"multicore_pending\": true,\n");
+    }
     json.push_str(
         "  \"note\": \"publish_ack is the publisher-visible latency (enqueue-bounded); \
          with_stalled attaches one never-reading subscriber, which must not move it. \
-         persist_* repeats the fan-out with the durable retention log on (fsync off); \
-         the append is one buffered write before Ack and must keep publish_ack within \
-         2x of in-memory. On a 1-core host the serialized/concurrent registration pair \
-         is expected at parity; scaling shows on multicore. relay_tree_* is the same \
-         all-delivered measurement through a 1-origin/4-edge overlay at equal total \
-         subscribers (compare fanout_N_all_delivered_ns); relay_catch_up is the \
+         fanout_256/1024/4096 drive the event-driven I/O plane via a pooled client \
+         herd; os_threads_at_1k_subs is the process thread count with 1024 live \
+         subscriptions (O(pool), not O(subscribers)). persist_* repeats the fan-out \
+         with the durable retention log on (fsync off); the append is one buffered \
+         write before Ack and must keep publish_ack within 2x of in-memory. On a \
+         1-core host the serialized/concurrent registration pair is expected at \
+         parity; scaling shows on multicore (see multicore_pending). relay_tree_* is \
+         the same all-delivered measurement through a 1-origin/4-edge overlay at equal \
+         total subscribers (compare fanout_N_all_delivered_ns); relay_catch_up is the \
          log-backed cold-start stream rate for a late-attached edge.\",\n",
     );
     json.push_str("  \"metrics\": {\n");

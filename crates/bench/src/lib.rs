@@ -205,6 +205,166 @@ pub fn fanout_container() -> pbcd_docs::BroadcastContainer {
     }
 }
 
+/// Counts complete protocol frames in a raw byte stream without decoding
+/// them: every frame is a `u32` big-endian length prefix followed by that
+/// many body bytes. Subscriber herd threads feed whatever the socket
+/// yields and get back the number of frames that completed — after the
+/// subscribe handshake the only inbound frames are deliveries, so the
+/// count *is* the delivery count.
+#[derive(Clone, Default)]
+pub struct FrameCounter {
+    header: [u8; 4],
+    have: usize,
+    remaining: usize,
+}
+
+impl FrameCounter {
+    /// Fresh counter at a frame boundary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes `buf`, returning how many frames it completed.
+    pub fn feed(&mut self, mut buf: &[u8]) -> u64 {
+        let mut frames = 0;
+        while !buf.is_empty() {
+            if self.remaining == 0 {
+                // Collecting the 4-byte length prefix.
+                let take = (4 - self.have).min(buf.len());
+                self.header[self.have..self.have + take].copy_from_slice(&buf[..take]);
+                self.have += take;
+                buf = &buf[take..];
+                if self.have == 4 {
+                    self.remaining = u32::from_be_bytes(self.header) as usize;
+                    self.have = 0;
+                    if self.remaining == 0 {
+                        frames += 1; // degenerate empty frame
+                    }
+                }
+            } else {
+                let take = self.remaining.min(buf.len());
+                self.remaining -= take;
+                buf = &buf[take..];
+                if self.remaining == 0 {
+                    frames += 1;
+                }
+            }
+        }
+        frames
+    }
+}
+
+/// A pooled subscriber herd for the large fan-out tiers: `subs` wildcard
+/// subscriptions multiplexed onto `sweep_threads` client-side threads
+/// over non-blocking sockets, mirroring the broker's own event-driven
+/// plane. Thread-per-subscriber clients top out around a few hundred
+/// connections on a small host; the herd makes the 1k/4k/10k tiers
+/// measurable from one process.
+pub struct FanoutHerd {
+    threads: Vec<std::thread::JoinHandle<()>>,
+    delivered: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl FanoutHerd {
+    /// Connects and wildcard-subscribes `subs` clients through the typed
+    /// handshake (so subscribe Acks are consumed before counting starts),
+    /// then hands the raw sockets to sweep threads.
+    pub fn connect(addr: std::net::SocketAddr, subs: usize, sweep_threads: usize) -> Self {
+        use pbcd_net::{BrokerClient, PeerRole};
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        let mut streams = Vec::with_capacity(subs);
+        for _ in 0..subs {
+            let mut client = BrokerClient::connect(addr, PeerRole::Subscriber)
+                .expect("herd subscriber connects");
+            client.subscribe::<&str>(&[]).expect("herd subscribe");
+            let stream = client.into_stream();
+            stream.set_nonblocking(true).expect("herd non-blocking");
+            streams.push(stream);
+        }
+
+        let delivered = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let chunk = subs.div_ceil(sweep_threads.max(1)).max(1);
+        let mut threads = Vec::new();
+        while !streams.is_empty() {
+            let take = chunk.min(streams.len());
+            let mut mine: Vec<_> = streams.drain(..take).collect();
+            let delivered = Arc::clone(&delivered);
+            let stop = Arc::clone(&stop);
+            threads.push(std::thread::spawn(move || {
+                use std::io::Read;
+                let mut counters = vec![FrameCounter::new(); mine.len()];
+                let mut buf = vec![0u8; 64 * 1024];
+                while !stop.load(Ordering::Relaxed) && !mine.is_empty() {
+                    let mut progressed = false;
+                    let mut i = 0;
+                    while i < mine.len() {
+                        match mine[i].read(&mut buf) {
+                            Ok(0) => {
+                                // Peer closed; forget the stream.
+                                mine.swap_remove(i);
+                                counters.swap_remove(i);
+                                continue;
+                            }
+                            Ok(n) => {
+                                let frames = counters[i].feed(&buf[..n]);
+                                if frames > 0 {
+                                    delivered.fetch_add(frames, Ordering::Relaxed);
+                                }
+                                progressed = true;
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                            Err(_) => {
+                                mine.swap_remove(i);
+                                counters.swap_remove(i);
+                                continue;
+                            }
+                        }
+                        i += 1;
+                    }
+                    if !progressed {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }));
+        }
+        Self {
+            threads,
+            delivered,
+            stop,
+        }
+    }
+
+    /// Total frames (deliveries) counted so far across the herd.
+    pub fn delivered(&self) -> u64 {
+        self.delivered.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Polls until the cumulative delivery count reaches `target`;
+    /// `false` on timeout.
+    pub fn wait_delivered(&self, target: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.delivered() < target {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        true
+    }
+
+    /// Stops the sweep threads and closes every herd socket.
+    pub fn shutdown(self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
 /// The two-condition ward policy set used by the registration benches.
 pub fn registration_policies() -> pbcd_policy::PolicySet {
     use pbcd_policy::{AccessControlPolicy, AttributeCondition, ComparisonOp, PolicySet};
@@ -297,6 +457,21 @@ mod tests {
         assert!(round.x >= round.x0);
         let (p, c, o) = ge_steps(&round, b"payload", &mut rng);
         assert!(p.as_nanos() > 0 && c.as_nanos() > 0 && o.as_nanos() > 0);
+    }
+
+    #[test]
+    fn frame_counter_counts_across_split_reads() {
+        let mut bytes = Vec::new();
+        for body_len in [0usize, 1, 5, 300] {
+            bytes.extend_from_slice(&(body_len as u32).to_be_bytes());
+            bytes.extend(std::iter::repeat(0xAB).take(body_len));
+        }
+        // Any read fragmentation must yield the same frame count.
+        for chunk_size in [1usize, 3, 7, 512] {
+            let mut counter = FrameCounter::new();
+            let total: u64 = bytes.chunks(chunk_size).map(|c| counter.feed(c)).sum();
+            assert_eq!(total, 4, "chunk size {chunk_size}");
+        }
     }
 
     #[test]

@@ -20,13 +20,18 @@
 //!
 //! # Concurrency
 //!
-//! Fan-out is **per-subscriber-queued**: each subscriber connection owns a
-//! dedicated writer thread fed by a bounded queue of reference-counted,
-//! pre-framed `Deliver` bodies. A publish enqueues one `Arc` pointer per
-//! matching subscriber — under the state lock, so delivery order is the
-//! retained-state order — and returns; the publisher's `Ack` latency is
-//! enqueue time, independent of the slowest consumer. A subscriber that
-//! stalls (or trickles bytes) fills only its own queue and is dropped on
+//! Fan-out is **per-subscriber-queued** over an event-driven I/O plane
+//! (the crate-private `io_pool` module): each subscriber owns a bounded queue of
+//! reference-counted, pre-framed `Deliver` bodies, serviced by a sharded
+//! **writer pool** of M threads (M ≈ cores, [`BrokerConfig::writer_pool_threads`])
+//! doing non-blocking writes, while idle subscriber connections are
+//! multiplexed onto R **reader-pool** threads — an idle subscription
+//! costs a socket and a queue, not two thread stacks. A publish enqueues
+//! one `Arc` pointer per matching subscriber — under the state lock, so
+//! delivery order is the retained-state order — and returns; the
+//! publisher's `Ack` latency is enqueue time, independent of the slowest
+//! consumer. A subscriber that stalls (or trickles bytes) fills only its
+//! own queue (and parks only its own pool slot) and is dropped on
 //! overflow or write deadline; nobody else notices. All frames written to
 //! a subscribed connection travel through its queue, so a control reply
 //! can never interleave mid-`Deliver` on the socket.
@@ -55,6 +60,7 @@ use crate::frame::{
     deliver_body, publish_auth_message, read_frame_body, relay_body, relay_container_offset,
     signed_container_offset, ConfigSummary, Frame, PeerRole, CONTAINER_OFFSET,
 };
+use crate::io_pool::{FrameAccum, PoolJob, ReaderConn, ReaderPool, SlotKind, WriterPool};
 use crate::relay::{self, relay_verdict, RelayConfig, RelaySource, RelayVerdict};
 use crate::store::{FsyncPolicy, RecoveryReport, RetentionStore, StoreTelemetry};
 use pbcd_telemetry::{Counter, Gauge, Histogram, Registry, Snapshot, TraceEvent, TraceKind};
@@ -63,8 +69,8 @@ use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -129,6 +135,38 @@ pub struct BrokerConfig {
     /// [`RelayConfig::accept_peers`] — accepts inbound peer links,
     /// cold-starting each from its retention log.
     pub relay: Option<RelayConfig>,
+    /// Writer-pool shards (the M in "M+R I/O threads"): how many threads
+    /// service the per-subscriber queues with non-blocking writes.
+    /// `0` (the default) auto-sizes to the host's available parallelism,
+    /// clamped to `1..=8`. One shard is fully functional — a stalled peer
+    /// parks only its own slot, never a shard thread.
+    pub writer_pool_threads: usize,
+    /// Reader-pool shards (the R): how many threads multiplex idle
+    /// subscriber connections for inbound frames. `0` (the default)
+    /// auto-sizes to half the writer pool, clamped to `1..=4`.
+    pub reader_pool_threads: usize,
+}
+
+impl BrokerConfig {
+    /// The writer-pool size [`Broker::bind_with`] will actually spawn:
+    /// the configured value, or the auto-sizing rule for `0`.
+    pub fn resolved_writer_pool_threads(&self) -> usize {
+        if self.writer_pool_threads > 0 {
+            return self.writer_pool_threads;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .clamp(1, 8)
+    }
+
+    /// The reader-pool size [`Broker::bind_with`] will actually spawn.
+    pub fn resolved_reader_pool_threads(&self) -> usize {
+        if self.reader_pool_threads > 0 {
+            return self.reader_pool_threads;
+        }
+        self.resolved_writer_pool_threads().div_ceil(2).clamp(1, 4)
+    }
 }
 
 impl core::fmt::Debug for BrokerConfig {
@@ -150,6 +188,8 @@ impl core::fmt::Debug for BrokerConfig {
             .field("history_depth", &self.history_depth)
             .field("max_log_bytes", &self.max_log_bytes)
             .field("relay", &self.relay)
+            .field("writer_pool_threads", &self.writer_pool_threads)
+            .field("reader_pool_threads", &self.reader_pool_threads)
             .finish()
     }
 }
@@ -170,6 +210,8 @@ impl Default for BrokerConfig {
             history_depth: 1,
             max_log_bytes: 1024 * 1024 * 1024,
             relay: None,
+            writer_pool_threads: 0,
+            reader_pool_threads: 0,
         }
     }
 }
@@ -235,27 +277,6 @@ pub struct BrokerStats {
     pub relay_links: u64,
 }
 
-/// One frame queued to a subscriber's writer thread: pre-framed body
-/// bytes, reference-counted so a fan-out of N enqueues N pointers, not N
-/// copies of the container.
-enum Job {
-    /// A `Deliver` body (counted in [`BrokerStats::deliveries`]).
-    Deliver {
-        /// Pre-framed `Deliver` body.
-        body: Arc<Vec<u8>>,
-        /// Document epoch carried for trace events (0 when unknown, i.e.
-        /// replays, which replay pre-framed bodies without re-decoding).
-        epoch: u64,
-        /// Registry timestamp of the enqueue, so the writer thread can
-        /// record the enqueue→write latency.
-        enqueued_ns: u64,
-    },
-    /// Any other reply frame owed to a subscribed connection (`Ack`,
-    /// `Configs`, `Bye`, `Error`) — routed through the same queue so it
-    /// cannot interleave with a `Deliver` mid-frame.
-    Control(Arc<Vec<u8>>),
-}
-
 /// Why a subscriber was dropped — the label on
 /// `broker_subscriber_drops_total{cause=...}`.
 #[derive(Clone, Copy, Debug)]
@@ -283,6 +304,10 @@ pub(crate) struct BrokerTelemetry {
     drop_replay_overflow: Counter,
     publish_ack_ns: Histogram,
     enqueue_to_write_ns: Histogram,
+    pool_wakeup_ns: Histogram,
+    writer_pool_threads: Gauge,
+    reader_pool_threads: Gauge,
+    reader_fds: Gauge,
     queue_depth: Gauge,
     retained_documents: Gauge,
     retained_bytes: Gauge,
@@ -320,6 +345,10 @@ impl BrokerTelemetry {
                 .counter("broker_subscriber_drops_total{cause=\"replay_overflow\"}"),
             publish_ack_ns: registry.histogram("broker_publish_ack_ns"),
             enqueue_to_write_ns: registry.histogram("broker_enqueue_to_write_ns"),
+            pool_wakeup_ns: registry.histogram("broker_pool_wakeup_ns"),
+            writer_pool_threads: registry.gauge("broker_writer_pool_threads"),
+            reader_pool_threads: registry.gauge("broker_reader_pool_threads"),
+            reader_fds: registry.gauge("broker_reader_fds"),
             queue_depth: registry.gauge("broker_queue_depth"),
             retained_documents: registry.gauge("broker_retained_documents"),
             retained_bytes: registry.gauge("broker_retained_bytes"),
@@ -376,11 +405,34 @@ impl BrokerTelemetry {
             duration_ns,
         });
     }
+
+    /// Accounts one completed `Deliver` write (called by the writer-pool
+    /// shard that drained the frame): the deliveries counter, the
+    /// enqueue→write latency histogram, and a trace event.
+    pub(crate) fn record_delivery(&self, conn_id: u64, epoch: u64, wait_ns: u64) {
+        self.deliveries.inc();
+        self.enqueue_to_write_ns.record(wait_ns);
+        self.trace(TraceKind::Deliver, conn_id, epoch, wait_ns);
+    }
+
+    /// Records one writer-pool wakeup latency (condvar notify → shard
+    /// thread running).
+    pub(crate) fn record_pool_wakeup(&self, ns: u64) {
+        self.pool_wakeup_ns.record(ns);
+    }
+
+    /// Counts one connection terminated for malformed input (the reader
+    /// pool's equivalent of the handler loop's reject accounting).
+    pub(crate) fn count_rejected_connection(&self) {
+        self.connections_rejected.inc();
+    }
 }
 
-/// One registered subscriber: its queue, depth gauge and document filter.
+/// One registered subscriber: its depth gauge and document filter. The
+/// queue itself lives in the subscriber's writer-pool slot (keyed by the
+/// same connection id); `depth` is shared with that slot so the
+/// aggregate queue-depth gauge reads identically to the old design.
 struct SubEntry {
-    sender: SyncSender<Job>,
     depth: Arc<AtomicU64>,
     /// Empty set = subscribed to every document.
     documents: Vec<String>,
@@ -390,39 +442,27 @@ impl SubEntry {
     fn matches(&self, document: &str) -> bool {
         self.documents.is_empty() || self.documents.iter().any(|d| d == document)
     }
-
-    /// Non-blocking enqueue; `false` means the queue is full or the writer
-    /// is gone — either way the subscriber is beyond saving.
-    fn enqueue(&self, job: Job) -> bool {
-        // Increment *before* the push: the writer thread may pop the job
-        // and decrement immediately, and the gauge must never underflow.
-        self.depth.fetch_add(1, Ordering::Relaxed);
-        match self.sender.try_send(job) {
-            Ok(()) => true,
-            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                self.depth.fetch_sub(1, Ordering::Relaxed);
-                false
-            }
-        }
-    }
 }
 
-/// One container queued to an outbound peer link's thread: a pre-framed
-/// `Relay` body (origin + hops already stamped), reference-counted so a
-/// forward to N peers enqueues N pointers.
+/// One ack expectation queued to an outbound peer link's thread: pushed
+/// (in the same state-lock critical section) for every `Relay` body
+/// enqueued onto the link's writer-pool slot, and matched FIFO against
+/// the peer's synchronous verdicts by the link thread. The frame bytes
+/// themselves travel the writer pool; this carries only the metadata the
+/// ack reader needs.
 pub(crate) struct RelayJob {
-    /// Pre-framed `Relay` frame body.
-    pub(crate) body: Arc<Vec<u8>>,
     /// Container epoch, for trace events.
     pub(crate) epoch: u64,
-    /// Registry timestamp of the enqueue — the link thread records
-    /// enqueue→downstream-ack into the relay-lag histogram.
-    pub(crate) enqueued_ns: u64,
+    /// Registry timestamp of the enqueue for a live forward (the link
+    /// thread records enqueue→downstream-ack into the relay-lag
+    /// histogram); `None` marks a cold-start catch-up record.
+    pub(crate) enqueued_ns: Option<u64>,
 }
 
-/// One live outbound peer link: the bounded queue its link thread drains.
-/// Registered only once the link is connected and past its catch-up
-/// snapshot, so `relay_links.len()` gauges *live* links.
+/// One live outbound peer link: the bounded ack-expectation queue its
+/// link thread drains (its frame bytes ride the writer pool under the
+/// same link id). Registered only once the link is connected and past
+/// its catch-up snapshot, so `relay_links.len()` gauges *live* links.
 pub(crate) struct RelayLink {
     pub(crate) sender: SyncSender<RelayJob>,
 }
@@ -461,12 +501,28 @@ pub(crate) struct State {
     pub(crate) threads: Vec<JoinHandle<()>>,
 }
 
+/// The broker's I/O plane: the sharded writer pool and reader pool,
+/// installed once at bind time (before the accept loop starts, so every
+/// connection can rely on it).
+pub(crate) struct IoPlanes {
+    pub(crate) writer: WriterPool,
+    pub(crate) reader: ReaderPool,
+}
+
 pub(crate) struct Shared {
     pub(crate) config: BrokerConfig,
     pub(crate) shutdown: AtomicBool,
     pub(crate) state: Mutex<State>,
     pub(crate) next_conn_id: AtomicU64,
     pub(crate) telemetry: BrokerTelemetry,
+    pub(crate) io: OnceLock<IoPlanes>,
+}
+
+impl Shared {
+    /// The I/O plane; set in `bind_with` before the accept loop spawns.
+    pub(crate) fn io(&self) -> &IoPlanes {
+        self.io.get().expect("I/O planes installed at bind")
+    }
 }
 
 /// The single read path for broker observability: sets every gauge from
@@ -490,6 +546,12 @@ fn telemetry_snapshot(shared: &Shared) -> Snapshot {
         .set(state.store.recovery().records_recovered);
     t.compactions.set(state.store.compactions());
     t.relay_links.set(state.relay_links.len() as u64);
+    if let Some(io) = shared.io.get() {
+        t.reader_fds.set(io.reader.fd_count());
+        // Per-shard depth gauges: state → shard is the sanctioned lock
+        // order, so refreshing them here is race-free with enqueues.
+        io.writer.set_depth_gauges();
+    }
     t.registry.snapshot()
 }
 
@@ -534,7 +596,30 @@ impl Broker {
             }),
             next_conn_id: AtomicU64::new(0),
             telemetry,
+            io: OnceLock::new(),
         });
+        // Spawn the I/O plane before the accept loop: every connection
+        // thread may hand work to it, so it must exist first.
+        let writer_threads = shared.config.resolved_writer_pool_threads();
+        let reader_threads = shared.config.resolved_reader_pool_threads();
+        let writer = WriterPool::spawn(&shared, writer_threads)?;
+        let reader = match ReaderPool::spawn(&shared, reader_threads) {
+            Ok(r) => r,
+            Err(e) => {
+                writer.shutdown();
+                writer.join();
+                return Err(e);
+            }
+        };
+        shared
+            .telemetry
+            .writer_pool_threads
+            .set(writer_threads as u64);
+        shared
+            .telemetry
+            .reader_pool_threads
+            .set(reader_threads as u64);
+        let _ = shared.io.set(IoPlanes { writer, reader });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
             .name("pbcd-broker-accept".into())
@@ -641,6 +726,14 @@ impl BrokerHandle {
             .recovery()
     }
 
+    /// The `(writer, reader)` I/O-pool thread counts this broker is
+    /// running — the exact set of threads [`Self::shutdown`] joins on
+    /// top of the accept loop and any transient handler threads.
+    pub fn io_thread_counts(&self) -> (usize, usize) {
+        let io = self.shared.io();
+        (io.writer.thread_count(), io.reader.thread_count())
+    }
+
     /// Number of currently registered subscribers.
     pub fn subscriber_count(&self) -> usize {
         self.shared
@@ -675,8 +768,8 @@ impl BrokerHandle {
             return;
         };
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Unblock per-connection reads and writer-thread writes, and drop
-        // every queue sender so writers parked in `recv` wake and exit.
+        // Unblock per-connection reads and drop every registration so no
+        // further work reaches the I/O plane.
         {
             let mut state = self.shared.state.lock().expect("broker state");
             state.subscribers.clear();
@@ -689,6 +782,14 @@ impl BrokerHandle {
             }
             // Graceful shutdown loses nothing even under fsync-off.
             let _ = state.store.sync();
+        }
+        // Stop the I/O plane: exactly M writer + R reader threads join
+        // here, independent of how many subscribers were attached.
+        if let Some(io) = self.shared.io.get() {
+            io.writer.shutdown();
+            io.reader.shutdown();
+            io.writer.join();
+            io.reader.join();
         }
         // Unblock the accept loop. An unspecified bind address (0.0.0.0 /
         // ::) is not connectable on every platform — wake via loopback on
@@ -797,11 +898,11 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 
 /// Where a connection's outbound frames go. Every connection starts
 /// `Direct` (the handler thread writes replies itself); the first
-/// `Subscribe` moves the write half into a dedicated writer thread and all
-/// further frames — deliveries and replies alike — travel its queue.
-enum ConnWriter {
+/// `Subscribe` registers a writer-pool slot under the connection id and
+/// all further frames — deliveries and replies alike — travel its queue.
+pub(crate) enum ConnWriter {
     Direct(TcpStream),
-    Queued(SyncSender<Job>, Arc<AtomicU64>),
+    Queued,
 }
 
 impl ConnWriter {
@@ -816,16 +917,16 @@ impl ConnWriter {
                 let deadline = shared.config.write_timeout.map(|t| Instant::now() + t);
                 write_body_deadline(stream, &body, deadline)
             }
-            Self::Queued(sender, depth) => {
-                // Same pre-increment discipline as `SubEntry::enqueue`.
-                depth.fetch_add(1, Ordering::Relaxed);
-                match sender.try_send(Job::Control(Arc::new(body))) {
-                    Ok(()) => Ok(()),
-                    Err(_) => {
-                        depth.fetch_sub(1, Ordering::Relaxed);
-                        drop_subscriber(shared, id, DropCause::QueueOverflow);
-                        Err(NetError::protocol("subscriber queue overflow"))
-                    }
+            Self::Queued => {
+                if shared
+                    .io()
+                    .writer
+                    .enqueue(shared, id, PoolJob::Control(Arc::new(body)))
+                {
+                    Ok(())
+                } else {
+                    drop_subscriber(shared, id, DropCause::QueueOverflow);
+                    Err(NetError::protocol("subscriber queue overflow"))
                 }
             }
         }
@@ -833,25 +934,72 @@ impl ConnWriter {
 }
 
 /// Removes a subscriber that can no longer be served, counting the drop
-/// exactly once and closing its socket so every thread of the connection
-/// unwinds. Shared by the writer-thread failure path and the control-reply
-/// overflow path (publish-time overflow does the same inline under its
-/// already-held lock).
+/// exactly once, deregistering its writer-pool slot and closing its
+/// socket so every thread of the connection unwinds. Shared by the
+/// pool's write-failure path and the control-reply overflow path
+/// (publish-time overflow does the same inline under its already-held
+/// lock).
 fn drop_subscriber(shared: &Shared, id: u64, cause: DropCause) {
     let mut state = shared.state.lock().expect("broker state");
     if state.subscribers.remove(&id).is_some() {
         shared.telemetry.count_drop(cause, id);
     }
+    // state → shard is the sanctioned lock order; idempotent if the pool
+    // already dropped the slot itself.
+    shared.io().writer.remove(id);
     if let Some(conn) = state.connections.get(&id) {
         let _ = conn.shutdown(Shutdown::Both);
     }
 }
 
+/// Writer-pool callback: a slot's write failed or its frame deadline
+/// expired (the slot itself is already gone and its socket dup closed).
+/// Runs with no shard lock held.
+pub(crate) fn on_pool_write_failure(shared: &Shared, id: u64, kind: SlotKind) {
+    match kind {
+        SlotKind::Subscriber => drop_subscriber(shared, id, DropCause::WriteFailed),
+        SlotKind::RelayLink => {
+            // Close the link's registered socket so its (reader) thread
+            // observes the dead connection promptly and reconnects with
+            // backoff + log resync; `run_link_once` owns the rest of the
+            // cleanup.
+            let state = shared.state.lock().expect("broker state");
+            if let Some(conn) = state.connections.get(&id) {
+                let _ = conn.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// Reader-pool callback: an adopted connection closed (EOF, error or a
+/// fatal frame). Mirrors the handler thread's teardown.
+pub(crate) fn reader_conn_teardown(shared: &Shared, id: u64) {
+    let mut state = shared.state.lock().expect("broker state");
+    state.subscribers.remove(&id);
+    shared.io().writer.remove(id);
+    if let Some(conn) = state.connections.remove(&id) {
+        let _ = conn.shutdown(Shutdown::Both);
+    }
+}
+
+/// What [`dispatch_frame`] tells its caller to do next.
+pub(crate) enum FrameFlow {
+    /// Keep serving this connection.
+    Continue,
+    /// Terminate this connection (error accounting already done).
+    Close,
+    /// First `Subscribe` completed on a `Direct` connection: the write
+    /// half is now a writer-pool slot and the read half should move to
+    /// the reader pool (the handler thread exits).
+    HandOff,
+}
+
 /// Per-connection service loop. Every error path here terminates *this*
 /// connection only: decode errors, protocol violations and write failures
-/// are contained, and the loop itself never panics on peer input. Takes
-/// the `Arc` by value because a `Subscribe` hands a clone of it to the
-/// spawned writer thread.
+/// are contained, and the loop itself never panics on peer input.
+/// Publishers and peer links stay on this thread for their whole life
+/// (their latency is syscall-direct); a connection that subscribes is
+/// handed off to the I/O pools and this thread exits.
 fn handle_connection(shared: Arc<Shared>, id: u64, mut stream: TcpStream) {
     let shared = &shared;
     let mut writer = match stream.try_clone() {
@@ -875,7 +1023,7 @@ fn handle_connection(shared: Arc<Shared>, id: u64, mut stream: TcpStream) {
     let mut peer_id: Option<String> = None;
 
     loop {
-        let mut body = match read_frame_body(&mut stream) {
+        let body = match read_frame_body(&mut stream) {
             Ok(b) => b,
             Err(NetError::Closed) | Err(NetError::Io { .. }) => break,
             Err(_) if shared.shutdown.load(Ordering::SeqCst) => break,
@@ -896,380 +1044,422 @@ fn handle_connection(shared: Arc<Shared>, id: u64, mut stream: TcpStream) {
             handshaken = true;
             let _ = stream.set_read_timeout(None);
         }
-        let frame = match Frame::decode(&body) {
-            Ok(f) => f,
-            Err(_) if shared.shutdown.load(Ordering::SeqCst) => break,
-            Err(e) => {
-                // Malformed input: report, count, drop the peer.
-                shared.telemetry.connections_rejected.inc();
+        match dispatch_frame(shared, id, &mut writer, &mut peer_id, body) {
+            FrameFlow::Continue => {}
+            FrameFlow::Close => break,
+            FrameFlow::HandOff => {
+                // The write half is a pool slot and the fd is already
+                // non-blocking (shared with the write half); the read
+                // half joins the reader pool, which owns teardown from
+                // here. This thread's stack is released — the whole
+                // point of the event-driven plane.
+                let conn = ReaderConn {
+                    id,
+                    stream,
+                    accum: FrameAccum::new(),
+                    peer_id,
+                };
+                if shared.io().reader.adopt(conn) {
+                    return;
+                }
+                // Shutdown raced the handoff: tear down normally.
+                break;
+            }
+        }
+    }
+
+    // Teardown: deregistering the subscription (and its pool slot, when
+    // queued) stops further enqueues; the connection-map removal closes
+    // the socket for every other holder of a dup.
+    let mut state = shared.state.lock().expect("broker state");
+    state.subscribers.remove(&id);
+    shared.io().writer.remove(id);
+    state.connections.remove(&id);
+}
+
+/// Serves one decoded frame for `id`, replying through `writer`. Shared
+/// verbatim between the handler-thread loop (blocking reads, `Direct`
+/// replies until the first subscribe) and the reader pool (non-blocking
+/// reads, queued replies) — the protocol semantics cannot drift between
+/// the two planes.
+pub(crate) fn dispatch_frame(
+    shared: &Arc<Shared>,
+    id: u64,
+    writer: &mut ConnWriter,
+    peer_id: &mut Option<String>,
+    mut body: Vec<u8>,
+) -> FrameFlow {
+    let frame = match Frame::decode(&body) {
+        Ok(f) => f,
+        Err(_) if shared.shutdown.load(Ordering::SeqCst) => return FrameFlow::Close,
+        Err(e) => {
+            // Malformed input: report, count, drop the peer.
+            shared.telemetry.connections_rejected.inc();
+            let _ = writer.reply(
+                shared,
+                id,
+                &Frame::Error {
+                    message: format!("malformed frame: {e}"),
+                },
+            );
+            return FrameFlow::Close;
+        }
+    };
+    match frame {
+        Frame::Hello { role: _ } => {
+            let hello = Frame::Hello {
+                role: PeerRole::Broker,
+            };
+            if writer.reply(shared, id, &hello).is_err() {
+                return FrameFlow::Close;
+            }
+        }
+        Frame::Publish(container) => {
+            let publish_start = Instant::now();
+            // Keyed broker: unsigned publishes are refused outright —
+            // the legacy Error path, since a v1 peer cannot decode a
+            // `Reject` frame.
+            if auth_required(shared) {
+                shared.telemetry.publishes_rejected.inc();
+                shared
+                    .telemetry
+                    .trace(TraceKind::Reject, id, container.epoch, 0);
                 let _ = writer.reply(
                     shared,
                     id,
                     &Frame::Error {
-                        message: format!("malformed frame: {e}"),
+                        message: "publish rejected: publisher authentication required".into(),
                     },
                 );
-                break;
+                return FrameFlow::Close;
             }
-        };
-        match frame {
-            Frame::Hello { role: _ } => {
-                let hello = Frame::Hello {
-                    role: PeerRole::Broker,
-                };
-                if writer.reply(shared, id, &hello).is_err() {
-                    break;
+            let epoch = container.epoch;
+            // The strict decode guarantees the body tail *is* the
+            // canonical container encoding; retain it instead of
+            // re-encoding megabytes on the hot path.
+            let mut container_bytes = std::mem::take(&mut body);
+            container_bytes.drain(..CONTAINER_OFFSET);
+            match handle_publish(
+                shared,
+                &container,
+                container_bytes,
+                false,
+                RelaySource::Local,
+            ) {
+                Ok(fanout) => {
+                    if writer
+                        .reply(shared, id, &Frame::Ack { epoch, fanout })
+                        .is_err()
+                    {
+                        return FrameFlow::Close;
+                    }
+                    record_publish_ack(shared, id, epoch, publish_start);
                 }
-            }
-            Frame::Publish(container) => {
-                let publish_start = Instant::now();
-                // Keyed broker: unsigned publishes are refused outright —
-                // the legacy Error path, since a v1 peer cannot decode a
-                // `Reject` frame.
-                if auth_required(shared) {
+                Err(reject) => {
                     shared.telemetry.publishes_rejected.inc();
-                    shared
-                        .telemetry
-                        .trace(TraceKind::Reject, id, container.epoch, 0);
+                    shared.telemetry.trace(TraceKind::Reject, id, epoch, 0);
                     let _ = writer.reply(
                         shared,
                         id,
                         &Frame::Error {
-                            message: "publish rejected: publisher authentication required".into(),
+                            message: format!("publish rejected: {}", reject.detail),
                         },
                     );
-                    break;
+                    return FrameFlow::Close;
                 }
-                let epoch = container.epoch;
-                // The strict decode guarantees the body tail *is* the
-                // canonical container encoding; retain it instead of
-                // re-encoding megabytes on the hot path.
-                let mut container_bytes = std::mem::take(&mut body);
-                container_bytes.drain(..CONTAINER_OFFSET);
-                match handle_publish(
-                    shared,
-                    &container,
-                    container_bytes,
-                    false,
-                    RelaySource::Local,
-                ) {
-                    Ok(fanout) => {
-                        if writer
-                            .reply(shared, id, &Frame::Ack { epoch, fanout })
-                            .is_err()
-                        {
-                            break;
-                        }
-                        record_publish_ack(shared, id, epoch, publish_start);
-                    }
-                    Err(reject) => {
+            }
+        }
+        Frame::PublishSigned {
+            key_id,
+            signature,
+            container,
+        } => {
+            let publish_start = Instant::now();
+            let epoch = container.epoch;
+            let mut container_bytes = std::mem::take(&mut body);
+            container_bytes.drain(..signed_container_offset(&key_id));
+            // Verify *before* the state lock: signature checks are the
+            // expensive part and must not serialize the broker.
+            if let Some(auth) = shared.config.publisher_auth.as_ref() {
+                if auth.is_required() {
+                    let msg = publish_auth_message(
+                        &container.document_name,
+                        container.epoch,
+                        &container_bytes,
+                    );
+                    if let Some(reason) = auth.check(&key_id, &msg, &signature).reject_reason() {
                         shared.telemetry.publishes_rejected.inc();
                         shared.telemetry.trace(TraceKind::Reject, id, epoch, 0);
-                        let _ = writer.reply(
-                            shared,
-                            id,
-                            &Frame::Error {
-                                message: format!("publish rejected: {}", reject.detail),
-                            },
-                        );
-                        break;
-                    }
-                }
-            }
-            Frame::PublishSigned {
-                key_id,
-                signature,
-                container,
-            } => {
-                let publish_start = Instant::now();
-                let epoch = container.epoch;
-                let mut container_bytes = std::mem::take(&mut body);
-                container_bytes.drain(..signed_container_offset(&key_id));
-                // Verify *before* the state lock: signature checks are the
-                // expensive part and must not serialize the broker.
-                if let Some(auth) = shared.config.publisher_auth.as_ref() {
-                    if auth.is_required() {
-                        let msg = publish_auth_message(
-                            &container.document_name,
-                            container.epoch,
-                            &container_bytes,
-                        );
-                        if let Some(reason) = auth.check(&key_id, &msg, &signature).reject_reason()
-                        {
-                            shared.telemetry.publishes_rejected.inc();
-                            shared.telemetry.trace(TraceKind::Reject, id, epoch, 0);
-                            // Typed, *non-fatal* refusal: the publisher may
-                            // correct and retry on this connection.
-                            if writer
-                                .reply(
-                                    shared,
-                                    id,
-                                    &Frame::Reject {
-                                        reason,
-                                        message: reason.to_string(),
-                                    },
-                                )
-                                .is_err()
-                            {
-                                break;
-                            }
-                            continue;
-                        }
-                    }
-                }
-                match handle_publish(
-                    shared,
-                    &container,
-                    container_bytes,
-                    true,
-                    RelaySource::Local,
-                ) {
-                    Ok(fanout) => {
-                        if writer
-                            .reply(shared, id, &Frame::Ack { epoch, fanout })
-                            .is_err()
-                        {
-                            break;
-                        }
-                        record_publish_ack(shared, id, epoch, publish_start);
-                    }
-                    Err(reject) => {
-                        shared.telemetry.publishes_rejected.inc();
-                        shared.telemetry.trace(TraceKind::Reject, id, epoch, 0);
-                        if writer
-                            .reply(
-                                shared,
-                                id,
-                                &Frame::Reject {
-                                    reason: reject.reason,
-                                    message: reject.detail,
-                                },
-                            )
-                            .is_err()
-                        {
-                            break;
-                        }
-                    }
-                }
-            }
-            Frame::Subscribe { documents } => {
-                if handle_subscribe(shared, id, &mut writer, documents, 1).is_err() {
-                    break;
-                }
-                shared.telemetry.trace(TraceKind::Subscribe, id, 0, 0);
-            }
-            Frame::SubscribeHistory { documents, depth } => {
-                // Depth is a request, not a demand: the broker replays at
-                // most what it retains (its configured history depth).
-                if handle_subscribe(shared, id, &mut writer, documents, depth.max(1) as usize)
-                    .is_err()
-                {
-                    break;
-                }
-                shared.telemetry.trace(TraceKind::Subscribe, id, 0, 0);
-            }
-            Frame::ListConfigs => {
-                let entries: Vec<ConfigSummary> = {
-                    let state = shared.state.lock().expect("broker state");
-                    state.store.summaries()
-                };
-                if writer.reply(shared, id, &Frame::Configs(entries)).is_err() {
-                    break;
-                }
-            }
-            Frame::StatsRequest => {
-                // Aggregates only: the exposition carries counters, gauges
-                // and latency quantiles — never container bytes, document
-                // plaintext or subscriber identities (see the module-level
-                // threat model).
-                let text = telemetry_snapshot(shared).render_text();
-                if writer
-                    .reply(shared, id, &Frame::StatsResponse { text })
-                    .is_err()
-                {
-                    break;
-                }
-            }
-            Frame::PeerHello { broker_id } => {
-                // An inbound peer link opening. Refusal is typed and
-                // non-fatal: a broker that does not accept peers is still
-                // a perfectly good broker for this connection's other
-                // traffic (and the dialer's backoff handles the rest).
-                let Some(relay_config) = shared.config.relay.as_ref().filter(|r| r.accept_peers)
-                else {
-                    shared
-                        .telemetry
-                        .count_suppressed(RejectReason::NotAPeer, id, 0);
-                    let reject = Frame::Reject {
-                        reason: RejectReason::NotAPeer,
-                        message: "this broker does not accept relay peers".into(),
-                    };
-                    if writer.reply(shared, id, &reject).is_err() {
-                        break;
-                    }
-                    continue;
-                };
-                let hello = Frame::PeerHello {
-                    broker_id: relay_config.broker_id.clone(),
-                };
-                // Reply with our id, then immediately advertise our
-                // retained high-water marks: the upstream streams exactly
-                // the records we are missing (cold start and partition
-                // resync are the same exchange).
-                let known = {
-                    let state = shared.state.lock().expect("broker state");
-                    state.store.newest_epochs()
-                };
-                peer_id = Some(broker_id);
-                if writer.reply(shared, id, &hello).is_err()
-                    || writer
-                        .reply(shared, id, &Frame::RelayCatchUp { known })
-                        .is_err()
-                {
-                    break;
-                }
-            }
-            Frame::Relay {
-                origin,
-                hops,
-                container,
-            } => {
-                let epoch = container.epoch;
-                // Only accepted peers may relay. The peer link itself is
-                // the authorization: signatures were verified where the
-                // container entered the overlay (origin-only), and the
-                // container's own authenticated encryption — the paper's
-                // core property — is what a hostile edge cannot forge.
-                if peer_id.is_none() {
-                    shared
-                        .telemetry
-                        .count_suppressed(RejectReason::NotAPeer, id, epoch);
-                    let reject = Frame::Reject {
-                        reason: RejectReason::NotAPeer,
-                        message: "relay from a non-peer connection".into(),
-                    };
-                    if writer.reply(shared, id, &reject).is_err() {
-                        break;
-                    }
-                    continue;
-                }
-                let relay_config = shared
-                    .config
-                    .relay
-                    .as_ref()
-                    .expect("peer link accepted without relay config");
-                let retained = {
-                    let state = shared.state.lock().expect("broker state");
-                    state.store.newest_epoch(&container.document_name)
-                };
-                let verdict = relay_verdict(
-                    &relay_config.broker_id,
-                    retained,
-                    &origin,
-                    hops,
-                    epoch,
-                    relay_config.max_hops,
-                );
-                let reject_reason = match verdict {
-                    RelayVerdict::Loop => Some(RejectReason::RelayLoop),
-                    RelayVerdict::Stale => Some(RejectReason::StaleHop),
-                    RelayVerdict::Accept => None,
-                };
-                if let Some(reason) = reject_reason {
-                    shared.telemetry.count_suppressed(reason, id, epoch);
-                    let reject = Frame::Reject {
-                        reason,
-                        message: reason.to_string(),
-                    };
-                    if writer.reply(shared, id, &reject).is_err() {
-                        break;
-                    }
-                    continue;
-                }
-                let mut container_bytes = std::mem::take(&mut body);
-                container_bytes.drain(..relay_container_offset(&origin));
-                match handle_publish(
-                    shared,
-                    &container,
-                    container_bytes,
-                    true,
-                    RelaySource::Peer {
-                        origin: &origin,
-                        hops,
-                    },
-                ) {
-                    Ok(fanout) => {
-                        shared.telemetry.relays_accepted.inc();
-                        shared.telemetry.trace(TraceKind::Publish, id, epoch, 0);
-                        if writer
-                            .reply(shared, id, &Frame::Ack { epoch, fanout })
-                            .is_err()
-                        {
-                            break;
-                        }
-                    }
-                    Err(reject) => {
-                        // The verdict above ran outside the state lock; a
-                        // racing publish can still make this epoch stale
-                        // at retention time — that in-lock recheck is the
-                        // real guard, surfaced under the relay taxonomy.
-                        let reason = if reject.reason == RejectReason::StaleEpoch {
-                            RejectReason::StaleHop
-                        } else {
-                            reject.reason
-                        };
-                        shared.telemetry.count_suppressed(reason, id, epoch);
+                        // Typed, *non-fatal* refusal: the publisher may
+                        // correct and retry on this connection.
                         if writer
                             .reply(
                                 shared,
                                 id,
                                 &Frame::Reject {
                                     reason,
-                                    message: reject.detail,
+                                    message: reason.to_string(),
                                 },
                             )
                             .is_err()
                         {
-                            break;
+                            return FrameFlow::Close;
                         }
+                        return FrameFlow::Continue;
                     }
                 }
             }
-            Frame::Bye => {
-                let _ = writer.reply(shared, id, &Frame::Bye);
-                break;
-            }
-            // Frames only the broker may send: a client speaking them is
-            // confused or hostile — cut it off (in isolation).
-            // (`RelayCatchUp` travels downstream→upstream on a link the
-            // *upstream* dialed; inbound on an accepted connection it is
-            // equally out of place.)
-            Frame::Deliver(_)
-            | Frame::Configs(_)
-            | Frame::Ack { .. }
-            | Frame::Error { .. }
-            | Frame::Reject { .. }
-            | Frame::StatsResponse { .. }
-            | Frame::RelayCatchUp { .. } => {
-                shared.telemetry.connections_rejected.inc();
-                let _ = writer.reply(
-                    shared,
-                    id,
-                    &Frame::Error {
-                        message: "unexpected broker-only frame from client".into(),
-                    },
-                );
-                break;
+            match handle_publish(
+                shared,
+                &container,
+                container_bytes,
+                true,
+                RelaySource::Local,
+            ) {
+                Ok(fanout) => {
+                    if writer
+                        .reply(shared, id, &Frame::Ack { epoch, fanout })
+                        .is_err()
+                    {
+                        return FrameFlow::Close;
+                    }
+                    record_publish_ack(shared, id, epoch, publish_start);
+                }
+                Err(reject) => {
+                    shared.telemetry.publishes_rejected.inc();
+                    shared.telemetry.trace(TraceKind::Reject, id, epoch, 0);
+                    if writer
+                        .reply(
+                            shared,
+                            id,
+                            &Frame::Reject {
+                                reason: reject.reason,
+                                message: reject.detail,
+                            },
+                        )
+                        .is_err()
+                    {
+                        return FrameFlow::Close;
+                    }
+                }
             }
         }
+        Frame::Subscribe { documents } => {
+            let was_direct = matches!(writer, ConnWriter::Direct(_));
+            if handle_subscribe(shared, id, writer, documents, 1).is_err() {
+                return FrameFlow::Close;
+            }
+            shared.telemetry.trace(TraceKind::Subscribe, id, 0, 0);
+            if was_direct {
+                return FrameFlow::HandOff;
+            }
+        }
+        Frame::SubscribeHistory { documents, depth } => {
+            // Depth is a request, not a demand: the broker replays at
+            // most what it retains (its configured history depth).
+            let was_direct = matches!(writer, ConnWriter::Direct(_));
+            if handle_subscribe(shared, id, writer, documents, depth.max(1) as usize).is_err() {
+                return FrameFlow::Close;
+            }
+            shared.telemetry.trace(TraceKind::Subscribe, id, 0, 0);
+            if was_direct {
+                return FrameFlow::HandOff;
+            }
+        }
+        Frame::ListConfigs => {
+            let entries: Vec<ConfigSummary> = {
+                let state = shared.state.lock().expect("broker state");
+                state.store.summaries()
+            };
+            if writer.reply(shared, id, &Frame::Configs(entries)).is_err() {
+                return FrameFlow::Close;
+            }
+        }
+        Frame::StatsRequest => {
+            // Aggregates only: the exposition carries counters, gauges
+            // and latency quantiles — never container bytes, document
+            // plaintext or subscriber identities (see the module-level
+            // threat model).
+            let text = telemetry_snapshot(shared).render_text();
+            if writer
+                .reply(shared, id, &Frame::StatsResponse { text })
+                .is_err()
+            {
+                return FrameFlow::Close;
+            }
+        }
+        Frame::PeerHello { broker_id } => {
+            // An inbound peer link opening. Refusal is typed and
+            // non-fatal: a broker that does not accept peers is still
+            // a perfectly good broker for this connection's other
+            // traffic (and the dialer's backoff handles the rest).
+            let Some(relay_config) = shared.config.relay.as_ref().filter(|r| r.accept_peers) else {
+                shared
+                    .telemetry
+                    .count_suppressed(RejectReason::NotAPeer, id, 0);
+                let reject = Frame::Reject {
+                    reason: RejectReason::NotAPeer,
+                    message: "this broker does not accept relay peers".into(),
+                };
+                if writer.reply(shared, id, &reject).is_err() {
+                    return FrameFlow::Close;
+                }
+                return FrameFlow::Continue;
+            };
+            let hello = Frame::PeerHello {
+                broker_id: relay_config.broker_id.clone(),
+            };
+            // Reply with our id, then immediately advertise our
+            // retained high-water marks: the upstream streams exactly
+            // the records we are missing (cold start and partition
+            // resync are the same exchange).
+            let known = {
+                let state = shared.state.lock().expect("broker state");
+                state.store.newest_epochs()
+            };
+            *peer_id = Some(broker_id);
+            if writer.reply(shared, id, &hello).is_err()
+                || writer
+                    .reply(shared, id, &Frame::RelayCatchUp { known })
+                    .is_err()
+            {
+                return FrameFlow::Close;
+            }
+        }
+        Frame::Relay {
+            origin,
+            hops,
+            container,
+        } => {
+            let epoch = container.epoch;
+            // Only accepted peers may relay. The peer link itself is
+            // the authorization: signatures were verified where the
+            // container entered the overlay (origin-only), and the
+            // container's own authenticated encryption — the paper's
+            // core property — is what a hostile edge cannot forge.
+            if peer_id.is_none() {
+                shared
+                    .telemetry
+                    .count_suppressed(RejectReason::NotAPeer, id, epoch);
+                let reject = Frame::Reject {
+                    reason: RejectReason::NotAPeer,
+                    message: "relay from a non-peer connection".into(),
+                };
+                if writer.reply(shared, id, &reject).is_err() {
+                    return FrameFlow::Close;
+                }
+                return FrameFlow::Continue;
+            }
+            let relay_config = shared
+                .config
+                .relay
+                .as_ref()
+                .expect("peer link accepted without relay config");
+            let retained = {
+                let state = shared.state.lock().expect("broker state");
+                state.store.newest_epoch(&container.document_name)
+            };
+            let verdict = relay_verdict(
+                &relay_config.broker_id,
+                retained,
+                &origin,
+                hops,
+                epoch,
+                relay_config.max_hops,
+            );
+            let reject_reason = match verdict {
+                RelayVerdict::Loop => Some(RejectReason::RelayLoop),
+                RelayVerdict::Stale => Some(RejectReason::StaleHop),
+                RelayVerdict::Accept => None,
+            };
+            if let Some(reason) = reject_reason {
+                shared.telemetry.count_suppressed(reason, id, epoch);
+                let reject = Frame::Reject {
+                    reason,
+                    message: reason.to_string(),
+                };
+                if writer.reply(shared, id, &reject).is_err() {
+                    return FrameFlow::Close;
+                }
+                return FrameFlow::Continue;
+            }
+            let mut container_bytes = std::mem::take(&mut body);
+            container_bytes.drain(..relay_container_offset(&origin));
+            match handle_publish(
+                shared,
+                &container,
+                container_bytes,
+                true,
+                RelaySource::Peer {
+                    origin: &origin,
+                    hops,
+                },
+            ) {
+                Ok(fanout) => {
+                    shared.telemetry.relays_accepted.inc();
+                    shared.telemetry.trace(TraceKind::Publish, id, epoch, 0);
+                    if writer
+                        .reply(shared, id, &Frame::Ack { epoch, fanout })
+                        .is_err()
+                    {
+                        return FrameFlow::Close;
+                    }
+                }
+                Err(reject) => {
+                    // The verdict above ran outside the state lock; a
+                    // racing publish can still make this epoch stale
+                    // at retention time — that in-lock recheck is the
+                    // real guard, surfaced under the relay taxonomy.
+                    let reason = if reject.reason == RejectReason::StaleEpoch {
+                        RejectReason::StaleHop
+                    } else {
+                        reject.reason
+                    };
+                    shared.telemetry.count_suppressed(reason, id, epoch);
+                    if writer
+                        .reply(
+                            shared,
+                            id,
+                            &Frame::Reject {
+                                reason,
+                                message: reject.detail,
+                            },
+                        )
+                        .is_err()
+                    {
+                        return FrameFlow::Close;
+                    }
+                }
+            }
+        }
+        Frame::Bye => {
+            let _ = writer.reply(shared, id, &Frame::Bye);
+            return FrameFlow::Close;
+        }
+        // Frames only the broker may send: a client speaking them is
+        // confused or hostile — cut it off (in isolation).
+        // (`RelayCatchUp` travels downstream→upstream on a link the
+        // *upstream* dialed; inbound on an accepted connection it is
+        // equally out of place.)
+        Frame::Deliver(_)
+        | Frame::Configs(_)
+        | Frame::Ack { .. }
+        | Frame::Error { .. }
+        | Frame::Reject { .. }
+        | Frame::StatsResponse { .. }
+        | Frame::RelayCatchUp { .. } => {
+            shared.telemetry.connections_rejected.inc();
+            let _ = writer.reply(
+                shared,
+                id,
+                &Frame::Error {
+                    message: "unexpected broker-only frame from client".into(),
+                },
+            );
+            return FrameFlow::Close;
+        }
     }
-
-    // Teardown: dropping the SubEntry (and our local sender, when queued)
-    // disconnects the queue, so the writer thread drains and exits; the
-    // writer's own socket shutdown covers the case where it is mid-write.
-    let mut state = shared.state.lock().expect("broker state");
-    state.subscribers.remove(&id);
-    state.connections.remove(&id);
+    FrameFlow::Continue
 }
 
 fn auth_required(shared: &Shared) -> bool {
@@ -1318,7 +1508,7 @@ fn handle_publish(
         size_bytes: container_len as u64,
     };
 
-    let mut fanout = 0u32;
+    let fanout;
     let mut overflowed: Vec<u64> = Vec::new();
     {
         let mut state = shared.state.lock().expect("broker state");
@@ -1383,46 +1573,49 @@ fn handle_publish(
                 format!("retention log append failed: {e}"),
             ));
         }
-        // Enqueue under the lock: queue pushes are non-blocking, and doing
-        // them here gives a total order — a replay enqueued by a racing
-        // subscribe can never land *after* this fresher epoch.
+        // Enqueue under the lock: pool pushes are non-blocking (state →
+        // writer-shard is the sanctioned lock order), and doing them here
+        // gives a total order — a replay enqueued by a racing subscribe
+        // can never land *after* this fresher epoch.
         let enqueued_ns = shared.telemetry.registry.now_ns();
-        for (sub_id, sub) in state
+        let io = shared.io();
+        let matching = state
             .subscribers
             .iter()
             .filter(|(_, sub)| sub.matches(&container.document_name))
-        {
-            let job = Job::Deliver {
-                body: Arc::clone(&deliver),
-                epoch: container.epoch,
-                enqueued_ns,
-            };
-            if sub.enqueue(job) {
-                fanout += 1;
-            } else {
-                overflowed.push(*sub_id);
-            }
-        }
+            .map(|(sub_id, _)| *sub_id);
+        fanout = io.writer.enqueue_fanout(
+            shared,
+            matching,
+            &deliver,
+            container.epoch,
+            enqueued_ns,
+            &mut overflowed,
+        );
         // A full queue marks a consumer that cannot keep up: drop it here
         // (slow-consumer backpressure becomes disconnection, not publisher
-        // latency) and close its socket so its threads unwind.
+        // latency), deregister its pool slot and close its socket so the
+        // connection unwinds.
         for sub_id in overflowed {
             if state.subscribers.remove(&sub_id).is_some() {
                 shared
                     .telemetry
                     .count_drop(DropCause::QueueOverflow, sub_id);
             }
+            io.writer.remove(sub_id);
             if let Some(conn) = state.connections.get(&sub_id) {
                 let _ = conn.shutdown(Shutdown::Both);
             }
         }
         // Overlay forwarding: advance the hop count and push the same
         // container bytes — verbatim — onto every live outbound peer
-        // link's queue (still under the lock, so relay order is retained-
-        // state order, exactly like subscriber fan-out). A full link
-        // queue marks a peer that cannot keep up: the link is dropped and
-        // its thread reconnects + resyncs from the log, which replays
-        // everything the queue drop skipped.
+        // link's writer-pool slot, with a matching ack expectation on the
+        // link thread's queue (both still under the lock, so relay order
+        // is retained-state order and pool order equals expectation
+        // order, exactly like subscriber fan-out). A full queue marks a
+        // peer that cannot keep up: the link is dropped and its thread
+        // reconnects + resyncs from the log, which replays everything
+        // the drop skipped.
         if let Some(relay_config) = shared.config.relay.as_ref() {
             if let RelaySource::Peer { origin, hops } = source {
                 state.relay_meta.insert(
@@ -1442,17 +1635,28 @@ fn handle_publish(
                 let enqueued_ns = shared.telemetry.registry.now_ns();
                 let mut dead_links: Vec<u64> = Vec::new();
                 for (link_id, link) in &state.relay_links {
-                    let job = RelayJob {
-                        body: Arc::clone(&rbody),
-                        epoch: container.epoch,
-                        enqueued_ns,
-                    };
-                    if link.sender.try_send(job).is_err() {
+                    let pushed = io.writer.enqueue(
+                        shared,
+                        *link_id,
+                        PoolJob::Deliver {
+                            body: Arc::clone(&rbody),
+                            epoch: container.epoch,
+                            enqueued_ns,
+                        },
+                    ) && link
+                        .sender
+                        .try_send(RelayJob {
+                            epoch: container.epoch,
+                            enqueued_ns: Some(enqueued_ns),
+                        })
+                        .is_ok();
+                    if !pushed {
                         dead_links.push(*link_id);
                     }
                 }
                 for link_id in dead_links {
                     state.relay_links.remove(&link_id);
+                    io.writer.remove(link_id);
                     shared.telemetry.relay_links_dropped.inc();
                     if let Some(conn) = state.connections.get(&link_id) {
                         let _ = conn.shutdown(Shutdown::Both);
@@ -1502,98 +1706,78 @@ fn handle_subscribe(
         }
         .encode()?,
     );
-    // First subscribe: move the write half into a dedicated writer thread.
+    // First subscribe: the write half leaves this thread and becomes a
+    // writer-pool slot (all further replies travel its queue).
     if let ConnWriter::Direct(_) = writer {
-        // Take the write half out up front; a disconnected placeholder
-        // sits in `writer` for the (single-threaded) window until the real
-        // queued writer is installed below.
-        let (placeholder_tx, _placeholder_rx) = std::sync::mpsc::sync_channel(1);
-        let placeholder = ConnWriter::Queued(placeholder_tx, Arc::new(AtomicU64::new(0)));
-        let ConnWriter::Direct(stream) = std::mem::replace(writer, placeholder) else {
+        let ConnWriter::Direct(stream) = std::mem::replace(writer, ConnWriter::Queued) else {
             unreachable!("checked Direct above");
         };
-        // Registration, channel creation and the replay enqueues all run
-        // inside ONE state-lock critical section so no publish can
-        // interleave (the ordering guarantee) — and the channel is sized
-        // to hold the Ack plus the *entire* matching retained set on top
-        // of the configured live-queue budget, so a broad subscriber can
+        // Non-blocking from here on: O_NONBLOCK lives on the shared open
+        // file description, so the read half the handler still holds
+        // flips too — exactly what the reader pool expects at handoff.
+        stream.set_nonblocking(true).map_err(|e| NetError::Io {
+            kind: e.kind(),
+            detail: format!("set_nonblocking: {e}"),
+        })?;
+        // Registration, the replay snapshot and the replay enqueues all
+        // run inside ONE state-lock critical section so no publish can
+        // interleave (the ordering guarantee) — and the slot is sized to
+        // hold the Ack plus the *entire* matching retained set on top of
+        // the configured live-queue budget, so a broad subscriber can
         // always take its replay however many documents are retained.
         // `subscriber_queue` remains the backpressure bound for live
-        // fan-out on top of that.
-        let (receiver, queue_depth) = {
-            let mut state = shared.state.lock().expect("broker state");
-            let entry_matches =
-                |doc: &str| documents.is_empty() || documents.iter().any(|d| d == doc);
-            let replay: Vec<Arc<Vec<u8>>> = if shared.config.replay_retained {
-                state.store.replay(entry_matches, depth)
-            } else {
-                Vec::new()
-            };
-            let capacity = shared.config.subscriber_queue + replay.len() + 1;
-            let (sender, receiver) = std::sync::mpsc::sync_channel(capacity);
-            let queue_depth = Arc::new(AtomicU64::new(0));
-            let entry = SubEntry {
-                sender: sender.clone(),
-                depth: Arc::clone(&queue_depth),
-                documents,
-            };
-            // Fits by construction; `enqueue` still guards the invariant.
-            let enqueued_ns = shared.telemetry.registry.now_ns();
-            for job in std::iter::once(Job::Control(Arc::clone(&ack))).chain(
-                replay.into_iter().map(|body| Job::Deliver {
-                    body,
-                    epoch: 0,
-                    enqueued_ns,
-                }),
-            ) {
-                if !entry.enqueue(job) {
-                    return Err(NetError::protocol("subscriber queue overflow on replay"));
-                }
+        // fan-out on top of that. (State → writer-shard is the one
+        // sanctioned lock order.)
+        let mut state = shared.state.lock().expect("broker state");
+        let queue_depth = Arc::new(AtomicU64::new(0));
+        let entry = SubEntry {
+            depth: Arc::clone(&queue_depth),
+            documents,
+        };
+        let replay: Vec<Arc<Vec<u8>>> = if shared.config.replay_retained {
+            state.store.replay(|doc| entry.matches(doc), depth)
+        } else {
+            Vec::new()
+        };
+        let capacity = shared.config.subscriber_queue + replay.len() + 1;
+        let io = shared.io();
+        if !io
+            .writer
+            .register(id, stream, SlotKind::Subscriber, capacity, queue_depth)
+        {
+            return Err(NetError::protocol("broker shutting down"));
+        }
+        // Fits by construction; `enqueue` still guards the invariant.
+        let enqueued_ns = shared.telemetry.registry.now_ns();
+        for job in std::iter::once(PoolJob::Control(Arc::clone(&ack))).chain(
+            replay.into_iter().map(|body| PoolJob::Deliver {
+                body,
+                epoch: 0,
+                enqueued_ns,
+            }),
+        ) {
+            if !io.writer.enqueue(shared, id, job) {
+                io.writer.remove(id);
+                return Err(NetError::protocol("subscriber queue overflow on replay"));
             }
-            state.subscribers.insert(id, entry);
-            *writer = ConnWriter::Queued(sender, Arc::clone(&queue_depth));
-            (receiver, queue_depth)
-        };
-        let spawned = {
-            let writer_depth = Arc::clone(&queue_depth);
-            let writer_shared = Arc::clone(shared);
-            std::thread::Builder::new()
-                .name(format!("pbcd-broker-writer-{id}"))
-                .spawn(move || writer_loop(&writer_shared, id, stream, receiver, &writer_depth))
-        };
-        let thread = match spawned {
-            Ok(t) => t,
-            Err(e) => {
-                // No writer to drain the queue: undo the registration.
-                let mut state = shared.state.lock().expect("broker state");
-                state.subscribers.remove(&id);
-                return Err(NetError::Io {
-                    kind: e.kind(),
-                    detail: format!("spawn writer: {e}"),
-                });
-            }
-        };
-        shared
-            .state
-            .lock()
-            .expect("broker state")
-            .threads
-            .push(thread);
+        }
+        state.subscribers.insert(id, entry);
         Ok(())
     } else {
         // Re-subscription on a live connection: swap the filter and replay
-        // through the existing writer. The existing channel's capacity was
-        // sized at first subscribe; a re-subscribe whose *new* replay no
-        // longer fits is dropped (reconnecting fresh always works).
-        let ConnWriter::Queued(sender, queue_depth) = &*writer else {
-            unreachable!("non-Direct is Queued");
+        // through the existing pool slot. The slot's capacity was sized at
+        // first subscribe; a re-subscribe whose *new* replay no longer
+        // fits is dropped (reconnecting fresh always works).
+        let mut state = shared.state.lock().expect("broker state");
+        let Some(existing) = state.subscribers.get(&id) else {
+            // The subscription was dropped (overflow/write failure) while
+            // this frame was in flight; the socket is already closing.
+            return Err(NetError::protocol("subscription already dropped"));
         };
         let entry = SubEntry {
-            sender: sender.clone(),
-            depth: Arc::clone(queue_depth),
+            depth: Arc::clone(&existing.depth),
             documents,
         };
-        let mut state = shared.state.lock().expect("broker state");
         register_and_replay(shared, &mut state, id, entry, &ack, depth)
     }
 }
@@ -1609,7 +1793,7 @@ fn register_and_replay(
     ack: &Arc<Vec<u8>>,
     depth: usize,
 ) -> Result<(), NetError> {
-    let mut jobs: Vec<Job> = vec![Job::Control(Arc::clone(ack))];
+    let mut jobs: Vec<PoolJob> = vec![PoolJob::Control(Arc::clone(ack))];
     if shared.config.replay_retained {
         let enqueued_ns = shared.telemetry.registry.now_ns();
         jobs.extend(
@@ -1617,66 +1801,26 @@ fn register_and_replay(
                 .store
                 .replay(|doc| entry.matches(doc), depth)
                 .into_iter()
-                .map(|body| Job::Deliver {
+                .map(|body| PoolJob::Deliver {
                     body,
                     epoch: 0,
                     enqueued_ns,
                 }),
         );
     }
+    let io = shared.io();
     for job in jobs {
-        if !entry.enqueue(job) {
+        if !io.writer.enqueue(shared, id, job) {
             // Cannot even hold the Ack + retained set: this subscriber is
             // not viable (it can reconnect with a narrower filter).
             state.subscribers.remove(&id);
+            io.writer.remove(id);
             shared.telemetry.count_drop(DropCause::ReplayOverflow, id);
             return Err(NetError::protocol("subscriber queue overflow on replay"));
         }
     }
     state.subscribers.insert(id, entry);
     Ok(())
-}
-
-/// One subscriber's writer: pops pre-framed bodies off the queue and
-/// writes each against its own absolute deadline. A failed or expired
-/// write drops the subscriber — nobody else is affected, and the queue's
-/// senders observe the disconnect on their next push.
-fn writer_loop(
-    shared: &Shared,
-    id: u64,
-    mut stream: TcpStream,
-    receiver: Receiver<Job>,
-    depth: &AtomicU64,
-) {
-    while let Ok(job) = receiver.recv() {
-        depth.fetch_sub(1, Ordering::Relaxed);
-        let (body, deliver_meta) = match &job {
-            Job::Deliver {
-                body,
-                epoch,
-                enqueued_ns,
-            } => (body, Some((*epoch, *enqueued_ns))),
-            Job::Control(b) => (b, None),
-        };
-        let deadline = shared.config.write_timeout.map(|t| Instant::now() + t);
-        if write_body_deadline(&mut stream, body, deadline).is_err() {
-            drop_subscriber(shared, id, DropCause::WriteFailed);
-            break;
-        }
-        if let Some((epoch, enqueued_ns)) = deliver_meta {
-            shared.telemetry.deliveries.inc();
-            let wait_ns = shared
-                .telemetry
-                .registry
-                .now_ns()
-                .saturating_sub(enqueued_ns);
-            shared.telemetry.enqueue_to_write_ns.record(wait_ns);
-            shared
-                .telemetry
-                .trace(TraceKind::Deliver, id, epoch, wait_ns);
-        }
-    }
-    let _ = stream.shutdown(Shutdown::Both);
 }
 
 /// Writes `length u32 ‖ body` honoring an absolute deadline across partial

@@ -222,6 +222,16 @@ impl BrokerClient {
         Ok(())
     }
 
+    /// Consumes the client, returning the underlying socket. Queued
+    /// deliveries that arrived interleaved with replies are dropped, so
+    /// call this right after connect/subscribe — it exists for callers
+    /// that multiplex many subscriber connections from one thread (the
+    /// fan-out benches' pooled herds) after using the typed API for the
+    /// handshake.
+    pub fn into_stream(self) -> TcpStream {
+        self.stream
+    }
+
     /// Says goodbye and closes the connection.
     pub fn bye(mut self) -> Result<(), NetError> {
         self.send(&Frame::Bye)?;

@@ -20,9 +20,13 @@
 //!   non-panicking codecs and per-kind version negotiation,
 //! * [`auth`] — publisher authentication: Schnorr verification of signed
 //!   publishes against a configured key map (verification halves only),
-//! * [`broker`] — the threaded accept-loop broker: retained latest
-//!   container per document, concurrent fan-out through per-subscriber
-//!   writer queues, per-connection error isolation, graceful shutdown,
+//! * [`broker`] — the accept-loop broker with an event-driven I/O plane:
+//!   retained latest container per document, concurrent fan-out through
+//!   per-subscriber bounded queues serviced by a sharded writer pool,
+//!   subscriber reads multiplexed onto poll-style reader shards (an idle
+//!   subscription costs a socket + queue slot, never a thread stack),
+//!   per-connection error isolation, graceful shutdown joining exactly
+//!   the pool,
 //! * [`store`] — durable, history-capable retention: a checksummed
 //!   append-only log of ciphertext containers with crash recovery
 //!   (longest-valid-prefix + torn-tail truncation) and compaction,
@@ -62,6 +66,7 @@ pub mod client;
 pub mod direct;
 pub mod error;
 pub mod frame;
+pub(crate) mod io_pool;
 pub mod relay;
 pub mod store;
 

@@ -23,17 +23,22 @@
 //!    reply means the peer does not accept peering; the link backs off
 //!    and retries, so config order between brokers does not matter.)
 //! 2. **Cold-start catch-up**: under **one** state-lock critical section
-//!    the link snapshots [`RetentionStore::catch_up`](crate::store::RetentionStore::catch_up) against `known`
-//!    *and* registers its live queue. Atomicity is the point: the
-//!    snapshot holds every epoch retained so far, the queue receives
-//!    every epoch published after, and epochs strictly increase under
-//!    the same lock — so the two streams never overlap and never gap.
-//! 3. **Live forwarding**: drain the bounded queue, writing one `Relay`
-//!    frame per container and reading the peer's synchronous
-//!    `Ack`/`Reject` verdict. A typed `Reject` (`RelayLoop`/`StaleHop`)
-//!    is the overlay working as designed — counted, never fatal. The
-//!    enqueue→ack time of every acknowledged forward feeds the
-//!    relay-lag histogram.
+//!    the link snapshots [`RetentionStore::catch_up`](crate::store::RetentionStore::catch_up) against `known`,
+//!    registers the socket's write half as a writer-pool slot, enqueues
+//!    every catch-up record onto it and registers its live
+//!    ack-expectation queue. Atomicity is the point: the snapshot holds
+//!    every epoch retained so far, later publishes enqueue strictly
+//!    after it, and epochs increase under the same lock — so the two
+//!    streams never overlap, never gap, and pool-write order equals
+//!    expectation order (the FIFO ack-matching invariant).
+//! 3. **Live forwarding**: the sharded writer pool drains the slot as
+//!    fast as the peer's socket accepts frames, while this thread reads
+//!    the peer's synchronous `Ack`/`Reject` verdicts and matches them
+//!    FIFO against the expectation queue — pipelined forwarding with
+//!    the bounded queue as the in-flight window. A typed `Reject`
+//!    (`RelayLoop`/`StaleHop`) is the overlay working as designed —
+//!    counted, never fatal. The enqueue→ack time of every acknowledged
+//!    live forward feeds the relay-lag histogram.
 //! 4. **Failure + reconnect**: any I/O error, protocol violation or a
 //!    queue overflow (the broker drops the link's sender and closes its
 //!    socket) unwinds the link back to step 1 after a jittered, capped
@@ -62,7 +67,7 @@
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -70,9 +75,10 @@ use std::time::{Duration, Instant};
 use pbcd_telemetry::{Counter, TraceKind};
 
 use crate::backoff::{Backoff, BackoffConfig};
-use crate::broker::{write_body_deadline, RelayJob, RelayLink, Shared};
+use crate::broker::{RelayJob, RelayLink, Shared};
 use crate::error::RejectReason;
 use crate::frame::{read_frame, relay_body, write_frame, Frame, CONTAINER_OFFSET};
+use crate::io_pool::{FrameAccum, PoolJob, ReadProgress, SlotKind};
 
 /// Overlay knobs for one broker: its identity, who it forwards to, and
 /// whether it accepts inbound peer links. Setting
@@ -317,6 +323,9 @@ fn run_link_once(
     let _ = stream.shutdown(Shutdown::Both);
     let mut state = shared.state.lock().expect("broker state");
     state.relay_links.remove(&link_id);
+    // Idempotent: the pool's write-failure path may already have dropped
+    // the slot (state → writer-shard is the sanctioned lock order).
+    shared.io().writer.remove(link_id);
     state.connections.remove(&link_id);
     exit
 }
@@ -348,21 +357,37 @@ fn drive_link(
         _ => return LinkExit::NotEstablished,
     };
 
+    // --- Writer-pool handoff ----------------------------------------
+    // The write half becomes a `RelayLink` pool slot and this thread
+    // turns into the link's ack reader. `O_NONBLOCK` lives on the shared
+    // open file description, so flipping it here converts our read half
+    // too — verdicts are polled through a `FrameAccum` from now on.
+    let Ok(wstream) = stream.try_clone() else {
+        return LinkExit::NotEstablished;
+    };
+    if stream.set_nonblocking(true).is_err() {
+        return LinkExit::NotEstablished;
+    }
+
     // --- Atomic catch-up snapshot + live registration --------------
-    // One critical section: records retained so far go into the
-    // snapshot, every later publish goes into the queue. Epochs grow
-    // strictly under this same lock, so the streams cannot overlap.
+    // One critical section: records retained so far are re-framed and
+    // enqueued onto the pool slot, every later publish enqueues strictly
+    // after them, and epochs grow under this same lock — so the two
+    // streams cannot overlap and pool-write order equals ack-expectation
+    // order (the FIFO matching invariant). The slot is sized to hold the
+    // whole catch-up set on top of the configured live window, exactly
+    // like a subscriber slot holds its replay.
     let depth = if relay_config.catch_up_depth == 0 {
         shared.config.history_depth
     } else {
         relay_config.catch_up_depth
     };
-    let (records, receiver): (Vec<CatchUpRecord>, Receiver<RelayJob>) = {
+    let receiver: Receiver<RelayJob> = {
         let mut state = shared.state.lock().expect("broker state");
         if shared.shutdown.load(Ordering::SeqCst) {
             return LinkExit::Shutdown;
         }
-        let records = state
+        let records: Vec<CatchUpRecord> = state
             .store
             .catch_up(&known, depth)
             .into_iter()
@@ -378,41 +403,89 @@ fn drive_link(
                 (hops <= relay_config.max_hops).then_some((origin, hops, epoch, deliver))
             })
             .collect();
-        let (sender, receiver) = std::sync::mpsc::sync_channel(relay_config.peer_queue.max(1));
+        let capacity = relay_config.peer_queue.max(1) + records.len();
+        let io = shared.io();
+        if !io.writer.register(
+            link_id,
+            wstream,
+            SlotKind::RelayLink,
+            capacity,
+            Arc::new(AtomicU64::new(0)),
+        ) {
+            return LinkExit::Shutdown;
+        }
+        let (sender, receiver) = std::sync::mpsc::sync_channel(capacity);
+        let enqueued_ns = shared.telemetry.registry.now_ns();
+        for (origin, hops, epoch, deliver) in records {
+            let body = Arc::new(relay_body(&origin, hops, &deliver[CONTAINER_OFFSET..]));
+            let pushed = io.writer.enqueue(
+                shared,
+                link_id,
+                PoolJob::Deliver {
+                    body,
+                    epoch,
+                    enqueued_ns,
+                },
+            ) && sender
+                .try_send(RelayJob {
+                    epoch,
+                    enqueued_ns: None,
+                })
+                .is_ok();
+            if !pushed {
+                // Fits by construction; a failure means shutdown raced us.
+                io.writer.remove(link_id);
+                return LinkExit::Established;
+            }
+        }
         state.relay_links.insert(link_id, RelayLink { sender });
-        (records, receiver)
+        receiver
     };
 
-    // --- Cold-start catch-up stream (no lock held) ------------------
-    for (origin, hops, epoch, deliver) in records {
-        let body = relay_body(&origin, hops, &deliver[CONTAINER_OFFSET..]);
-        match relay_one(shared, stream, link_id, &body, epoch, None, stats) {
-            SendOutcome::Acked => shared.telemetry.relay_catch_up_records.inc(),
-            SendOutcome::Suppressed => {}
-            SendOutcome::LinkDead => return LinkExit::Established,
-        }
-    }
-
-    // --- Live forwarding -------------------------------------------
+    // --- Ack reading ------------------------------------------------
+    // The pool writes frames as fast as the peer's socket accepts them;
+    // this thread matches the peer's synchronous verdicts FIFO against
+    // the expectation queue — pipelined forwarding with the bounded
+    // queue as the in-flight window (a slow peer backpressures into the
+    // queue and from there into an overflow drop, never into unbounded
+    // socket buffering).
+    let mut accum = FrameAccum::new();
     loop {
-        // Poll the shutdown flag between jobs: the queue sender lives in
-        // broker state and is dropped by shutdown (and by the overflow
-        // drop), which also wakes this recv with `Disconnected`.
+        // Poll the shutdown flag between jobs: the expectation sender
+        // lives in broker state and is dropped by shutdown (and by the
+        // overflow drop), which wakes this recv with `Disconnected`.
         match receiver.recv_timeout(Duration::from_millis(200)) {
-            Ok(job) => {
-                match relay_one(
-                    shared,
-                    stream,
-                    link_id,
-                    &job.body,
-                    job.epoch,
-                    Some(job.enqueued_ns),
-                    stats,
-                ) {
-                    SendOutcome::Acked | SendOutcome::Suppressed => {}
-                    SendOutcome::LinkDead => return LinkExit::Established,
+            Ok(job) => match read_verdict(shared, stream, &mut accum, relay_config.ack_timeout) {
+                Some(Frame::Ack { .. }) => {
+                    stats.forwarded.inc();
+                    shared.telemetry.relays_forwarded.inc();
+                    let lag_ns = match job.enqueued_ns {
+                        Some(start_ns) => {
+                            let lag = shared.telemetry.registry.now_ns().saturating_sub(start_ns);
+                            shared.telemetry.relay_lag_ns.record(lag);
+                            lag
+                        }
+                        None => {
+                            shared.telemetry.relay_catch_up_records.inc();
+                            0
+                        }
+                    };
+                    shared
+                        .telemetry
+                        .trace(TraceKind::Relay, link_id, job.epoch, lag_ns);
                 }
-            }
+                // A typed refusal is the overlay taxonomy working —
+                // normal in meshes and during catch-up/live overlap.
+                Some(Frame::Reject {
+                    reason: RejectReason::RelayLoop | RejectReason::StaleHop,
+                    ..
+                }) => {
+                    stats.rejected.inc();
+                }
+                // Timeout, close, or protocol garbage: tear the link
+                // down and resync on reconnect.
+                _ => return LinkExit::Established,
+            },
             Err(RecvTimeoutError::Timeout) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return LinkExit::Shutdown;
@@ -422,8 +495,8 @@ fn drive_link(
                 return if shared.shutdown.load(Ordering::SeqCst) {
                     LinkExit::Shutdown
                 } else {
-                    // Overflow drop: the broker removed this link because
-                    // its queue filled. Reconnect and resync from the log.
+                    // Overflow or write-failure drop: the broker removed
+                    // this link. Reconnect and resync from the log.
                     LinkExit::Established
                 };
             }
@@ -431,60 +504,27 @@ fn drive_link(
     }
 }
 
-/// What one forwarded container came back as.
-enum SendOutcome {
-    /// The peer retained (and is forwarding) it.
-    Acked,
-    /// The peer refused it under the overlay taxonomy — normal in
-    /// meshes and during catch-up/live overlap; the link stays up.
-    Suppressed,
-    /// I/O failure, protocol violation or a fatal reject — tear the
-    /// link down and resync on reconnect.
-    LinkDead,
-}
-
-/// Writes one pre-framed `Relay` body and reads the peer's synchronous
-/// verdict. The per-record round-trip is the link's flow control: a
-/// link never has more than one frame in flight, so a slow peer
-/// backpressures into the bounded queue (and from there into an
-/// overflow drop), never into unbounded socket buffering.
-fn relay_one(
+/// Polls one verdict frame out of the (non-blocking) link socket,
+/// honoring the ack timeout. `None` means the link is dead — timed out,
+/// closed, or speaking garbage.
+fn read_verdict(
     shared: &Shared,
     stream: &mut TcpStream,
-    link_id: u64,
-    body: &[u8],
-    epoch: u64,
-    enqueued_ns: Option<u64>,
-    stats: &LinkStats,
-) -> SendOutcome {
-    let deadline = shared.config.write_timeout.map(|t| Instant::now() + t);
-    if write_body_deadline(stream, body, deadline).is_err() {
-        return SendOutcome::LinkDead;
-    }
-    match read_frame(stream) {
-        Ok(Frame::Ack { .. }) => {
-            stats.forwarded.inc();
-            shared.telemetry.relays_forwarded.inc();
-            let lag_ns = enqueued_ns
-                .map(|start_ns| {
-                    let lag = shared.telemetry.registry.now_ns().saturating_sub(start_ns);
-                    shared.telemetry.relay_lag_ns.record(lag);
-                    lag
-                })
-                .unwrap_or(0);
-            shared
-                .telemetry
-                .trace(TraceKind::Relay, link_id, epoch, lag_ns);
-            SendOutcome::Acked
+    accum: &mut FrameAccum,
+    ack_timeout: Duration,
+) -> Option<Frame> {
+    let deadline = Instant::now() + ack_timeout;
+    loop {
+        match accum.poll(stream) {
+            Ok(ReadProgress::Frame(body)) => return Frame::decode(&body).ok(),
+            Ok(ReadProgress::Pending) => {
+                if shared.shutdown.load(Ordering::SeqCst) || Instant::now() >= deadline {
+                    return None;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Ok(ReadProgress::Closed) | Err(_) => return None,
         }
-        Ok(Frame::Reject {
-            reason: RejectReason::RelayLoop | RejectReason::StaleHop,
-            ..
-        }) => {
-            stats.rejected.inc();
-            SendOutcome::Suppressed
-        }
-        _ => SendOutcome::LinkDead,
     }
 }
 

@@ -71,6 +71,9 @@ pub const RECORD_HEADER_LEN: usize = 12;
 /// Upper bound on a record payload: a full-size frame body plus the
 /// document-name framing — anything larger is corruption by construction.
 pub const MAX_RECORD_PAYLOAD: usize = MAX_FRAME_LEN + 1024;
+/// Read-buffer size for the recovery scan: wide enough that a log of
+/// small records costs a syscall per quarter-megabyte, not per record.
+const RECOVERY_BUF_BYTES: usize = 256 * 1024;
 
 /// When the log file is flushed to stable storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -209,12 +212,12 @@ pub fn decode_record(buf: &[u8]) -> Result<(StoredRecord, usize), RecordError> {
     if crc32(payload) != crc {
         return Err(RecordError::BadChecksum);
     }
-    let record = parse_payload(payload)?;
+    let record = parse_payload(payload.to_vec())?;
     Ok((record, RECORD_HEADER_LEN + payload_len))
 }
 
-fn parse_payload(payload: &[u8]) -> Result<StoredRecord, RecordError> {
-    let mut buf = payload;
+fn parse_payload(mut payload: Vec<u8>) -> Result<StoredRecord, RecordError> {
+    let mut buf = payload.as_slice();
     let document = get_str(&mut buf).map_err(RecordError::Payload)?;
     let epoch = get_u64(&mut buf).map_err(RecordError::Payload)?;
     // The rest of the payload *is* the deliver body; it must at least hold
@@ -222,10 +225,15 @@ fn parse_payload(payload: &[u8]) -> Result<StoredRecord, RecordError> {
     if buf.remaining() < CONTAINER_OFFSET {
         return Err(RecordError::Payload(WireError::Truncated));
     }
+    // Slide the body to the front of the allocation we already own
+    // instead of copying it out — recovery replays every retained byte
+    // through here, so the copy it saves is per-record.
+    let offset = payload.len() - buf.len();
+    payload.drain(..offset);
     Ok(StoredRecord {
         document,
         epoch,
-        deliver_body: buf.to_vec(),
+        deliver_body: payload,
     })
 }
 
@@ -386,14 +394,17 @@ impl RetentionStore {
         let scan_start = Instant::now();
         let file_len = file.metadata()?.len();
         file.seek(SeekFrom::Start(0))?;
-        let mut reader = BufReader::new(&file);
+        // A wide buffer keeps the scan syscall-bound per *chunk*, not per
+        // record — recovery reads the whole log exactly once, so the
+        // buffer is cheap and short-lived.
+        let mut reader = BufReader::with_capacity(RECOVERY_BUF_BYTES, &file);
         let mut good_offset = 0u64;
         loop {
             match read_one_record(&mut reader)? {
                 ScanOutcome::CleanEof => break,
                 ScanOutcome::Torn => break,
                 ScanOutcome::Record(record, consumed) => {
-                    let Some((summary, body)) = deliver_summary(&record) else {
+                    let Some((summary, body)) = deliver_summary(record) else {
                         // CRC-valid but semantically wrong (not a Deliver
                         // of the named doc/epoch): treat as corruption —
                         // the prefix before it is still the longest prefix
@@ -728,7 +739,7 @@ fn read_one_record(r: &mut impl Read) -> io::Result<ScanOutcome> {
     if crc32(&payload) != crc {
         return Ok(ScanOutcome::Torn);
     }
-    match parse_payload(&payload) {
+    match parse_payload(payload) {
         Ok(record) => Ok(ScanOutcome::Record(record, RECORD_HEADER_LEN + payload_len)),
         Err(_) => Ok(ScanOutcome::Torn),
     }
@@ -751,7 +762,7 @@ fn read_fully(r: &mut impl Read, buf: &mut [u8]) -> io::Result<usize> {
 /// Validates that a recovered record's body is a strict `Deliver` frame of
 /// the document and epoch the record header names, and rebuilds the public
 /// summary from it. `None` marks the record corrupt.
-fn deliver_summary(record: &StoredRecord) -> Option<(ConfigSummary, Arc<Vec<u8>>)> {
+fn deliver_summary(record: StoredRecord) -> Option<(ConfigSummary, Arc<Vec<u8>>)> {
     let Ok(Frame::Deliver(container)) = Frame::decode(&record.deliver_body) else {
         return None;
     };
@@ -764,7 +775,9 @@ fn deliver_summary(record: &StoredRecord) -> Option<(ConfigSummary, Arc<Vec<u8>>
         config_ids: container.groups.iter().map(|g| g.config_id).collect(),
         size_bytes: (record.deliver_body.len() - CONTAINER_OFFSET) as u64,
     };
-    Some((summary, Arc::new(record.deliver_body.clone())))
+    // The record is consumed, so the body Vec moves into its Arc — no
+    // copy on the recovery path.
+    Some((summary, Arc::new(record.deliver_body)))
 }
 
 impl From<RecordError> for NetError {
