@@ -1,8 +1,9 @@
 //! Criterion ablation: substrate costs — group exponentiation on both
 //! backends (fixed-base comb/table, variable-base wNAF/sliding-window,
 //! Straus double exponentiation, and the naive double-and-add baselines
-//! they replaced), Pedersen commitments, Schnorr verification, hashing
-//! and AES-CTR throughput.
+//! they replaced), Pippenger multi-scalar multiplication, Pedersen
+//! commitments, Schnorr verification (individual and batched RLC),
+//! hashing and AES-CTR throughput.
 //!
 //! The machine-readable counterpart (`BENCH_group_ops.json`, tracked in
 //! the repository per PR) is produced by `reproduce bench-json`.
@@ -11,7 +12,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pbcd_bench::bench_rng;
 use pbcd_commit::Pedersen;
 use pbcd_crypto::{ctr_encrypt, sha1, sha256, NONCE_LEN};
-use pbcd_group::{CyclicGroup, ModpGroup, P256Group, SigningKey};
+use pbcd_group::{challenge, verify_batch, CyclicGroup, ModpGroup, P256Group, SigningKey};
 
 fn bench_group_exponentiation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_group_exp");
@@ -97,11 +98,66 @@ fn bench_schnorr(c: &mut Criterion) {
     // The pre-PR verify recomputed R' as two independent naive ladders.
     group.bench_function("verify_p256_naive_exps", |b| {
         b.iter(|| {
+            let e = challenge(&g, &sig.big_r, msg);
             g.div(
                 &g.exp_naive(&g.generator(), &sig.s.to_uint()),
-                &g.exp_naive(vk.element(), &sig.e.to_uint()),
-            )
+                &g.exp_naive(vk.element(), &e.to_uint()),
+            ) == sig.big_r
         })
+    });
+    group.finish();
+}
+
+fn bench_msm_and_batch_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_msm_batch");
+    group.sample_size(10);
+    let g = P256Group::new();
+    let mut rng = bench_rng();
+    // Pippenger bucket MSM vs the per-element exp/op composition it
+    // replaces (the `CyclicGroup::msm` trait default).
+    for n in [8usize, 64] {
+        let terms: Vec<_> = (0..n)
+            .map(|_| {
+                (
+                    g.exp_g(&g.random_scalar(&mut rng)),
+                    g.random_scalar(&mut rng),
+                )
+            })
+            .collect();
+        group.bench_function(format!("p256_msm_{n}"), |b| b.iter(|| g.msm(&terms)));
+        group.bench_function(format!("p256_msm_{n}_per_element"), |b| {
+            b.iter(|| {
+                terms
+                    .iter()
+                    .fold(g.identity(), |acc, (base, k)| g.op(&acc, &g.exp(base, k)))
+            })
+        });
+    }
+    // One random-linear-combination Schnorr check over a cohort vs n
+    // individual double-exponentiation verifies.
+    let n = 16usize;
+    let keys: Vec<_> = (0..n).map(|_| SigningKey::generate(&g, &mut rng)).collect();
+    let msgs: Vec<Vec<u8>> = (0..n)
+        .map(|i| format!("identity token #{i}").into_bytes())
+        .collect();
+    let sigs: Vec<_> = keys
+        .iter()
+        .zip(&msgs)
+        .map(|(key, m)| key.sign(&g, &mut rng, m))
+        .collect();
+    let vks: Vec<_> = keys.iter().map(SigningKey::verifying_key).collect();
+    let items: Vec<_> = vks
+        .iter()
+        .zip(&msgs)
+        .zip(&sigs)
+        .map(|((vk, m), s)| (vk, m.as_slice(), s))
+        .collect();
+    assert!(verify_batch(&g, &items));
+    group.bench_function("p256_schnorr_verify_batch_16", |b| {
+        b.iter(|| verify_batch(&g, &items))
+    });
+    group.bench_function("p256_schnorr_verify_16_individually", |b| {
+        b.iter(|| items.iter().all(|(vk, m, s)| vk.verify(&g, m, s)))
     });
     group.finish();
 }
@@ -125,6 +181,7 @@ criterion_group!(
     bench_group_exponentiation,
     bench_pedersen,
     bench_schnorr,
+    bench_msm_and_batch_verify,
     bench_symmetric
 );
 criterion_main!(benches);

@@ -11,17 +11,18 @@
 //! 1000, 25%–100% fills).
 //!
 //! `bench-json` measures the group-arithmetic substrate (fixed-base,
-//! wNAF/window, Straus, Pedersen, Schnorr — optimized *and* naive
-//! baselines) and writes `BENCH_group_ops.json` (`op → ns/iter`) to the
-//! current directory, so the perf trajectory is tracked in-repo per PR —
-//! and the network plane (broker fan-out publish latency incl. a stalled
-//! subscriber, serialized vs concurrent registration throughput) into
-//! `BENCH_net.json`. It is **not** part of `all`: the JSONs are committed
+//! wNAF/window, Straus, Pippenger MSM, Pedersen, Schnorr incl. batched
+//! RLC verification — optimized *and* naive baselines) and writes
+//! `BENCH_group_ops.json` (`op → ns/iter`) to the current directory, so
+//! the perf trajectory is tracked in-repo per PR — and the network plane
+//! (broker fan-out publish latency incl. a stalled subscriber, serialized
+//! vs concurrent vs batched registration throughput, first-request
+//! latency) into `BENCH_net.json`. It is **not** part of `all`: the JSONs are committed
 //! deliberately, from a full (non-quick) run.
 
 use pbcd_bench::{bench_rng, eq_steps, ge_round, ge_steps, gkm_workload, ms, print_row, time_avg};
 use pbcd_gkm::{AcvBgkm, MarkerGkm, SecureLockGkm, ShardedAcvBgkm, SimplisticGkm};
-use pbcd_group::{CyclicGroup, ModpGroup, P256Group, SigningKey};
+use pbcd_group::{challenge, verify_batch, CyclicGroup, ModpGroup, P256Group, SigningKey};
 use pbcd_math::FpCtx;
 use std::time::{Duration, Instant};
 
@@ -491,6 +492,61 @@ fn bench_net_json(opts: &Opts) {
         ));
     }
 
+    // --- batched registration: one RegisterBatch frame vs n single
+    // round-trips over the same connection, same service, same proofs ---
+    {
+        let batch_n = 16usize;
+        let rounds = if opts.quick { 1 } else { 6 };
+        let (service, batch_req, singles) = pbcd_bench::registration_batch_workload(batch_n);
+        let shared = Arc::new(SharedPublisherService::new(service));
+        shared.reseed(1);
+        let handler = Arc::clone(&shared);
+        let server = RegistrationServer::bind_concurrent("127.0.0.1:0", move |req: &[u8]| {
+            handler.handle(req)
+        })
+        .expect("bind concurrent");
+        let mut client =
+            pbcd_net::RegistrationClient::connect(server.addr()).expect("connect batch client");
+        // First response end-to-end from a fresh connection: with the
+        // warm-up hook the comb tables are already built at bind time, so
+        // this is pure protocol latency, not table construction.
+        let t = Instant::now();
+        let first = client.call(&singles[0]).expect("first call");
+        let first_request = t.elapsed();
+        assert!(!first.is_empty());
+        // Warm the remaining per-thread state once, untimed.
+        client.call(&batch_req).expect("warm batch");
+        let t = Instant::now();
+        for _ in 0..rounds {
+            for request in &singles {
+                let response = client.call(request).expect("single call");
+                assert!(!response.is_empty());
+            }
+        }
+        let sequential = t.elapsed();
+        let t = Instant::now();
+        for _ in 0..rounds {
+            let response = client.call(&batch_req).expect("batch call");
+            assert!(!response.is_empty());
+        }
+        let batched = t.elapsed();
+        server.shutdown();
+        let ops = (batch_n * rounds) as f64;
+        let seq_rps = ops / sequential.as_secs_f64();
+        let bat_rps = ops / batched.as_secs_f64();
+        println!(
+            "registration batch={batch_n}: sequential {seq_rps:>8.0} ops/s, batched {bat_rps:>8.0} ops/s ({:.2}x), first request {:>10.0} ns",
+            bat_rps / seq_rps,
+            ns(first_request)
+        );
+        entries.push((
+            format!("registration_batch_sequential_{batch_n}_ops_per_s"),
+            seq_rps,
+        ));
+        entries.push((format!("registration_batch_{batch_n}_ops_per_s"), bat_rps));
+        entries.push(("registration_first_request_ns".into(), ns(first_request)));
+    }
+
     // --- relay overlay: tree dissemination latency ---
     // A 1-origin/4-edge tree serving the same total subscriber count as
     // the flat fan-out above (`fanout_{subs}_all_delivered_ns` is the
@@ -779,12 +835,76 @@ fn bench_json(opts: &Opts) {
             &mut ops,
             "p256_schnorr_verify_naive",
             time_avg(rounds, || {
+                let e = challenge(&p256, &sig.big_r, msg);
                 p256.div(
                     &p256.exp_naive(&gen, &sig.s.to_uint()),
-                    &p256.exp_naive(vk.element(), &sig.e.to_uint()),
-                )
+                    &p256.exp_naive(vk.element(), &e.to_uint()),
+                ) == sig.big_r
             }),
         );
+        // Pippenger MSM vs the per-element exp/op composition it replaces
+        // (the `CyclicGroup::msm` trait default).
+        for n in [8usize, 64, 256] {
+            let terms: Vec<_> = (0..n)
+                .map(|_| {
+                    let pt = p256.exp_g(&p256.random_scalar(&mut rng));
+                    (pt, p256.random_scalar(&mut rng))
+                })
+                .collect();
+            let per_element = || {
+                terms.iter().fold(p256.identity(), |acc, (b, k)| {
+                    p256.op(&acc, &p256.exp(b, k))
+                })
+            };
+            assert_eq!(p256.msm(&terms), per_element());
+            let msm_rounds = if opts.quick { 1 } else { (2048 / n).max(4) };
+            push(
+                &mut ops,
+                &format!("p256_msm_{n}"),
+                time_avg(msm_rounds, || p256.msm(&terms)),
+            );
+            push(
+                &mut ops,
+                &format!("p256_msm_{n}_naive"),
+                time_avg(msm_rounds, per_element),
+            );
+        }
+        // Batch Schnorr verification (one RLC collapsed to one MSM) vs n
+        // individual double-exponentiation verifies.
+        for n in [16usize, 64] {
+            let keys: Vec<_> = (0..n)
+                .map(|_| SigningKey::generate(&p256, &mut rng))
+                .collect();
+            let msgs: Vec<Vec<u8>> = (0..n)
+                .map(|i| format!("identity token #{i}").into_bytes())
+                .collect();
+            let sigs: Vec<_> = keys
+                .iter()
+                .zip(&msgs)
+                .map(|(key, m)| key.sign(&p256, &mut rng, m))
+                .collect();
+            let vks: Vec<_> = keys.iter().map(SigningKey::verifying_key).collect();
+            let items: Vec<_> = vks
+                .iter()
+                .zip(&msgs)
+                .zip(&sigs)
+                .map(|((vk, m), s)| (vk, m.as_slice(), s))
+                .collect();
+            assert!(verify_batch(&p256, &items));
+            let vb_rounds = if opts.quick { 1 } else { (1024 / n).max(4) };
+            push(
+                &mut ops,
+                &format!("p256_schnorr_verify_batch_{n}"),
+                time_avg(vb_rounds, || verify_batch(&p256, &items)),
+            );
+            push(
+                &mut ops,
+                &format!("p256_schnorr_verify_batch_{n}_naive"),
+                time_avg(vb_rounds, || {
+                    items.iter().all(|(vk, m, s)| vk.verify(&p256, m, s))
+                }),
+            );
+        }
     }
     {
         let modp = ModpGroup::new();
@@ -865,6 +985,19 @@ fn bench_json(opts: &Opts) {
             "p256_schnorr_verify",
             "p256_schnorr_verify",
             "p256_schnorr_verify_naive",
+        ),
+        ("p256_msm_8", "p256_msm_8", "p256_msm_8_naive"),
+        ("p256_msm_64", "p256_msm_64", "p256_msm_64_naive"),
+        ("p256_msm_256", "p256_msm_256", "p256_msm_256_naive"),
+        (
+            "schnorr_verify_batch_16",
+            "p256_schnorr_verify_batch_16",
+            "p256_schnorr_verify_batch_16_naive",
+        ),
+        (
+            "schnorr_verify_batch_64",
+            "p256_schnorr_verify_batch_64",
+            "p256_schnorr_verify_batch_64_naive",
         ),
         ("modp_exp_g", "modp_exp_g_fixed", "modp_exp_g_naive"),
         ("modp_exp_var", "modp_exp_var_window", "modp_exp_var_naive"),

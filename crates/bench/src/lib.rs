@@ -410,6 +410,36 @@ pub fn registration_workload(n: usize) -> (pbcd_core::PublisherService<P256Group
     (PublisherService::new(publisher, 1), requests)
 }
 
+/// A batched-registration workload: the same `n` distinct-subscriber EQ
+/// registrations as [`registration_workload`], returned both as one
+/// `RegisterBatch` frame and as the `n` individual `Register` frames, so a
+/// bench can price the round-trip amortization directly (same service,
+/// same proofs, same verification work — only the framing differs).
+pub fn registration_batch_workload(
+    n: usize,
+) -> (
+    pbcd_core::PublisherService<P256Group>,
+    Vec<u8>,
+    Vec<Vec<u8>>,
+) {
+    use pbcd_core::proto::Request;
+    let (service, singles) = registration_workload(n);
+    let group = P256Group::new();
+    let items = singles
+        .iter()
+        .map(
+            |bytes| match Request::decode(&group, bytes).expect("single decodes") {
+                Request::Register(item) => item,
+                other => panic!("expected Register, got {other:?}"),
+            },
+        )
+        .collect();
+    let batch = Request::RegisterBatch(items)
+        .encode(&group)
+        .expect("batch encodes");
+    (service, batch, singles)
+}
+
 /// Drives one client thread per request against a registration endpoint,
 /// `calls` round-trips each, all connections in flight at once.
 pub fn run_registration_clients(addr: std::net::SocketAddr, requests: &[Vec<u8>], calls: usize) {

@@ -61,7 +61,7 @@ impl<G: CyclicGroup> IdentityManager<G> {
     /// subscriber and then forgets.
     pub fn issue_token<R: RngCore + ?Sized>(
         &mut self,
-        assertion: &AttributeAssertion,
+        assertion: &AttributeAssertion<G>,
         idp_key: &VerifyingKey<G>,
         rng: &mut R,
     ) -> Result<(IdentityToken<G>, Opening), PbcdError> {

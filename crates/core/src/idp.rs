@@ -8,8 +8,7 @@ use pbcd_group::{CyclicGroup, Signature, SigningKey, VerifyingKey};
 use rand::RngCore;
 
 /// A signed statement "`subject`'s `attribute` has `value`".
-#[derive(Clone, Debug)]
-pub struct AttributeAssertion {
+pub struct AttributeAssertion<G: CyclicGroup> {
     /// The real-world subject identifier (only the IdMgr sees this).
     pub subject: String,
     /// Attribute name.
@@ -17,7 +16,30 @@ pub struct AttributeAssertion {
     /// Attribute value (integer-encoded).
     pub value: u64,
     /// IdP signature.
-    pub signature: Signature,
+    pub signature: Signature<G>,
+}
+
+// Manual impls: a derive would wrongly require `G: Clone + Debug` even
+// though only the signature's element type matters.
+impl<G: CyclicGroup> Clone for AttributeAssertion<G> {
+    fn clone(&self) -> Self {
+        Self {
+            subject: self.subject.clone(),
+            attribute: self.attribute.clone(),
+            value: self.value,
+            signature: self.signature.clone(),
+        }
+    }
+}
+
+impl<G: CyclicGroup> core::fmt::Debug for AttributeAssertion<G> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "AttributeAssertion(subject={}, attribute={}, value={})",
+            self.subject, self.attribute, self.value
+        )
+    }
 }
 
 /// An identity provider with a Schnorr signing key.
@@ -54,7 +76,7 @@ impl<G: CyclicGroup> IdentityProvider<G> {
         attribute: &str,
         value: u64,
         rng: &mut R,
-    ) -> AttributeAssertion {
+    ) -> AttributeAssertion<G> {
         let payload = assertion_payload(subject, attribute, value);
         AttributeAssertion {
             subject: subject.to_string(),
@@ -77,9 +99,9 @@ pub fn assertion_payload(subject: &str, attribute: &str, value: u64) -> Vec<u8> 
     payload
 }
 
-impl AttributeAssertion {
+impl<G: CyclicGroup> AttributeAssertion<G> {
     /// Verifies against the issuing IdP's key.
-    pub fn verify<G: CyclicGroup>(&self, group: &G, idp_key: &VerifyingKey<G>) -> bool {
+    pub fn verify(&self, group: &G, idp_key: &VerifyingKey<G>) -> bool {
         let payload = assertion_payload(&self.subject, &self.attribute, self.value);
         idp_key.verify(group, &payload, &self.signature)
     }

@@ -53,6 +53,8 @@ pub use service::{
     ConditionsSnapshot, IssueVerifier, IssuerService, PublisherService, ServiceStats,
     SharedPublisherService,
 };
-pub use session::{PendingRegistration, RegistrationSession};
+pub use session::{
+    BatchRegistrationSession, PendingBatchRegistration, PendingRegistration, RegistrationSession,
+};
 pub use subscriber::Subscriber;
 pub use token::IdentityToken;

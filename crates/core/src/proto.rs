@@ -39,11 +39,21 @@ const KIND_CONDITIONS_QUERY: u8 = 1;
 const KIND_REGISTER_REQUEST: u8 = 2;
 const KIND_ISSUE_REQUEST: u8 = 3;
 const KIND_STATS_QUERY: u8 = 4;
+const KIND_REGISTER_BATCH_REQUEST: u8 = 5;
+const KIND_ISSUE_BATCH_REQUEST: u8 = 6;
 const KIND_CONDITIONS: u8 = 16;
 const KIND_REGISTER_RESPONSE: u8 = 17;
 const KIND_ISSUE_RESPONSE: u8 = 18;
 const KIND_STATS: u8 = 19;
+const KIND_REGISTER_BATCH_RESPONSE: u8 = 20;
+const KIND_ISSUE_BATCH_RESPONSE: u8 = 21;
 const KIND_ERROR: u8 = 31;
+
+/// Most items one batch request may carry. Bounds the work a single
+/// message can demand (a full register batch is ~64 envelope
+/// compositions) while still amortizing the per-request costs the batch
+/// endpoints exist for.
+pub const MAX_BATCH_ITEMS: usize = 64;
 
 /// Typed error codes carried by [`ErrorResponse`] — the wire projection of
 /// the service-side failure cases, deliberately coarse so a response never
@@ -184,8 +194,17 @@ pub enum Request<G: CyclicGroup> {
     },
     /// Oblivious CSS registration.
     Register(RegisterRequest<G>),
+    /// A cohort of registrations in one message (at most
+    /// [`MAX_BATCH_ITEMS`]): the service authenticates every token with a
+    /// single batched Schnorr check and amortizes the per-request
+    /// transport, lock and RNG costs across the cohort. Outcomes are per
+    /// item.
+    RegisterBatch(Vec<RegisterRequest<G>>),
     /// Token issuance.
     Issue(IssueRequest),
+    /// A cohort of token issuances in one message (at most
+    /// [`MAX_BATCH_ITEMS`]); outcomes are per item.
+    IssueBatch(Vec<IssueRequest>),
     /// Ask the endpoint for its telemetry exposition. Carries nothing;
     /// the reply is aggregates only (the same threat model as the broker's
     /// stats frame: never token material, attribute values or envelopes).
@@ -198,8 +217,15 @@ pub enum Response<G: CyclicGroup> {
     Conditions(ConditionsInfo),
     /// Reply to [`Request::Register`].
     Register(RegisterResponse<G>),
+    /// Reply to [`Request::RegisterBatch`]: one outcome per requested
+    /// item, in order — a rejected item carries its typed error without
+    /// failing the cohort.
+    RegisterBatch(Vec<Result<RegisterResponse<G>, ErrorResponse>>),
     /// Reply to [`Request::Issue`].
     Issue(IssueResponse<G>),
+    /// Reply to [`Request::IssueBatch`]: one outcome per requested item,
+    /// in order.
+    IssueBatch(Vec<Result<IssueResponse<G>, ErrorResponse>>),
     /// Reply to [`Request::Stats`]: the text exposition of the endpoint's
     /// metrics registry.
     Stats {
@@ -297,7 +323,8 @@ fn put_token<G: CyclicGroup>(
     wire::put_str(buf, &token.nym)?;
     wire::put_str(buf, &token.id_tag)?;
     put_elem(buf, group, token.commitment.element())?;
-    put_scalar(buf, &token.signature.e);
+    // (R, s) Schnorr signature: nonce-commitment point plus response scalar.
+    put_elem(buf, group, &token.signature.big_r)?;
     put_scalar(buf, &token.signature.s);
     Ok(())
 }
@@ -306,13 +333,13 @@ fn get_token<G: CyclicGroup>(buf: &mut impl Buf, group: &G) -> Result<IdentityTo
     let nym = wire::get_str(buf)?;
     let id_tag = wire::get_str(buf)?;
     let commitment = Commitment::from_element(get_elem(buf, group)?);
-    let e = get_scalar(buf, group)?;
+    let big_r = get_elem(buf, group)?;
     let s = get_scalar(buf, group)?;
     Ok(IdentityToken {
         nym,
         id_tag,
         commitment,
-        signature: Signature { e, s },
+        signature: Signature { big_r, s },
     })
 }
 
@@ -508,6 +535,87 @@ fn get_envelope<G: CyclicGroup>(buf: &mut impl Buf, group: &G) -> Result<Envelop
     }
 }
 
+fn put_register_item<G: CyclicGroup>(
+    buf: &mut impl BufMut,
+    group: &G,
+    item: &RegisterRequest<G>,
+) -> Result<(), WireError> {
+    put_token(buf, group, &item.token)?;
+    put_condition(buf, &item.cond)?;
+    put_proof(buf, group, &item.proof)
+}
+
+fn get_register_item<G: CyclicGroup>(
+    buf: &mut impl Buf,
+    group: &G,
+) -> Result<RegisterRequest<G>, WireError> {
+    let token = get_token(buf, group)?;
+    let cond = get_condition(buf)?;
+    let proof = get_proof(buf, group)?;
+    Ok(RegisterRequest { token, cond, proof })
+}
+
+/// Strict batch count: `u16`, at most [`MAX_BATCH_ITEMS`].
+fn get_batch_count(buf: &mut impl Buf) -> Result<usize, WireError> {
+    if buf.remaining() < 2 {
+        return Err(WireError::Truncated);
+    }
+    let count = buf.get_u16() as usize;
+    if count > MAX_BATCH_ITEMS {
+        return Err(WireError::FieldTooLong(count));
+    }
+    Ok(count)
+}
+
+fn put_batch_count(buf: &mut impl BufMut, count: usize) -> Result<(), WireError> {
+    if count > MAX_BATCH_ITEMS {
+        return Err(WireError::FieldTooLong(count));
+    }
+    buf.put_u16(count as u16);
+    Ok(())
+}
+
+fn put_error(buf: &mut impl BufMut, e: &ErrorResponse) -> Result<(), WireError> {
+    buf.put_u8(e.code.code());
+    wire::put_str(buf, &e.message)
+}
+
+fn get_error(buf: &mut impl Buf) -> Result<ErrorResponse, WireError> {
+    let code = ErrorCode::from_code(wire::get_u8(buf)?)?;
+    let message = wire::get_str(buf)?;
+    Ok(ErrorResponse { code, message })
+}
+
+/// One batch-response item: tag byte `0` = success payload, `1` = typed
+/// per-item error.
+fn put_batch_result<T>(
+    buf: &mut Vec<u8>,
+    result: &Result<T, ErrorResponse>,
+    put_ok: impl FnOnce(&mut Vec<u8>, &T) -> Result<(), WireError>,
+) -> Result<(), WireError> {
+    match result {
+        Ok(v) => {
+            buf.put_u8(0);
+            put_ok(buf, v)
+        }
+        Err(e) => {
+            buf.put_u8(1);
+            put_error(buf, e)
+        }
+    }
+}
+
+fn get_batch_result<T>(
+    buf: &mut &[u8],
+    get_ok: impl FnOnce(&mut &[u8]) -> Result<T, WireError>,
+) -> Result<Result<T, ErrorResponse>, WireError> {
+    match wire::get_u8(buf)? {
+        0 => Ok(Ok(get_ok(buf)?)),
+        1 => Ok(Err(get_error(buf)?)),
+        _ => Err(WireError::InvalidValue),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Message codecs
 // ---------------------------------------------------------------------------
@@ -561,15 +669,29 @@ impl<G: CyclicGroup> Request<G> {
             }
             Self::Register(r) => {
                 buf = header(KIND_REGISTER_REQUEST);
-                put_token(&mut buf, group, &r.token)?;
-                put_condition(&mut buf, &r.cond)?;
-                put_proof(&mut buf, group, &r.proof)?;
+                put_register_item(&mut buf, group, r)?;
+            }
+            Self::RegisterBatch(items) => {
+                buf = header(KIND_REGISTER_BATCH_REQUEST);
+                put_batch_count(&mut buf, items.len())?;
+                for item in items {
+                    put_register_item(&mut buf, group, item)?;
+                }
             }
             Self::Issue(r) => {
                 buf = header(KIND_ISSUE_REQUEST);
                 wire::put_str(&mut buf, &r.subject)?;
                 wire::put_str(&mut buf, &r.attribute)?;
                 buf.put_u64(r.value);
+            }
+            Self::IssueBatch(items) => {
+                buf = header(KIND_ISSUE_BATCH_REQUEST);
+                put_batch_count(&mut buf, items.len())?;
+                for item in items {
+                    wire::put_str(&mut buf, &item.subject)?;
+                    wire::put_str(&mut buf, &item.attribute)?;
+                    buf.put_u64(item.value);
+                }
             }
             Self::Stats => {
                 buf = header(KIND_STATS_QUERY);
@@ -593,11 +715,14 @@ impl<G: CyclicGroup> Request<G> {
                 };
                 Self::ConditionsQuery { attribute }
             }
-            KIND_REGISTER_REQUEST => {
-                let token = get_token(&mut buf, group)?;
-                let cond = get_condition(&mut buf)?;
-                let proof = get_proof(&mut buf, group)?;
-                Self::Register(RegisterRequest { token, cond, proof })
+            KIND_REGISTER_REQUEST => Self::Register(get_register_item(&mut buf, group)?),
+            KIND_REGISTER_BATCH_REQUEST => {
+                let count = get_batch_count(&mut buf)?;
+                let mut items = Vec::with_capacity(count);
+                for _ in 0..count {
+                    items.push(get_register_item(&mut buf, group)?);
+                }
+                Self::RegisterBatch(items)
             }
             KIND_ISSUE_REQUEST => {
                 let subject = wire::get_str(&mut buf)?;
@@ -608,6 +733,21 @@ impl<G: CyclicGroup> Request<G> {
                     attribute,
                     value,
                 })
+            }
+            KIND_ISSUE_BATCH_REQUEST => {
+                let count = get_batch_count(&mut buf)?;
+                let mut items = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let subject = wire::get_str(&mut buf)?;
+                    let attribute = wire::get_str(&mut buf)?;
+                    let value = wire::get_u64(&mut buf)?;
+                    items.push(IssueRequest {
+                        subject,
+                        attribute,
+                        value,
+                    });
+                }
+                Self::IssueBatch(items)
             }
             KIND_STATS_QUERY => Self::Stats,
             _ => return Err(WireError::BadHeader),
@@ -636,10 +776,30 @@ impl<G: CyclicGroup> Response<G> {
                 buf = header(KIND_REGISTER_RESPONSE);
                 put_envelope(&mut buf, group, &r.envelope)?;
             }
+            Self::RegisterBatch(results) => {
+                buf = header(KIND_REGISTER_BATCH_RESPONSE);
+                put_batch_count(&mut buf, results.len())?;
+                for result in results {
+                    put_batch_result(&mut buf, result, |buf, r| {
+                        put_envelope(buf, group, &r.envelope)
+                    })?;
+                }
+            }
             Self::Issue(r) => {
                 buf = header(KIND_ISSUE_RESPONSE);
                 put_token(&mut buf, group, &r.token)?;
                 put_opening(&mut buf, &r.opening);
+            }
+            Self::IssueBatch(results) => {
+                buf = header(KIND_ISSUE_BATCH_RESPONSE);
+                put_batch_count(&mut buf, results.len())?;
+                for result in results {
+                    put_batch_result(&mut buf, result, |buf, r| {
+                        put_token(buf, group, &r.token)?;
+                        put_opening(buf, &r.opening);
+                        Ok(())
+                    })?;
+                }
             }
             Self::Stats { text } => {
                 buf = header(KIND_STATS);
@@ -681,10 +841,34 @@ impl<G: CyclicGroup> Response<G> {
             KIND_REGISTER_RESPONSE => Self::Register(RegisterResponse {
                 envelope: get_envelope(&mut buf, group)?,
             }),
+            KIND_REGISTER_BATCH_RESPONSE => {
+                let count = get_batch_count(&mut buf)?;
+                let mut results = Vec::with_capacity(count);
+                for _ in 0..count {
+                    results.push(get_batch_result(&mut buf, |buf| {
+                        Ok(RegisterResponse {
+                            envelope: get_envelope(buf, group)?,
+                        })
+                    })?);
+                }
+                Self::RegisterBatch(results)
+            }
             KIND_ISSUE_RESPONSE => {
                 let token = get_token(&mut buf, group)?;
                 let opening = get_opening(&mut buf, group)?;
                 Self::Issue(IssueResponse { token, opening })
+            }
+            KIND_ISSUE_BATCH_RESPONSE => {
+                let count = get_batch_count(&mut buf)?;
+                let mut results = Vec::with_capacity(count);
+                for _ in 0..count {
+                    results.push(get_batch_result(&mut buf, |buf| {
+                        let token = get_token(buf, group)?;
+                        let opening = get_opening(buf, group)?;
+                        Ok(IssueResponse { token, opening })
+                    })?);
+                }
+                Self::IssueBatch(results)
             }
             KIND_STATS => Self::Stats {
                 text: wire::get_str(&mut buf)?,
@@ -709,9 +893,12 @@ pub fn is_error_response(data: &[u8]) -> bool {
 }
 
 /// True iff `data` carries a well-formed header with the
-/// registration-request kind (payload not inspected).
+/// registration-request kind — single or batch (payload not inspected).
 pub fn is_register_request(data: &[u8]) -> bool {
-    matches!(open_header(data), Ok((KIND_REGISTER_REQUEST, _)))
+    matches!(
+        open_header(data),
+        Ok((KIND_REGISTER_REQUEST | KIND_REGISTER_BATCH_REQUEST, _))
+    )
 }
 
 /// True iff `data` is a well-formed **full** conditions query
@@ -738,7 +925,9 @@ pub fn request_kind_label(data: &[u8]) -> &'static str {
     match open_header(data) {
         Ok((KIND_CONDITIONS_QUERY, _)) => "conditions",
         Ok((KIND_REGISTER_REQUEST, _)) => "register",
+        Ok((KIND_REGISTER_BATCH_REQUEST, _)) => "register_batch",
         Ok((KIND_ISSUE_REQUEST, _)) => "issue",
+        Ok((KIND_ISSUE_BATCH_REQUEST, _)) => "issue_batch",
         Ok((KIND_STATS_QUERY, _)) => "stats",
         _ => "malformed",
     }
@@ -772,7 +961,9 @@ impl<G: CyclicGroup> core::fmt::Debug for Request<G> {
                 "Register(token={:?}, cond={}, proof={:?})",
                 r.token, r.cond, r.proof
             ),
+            Self::RegisterBatch(items) => write!(f, "RegisterBatch({} items)", items.len()),
             Self::Issue(r) => write!(f, "Issue({}/{})", r.subject, r.attribute),
+            Self::IssueBatch(items) => write!(f, "IssueBatch({} items)", items.len()),
             Self::Stats => write!(f, "Stats"),
         }
     }
@@ -789,7 +980,19 @@ impl<G: CyclicGroup> core::fmt::Debug for Response<G> {
                 info.conditions.len()
             ),
             Self::Register(r) => write!(f, "Register({:?})", r.envelope),
+            Self::RegisterBatch(results) => write!(
+                f,
+                "RegisterBatch({} ok / {} items)",
+                results.iter().filter(|r| r.is_ok()).count(),
+                results.len()
+            ),
             Self::Issue(r) => write!(f, "Issue({:?})", r.token),
+            Self::IssueBatch(results) => write!(
+                f,
+                "IssueBatch({} ok / {} items)",
+                results.iter().filter(|r| r.is_ok()).count(),
+                results.len()
+            ),
             Self::Stats { text } => write!(f, "Stats({} bytes)", text.len()),
             Self::Error(e) => write!(f, "Error({:?}: {})", e.code, e.message),
         }

@@ -12,7 +12,7 @@ use crate::token::IdentityToken;
 use pbcd_crypto::AuthKey;
 use pbcd_docs::{segment, BroadcastContainer, Element, EncryptedGroup, EncryptedSegment};
 use pbcd_gkm::{AccessRow, AcvBgkm, BroadcastGkm, CssTable, Nym, ShardedCssTable};
-use pbcd_group::{CyclicGroup, VerifyingKey};
+use pbcd_group::{verify_batch, CyclicGroup, Signature, VerifyingKey};
 use pbcd_ocbe::{Envelope, OcbeSystem, ProofMessage};
 use pbcd_policy::{AttributeCondition, PolicyConfiguration, PolicySet};
 use rand::{RngCore, SeedableRng};
@@ -76,7 +76,9 @@ impl<G: CyclicGroup> Publisher<G> {
 }
 
 impl<G: CyclicGroup, K: BroadcastGkm> Publisher<G, K> {
-    /// Creates a publisher over an explicit GKM scheme.
+    /// Creates a publisher over an explicit GKM scheme. Warms the group's
+    /// fixed-base tables eagerly, so the first registration request served
+    /// by this publisher does not pay comb-construction latency.
     pub fn with_gkm(
         group: G,
         idmgr_key: VerifyingKey<G>,
@@ -84,6 +86,7 @@ impl<G: CyclicGroup, K: BroadcastGkm> Publisher<G, K> {
         config: PublisherConfig,
         gkm: K,
     ) -> Self {
+        group.warm_up();
         Self {
             ocbe: OcbeSystem::new(group, config.ell),
             idmgr_key,
@@ -180,6 +183,25 @@ impl<G: CyclicGroup, K: BroadcastGkm> Publisher<G, K> {
             token,
             cond,
             proof,
+            rng,
+        )
+    }
+
+    /// Cohort registration: like [`Self::register`] for every item of the
+    /// batch, but token authentication costs **one** batched Schnorr check
+    /// for the whole cohort instead of one double exponentiation per item.
+    /// Outcomes are per item: a bad item costs only itself.
+    pub fn register_batch<R: RngCore + ?Sized>(
+        &mut self,
+        items: &[(IdentityToken<G>, AttributeCondition, ProofMessage<G>)],
+        rng: &mut R,
+    ) -> Vec<Result<Envelope<G>, PbcdError>> {
+        register_batch_inner(
+            &self.ocbe,
+            &self.idmgr_key,
+            &self.policies.distinct_conditions(),
+            &self.table,
+            items,
             rng,
         )
     }
@@ -390,6 +412,24 @@ impl<G: CyclicGroup> Registrar<G> {
             rng,
         )
     }
+
+    /// Cohort registration, identical in behaviour to
+    /// [`Publisher::register_batch`] but callable from concurrent handler
+    /// threads: one batched Schnorr check authenticates the whole cohort.
+    pub fn register_batch<R: RngCore + ?Sized>(
+        &self,
+        items: &[(IdentityToken<G>, AttributeCondition, ProofMessage<G>)],
+        rng: &mut R,
+    ) -> Vec<Result<Envelope<G>, PbcdError>> {
+        register_batch_inner(
+            &self.ocbe,
+            &self.idmgr_key,
+            &self.conditions,
+            &self.table,
+            items,
+            rng,
+        )
+    }
 }
 
 /// The single source of truth for registration (paper §V-B), shared by
@@ -407,6 +447,21 @@ fn register_inner<G: CyclicGroup, R: RngCore + ?Sized>(
     rng: &mut R,
 ) -> Result<Envelope<G>, PbcdError> {
     token.verify(ocbe.pedersen(), idmgr_key)?;
+    register_verified_inner(ocbe, conditions, table, token, cond, proof, rng)
+}
+
+/// Registration *after* token authentication: the tag/condition checks,
+/// CSS issuance and envelope composition. Split out so the batch path can
+/// substitute one batched Schnorr check for per-item verification.
+fn register_verified_inner<G: CyclicGroup, R: RngCore + ?Sized>(
+    ocbe: &OcbeSystem<G>,
+    conditions: &[AttributeCondition],
+    table: &ShardedCssTable,
+    token: &IdentityToken<G>,
+    cond: &AttributeCondition,
+    proof: &ProofMessage<G>,
+    rng: &mut R,
+) -> Result<Envelope<G>, PbcdError> {
     if token.id_tag != cond.attribute {
         return Err(PbcdError::TagMismatch {
             token_tag: token.id_tag.clone(),
@@ -421,4 +476,48 @@ fn register_inner<G: CyclicGroup, R: RngCore + ?Sized>(
     let css = table.issue(&Nym::new(&token.nym), cond, rng);
     let envelope = ocbe.sender_compose(&token.commitment, &cond.predicate(), proof, &css, rng)?;
     Ok(envelope)
+}
+
+/// Cohort registration: authenticates every token of the batch with **one**
+/// random-linear-combination Schnorr check ([`pbcd_group::verify_batch`], a
+/// single multi-scalar multiplication — and since all tokens carry the same
+/// IdMgr key, its generator and key terms collapse) before issuing CSSs and
+/// composing envelopes per item. Outcomes are per item and independent: a
+/// forged token in the cohort costs only that item (the combined check
+/// fails, and per-item verification attributes the failure), the rest
+/// register normally.
+fn register_batch_inner<G: CyclicGroup, R: RngCore + ?Sized>(
+    ocbe: &OcbeSystem<G>,
+    idmgr_key: &VerifyingKey<G>,
+    conditions: &[AttributeCondition],
+    table: &ShardedCssTable,
+    items: &[(IdentityToken<G>, AttributeCondition, ProofMessage<G>)],
+    rng: &mut R,
+) -> Vec<Result<Envelope<G>, PbcdError>> {
+    let payloads: Vec<Vec<u8>> = items
+        .iter()
+        .map(|(token, _, _)| {
+            crate::token::token_signing_payload(
+                ocbe.pedersen(),
+                &token.nym,
+                &token.id_tag,
+                &token.commitment,
+            )
+        })
+        .collect();
+    let batch: Vec<(&VerifyingKey<G>, &[u8], &Signature<G>)> = items
+        .iter()
+        .zip(&payloads)
+        .map(|((token, _, _), payload)| (idmgr_key, payload.as_slice(), &token.signature))
+        .collect();
+    let all_valid = verify_batch(ocbe.group(), &batch);
+    items
+        .iter()
+        .map(|(token, cond, proof)| {
+            if !all_valid {
+                token.verify(ocbe.pedersen(), idmgr_key)?;
+            }
+            register_verified_inner(ocbe, conditions, table, token, cond, proof, rng)
+        })
+        .collect()
 }

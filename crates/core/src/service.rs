@@ -66,6 +66,21 @@ fn error_bytes<G: CyclicGroup>(group: &G, code: ErrorCode, message: &str) -> Vec
     .expect("bounded error responses always encode")
 }
 
+/// A per-item error for batch responses — same code mapping and detail
+/// truncation as [`error_bytes`], but as a value the batch codec embeds
+/// rather than a whole response.
+fn error_item(err: &PbcdError) -> ErrorResponse {
+    let message = err.to_string();
+    let mut end = message.len().min(MAX_ERROR_DETAIL);
+    while !message.is_char_boundary(end) {
+        end -= 1;
+    }
+    ErrorResponse {
+        code: code_for(err),
+        message: message[..end].to_string(),
+    }
+}
+
 fn code_for(err: &PbcdError) -> ErrorCode {
     match err {
         PbcdError::BadTokenSignature | PbcdError::BadAssertionSignature => ErrorCode::BadToken,
@@ -93,7 +108,9 @@ struct ServiceTelemetry {
     env_dual: Counter,
     handle_conditions_ns: Histogram,
     handle_register_ns: Histogram,
+    handle_register_batch_ns: Histogram,
     handle_issue_ns: Histogram,
+    handle_issue_batch_ns: Histogram,
     handle_stats_ns: Histogram,
     handle_malformed_ns: Histogram,
     group_exp: Gauge,
@@ -116,7 +133,10 @@ impl ServiceTelemetry {
             env_dual: registry.counter("ocbe_envelopes_total{kind=\"dual\"}"),
             handle_conditions_ns: registry.histogram("service_handle_ns{kind=\"conditions\"}"),
             handle_register_ns: registry.histogram("service_handle_ns{kind=\"register\"}"),
+            handle_register_batch_ns: registry
+                .histogram("service_handle_ns{kind=\"register_batch\"}"),
             handle_issue_ns: registry.histogram("service_handle_ns{kind=\"issue\"}"),
+            handle_issue_batch_ns: registry.histogram("service_handle_ns{kind=\"issue_batch\"}"),
             handle_stats_ns: registry.histogram("service_handle_ns{kind=\"stats\"}"),
             handle_malformed_ns: registry.histogram("service_handle_ns{kind=\"malformed\"}"),
             group_exp: registry.gauge("group_exp_total"),
@@ -131,7 +151,9 @@ impl ServiceTelemetry {
         match kind {
             "conditions" => &self.handle_conditions_ns,
             "register" => &self.handle_register_ns,
+            "register_batch" => &self.handle_register_batch_ns,
             "issue" => &self.handle_issue_ns,
+            "issue_batch" => &self.handle_issue_batch_ns,
             "stats" => &self.handle_stats_ns,
             _ => &self.handle_malformed_ns,
         }
@@ -202,7 +224,23 @@ pub fn dispatch<G: CyclicGroup, K: BroadcastGkm, R: RngCore + ?Sized>(
             Ok(envelope) => Response::Register(RegisterResponse { envelope }),
             Err(e) => return error_bytes(&group, code_for(&e), &e.to_string()),
         },
-        Request::Issue(_) => {
+        Request::RegisterBatch(items) => {
+            let items: Vec<_> = items
+                .into_iter()
+                .map(|r| (r.token, r.cond, r.proof))
+                .collect();
+            Response::RegisterBatch(
+                publisher
+                    .register_batch(&items, rng)
+                    .into_iter()
+                    .map(|r| match r {
+                        Ok(envelope) => Ok(RegisterResponse { envelope }),
+                        Err(e) => Err(error_item(&e)),
+                    })
+                    .collect(),
+            )
+        }
+        Request::IssueBatch(_) | Request::Issue(_) => {
             return error_bytes(
                 &group,
                 ErrorCode::Unsupported,
@@ -403,9 +441,13 @@ pub struct SharedPublisherService<G: CyclicGroup, K: BroadcastGkm = AcvBgkm> {
     /// Read-mostly registration material; `None` = stale, rebuild on use.
     registrar: RwLock<Option<Arc<Registrar<G>>>>,
     conditions: ConditionsSnapshot,
-    /// Seed source for per-request RNGs: held only long enough to draw 8
-    /// bytes, never across an envelope composition.
+    /// Seed source for the per-thread registration RNGs: held only long
+    /// enough to draw 8 bytes, never across an envelope composition.
     rng: Mutex<StdRng>,
+    /// Identity of this service instance for the thread-local RNG cache.
+    serial: u64,
+    /// Bumped by [`Self::reseed`]; invalidates every cached per-thread RNG.
+    rng_epoch: AtomicU64,
     /// A clone of the wrapped service's telemetry: the concurrent
     /// registration path books into the same registry atomics as the
     /// exclusive path, so there is exactly one set of service counters.
@@ -420,11 +462,14 @@ impl<G: CyclicGroup, K: BroadcastGkm> SharedPublisherService<G, K> {
     pub fn new(mut service: PublisherService<G, K>) -> Self {
         let seed = service.rng.next_u64();
         let telemetry = service.telemetry.clone();
+        static SERIAL: AtomicU64 = AtomicU64::new(0);
         Self {
             inner: Mutex::new(service),
             registrar: RwLock::new(None),
             conditions: ConditionsSnapshot::new(),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            serial: SERIAL.fetch_add(1, Ordering::Relaxed),
+            rng_epoch: AtomicU64::new(0),
             telemetry,
         }
     }
@@ -440,6 +485,7 @@ impl<G: CyclicGroup, K: BroadcastGkm> SharedPublisherService<G, K> {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner) =
             StdRng::seed_from_u64(seed.wrapping_add(1));
+        self.rng_epoch.fetch_add(1, Ordering::Release);
         if let Some(bytes) = service.encode_conditions() {
             self.conditions.set(bytes);
         }
@@ -481,13 +527,7 @@ impl<G: CyclicGroup, K: BroadcastGkm> SharedPublisherService<G, K> {
         if proto::is_register_request(request) {
             let start = Instant::now();
             let registrar = self.registrar_handle();
-            let seed = self
-                .rng
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .next_u64();
-            let mut rng = StdRng::seed_from_u64(seed);
-            let response = dispatch_register(&registrar, request, &mut rng);
+            let response = self.with_request_rng(|rng| dispatch_register(&registrar, request, rng));
             self.telemetry.requests.inc();
             self.telemetry.record(request, &response, start);
             return response;
@@ -503,6 +543,36 @@ impl<G: CyclicGroup, K: BroadcastGkm> SharedPublisherService<G, K> {
         // Everything else (filtered conditions queries, unsupported kinds,
         // garbage): the exclusive path, which counts its own stats.
         self.lock_inner().handle(request)
+    }
+
+    /// Runs `f` with this thread's cached registration RNG, seeding it
+    /// from the shared seed source on first use (and again after every
+    /// [`Self::reseed`], which bumps the epoch). Steady-state concurrent
+    /// registrations therefore touch no lock and construct no RNG — the
+    /// two per-request constants the serialized path never paid.
+    fn with_request_rng<T>(&self, f: impl FnOnce(&mut StdRng) -> T) -> T {
+        thread_local! {
+            /// One cached `(service serial, reseed epoch, rng)` slot per
+            /// thread; a thread bouncing between services reseeds on each
+            /// switch, which is correct just slower.
+            static REG_RNG: std::cell::RefCell<Option<(u64, u64, StdRng)>> =
+                const { std::cell::RefCell::new(None) };
+        }
+        let epoch = self.rng_epoch.load(Ordering::Acquire);
+        REG_RNG.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            let stale = !matches!(&*slot, Some((s, e, _)) if *s == self.serial && *e == epoch);
+            if stale {
+                let seed = self
+                    .rng
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .next_u64();
+                *slot = Some((self.serial, epoch, StdRng::seed_from_u64(seed)));
+            }
+            let (_, _, rng) = slot.as_mut().expect("slot just populated");
+            f(rng)
+        })
     }
 
     /// The current registrar, rebuilt under the service lock on staleness.
@@ -611,21 +681,39 @@ fn dispatch_register<G: CyclicGroup, R: RngCore + ?Sized>(
         Ok(r) => r,
         Err(e) => return error_bytes(&group, ErrorCode::Malformed, &e.to_string()),
     };
-    let Request::Register(r) = req else {
+    let resp = match req {
+        Request::Register(r) => match registrar.register(&r.token, &r.cond, &r.proof, rng) {
+            Ok(envelope) => Response::Register(RegisterResponse { envelope }),
+            Err(e) => return error_bytes(&group, code_for(&e), &e.to_string()),
+        },
+        Request::RegisterBatch(items) => {
+            let items: Vec<_> = items
+                .into_iter()
+                .map(|r| (r.token, r.cond, r.proof))
+                .collect();
+            Response::RegisterBatch(
+                registrar
+                    .register_batch(&items, rng)
+                    .into_iter()
+                    .map(|r| match r {
+                        Ok(envelope) => Ok(RegisterResponse { envelope }),
+                        Err(e) => Err(error_item(&e)),
+                    })
+                    .collect(),
+            )
+        }
         // Unreachable behind `is_register_request`, but keep the function
         // total on its own terms.
-        return error_bytes(
-            &group,
-            ErrorCode::Unsupported,
-            "concurrent path serves registrations only",
-        );
+        _ => {
+            return error_bytes(
+                &group,
+                ErrorCode::Unsupported,
+                "concurrent path serves registrations only",
+            )
+        }
     };
-    match registrar.register(&r.token, &r.cond, &r.proof, rng) {
-        Ok(envelope) => Response::Register(RegisterResponse { envelope })
-            .encode(&group)
-            .unwrap_or_else(|e| error_bytes(&group, ErrorCode::Internal, &e.to_string())),
-        Err(e) => error_bytes(&group, code_for(&e), &e.to_string()),
-    }
+    resp.encode(&group)
+        .unwrap_or_else(|e| error_bytes(&group, ErrorCode::Internal, &e.to_string()))
 }
 
 /// A subject-authentication hook for [`IssuerService`]: given an incoming
@@ -660,6 +748,7 @@ impl<G: CyclicGroup> IssuerService<G> {
     /// Wraps an IdP/IdMgr pair that vouches for every claim it receives —
     /// see the trust caveat on the type.
     pub fn new(idp: IdentityProvider<G>, idmgr: IdentityManager<G>, seed: u64) -> Self {
+        idmgr.pedersen().group().warm_up();
         Self {
             idp,
             idmgr,
@@ -676,6 +765,7 @@ impl<G: CyclicGroup> IssuerService<G> {
         seed: u64,
         verifier: impl FnMut(&proto::IssueRequest) -> bool + Send + 'static,
     ) -> Self {
+        idmgr.pedersen().group().warm_up();
         Self {
             idp,
             idmgr,
@@ -713,7 +803,13 @@ impl<G: CyclicGroup> IssuerService<G> {
                     Err(e) => return error_bytes(&group, code_for(&e), &e.to_string()),
                 }
             }
-            Request::ConditionsQuery { .. } | Request::Register(_) | Request::Stats => {
+            Request::IssueBatch(items) => {
+                Response::IssueBatch(items.iter().map(|r| self.issue_one(r)).collect())
+            }
+            Request::ConditionsQuery { .. }
+            | Request::Register(_)
+            | Request::RegisterBatch(_)
+            | Request::Stats => {
                 return error_bytes(
                     &group,
                     ErrorCode::Unsupported,
@@ -723,6 +819,27 @@ impl<G: CyclicGroup> IssuerService<G> {
         };
         resp.encode(&group)
             .unwrap_or_else(|e| error_bytes(&group, ErrorCode::Internal, &e.to_string()))
+    }
+
+    /// One issuance as a batch item: the same verifier gate and error
+    /// codes as the single-request path, but failures stay per-item so
+    /// one rejected claim cannot sink its cohort.
+    fn issue_one(&mut self, r: &proto::IssueRequest) -> Result<IssueResponse<G>, ErrorResponse> {
+        if let Some(verifier) = &mut self.verifier {
+            if !verifier(r) {
+                return Err(ErrorResponse {
+                    code: ErrorCode::BadToken,
+                    message: "the identity provider does not vouch for this claim".to_string(),
+                });
+            }
+        }
+        let assertion = self
+            .idp
+            .assert_attribute(&r.subject, &r.attribute, r.value, &mut self.rng);
+        self.idmgr
+            .issue_token(&assertion, &self.idp.verifying_key(), &mut self.rng)
+            .map(|(token, opening)| IssueResponse { token, opening })
+            .map_err(|e| error_item(&e))
     }
 
     /// The identity manager (e.g. for its verifying key, which publishers

@@ -114,6 +114,117 @@ impl<G: CyclicGroup, K: BroadcastGkm> PendingRegistration<'_, G, K> {
     }
 }
 
+/// A not-yet-started *batch* registration: one request frame carrying a
+/// [`RegisterRequest`] per condition, so the publisher can verify every
+/// enclosed token in a single batched Schnorr check and the subscriber
+/// pays one socket round-trip for the whole cohort.
+pub struct BatchRegistrationSession<'s, G: CyclicGroup, K: BroadcastGkm> {
+    subscriber: &'s mut Subscriber<G, K>,
+    ocbe: OcbeSystem<G>,
+}
+
+impl<'s, G: CyclicGroup, K: BroadcastGkm> BatchRegistrationSession<'s, G, K> {
+    /// Opens a batch session from the publisher's published parameters
+    /// (same contract as [`RegistrationSession::new`]).
+    pub fn new(subscriber: &'s mut Subscriber<G, K>, group: G, ell: u32) -> Self {
+        Self {
+            subscriber,
+            ocbe: OcbeSystem::new(group, ell),
+        }
+    }
+
+    /// Phase 1: builds one OCBE proof per condition and returns the encoded
+    /// [`Request::RegisterBatch`] plus the pending half. Errors if any
+    /// condition lacks a matching token, or if `conds` is empty or exceeds
+    /// [`crate::proto::MAX_BATCH_ITEMS`].
+    pub fn start<R: RngCore + ?Sized>(
+        self,
+        conds: &[AttributeCondition],
+        rng: &mut R,
+    ) -> Result<(Vec<u8>, PendingBatchRegistration<'s, G, K>), PbcdError> {
+        if conds.is_empty() || conds.len() > crate::proto::MAX_BATCH_ITEMS {
+            return Err(PbcdError::Wire(pbcd_docs::WireError::InvalidValue));
+        }
+        let mut items = Vec::with_capacity(conds.len());
+        let mut pending = Vec::with_capacity(conds.len());
+        for cond in conds {
+            let token = self
+                .subscriber
+                .token_for(&cond.attribute)
+                .cloned()
+                .ok_or_else(|| PbcdError::MissingToken(cond.attribute.clone()))?;
+            let (proof, secrets) = self
+                .subscriber
+                .prepare_registration(&self.ocbe, cond, rng)?;
+            items.push(RegisterRequest {
+                token,
+                cond: cond.clone(),
+                proof,
+            });
+            pending.push((cond.clone(), secrets));
+        }
+        let request = Request::RegisterBatch(items).encode(self.ocbe.group())?;
+        Ok((
+            request,
+            PendingBatchRegistration {
+                subscriber: self.subscriber,
+                ocbe: self.ocbe,
+                pending,
+            },
+        ))
+    }
+}
+
+/// An in-flight batch registration; completes against exactly one
+/// [`Response::RegisterBatch`] of matching arity.
+pub struct PendingBatchRegistration<'s, G: CyclicGroup, K: BroadcastGkm> {
+    subscriber: &'s mut Subscriber<G, K>,
+    ocbe: OcbeSystem<G>,
+    pending: Vec<(AttributeCondition, ProofSecrets)>,
+}
+
+impl<G: CyclicGroup, K: BroadcastGkm> PendingBatchRegistration<'_, G, K> {
+    /// Phase 2: per-item envelope opening, in request order. `Ok(true)`
+    /// means the CSS was extracted (known only to the subscriber);
+    /// `Err(..)` carries the publisher's typed per-item error. A
+    /// whole-response error or an arity mismatch fails the call itself.
+    pub fn complete(self, response: &[u8]) -> Result<Vec<Result<bool, PbcdError>>, PbcdError> {
+        let Self {
+            subscriber,
+            ocbe,
+            pending,
+        } = self;
+        match Response::decode(ocbe.group(), response)? {
+            Response::RegisterBatch(results) => {
+                if results.len() != pending.len() {
+                    return Err(PbcdError::UnexpectedResponse);
+                }
+                Ok(pending
+                    .into_iter()
+                    .zip(results)
+                    .map(|((cond, secrets), result)| match result {
+                        Ok(r) => Ok(subscriber.complete_registration(
+                            &ocbe,
+                            &cond,
+                            &r.envelope,
+                            &secrets,
+                        )),
+                        Err(e) => Err(PbcdError::ErrorResponse {
+                            code: e.code,
+                            message: e.message,
+                        }),
+                    })
+                    .collect())
+            }
+            Response::Error(e) => Err(PbcdError::ErrorResponse {
+                code: e.code,
+                message: e.message,
+            }),
+            _ => Err(PbcdError::UnexpectedResponse),
+        }
+    }
+}
+
 /// Whether a peer-reported ℓ is a legal OCBE width (untrusted inputs must
 /// pass this before reaching [`RegistrationSession::new`]).
 pub fn valid_ell(ell: u32) -> bool {
@@ -172,6 +283,39 @@ pub fn register_all_via<G: CyclicGroup, K: BroadcastGkm, R: RngCore + ?Sized>(
         let response = client.call(&request)?;
         if pending.complete(&response)? {
             extracted += 1;
+        }
+    }
+    client.close()?;
+    Ok(extracted)
+}
+
+/// Like [`register_all_via`], but ships the whole cohort of registrations
+/// as [`Request::RegisterBatch`] frames (chunked at
+/// [`crate::proto::MAX_BATCH_ITEMS`]): one round-trip and one batched
+/// token-signature check per chunk instead of per condition. Returns how
+/// many CSSs were extracted — a count the publisher never learns.
+pub fn register_all_batched_via<G: CyclicGroup, K: BroadcastGkm, R: RngCore + ?Sized>(
+    subscriber: &mut Subscriber<G, K>,
+    group: &G,
+    addr: impl ToSocketAddrs,
+    rng: &mut R,
+) -> Result<usize, PbcdError> {
+    let mut client = RegistrationClient::connect(addr)?;
+    let info = fetch_conditions(group, &mut client)?;
+    let eligible: Vec<AttributeCondition> = info
+        .conditions
+        .into_iter()
+        .filter(|c| subscriber.token_for(&c.attribute).is_some())
+        .collect();
+    let mut extracted = 0;
+    for chunk in eligible.chunks(crate::proto::MAX_BATCH_ITEMS) {
+        let session = BatchRegistrationSession::new(subscriber, group.clone(), info.ell);
+        let (request, pending) = session.start(chunk, rng)?;
+        let response = client.call(&request)?;
+        for opened in pending.complete(&response)? {
+            if opened? {
+                extracted += 1;
+            }
         }
     }
     client.close()?;

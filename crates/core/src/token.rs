@@ -17,7 +17,7 @@ pub struct IdentityToken<G: CyclicGroup> {
     /// Pedersen commitment to the attribute value.
     pub commitment: Commitment<G>,
     /// IdMgr signature over `(nym, id-tag, commitment)`.
-    pub signature: Signature,
+    pub signature: Signature<G>,
 }
 
 impl<G: CyclicGroup> Clone for IdentityToken<G> {

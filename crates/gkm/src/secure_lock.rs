@@ -14,7 +14,7 @@
 use crate::acv::AccessRow;
 use pbcd_crypto::sha256;
 use pbcd_docs::wire;
-use pbcd_math::{miller_rabin, VarUint, U128};
+use pbcd_math::{miller_rabin, U128, U256};
 use rand::RngCore;
 
 /// Key length carried by the lock (16 bytes, below every modulus).
@@ -72,26 +72,32 @@ impl SecureLockGkm {
             residues.push(U128::from_be_bytes(&masked).expect("15 bytes fit"));
         }
 
-        // CRT: L = Σ rᵢ · Pᵢ · (Pᵢ⁻¹ mod mᵢ)  (mod Π mᵢ).
-        let product = moduli
-            .iter()
-            .fold(VarUint::one(), |acc, m| acc.mul(&VarUint::from_uint(m)));
-        let mut lock = VarUint::zero();
+        // Incremental CRT (Garner-style): fold one congruence in per step,
+        // maintaining `lock ≡ rⱼ (mod mⱼ)` for all folded j with
+        // `lock < product = Π mⱼ`. Every *modular* operation is fixed-width
+        // [`U128`]/[`U256`] arithmetic; the only big numbers are `lock` and
+        // `product` themselves, touched solely by limb-vector
+        // multiply-accumulate — no arbitrary-precision division anywhere
+        // (the old `VarUint` path divided the full product by every
+        // modulus).
+        let mut lock: Vec<u64> = Vec::new(); // L = 0
+        let mut product: Vec<u64> = vec![1]; // P = 1
         for (m, r) in moduli.iter().zip(&residues) {
-            let p_i = product.div_rem(&VarUint::from_uint(m)).0;
-            let p_i_mod = p_i.rem_uint(m);
-            let inv = p_i_mod.inv_mod(m).expect("moduli are distinct primes");
-            let coeff = r.mul_mod(&inv, m); // rᵢ·(Pᵢ⁻¹) mod mᵢ
-            lock = lock.add(&p_i.mul(&VarUint::from_uint(&coeff)));
-        }
-        if !product.is_zero() {
-            lock = lock.rem(&product);
+            // k = (rᵢ − L) · P⁻¹ mod mᵢ, then L += k·P (keeps L < P·mᵢ).
+            let cur = limbs_mod_u128(&lock, m);
+            let p = limbs_mod_u128(&product, m);
+            let inv = p.inv_mod(m).expect("moduli are distinct primes");
+            let k = r.sub_mod(&cur, m).mul_mod(&inv, m);
+            let k_limbs = *k.limbs();
+            add_shifted_mul_limb(&mut lock, &product, k_limbs[0], 0);
+            add_shifted_mul_limb(&mut lock, &product, k_limbs[1], 1);
+            product = mul_by_u128(&product, m);
         }
         (
             key,
             LockPublicInfo {
                 z,
-                lock: lock.to_be_bytes(),
+                lock: limbs_to_be_bytes(&lock),
             },
         )
     }
@@ -101,9 +107,8 @@ impl SecureLockGkm {
     /// a wrong key that the authenticated encryption above will reject.
     pub fn derive_key(&self, info: &LockPublicInfo, css_concat: &[u8]) -> Vec<u8> {
         let m = modulus_for(css_concat);
-        let lock = VarUint::from_be_bytes(&info.lock);
-        let residue = lock.rem_uint(&m);
-        let bytes = residue.to_be_bytes(); // 32 bytes (U128 width is 16)… see below
+        let residue = bytes_mod_u128(&info.lock, &m);
+        let bytes = residue.to_be_bytes(); // 16 bytes (U128 width).
                                            // Canonical 15-byte masked value: take the low 15 bytes.
         let mut masked = [0u8; KEY_LEN];
         let start = bytes.len().saturating_sub(KEY_LEN);
@@ -145,6 +150,97 @@ impl LockPublicInfo {
         }
         Some(Self { z, lock })
     }
+}
+
+/// `value mod m` for a little-endian limb vector: per-limb Horner
+/// (`r ← (r·2⁶⁴ + limb) mod m`) with the wide intermediate held in a
+/// fixed [`U256`] — `r < m < 2¹²⁸`, so `r·2⁶⁴ + limb < 2¹⁹²` always fits.
+fn limbs_mod_u128(limbs: &[u64], m: &U128) -> U128 {
+    let m_wide: U256 = m.widen();
+    let mut r = U256::from_u64(0);
+    for &limb in limbs.iter().rev() {
+        let acc = r.shl(64).wrapping_add(&U256::from_u64(limb));
+        r = acc.rem(&m_wide);
+    }
+    r.narrow::<2>().expect("residue below a 128-bit modulus")
+}
+
+/// `lock mod m` straight off the big-endian wire bytes — same Horner fold
+/// as [`limbs_mod_u128`], consuming up to 8 bytes per step.
+fn bytes_mod_u128(bytes: &[u8], m: &U128) -> U128 {
+    let m_wide: U256 = m.widen();
+    let mut r = U256::from_u64(0);
+    let lead = bytes.len() % 8;
+    let mut fold = |chunk: &[u8]| {
+        let mut raw = [0u8; 8];
+        raw[8 - chunk.len()..].copy_from_slice(chunk);
+        let limb = u64::from_be_bytes(raw);
+        let acc = r
+            .shl(8 * chunk.len() as u32)
+            .wrapping_add(&U256::from_u64(limb));
+        r = acc.rem(&m_wide);
+    };
+    if lead > 0 {
+        fold(&bytes[..lead]);
+    }
+    for chunk in bytes[lead..].chunks_exact(8) {
+        fold(chunk);
+    }
+    r.narrow::<2>().expect("residue below a 128-bit modulus")
+}
+
+/// `acc[shift..] += p · k` for a single 64-bit factor — the schoolbook
+/// multiply-accumulate row, growing `acc` as needed.
+fn add_shifted_mul_limb(acc: &mut Vec<u64>, p: &[u64], k: u64, shift: usize) {
+    if k == 0 {
+        return;
+    }
+    let needed = p.len() + shift + 2;
+    if acc.len() < needed {
+        acc.resize(needed, 0);
+    }
+    let mut carry: u128 = 0;
+    for (i, &pi) in p.iter().enumerate() {
+        let t = acc[i + shift] as u128 + (pi as u128) * (k as u128) + carry;
+        acc[i + shift] = t as u64;
+        carry = t >> 64;
+    }
+    let mut idx = p.len() + shift;
+    while carry > 0 {
+        let t = acc[idx] as u128 + carry;
+        acc[idx] = t as u64;
+        carry = t >> 64;
+        idx += 1;
+    }
+}
+
+/// `p · m` for a 128-bit factor, as a fresh little-endian limb vector.
+fn mul_by_u128(p: &[u64], m: &U128) -> Vec<u64> {
+    let m_limbs = *m.limbs();
+    let mut out = Vec::with_capacity(p.len() + 2);
+    add_shifted_mul_limb(&mut out, p, m_limbs[0], 0);
+    add_shifted_mul_limb(&mut out, p, m_limbs[1], 1);
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+/// Minimal big-endian bytes of a little-endian limb vector (empty for
+/// zero) — the lock's wire form.
+fn limbs_to_be_bytes(limbs: &[u64]) -> Vec<u8> {
+    let top = match limbs.iter().rposition(|&l| l != 0) {
+        Some(i) => i,
+        None => return Vec::new(),
+    };
+    let mut out = Vec::with_capacity((top + 1) * 8);
+    let head = limbs[top].to_be_bytes();
+    let skip = head.iter().take_while(|&&b| b == 0).count();
+    out.extend_from_slice(&head[skip..]);
+    for limb in limbs[..top].iter().rev() {
+        out.extend_from_slice(&limb.to_be_bytes());
+    }
+    out
 }
 
 /// Derives a deterministic 128-bit prime modulus from a CSS by hashing and

@@ -17,10 +17,11 @@
 pub mod modp;
 pub mod ops;
 pub mod p256;
+pub mod p256_field;
 pub mod schnorr_sig;
 pub mod traits;
 
 pub use modp::{ModpElem, ModpGroup};
 pub use p256::{P256Group, P256Point};
-pub use schnorr_sig::{Signature, SigningKey, VerifyingKey};
+pub use schnorr_sig::{challenge, verify_batch, Signature, SigningKey, VerifyingKey};
 pub use traits::{CyclicGroup, Scalar, ScalarCtx};

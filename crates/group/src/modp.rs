@@ -201,6 +201,11 @@ impl CyclicGroup for ModpGroup {
         ModpElem(self.f().pow(&base.0, &k))
     }
 
+    fn warm_up(&self) {
+        self.g_table();
+        self.h_table();
+    }
+
     fn exp_g(&self, k: &Scalar) -> ModpElem {
         crate::ops::count_exp(1);
         ModpElem(self.g_table().pow(self.f(), &k.to_uint()))

@@ -16,6 +16,7 @@
 //! * `a^x · b^y` runs as a Straus interleaving with one shared doubling
 //!   chain.
 
+use crate::p256_field as pf;
 use crate::traits::{CyclicGroup, Scalar, ScalarCtx};
 use pbcd_crypto::sha256_concat;
 use pbcd_math::{FpCtx, MontCtx, U256};
@@ -42,7 +43,7 @@ pub enum P256Point {
 }
 
 /// Jacobian-coordinate point used internally for arithmetic.
-#[derive(Clone)]
+#[derive(Clone, Copy)]
 struct Jacobian {
     x: U256,
     y: U256,
@@ -163,43 +164,158 @@ impl P256Group {
         if p.z.is_zero() {
             return P256Point::Identity;
         }
-        let f = self.f();
-        let zinv = f.inv(&p.z).expect("nonzero z");
-        let zinv2 = f.mont_sqr(&zinv);
-        let zinv3 = f.mont_mul(&zinv2, &zinv);
+        let zinv = pf::inv_vartime(&p.z).expect("nonzero z");
+        let zinv2 = pf::sqr(&zinv);
+        let zinv3 = pf::mul(&zinv2, &zinv);
         P256Point::Affine {
-            x: f.mont_mul(&p.x, &zinv2),
-            y: f.mont_mul(&p.y, &zinv3),
+            x: pf::mul(&p.x, &zinv2),
+            y: pf::mul(&p.y, &zinv3),
         }
     }
 
-    /// Jacobian doubling, specialized for `a = −3` (dbl-2001-b).
+    /// Jacobian doubling, specialized for `a = −3` (dbl-2001-b), on the
+    /// dedicated field kernel ([`crate::p256_field`]).
     fn jac_double(&self, p: &Jacobian) -> Jacobian {
         if p.z.is_zero() || p.y.is_zero() {
-            return Jacobian {
-                x: self.f().one(),
-                y: self.f().one(),
-                z: U256::ZERO,
+            return self.jac_identity();
+        }
+        let delta = pf::sqr(&p.z);
+        let gamma = pf::sqr(&p.y);
+        let beta = pf::mul(&p.x, &gamma);
+        // alpha = 3(x − delta)(x + delta)
+        let alpha = {
+            let t = pf::mul(&pf::sub(&p.x, &delta), &pf::add(&p.x, &delta));
+            pf::add(&pf::dbl(&t), &t)
+        };
+        let four_beta = pf::dbl(&pf::dbl(&beta));
+        let eight_beta = pf::dbl(&four_beta);
+        let x3 = pf::sub(&pf::sqr(&alpha), &eight_beta);
+        // z3 = 2·y·z — same value as the textbook (y + z)² − γ − δ but one
+        // multiply instead of a square plus three additive ops, which is a
+        // win when add/sub are not free relative to mul (this host).
+        let z3 = pf::mul(&pf::dbl(&p.y), &p.z);
+        // y3 = alpha(4beta − x3) − 8 gamma²
+        let eight_gamma2 = {
+            let g2 = pf::sqr(&gamma);
+            pf::dbl(&pf::dbl(&pf::dbl(&g2)))
+        };
+        let y3 = pf::sub(&pf::mul(&alpha, &pf::sub(&four_beta, &x3)), &eight_gamma2);
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// General Jacobian addition (add-2007-bl) on the dedicated kernel.
+    fn jac_add(&self, p: &Jacobian, q: &Jacobian) -> Jacobian {
+        if p.z.is_zero() {
+            return *q;
+        }
+        if q.z.is_zero() {
+            return *p;
+        }
+        let z1z1 = pf::sqr(&p.z);
+        let z2z2 = pf::sqr(&q.z);
+        let u1 = pf::mul(&p.x, &z2z2);
+        let u2 = pf::mul(&q.x, &z1z1);
+        let s1 = pf::mul(&pf::mul(&p.y, &q.z), &z2z2);
+        let s2 = pf::mul(&pf::mul(&q.y, &p.z), &z1z1);
+        if u1 == u2 {
+            return if s1 == s2 {
+                self.jac_double(p)
+            } else {
+                // p + (−p) = identity
+                self.jac_identity()
             };
+        }
+        let h = pf::sub(&u2, &u1);
+        let i = pf::sqr(&pf::dbl(&h));
+        let j = pf::mul(&h, &i);
+        let r = pf::dbl(&pf::sub(&s2, &s1));
+        let v = pf::mul(&u1, &i);
+        let x3 = pf::sub(&pf::sub(&pf::sqr(&r), &j), &pf::dbl(&v));
+        let y3 = pf::sub(&pf::mul(&r, &pf::sub(&v, &x3)), &pf::dbl(&pf::mul(&s1, &j)));
+        let z3 = pf::mul(
+            &pf::sub(&pf::sub(&pf::sqr(&pf::add(&p.z, &q.z)), &z1z1), &z2z2),
+            &h,
+        );
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    fn jac_identity(&self) -> Jacobian {
+        Jacobian {
+            x: pf::one(),
+            y: pf::one(),
+            z: U256::ZERO,
+        }
+    }
+
+    fn jac_from_affine(&self, q: &AffinePt) -> Jacobian {
+        Jacobian {
+            x: q.x,
+            y: q.y,
+            z: pf::one(),
+        }
+    }
+
+    /// Mixed addition `p + q` with affine `q` (madd-2007-bl, `Z2 = 1`):
+    /// 7M + 4S versus 11M + 5S for the general addition. Kernel field ops.
+    fn jac_add_affine(&self, p: &Jacobian, q: &AffinePt) -> Jacobian {
+        if p.z.is_zero() {
+            return self.jac_from_affine(q);
+        }
+        let z1z1 = pf::sqr(&p.z);
+        let u2 = pf::mul(&q.x, &z1z1);
+        let s2 = pf::mul(&pf::mul(&q.y, &p.z), &z1z1);
+        if p.x == u2 {
+            return if p.y == s2 {
+                self.jac_double(p)
+            } else {
+                self.jac_identity()
+            };
+        }
+        let h = pf::sub(&u2, &p.x);
+        let hh = pf::sqr(&h);
+        let i = pf::dbl(&pf::dbl(&hh));
+        let j = pf::mul(&h, &i);
+        let r = pf::dbl(&pf::sub(&s2, &p.y));
+        let v = pf::mul(&p.x, &i);
+        let x3 = pf::sub(&pf::sub(&pf::sqr(&r), &j), &pf::dbl(&v));
+        let y3 = pf::sub(
+            &pf::mul(&r, &pf::sub(&v, &x3)),
+            &pf::dbl(&pf::mul(&p.y, &j)),
+        );
+        let z3 = pf::sub(&pf::sub(&pf::sqr(&pf::add(&p.z, &h)), &z1z1), &hh);
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// The generic-context twin of [`Self::jac_double`], kept for the naive
+    /// reference ladder so `exp_naive` still measures the pre-kernel cost.
+    fn jac_double_generic(&self, p: &Jacobian) -> Jacobian {
+        if p.z.is_zero() || p.y.is_zero() {
+            return self.jac_identity();
         }
         let f = self.f();
         let delta = f.mont_sqr(&p.z);
         let gamma = f.mont_sqr(&p.y);
         let beta = f.mont_mul(&p.x, &gamma);
-        // alpha = 3(x − delta)(x + delta)
         let alpha = {
             let t = f.mont_mul(&f.sub(&p.x, &delta), &f.add(&p.x, &delta));
             f.add(&f.double(&t), &t)
         };
-        let eight_beta = {
-            let four_beta = f.double(&f.double(&beta));
-            f.double(&four_beta)
-        };
-        let x3 = f.sub(&f.mont_sqr(&alpha), &eight_beta);
-        // z3 = (y + z)² − gamma − delta
-        let z3 = f.sub(&f.sub(&f.mont_sqr(&f.add(&p.y, &p.z)), &gamma), &delta);
-        // y3 = alpha(4beta − x3) − 8 gamma²
         let four_beta = f.double(&f.double(&beta));
+        let eight_beta = f.double(&four_beta);
+        let x3 = f.sub(&f.mont_sqr(&alpha), &eight_beta);
+        let z3 = f.sub(&f.sub(&f.mont_sqr(&f.add(&p.y, &p.z)), &gamma), &delta);
         let eight_gamma2 = {
             let g2 = f.mont_sqr(&gamma);
             f.double(&f.double(&f.double(&g2)))
@@ -212,13 +328,13 @@ impl P256Group {
         }
     }
 
-    /// General Jacobian addition (add-2007-bl).
-    fn jac_add(&self, p: &Jacobian, q: &Jacobian) -> Jacobian {
+    /// The generic-context twin of [`Self::jac_add`] for the naive ladder.
+    fn jac_add_generic(&self, p: &Jacobian, q: &Jacobian) -> Jacobian {
         if p.z.is_zero() {
-            return q.clone();
+            return *q;
         }
         if q.z.is_zero() {
-            return p.clone();
+            return *p;
         }
         let f = self.f();
         let z1z1 = f.mont_sqr(&p.z);
@@ -229,14 +345,9 @@ impl P256Group {
         let s2 = f.mont_mul(&f.mont_mul(&q.y, &p.z), &z1z1);
         if u1 == u2 {
             return if s1 == s2 {
-                self.jac_double(p)
+                self.jac_double_generic(p)
             } else {
-                // p + (−p) = identity
-                Jacobian {
-                    x: f.one(),
-                    y: f.one(),
-                    z: U256::ZERO,
-                }
+                self.jac_identity()
             };
         }
         let h = f.sub(&u2, &u1);
@@ -260,82 +371,71 @@ impl P256Group {
         }
     }
 
-    fn jac_identity(&self) -> Jacobian {
-        Jacobian {
-            x: self.f().one(),
-            y: self.f().one(),
-            z: U256::ZERO,
+    /// Normalizes a batch of *nonzero* Jacobian points to affine with one
+    /// shared field inversion (Montgomery's trick on the kernel).
+    fn batch_to_affine(&self, pts: &[Jacobian]) -> Vec<AffinePt> {
+        if pts.is_empty() {
+            return Vec::new();
         }
-    }
-
-    fn jac_from_affine(&self, q: &AffinePt) -> Jacobian {
-        Jacobian {
-            x: q.x,
-            y: q.y,
-            z: self.f().one(),
+        // Prefix products of the z's, one inversion, then walk back.
+        let mut prefix = Vec::with_capacity(pts.len());
+        let mut acc = pf::one();
+        for p in pts {
+            prefix.push(acc);
+            acc = pf::mul(&acc, &p.z);
         }
-    }
-
-    /// Mixed addition `p + q` with affine `q` (madd-2007-bl, `Z2 = 1`):
-    /// 7M + 4S versus 11M + 5S for the general addition.
-    fn jac_add_affine(&self, p: &Jacobian, q: &AffinePt) -> Jacobian {
-        if p.z.is_zero() {
-            return self.jac_from_affine(q);
-        }
-        let f = self.f();
-        let z1z1 = f.mont_sqr(&p.z);
-        let u2 = f.mont_mul(&q.x, &z1z1);
-        let s2 = f.mont_mul(&f.mont_mul(&q.y, &p.z), &z1z1);
-        if p.x == u2 {
-            return if p.y == s2 {
-                self.jac_double(p)
-            } else {
-                self.jac_identity()
+        let mut inv_acc = pf::inv_vartime(&acc).expect("table points are nonzero");
+        let mut out = vec![
+            AffinePt {
+                x: pf::one(),
+                y: pf::one(),
+            };
+            pts.len()
+        ];
+        for (i, p) in pts.iter().enumerate().rev() {
+            let zinv = pf::mul(&inv_acc, &prefix[i]);
+            inv_acc = pf::mul(&inv_acc, &p.z);
+            let zinv2 = pf::sqr(&zinv);
+            out[i] = AffinePt {
+                x: pf::mul(&p.x, &zinv2),
+                y: pf::mul(&p.y, &pf::mul(&zinv2, &zinv)),
             };
         }
-        let h = f.sub(&u2, &p.x);
-        let hh = f.mont_sqr(&h);
-        let i = f.double(&f.double(&hh));
-        let j = f.mont_mul(&h, &i);
-        let r = f.double(&f.sub(&s2, &p.y));
-        let v = f.mont_mul(&p.x, &i);
-        let x3 = f.sub(&f.sub(&f.mont_sqr(&r), &j), &f.double(&v));
-        let y3 = f.sub(
-            &f.mont_mul(&r, &f.sub(&v, &x3)),
-            &f.double(&f.mont_mul(&p.y, &j)),
-        );
-        let z3 = f.sub(&f.sub(&f.mont_sqr(&f.add(&p.z, &h)), &z1z1), &hh);
-        Jacobian {
-            x: x3,
-            y: y3,
-            z: z3,
+        out
+    }
+
+    /// Allocation-free twin of [`Self::batch_to_affine`] for the small
+    /// fixed-size tables on the `exp` hot path.
+    fn batch_to_affine_n<const N: usize>(&self, pts: &[Jacobian; N]) -> [AffinePt; N] {
+        let mut prefix = [pf::one(); N];
+        let mut acc = pf::one();
+        for (i, p) in pts.iter().enumerate() {
+            prefix[i] = acc;
+            acc = pf::mul(&acc, &p.z);
         }
+        let mut inv_acc = pf::inv_vartime(&acc).expect("table points are nonzero");
+        let mut out = [AffinePt {
+            x: pf::one(),
+            y: pf::one(),
+        }; N];
+        for (i, p) in pts.iter().enumerate().rev() {
+            let zinv = pf::mul(&inv_acc, &prefix[i]);
+            inv_acc = pf::mul(&inv_acc, &p.z);
+            let zinv2 = pf::sqr(&zinv);
+            out[i] = AffinePt {
+                x: pf::mul(&p.x, &zinv2),
+                y: pf::mul(&p.y, &pf::mul(&zinv2, &zinv)),
+            };
+        }
+        out
     }
 
-    /// Normalizes a batch of *nonzero* Jacobian points to affine with one
-    /// shared field inversion (Montgomery's trick via
-    /// [`MontCtx::batch_inv`]).
-    fn batch_to_affine(&self, pts: &[Jacobian]) -> Vec<AffinePt> {
-        let f = self.f();
-        let zs: Vec<U256> = pts.iter().map(|p| p.z).collect();
-        let zinvs = f.batch_inv(&zs).expect("table points are nonzero");
-        pts.iter()
-            .zip(&zinvs)
-            .map(|(p, zinv)| {
-                let zinv2 = f.mont_sqr(zinv);
-                AffinePt {
-                    x: f.mont_mul(&p.x, &zinv2),
-                    y: f.mont_mul(&p.y, &f.mont_mul(&zinv2, zinv)),
-                }
-            })
-            .collect()
-    }
-
-    /// Width-`w` NAF recoding: signed odd digits in `±{1, 3, …, 2^(w−1)−1}`
-    /// with at least `w − 1` zeros between nonzero digits, lsb first.
-    fn wnaf(k: &U256, w: u32) -> Vec<i8> {
+    /// Width-`w` NAF recoding into a caller-provided buffer: signed odd
+    /// digits in `±{1, 3, …, 2^(w−1)−1}` with at least `w − 1` zeros
+    /// between nonzero digits, lsb first. Returns the digit count.
+    fn wnaf_into(k: &U256, w: u32, out: &mut [i8; 257]) -> usize {
         let mut k = *k;
-        let mut out = Vec::with_capacity(257);
+        let mut len = 0;
         let mask = (1u64 << w) - 1;
         while !k.is_zero() {
             if k.is_odd() {
@@ -348,35 +448,42 @@ impl P256Group {
                 } else {
                     k = k.wrapping_add(&U256::from_u64((-d) as u64));
                 }
-                out.push(d as i8);
+                out[len] = d as i8;
             } else {
-                out.push(0);
+                out[len] = 0;
             }
+            len += 1;
             k = k.shr(1);
         }
-        out
+        len
+    }
+
+    /// Builds the wNAF table of odd multiples `1P, 3P, …, (2N − 1)P` as
+    /// batch-normalized affine points, allocation-free.
+    fn wnaf_table<const N: usize>(&self, p: &Jacobian) -> [AffinePt; N] {
+        let mut jac_table = [*p; N];
+        let twop = self.jac_double(p);
+        for i in 1..N {
+            jac_table[i] = self.jac_add(&jac_table[i - 1], &twop);
+        }
+        self.batch_to_affine_n(&jac_table)
     }
 
     /// Variable-base scalar multiplication: wNAF over a batch-normalized
     /// table of odd affine multiples, with mixed additions in the main
-    /// loop. `k` must already be reduced modulo the order.
+    /// loop and no heap allocation. `k` must already be reduced modulo the
+    /// order.
     fn jac_mul(&self, p: &Jacobian, k: &U256) -> Jacobian {
         if k.is_zero() || p.z.is_zero() {
             return self.jac_identity();
         }
         // Odd multiples 1P, 3P, …, (2^(w−1)−1)P.
-        let table_len = 1usize << (WNAF_WINDOW - 2);
-        let mut jac_table = Vec::with_capacity(table_len);
-        jac_table.push(p.clone());
-        let twop = self.jac_double(p);
-        for i in 1..table_len {
-            let next = self.jac_add(&jac_table[i - 1], &twop);
-            jac_table.push(next);
-        }
-        let table = self.batch_to_affine(&jac_table);
-        let digits = Self::wnaf(k, WNAF_WINDOW);
+        const TABLE_LEN: usize = 1 << (WNAF_WINDOW - 2);
+        let table: [AffinePt; TABLE_LEN] = self.wnaf_table(p);
+        let mut digits = [0i8; 257];
+        let len = Self::wnaf_into(k, WNAF_WINDOW, &mut digits);
         let mut acc = self.jac_identity();
-        for &d in digits.iter().rev() {
+        for &d in digits[..len].iter().rev() {
             acc = self.jac_double(&acc);
             if d != 0 {
                 let entry = table[(d.unsigned_abs() as usize) >> 1];
@@ -385,7 +492,7 @@ impl P256Group {
                 } else {
                     AffinePt {
                         x: entry.x,
-                        y: self.f().neg(&entry.y),
+                        y: pf::neg(&entry.y),
                     }
                 };
                 acc = self.jac_add_affine(&acc, &entry);
@@ -399,9 +506,9 @@ impl P256Group {
     fn jac_mul_naive(&self, p: &Jacobian, k: &U256) -> Jacobian {
         let mut acc = self.jac_identity();
         for i in (0..k.bits()).rev() {
-            acc = self.jac_double(&acc);
+            acc = self.jac_double_generic(&acc);
             if k.bit(i) {
-                acc = self.jac_add(&acc, p);
+                acc = self.jac_add_generic(&acc, p);
             }
         }
         acc
@@ -435,7 +542,7 @@ impl P256Group {
         let mut window_base = self.jac_from_affine(&base);
         for _ in 0..windows {
             // d·B for d = 1..=15: repeated addition of B.
-            all.push(window_base.clone());
+            all.push(window_base);
             for _ in 1..row_len {
                 let next = self.jac_add(&all[all.len() - 1], &window_base);
                 all.push(next);
@@ -479,35 +586,36 @@ impl P256Group {
     }
 
     /// Straus interleaving for `a^x · b^y`: width-4 wNAF tables for both
-    /// bases (batch-normalized together) and one shared doubling chain.
+    /// bases and one shared doubling chain, allocation-free.
     fn straus2(&self, a: &Jacobian, x: &U256, b: &Jacobian, y: &U256) -> Jacobian {
         const W: u32 = 4;
+        const TABLE_LEN: usize = 1 << (W - 2);
         if a.z.is_zero() || x.is_zero() {
             return self.jac_mul(b, y);
         }
         if b.z.is_zero() || y.is_zero() {
             return self.jac_mul(a, x);
         }
-        let table_len = 1usize << (W - 2);
-        let mut jac_table = Vec::with_capacity(2 * table_len);
-        for p in [a, b] {
-            let start = jac_table.len();
-            jac_table.push(p.clone());
+        // Both tables share one batched inversion.
+        let mut jt = [*a; 2 * TABLE_LEN];
+        for (start, p) in [(0, a), (TABLE_LEN, b)] {
+            jt[start] = *p;
             let twop = self.jac_double(p);
-            for i in 1..table_len {
-                let next = self.jac_add(&jac_table[start + i - 1], &twop);
-                jac_table.push(next);
+            for i in 1..TABLE_LEN {
+                jt[start + i] = self.jac_add(&jt[start + i - 1], &twop);
             }
         }
-        let table = self.batch_to_affine(&jac_table);
-        let (ta, tb) = table.split_at(table_len);
-        let da = Self::wnaf(x, W);
-        let db = Self::wnaf(y, W);
+        let table = self.batch_to_affine_n(&jt);
+        let (ta, tb) = table.split_at(TABLE_LEN);
+        let mut da = [0i8; 257];
+        let la = Self::wnaf_into(x, W, &mut da);
+        let mut db = [0i8; 257];
+        let lb = Self::wnaf_into(y, W, &mut db);
         let mut acc = self.jac_identity();
-        for i in (0..da.len().max(db.len())).rev() {
+        for i in (0..la.max(lb)).rev() {
             acc = self.jac_double(&acc);
             for (digits, tbl) in [(&da, ta), (&db, tb)] {
-                let d = digits.get(i).copied().unwrap_or(0);
+                let d = digits[i];
                 if d != 0 {
                     let entry = tbl[(d.unsigned_abs() as usize) >> 1];
                     let entry = if d > 0 {
@@ -515,12 +623,66 @@ impl P256Group {
                     } else {
                         AffinePt {
                             x: entry.x,
-                            y: self.f().neg(&entry.y),
+                            y: pf::neg(&entry.y),
                         }
                     };
                     acc = self.jac_add_affine(&acc, &entry);
                 }
             }
+        }
+        acc
+    }
+
+    /// Pippenger's bucket method over affine points with canonical scalars.
+    ///
+    /// The window width `c` is chosen at runtime to minimize the operation
+    /// model `⌈256/c⌉ · (n + 2^(c+1))`: each of the `⌈256/c⌉` windows costs
+    /// `n` bucket insertions plus two passes over the `2^c − 1` buckets for
+    /// the running-sum reduction (all mixed or general additions), and the
+    /// `c` doublings per window are folded into the constant. Small `n`
+    /// picks small windows (degrading gracefully to near-wNAF behaviour),
+    /// `n = 256` picks `c = 7–8`.
+    fn pippenger(&self, pts: &[AffinePt], scalars: &[U256]) -> Jacobian {
+        debug_assert_eq!(pts.len(), scalars.len());
+        let n = pts.len();
+        let c = (1u32..=15)
+            .min_by_key(|&c| {
+                let windows = 256u64.div_ceil(u64::from(c));
+                windows * (n as u64 + (1u64 << (c + 1)))
+            })
+            .expect("non-empty range");
+        let windows = 256u32.div_ceil(c);
+        let num_buckets = (1usize << c) - 1;
+        let mut buckets = vec![self.jac_identity(); num_buckets];
+        let mut acc = self.jac_identity();
+        for w in (0..windows).rev() {
+            if !acc.z.is_zero() {
+                for _ in 0..c {
+                    acc = self.jac_double(&acc);
+                }
+            }
+            for b in buckets.iter_mut() {
+                *b = self.jac_identity();
+            }
+            let base_bit = w * c;
+            for (p, k) in pts.iter().zip(scalars) {
+                let mut d = 0usize;
+                for b in (0..c).rev() {
+                    let bit = base_bit + b;
+                    d = (d << 1) | (bit < 256 && k.bit(bit)) as usize;
+                }
+                if d != 0 {
+                    buckets[d - 1] = self.jac_add_affine(&buckets[d - 1], p);
+                }
+            }
+            // Running-sum reduction: Σ d·bucket[d] with two addition passes.
+            let mut running = self.jac_identity();
+            let mut window_sum = self.jac_identity();
+            for b in buckets.iter().rev() {
+                running = self.jac_add(&running, b);
+                window_sum = self.jac_add(&window_sum, &running);
+            }
+            acc = self.jac_add(&acc, &window_sum);
         }
         acc
     }
@@ -607,6 +769,11 @@ impl CyclicGroup for P256Group {
         self.to_affine(&j)
     }
 
+    fn warm_up(&self) {
+        self.g_comb();
+        self.h_comb();
+    }
+
     fn exp_g(&self, k: &Scalar) -> P256Point {
         crate::ops::count_exp(1);
         self.to_affine(&self.comb_mul(self.g_comb(), &k.to_uint()))
@@ -633,6 +800,27 @@ impl CyclicGroup for P256Group {
         let gm = self.comb_mul(self.g_comb(), &m.to_uint());
         let hr = self.comb_mul(self.h_comb(), &r.to_uint());
         self.to_affine(&self.jac_add(&gm, &hr))
+    }
+
+    fn msm(&self, terms: &[(P256Point, Scalar)]) -> P256Point {
+        // Identity bases and zero scalars contribute nothing; the bucket
+        // method needs the survivors in affine form, which they already are.
+        let mut pts = Vec::with_capacity(terms.len());
+        let mut scalars = Vec::with_capacity(terms.len());
+        for (base, k) in terms {
+            if let P256Point::Affine { x, y } = base {
+                let ku = k.to_uint();
+                if !ku.is_zero() {
+                    pts.push(AffinePt { x: *x, y: *y });
+                    scalars.push(ku);
+                }
+            }
+        }
+        if pts.is_empty() {
+            return P256Point::Identity;
+        }
+        crate::ops::count_exp(pts.len() as u64);
+        self.to_affine(&self.pippenger(&pts, &scalars))
     }
 
     fn prod_pow2(&self, elems: &[P256Point]) -> P256Point {

@@ -2,8 +2,15 @@
 //!
 //! The Identity Manager signs identity tokens (`σ` in the paper's
 //! `IT = (nym, id-tag, c, σ)`); the publisher verifies them during
-//! registration. The scheme is the standard Fiat–Shamir Schnorr signature:
-//! `R = g^k`, `e = H(R ‖ m)`, `s = k + e·sk`, signature `(e, s)`.
+//! registration. The scheme is the standard Fiat–Shamir Schnorr signature
+//! in its **nonce-commitment form**: `R = g^k`, `e = H(R ‖ m)`,
+//! `s = k + e·sk`, signature `(R, s)`.
+//!
+//! Transmitting `R` (rather than the challenge `e`) makes the verification
+//! equation `g^s = R · pk^e` *linear* in the signature, which is what
+//! enables [`verify_batch`]: a random linear combination of `n` such
+//! equations collapses to a single multi-scalar multiplication of width
+//! `2n + 1` ([`CyclicGroup::msm`]) instead of `n` double exponentiations.
 
 use crate::traits::{CyclicGroup, Scalar};
 use pbcd_crypto::Sha256;
@@ -45,13 +52,36 @@ impl<G: CyclicGroup> core::fmt::Debug for VerifyingKey<G> {
     }
 }
 
-/// A Schnorr signature `(e, s)` with both components in the scalar field.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct Signature {
-    /// Fiat–Shamir challenge.
-    pub e: Scalar,
-    /// Response scalar.
+/// A Schnorr signature `(R, s)`: the nonce commitment `R = g^k` and the
+/// response scalar `s`.
+pub struct Signature<G: CyclicGroup> {
+    /// Nonce commitment `R = g^k`.
+    pub big_r: G::Elem,
+    /// Response scalar `s = k + e·sk`.
     pub s: Scalar,
+}
+
+impl<G: CyclicGroup> Clone for Signature<G> {
+    fn clone(&self) -> Self {
+        Self {
+            big_r: self.big_r.clone(),
+            s: self.s.clone(),
+        }
+    }
+}
+
+impl<G: CyclicGroup> PartialEq for Signature<G> {
+    fn eq(&self, other: &Self) -> bool {
+        self.big_r == other.big_r && self.s == other.s
+    }
+}
+
+impl<G: CyclicGroup> Eq for Signature<G> {}
+
+impl<G: CyclicGroup> core::fmt::Debug for Signature<G> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Signature(R={:?}, s={:?})", self.big_r, self.s)
+    }
 }
 
 impl<G: CyclicGroup> SigningKey<G> {
@@ -70,12 +100,12 @@ impl<G: CyclicGroup> SigningKey<G> {
     }
 
     /// Signs a message.
-    pub fn sign<R: RngCore + ?Sized>(&self, group: &G, rng: &mut R, msg: &[u8]) -> Signature {
+    pub fn sign<R: RngCore + ?Sized>(&self, group: &G, rng: &mut R, msg: &[u8]) -> Signature<G> {
         let k = group.random_nonzero_scalar(rng);
         let big_r = group.exp_g(&k);
         let e = challenge(group, &big_r, msg);
         let s = &k + &(&e * &self.sk);
-        Signature { e, s }
+        Signature { big_r, s }
     }
 }
 
@@ -100,17 +130,20 @@ impl<G: CyclicGroup> VerifyingKey<G> {
         group.deserialize(bytes).map(|pk| Self { pk })
     }
 
-    /// Verifies a signature: recompute `R' = g^s · pk^{−e}` and check that
-    /// the challenge matches. The double exponentiation runs as one
-    /// Straus/Shamir chain ([`CyclicGroup::exp2`]) rather than two
-    /// independent ladders.
-    pub fn verify(&self, group: &G, msg: &[u8], sig: &Signature) -> bool {
-        let big_r = group.exp2(&group.generator(), &sig.s, &self.pk, &(-&sig.e));
-        challenge(group, &big_r, msg) == sig.e
+    /// Verifies a signature: recompute the challenge from the transmitted
+    /// nonce commitment and check `g^s · pk^{−e} = R`. The double
+    /// exponentiation runs as one Straus/Shamir chain
+    /// ([`CyclicGroup::exp2`]) rather than two independent ladders.
+    pub fn verify(&self, group: &G, msg: &[u8], sig: &Signature<G>) -> bool {
+        let e = challenge(group, &sig.big_r, msg);
+        group.exp2(&group.generator(), &sig.s, &self.pk, &(-&e)) == sig.big_r
     }
 }
 
-fn challenge<G: CyclicGroup>(group: &G, big_r: &G::Elem, msg: &[u8]) -> Scalar {
+/// The Fiat–Shamir challenge `e = H(tag ‖ backend ‖ R ‖ m)`, reduced into
+/// the scalar field. Public so that batch callers and tests can recompute
+/// the per-item challenges a verifier would derive.
+pub fn challenge<G: CyclicGroup>(group: &G, big_r: &G::Elem, msg: &[u8]) -> Scalar {
     let mut h = Sha256::new();
     h.update(b"pbcd-schnorr-v1:");
     h.update(group.name().as_bytes());
@@ -119,27 +152,99 @@ fn challenge<G: CyclicGroup>(group: &G, big_r: &G::Elem, msg: &[u8]) -> Scalar {
     group.scalar_ctx().from_be_bytes_reduced(&h.finalize())
 }
 
-impl Signature {
-    /// Fixed-layout encoding: 32-byte `e` ‖ 32-byte `s`.
-    pub fn to_bytes<G: CyclicGroup>(&self) -> Vec<u8> {
-        let mut out = self.e.to_be_bytes();
+/// Batch verification of `(pk, msg, sig)` triples with one
+/// random-linear-combination check.
+///
+/// Every valid signature satisfies `g^{sᵢ} · Rᵢ^{−1} · pkᵢ^{−eᵢ} = 1`.
+/// Call the left-hand side `δᵢ`; the batch check verifies
+/// `Π δᵢ^{zᵢ} = 1` for coefficients `zᵢ` derived by hashing the *entire
+/// batch transcript* (every key, message and signature) — so an adversary
+/// must commit to all signatures before learning any coefficient, and
+/// slipping in a forged signature (`δⱼ ≠ 1`) passes only if `zⱼ` happens
+/// to hit the discrete log of `Π_{i≠j} δᵢ^{−zᵢ}` base `δⱼ` — probability
+/// `1/q` over the coefficient space, i.e. negligible. Rearranged, the
+/// whole check is a single width-`2n + 1` multi-scalar multiplication:
+///
+/// ```text
+/// Π Rᵢ^{zᵢ} · Π pkᵢ^{zᵢ·eᵢ} · g^{−Σ zᵢ·sᵢ} == identity
+/// ```
+///
+/// An empty batch is vacuously valid. A `false` result only says *some*
+/// signature in the batch is invalid; callers that need to attribute the
+/// failure re-verify items individually ([`VerifyingKey::verify`]).
+pub fn verify_batch<G: CyclicGroup>(
+    group: &G,
+    items: &[(&VerifyingKey<G>, &[u8], &Signature<G>)],
+) -> bool {
+    if items.is_empty() {
+        return true;
+    }
+    // One item: the RLC degenerates to scaling a single verification
+    // equation, so check it directly.
+    if let [(vk, msg, sig)] = items {
+        return vk.verify(group, msg, sig);
+    }
+    let sc = group.scalar_ctx();
+    // Bind the coefficients to the full transcript.
+    let mut t = Sha256::new();
+    t.update(b"pbcd-schnorr-batch-v1:");
+    t.update(group.name().as_bytes());
+    for (vk, msg, sig) in items {
+        t.update(&group.serialize(&vk.pk));
+        t.update(&(msg.len() as u64).to_be_bytes());
+        t.update(msg);
+        t.update(&group.serialize(&sig.big_r));
+        t.update(&sig.s.to_be_bytes());
+    }
+    let transcript = t.finalize();
+
+    let mut terms = Vec::with_capacity(2 * items.len() + 1);
+    let mut s_acc = sc.zero();
+    for (i, (vk, msg, sig)) in items.iter().enumerate() {
+        let mut h = Sha256::new();
+        h.update(b"pbcd-schnorr-batch-coef:");
+        h.update(&transcript);
+        h.update(&(i as u64).to_be_bytes());
+        let z = sc.from_be_bytes_reduced(&h.finalize());
+        if z.is_zero() {
+            // Probability 1/q; a zero coefficient would let item i skate.
+            return items
+                .iter()
+                .all(|(vk, msg, sig)| vk.verify(group, msg, sig));
+        }
+        let e = challenge(group, &sig.big_r, msg);
+        s_acc = &s_acc + &(&z * &sig.s);
+        terms.push((sig.big_r.clone(), z.clone()));
+        terms.push((vk.pk.clone(), &z * &e));
+    }
+    terms.push((group.generator(), -&s_acc));
+    group.is_identity(&group.msm(&terms))
+}
+
+impl<G: CyclicGroup> Signature<G> {
+    /// Canonical encoding: the group encoding of `R` followed by the
+    /// 32-byte big-endian `s` (97 bytes total on P-256).
+    pub fn to_bytes(&self, group: &G) -> Vec<u8> {
+        let mut out = group.serialize(&self.big_r);
         out.extend_from_slice(&self.s.to_be_bytes());
         out
     }
 
-    /// Parses the fixed layout produced by [`Signature::to_bytes`].
-    pub fn from_bytes<G: CyclicGroup>(group: &G, bytes: &[u8]) -> Option<Self> {
-        if bytes.len() != 64 {
+    /// Parses the layout produced by [`Signature::to_bytes`], validating
+    /// that `R` is a group element and `s` a canonical scalar.
+    pub fn from_bytes(group: &G, bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 33 {
             return None;
         }
+        let (r_bytes, s_bytes) = bytes.split_at(bytes.len() - 32);
+        let big_r = group.deserialize(r_bytes)?;
         let ctx = group.scalar_ctx();
-        let e = pbcd_math::U256::from_be_bytes(&bytes[..32])?;
-        let s = pbcd_math::U256::from_be_bytes(&bytes[32..])?;
-        if &e >= ctx.modulus() || &s >= ctx.modulus() {
+        let s = pbcd_math::U256::from_be_bytes(s_bytes)?;
+        if &s >= ctx.modulus() {
             return None;
         }
         Some(Self {
-            e: ctx.from_uint(&e),
+            big_r,
             s: ctx.from_uint(&s),
         })
     }
@@ -166,18 +271,63 @@ mod tests {
         assert!(!other.verify(&group, msg, &sig));
         // Tampered signature.
         let bad = Signature {
-            e: sig.e.clone(),
+            big_r: sig.big_r.clone(),
             s: &sig.s + &group.scalar_ctx().one(),
         };
         assert!(!vk.verify(&group, msg, &bad));
         // Serialization roundtrip.
-        let enc = sig.to_bytes::<G>();
+        let enc = sig.to_bytes(&group);
         let dec = Signature::from_bytes(&group, &enc).unwrap();
         assert!(vk.verify(&group, msg, &dec));
-        assert_eq!(Signature::from_bytes(&group, &enc[..63]), None);
+        assert_eq!(Signature::from_bytes(&group, &enc[..enc.len() - 1]), None);
         // Public key roundtrip.
         let vk2 = VerifyingKey::<G>::deserialize(&group, &vk.serialize(&group)).unwrap();
         assert!(vk2.verify(&group, msg, &sig));
+    }
+
+    fn check_batch_backend<G: CyclicGroup>(group: G) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(57);
+        let keys: Vec<_> = (0..5)
+            .map(|_| SigningKey::generate(&group, &mut rng))
+            .collect();
+        let msgs: Vec<Vec<u8>> = (0..5).map(|i| format!("msg-{i}").into_bytes()).collect();
+        let sigs: Vec<_> = keys
+            .iter()
+            .zip(&msgs)
+            .map(|(k, m)| k.sign(&group, &mut rng, m))
+            .collect();
+        let vks: Vec<_> = keys.iter().map(SigningKey::verifying_key).collect();
+        let items: Vec<(&VerifyingKey<G>, &[u8], &Signature<G>)> = vks
+            .iter()
+            .zip(&msgs)
+            .zip(&sigs)
+            .map(|((vk, m), s)| (vk, m.as_slice(), s))
+            .collect();
+        assert!(verify_batch(&group, &items));
+        assert!(verify_batch::<G>(&group, &[]), "empty batch is valid");
+        assert!(verify_batch(&group, &items[..1]), "singleton batch");
+
+        // One forged signature poisons the whole batch.
+        let mut forged = sigs.clone();
+        forged[3].s = &forged[3].s + &group.scalar_ctx().one();
+        let bad_items: Vec<(&VerifyingKey<G>, &[u8], &Signature<G>)> = vks
+            .iter()
+            .zip(&msgs)
+            .zip(&forged)
+            .map(|((vk, m), s)| (vk, m.as_slice(), s))
+            .collect();
+        assert!(!verify_batch(&group, &bad_items));
+
+        // A signature transplanted onto the wrong message also fails.
+        let mut swapped_msgs = msgs.clone();
+        swapped_msgs.swap(0, 1);
+        let swapped: Vec<(&VerifyingKey<G>, &[u8], &Signature<G>)> = vks
+            .iter()
+            .zip(&swapped_msgs)
+            .zip(&sigs)
+            .map(|((vk, m), s)| (vk, m.as_slice(), s))
+            .collect();
+        assert!(!verify_batch(&group, &swapped));
     }
 
     #[test]
@@ -188,6 +338,16 @@ mod tests {
     #[test]
     fn modp_signatures() {
         check_backend(ModpGroup::new());
+    }
+
+    #[test]
+    fn p256_batch_verification() {
+        check_batch_backend(P256Group::new());
+    }
+
+    #[test]
+    fn modp_batch_verification() {
+        check_batch_backend(ModpGroup::new());
     }
 
     #[test]

@@ -114,6 +114,30 @@ pub trait CyclicGroup: Clone + Send + Sync + 'static {
         self.op(&self.exp_g(m), &self.exp_h(r))
     }
 
+    /// Multi-scalar multiplication `Π basesᵢ^{kᵢ}` over (element, scalar)
+    /// pairs.
+    ///
+    /// The workhorse of batched verification (one random-linear-combination
+    /// Schnorr check over a whole cohort collapses to a single `msm` of
+    /// width `2n + 1`). Backends override this with Pippenger's bucket
+    /// method — asymptotically `O(n / log n)` group operations per term —
+    /// while the default composes per-term exponentiations so third-party
+    /// backends keep working unchanged.
+    fn msm(&self, terms: &[(Self::Elem, Scalar)]) -> Self::Elem {
+        let mut acc = self.identity();
+        for (base, k) in terms {
+            acc = self.op(&acc, &self.exp(base, k));
+        }
+        acc
+    }
+
+    /// Eagerly builds any lazily-initialized fixed-base acceleration
+    /// material (the `g`/`h` comb tables) so the *first* real request
+    /// served by a long-lived actor does not pay table-construction
+    /// latency. Idempotent and cheap once warm; the default is a no-op
+    /// for backends without precomputation.
+    fn warm_up(&self) {}
+
     /// `Π elemsᵢ^(2^i)` — the power-of-two weighted product the bitwise
     /// OCBE sender uses to reassemble digit commitments, evaluated
     /// Horner-style (msb first).

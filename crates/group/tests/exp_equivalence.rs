@@ -120,6 +120,119 @@ fn modp_prod_pow2_matches_naive_fold() {
     check_prod_pow2(&ModpGroup::new(), 0x9B9B);
 }
 
+/// Pippenger `msm` against per-term naive exponentiation: the width edges
+/// (0, 1, 2, ℓ=48 and a 256-wide batch crossing the window-choice
+/// boundary), zero scalars sprinkled mid-batch, and the q−1 edge.
+fn check_msm<G: NaiveExp>(group: &G, seed: u64) {
+    let sc = group.scalar_ctx().clone();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    for len in [0usize, 1, 2, 48, 256] {
+        let terms: Vec<(G::Elem, Scalar)> = (0..len)
+            .map(|i| {
+                let base = group.exp_g(&group.random_scalar(&mut rng));
+                let k = match i % 5 {
+                    0 => sc.zero(),
+                    1 => sc.from_uint(&group.order().wrapping_sub(&U256::one())), // q − 1
+                    _ => group.random_scalar(&mut rng),
+                };
+                (base, k)
+            })
+            .collect();
+        let mut expect = group.identity();
+        for (base, k) in &terms {
+            expect = group.op(&expect, &group.reference_exp(base, &k.to_uint()));
+        }
+        assert_eq!(group.msm(&terms), expect, "msm len={len}");
+    }
+}
+
+#[test]
+fn p256_msm_matches_naive_composition() {
+    check_msm(&P256Group::new(), 0x3531);
+}
+
+#[test]
+fn modp_msm_matches_naive_composition() {
+    check_msm(&ModpGroup::new(), 0x3532);
+}
+
+/// Batch Schnorr verification: all-valid accepts, one forged member
+/// rejects the whole batch, the empty batch is vacuously true — on both
+/// backends, against signatures produced by the ordinary signing path.
+fn check_verify_batch<G: CyclicGroup>(group: &G, seed: u64) {
+    use pbcd_group::{verify_batch, SigningKey};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let keys: Vec<SigningKey<G>> = (0..5)
+        .map(|_| SigningKey::generate(group, &mut rng))
+        .collect();
+    let msgs: Vec<Vec<u8>> = (0..5)
+        .map(|i| format!("batch item {i}").into_bytes())
+        .collect();
+    let sigs: Vec<_> = keys
+        .iter()
+        .zip(&msgs)
+        .map(|(k, m)| k.sign(group, &mut rng, m))
+        .collect();
+    let vks: Vec<_> = keys.iter().map(|k| k.verifying_key()).collect();
+    let batch: Vec<(
+        &pbcd_group::VerifyingKey<G>,
+        &[u8],
+        &pbcd_group::Signature<G>,
+    )> = vks
+        .iter()
+        .zip(&msgs)
+        .zip(&sigs)
+        .map(|((vk, m), s)| (vk, m.as_slice(), s))
+        .collect();
+    assert!(verify_batch(group, &batch), "all-valid batch accepts");
+    assert!(
+        verify_batch::<G>(group, &[]),
+        "empty batch is vacuously true"
+    );
+    assert!(verify_batch(group, &batch[..1]), "singleton accepts");
+    // Forge member 2: a signature from the wrong key over the same message.
+    let forged = keys[0].sign(group, &mut rng, &msgs[2]);
+    let mut bad = batch.clone();
+    bad[2] = (bad[2].0, bad[2].1, &forged);
+    assert!(
+        !verify_batch(group, &bad),
+        "one forged member rejects the batch"
+    );
+    // Tampered message under a genuine signature also rejects.
+    let mut tampered = batch.clone();
+    tampered[4] = (tampered[4].0, b"not what was signed", tampered[4].2);
+    assert!(!verify_batch(group, &tampered), "tampered message rejects");
+}
+
+#[test]
+fn p256_verify_batch_soundness() {
+    check_verify_batch(&P256Group::new(), 0x5161);
+}
+
+#[test]
+fn modp_verify_batch_soundness() {
+    check_verify_batch(&ModpGroup::new(), 0x5162);
+}
+
+/// Known-answer pins for the dedicated P-256 field kernel: the Montgomery
+/// representation must round-trip the curve constants, and the kernel's
+/// mul/sqr/inv agree with an independent [`pbcd_math::MontCtx`] over the
+/// same prime.
+#[test]
+fn p256_field_kernel_pins() {
+    use pbcd_group::p256_field as fk;
+    use pbcd_math::U256;
+    // p = 2^256 − 2^224 + 2^192 + 2^96 − 1 (NIST P-256 field prime).
+    let p = U256::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff")
+        .expect("p parses");
+    assert_eq!(U256::from_limbs(fk::P), p, "kernel P constant");
+    // R = 2^256 mod p; the kernel's ONE is R (Montgomery form of 1).
+    // 0 − p wraps to 2^256 − p, and p > 2^255 makes that already reduced.
+    let r_mod_p = U256::from_u64(0).wrapping_sub(&p);
+    assert_eq!(U256::from_limbs(fk::ONE), r_mod_p, "kernel ONE is R mod p");
+    assert_eq!(fk::one(), U256::from_limbs(fk::ONE));
+}
+
 /// Clones share the lazily built tables through the same `Arc`; fresh
 /// instances rebuild them from scratch. Either way the results — and the
 /// canonical encodings — must be identical.
@@ -195,6 +308,44 @@ proptest! {
             &g.exp_naive(&base, &y.to_uint()),
         );
         prop_assert_eq!(g.exp2(&gen, &x, &base, &y), naive2);
+    }
+
+    /// The dedicated field kernel's lazy Montgomery reduction must agree
+    /// limb-for-limb with the generic [`pbcd_math::MontCtx`] over the same
+    /// prime, on every exported operation, for random residues.
+    #[test]
+    fn p256_field_kernel_matches_montctx(seed in any::<u64>()) {
+        use pbcd_group::p256_field as fk;
+        use pbcd_math::MontCtx;
+        use rand::RngCore;
+        let p = U256::from_limbs(fk::P);
+        let ctx = MontCtx::new(p);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rand_elem = || {
+            let mut limbs = [0u64; 4];
+            for l in &mut limbs {
+                *l = rng.next_u64();
+            }
+            U256::from_limbs(limbs).div_rem(&p).1
+        };
+        let a = rand_elem();
+        let b = rand_elem();
+        prop_assert_eq!(fk::mul(&a, &b), ctx.mont_mul(&a, &b));
+        prop_assert_eq!(fk::sqr(&a), ctx.mont_sqr(&a));
+        prop_assert_eq!(fk::add(&a, &b), ctx.add(&a, &b));
+        prop_assert_eq!(fk::sub(&a, &b), ctx.sub(&a, &b));
+        prop_assert_eq!(fk::neg(&a), ctx.neg(&a));
+        prop_assert_eq!(fk::dbl(&a), ctx.double(&a));
+        if a != U256::from_u64(0) {
+            prop_assert_eq!(fk::inv(&a), ctx.inv(&a));
+            prop_assert_eq!(fk::inv_vartime(&a), ctx.inv(&a));
+        }
+        // Interpreting inputs as Montgomery forms: stripping the R factor
+        // from the kernel product recovers the plain modular product.
+        prop_assert_eq!(
+            ctx.from_mont(&fk::mul(&ctx.to_mont(&a), &ctx.to_mont(&b))),
+            a.mul_mod(&b, &p)
+        );
     }
 
     #[test]

@@ -28,7 +28,6 @@ pub mod mont;
 pub mod pow;
 pub mod prime;
 pub mod uint;
-pub mod varuint;
 
 pub use fp::{Fp, FpCtx};
 pub use linalg::{dot, Matrix};
@@ -36,4 +35,3 @@ pub use mont::MontCtx;
 pub use pow::FixedBaseTable;
 pub use prime::{gen_prime, gkm_q80, miller_rabin};
 pub use uint::{Uint, U1024, U1088, U128, U192, U256, U512};
-pub use varuint::VarUint;

@@ -491,7 +491,6 @@ fn hex_val(c: u8) -> Option<u8> {
 
 /// Knuth Algorithm D long division on little-endian limb slices.
 /// Returns (quotient, remainder) as minimal-length limb vectors.
-/// Exposed for the variable-width arithmetic in [`crate::varuint`].
 pub(crate) fn div_rem_limbs(u: &[u64], v: &[u64]) -> (Vec<u64>, Vec<u64>) {
     let n = match v.iter().rposition(|&l| l != 0) {
         Some(i) => i + 1,

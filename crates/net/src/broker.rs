@@ -54,11 +54,12 @@
 //!   OCBE registration flow, exactly as the paper separates the Pub/Sub
 //!   registration phase from dissemination.
 
-use crate::auth::PublishAuth;
+use crate::auth::{AuthOutcome, BatchCheckItem, PublishAuth};
 use crate::error::{NetError, RejectReason};
 use crate::frame::{
-    deliver_body, publish_auth_message, read_frame_body, relay_body, relay_container_offset,
-    signed_container_offset, ConfigSummary, Frame, PeerRole, CONTAINER_OFFSET,
+    deliver_body, is_publish_signed_body, publish_auth_message, read_frame_body, relay_body,
+    relay_container_offset, signed_container_offset, ConfigSummary, Frame, PeerRole,
+    CONTAINER_OFFSET, MAX_FRAME_LEN,
 };
 use crate::io_pool::{FrameAccum, PoolJob, ReaderConn, ReaderPool, SlotKind, WriterPool};
 use crate::relay::{self, relay_verdict, RelayConfig, RelaySource, RelayVerdict};
@@ -66,6 +67,7 @@ use crate::store::{FsyncPolicy, RecoveryReport, RetentionStore, StoreTelemetry};
 use pbcd_telemetry::{Counter, Gauge, Histogram, Registry, Snapshot, TraceEvent, TraceKind};
 use std::collections::BTreeMap;
 use std::io;
+use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -1044,7 +1046,17 @@ fn handle_connection(shared: Arc<Shared>, id: u64, mut stream: TcpStream) {
             handshaken = true;
             let _ = stream.set_read_timeout(None);
         }
-        match dispatch_frame(shared, id, &mut writer, &mut peer_id, body) {
+        // Pipelined signed publishes coalesce into one burst here, so the
+        // broker pays a single batched Schnorr check for the lot instead
+        // of one double exponentiation per frame.
+        let flow = if is_publish_signed_body(&body) {
+            let mut bodies = vec![body];
+            drain_signed_burst(&mut stream, &mut bodies);
+            dispatch_signed_burst(shared, id, &mut writer, &mut peer_id, bodies)
+        } else {
+            dispatch_frame(shared, id, &mut writer, &mut peer_id, body)
+        };
+        match flow {
             FrameFlow::Continue => {}
             FrameFlow::Close => break,
             FrameFlow::HandOff => {
@@ -1175,74 +1187,30 @@ pub(crate) fn dispatch_frame(
             container,
         } => {
             let publish_start = Instant::now();
-            let epoch = container.epoch;
             let mut container_bytes = std::mem::take(&mut body);
-            container_bytes.drain(..signed_container_offset(&key_id));
+            container_bytes.drain(..signed_container_offset(&key_id, signature.len()));
             // Verify *before* the state lock: signature checks are the
             // expensive part and must not serialize the broker.
-            if let Some(auth) = shared.config.publisher_auth.as_ref() {
-                if auth.is_required() {
+            let verdict = match shared.config.publisher_auth.as_ref() {
+                Some(auth) if auth.is_required() => {
                     let msg = publish_auth_message(
                         &container.document_name,
                         container.epoch,
                         &container_bytes,
                     );
-                    if let Some(reason) = auth.check(&key_id, &msg, &signature).reject_reason() {
-                        shared.telemetry.publishes_rejected.inc();
-                        shared.telemetry.trace(TraceKind::Reject, id, epoch, 0);
-                        // Typed, *non-fatal* refusal: the publisher may
-                        // correct and retry on this connection.
-                        if writer
-                            .reply(
-                                shared,
-                                id,
-                                &Frame::Reject {
-                                    reason,
-                                    message: reason.to_string(),
-                                },
-                            )
-                            .is_err()
-                        {
-                            return FrameFlow::Close;
-                        }
-                        return FrameFlow::Continue;
-                    }
+                    auth.check(&key_id, &msg, &signature)
                 }
-            }
-            match handle_publish(
+                _ => AuthOutcome::Accepted,
+            };
+            return serve_publish_signed(
                 shared,
+                id,
+                writer,
+                verdict,
                 &container,
                 container_bytes,
-                true,
-                RelaySource::Local,
-            ) {
-                Ok(fanout) => {
-                    if writer
-                        .reply(shared, id, &Frame::Ack { epoch, fanout })
-                        .is_err()
-                    {
-                        return FrameFlow::Close;
-                    }
-                    record_publish_ack(shared, id, epoch, publish_start);
-                }
-                Err(reject) => {
-                    shared.telemetry.publishes_rejected.inc();
-                    shared.telemetry.trace(TraceKind::Reject, id, epoch, 0);
-                    if writer
-                        .reply(
-                            shared,
-                            id,
-                            &Frame::Reject {
-                                reason: reject.reason,
-                                message: reject.detail,
-                            },
-                        )
-                        .is_err()
-                    {
-                        return FrameFlow::Close;
-                    }
-                }
-            }
+                publish_start,
+            );
         }
         Frame::Subscribe { documents } => {
             let was_direct = matches!(writer, ConnWriter::Direct(_));
@@ -1468,6 +1436,198 @@ fn auth_required(shared: &Shared) -> bool {
         .publisher_auth
         .as_ref()
         .is_some_and(|a| a.is_required())
+}
+
+/// Applies one authenticated (or auth-exempt) signed publish and replies
+/// `Ack`/`Reject`. Shared by the single-frame path in [`dispatch_frame`]
+/// and the pipelined burst path in [`dispatch_signed_burst`]; `verdict`
+/// carries the already-computed authentication outcome so the burst path
+/// can substitute one batched check for per-frame verification. A refusal
+/// is typed and *non-fatal* — the publisher may correct and retry on this
+/// connection.
+#[allow(clippy::too_many_arguments)]
+fn serve_publish_signed(
+    shared: &Arc<Shared>,
+    id: u64,
+    writer: &mut ConnWriter,
+    verdict: AuthOutcome,
+    container: &pbcd_docs::BroadcastContainer,
+    container_bytes: Vec<u8>,
+    publish_start: Instant,
+) -> FrameFlow {
+    let epoch = container.epoch;
+    if let Some(reason) = verdict.reject_reason() {
+        shared.telemetry.publishes_rejected.inc();
+        shared.telemetry.trace(TraceKind::Reject, id, epoch, 0);
+        if writer
+            .reply(
+                shared,
+                id,
+                &Frame::Reject {
+                    reason,
+                    message: reason.to_string(),
+                },
+            )
+            .is_err()
+        {
+            return FrameFlow::Close;
+        }
+        return FrameFlow::Continue;
+    }
+    match handle_publish(shared, container, container_bytes, true, RelaySource::Local) {
+        Ok(fanout) => {
+            if writer
+                .reply(shared, id, &Frame::Ack { epoch, fanout })
+                .is_err()
+            {
+                return FrameFlow::Close;
+            }
+            record_publish_ack(shared, id, epoch, publish_start);
+        }
+        Err(reject) => {
+            shared.telemetry.publishes_rejected.inc();
+            shared.telemetry.trace(TraceKind::Reject, id, epoch, 0);
+            if writer
+                .reply(
+                    shared,
+                    id,
+                    &Frame::Reject {
+                        reason: reject.reason,
+                        message: reject.detail,
+                    },
+                )
+                .is_err()
+            {
+                return FrameFlow::Close;
+            }
+        }
+    }
+    FrameFlow::Continue
+}
+
+/// Serves a read burst of pipelined `PublishSigned` frames: one batched
+/// Schnorr check ([`PublishAuth::check_batch`], a single multi-scalar
+/// multiplication) authenticates the whole burst, then each publish is
+/// applied and acknowledged in arrival order. Any body that fails the
+/// strict decode sends the entire burst back through [`dispatch_frame`]
+/// one frame at a time, so malformed input keeps its exact single-frame
+/// semantics (typed error, connection drop).
+fn dispatch_signed_burst(
+    shared: &Arc<Shared>,
+    id: u64,
+    writer: &mut ConnWriter,
+    peer_id: &mut Option<String>,
+    bodies: Vec<Vec<u8>>,
+) -> FrameFlow {
+    let publish_start = Instant::now();
+    let mut decoded = Vec::with_capacity(bodies.len());
+    for body in &bodies {
+        match Frame::decode(body) {
+            Ok(Frame::PublishSigned {
+                key_id,
+                signature,
+                container,
+            }) => decoded.push((key_id, signature, container)),
+            _ => {
+                for body in bodies {
+                    match dispatch_frame(shared, id, writer, peer_id, body) {
+                        FrameFlow::Continue => {}
+                        flow => return flow,
+                    }
+                }
+                return FrameFlow::Continue;
+            }
+        }
+    }
+    let entries: Vec<_> = bodies
+        .into_iter()
+        .zip(decoded)
+        .map(|(body, (key_id, signature, container))| {
+            let mut container_bytes = body;
+            container_bytes.drain(..signed_container_offset(&key_id, signature.len()));
+            (key_id, signature, container, container_bytes)
+        })
+        .collect();
+    let verdicts = match shared.config.publisher_auth.as_ref() {
+        Some(auth) if auth.is_required() => {
+            let msgs: Vec<Vec<u8>> = entries
+                .iter()
+                .map(|(_, _, container, container_bytes)| {
+                    publish_auth_message(&container.document_name, container.epoch, container_bytes)
+                })
+                .collect();
+            let items: Vec<BatchCheckItem<'_>> = entries
+                .iter()
+                .zip(&msgs)
+                .map(|((key_id, signature, _, _), msg)| BatchCheckItem {
+                    key_id,
+                    message: msg,
+                    signature,
+                })
+                .collect();
+            auth.check_batch(&items)
+        }
+        _ => vec![AuthOutcome::Accepted; entries.len()],
+    };
+    for ((_, _, container, container_bytes), verdict) in entries.into_iter().zip(verdicts) {
+        match serve_publish_signed(
+            shared,
+            id,
+            writer,
+            verdict,
+            &container,
+            container_bytes,
+            publish_start,
+        ) {
+            FrameFlow::Continue => {}
+            flow => return flow,
+        }
+    }
+    FrameFlow::Continue
+}
+
+/// Most pipelined signed publishes coalesced into one verification burst.
+const MAX_SIGNED_BURST: usize = 64;
+
+/// Kernel-buffer window inspected when coalescing a burst.
+const SIGNED_BURST_PEEK: usize = 256 * 1024;
+
+/// Collects already-buffered pipelined `PublishSigned` frames following
+/// one just read, without blocking: peeks the kernel receive buffer,
+/// carves complete signed-publish frames off the front, and consumes
+/// exactly those bytes. A partial trailing frame — and anything that is
+/// not a signed publish — stays buffered for the normal blocking read,
+/// so this can only reorder nothing and lose nothing. Errors (including
+/// `WouldBlock` on an empty buffer) simply end the burst.
+fn drain_signed_burst(stream: &mut TcpStream, bodies: &mut Vec<Vec<u8>>) {
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    let mut buf = vec![0u8; SIGNED_BURST_PEEK];
+    if let Ok(n) = stream.peek(&mut buf) {
+        let mut off = 0;
+        let mut take = Vec::new();
+        while bodies.len() + take.len() < MAX_SIGNED_BURST && off + 4 <= n {
+            let len =
+                u32::from_be_bytes(buf[off..off + 4].try_into().expect("4-byte slice")) as usize;
+            // Malformed lengths end the burst here; the blocking path
+            // reports them with its usual typed error.
+            if !(4..=MAX_FRAME_LEN).contains(&len) || off + 4 + len > n {
+                break;
+            }
+            let body = &buf[off + 4..off + 4 + len];
+            if !is_publish_signed_body(body) {
+                break;
+            }
+            take.push(body.to_vec());
+            off += 4 + len;
+        }
+        // Consume exactly the carved bytes (peek left them buffered).
+        if off > 0 && stream.read_exact(&mut buf[..off]).is_ok() {
+            bodies.append(&mut take);
+        }
+    }
+    let _ = stream.set_nonblocking(false);
 }
 
 /// A refused publish: the typed reason plus human-readable detail.

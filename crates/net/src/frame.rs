@@ -139,7 +139,8 @@ pub enum Frame {
         /// Which authorized publisher key signed this (the broker's
         /// [`crate::broker::BrokerConfig`] key-map key).
         key_id: String,
-        /// 64-byte Schnorr signature (`e ‖ s`).
+        /// Length-prefixed Schnorr signature (`R ‖ s`, 97 bytes on P-256;
+        /// at most [`MAX_PUBLISH_SIGNATURE_LEN`]).
         signature: Vec<u8>,
         /// The container being published.
         container: BroadcastContainer,
@@ -247,8 +248,11 @@ fn required_version(kind: u8) -> u8 {
     }
 }
 
-/// Length of the Schnorr signature carried by [`Frame::PublishSigned`].
-pub const PUBLISH_SIGNATURE_LEN: usize = 64;
+/// Upper bound on the length-prefixed Schnorr signature carried by
+/// [`Frame::PublishSigned`] (`R ‖ s` — 97 bytes on P-256, 161 on the modp
+/// backend; the cap just keeps a hostile length prefix from forcing a
+/// large allocation).
+pub const MAX_PUBLISH_SIGNATURE_LEN: usize = 512;
 
 impl Frame {
     /// Serializes the frame body (without the outer length prefix).
@@ -316,11 +320,12 @@ impl Frame {
                 signature,
                 container,
             } => {
-                if signature.len() != PUBLISH_SIGNATURE_LEN {
+                if signature.is_empty() || signature.len() > MAX_PUBLISH_SIGNATURE_LEN {
                     return Err(WireError::InvalidValue);
                 }
                 buf.put_u8(KIND_PUBLISH_SIGNED);
                 put_str(&mut buf, key_id)?;
+                buf.put_u16(signature.len() as u16);
                 buf.put_slice(signature);
                 buf.put_slice(&container.encode()?);
             }
@@ -459,10 +464,17 @@ impl Frame {
             },
             KIND_PUBLISH_SIGNED => {
                 let key_id = get_str(&mut buf)?;
-                if buf.remaining() < PUBLISH_SIGNATURE_LEN {
+                if buf.remaining() < 2 {
                     return Err(WireError::Truncated);
                 }
-                let mut signature = vec![0u8; PUBLISH_SIGNATURE_LEN];
+                let sig_len = buf.get_u16() as usize;
+                if sig_len == 0 || sig_len > MAX_PUBLISH_SIGNATURE_LEN {
+                    return Err(WireError::InvalidValue);
+                }
+                if buf.remaining() < sig_len {
+                    return Err(WireError::Truncated);
+                }
+                let mut signature = vec![0u8; sig_len];
                 buf.copy_to_slice(&mut signature);
                 let container = BroadcastContainer::decode(buf)?;
                 buf = &[];
@@ -565,16 +577,20 @@ pub fn publish_body(container_bytes: &[u8]) -> Vec<u8> {
 /// bytes and a detached signature — the container is neither re-encoded
 /// nor cloned beyond this one buffer.
 ///
-/// `signature` must be [`PUBLISH_SIGNATURE_LEN`] bytes over
-/// [`publish_auth_message`] of the same `container_bytes`.
+/// `signature` must be a non-empty signature (at most
+/// [`MAX_PUBLISH_SIGNATURE_LEN`] bytes) over [`publish_auth_message`] of
+/// the same `container_bytes`.
 pub fn signed_publish_body(key_id: &str, signature: &[u8], container_bytes: &[u8]) -> Vec<u8> {
-    debug_assert_eq!(signature.len(), PUBLISH_SIGNATURE_LEN);
-    let mut body = Vec::with_capacity(signed_container_offset(key_id) + container_bytes.len());
+    debug_assert!(!signature.is_empty() && signature.len() <= MAX_PUBLISH_SIGNATURE_LEN);
+    let mut body = Vec::with_capacity(
+        signed_container_offset(key_id, signature.len()) + container_bytes.len(),
+    );
     body.extend_from_slice(FRAME_MAGIC);
     body.push(PROTOCOL_VERSION_SIGNED);
     body.push(KIND_PUBLISH_SIGNED);
     body.extend_from_slice(&(key_id.len() as u32).to_be_bytes());
     body.extend_from_slice(key_id.as_bytes());
+    body.extend_from_slice(&(signature.len() as u16).to_be_bytes());
     body.extend_from_slice(signature);
     body.extend_from_slice(container_bytes);
     body
@@ -587,9 +603,20 @@ pub fn signed_publish_body(key_id: &str, signature: &[u8], container_bytes: &[u8
 pub const CONTAINER_OFFSET: usize = 4;
 
 /// Byte offset of the container within a `PublishSigned` frame body
-/// (magic ‖ version ‖ kind ‖ len-prefixed key id ‖ signature).
-pub fn signed_container_offset(key_id: &str) -> usize {
-    CONTAINER_OFFSET + 4 + key_id.len() + PUBLISH_SIGNATURE_LEN
+/// (magic ‖ version ‖ kind ‖ len-prefixed key id ‖ len-prefixed
+/// signature).
+pub fn signed_container_offset(key_id: &str, signature_len: usize) -> usize {
+    CONTAINER_OFFSET + 4 + key_id.len() + 2 + signature_len
+}
+
+/// Whether an undecoded frame body is a `PublishSigned` frame, by header
+/// sniff only (magic + kind byte). Used by the broker to coalesce
+/// pipelined signed publishes into one batched verification without
+/// paying a strict decode on frames it will not batch; a `true` here is
+/// a routing hint, not a validity claim — the full [`Frame::decode`]
+/// still runs on every batched body.
+pub(crate) fn is_publish_signed_body(body: &[u8]) -> bool {
+    body.len() >= 4 && body[..2] == *FRAME_MAGIC && body[3] == KIND_PUBLISH_SIGNED
 }
 
 /// Builds a `Relay` frame body around already-encoded container bytes —
@@ -749,7 +776,7 @@ mod tests {
             },
             Frame::PublishSigned {
                 key_id: "pub-1".into(),
-                signature: vec![0x3C; PUBLISH_SIGNATURE_LEN],
+                signature: vec![0x3C; 97],
                 container: sample_container(),
             },
             Frame::Reject {
@@ -854,7 +881,7 @@ mod tests {
         // …new kinds carry v2…
         let signed = Frame::PublishSigned {
             key_id: "k".into(),
-            signature: vec![0; PUBLISH_SIGNATURE_LEN],
+            signature: vec![0; 97],
             container: sample_container(),
         };
         let enc = signed.encode().unwrap();
@@ -935,7 +962,7 @@ mod tests {
     fn signed_publish_body_matches_frame_encode() {
         let container = sample_container();
         let container_bytes = container.encode().unwrap();
-        let sig = vec![0x7E; PUBLISH_SIGNATURE_LEN];
+        let sig = vec![0x7E; 97];
         let via_helper = signed_publish_body("pub-1", &sig, &container_bytes);
         let via_frame = Frame::PublishSigned {
             key_id: "pub-1".into(),
@@ -947,7 +974,7 @@ mod tests {
         assert_eq!(via_helper, via_frame);
         // The advertised offset really lands on the container bytes.
         assert_eq!(
-            &via_helper[signed_container_offset("pub-1")..],
+            &via_helper[signed_container_offset("pub-1", 97)..],
             container_bytes.as_slice()
         );
     }

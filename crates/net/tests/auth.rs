@@ -129,7 +129,7 @@ fn tampered_container_fails_verification() {
     let c = container("doc.xml", 3);
     let container_bytes = c.encode().unwrap();
     let msg = publish_auth_message(&c.document_name, c.epoch, &container_bytes);
-    let sig = key.sign(&group, &mut rng, &msg).to_bytes::<P256Group>();
+    let sig = key.sign(&group, &mut rng, &msg).to_bytes(&group);
     let mut body = signed_publish_body("pub-1", &sig, &container_bytes);
     let last = body.len() - 1; // inside the ciphertext field
     body[last] ^= 0x01;
@@ -219,6 +219,67 @@ fn hostile_peer_cannot_wedge_a_document_name_when_keys_are_configured() {
         .expect("real publisher unaffected");
     assert_eq!(receipt.epoch, 1);
     assert_eq!(broker.stats().publishes_rejected, 2);
+    broker.shutdown();
+}
+
+#[test]
+fn pipelined_burst_is_batch_verified_and_forged_member_is_rejected() {
+    let group = P256Group::new();
+    let mut rng = StdRng::seed_from_u64(0xA0D);
+    let key = SigningKey::generate(&group, &mut rng);
+    let broker = keyed_broker(&group, &key);
+
+    // An all-valid pipelined cohort: every container acknowledged, in
+    // order, over one connection (the broker verifies the burst with a
+    // single batched Schnorr check).
+    let mut publisher = BrokerClient::connect(broker.addr(), PeerRole::Publisher).unwrap();
+    let cohort: Vec<BroadcastContainer> = (1..=4).map(|e| container("doc.xml", e)).collect();
+    let outcomes = publisher
+        .publish_signed_burst(&group, "pub-1", &key, &cohort, &mut rng)
+        .expect("burst transport");
+    assert_eq!(outcomes.len(), 4);
+    for (i, outcome) in outcomes.iter().enumerate() {
+        assert_eq!(outcome.as_ref().unwrap().epoch, i as u64 + 1);
+    }
+
+    // Forge the signature of one member mid-burst: hand-roll the frames
+    // so member 2 of 4 is signed by an intruder key. Exactly that member
+    // gets a typed BadSignature reject; the rest land, the connection
+    // survives, and retained state advances past the forged epoch only
+    // via the honest members.
+    let intruder = SigningKey::generate(&group, &mut rng);
+    let mut stream = TcpStream::connect(broker.addr()).unwrap();
+    let mut wire = Vec::new();
+    for epoch in 5..=8u64 {
+        let c = container("doc.xml", epoch);
+        let container_bytes = c.encode().unwrap();
+        let msg = publish_auth_message(&c.document_name, c.epoch, &container_bytes);
+        let signer = if epoch == 6 { &intruder } else { &key };
+        let sig = signer.sign(&group, &mut rng, &msg).to_bytes(&group);
+        let body = signed_publish_body("pub-1", &sig, &container_bytes);
+        wire.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        wire.extend_from_slice(&body);
+    }
+    stream.write_all(&wire).unwrap();
+    let mut replies = Vec::new();
+    for _ in 0..4 {
+        replies.push(read_frame(&mut stream).unwrap());
+    }
+    assert!(matches!(replies[0], Frame::Ack { epoch: 5, .. }));
+    assert!(matches!(
+        replies[1],
+        Frame::Reject {
+            reason: RejectReason::BadSignature,
+            ..
+        }
+    ));
+    assert!(matches!(replies[2], Frame::Ack { epoch: 7, .. }));
+    assert!(matches!(replies[3], Frame::Ack { epoch: 8, .. }));
+    assert_eq!(broker.stats().publishes_rejected, 1);
+    assert!(
+        broker.retained_container("doc.xml").is_some(),
+        "honest members of the burst landed"
+    );
     broker.shutdown();
 }
 

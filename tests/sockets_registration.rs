@@ -321,6 +321,83 @@ fn garbage_on_the_registration_socket_yields_typed_errors_and_service_survives()
     issuer_server.shutdown();
 }
 
+/// The batch registration endpoint over real TCP: a single
+/// `RegisterBatch` frame registers for every condition (one round-trip,
+/// one batched token-signature check server-side), extraction matches the
+/// sequential path, and a bad item inside a batch fails alone — its
+/// cohort still gets envelopes.
+#[test]
+fn batch_registration_over_tcp_matches_sequential_and_isolates_bad_items() {
+    let group = P256Group::new();
+    let mut rng = StdRng::seed_from_u64(0xBA7C);
+
+    let idp = IdentityProvider::new(group.clone(), "hr", &mut rng);
+    let idmgr = IdentityManager::new(group.clone(), &mut rng);
+    let idmgr_key = idmgr.verifying_key();
+    let mut issuer = IssuerService::new(idp, idmgr, 21);
+    let issuer_server =
+        RegistrationServer::bind("127.0.0.1:0", move |req: &[u8]| issuer.handle(req))
+            .expect("bind issuer");
+
+    // The *shared* service behind the socket, so the batch frame takes the
+    // same concurrent registration path the brokers deploy.
+    let publisher = Publisher::new(group.clone(), idmgr_key, policies());
+    let shared = std::sync::Arc::new(pbcd::core::SharedPublisherService::new(
+        PublisherService::new(publisher, 0xCC),
+    ));
+    let handler = std::sync::Arc::clone(&shared);
+    let reg_server = RegistrationServer::bind("127.0.0.1:0", move |req: &[u8]| handler.handle(req))
+        .expect("bind registration");
+
+    // Whole onboarding through one batch frame: both conditions extract,
+    // exactly as the sequential `register_all_via` flow would.
+    let mut sub: Subscriber<P256Group> = Subscriber::new(
+        AttributeSet::new()
+            .with_str("role", "doctor")
+            .with("clearance", 7),
+    );
+    pbcd::core::session::fetch_tokens_via(&mut sub, &group, issuer_server.addr(), "dora")
+        .expect("issuance");
+    let extracted = pbcd::core::session::register_all_batched_via(
+        &mut sub,
+        &group,
+        reg_server.addr(),
+        &mut rng,
+    )
+    .expect("batched registration over TCP");
+    assert_eq!(extracted, 2, "batch path extracts both CSSs");
+    let stats = shared.stats();
+    assert_eq!(stats.errors, 0);
+
+    // A bad item inside a batch (condition outside the policy set) gets a
+    // typed per-item error; the good item in the same frame still lands.
+    let mut client = RegistrationClient::connect(reg_server.addr()).expect("connect");
+    let info = pbcd::core::session::fetch_conditions(&group, &mut client).expect("conditions");
+    let good = AttributeCondition::new("clearance", ComparisonOp::Ge, 5);
+    let rogue = AttributeCondition::new("clearance", ComparisonOp::Ge, 99);
+    let session = pbcd::core::BatchRegistrationSession::new(&mut sub, group.clone(), info.ell);
+    let (request, pending) = session
+        .start(&[good, rogue], &mut rng)
+        .expect("start mixed batch");
+    let response = client.call(&request).expect("call");
+    let results = pending.complete(&response).expect("batch response decodes");
+    assert_eq!(results.len(), 2);
+    assert_eq!(
+        results[0].as_ref().expect("good item re-registers"),
+        &true,
+        "qualified item in a mixed batch still opens"
+    );
+    match &results[1] {
+        Err(PbcdError::ErrorResponse { code, .. }) => {
+            assert_eq!(*code, proto::ErrorCode::UnknownCondition)
+        }
+        other => panic!("rogue item must fail alone, got {other:?}"),
+    }
+    client.close().expect("close");
+    reg_server.shutdown();
+    issuer_server.shutdown();
+}
+
 /// The session types reject protocol misuse at runtime too: an error
 /// response surfaces as a typed `PbcdError`, and a response of the wrong
 /// kind is `UnexpectedResponse`.

@@ -32,6 +32,13 @@ pub trait Buf {
         b
     }
 
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        self.copy_to_slice(&mut raw);
+        u16::from_be_bytes(raw)
+    }
+
     /// Reads a big-endian `u32`.
     fn get_u32(&mut self) -> u32 {
         let mut raw = [0u8; 4];
@@ -81,6 +88,11 @@ pub trait BufMut {
     /// Appends one byte.
     fn put_u8(&mut self, v: u8) {
         self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
     }
 
     /// Appends a big-endian `u32`.
@@ -235,10 +247,12 @@ mod tests {
     #[test]
     fn put_get_roundtrip() {
         let mut buf = BytesMut::new();
+        buf.put_u16(0xBEAD);
         buf.put_u32(0xDEAD_BEEF);
         buf.put_u64(42);
         buf.put_slice(b"xyz");
         let mut r = buf.freeze();
+        assert_eq!(r.get_u16(), 0xBEAD);
         assert_eq!(r.get_u32(), 0xDEAD_BEEF);
         assert_eq!(r.get_u64(), 42);
         let mut tail = [0u8; 3];
